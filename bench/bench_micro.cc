@@ -1,0 +1,140 @@
+// Microbenchmarks (google-benchmark) for the building blocks on the MOQP
+// hot path: OLS fitting at different window sizes, one full DREAM
+// estimation pass, physical-plan enumeration, simulator costing, and one
+// NSGA-II generation's worth of evaluations.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/simulator.h"
+#include "optimizer/nsga2.h"
+#include "query/enumerator.h"
+#include "regression/dream.h"
+#include "tpch/workload.h"
+
+namespace midas {
+namespace {
+
+TrainingSet MakeHistory(size_t n) {
+  TrainingSet set({"x1", "x2", "x3", "x4"}, {"seconds", "dollars"});
+  Rng rng(1);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.Uniform(0, 100);
+    const double b = rng.Uniform(0, 100);
+    const double c = 1 + rng.Index(8);
+    const double d = 1 + rng.Index(8);
+    set.Add({a, b, c, d}, {1 + 0.1 * a + 0.2 * b + c + rng.Gaussian(0, 1),
+                           0.01 * a + rng.Gaussian(0, 0.1) + 2})
+        .CheckOK();
+  }
+  return set;
+}
+
+void BM_OlsFit(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  TrainingSet history = MakeHistory(m);
+  auto xs = history.RecentFeatures(m).ValueOrDie();
+  auto ys = history.RecentCosts(m, 0).ValueOrDie();
+  for (auto _ : state) {
+    auto model = FitOls(xs, ys);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_OlsFit)->Arg(6)->Arg(12)->Arg(24)->Arg(100)->Arg(400);
+
+void BM_DreamEstimate(benchmark::State& state) {
+  const size_t history_size = static_cast<size_t>(state.range(0));
+  TrainingSet history = MakeHistory(history_size);
+  Dream dream;
+  for (auto _ : state) {
+    auto estimate = dream.EstimateCostValue(history);
+    benchmark::DoNotOptimize(estimate);
+  }
+}
+BENCHMARK(BM_DreamEstimate)->Arg(12)->Arg(50)->Arg(200);
+
+void BM_DreamPredict(benchmark::State& state) {
+  TrainingSet history = MakeHistory(50);
+  Dream dream;
+  auto estimate = dream.EstimateCostValue(history).ValueOrDie();
+  const Vector x = {10, 20, 2, 4};
+  for (auto _ : state) {
+    auto costs = estimate.Predict(x);
+    benchmark::DoNotOptimize(costs);
+  }
+}
+BENCHMARK(BM_DreamPredict);
+
+struct QepEnvironment {
+  Federation federation;
+  tpch::Workload workload;
+
+  QepEnvironment() : workload([] {
+                       tpch::WorkloadOptions options;
+                       options.scale_factor = 0.1;
+                       return options;
+                     }()) {
+    const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+    SiteConfig a;
+    a.name = "A";
+    a.provider = ProviderKind::kAmazon;
+    a.engines = {EngineKind::kHive};
+    a.node_type = catalog.Find("a1.xlarge").ValueOrDie();
+    a.max_nodes = 8;
+    federation.AddSite(a).ValueOrDie();
+    SiteConfig b;
+    b.name = "B";
+    b.provider = ProviderKind::kMicrosoft;
+    b.engines = {EngineKind::kPostgres};
+    b.node_type = catalog.Find("B2S").ValueOrDie();
+    b.max_nodes = 8;
+    federation.AddSite(b).ValueOrDie();
+    federation.PlaceTable("orders", 1, EngineKind::kPostgres).CheckOK();
+    federation.PlaceTable("lineitem", 0, EngineKind::kHive).CheckOK();
+  }
+};
+
+void BM_EnumeratePhysicalPlans(benchmark::State& state) {
+  QepEnvironment env;
+  PlanEnumerator enumerator(&env.federation, &env.workload.catalog());
+  const QueryPlan q12 = tpch::MakeQuery(12).ValueOrDie();
+  for (auto _ : state) {
+    auto plans = enumerator.EnumeratePhysical(q12);
+    benchmark::DoNotOptimize(plans);
+  }
+}
+BENCHMARK(BM_EnumeratePhysicalPlans);
+
+void BM_SimulatorExpectedCost(benchmark::State& state) {
+  QepEnvironment env;
+  SimulatorOptions options;
+  options.stochastic = false;
+  ExecutionSimulator sim(&env.federation, &env.workload.catalog(), options);
+  PlanEnumerator enumerator(&env.federation, &env.workload.catalog());
+  auto plans =
+      enumerator.EnumeratePhysical(tpch::MakeQuery(12).ValueOrDie())
+          .ValueOrDie();
+  for (auto _ : state) {
+    auto m = sim.ExpectedCostAt(plans[0], 0);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_SimulatorExpectedCost);
+
+void BM_Nsga2Schaffer(benchmark::State& state) {
+  Nsga2Options options;
+  options.population_size = 60;
+  options.generations = static_cast<size_t>(state.range(0));
+  Nsga2 nsga2(options);
+  Schaffer problem;
+  for (auto _ : state) {
+    auto result = nsga2.Optimize(problem);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Nsga2Schaffer)->Arg(10)->Arg(50);
+
+}  // namespace
+}  // namespace midas
+
+BENCHMARK_MAIN();

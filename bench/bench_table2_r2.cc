@@ -1,0 +1,41 @@
+// Reproduces Table 2: the coefficient of determination of an MLR fitted on
+// growing prefixes of a 2-variable cost dataset — first on the paper's
+// literal 10 observations (the R² column must match the paper to 4 digits),
+// then on a synthetic re-draw to show the shape is not an artefact of the
+// specific numbers.
+
+#include <iostream>
+
+#include "common/text_table.h"
+#include "midas/experiments.h"
+
+int main() {
+  using namespace midas;  // NOLINT: bench brevity
+
+  std::cout << "Table 2 — Using MLR in different sizes of dataset\n";
+  std::cout << "(paper's literal dataset; paper R² column: 0.7571 0.7705 "
+               "0.8371 0.8788 0.8876 0.8751 0.8945)\n";
+  auto rows = PaperTable2Rows();
+  rows.status().CheckOK();
+  TextTable table({"M", "R^2", "R^2 >= 0.8"});
+  for (const R2Row& row : *rows) {
+    table.AddRow({std::to_string(row.m), FormatDouble(row.r2, 4),
+                  row.r2 >= 0.8 ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+  std::cout << "Reading: with R2_require = 0.8, Algorithm 1 stops at M = 6 "
+               "on this dataset.\n\n";
+
+  std::cout << "Synthetic re-draw (c = 12 + 6 x1 + 3.2 x2 + N(0, 2))\n";
+  auto synthetic = SyntheticR2Sweep(/*m_max=*/12, /*noise_sigma=*/2.0,
+                                    /*seed=*/2019);
+  synthetic.status().CheckOK();
+  TextTable table2({"M", "R^2"});
+  for (const R2Row& row : *synthetic) {
+    table2.AddRow({std::to_string(row.m), FormatDouble(row.r2, 4)});
+  }
+  table2.Print(std::cout);
+  std::cout << "Shape check: R² generally rises with M and crosses 0.8 "
+               "within a few observations of the minimum window.\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Table 3: mean relative error of the execution-time estimation
+// on the 100 MiB TPC-H dataset (scale factor 0.1), queries 12/13/14/17,
+// comparing DREAM against the IReS Best-ML baseline at windows N, 2N, 3N
+// and unlimited history.
+
+#include "bench/mre_table_common.h"
+
+int main() {
+  midas::bench::RunMreTable(
+      "Table 3 — Comparison of mean relative error with 100MiB TPC-H "
+      "dataset",
+      /*scale_factor=*/0.1);
+  return 0;
+}

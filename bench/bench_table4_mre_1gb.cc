@@ -1,0 +1,13 @@
+// Reproduces Table 4: mean relative error of the execution-time estimation
+// on the 1 GiB TPC-H dataset (scale factor 1.0), queries 12/13/14/17,
+// comparing DREAM against the IReS Best-ML baseline at windows N, 2N, 3N
+// and unlimited history.
+
+#include "bench/mre_table_common.h"
+
+int main() {
+  midas::bench::RunMreTable(
+      "Table 4 — Comparison of mean relative error with 1GiB TPC-H dataset",
+      /*scale_factor=*/1.0);
+  return 0;
+}

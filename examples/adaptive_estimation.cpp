@@ -1,0 +1,130 @@
+// Adaptive estimation under drift: watch DREAM track a changing cloud
+// while the full-history baseline goes stale. Runs a stream of Q12
+// instances on a drifting two-cloud federation and prints, every few
+// queries, the rolling relative error of both estimators plus the window
+// DREAM chose.
+//
+//   ./examples/adaptive_estimation
+
+#include <cmath>
+#include <deque>
+#include <iostream>
+
+#include "common/text_table.h"
+#include "engine/simulator.h"
+#include "ires/features.h"
+#include "ires/scheduler.h"
+#include "query/enumerator.h"
+#include "tpch/workload.h"
+
+int main() {
+  using namespace midas;  // NOLINT: example brevity
+
+  // Federation with a pronounced load drift (one "day" = 50 queries).
+  Federation federation;
+  const InstanceCatalog instances = InstanceCatalog::PaperTable1();
+  SiteConfig a;
+  a.name = "cloud-A";
+  a.provider = ProviderKind::kAmazon;
+  a.engines = {EngineKind::kHive};
+  a.node_type = instances.Find("a1.xlarge").ValueOrDie();
+  a.max_nodes = 8;
+  const SiteId site_a = federation.AddSite(a).ValueOrDie();
+  SiteConfig b;
+  b.name = "cloud-B";
+  b.provider = ProviderKind::kMicrosoft;
+  b.engines = {EngineKind::kPostgres};
+  b.node_type = instances.Find("B2S").ValueOrDie();
+  b.max_nodes = 8;
+  const SiteId site_b = federation.AddSite(b).ValueOrDie();
+  NetworkLink wan;
+  wan.bandwidth_mbps = 200.0;
+  wan.egress_price_per_gib = 0.09;
+  federation.network().SetSymmetricLink(site_a, site_b, wan).CheckOK();
+
+  tpch::WorkloadOptions wl_opts;
+  wl_opts.scale_factor = 0.1;
+  tpch::Workload workload(wl_opts);
+  federation.PlaceTable("orders", site_b, EngineKind::kPostgres).CheckOK();
+  federation.PlaceTable("lineitem", site_a, EngineKind::kHive).CheckOK();
+
+  SimulatorOptions sim_opts;
+  sim_opts.variance.drift_amplitude = 0.6;
+  sim_opts.variance.drift_period = 50.0;
+  ExecutionSimulator simulator(&federation, &workload.catalog(), sim_opts);
+  Modelling modelling(FeatureNames(federation), StandardMetricNames());
+  Scheduler scheduler(&federation, &simulator, &modelling);
+  PlanEnumerator enumerator(&federation, &workload.catalog());
+  Rng rng(2019);
+
+  EstimatorConfig dream = EstimatorConfig::DreamDefault();
+  dream.dream.m_max = 2 * modelling.BaseWindow();
+  const EstimatorConfig bml_all = EstimatorConfig::Bml(WindowPolicy::kAll);
+
+  const int kWarmup = 15;
+  const int kStream = 120;
+  std::deque<double> dream_errors, bml_errors;
+  double dream_sum = 0.0, bml_sum = 0.0;
+  int scored = 0;
+
+  std::cout << "Streaming Q12 instances through a drifting federation "
+               "(load swings ±60% every 50 queries)\n\n";
+  TextTable table({"query #", "load phase", "DREAM window",
+                   "DREAM err (last 15)", "BML-all err (last 15)"});
+
+  for (int i = 0; i < kWarmup + kStream; ++i) {
+    auto item = workload.NextForQuery(12).ValueOrDie();
+    auto plans = enumerator.EnumeratePhysical(item.logical).ValueOrDie();
+    const QueryPlan& plan = plans[rng.Index(plans.size())];
+
+    size_t window = 0;
+    double dream_pred = 0.0, bml_pred = 0.0;
+    bool have_predictions = false;
+    if (i >= kWarmup) {
+      Vector x = ExtractFeatures(federation, plan).ValueOrDie();
+      auto diag = modelling.DreamDiagnostics("q12", dream.dream);
+      if (diag.ok()) window = diag->window_size;
+      auto pd = modelling.Predict("q12", x, dream);
+      auto pb = modelling.Predict("q12", x, bml_all);
+      if (pd.ok() && pb.ok()) {
+        dream_pred = (*pd)[0];
+        bml_pred = (*pb)[0];
+        have_predictions = true;
+      }
+    }
+
+    Measurement m = scheduler.ExecuteAndRecord("q12", plan).ValueOrDie();
+
+    if (have_predictions) {
+      const double de = std::abs(dream_pred - m.seconds) / m.seconds;
+      const double be = std::abs(bml_pred - m.seconds) / m.seconds;
+      dream_errors.push_back(de);
+      bml_errors.push_back(be);
+      dream_sum += de;
+      bml_sum += be;
+      ++scored;
+      if (dream_errors.size() > 15) {
+        dream_sum -= dream_errors.front();
+        bml_sum -= bml_errors.front();
+        dream_errors.pop_front();
+        bml_errors.pop_front();
+      }
+      if ((i - kWarmup) % 15 == 14) {
+        const double phase =
+            std::sin(2 * M_PI * static_cast<double>(i) / 50.0);
+        const double n = static_cast<double>(dream_errors.size());
+        table.AddRow({std::to_string(i - kWarmup + 1),
+                      phase > 0.3 ? "busy" : (phase < -0.3 ? "quiet" : "~"),
+                      std::to_string(window),
+                      FormatDouble(dream_sum / n, 3),
+                      FormatDouble(bml_sum / n, 3)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nDREAM keeps re-fitting on a fresh window (about " << "2N"
+            << " observations), so its error stays flat across load "
+               "phases; the full-history model mixes expired load regimes "
+               "and degrades. Scored " << scored << " predictions.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#ifndef MIDAS_COMMON_CSV_H_
+#define MIDAS_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace midas {
+
+/// \brief Minimal CSV writer for exporting benchmark series (one file per
+/// figure) so results can be re-plotted externally.
+///
+/// Fields containing commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  void AddRow(const std::vector<double>& values);
+
+  /// Serialises header + rows.
+  std::string ToString() const;
+
+  /// Writes the file, creating/truncating it.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Splits one CSV line honouring RFC 4180 quoting (used by tests and the
+/// workload replayer).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_CSV_H_

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+namespace midas {
+
+namespace {
+LogLevel g_log_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_log_level; }
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level),
+      enabled_(level >= g_log_level || level == LogLevel::kFatal) {
+  if (enabled_) {
+    // Keep only the basename to keep lines short.
+    std::string path(file);
+    auto pos = path.find_last_of('/');
+    if (pos != std::string::npos) path = path.substr(pos + 1);
+    stream_ << "[" << LevelName(level) << " " << path << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace midas

@@ -1,0 +1,79 @@
+#ifndef MIDAS_COMMON_LOGGING_H_
+#define MIDAS_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace midas {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// \brief Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo. Not thread-safe to mutate concurrently with logging,
+/// which is fine for this library's single-threaded drivers.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// One log statement. Streams into an internal buffer and emits on
+/// destruction; kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed LogMessage expression into void so it can sit in the
+/// false branch of the MIDAS_CHECK ternary. operator& binds looser than <<.
+class Voidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+
+#define MIDAS_LOG(level)                                                  \
+  ::midas::internal::LogMessage(::midas::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// Invariant check, active in all build modes: database-style code keeps its
+/// checks on in release builds. Supports streaming extra context:
+///   MIDAS_CHECK(i < n) << "index " << i;
+#define MIDAS_CHECK(cond)                                             \
+  (cond) ? (void)0                                                    \
+         : ::midas::internal::Voidify() &                             \
+               ::midas::internal::LogMessage(::midas::LogLevel::kFatal, \
+                                             __FILE__, __LINE__)      \
+                   << "Check failed: " #cond " "
+
+#define MIDAS_DCHECK(cond) MIDAS_CHECK(cond)
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_LOGGING_H_

@@ -1,0 +1,133 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace midas {
+
+StatusOr<double> Mean(const std::vector<double>& v) {
+  if (v.empty()) return Status::InvalidArgument("Mean of empty vector");
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+StatusOr<double> Variance(const std::vector<double>& v) {
+  if (v.size() < 2) {
+    return Status::InvalidArgument("Variance requires at least two values");
+  }
+  MIDAS_ASSIGN_OR_RETURN(double mu, Mean(v));
+  double ss = 0.0;
+  for (double x : v) ss += (x - mu) * (x - mu);
+  return ss / static_cast<double>(v.size() - 1);
+}
+
+StatusOr<double> StdDev(const std::vector<double>& v) {
+  MIDAS_ASSIGN_OR_RETURN(double var, Variance(v));
+  return std::sqrt(var);
+}
+
+StatusOr<double> Min(const std::vector<double>& v) {
+  if (v.empty()) return Status::InvalidArgument("Min of empty vector");
+  return *std::min_element(v.begin(), v.end());
+}
+
+StatusOr<double> Max(const std::vector<double>& v) {
+  if (v.empty()) return Status::InvalidArgument("Max of empty vector");
+  return *std::max_element(v.begin(), v.end());
+}
+
+StatusOr<double> Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return Status::InvalidArgument("Quantile of empty vector");
+  if (q < 0.0 || q > 1.0) {
+    return Status::InvalidArgument("Quantile q must be in [0, 1]");
+  }
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+StatusOr<double> Median(std::vector<double> v) {
+  return Quantile(std::move(v), 0.5);
+}
+
+StatusOr<double> MeanRelativeError(const std::vector<double>& predicted,
+                                   const std::vector<double>& actual) {
+  if (predicted.size() != actual.size()) {
+    return Status::InvalidArgument("MRE: size mismatch");
+  }
+  if (predicted.empty()) {
+    return Status::InvalidArgument("MRE of empty vectors");
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (actual[i] == 0.0) {
+      return Status::InvalidArgument("MRE: actual value is zero");
+    }
+    sum += std::abs(predicted[i] - actual[i]) / std::abs(actual[i]);
+  }
+  return sum / static_cast<double>(predicted.size());
+}
+
+StatusOr<double> RootMeanSquaredError(const std::vector<double>& predicted,
+                                      const std::vector<double>& actual) {
+  if (predicted.size() != actual.size()) {
+    return Status::InvalidArgument("RMSE: size mismatch");
+  }
+  if (predicted.empty()) {
+    return Status::InvalidArgument("RMSE of empty vectors");
+  }
+  double ss = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(predicted.size()));
+}
+
+StatusOr<double> PearsonCorrelation(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("Correlation: size mismatch");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("Correlation requires at least two values");
+  }
+  MIDAS_ASSIGN_OR_RETURN(double ma, Mean(a));
+  MIDAS_ASSIGN_OR_RETURN(double mb, Mean(b));
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sab += (a[i] - ma) * (b[i] - mb);
+    saa += (a[i] - ma) * (a[i] - ma);
+    sbb += (b[i] - mb) * (b[i] - mb);
+  }
+  if (saa == 0.0 || sbb == 0.0) {
+    return Status::InvalidArgument("Correlation of constant input");
+  }
+  return sab / std::sqrt(saa * sbb);
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace midas

@@ -1,0 +1,65 @@
+#ifndef MIDAS_COMMON_STATISTICS_H_
+#define MIDAS_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace midas {
+
+/// Descriptive statistics over vectors of doubles. All functions return an
+/// error on empty input rather than NaN so that callers surface mistakes
+/// early.
+
+StatusOr<double> Mean(const std::vector<double>& v);
+
+/// Sample variance (divides by n-1); requires at least two values.
+StatusOr<double> Variance(const std::vector<double>& v);
+
+StatusOr<double> StdDev(const std::vector<double>& v);
+
+StatusOr<double> Min(const std::vector<double>& v);
+StatusOr<double> Max(const std::vector<double>& v);
+
+/// Linear-interpolation quantile, q in [0, 1].
+StatusOr<double> Quantile(std::vector<double> v, double q);
+StatusOr<double> Median(std::vector<double> v);
+
+/// Mean Relative Error (Eq. 15 of the paper):
+///   (1/M) * sum_i |predicted_i - actual_i| / actual_i.
+/// Requires equal-length non-empty inputs and non-zero actual values.
+StatusOr<double> MeanRelativeError(const std::vector<double>& predicted,
+                                   const std::vector<double>& actual);
+
+/// Root mean squared error between equal-length non-empty vectors.
+StatusOr<double> RootMeanSquaredError(const std::vector<double>& predicted,
+                                      const std::vector<double>& actual);
+
+/// Pearson correlation; requires length >= 2 and non-constant inputs.
+StatusOr<double> PearsonCorrelation(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+/// Running single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_STATISTICS_H_

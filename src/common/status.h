@@ -1,0 +1,172 @@
+#ifndef MIDAS_COMMON_STATUS_H_
+#define MIDAS_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace midas {
+
+/// \brief Error category carried by a Status.
+///
+/// The set is deliberately small: codes are for dispatch, messages are for
+/// humans. Modelled on the Arrow/RocksDB status idiom — library code returns
+/// Status / StatusOr instead of throwing across the API boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail without a payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status text when not OK. For use in tests,
+  /// examples and benchmarks where failure is a bug.
+  void CheckOK() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessors mirror the Arrow Result API: ok()/status()/value()/
+/// ValueOrDie(). Dereferencing a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value, mirroring `return value;` in
+  /// functions declared to return StatusOr<T>.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status.
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(rep_).ok()) {
+      // A StatusOr must hold either a value or an *error*.
+      std::get<Status>(rep_) =
+          Status::Internal("StatusOr constructed with OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    DieIfError();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    DieIfError();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    DieIfError();
+    return std::move(std::get<T>(rep_));
+  }
+
+  /// Moves the value out, aborting if this holds an error.
+  T ValueOrDie() && {
+    DieIfError();
+    return std::move(std::get<T>(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void DieIfError() const {
+    if (!ok()) {
+      std::get<Status>(rep_).CheckOK();
+    }
+  }
+
+  std::variant<Status, T> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define MIDAS_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::midas::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating the error or binding the
+/// value to `lhs`.
+#define MIDAS_ASSIGN_OR_RETURN(lhs, expr)                    \
+  MIDAS_ASSIGN_OR_RETURN_IMPL_(                              \
+      MIDAS_STATUS_CONCAT_(_status_or, __LINE__), lhs, expr)
+
+#define MIDAS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define MIDAS_STATUS_CONCAT_(a, b) MIDAS_STATUS_CONCAT_IMPL_(a, b)
+#define MIDAS_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_STATUS_H_

@@ -1,0 +1,45 @@
+#ifndef MIDAS_COMMON_TEXT_TABLE_H_
+#define MIDAS_COMMON_TEXT_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace midas {
+
+/// \brief Fixed-column ASCII table printer used by the benchmark harnesses to
+/// reproduce the paper's tables.
+///
+/// Usage:
+///   TextTable t({"Query", "BML_N", "DREAM"});
+///   t.AddRow({"12", "0.265", "0.146"});
+///   t.Print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; missing cells are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  void Print(std::ostream& os) const;
+
+  /// Renders the table to a string (used by tests).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_TEXT_TABLE_H_

@@ -1,0 +1,48 @@
+#include "engine/cost_profile.h"
+
+namespace midas {
+
+CostProfile DefaultCostProfile(EngineKind kind) {
+  CostProfile p;
+  switch (kind) {
+    case EngineKind::kHive:
+      // MapReduce job launch dominates short queries; scan-heavy engine.
+      p.startup_seconds = 12.0;
+      p.scan_mib_per_second = 60.0;
+      p.cpu_tuple_seconds = 3e-6;
+      p.join_tuple_seconds = 8e-6;
+      p.materialize_mib_per_second = 80.0;
+      p.serial_fraction = 0.08;
+      p.distributed = true;
+      break;
+    case EngineKind::kPostgres:
+      // Instant start, fast tuples, single node.
+      p.startup_seconds = 0.05;
+      p.scan_mib_per_second = 220.0;
+      p.cpu_tuple_seconds = 8e-7;
+      p.join_tuple_seconds = 2e-6;
+      p.materialize_mib_per_second = 300.0;
+      p.serial_fraction = 1.0;  // irrelevant: not distributed
+      p.distributed = false;
+      break;
+    case EngineKind::kSpark:
+      // In-memory distributed engine, modest startup.
+      p.startup_seconds = 3.0;
+      p.scan_mib_per_second = 150.0;
+      p.cpu_tuple_seconds = 1.2e-6;
+      p.join_tuple_seconds = 3e-6;
+      p.materialize_mib_per_second = 250.0;
+      p.serial_fraction = 0.05;
+      p.distributed = true;
+      break;
+  }
+  return p;
+}
+
+double EffectiveParallelism(const CostProfile& profile, int nodes) {
+  if (!profile.distributed || nodes <= 1) return 1.0;
+  const double n = nodes;
+  return n / (1.0 + profile.serial_fraction * (n - 1.0));
+}
+
+}  // namespace midas

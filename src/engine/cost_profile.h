@@ -1,0 +1,41 @@
+#ifndef MIDAS_ENGINE_COST_PROFILE_H_
+#define MIDAS_ENGINE_COST_PROFILE_H_
+
+#include "federation/engine_kind.h"
+
+namespace midas {
+
+/// \brief Analytical cost parameters of one execution engine.
+///
+/// Calibrated to the qualitative behaviour of the paper's engines:
+/// Hive pays a large MapReduce job-startup latency but scans scale out;
+/// PostgreSQL starts instantly, processes tuples fast, but is single-node;
+/// Spark sits in between with in-memory rates and modest startup.
+struct CostProfile {
+  /// Fixed latency to launch a job/session on this engine (seconds).
+  double startup_seconds = 0.0;
+  /// Sequential scan throughput per worker node (MiB/s).
+  double scan_mib_per_second = 100.0;
+  /// CPU cost per tuple flowing through a unary operator (seconds).
+  double cpu_tuple_seconds = 1e-6;
+  /// CPU cost per produced join output tuple (seconds).
+  double join_tuple_seconds = 4e-6;
+  /// Intermediate materialisation / shuffle throughput (MiB/s).
+  double materialize_mib_per_second = 200.0;
+  /// Serial fraction for Amdahl scaling; effective parallelism of n nodes
+  /// is n / (1 + serial_fraction * (n - 1)).
+  double serial_fraction = 0.05;
+  /// Engines that cannot scale out ignore num_nodes for compute.
+  bool distributed = true;
+};
+
+/// Reference profile for each engine kind.
+CostProfile DefaultCostProfile(EngineKind kind);
+
+/// Effective speedup of `nodes` workers under the profile's Amdahl model
+/// (>= 1; exactly 1 for non-distributed engines).
+double EffectiveParallelism(const CostProfile& profile, int nodes);
+
+}  // namespace midas
+
+#endif  // MIDAS_ENGINE_COST_PROFILE_H_

@@ -1,0 +1,42 @@
+#include "engine/variance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace midas {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+constexpr double kMinLoad = 0.05;
+}  // namespace
+
+VarianceModel::VarianceModel(VarianceOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {}
+
+double VarianceModel::SeasonalFactor(double t) const {
+  if (options_.drift_amplitude == 0.0 || options_.drift_period <= 0.0) {
+    return 1.0;
+  }
+  return 1.0 + options_.drift_amplitude *
+                   std::sin(kTwoPi * t / options_.drift_period +
+                            options_.drift_phase);
+}
+
+double VarianceModel::LoadFactor(double t) {
+  // Advance the AR(1) log-state one step.
+  if (options_.ar_sigma > 0.0) {
+    ar_log_state_ = options_.ar_coefficient * ar_log_state_ +
+                    rng_.Gaussian(0.0, options_.ar_sigma);
+  }
+  const double factor = SeasonalFactor(t) * std::exp(ar_log_state_);
+  return std::max(kMinLoad, factor);
+}
+
+double VarianceModel::NoiseMultiplier() {
+  if (options_.noise_sigma <= 0.0) return 1.0;
+  // Mean-one log-normal: E[exp(N(mu, s^2))] = exp(mu + s^2/2) = 1.
+  const double mu = -0.5 * options_.noise_sigma * options_.noise_sigma;
+  return rng_.LogNormal(mu, options_.noise_sigma);
+}
+
+}  // namespace midas

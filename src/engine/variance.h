@@ -1,0 +1,66 @@
+#ifndef MIDAS_ENGINE_VARIANCE_H_
+#define MIDAS_ENGINE_VARIANCE_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace midas {
+
+/// \brief Parameters of the cloud variance model.
+///
+/// A cloud federation's performance is non-stationary (§1: load evolution,
+/// multi-tenancy, wide-range communications). We model the slowdown of a
+/// site at logical time t as
+///
+///   load(t) = (1 + A sin(2π t / P + φ)) · ar(t)
+///
+/// — a seasonal component (diurnal load waves) times a smooth AR(1) random
+/// walk (unpredictable medium-term congestion) — and each individual
+/// execution additionally draws a mean-one log-normal noise multiplier
+/// (measurement-level jitter). Setting amplitude and sigmas to zero yields
+/// a stationary, deterministic environment (ablation A2).
+struct VarianceOptions {
+  /// Per-execution multiplicative noise: sigma of the underlying normal.
+  /// Run-to-run jitter of a dedicated cluster is a few percent.
+  double noise_sigma = 0.05;
+  /// Seasonal amplitude A (fraction of the mean; 0.5 = ±50% swings —
+  /// multi-tenant clouds routinely show 2x diurnal slowdowns).
+  double drift_amplitude = 0.5;
+  /// Seasonal period P in logical time units (one unit = one query).
+  double drift_period = 100.0;
+  /// Seasonal phase φ in radians (sites get distinct phases).
+  double drift_phase = 0.0;
+  /// AR(1) smoothing coefficient in [0, 1); closer to 1 = slower drift.
+  double ar_coefficient = 0.9;
+  /// Innovation sigma of the AR(1) log-process.
+  double ar_sigma = 0.06;
+};
+
+/// \brief Stateful load/noise generator for one site.
+class VarianceModel {
+ public:
+  VarianceModel(VarianceOptions options, uint64_t seed);
+
+  /// Multiplicative slowdown at logical time t. Calling with increasing t
+  /// advances the AR(1) state one step per call. Always >= 0.05.
+  double LoadFactor(double t);
+
+  /// Mean-one log-normal execution jitter.
+  double NoiseMultiplier();
+
+  /// Expected (noise-free, AR-free) seasonal factor at time t — the
+  /// "ground truth" component a perfect estimator could learn.
+  double SeasonalFactor(double t) const;
+
+  const VarianceOptions& options() const { return options_; }
+
+ private:
+  VarianceOptions options_;
+  Rng rng_;
+  double ar_log_state_ = 0.0;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_ENGINE_VARIANCE_H_

@@ -1,0 +1,24 @@
+#include "federation/engine_kind.h"
+
+namespace midas {
+
+std::string EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kHive:
+      return "Hive";
+    case EngineKind::kPostgres:
+      return "PostgreSQL";
+    case EngineKind::kSpark:
+      return "Spark";
+  }
+  return "?";
+}
+
+StatusOr<EngineKind> EngineKindFromName(const std::string& name) {
+  if (name == "Hive") return EngineKind::kHive;
+  if (name == "PostgreSQL") return EngineKind::kPostgres;
+  if (name == "Spark") return EngineKind::kSpark;
+  return Status::NotFound("unknown engine: " + name);
+}
+
+}  // namespace midas

@@ -1,0 +1,26 @@
+#ifndef MIDAS_FEDERATION_ENGINE_KIND_H_
+#define MIDAS_FEDERATION_ENGINE_KIND_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace midas {
+
+/// \brief Database engines a federation site can host — the multi-engine
+/// environment of the paper's evaluation (Hive + PostgreSQL, with Spark as
+/// the third engine the MIDAS architecture diagram names).
+enum class EngineKind {
+  kHive = 0,
+  kPostgres = 1,
+  kSpark = 2,
+};
+
+inline constexpr int kNumEngineKinds = 3;
+
+std::string EngineKindName(EngineKind kind);
+StatusOr<EngineKind> EngineKindFromName(const std::string& name);
+
+}  // namespace midas
+
+#endif  // MIDAS_FEDERATION_ENGINE_KIND_H_

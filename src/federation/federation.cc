@@ -1,0 +1,138 @@
+#include "federation/federation.h"
+
+namespace midas {
+
+StatusOr<SiteId> Federation::AddSite(SiteConfig config) {
+  for (const CloudSite& s : sites_) {
+    if (s.name() == config.name) {
+      return Status::AlreadyExists("duplicate site name: " + config.name);
+    }
+  }
+  const SiteId id = sites_.size();
+  sites_.emplace_back(id, std::move(config));
+  network_.Resize(sites_.size());
+  return id;
+}
+
+StatusOr<const CloudSite*> Federation::site(SiteId id) const {
+  if (id >= sites_.size()) return Status::OutOfRange("bad site id");
+  return &sites_[id];
+}
+
+StatusOr<SiteId> Federation::FindSiteByName(const std::string& name) const {
+  for (const CloudSite& s : sites_) {
+    if (s.name() == name) return s.id();
+  }
+  return Status::NotFound("no site named " + name);
+}
+
+Status Federation::PlaceTable(const std::string& table, SiteId site_id,
+                              EngineKind engine) {
+  MIDAS_ASSIGN_OR_RETURN(const CloudSite* s, site(site_id));
+  if (!s->HostsEngine(engine)) {
+    return Status::InvalidArgument("site " + s->name() + " does not host " +
+                                   EngineKindName(engine));
+  }
+  placements_[table] = Placement{site_id, engine};
+  return Status::OK();
+}
+
+StatusOr<Federation::Placement> Federation::TablePlacement(
+    const std::string& table) const {
+  auto it = placements_.find(table);
+  if (it == placements_.end()) {
+    return Status::NotFound("table has no placement: " + table);
+  }
+  return it->second;
+}
+
+std::vector<SiteId> Federation::SitesWithEngine(EngineKind kind) const {
+  std::vector<SiteId> out;
+  for (const CloudSite& s : sites_) {
+    if (s.HostsEngine(kind)) out.push_back(s.id());
+  }
+  return out;
+}
+
+Federation Federation::PaperFederation() {
+  Federation fed;
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+
+  SiteConfig cloud_a;
+  cloud_a.name = "cloud-A";
+  cloud_a.provider = ProviderKind::kAmazon;
+  cloud_a.engines = {EngineKind::kHive, EngineKind::kSpark};
+  cloud_a.node_type = catalog.Find("a1.xlarge").ValueOrDie();
+  cloud_a.max_nodes = 16;
+  const SiteId a = fed.AddSite(cloud_a).ValueOrDie();
+
+  SiteConfig cloud_b;
+  cloud_b.name = "cloud-B";
+  cloud_b.provider = ProviderKind::kMicrosoft;
+  cloud_b.engines = {EngineKind::kPostgres};
+  cloud_b.node_type = catalog.Find("B2S").ValueOrDie();
+  cloud_b.max_nodes = 8;
+  const SiteId b = fed.AddSite(cloud_b).ValueOrDie();
+
+  NetworkLink wan;
+  wan.bandwidth_mbps = 100.0;
+  wan.latency_ms = 40.0;
+  wan.egress_price_per_gib = 0.09;  // AWS inter-region egress tier
+  fed.network().SetLink(a, b, wan).CheckOK();
+  wan.egress_price_per_gib = 0.087;  // Azure outbound tier
+  fed.network().SetLink(b, a, wan).CheckOK();
+  return fed;
+}
+
+Federation Federation::ThreeCloudFederation() {
+  Federation fed = PaperFederation();
+  const InstanceCatalog catalog = InstanceCatalog::ExtendedThreeProviders();
+
+  SiteConfig cloud_c;
+  cloud_c.name = "cloud-C";
+  cloud_c.provider = ProviderKind::kGoogle;
+  cloud_c.engines = {EngineKind::kSpark, EngineKind::kPostgres};
+  cloud_c.node_type = catalog.Find("e2-medium").ValueOrDie();
+  cloud_c.max_nodes = 16;
+  const SiteId c = fed.AddSite(cloud_c).ValueOrDie();
+
+  const SiteId a = fed.FindSiteByName("cloud-A").ValueOrDie();
+  const SiteId b = fed.FindSiteByName("cloud-B").ValueOrDie();
+  NetworkLink wan;
+  wan.bandwidth_mbps = 150.0;
+  wan.latency_ms = 30.0;
+  wan.egress_price_per_gib = 0.09;  // AWS egress
+  fed.network().SetLink(a, c, wan).CheckOK();
+  wan.egress_price_per_gib = 0.087;  // Azure egress
+  fed.network().SetLink(b, c, wan).CheckOK();
+  wan.egress_price_per_gib = 0.12;  // GCP premium-tier egress
+  fed.network().SetLink(c, a, wan).CheckOK();
+  fed.network().SetLink(c, b, wan).CheckOK();
+  return fed;
+}
+
+Federation Federation::PaperPrivateCloud() {
+  Federation fed;
+  // §4.1: three machines, 4 x 2.4 GHz CPU, 8 GiB memory, 80 GiB disk each.
+  InstanceType node;
+  node.provider = ProviderKind::kPrivate;
+  node.name = "galactica-node";
+  node.vcpu = 4;
+  node.memory_gib = 8.0;
+  node.storage_gib = 80.0;
+  // A private cluster has no rental price; we assign the amortised
+  // cost-equivalent of the closest public shape (a1.xlarge) so that the
+  // monetary metric stays meaningful.
+  node.price_per_hour = 0.0197;
+
+  SiteConfig cfg;
+  cfg.name = "galactica";
+  cfg.provider = ProviderKind::kPrivate;
+  cfg.engines = {EngineKind::kHive, EngineKind::kPostgres, EngineKind::kSpark};
+  cfg.node_type = node;
+  cfg.max_nodes = 3;
+  fed.AddSite(cfg).ValueOrDie();
+  return fed;
+}
+
+}  // namespace midas

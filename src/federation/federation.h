@@ -1,0 +1,71 @@
+#ifndef MIDAS_FEDERATION_FEDERATION_H_
+#define MIDAS_FEDERATION_FEDERATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "federation/network.h"
+#include "federation/site.h"
+
+namespace midas {
+
+/// \brief The cloud federation: the set of interconnected sites, their
+/// network, and the placement of base tables onto sites/engines.
+///
+/// This is the environment every query plan is annotated against and the
+/// execution simulator runs in.
+class Federation {
+ public:
+  Federation() = default;
+
+  /// Adds a site and returns its id. Site names must be unique.
+  StatusOr<SiteId> AddSite(SiteConfig config);
+
+  size_t num_sites() const { return sites_.size(); }
+  StatusOr<const CloudSite*> site(SiteId id) const;
+  StatusOr<SiteId> FindSiteByName(const std::string& name) const;
+  const std::vector<CloudSite>& sites() const { return sites_; }
+
+  NetworkModel& network() { return network_; }
+  const NetworkModel& network() const { return network_; }
+
+  /// Records that a base table lives at `site` inside `engine`. A table has
+  /// exactly one home in this model (the paper's scenario: Patient on
+  /// cloud A in Hive, GeneralInfo on cloud B in PostgreSQL).
+  Status PlaceTable(const std::string& table, SiteId site, EngineKind engine);
+
+  struct Placement {
+    SiteId site;
+    EngineKind engine;
+  };
+  StatusOr<Placement> TablePlacement(const std::string& table) const;
+
+  /// All sites hosting a given engine.
+  std::vector<SiteId> SitesWithEngine(EngineKind kind) const;
+
+  /// Two-provider medical federation of the paper's running example:
+  /// cloud-A = Amazon (Hive + Spark, a1.xlarge nodes),
+  /// cloud-B = Microsoft (PostgreSQL, B2S nodes),
+  /// 100 Mbps WAN with published egress prices.
+  static Federation PaperFederation();
+
+  /// The private 3-node cluster of §4.1 (one site, Hive + PostgreSQL +
+  /// Spark), used for the TPC-H experiments.
+  static Federation PaperPrivateCloud();
+
+  /// Paper §5 future work — a third provider: cloud-A (Amazon, Hive +
+  /// Spark), cloud-B (Microsoft, PostgreSQL), cloud-C (Google, Spark +
+  /// PostgreSQL), fully meshed WAN with per-provider egress prices.
+  static Federation ThreeCloudFederation();
+
+ private:
+  std::vector<CloudSite> sites_;
+  NetworkModel network_;
+  std::map<std::string, Placement> placements_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_FEDERATION_FEDERATION_H_

@@ -1,0 +1,87 @@
+#include "federation/instance.h"
+
+#include <limits>
+
+namespace midas {
+
+std::string ProviderKindName(ProviderKind kind) {
+  switch (kind) {
+    case ProviderKind::kAmazon:
+      return "Amazon";
+    case ProviderKind::kMicrosoft:
+      return "Microsoft";
+    case ProviderKind::kGoogle:
+      return "Google";
+    case ProviderKind::kPrivate:
+      return "Private";
+  }
+  return "?";
+}
+
+InstanceCatalog InstanceCatalog::PaperTable1() {
+  InstanceCatalog catalog;
+  // Amazon a1 family — "EBS-Only" means no bundled storage.
+  catalog.Add({ProviderKind::kAmazon, "a1.medium", 1, 2.0, 0.0, 0.0049});
+  catalog.Add({ProviderKind::kAmazon, "a1.large", 2, 4.0, 0.0, 0.0098});
+  catalog.Add({ProviderKind::kAmazon, "a1.xlarge", 4, 8.0, 0.0, 0.0197});
+  catalog.Add({ProviderKind::kAmazon, "a1.2xlarge", 8, 16.0, 0.0, 0.0394});
+  catalog.Add({ProviderKind::kAmazon, "a1.4xlarge", 16, 32.0, 0.0, 0.0788});
+  // Microsoft B family — storage bundled.
+  catalog.Add({ProviderKind::kMicrosoft, "B1S", 1, 1.0, 2.0, 0.011});
+  catalog.Add({ProviderKind::kMicrosoft, "B1MS", 1, 2.0, 4.0, 0.021});
+  catalog.Add({ProviderKind::kMicrosoft, "B2S", 2, 4.0, 8.0, 0.042});
+  catalog.Add({ProviderKind::kMicrosoft, "B2MS", 2, 8.0, 16.0, 0.084});
+  catalog.Add({ProviderKind::kMicrosoft, "B4MS", 4, 16.0, 32.0, 0.166});
+  catalog.Add({ProviderKind::kMicrosoft, "B8MS", 8, 32.0, 64.0, 0.333});
+  return catalog;
+}
+
+InstanceCatalog InstanceCatalog::ExtendedThreeProviders() {
+  InstanceCatalog catalog = PaperTable1();
+  // Google e2 family, on-demand (storage unbundled like Amazon's EBS).
+  catalog.Add({ProviderKind::kGoogle, "e2-micro", 2, 1.0, 0.0, 0.0084});
+  catalog.Add({ProviderKind::kGoogle, "e2-small", 2, 2.0, 0.0, 0.0168});
+  catalog.Add({ProviderKind::kGoogle, "e2-medium", 2, 4.0, 0.0, 0.0335});
+  catalog.Add({ProviderKind::kGoogle, "e2-standard-4", 4, 16.0, 0.0, 0.134});
+  catalog.Add({ProviderKind::kGoogle, "e2-standard-8", 8, 32.0, 0.0, 0.268});
+  return catalog;
+}
+
+void InstanceCatalog::Add(InstanceType type) {
+  types_.push_back(std::move(type));
+}
+
+StatusOr<InstanceType> InstanceCatalog::Find(const std::string& name) const {
+  for (const InstanceType& t : types_) {
+    if (t.name == name) return t;
+  }
+  return Status::NotFound("instance type not in catalogue: " + name);
+}
+
+std::vector<InstanceType> InstanceCatalog::ByProvider(
+    ProviderKind provider) const {
+  std::vector<InstanceType> out;
+  for (const InstanceType& t : types_) {
+    if (t.provider == provider) out.push_back(t);
+  }
+  return out;
+}
+
+StatusOr<InstanceType> InstanceCatalog::CheapestSatisfying(
+    int min_vcpu, double min_memory_gib,
+    std::optional<ProviderKind> provider) const {
+  const InstanceType* best = nullptr;
+  for (const InstanceType& t : types_) {
+    if (provider.has_value() && t.provider != *provider) continue;
+    if (t.vcpu < min_vcpu || t.memory_gib < min_memory_gib) continue;
+    if (best == nullptr || t.price_per_hour < best->price_per_hour) {
+      best = &t;
+    }
+  }
+  if (best == nullptr) {
+    return Status::NotFound("no instance satisfies the resource request");
+  }
+  return *best;
+}
+
+}  // namespace midas

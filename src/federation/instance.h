@@ -1,0 +1,69 @@
+#ifndef MIDAS_FEDERATION_INSTANCE_H_
+#define MIDAS_FEDERATION_INSTANCE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace midas {
+
+/// \brief Cloud service provider selling VM instances.
+enum class ProviderKind {
+  kAmazon = 0,
+  kMicrosoft = 1,
+  kGoogle = 2,
+  kPrivate = 3,
+};
+
+std::string ProviderKindName(ProviderKind kind);
+
+/// \brief One purchasable VM shape — a row of the paper's Table 1.
+struct InstanceType {
+  ProviderKind provider = ProviderKind::kAmazon;
+  std::string name;
+  int vcpu = 1;
+  double memory_gib = 1.0;
+  /// 0 means storage is not bundled (Amazon "EBS-Only").
+  double storage_gib = 0.0;
+  double price_per_hour = 0.0;
+};
+
+/// \brief Catalogue of instance types offered across providers.
+class InstanceCatalog {
+ public:
+  InstanceCatalog() = default;
+
+  /// The exact pricing table of the paper (Table 1): Amazon a1.medium …
+  /// a1.4xlarge and Microsoft B1S … B8MS.
+  static InstanceCatalog PaperTable1();
+
+  /// Table 1 extended with a third provider (paper §5's future work:
+  /// "validate our proposal with more cloud providers"): Google Cloud
+  /// e2 shapes at their on-demand prices.
+  static InstanceCatalog ExtendedThreeProviders();
+
+  void Add(InstanceType type);
+
+  size_t size() const { return types_.size(); }
+  const std::vector<InstanceType>& types() const { return types_; }
+
+  /// Lookup by instance name ("a1.large"). NotFound when missing.
+  StatusOr<InstanceType> Find(const std::string& name) const;
+
+  std::vector<InstanceType> ByProvider(ProviderKind provider) const;
+
+  /// Cheapest instance with at least the requested vCPU and memory,
+  /// optionally restricted to one provider. NotFound when nothing fits.
+  StatusOr<InstanceType> CheapestSatisfying(
+      int min_vcpu, double min_memory_gib,
+      std::optional<ProviderKind> provider = std::nullopt) const;
+
+ private:
+  std::vector<InstanceType> types_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_FEDERATION_INSTANCE_H_

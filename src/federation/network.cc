@@ -1,0 +1,73 @@
+#include "federation/network.h"
+
+#include <algorithm>
+
+namespace midas {
+
+namespace {
+constexpr double kBitsPerMegabit = 1e6;
+constexpr double kBytesPerGib = 1024.0 * 1024.0 * 1024.0;
+}  // namespace
+
+NetworkModel::NetworkModel(size_t num_sites) { Resize(num_sites); }
+
+void NetworkModel::Resize(size_t num_sites) {
+  // Preserve already-configured links (a federation grows one site at a
+  // time after links may have been set).
+  std::vector<NetworkLink> grown(num_sites * num_sites, NetworkLink{});
+  const size_t keep = std::min(num_sites, num_sites_);
+  for (size_t i = 0; i < keep; ++i) {
+    for (size_t j = 0; j < keep; ++j) {
+      grown[i * num_sites + j] = links_[i * num_sites_ + j];
+    }
+  }
+  num_sites_ = num_sites;
+  links_ = std::move(grown);
+}
+
+Status NetworkModel::CheckIds(SiteId a, SiteId b) const {
+  if (a >= num_sites_ || b >= num_sites_) {
+    return Status::OutOfRange("site id out of range");
+  }
+  return Status::OK();
+}
+
+Status NetworkModel::SetLink(SiteId a, SiteId b, NetworkLink link) {
+  MIDAS_RETURN_IF_ERROR(CheckIds(a, b));
+  if (link.bandwidth_mbps <= 0.0) {
+    return Status::InvalidArgument("bandwidth must be positive");
+  }
+  links_[a * num_sites_ + b] = link;
+  return Status::OK();
+}
+
+Status NetworkModel::SetSymmetricLink(SiteId a, SiteId b, NetworkLink link) {
+  MIDAS_RETURN_IF_ERROR(SetLink(a, b, link));
+  return SetLink(b, a, link);
+}
+
+StatusOr<NetworkLink> NetworkModel::Link(SiteId a, SiteId b) const {
+  MIDAS_RETURN_IF_ERROR(CheckIds(a, b));
+  return links_[a * num_sites_ + b];
+}
+
+StatusOr<double> NetworkModel::TransferSeconds(SiteId a, SiteId b,
+                                               double bytes) const {
+  MIDAS_RETURN_IF_ERROR(CheckIds(a, b));
+  if (bytes < 0.0) return Status::InvalidArgument("negative byte count");
+  if (a == b) return 0.0;
+  const NetworkLink& link = links_[a * num_sites_ + b];
+  return link.latency_ms / 1000.0 +
+         bytes * 8.0 / (link.bandwidth_mbps * kBitsPerMegabit);
+}
+
+StatusOr<double> NetworkModel::TransferCost(SiteId a, SiteId b,
+                                            double bytes) const {
+  MIDAS_RETURN_IF_ERROR(CheckIds(a, b));
+  if (bytes < 0.0) return Status::InvalidArgument("negative byte count");
+  if (a == b) return 0.0;
+  const NetworkLink& link = links_[a * num_sites_ + b];
+  return link.egress_price_per_gib * bytes / kBytesPerGib;
+}
+
+}  // namespace midas

@@ -1,0 +1,52 @@
+#ifndef MIDAS_FEDERATION_NETWORK_H_
+#define MIDAS_FEDERATION_NETWORK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "federation/site.h"
+
+namespace midas {
+
+/// \brief Characteristics of one directed inter-site link. Wide-range
+/// communications are a core source of federation variance (§1).
+struct NetworkLink {
+  double bandwidth_mbps = 1000.0;
+  double latency_ms = 1.0;
+  /// What the *source* provider charges per GiB leaving its cloud.
+  double egress_price_per_gib = 0.0;
+};
+
+/// \brief Pairwise inter-site network model: bandwidth, latency and egress
+/// pricing between every pair of federation sites.
+class NetworkModel {
+ public:
+  explicit NetworkModel(size_t num_sites = 0);
+
+  void Resize(size_t num_sites);
+  size_t num_sites() const { return num_sites_; }
+
+  /// Sets the directed link a -> b.
+  Status SetLink(SiteId a, SiteId b, NetworkLink link);
+  /// Sets both directions with the same characteristics.
+  Status SetSymmetricLink(SiteId a, SiteId b, NetworkLink link);
+
+  StatusOr<NetworkLink> Link(SiteId a, SiteId b) const;
+
+  /// Seconds to move `bytes` from a to b (latency + bytes/bandwidth);
+  /// 0 for an intra-site move.
+  StatusOr<double> TransferSeconds(SiteId a, SiteId b, double bytes) const;
+
+  /// Egress dollars to move `bytes` from a to b; 0 intra-site.
+  StatusOr<double> TransferCost(SiteId a, SiteId b, double bytes) const;
+
+ private:
+  Status CheckIds(SiteId a, SiteId b) const;
+
+  size_t num_sites_ = 0;
+  std::vector<NetworkLink> links_;  // row-major num_sites x num_sites
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_FEDERATION_NETWORK_H_

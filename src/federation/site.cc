@@ -1,0 +1,26 @@
+#include "federation/site.h"
+
+#include <algorithm>
+
+namespace midas {
+
+bool CloudSite::HostsEngine(EngineKind kind) const {
+  return std::find(config_.engines.begin(), config_.engines.end(), kind) !=
+         config_.engines.end();
+}
+
+StatusOr<double> CloudSite::VmCost(int nodes, double seconds) const {
+  if (nodes <= 0) {
+    return Status::InvalidArgument("node count must be positive");
+  }
+  if (nodes > config_.max_nodes) {
+    return Status::OutOfRange("site " + config_.name + " caps at " +
+                              std::to_string(config_.max_nodes) + " nodes");
+  }
+  if (seconds < 0.0) {
+    return Status::InvalidArgument("negative duration");
+  }
+  return config_.node_type.price_per_hour * nodes * seconds / 3600.0;
+}
+
+}  // namespace midas

@@ -1,0 +1,56 @@
+#ifndef MIDAS_FEDERATION_SITE_H_
+#define MIDAS_FEDERATION_SITE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "federation/engine_kind.h"
+#include "federation/instance.h"
+
+namespace midas {
+
+/// Index of a site within its Federation.
+using SiteId = size_t;
+
+/// \brief Static description of one cloud site participating in the
+/// federation: a provider region (or a private cloud) that hosts database
+/// engines and rents VMs of one instance family.
+struct SiteConfig {
+  std::string name;
+  ProviderKind provider = ProviderKind::kAmazon;
+  /// Engines deployed at this site.
+  std::vector<EngineKind> engines;
+  /// VM shape worker nodes are rented as.
+  InstanceType node_type;
+  /// Upper bound on rentable nodes (elasticity limit).
+  int max_nodes = 16;
+};
+
+/// \brief A site instantiated inside a Federation.
+class CloudSite {
+ public:
+  CloudSite(SiteId id, SiteConfig config)
+      : id_(id), config_(std::move(config)) {}
+
+  SiteId id() const { return id_; }
+  const std::string& name() const { return config_.name; }
+  ProviderKind provider() const { return config_.provider; }
+  const InstanceType& node_type() const { return config_.node_type; }
+  int max_nodes() const { return config_.max_nodes; }
+  const std::vector<EngineKind>& engines() const { return config_.engines; }
+
+  bool HostsEngine(EngineKind kind) const;
+
+  /// Pay-as-you-go VM rental for `nodes` nodes held for `seconds`
+  /// (per-second billing, the granularity modern providers bill at).
+  StatusOr<double> VmCost(int nodes, double seconds) const;
+
+ private:
+  SiteId id_;
+  SiteConfig config_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_FEDERATION_SITE_H_

@@ -1,0 +1,43 @@
+#include "ires/history.h"
+
+namespace midas {
+
+History::History(std::vector<std::string> feature_names,
+                 std::vector<std::string> metric_names)
+    : feature_names_(std::move(feature_names)),
+      metric_names_(std::move(metric_names)) {}
+
+Status History::Record(const std::string& scope, Observation observation) {
+  auto it = scopes_.find(scope);
+  if (it == scopes_.end()) {
+    it = scopes_.emplace(scope, TrainingSet(feature_names_, metric_names_))
+             .first;
+  }
+  return it->second.Add(std::move(observation));
+}
+
+StatusOr<const TrainingSet*> History::Get(const std::string& scope) const {
+  auto it = scopes_.find(scope);
+  if (it == scopes_.end()) {
+    return Status::NotFound("no history for scope: " + scope);
+  }
+  return &it->second;
+}
+
+size_t History::SizeOf(const std::string& scope) const {
+  auto it = scopes_.find(scope);
+  return it == scopes_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> History::Scopes() const {
+  std::vector<std::string> out;
+  out.reserve(scopes_.size());
+  for (const auto& [name, unused] : scopes_) out.push_back(name);
+  return out;
+}
+
+void History::TrimAll(size_t keep) {
+  for (auto& [name, set] : scopes_) set.TrimToNewest(keep);
+}
+
+}  // namespace midas

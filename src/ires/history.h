@@ -1,0 +1,52 @@
+#ifndef MIDAS_IRES_HISTORY_H_
+#define MIDAS_IRES_HISTORY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "regression/training_set.h"
+
+namespace midas {
+
+/// \brief Store of historical cost measurements, keyed by model scope.
+///
+/// IReS keeps one cost model per operator/engine combination; in this
+/// library the scope key is chosen by the caller (the MIDAS system keys by
+/// query template, e.g., "tpch-q12"). Each scope holds a timestamp-ordered
+/// TrainingSet over a fixed feature/metric schema.
+class History {
+ public:
+  History(std::vector<std::string> feature_names,
+          std::vector<std::string> metric_names);
+
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::vector<std::string>& metric_names() const {
+    return metric_names_;
+  }
+
+  /// Appends one observation to a scope (creating the scope on first use).
+  Status Record(const std::string& scope, Observation observation);
+
+  /// The scope's training set; NotFound before the first Record.
+  StatusOr<const TrainingSet*> Get(const std::string& scope) const;
+
+  /// Number of observations in a scope (0 when absent).
+  size_t SizeOf(const std::string& scope) const;
+
+  std::vector<std::string> Scopes() const;
+
+  /// Prunes every scope to its newest `keep` observations.
+  void TrimAll(size_t keep);
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> metric_names_;
+  std::map<std::string, TrainingSet> scopes_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_IRES_HISTORY_H_

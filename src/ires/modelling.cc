@@ -1,0 +1,82 @@
+#include "ires/modelling.h"
+
+#include <algorithm>
+
+namespace midas {
+
+EstimatorConfig EstimatorConfig::DreamDefault() {
+  EstimatorConfig cfg;
+  cfg.kind = EstimatorKind::kDream;
+  return cfg;
+}
+
+EstimatorConfig EstimatorConfig::Bml(WindowPolicy window) {
+  EstimatorConfig cfg;
+  cfg.kind = EstimatorKind::kBml;
+  cfg.window = window;
+  return cfg;
+}
+
+std::string EstimatorName(const EstimatorConfig& config) {
+  if (config.kind == EstimatorKind::kDream) return "DREAM";
+  return WindowPolicyName(config.window);
+}
+
+Modelling::Modelling(std::vector<std::string> feature_names,
+                     std::vector<std::string> metric_names, uint64_t seed)
+    : history_(std::move(feature_names), std::move(metric_names)) {
+  selector_.AddDefaultCandidates(seed);
+}
+
+Status Modelling::Record(const std::string& scope, Observation observation) {
+  return history_.Record(scope, std::move(observation));
+}
+
+StatusOr<Vector> Modelling::Predict(const std::string& scope, const Vector& x,
+                                    const EstimatorConfig& config) const {
+  MIDAS_ASSIGN_OR_RETURN(const TrainingSet* set, history_.Get(scope));
+  if (x.size() != num_features()) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  StatusOr<Vector> prediction =
+      config.kind == EstimatorKind::kDream
+          ? [&]() -> StatusOr<Vector> {
+              Dream dream(config.dream);
+              return dream.PredictCosts(*set, x);
+            }()
+          : PredictBml(*set, x, config.window);
+  if (!prediction.ok()) return prediction;
+  // Costs are physical quantities; an extrapolating model can go negative
+  // on out-of-hull feature points, which no caller can use.
+  for (double& c : *prediction) c = std::max(0.0, c);
+  return prediction;
+}
+
+StatusOr<Vector> Modelling::PredictBml(const TrainingSet& set, const Vector& x,
+                                       WindowPolicy window) const {
+  const size_t m =
+      WindowSizeFor(window, BaseWindow(), set.size());
+  if (m < BaseWindow()) {
+    return Status::FailedPrecondition(
+        "history smaller than the base window N");
+  }
+  MIDAS_ASSIGN_OR_RETURN(std::vector<Vector> xs, set.RecentFeatures(m));
+  Vector prediction(num_metrics(), 0.0);
+  // IReS trains one model per metric; the best learner may differ between
+  // execution time and money.
+  for (size_t metric = 0; metric < num_metrics(); ++metric) {
+    MIDAS_ASSIGN_OR_RETURN(Vector ys, set.RecentCosts(m, metric));
+    MIDAS_ASSIGN_OR_RETURN(SelectedModel model, selector_.SelectBest(xs, ys));
+    MIDAS_ASSIGN_OR_RETURN(prediction[metric], model.learner->Predict(x));
+  }
+  return prediction;
+}
+
+StatusOr<DreamEstimate> Modelling::DreamDiagnostics(
+    const std::string& scope, const DreamOptions& options) const {
+  MIDAS_ASSIGN_OR_RETURN(const TrainingSet* set, history_.Get(scope));
+  Dream dream(options);
+  return dream.EstimateCostValue(*set);
+}
+
+}  // namespace midas

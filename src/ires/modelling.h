@@ -1,0 +1,77 @@
+#ifndef MIDAS_IRES_MODELLING_H_
+#define MIDAS_IRES_MODELLING_H_
+
+#include <string>
+#include <vector>
+
+#include "ires/history.h"
+#include "ml/model_selection.h"
+#include "regression/dream.h"
+
+namespace midas {
+
+/// Which estimator the Modelling module uses for a prediction.
+enum class EstimatorKind {
+  /// The paper's contribution: incremental MLR window sized by R².
+  kDream,
+  /// IReS baseline: Best-ML model over an observation window.
+  kBml,
+};
+
+/// \brief Configuration of one prediction request.
+struct EstimatorConfig {
+  EstimatorKind kind = EstimatorKind::kDream;
+  /// DREAM parameters (kind == kDream).
+  DreamOptions dream;
+  /// BML observation window (kind == kBml); the base window N is L + 2.
+  WindowPolicy window = WindowPolicy::kAll;
+
+  static EstimatorConfig DreamDefault();
+  static EstimatorConfig Bml(WindowPolicy window);
+};
+
+/// Human-readable estimator label ("DREAM", "BML_N", ...).
+std::string EstimatorName(const EstimatorConfig& config);
+
+/// \brief The IReS Modelling module with DREAM integrated (Figure 2):
+/// stores execution feedback per scope and answers multi-metric cost
+/// predictions with either DREAM or the BML baseline.
+class Modelling {
+ public:
+  /// \param feature_names regression variables (see ires/features.h)
+  /// \param metric_names cost metrics, e.g., {"seconds", "dollars"}
+  Modelling(std::vector<std::string> feature_names,
+            std::vector<std::string> metric_names, uint64_t seed = 31);
+
+  History& history() { return history_; }
+  const History& history() const { return history_; }
+
+  size_t num_metrics() const { return history_.metric_names().size(); }
+  size_t num_features() const { return history_.feature_names().size(); }
+
+  /// The smallest statistically valid window N = L + 2.
+  size_t BaseWindow() const { return num_features() + 2; }
+
+  /// Records one execution observation for a scope.
+  Status Record(const std::string& scope, Observation observation);
+
+  /// Predicts the full cost vector of feature point `x` for `scope`.
+  StatusOr<Vector> Predict(const std::string& scope, const Vector& x,
+                           const EstimatorConfig& config) const;
+
+  /// DREAM diagnostic: the estimate (window size, per-metric R²) that a
+  /// kDream prediction for this scope would use right now.
+  StatusOr<DreamEstimate> DreamDiagnostics(const std::string& scope,
+                                           const DreamOptions& options) const;
+
+ private:
+  StatusOr<Vector> PredictBml(const TrainingSet& set, const Vector& x,
+                              WindowPolicy window) const;
+
+  History history_;
+  ModelSelector selector_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_IRES_MODELLING_H_

@@ -1,0 +1,125 @@
+#include "ires/moo_optimizer.h"
+
+#include <set>
+
+#include "optimizer/configuration_problem.h"
+#include "optimizer/pareto.h"
+#include "optimizer/wsm.h"
+
+namespace midas {
+
+std::string MoqpAlgorithmName(MoqpAlgorithm algorithm) {
+  switch (algorithm) {
+    case MoqpAlgorithm::kExhaustivePareto:
+      return "exhaustive-pareto";
+    case MoqpAlgorithm::kNsga2:
+      return "nsga2";
+    case MoqpAlgorithm::kNsgaG:
+      return "nsga-g";
+    case MoqpAlgorithm::kWsm:
+      return "wsm";
+  }
+  return "?";
+}
+
+MultiObjectiveOptimizer::MultiObjectiveOptimizer(const Federation* federation,
+                                                 const Catalog* catalog,
+                                                 MoqpOptions options)
+    : federation_(federation),
+      catalog_(catalog),
+      options_(std::move(options)) {}
+
+StatusOr<MoqpResult> MultiObjectiveOptimizer::FromCandidates(
+    std::vector<QueryPlan> plans, std::vector<Vector> costs,
+    const QueryPolicy& policy) const {
+  MoqpResult result;
+  result.candidates_examined = plans.size();
+  const std::vector<size_t> front = ParetoFrontIndices(costs);
+  result.pareto_plans.reserve(front.size());
+  result.pareto_costs.reserve(front.size());
+  // Equivalent QEPs can share identical predicted costs (e.g., commuted
+  // joins over the same features); keep one representative per cost point.
+  std::set<Vector> seen_costs;
+  for (size_t idx : front) {
+    if (!seen_costs.insert(costs[idx]).second) continue;
+    result.pareto_plans.push_back(std::move(plans[idx]));
+    result.pareto_costs.push_back(std::move(costs[idx]));
+  }
+  MIDAS_ASSIGN_OR_RETURN(result.chosen,
+                         BestInPareto(result.pareto_costs, policy));
+  return result;
+}
+
+StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
+    const QueryPlan& logical, const CostPredictor& predictor,
+    const QueryPolicy& policy) const {
+  if (!predictor) return Status::InvalidArgument("null cost predictor");
+
+  PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
+  MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
+                         enumerator.EnumeratePhysical(logical));
+
+  std::vector<Vector> costs;
+  costs.reserve(plans.size());
+  for (const QueryPlan& plan : plans) {
+    MIDAS_ASSIGN_OR_RETURN(Vector c, predictor(plan));
+    if (c.size() != policy.weights.size()) {
+      return Status::InvalidArgument("predictor/policy arity mismatch");
+    }
+    costs.push_back(std::move(c));
+  }
+
+  switch (options_.algorithm) {
+    case MoqpAlgorithm::kExhaustivePareto:
+      return FromCandidates(std::move(plans), std::move(costs), policy);
+
+    case MoqpAlgorithm::kWsm: {
+      // Figure 3, right branch: one scalar winner, no Pareto set.
+      MIDAS_ASSIGN_OR_RETURN(size_t best, WsmSelect(costs, policy.weights));
+      MoqpResult result;
+      result.candidates_examined = plans.size();
+      result.pareto_plans.push_back(std::move(plans[best]));
+      result.pareto_costs.push_back(std::move(costs[best]));
+      result.chosen = 0;
+      return result;
+    }
+
+    case MoqpAlgorithm::kNsga2:
+    case MoqpAlgorithm::kNsgaG: {
+      // Evolve over the candidate index space; the evaluator reads the
+      // predicted cost table.
+      ConfigurationProblem problem(
+          "qep-selection", {plans.size()}, costs.empty() ? 0 : costs[0].size(),
+          [&costs](const std::vector<size_t>& cfg) { return costs[cfg[0]]; });
+      MooResult moo;
+      if (options_.algorithm == MoqpAlgorithm::kNsga2) {
+        Nsga2 nsga2(options_.nsga2);
+        MIDAS_ASSIGN_OR_RETURN(moo, nsga2.Optimize(problem));
+      } else {
+        NsgaG nsga_g(options_.nsga_g);
+        MIDAS_ASSIGN_OR_RETURN(moo, nsga_g.Optimize(problem));
+      }
+      // Collect the distinct candidate plans on the evolved front.
+      std::set<size_t> seen;
+      std::vector<QueryPlan> front_plans;
+      std::vector<Vector> front_costs;
+      for (size_t i : moo.front) {
+        const size_t plan_idx =
+            problem.Decode(moo.population[i].variables)[0];
+        if (seen.insert(plan_idx).second) {
+          front_plans.push_back(plans[plan_idx]);
+          front_costs.push_back(costs[plan_idx]);
+        }
+      }
+      MoqpResult result;
+      MIDAS_ASSIGN_OR_RETURN(
+          result, FromCandidates(std::move(front_plans),
+                                 std::move(front_costs), policy));
+      result.candidates_examined = plans.size();
+      return result;
+    }
+  }
+  return Status::Internal("unhandled MOQP algorithm");
+}
+
+}  // namespace midas

@@ -1,0 +1,83 @@
+#ifndef MIDAS_IRES_MOO_OPTIMIZER_H_
+#define MIDAS_IRES_MOO_OPTIMIZER_H_
+
+#include <functional>
+#include <vector>
+
+#include "federation/federation.h"
+#include "optimizer/best_in_pareto.h"
+#include "optimizer/nsga2.h"
+#include "optimizer/nsga_g.h"
+#include "query/enumerator.h"
+
+namespace midas {
+
+/// Search strategy of the Multi-Objective Optimizer module.
+enum class MoqpAlgorithm {
+  /// Enumerate every physical plan, extract the exact Pareto front,
+  /// choose with Algorithm 2. Tractable for the paper's 2-table queries.
+  kExhaustivePareto,
+  /// NSGA-II over the candidate set (for large plan spaces), then
+  /// Algorithm 2 on the evolved front.
+  kNsga2,
+  /// NSGA-G variant of the above.
+  kNsgaG,
+  /// Figure 3's baseline: scalarise with the Weighted Sum Model up front
+  /// and return only the argmin plan (no Pareto set).
+  kWsm,
+};
+
+std::string MoqpAlgorithmName(MoqpAlgorithm algorithm);
+
+struct MoqpOptions {
+  MoqpAlgorithm algorithm = MoqpAlgorithm::kExhaustivePareto;
+  EnumeratorOptions enumerator;
+  Nsga2Options nsga2;
+  NsgaGOptions nsga_g;
+};
+
+/// \brief Outcome of one MOQP optimisation.
+struct MoqpResult {
+  /// Pareto plan set (for kWsm this holds just the selected plan).
+  std::vector<QueryPlan> pareto_plans;
+  /// Predicted cost vectors aligned with pareto_plans.
+  std::vector<Vector> pareto_costs;
+  /// Index of the plan Algorithm 2 picked for the user policy.
+  size_t chosen = 0;
+  /// Number of physical plans considered.
+  size_t candidates_examined = 0;
+
+  const QueryPlan& chosen_plan() const { return pareto_plans[chosen]; }
+  const Vector& chosen_costs() const { return pareto_costs[chosen]; }
+};
+
+/// \brief IReS' Multi-Objective Optimizer with the paper's pipeline:
+/// enumerate equivalent QEPs, predict each plan's multi-metric cost with
+/// the Modelling estimator, find the Pareto plan set, and select the final
+/// plan with BestInPareto (Algorithm 2) under the user policy.
+class MultiObjectiveOptimizer {
+ public:
+  /// Predicts the cost vector of one annotated physical plan.
+  using CostPredictor = std::function<StatusOr<Vector>(const QueryPlan&)>;
+
+  MultiObjectiveOptimizer(const Federation* federation,
+                          const Catalog* catalog,
+                          MoqpOptions options = MoqpOptions());
+
+  StatusOr<MoqpResult> Optimize(const QueryPlan& logical,
+                                const CostPredictor& predictor,
+                                const QueryPolicy& policy) const;
+
+ private:
+  StatusOr<MoqpResult> FromCandidates(std::vector<QueryPlan> plans,
+                                      std::vector<Vector> costs,
+                                      const QueryPolicy& policy) const;
+
+  const Federation* federation_;
+  const Catalog* catalog_;
+  MoqpOptions options_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_IRES_MOO_OPTIMIZER_H_

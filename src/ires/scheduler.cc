@@ -1,0 +1,42 @@
+#include "ires/scheduler.h"
+
+#include "ires/features.h"
+
+namespace midas {
+
+Vector MeasurementToCosts(const Measurement& measurement) {
+  return {measurement.seconds, measurement.dollars};
+}
+
+std::vector<std::string> StandardMetricNames() {
+  return {"seconds", "dollars"};
+}
+
+Scheduler::Scheduler(const Federation* federation,
+                     ExecutionSimulator* simulator, Modelling* modelling)
+    : federation_(federation), simulator_(simulator), modelling_(modelling) {}
+
+StatusOr<Measurement> Scheduler::ExecuteOnly(const QueryPlan& plan) {
+  if (simulator_ == nullptr) {
+    return Status::FailedPrecondition("scheduler has no simulator");
+  }
+  return simulator_->Execute(plan);
+}
+
+StatusOr<Measurement> Scheduler::ExecuteAndRecord(const std::string& scope,
+                                                  const QueryPlan& plan) {
+  if (federation_ == nullptr || simulator_ == nullptr ||
+      modelling_ == nullptr) {
+    return Status::FailedPrecondition("scheduler not fully wired");
+  }
+  MIDAS_ASSIGN_OR_RETURN(Vector features, ExtractFeatures(*federation_, plan));
+  MIDAS_ASSIGN_OR_RETURN(Measurement m, simulator_->Execute(plan));
+  Observation obs;
+  obs.timestamp = m.timestamp;
+  obs.features = std::move(features);
+  obs.costs = MeasurementToCosts(m);
+  MIDAS_RETURN_IF_ERROR(modelling_->Record(scope, std::move(obs)));
+  return m;
+}
+
+}  // namespace midas

@@ -1,0 +1,44 @@
+#ifndef MIDAS_IRES_SCHEDULER_H_
+#define MIDAS_IRES_SCHEDULER_H_
+
+#include <string>
+
+#include "engine/simulator.h"
+#include "federation/federation.h"
+#include "ires/modelling.h"
+
+namespace midas {
+
+/// \brief IReS execution layer: runs the chosen QEP on the (simulated)
+/// engines and feeds the measured costs back into the Modelling history —
+/// closing the monitor → model → optimize loop of the platform.
+class Scheduler {
+ public:
+  Scheduler(const Federation* federation, ExecutionSimulator* simulator,
+            Modelling* modelling);
+
+  /// Executes `plan`, records the (features, measured costs) observation
+  /// under `scope`, and returns the measurement.
+  StatusOr<Measurement> ExecuteAndRecord(const std::string& scope,
+                                         const QueryPlan& plan);
+
+  /// Executes without recording (e.g., validation runs whose cost must not
+  /// leak into the training history).
+  StatusOr<Measurement> ExecuteOnly(const QueryPlan& plan);
+
+ private:
+  const Federation* federation_;
+  ExecutionSimulator* simulator_;
+  Modelling* modelling_;
+};
+
+/// Packs a simulator measurement into the metric layout used across the
+/// library: {seconds, dollars}.
+Vector MeasurementToCosts(const Measurement& measurement);
+
+/// The standard metric names matching MeasurementToCosts.
+std::vector<std::string> StandardMetricNames();
+
+}  // namespace midas
+
+#endif  // MIDAS_IRES_SCHEDULER_H_

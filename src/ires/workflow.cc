@@ -1,0 +1,192 @@
+#include "ires/workflow.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+#include "optimizer/configuration_problem.h"
+#include "optimizer/nsga2.h"
+#include "optimizer/pareto.h"
+
+namespace midas {
+
+StatusOr<size_t> WorkflowDag::AddOperator(
+    std::string name, std::vector<size_t> inputs,
+    std::vector<EngineKind> candidate_engines) {
+  for (size_t input : inputs) {
+    if (input >= operators_.size()) {
+      return Status::InvalidArgument(
+          "operator input references a later/unknown operator");
+    }
+  }
+  if (candidate_engines.empty()) {
+    return Status::InvalidArgument("operator needs at least one engine");
+  }
+  const size_t id = operators_.size();
+  operators_.push_back({std::move(name), std::move(inputs),
+                        std::move(candidate_engines)});
+  return id;
+}
+
+std::vector<size_t> WorkflowDag::TopologicalOrder() const {
+  std::vector<size_t> order(operators_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  return order;  // AddOperator enforces forward-only edges
+}
+
+std::vector<size_t> WorkflowDag::Sinks() const {
+  std::vector<bool> consumed(operators_.size(), false);
+  for (const WorkflowOperator& op : operators_) {
+    for (size_t input : op.inputs) consumed[input] = true;
+  }
+  std::vector<size_t> sinks;
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    if (!consumed[i]) sinks.push_back(i);
+  }
+  return sinks;
+}
+
+Status WorkflowDag::Validate() const {
+  if (operators_.empty()) {
+    return Status::InvalidArgument("empty workflow");
+  }
+  for (const WorkflowOperator& op : operators_) {
+    if (op.candidate_engines.empty()) {
+      return Status::InvalidArgument("operator " + op.name +
+                                     " has no candidate engines");
+    }
+  }
+  return Status::OK();
+}
+
+WorkflowOptimizer::WorkflowOptimizer() : WorkflowOptimizer(Options()) {}
+
+WorkflowOptimizer::WorkflowOptimizer(Options options) : options_(options) {}
+
+StatusOr<Vector> WorkflowOptimizer::CostOf(
+    const WorkflowDag& dag, const WorkflowAssignment& assignment,
+    const OperatorCost& operator_cost, const TransferCost& transfer_cost,
+    size_t num_metrics) const {
+  Vector total(num_metrics, 0.0);
+  for (size_t i = 0; i < dag.size(); ++i) {
+    MIDAS_ASSIGN_OR_RETURN(Vector c,
+                           operator_cost(i, assignment.engine_per_op[i]));
+    if (c.size() != num_metrics) {
+      return Status::InvalidArgument("operator cost arity mismatch");
+    }
+    for (size_t m = 0; m < num_metrics; ++m) total[m] += c[m];
+    for (size_t input : dag.op(i).inputs) {
+      if (assignment.engine_per_op[input] == assignment.engine_per_op[i]) {
+        continue;
+      }
+      MIDAS_ASSIGN_OR_RETURN(
+          Vector xfer,
+          transfer_cost(input, assignment.engine_per_op[input], i,
+                        assignment.engine_per_op[i]));
+      if (xfer.size() != num_metrics) {
+        return Status::InvalidArgument("transfer cost arity mismatch");
+      }
+      for (size_t m = 0; m < num_metrics; ++m) total[m] += xfer[m];
+    }
+  }
+  return total;
+}
+
+StatusOr<WorkflowOptimizer::Result> WorkflowOptimizer::Optimize(
+    const WorkflowDag& dag, const OperatorCost& operator_cost,
+    const TransferCost& transfer_cost, const QueryPolicy& policy) const {
+  MIDAS_RETURN_IF_ERROR(dag.Validate());
+  if (!operator_cost || !transfer_cost) {
+    return Status::InvalidArgument("null cost callback");
+  }
+  const size_t num_metrics = policy.weights.size();
+  if (num_metrics == 0) {
+    return Status::InvalidArgument("policy declares no metrics");
+  }
+
+  uint64_t space = 1;
+  for (size_t i = 0; i < dag.size(); ++i) {
+    space *= dag.op(i).candidate_engines.size();
+    if (space > options_.exhaustive_limit) break;
+  }
+
+  std::vector<WorkflowAssignment> candidates;
+  std::vector<Vector> costs;
+
+  auto decode = [&dag](const std::vector<size_t>& picks) {
+    WorkflowAssignment assignment;
+    assignment.engine_per_op.resize(dag.size());
+    for (size_t i = 0; i < dag.size(); ++i) {
+      assignment.engine_per_op[i] = dag.op(i).candidate_engines[picks[i]];
+    }
+    return assignment;
+  };
+
+  if (space <= options_.exhaustive_limit) {
+    // Mixed-radix enumeration of every assignment.
+    std::vector<size_t> picks(dag.size(), 0);
+    while (true) {
+      WorkflowAssignment assignment = decode(picks);
+      MIDAS_ASSIGN_OR_RETURN(
+          Vector c, CostOf(dag, assignment, operator_cost, transfer_cost,
+                           num_metrics));
+      candidates.push_back(std::move(assignment));
+      costs.push_back(std::move(c));
+      size_t d = 0;
+      while (d < picks.size()) {
+        if (++picks[d] < dag.op(d).candidate_engines.size()) break;
+        picks[d] = 0;
+        ++d;
+      }
+      if (d == picks.size()) break;
+    }
+  } else {
+    // Large space: NSGA-II over the engine-choice configuration problem.
+    std::vector<size_t> dims(dag.size());
+    for (size_t i = 0; i < dag.size(); ++i) {
+      dims[i] = dag.op(i).candidate_engines.size();
+    }
+    Status eval_error = Status::OK();
+    ConfigurationProblem problem(
+        "workflow-assignment", dims, num_metrics,
+        [&](const std::vector<size_t>& picks) -> Vector {
+          auto c = CostOf(dag, decode(picks), operator_cost, transfer_cost,
+                          num_metrics);
+          if (!c.ok()) {
+            if (eval_error.ok()) eval_error = c.status();
+            return Vector(num_metrics,
+                          std::numeric_limits<double>::infinity());
+          }
+          return std::move(c).ValueOrDie();
+        });
+    Nsga2Options nsga_options;
+    nsga_options.population_size = options_.nsga2_population;
+    nsga_options.generations = options_.nsga2_generations;
+    nsga_options.seed = options_.seed;
+    MIDAS_ASSIGN_OR_RETURN(MooResult moo, Nsga2(nsga_options).Optimize(problem));
+    MIDAS_RETURN_IF_ERROR(eval_error);
+    std::set<std::vector<size_t>> seen;
+    for (size_t idx : moo.front) {
+      const std::vector<size_t> picks =
+          problem.Decode(moo.population[idx].variables);
+      if (!seen.insert(picks).second) continue;
+      candidates.push_back(decode(picks));
+      costs.push_back(moo.population[idx].objectives);
+    }
+  }
+
+  Result result;
+  result.assignments_examined = candidates.size();
+  const std::vector<size_t> front = ParetoFrontIndices(costs);
+  std::set<Vector> seen_costs;
+  for (size_t idx : front) {
+    if (!seen_costs.insert(costs[idx]).second) continue;
+    result.pareto_assignments.push_back(std::move(candidates[idx]));
+    result.pareto_costs.push_back(std::move(costs[idx]));
+  }
+  MIDAS_ASSIGN_OR_RETURN(result.chosen,
+                         BestInPareto(result.pareto_costs, policy));
+  return result;
+}
+
+}  // namespace midas

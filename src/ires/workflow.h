@@ -1,0 +1,115 @@
+#ifndef MIDAS_IRES_WORKFLOW_H_
+#define MIDAS_IRES_WORKFLOW_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "federation/engine_kind.h"
+#include "linalg/matrix.h"
+#include "optimizer/best_in_pareto.h"
+
+namespace midas {
+
+/// \brief One abstract operator of an analytics workflow: a named
+/// processing step that can be materialised on any of several engines
+/// (IReS' core abstraction — "complex analytics workflows executed over
+/// multi-engine environments").
+struct WorkflowOperator {
+  std::string name;
+  /// Indices of the operators whose outputs this one consumes.
+  std::vector<size_t> inputs;
+  /// Engines this operator has an implementation for.
+  std::vector<EngineKind> candidate_engines;
+};
+
+/// \brief A directed acyclic workflow of abstract operators.
+class WorkflowDag {
+ public:
+  WorkflowDag() = default;
+
+  /// Appends an operator; `inputs` must reference already-added operators
+  /// (which makes cycles impossible by construction).
+  StatusOr<size_t> AddOperator(std::string name, std::vector<size_t> inputs,
+                               std::vector<EngineKind> candidate_engines);
+
+  size_t size() const { return operators_.size(); }
+  const WorkflowOperator& op(size_t index) const { return operators_[index]; }
+
+  /// Indices in dependency order (insertion order is already topological).
+  std::vector<size_t> TopologicalOrder() const;
+
+  /// Operators nobody consumes (the workflow's outputs).
+  std::vector<size_t> Sinks() const;
+
+  /// Structural sanity: non-empty, every operator has at least one
+  /// candidate engine.
+  Status Validate() const;
+
+ private:
+  std::vector<WorkflowOperator> operators_;
+};
+
+/// \brief One engine choice per operator.
+struct WorkflowAssignment {
+  std::vector<EngineKind> engine_per_op;
+};
+
+/// \brief Multi-objective optimizer for workflow engine assignment.
+///
+/// The caller supplies two cost callbacks: the cost vector of running one
+/// operator on one engine, and the cost vector of moving data across an
+/// edge whose endpoints run on different engines (0 when co-located). The
+/// optimizer explores assignments — exhaustively when the space is small,
+/// with NSGA-II over a ConfigurationProblem otherwise — and returns the
+/// Pareto set plus Algorithm 2's pick under the user policy.
+class WorkflowOptimizer {
+ public:
+  /// Cost of running operator `op` on `engine`.
+  using OperatorCost =
+      std::function<StatusOr<Vector>(size_t op, EngineKind engine)>;
+  /// Cost of the edge producer->consumer when their engines differ.
+  using TransferCost = std::function<StatusOr<Vector>(
+      size_t producer, EngineKind from, size_t consumer, EngineKind to)>;
+
+  struct Options {
+    /// Assignment-space size above which NSGA-II replaces enumeration.
+    uint64_t exhaustive_limit = 50000;
+    size_t nsga2_population = 80;
+    size_t nsga2_generations = 80;
+    uint64_t seed = 1;
+  };
+
+  struct Result {
+    std::vector<WorkflowAssignment> pareto_assignments;
+    std::vector<Vector> pareto_costs;
+    size_t chosen = 0;
+    uint64_t assignments_examined = 0;
+
+    const WorkflowAssignment& chosen_assignment() const {
+      return pareto_assignments[chosen];
+    }
+  };
+
+  WorkflowOptimizer();  // default options
+  explicit WorkflowOptimizer(Options options);
+
+  StatusOr<Result> Optimize(const WorkflowDag& dag,
+                            const OperatorCost& operator_cost,
+                            const TransferCost& transfer_cost,
+                            const QueryPolicy& policy) const;
+
+ private:
+  StatusOr<Vector> CostOf(const WorkflowDag& dag,
+                          const WorkflowAssignment& assignment,
+                          const OperatorCost& operator_cost,
+                          const TransferCost& transfer_cost,
+                          size_t num_metrics) const;
+
+  Options options_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_IRES_WORKFLOW_H_

@@ -1,0 +1,265 @@
+#include "linalg/decomposition.h"
+
+#include <cmath>
+
+namespace midas {
+
+StatusOr<QrDecomposition> HouseholderQr(const Matrix& a, double tolerance) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("QR requires rows >= cols");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("QR of empty matrix");
+  }
+  // Work on a dense copy; accumulate Q explicitly (sizes here are small).
+  Matrix r = a;
+  Matrix q = Matrix::Identity(m);
+  for (size_t k = 0; k < n; ++k) {
+    // Householder vector for column k below the diagonal.
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += r.At(i, k) * r.At(i, k);
+    norm = std::sqrt(norm);
+    if (norm < tolerance) {
+      return Status::InvalidArgument("QR: rank-deficient matrix");
+    }
+    const double alpha = r.At(k, k) >= 0 ? -norm : norm;
+    Vector v(m, 0.0);
+    v[k] = r.At(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) v[i] = r.At(i, k);
+    double vtv = 0.0;
+    for (size_t i = k; i < m; ++i) vtv += v[i] * v[i];
+    if (vtv < tolerance * tolerance) continue;  // column already reduced
+    // Apply H = I - 2 v vᵀ / (vᵀv) to R (columns k..n-1) and to Q.
+    for (size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i] * r.At(i, j);
+      const double f = 2.0 * dot / vtv;
+      for (size_t i = k; i < m; ++i) r.At(i, j) -= f * v[i];
+    }
+    for (size_t j = 0; j < m; ++j) {
+      double dot = 0.0;
+      for (size_t i = k; i < m; ++i) dot += v[i] * q.At(j, i);
+      const double f = 2.0 * dot / vtv;
+      for (size_t i = k; i < m; ++i) q.At(j, i) -= f * v[i];
+    }
+  }
+  // Thin factors: Q -> m x n, R -> n x n upper triangle.
+  Matrix q_thin(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) q_thin.At(i, j) = q.At(i, j);
+  }
+  Matrix r_thin(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) r_thin.At(i, j) = r.At(i, j);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (std::abs(r_thin.At(i, i)) < tolerance) {
+      return Status::InvalidArgument("QR: rank-deficient matrix");
+    }
+  }
+  return QrDecomposition{std::move(q_thin), std::move(r_thin)};
+}
+
+StatusOr<PivotedQr> HouseholderQrPivoted(const Matrix& a, double tolerance) {
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  if (m < n) {
+    return Status::InvalidArgument("QR requires rows >= cols");
+  }
+  if (n == 0) {
+    return Status::InvalidArgument("QR of empty matrix");
+  }
+  Matrix r = a;
+  Matrix q = Matrix::Identity(m);
+  std::vector<size_t> perm(n);
+  for (size_t j = 0; j < n; ++j) perm[j] = j;
+
+  // Running squared column norms for pivot selection.
+  std::vector<double> col_norms(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t i = 0; i < m; ++i) col_norms[j] += r.At(i, j) * r.At(i, j);
+  }
+
+  size_t rank = n;
+  double first_pivot = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    // Pivot: bring the column with the largest remaining norm to front.
+    size_t pivot = k;
+    for (size_t j = k + 1; j < n; ++j) {
+      if (col_norms[j] > col_norms[pivot]) pivot = j;
+    }
+    if (pivot != k) {
+      for (size_t i = 0; i < m; ++i) {
+        std::swap(r.At(i, k), r.At(i, pivot));
+      }
+      std::swap(col_norms[k], col_norms[pivot]);
+      std::swap(perm[k], perm[pivot]);
+    }
+    double norm = 0.0;
+    for (size_t i = k; i < m; ++i) norm += r.At(i, k) * r.At(i, k);
+    norm = std::sqrt(norm);
+    if (k == 0) first_pivot = norm;
+    if (norm <= tolerance * std::max(first_pivot, 1.0)) {
+      rank = k;
+      break;
+    }
+    const double alpha = r.At(k, k) >= 0 ? -norm : norm;
+    Vector v(m, 0.0);
+    v[k] = r.At(k, k) - alpha;
+    for (size_t i = k + 1; i < m; ++i) v[i] = r.At(i, k);
+    double vtv = 0.0;
+    for (size_t i = k; i < m; ++i) vtv += v[i] * v[i];
+    if (vtv > 0.0) {
+      for (size_t j = k; j < n; ++j) {
+        double dot = 0.0;
+        for (size_t i = k; i < m; ++i) dot += v[i] * r.At(i, j);
+        const double f = 2.0 * dot / vtv;
+        for (size_t i = k; i < m; ++i) r.At(i, j) -= f * v[i];
+      }
+      for (size_t j = 0; j < m; ++j) {
+        double dot = 0.0;
+        for (size_t i = k; i < m; ++i) dot += v[i] * q.At(j, i);
+        const double f = 2.0 * dot / vtv;
+        for (size_t i = k; i < m; ++i) q.At(j, i) -= f * v[i];
+      }
+    }
+    // Downdate the remaining column norms.
+    for (size_t j = k + 1; j < n; ++j) {
+      col_norms[j] -= r.At(k, j) * r.At(k, j);
+      if (col_norms[j] < 0.0) col_norms[j] = 0.0;
+    }
+  }
+
+  PivotedQr out;
+  out.permutation = std::move(perm);
+  out.rank = rank;
+  out.q = Matrix(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) out.q.At(i, j) = q.At(i, j);
+  }
+  out.r = Matrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) out.r.At(i, j) = r.At(i, j);
+  }
+  return out;
+}
+
+StatusOr<Vector> PivotedLeastSquaresSolve(const Matrix& a, const Vector& b,
+                                          double tolerance) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("least-squares shape mismatch");
+  }
+  MIDAS_ASSIGN_OR_RETURN(PivotedQr qr, HouseholderQrPivoted(a, tolerance));
+  if (qr.rank == 0) {
+    return Status::InvalidArgument("zero matrix in least squares");
+  }
+  const size_t n = a.cols();
+  // z = (Qᵀ b) restricted to the leading rank rows.
+  MIDAS_ASSIGN_OR_RETURN(Vector qtb, qr.q.Transpose().MultiplyVector(b));
+  // Back substitution on the rank x rank leading block.
+  Vector z(qr.rank, 0.0);
+  for (size_t ii = qr.rank; ii-- > 0;) {
+    double sum = qtb[ii];
+    for (size_t j = ii + 1; j < qr.rank; ++j) sum -= qr.r.At(ii, j) * z[j];
+    const double d = qr.r.At(ii, ii);
+    if (std::abs(d) < 1e-300) {
+      return Status::Internal("pivoted QR produced a zero pivot");
+    }
+    z[ii] = sum / d;
+  }
+  Vector x(n, 0.0);
+  for (size_t j = 0; j < qr.rank; ++j) x[qr.permutation[j]] = z[j];
+  return x;
+}
+
+StatusOr<Vector> SolveUpperTriangular(const Matrix& r, const Vector& b,
+                                      double tolerance) {
+  const size_t n = r.rows();
+  if (r.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("triangular solve shape mismatch");
+  }
+  Vector x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (size_t j = ii + 1; j < n; ++j) sum -= r.At(ii, j) * x[j];
+    if (std::abs(r.At(ii, ii)) < tolerance) {
+      return Status::InvalidArgument("singular triangular system");
+    }
+    x[ii] = sum / r.At(ii, ii);
+  }
+  return x;
+}
+
+StatusOr<Vector> LeastSquaresSolve(const Matrix& a, const Vector& b,
+                                   double tolerance) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("least-squares shape mismatch");
+  }
+  MIDAS_ASSIGN_OR_RETURN(QrDecomposition qr, HouseholderQr(a, tolerance));
+  // x = R⁻¹ Qᵀ b.
+  MIDAS_ASSIGN_OR_RETURN(Vector qtb, qr.q.Transpose().MultiplyVector(b));
+  return SolveUpperTriangular(qr.r, qtb, tolerance);
+}
+
+StatusOr<Matrix> CholeskyFactor(const Matrix& a, double tolerance) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      if (i == j) {
+        if (sum < tolerance) {
+          return Status::InvalidArgument("matrix is not positive definite");
+        }
+        l.At(i, i) = std::sqrt(sum);
+      } else {
+        l.At(i, j) = sum / l.At(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+StatusOr<Vector> CholeskySolve(const Matrix& a, const Vector& b,
+                               double tolerance) {
+  const size_t n = a.rows();
+  if (b.size() != n) {
+    return Status::InvalidArgument("Cholesky solve shape mismatch");
+  }
+  MIDAS_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a, tolerance));
+  // Forward solve L y = b.
+  Vector y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
+    y[i] = sum / l.At(i, i);
+  }
+  // Back solve Lᵀ x = y.
+  Vector x(n, 0.0);
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.At(k, ii) * x[k];
+    x[ii] = sum / l.At(ii, ii);
+  }
+  return x;
+}
+
+StatusOr<Matrix> SpdInverse(const Matrix& a, double tolerance) {
+  const size_t n = a.rows();
+  Matrix inv(n, n);
+  for (size_t col = 0; col < n; ++col) {
+    Vector e(n, 0.0);
+    e[col] = 1.0;
+    MIDAS_ASSIGN_OR_RETURN(Vector x, CholeskySolve(a, e, tolerance));
+    for (size_t row = 0; row < n; ++row) inv.At(row, col) = x[row];
+  }
+  return inv;
+}
+
+}  // namespace midas

@@ -1,0 +1,64 @@
+#ifndef MIDAS_LINALG_DECOMPOSITION_H_
+#define MIDAS_LINALG_DECOMPOSITION_H_
+
+#include "linalg/matrix.h"
+
+namespace midas {
+
+/// \brief Householder QR factorisation A = Q R for A with rows >= cols.
+///
+/// Q is rows x cols with orthonormal columns (thin QR); R is cols x cols
+/// upper triangular. Fails on rank deficiency (|R(i,i)| below tolerance),
+/// which callers such as the OLS fitter handle by falling back to ridge
+/// regularisation.
+struct QrDecomposition {
+  Matrix q;
+  Matrix r;
+};
+
+StatusOr<QrDecomposition> HouseholderQr(const Matrix& a,
+                                        double tolerance = 1e-12);
+
+/// \brief Rank-revealing QR with column pivoting: A P = Q R, where P is a
+/// permutation and R's diagonal is non-increasing in magnitude. `rank` is
+/// the number of diagonal entries above tolerance · |R(0,0)|.
+struct PivotedQr {
+  Matrix q;                      // m x n, orthonormal columns
+  Matrix r;                      // n x n upper triangular
+  std::vector<size_t> permutation;  // column j of A P is A column perm[j]
+  size_t rank = 0;
+};
+
+StatusOr<PivotedQr> HouseholderQrPivoted(const Matrix& a,
+                                         double tolerance = 1e-10);
+
+/// Minimum-residual least-squares solve via pivoted QR: rank-deficient
+/// systems get the basic solution (zero coefficients on the dependent
+/// columns) instead of an error.
+StatusOr<Vector> PivotedLeastSquaresSolve(const Matrix& a, const Vector& b,
+                                          double tolerance = 1e-10);
+
+/// Solves R x = b for upper-triangular R by back substitution.
+StatusOr<Vector> SolveUpperTriangular(const Matrix& r, const Vector& b,
+                                      double tolerance = 1e-12);
+
+/// Least-squares solve: minimises ||A x - b||_2 via thin QR.
+/// Requires a.rows() >= a.cols().
+StatusOr<Vector> LeastSquaresSolve(const Matrix& a, const Vector& b,
+                                   double tolerance = 1e-12);
+
+/// Cholesky factorisation of a symmetric positive-definite matrix: A = L Lᵀ.
+/// Fails (InvalidArgument) when A is not positive definite.
+StatusOr<Matrix> CholeskyFactor(const Matrix& a, double tolerance = 1e-12);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+StatusOr<Vector> CholeskySolve(const Matrix& a, const Vector& b,
+                               double tolerance = 1e-12);
+
+/// Inverse of a symmetric positive-definite matrix via Cholesky; used for
+/// the (AᵀA)⁻¹ term of the paper's Eq. 12 and regression diagnostics.
+StatusOr<Matrix> SpdInverse(const Matrix& a, double tolerance = 1e-12);
+
+}  // namespace midas
+
+#endif  // MIDAS_LINALG_DECOMPOSITION_H_

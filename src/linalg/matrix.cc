@@ -1,0 +1,171 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace midas {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(0) {
+  for (const auto& row : rows) {
+    if (cols_ == 0) cols_ = row.size();
+    MIDAS_CHECK(row.size() == cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromColumn(const Vector& v) {
+  Matrix m(v.size(), 1);
+  for (size_t i = 0; i < v.size(); ++i) m.At(i, 0) = v[i];
+  return m;
+}
+
+double& Matrix::At(size_t r, size_t c) {
+  MIDAS_CHECK(r < rows_ && c < cols_)
+      << "index (" << r << "," << c << ") out of range for " << rows_ << "x"
+      << cols_;
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(size_t r, size_t c) const {
+  MIDAS_CHECK(r < rows_ && c < cols_)
+      << "index (" << r << "," << c << ") out of range for " << rows_ << "x"
+      << cols_;
+  return data_[r * cols_ + c];
+}
+
+Vector Matrix::Row(size_t r) const {
+  MIDAS_CHECK(r < rows_);
+  return Vector(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_));
+}
+
+Vector Matrix::Col(size_t c) const {
+  MIDAS_CHECK(c < cols_);
+  Vector out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const Vector& values) {
+  MIDAS_CHECK(r < rows_ && values.size() == cols_);
+  for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] = values[c];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out.At(c, r) = data_[r * cols_ + c];
+    }
+  }
+  return out;
+}
+
+StatusOr<Matrix> Matrix::Multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("matmul shape mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = data_[i * cols_ + k];
+      if (aik == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += aik * other.data_[k * other.cols_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<Vector> Matrix::MultiplyVector(const Vector& v) const {
+  if (cols_ != v.size()) {
+    return Status::InvalidArgument("matvec shape mismatch");
+  }
+  Vector out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (size_t c = 0; c < cols_; ++c) sum += data_[r * cols_ + c] * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+StatusOr<Matrix> Matrix::Add(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("add shape mismatch");
+  }
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+StatusOr<Matrix> Matrix::Subtract(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("subtract shape mismatch");
+  }
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double factor) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x *= factor;
+  return out;
+}
+
+StatusOr<Matrix> Matrix::RowSlice(size_t begin, size_t end) const {
+  if (begin > end || end > rows_) {
+    return Status::OutOfRange("row slice out of range");
+  }
+  Matrix out(end - begin, cols_);
+  for (size_t r = begin; r < end; ++r) out.SetRow(r - begin, Row(r));
+  return out;
+}
+
+StatusOr<double> Matrix::MaxAbsDiff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    return Status::InvalidArgument("diff shape mismatch");
+  }
+  double max_diff = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(data_[i] - other.data_[i]));
+  }
+  return max_diff;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << data_[r * cols_ + c];
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  MIDAS_CHECK(a.size() == b.size()) << "dot length mismatch";
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+}  // namespace midas

@@ -1,0 +1,84 @@
+#ifndef MIDAS_LINALG_MATRIX_H_
+#define MIDAS_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace midas {
+
+using Vector = std::vector<double>;
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// Sized for regression problems (tens of columns, up to a few thousand
+/// rows); operations are straightforward loops, not BLAS. Out-of-range
+/// element access aborts via MIDAS_CHECK, while shape mismatches in the
+/// algebraic operations return Status so callers can recover.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested braces: Matrix({{1, 2}, {3, 4}}). All rows must have
+  /// equal length (checked).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix Identity(size_t n);
+
+  /// Builds a single-column matrix from a vector.
+  static Matrix FromColumn(const Vector& v);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& At(size_t r, size_t c);
+  double At(size_t r, size_t c) const;
+  double& operator()(size_t r, size_t c) { return At(r, c); }
+  double operator()(size_t r, size_t c) const { return At(r, c); }
+
+  Vector Row(size_t r) const;
+  Vector Col(size_t c) const;
+  void SetRow(size_t r, const Vector& values);
+
+  Matrix Transpose() const;
+
+  StatusOr<Matrix> Multiply(const Matrix& other) const;
+  StatusOr<Vector> MultiplyVector(const Vector& v) const;
+  StatusOr<Matrix> Add(const Matrix& other) const;
+  StatusOr<Matrix> Subtract(const Matrix& other) const;
+  Matrix Scale(double factor) const;
+
+  /// Returns the rows [begin, end) as a new matrix.
+  StatusOr<Matrix> RowSlice(size_t begin, size_t end) const;
+
+  /// Max absolute element difference; used by tests for approximate equality.
+  StatusOr<double> MaxAbsDiff(const Matrix& other) const;
+
+  std::string ToString(int precision = 4) const;
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product; aborts on length mismatch (programming error).
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm2(const Vector& v);
+
+}  // namespace midas
+
+#endif  // MIDAS_LINALG_MATRIX_H_

@@ -1,0 +1,114 @@
+#include "midas/medical.h"
+
+#include <cmath>
+
+namespace midas {
+
+namespace {
+uint64_t Scaled(double base, double scale) {
+  return static_cast<uint64_t>(std::llround(base * scale));
+}
+}  // namespace
+
+StatusOr<Catalog> MakeMedicalCatalog(double scale) {
+  if (scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  Catalog catalog;
+  {
+    TableDef t;
+    t.name = "Patient";
+    t.row_count = Scaled(1'000'000, scale);
+    t.columns = {
+        {"UID", ColumnType::kInt, 8.0, t.row_count},
+        {"PatientName", ColumnType::kString, 24.0, t.row_count},
+        {"PatientSex", ColumnType::kString, 1.0, 3},
+        {"PatientBirthDate", ColumnType::kDate, 4.0, 36500},
+        {"BloodType", ColumnType::kString, 3.0, 8},
+        {"HomeNation", ColumnType::kInt, 4.0, 25},
+    };
+    MIDAS_RETURN_IF_ERROR(catalog.AddTable(t));
+  }
+  {
+    TableDef t;
+    t.name = "GeneralInfo";
+    t.row_count = Scaled(4'000'000, scale);  // ~4 admissions per patient
+    t.columns = {
+        {"UID", ColumnType::kInt, 8.0, Scaled(1'000'000, scale)},
+        {"GeneralNames", ColumnType::kString, 32.0, t.row_count},
+        {"AdmissionDate", ColumnType::kDate, 4.0, 3650},
+        {"Department", ColumnType::kString, 16.0, 40},
+        {"Diagnosis", ColumnType::kString, 48.0, 14000},
+    };
+    MIDAS_RETURN_IF_ERROR(catalog.AddTable(t));
+  }
+  {
+    TableDef t;
+    t.name = "ImagingStudy";
+    t.row_count = Scaled(2'500'000, scale);
+    t.columns = {
+        {"StudyUID", ColumnType::kInt, 8.0, t.row_count},
+        {"UID", ColumnType::kInt, 8.0, Scaled(1'000'000, scale)},
+        {"Modality", ColumnType::kString, 4.0, 8},
+        {"StudyDate", ColumnType::kDate, 4.0, 3650},
+        {"SeriesCount", ColumnType::kInt, 4.0, 40},
+        {"StorageSizeMb", ColumnType::kDouble, 8.0, 100000},
+    };
+    MIDAS_RETURN_IF_ERROR(catalog.AddTable(t));
+  }
+  {
+    TableDef t;
+    t.name = "LabResult";
+    t.row_count = Scaled(12'000'000, scale);
+    t.columns = {
+        {"ResultUID", ColumnType::kInt, 8.0, t.row_count},
+        {"UID", ColumnType::kInt, 8.0, Scaled(1'000'000, scale)},
+        {"TestCode", ColumnType::kString, 8.0, 900},
+        {"Value", ColumnType::kDouble, 8.0, 1000000},
+        {"CollectedAt", ColumnType::kDate, 4.0, 3650},
+    };
+    MIDAS_RETURN_IF_ERROR(catalog.AddTable(t));
+  }
+  return catalog;
+}
+
+StatusOr<QueryPlan> MakeExample21Query() {
+  auto join = MakeJoin(MakeScan("Patient"), MakeScan("GeneralInfo"), "UID",
+                       "UID");
+  auto project = MakeProject(std::move(join),
+                             {"PatientSex", "GeneralNames"});
+  return QueryPlan(std::move(project));
+}
+
+StatusOr<QueryPlan> MakeImagingCohortQuery(double modality_selectivity) {
+  if (modality_selectivity <= 0.0 || modality_selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity outside (0, 1]");
+  }
+  Predicate modality;
+  modality.column = "Modality";
+  modality.op = CompareOp::kEq;
+  modality.selectivity_override = modality_selectivity;
+  auto studies = MakeFilter(MakeScan("ImagingStudy"), {modality});
+  auto join =
+      MakeJoin(MakeScan("Patient"), std::move(studies), "UID", "UID");
+  return QueryPlan(MakeAggregate(std::move(join), /*num_groups=*/8));
+}
+
+Status PlaceMedicalTables(Federation* federation) {
+  if (federation == nullptr) {
+    return Status::InvalidArgument("null federation");
+  }
+  MIDAS_ASSIGN_OR_RETURN(SiteId a, federation->FindSiteByName("cloud-A"));
+  MIDAS_ASSIGN_OR_RETURN(SiteId b, federation->FindSiteByName("cloud-B"));
+  MIDAS_RETURN_IF_ERROR(
+      federation->PlaceTable("Patient", a, EngineKind::kHive));
+  MIDAS_RETURN_IF_ERROR(
+      federation->PlaceTable("GeneralInfo", b, EngineKind::kPostgres));
+  MIDAS_RETURN_IF_ERROR(
+      federation->PlaceTable("ImagingStudy", a, EngineKind::kHive));
+  MIDAS_RETURN_IF_ERROR(
+      federation->PlaceTable("LabResult", a, EngineKind::kHive));
+  return Status::OK();
+}
+
+}  // namespace midas

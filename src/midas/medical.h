@@ -1,0 +1,37 @@
+#ifndef MIDAS_MIDAS_MEDICAL_H_
+#define MIDAS_MIDAS_MEDICAL_H_
+
+#include "federation/federation.h"
+#include "query/plan.h"
+#include "query/schema.h"
+
+namespace midas {
+
+/// \brief Synthetic medical schema of the MIDAS motivating scenario:
+/// hospital systems spread across cloud providers.
+///
+/// `scale` multiplies the baseline population of one million patients.
+/// Tables: Patient (demographics), GeneralInfo (admission records, several
+/// per patient), ImagingStudy (DICOM study metadata), LabResult.
+StatusOr<Catalog> MakeMedicalCatalog(double scale = 1.0);
+
+/// Example 2.1's query:
+///   SELECT p.PatientSex, i.GeneralNames
+///   FROM Patient p, GeneralInfo i
+///   WHERE p.UID = i.UID
+StatusOr<QueryPlan> MakeExample21Query();
+
+/// A heavier analytical query joining Patient with ImagingStudy and
+/// filtering by modality — used by the medical example application.
+StatusOr<QueryPlan> MakeImagingCohortQuery(double modality_selectivity = 0.12);
+
+/// Places the medical tables as in Example 2.1: Patient in Hive on
+/// cloud-A, GeneralInfo in PostgreSQL on cloud-B; ImagingStudy/LabResult
+/// follow the Patient placement. The federation must contain sites named
+/// "cloud-A" (hosting Hive) and "cloud-B" (hosting PostgreSQL) — see
+/// Federation::PaperFederation().
+Status PlaceMedicalTables(Federation* federation);
+
+}  // namespace midas
+
+#endif  // MIDAS_MIDAS_MEDICAL_H_

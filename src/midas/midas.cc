@@ -1,0 +1,63 @@
+#include "midas/midas.h"
+
+#include "ires/features.h"
+#include "query/enumerator.h"
+
+namespace midas {
+
+MidasSystem::MidasSystem(Federation federation, Catalog catalog,
+                         MidasOptions options)
+    : federation_(std::move(federation)),
+      catalog_(std::move(catalog)),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  modelling_ = std::make_unique<Modelling>(
+      FeatureNames(federation_), StandardMetricNames(), options_.seed + 7);
+  SimulatorOptions sim_opts = options_.simulator;
+  sim_opts.seed = options_.seed;
+  simulator_ = std::make_unique<ExecutionSimulator>(&federation_, &catalog_,
+                                                    sim_opts);
+  scheduler_ = std::make_unique<Scheduler>(&federation_, simulator_.get(),
+                                           modelling_.get());
+  optimizer_ = std::make_unique<MultiObjectiveOptimizer>(
+      &federation_, &catalog_, options_.moqp);
+}
+
+Status MidasSystem::Bootstrap(const std::string& scope,
+                              const QueryPlan& logical, size_t runs) {
+  PlanEnumerator enumerator(&federation_, &catalog_,
+                            options_.moqp.enumerator);
+  MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
+                         enumerator.EnumeratePhysical(logical));
+  for (size_t i = 0; i < runs; ++i) {
+    const QueryPlan& pick = plans[rng_.Index(plans.size())];
+    MIDAS_RETURN_IF_ERROR(
+        scheduler_->ExecuteAndRecord(scope, pick).status());
+  }
+  return Status::OK();
+}
+
+StatusOr<Vector> MidasSystem::PredictPlanCosts(const std::string& scope,
+                                               const QueryPlan& plan) const {
+  MIDAS_ASSIGN_OR_RETURN(Vector features, ExtractFeatures(federation_, plan));
+  return modelling_->Predict(scope, features, options_.estimator);
+}
+
+StatusOr<MidasSystem::QueryOutcome> MidasSystem::RunQuery(
+    const std::string& scope, const QueryPlan& logical,
+    const QueryPolicy& policy) {
+  auto predictor = [this, &scope](const QueryPlan& plan) {
+    return PredictPlanCosts(scope, plan);
+  };
+  QueryOutcome outcome;
+  MIDAS_ASSIGN_OR_RETURN(outcome.moqp,
+                         optimizer_->Optimize(logical, predictor, policy));
+  outcome.predicted = outcome.moqp.chosen_costs();
+  outcome.estimator = EstimatorName(options_.estimator);
+  MIDAS_ASSIGN_OR_RETURN(
+      outcome.actual,
+      scheduler_->ExecuteAndRecord(scope, outcome.moqp.chosen_plan()));
+  return outcome;
+}
+
+}  // namespace midas

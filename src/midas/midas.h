@@ -1,0 +1,92 @@
+#ifndef MIDAS_MIDAS_MIDAS_H_
+#define MIDAS_MIDAS_MIDAS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "engine/simulator.h"
+#include "federation/federation.h"
+#include "ires/modelling.h"
+#include "ires/moo_optimizer.h"
+#include "ires/scheduler.h"
+#include "query/schema.h"
+
+namespace midas {
+
+/// \brief Top-level configuration of a MIDAS deployment.
+struct MidasOptions {
+  /// MOQP search strategy and enumerator knobs.
+  MoqpOptions moqp;
+  /// Cost estimator used for plan cost prediction.
+  EstimatorConfig estimator = EstimatorConfig::DreamDefault();
+  /// Engine simulator (variance model, determinism).
+  SimulatorOptions simulator;
+  uint64_t seed = 2019;
+};
+
+/// \brief MIDAS — the medical data management system of Figure 1, wiring
+/// together the cloud federation, the IReS modules (Modelling with DREAM,
+/// Multi-Objective Optimizer, Scheduler) and the execution engines.
+///
+/// Lifecycle per query: Interface receives a logical plan and user policy →
+/// Modelling predicts the multi-metric cost of every equivalent QEP (DREAM
+/// by default) → Multi-Objective Optimizer computes the Pareto plan set and
+/// BestInPareto picks the final QEP → the Scheduler executes it on the
+/// engines and the measurement feeds back into the Modelling history.
+class MidasSystem {
+ public:
+  MidasSystem(Federation federation, Catalog catalog,
+              MidasOptions options = MidasOptions());
+
+  MidasSystem(const MidasSystem&) = delete;
+  MidasSystem& operator=(const MidasSystem&) = delete;
+
+  const Federation& federation() const { return federation_; }
+  const Catalog& catalog() const { return catalog_; }
+  Modelling& modelling() { return *modelling_; }
+  ExecutionSimulator& simulator() { return *simulator_; }
+  const MidasOptions& options() const { return options_; }
+
+  /// Seeds the Modelling history for `scope` by executing `runs` randomly
+  /// chosen physical variants of `logical` (monitoring-mode warm-up).
+  Status Bootstrap(const std::string& scope, const QueryPlan& logical,
+                   size_t runs);
+
+  /// \brief Everything RunQuery produced.
+  struct QueryOutcome {
+    /// The Pareto set and the chosen plan.
+    MoqpResult moqp;
+    /// Cost vector the estimator predicted for the chosen plan.
+    Vector predicted;
+    /// What actually happened when the plan ran.
+    Measurement actual;
+    /// Which estimator produced `predicted` ("DREAM", "BML_N", ...).
+    std::string estimator;
+  };
+
+  /// Full pipeline for one query. The measurement is recorded back into
+  /// the scope's history (adaptive feedback).
+  StatusOr<QueryOutcome> RunQuery(const std::string& scope,
+                                  const QueryPlan& logical,
+                                  const QueryPolicy& policy);
+
+  /// Predicts plan costs for `scope` with the configured estimator —
+  /// exposed for experiments that bypass execution.
+  StatusOr<Vector> PredictPlanCosts(const std::string& scope,
+                                    const QueryPlan& plan) const;
+
+ private:
+  Federation federation_;
+  Catalog catalog_;
+  MidasOptions options_;
+  std::unique_ptr<Modelling> modelling_;
+  std::unique_ptr<ExecutionSimulator> simulator_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<MultiObjectiveOptimizer> optimizer_;
+  Rng rng_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_MIDAS_MIDAS_H_

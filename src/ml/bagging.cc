@@ -1,0 +1,58 @@
+#include "ml/bagging.h"
+
+#include <algorithm>
+
+namespace midas {
+
+BaggingLearner::BaggingLearner(BaggingOptions options) : options_(options) {}
+
+Status BaggingLearner::Fit(const std::vector<Vector>& features,
+                           const Vector& targets) {
+  MIDAS_RETURN_IF_ERROR(
+      ValidateTrainingData(features, targets, MinTrainingSize()));
+  if (options_.num_estimators == 0) {
+    return Status::InvalidArgument("bagging needs at least one estimator");
+  }
+  if (options_.sample_fraction <= 0.0 || options_.sample_fraction > 1.0) {
+    return Status::InvalidArgument("sample_fraction must be in (0, 1]");
+  }
+  trees_.clear();
+  trees_.reserve(options_.num_estimators);
+  Rng rng(options_.seed);
+  const size_t n = features.size();
+  const size_t sample_size = std::max<size_t>(
+      2, static_cast<size_t>(options_.sample_fraction *
+                             static_cast<double>(n)));
+  for (size_t t = 0; t < options_.num_estimators; ++t) {
+    std::vector<Vector> xs;
+    Vector ys;
+    xs.reserve(sample_size);
+    ys.reserve(sample_size);
+    for (size_t i = 0; i < sample_size; ++i) {
+      const size_t pick = rng.Index(n);
+      xs.push_back(features[pick]);
+      ys.push_back(targets[pick]);
+    }
+    RegressionTree tree(options_.tree);
+    MIDAS_RETURN_IF_ERROR(tree.Fit(xs, ys));
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> BaggingLearner::Predict(const Vector& x) const {
+  if (!fitted_) return Status::FailedPrecondition("bagging is not fitted");
+  double sum = 0.0;
+  for (const RegressionTree& tree : trees_) {
+    MIDAS_ASSIGN_OR_RETURN(double y, tree.Predict(x));
+    sum += y;
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::unique_ptr<Learner> BaggingLearner::Clone() const {
+  return std::make_unique<BaggingLearner>(*this);
+}
+
+}  // namespace midas

@@ -1,0 +1,51 @@
+#ifndef MIDAS_ML_BAGGING_H_
+#define MIDAS_ML_BAGGING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/learner.h"
+#include "ml/regression_tree.h"
+
+namespace midas {
+
+struct BaggingOptions {
+  /// Ensemble size (Breiman 1996 uses 25-50 replicates; WEKA defaults to 10).
+  size_t num_estimators = 10;
+  /// Bootstrap sample size as a fraction of the training set.
+  double sample_fraction = 1.0;
+  uint64_t seed = 7;
+  RegressionTreeOptions tree;
+};
+
+/// \brief Bagging predictor (Breiman 1996): an ensemble of regression trees,
+/// each fitted on a bootstrap resample; predictions are averaged. One of the
+/// IReS Modelling learners the paper's BML baseline selects from.
+class BaggingLearner final : public Learner {
+ public:
+  explicit BaggingLearner(BaggingOptions options = BaggingOptions());
+
+  std::string name() const override { return "bagging"; }
+
+  Status Fit(const std::vector<Vector>& features,
+             const Vector& targets) override;
+
+  StatusOr<double> Predict(const Vector& x) const override;
+
+  std::unique_ptr<Learner> Clone() const override;
+
+  size_t MinTrainingSize() const override { return 3; }
+
+  size_t num_fitted_estimators() const { return trees_.size(); }
+
+ private:
+  BaggingOptions options_;
+  std::vector<RegressionTree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_ML_BAGGING_H_

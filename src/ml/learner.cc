@@ -1,0 +1,27 @@
+#include "ml/learner.h"
+
+namespace midas {
+
+Status ValidateTrainingData(const std::vector<Vector>& features,
+                            const Vector& targets, size_t min_size) {
+  if (features.size() != targets.size()) {
+    return Status::InvalidArgument("features/targets size mismatch");
+  }
+  if (features.size() < min_size) {
+    return Status::InvalidArgument(
+        "training set smaller than the learner's minimum (" +
+        std::to_string(min_size) + ")");
+  }
+  const size_t arity = features[0].size();
+  if (arity == 0) {
+    return Status::InvalidArgument("zero-arity feature rows");
+  }
+  for (const Vector& row : features) {
+    if (row.size() != arity) {
+      return Status::InvalidArgument("ragged feature rows");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace midas

@@ -1,0 +1,48 @@
+#ifndef MIDAS_ML_LEARNER_H_
+#define MIDAS_ML_LEARNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace midas {
+
+/// \brief Supervised single-output regressor interface, mirroring the role
+/// of WEKA learners inside the IReS Modelling module.
+///
+/// A learner is fitted on (feature row, target) pairs and then queried for
+/// point predictions. Implementations must be deterministic given the same
+/// construction-time seed.
+class Learner {
+ public:
+  virtual ~Learner() = default;
+
+  /// Human-readable algorithm name ("least_squares", "bagging", "mlp").
+  virtual std::string name() const = 0;
+
+  /// Fits the model. Implementations reset any previous fit.
+  virtual Status Fit(const std::vector<Vector>& features,
+                     const Vector& targets) = 0;
+
+  /// Predicts the target for one feature row. Fails when not fitted or on
+  /// arity mismatch.
+  virtual StatusOr<double> Predict(const Vector& x) const = 0;
+
+  /// Deep copy (so the model selector can keep fitted snapshots).
+  virtual std::unique_ptr<Learner> Clone() const = 0;
+
+  /// Smallest training-set size the learner accepts.
+  virtual size_t MinTrainingSize() const { return 2; }
+};
+
+/// Validates the common preconditions shared by Fit implementations: equal
+/// sizes, non-empty, rectangular features.
+Status ValidateTrainingData(const std::vector<Vector>& features,
+                            const Vector& targets, size_t min_size);
+
+}  // namespace midas
+
+#endif  // MIDAS_ML_LEARNER_H_

@@ -1,0 +1,24 @@
+#include "ml/least_squares.h"
+
+namespace midas {
+
+Status LeastSquaresLearner::Fit(const std::vector<Vector>& features,
+                                const Vector& targets) {
+  MIDAS_RETURN_IF_ERROR(ValidateTrainingData(features, targets, 2));
+  const size_t l = features[0].size();
+  if (features.size() < l + 2) {
+    // FitOls enforces the statistical minimum; surface a clearer message.
+    return Status::InvalidArgument(
+        "least squares needs at least L + 2 observations");
+  }
+  MIDAS_ASSIGN_OR_RETURN(model_, FitOls(features, targets, options_));
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> LeastSquaresLearner::Predict(const Vector& x) const {
+  if (!fitted_) return Status::FailedPrecondition("learner is not fitted");
+  return model_.Predict(x);
+}
+
+}  // namespace midas

@@ -1,0 +1,40 @@
+#ifndef MIDAS_ML_LEAST_SQUARES_H_
+#define MIDAS_ML_LEAST_SQUARES_H_
+
+#include "ml/learner.h"
+#include "regression/ols.h"
+
+namespace midas {
+
+/// \brief Linear least-squares learner — the "Least squared regression"
+/// member of the IReS Modelling zoo. Thin Learner adapter over FitOls.
+class LeastSquaresLearner final : public Learner {
+ public:
+  explicit LeastSquaresLearner(OlsOptions options = OlsOptions())
+      : options_(options) {}
+
+  std::string name() const override { return "least_squares"; }
+
+  Status Fit(const std::vector<Vector>& features,
+             const Vector& targets) override;
+
+  StatusOr<double> Predict(const Vector& x) const override;
+
+  std::unique_ptr<Learner> Clone() const override {
+    return std::make_unique<LeastSquaresLearner>(*this);
+  }
+
+  size_t MinTrainingSize() const override { return 3; }
+
+  /// Fitted statistics (valid after a successful Fit).
+  const OlsModel& model() const { return model_; }
+
+ private:
+  OlsOptions options_;
+  OlsModel model_;
+  bool fitted_ = false;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_ML_LEAST_SQUARES_H_

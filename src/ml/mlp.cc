@@ -1,0 +1,136 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace midas {
+
+namespace {
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+MlpLearner::MlpLearner(MlpOptions options) : options_(options) {}
+
+Vector MlpLearner::Normalize(const Vector& x) const {
+  Vector out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double range = feat_max_[i] - feat_min_[i];
+    out[i] = range > 0.0 ? (x[i] - feat_min_[i]) / range : 0.0;
+  }
+  return out;
+}
+
+Status MlpLearner::Fit(const std::vector<Vector>& features,
+                       const Vector& targets) {
+  MIDAS_RETURN_IF_ERROR(
+      ValidateTrainingData(features, targets, MinTrainingSize()));
+  if (options_.hidden_units == 0) {
+    return Status::InvalidArgument("mlp needs at least one hidden unit");
+  }
+  arity_ = features[0].size();
+  const size_t n = features.size();
+  const size_t h = options_.hidden_units;
+
+  // Capture normalisation ranges.
+  feat_min_.assign(arity_, 0.0);
+  feat_max_.assign(arity_, 0.0);
+  for (size_t f = 0; f < arity_; ++f) {
+    feat_min_[f] = feat_max_[f] = features[0][f];
+    for (const Vector& row : features) {
+      feat_min_[f] = std::min(feat_min_[f], row[f]);
+      feat_max_[f] = std::max(feat_max_[f], row[f]);
+    }
+  }
+  target_min_ = *std::min_element(targets.begin(), targets.end());
+  target_max_ = *std::max_element(targets.begin(), targets.end());
+  const double t_range =
+      target_max_ > target_min_ ? target_max_ - target_min_ : 1.0;
+
+  std::vector<Vector> xs(n);
+  Vector ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = Normalize(features[i]);
+    ys[i] = (targets[i] - target_min_) / t_range;
+  }
+
+  Rng rng(options_.seed);
+  auto init_weight = [&]() { return rng.Uniform(-0.5, 0.5); };
+  w_hidden_.assign(h, Vector(arity_ + 1, 0.0));
+  for (Vector& w : w_hidden_) {
+    for (double& v : w) v = init_weight();
+  }
+  w_out_.assign(h + 1, 0.0);
+  for (double& v : w_out_) v = init_weight();
+
+  // Momentum buffers.
+  std::vector<Vector> m_hidden(h, Vector(arity_ + 1, 0.0));
+  Vector m_out(h + 1, 0.0);
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+
+  Vector hidden(h), delta_hidden(h);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const Vector& x = xs[idx];
+      // Forward pass.
+      for (size_t j = 0; j < h; ++j) {
+        double z = w_hidden_[j][arity_];  // bias
+        for (size_t f = 0; f < arity_; ++f) z += w_hidden_[j][f] * x[f];
+        hidden[j] = Sigmoid(z);
+      }
+      double out = w_out_[h];  // bias
+      for (size_t j = 0; j < h; ++j) out += w_out_[j] * hidden[j];
+      // Backward pass (squared error).
+      const double err = out - ys[idx];
+      for (size_t j = 0; j < h; ++j) {
+        delta_hidden[j] = err * w_out_[j] * hidden[j] * (1.0 - hidden[j]);
+      }
+      const double lr = options_.learning_rate;
+      const double mom = options_.momentum;
+      for (size_t j = 0; j < h; ++j) {
+        const double g = err * hidden[j];
+        m_out[j] = mom * m_out[j] - lr * g;
+        w_out_[j] += m_out[j];
+      }
+      m_out[h] = mom * m_out[h] - lr * err;
+      w_out_[h] += m_out[h];
+      for (size_t j = 0; j < h; ++j) {
+        for (size_t f = 0; f < arity_; ++f) {
+          const double g = delta_hidden[j] * x[f];
+          m_hidden[j][f] = mom * m_hidden[j][f] - lr * g;
+          w_hidden_[j][f] += m_hidden[j][f];
+        }
+        m_hidden[j][arity_] = mom * m_hidden[j][arity_] - lr * delta_hidden[j];
+        w_hidden_[j][arity_] += m_hidden[j][arity_];
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+StatusOr<double> MlpLearner::Predict(const Vector& x) const {
+  if (!fitted_) return Status::FailedPrecondition("mlp is not fitted");
+  if (x.size() != arity_) {
+    return Status::InvalidArgument("feature length mismatch");
+  }
+  const Vector xn = Normalize(x);
+  const size_t h = options_.hidden_units;
+  double out = w_out_[h];
+  for (size_t j = 0; j < h; ++j) {
+    double z = w_hidden_[j][arity_];
+    for (size_t f = 0; f < arity_; ++f) z += w_hidden_[j][f] * xn[f];
+    out += w_out_[j] * Sigmoid(z);
+  }
+  const double t_range =
+      target_max_ > target_min_ ? target_max_ - target_min_ : 1.0;
+  return target_min_ + out * t_range;
+}
+
+std::unique_ptr<Learner> MlpLearner::Clone() const {
+  return std::make_unique<MlpLearner>(*this);
+}
+
+}  // namespace midas

@@ -1,0 +1,64 @@
+#ifndef MIDAS_ML_MLP_H_
+#define MIDAS_ML_MLP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "ml/learner.h"
+
+namespace midas {
+
+struct MlpOptions {
+  /// Hidden-layer width; WEKA's MultilayerPerceptron default of
+  /// (attributes + classes) / 2 is approximated by callers; 8 is a sound
+  /// default for the 2-8 feature problems in this library.
+  size_t hidden_units = 8;
+  /// WEKA MultilayerPerceptron defaults: 500 epochs, learning rate 0.3,
+  /// momentum 0.2. On the handful-of-points windows IReS trains on, these
+  /// drive the training error to ~0 (the network memorises the window).
+  size_t epochs = 500;
+  double learning_rate = 0.3;
+  double momentum = 0.2;
+  uint64_t seed = 13;
+};
+
+/// \brief One-hidden-layer perceptron regressor (sigmoid hidden layer,
+/// linear output, SGD with momentum) in the style of WEKA's
+/// MultilayerPerceptron — the third learner of the IReS Modelling zoo.
+///
+/// Inputs and the target are min-max normalised internally so the fixed
+/// learning rate behaves across the very different magnitudes of execution
+/// time (seconds) and monetary cost (fractions of a dollar).
+class MlpLearner final : public Learner {
+ public:
+  explicit MlpLearner(MlpOptions options = MlpOptions());
+
+  std::string name() const override { return "mlp"; }
+
+  Status Fit(const std::vector<Vector>& features,
+             const Vector& targets) override;
+
+  StatusOr<double> Predict(const Vector& x) const override;
+
+  std::unique_ptr<Learner> Clone() const override;
+
+  size_t MinTrainingSize() const override { return 4; }
+
+ private:
+  Vector Normalize(const Vector& x) const;
+
+  MlpOptions options_;
+  // Fitted parameters.
+  std::vector<Vector> w_hidden_;  // hidden_units x (arity + 1), bias last
+  Vector w_out_;                  // hidden_units + 1, bias last
+  // Normalisation ranges captured at fit time.
+  Vector feat_min_, feat_max_;
+  double target_min_ = 0.0, target_max_ = 1.0;
+  size_t arity_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_ML_MLP_H_

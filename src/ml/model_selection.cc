@@ -1,0 +1,148 @@
+#include "ml/model_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/bagging.h"
+#include "ml/least_squares.h"
+#include "ml/mlp.h"
+
+namespace midas {
+
+std::string WindowPolicyName(WindowPolicy policy) {
+  switch (policy) {
+    case WindowPolicy::kLastN:
+      return "BML_N";
+    case WindowPolicy::kLast2N:
+      return "BML_2N";
+    case WindowPolicy::kLast3N:
+      return "BML_3N";
+    case WindowPolicy::kAll:
+      return "BML";
+  }
+  return "?";
+}
+
+size_t WindowSizeFor(WindowPolicy policy, size_t n, size_t available) {
+  size_t want = available;
+  switch (policy) {
+    case WindowPolicy::kLastN:
+      want = n;
+      break;
+    case WindowPolicy::kLast2N:
+      want = 2 * n;
+      break;
+    case WindowPolicy::kLast3N:
+      want = 3 * n;
+      break;
+    case WindowPolicy::kAll:
+      want = available;
+      break;
+  }
+  return std::min(want, available);
+}
+
+ModelSelector::ModelSelector(ModelSelectorOptions options)
+    : options_(options) {}
+
+void ModelSelector::AddCandidate(LearnerFactory factory) {
+  factories_.push_back(std::move(factory));
+}
+
+void ModelSelector::AddDefaultCandidates(uint64_t seed) {
+  AddCandidate([] { return std::make_unique<LeastSquaresLearner>(); });
+  AddCandidate([seed] {
+    BaggingOptions opts;
+    opts.seed = seed;
+    return std::make_unique<BaggingLearner>(opts);
+  });
+  AddCandidate([seed] {
+    MlpOptions opts;
+    opts.seed = seed + 1;
+    return std::make_unique<MlpLearner>(opts);
+  });
+}
+
+StatusOr<double> ModelSelector::CrossValidatedRmse(
+    const LearnerFactory& factory, const std::vector<Vector>& features,
+    const Vector& targets) const {
+  const size_t n = features.size();
+  const size_t folds = std::max<size_t>(2, std::min(options_.num_folds, n));
+  double total_sq = 0.0;
+  size_t total_count = 0;
+  for (size_t fold = 0; fold < folds; ++fold) {
+    std::vector<Vector> train_x, test_x;
+    Vector train_y, test_y;
+    for (size_t i = 0; i < n; ++i) {
+      if (i % folds == fold) {
+        test_x.push_back(features[i]);
+        test_y.push_back(targets[i]);
+      } else {
+        train_x.push_back(features[i]);
+        train_y.push_back(targets[i]);
+      }
+    }
+    if (test_x.empty() || train_x.empty()) continue;
+    std::unique_ptr<Learner> learner = factory();
+    MIDAS_RETURN_IF_ERROR(learner->Fit(train_x, train_y));
+    for (size_t i = 0; i < test_x.size(); ++i) {
+      MIDAS_ASSIGN_OR_RETURN(double pred, learner->Predict(test_x[i]));
+      const double d = pred - test_y[i];
+      total_sq += d * d;
+      ++total_count;
+    }
+  }
+  if (total_count == 0) {
+    return Status::Internal("cross validation produced no test points");
+  }
+  return std::sqrt(total_sq / static_cast<double>(total_count));
+}
+
+StatusOr<double> ModelSelector::TrainingRmse(
+    const LearnerFactory& factory, const std::vector<Vector>& features,
+    const Vector& targets) const {
+  std::unique_ptr<Learner> learner = factory();
+  MIDAS_RETURN_IF_ERROR(learner->Fit(features, targets));
+  double total_sq = 0.0;
+  for (size_t i = 0; i < features.size(); ++i) {
+    MIDAS_ASSIGN_OR_RETURN(double pred, learner->Predict(features[i]));
+    const double d = pred - targets[i];
+    total_sq += d * d;
+  }
+  return std::sqrt(total_sq / static_cast<double>(features.size()));
+}
+
+StatusOr<SelectedModel> ModelSelector::SelectBest(
+    const std::vector<Vector>& features, const Vector& targets) const {
+  if (factories_.empty()) {
+    return Status::FailedPrecondition("no candidate learners registered");
+  }
+  MIDAS_RETURN_IF_ERROR(ValidateTrainingData(features, targets, 2));
+
+  double best_error = std::numeric_limits<double>::infinity();
+  const LearnerFactory* best_factory = nullptr;
+  for (const LearnerFactory& factory : factories_) {
+    auto error = options_.mode == SelectionMode::kTrainingError
+                     ? TrainingRmse(factory, features, targets)
+                     : CrossValidatedRmse(factory, features, targets);
+    if (!error.ok()) continue;  // candidate cannot handle this window
+    if (*error < best_error) {
+      best_error = *error;
+      best_factory = &factory;
+    }
+  }
+  if (best_factory == nullptr) {
+    return Status::FailedPrecondition(
+        "no candidate learner could fit the window of " +
+        std::to_string(features.size()) + " observations");
+  }
+  SelectedModel out;
+  out.learner = (*best_factory)();
+  MIDAS_RETURN_IF_ERROR(out.learner->Fit(features, targets));
+  out.name = out.learner->name();
+  out.validation_error = best_error;
+  return out;
+}
+
+}  // namespace midas

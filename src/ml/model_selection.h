@@ -1,0 +1,88 @@
+#ifndef MIDAS_ML_MODEL_SELECTION_H_
+#define MIDAS_ML_MODEL_SELECTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/learner.h"
+
+namespace midas {
+
+/// \brief History window used when training a baseline model — the paper's
+/// BML_N / BML_2N / BML_3N / BML (no limit) configurations, where
+/// N = L + 2 is the smallest window DREAM itself requires.
+enum class WindowPolicy { kLastN, kLast2N, kLast3N, kAll };
+
+std::string WindowPolicyName(WindowPolicy policy);
+
+/// Number of newest observations to keep under `policy` given base window n
+/// and available history size; kAll returns `available`.
+size_t WindowSizeFor(WindowPolicy policy, size_t n, size_t available);
+
+/// \brief A learner chosen by the selector, refitted on the full window.
+struct SelectedModel {
+  std::unique_ptr<Learner> learner;
+  std::string name;
+  /// Cross-validated error that won the selection.
+  double validation_error = 0.0;
+};
+
+using LearnerFactory = std::function<std::unique_ptr<Learner>()>;
+
+/// How candidate models are scored against each other.
+enum class SelectionMode {
+  /// IReS behaviour: fit on the window and score on the same window
+  /// ("the best model with the smallest error is selected", §2.4 — the
+  /// paper notes this uses the total information for training and
+  /// testing). Favors high-capacity learners on small windows.
+  kTrainingError,
+  /// Sounder alternative: k-fold cross-validated RMSE.
+  kCrossValidation,
+};
+
+struct ModelSelectorOptions {
+  SelectionMode mode = SelectionMode::kTrainingError;
+  /// k of k-fold cross validation (mode == kCrossValidation); clamped to
+  /// the training size.
+  size_t num_folds = 3;
+};
+
+/// \brief "Best Machine Learning model" selection as done by the IReS
+/// Modelling module: fit every candidate learner, score each (training
+/// error by default, matching IReS; optionally cross-validation), keep
+/// the smallest error, and refit the winner on the whole window.
+class ModelSelector {
+ public:
+  explicit ModelSelector(ModelSelectorOptions options = ModelSelectorOptions());
+
+  /// Registers a candidate algorithm. The factory is invoked once per fold
+  /// plus once for the final refit.
+  void AddCandidate(LearnerFactory factory);
+
+  /// Installs the paper's zoo: least squares, bagging predictors, MLP.
+  void AddDefaultCandidates(uint64_t seed = 17);
+
+  size_t num_candidates() const { return factories_.size(); }
+
+  /// Runs the selection. Candidates that fail to fit (e.g., too little
+  /// data) are skipped; fails only when no candidate fits.
+  StatusOr<SelectedModel> SelectBest(const std::vector<Vector>& features,
+                                     const Vector& targets) const;
+
+ private:
+  StatusOr<double> CrossValidatedRmse(const LearnerFactory& factory,
+                                      const std::vector<Vector>& features,
+                                      const Vector& targets) const;
+  StatusOr<double> TrainingRmse(const LearnerFactory& factory,
+                                const std::vector<Vector>& features,
+                                const Vector& targets) const;
+
+  ModelSelectorOptions options_;
+  std::vector<LearnerFactory> factories_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_ML_MODEL_SELECTION_H_

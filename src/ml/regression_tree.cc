@@ -1,0 +1,151 @@
+#include "ml/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace midas {
+
+namespace {
+
+double MeanOf(const Vector& ys, const std::vector<size_t>& idx) {
+  double s = 0.0;
+  for (size_t i : idx) s += ys[i];
+  return idx.empty() ? 0.0 : s / static_cast<double>(idx.size());
+}
+
+double SseOf(const Vector& ys, const std::vector<size_t>& idx) {
+  const double mu = MeanOf(ys, idx);
+  double s = 0.0;
+  for (size_t i : idx) s += (ys[i] - mu) * (ys[i] - mu);
+  return s;
+}
+
+}  // namespace
+
+RegressionTree::RegressionTree(RegressionTreeOptions options)
+    : options_(options) {}
+
+Status RegressionTree::Fit(const std::vector<Vector>& features,
+                           const Vector& targets) {
+  MIDAS_RETURN_IF_ERROR(
+      ValidateTrainingData(features, targets, MinTrainingSize()));
+  nodes_.clear();
+  arity_ = features[0].size();
+  std::vector<size_t> all(features.size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  BuildNode(features, targets, all, 0);
+  fitted_ = true;
+  return Status::OK();
+}
+
+int RegressionTree::BuildNode(const std::vector<Vector>& xs, const Vector& ys,
+                              std::vector<size_t>& indices, size_t depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].value = MeanOf(ys, indices);
+
+  if (indices.size() < options_.min_samples_split ||
+      depth >= options_.max_depth) {
+    return node_id;
+  }
+  const double node_sse = SseOf(ys, indices);
+  if (node_sse <= 0.0) return node_id;  // pure node
+
+  // Exhaustive search over (feature, threshold between consecutive sorted
+  // values) for the split with the largest SSE reduction.
+  double best_gain = 0.0;
+  size_t best_feature = 0;
+  double best_threshold = 0.0;
+  for (size_t f = 0; f < arity_; ++f) {
+    std::vector<size_t> sorted = indices;
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return xs[a][f] < xs[b][f];
+    });
+    // Prefix sums of y and y^2 allow O(1) SSE of each split.
+    double left_sum = 0.0, left_sq = 0.0;
+    double total_sum = 0.0, total_sq = 0.0;
+    for (size_t i : sorted) {
+      total_sum += ys[i];
+      total_sq += ys[i] * ys[i];
+    }
+    for (size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+      const size_t i = sorted[pos];
+      left_sum += ys[i];
+      left_sq += ys[i] * ys[i];
+      const double xa = xs[i][f];
+      const double xb = xs[sorted[pos + 1]][f];
+      if (xa == xb) continue;  // cannot split between equal values
+      const double nl = static_cast<double>(pos + 1);
+      const double nr = static_cast<double>(sorted.size() - pos - 1);
+      const double sse_l = left_sq - left_sum * left_sum / nl;
+      const double right_sum = total_sum - left_sum;
+      const double sse_r =
+          (total_sq - left_sq) - right_sum * right_sum / nr;
+      const double gain = node_sse - (sse_l + sse_r);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (xa + xb);
+      }
+    }
+  }
+  if (best_gain < options_.min_impurity_decrease * node_sse ||
+      best_gain <= 0.0) {
+    return node_id;
+  }
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : indices) {
+    (xs[i][best_feature] <= best_threshold ? left_idx : right_idx).push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+
+  nodes_[node_id].is_leaf = false;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = BuildNode(xs, ys, left_idx, depth + 1);
+  nodes_[node_id].left = left;
+  const int right = BuildNode(xs, ys, right_idx, depth + 1);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+StatusOr<double> RegressionTree::Predict(const Vector& x) const {
+  if (!fitted_) return Status::FailedPrecondition("tree is not fitted");
+  if (x.size() != arity_) {
+    return Status::InvalidArgument("feature length mismatch");
+  }
+  int node = 0;
+  while (!nodes_[node].is_leaf) {
+    node = x[nodes_[node].feature] <= nodes_[node].threshold
+               ? nodes_[node].left
+               : nodes_[node].right;
+  }
+  return nodes_[node].value;
+}
+
+std::unique_ptr<Learner> RegressionTree::Clone() const {
+  return std::make_unique<RegressionTree>(*this);
+}
+
+size_t RegressionTree::NodeCount() const { return nodes_.size(); }
+
+size_t RegressionTree::Depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the implicit tree.
+  size_t max_depth = 0;
+  std::vector<std::pair<int, size_t>> stack = {{0, 1}};
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    if (!nodes_[id].is_leaf) {
+      stack.push_back({nodes_[id].left, d + 1});
+      stack.push_back({nodes_[id].right, d + 1});
+    }
+  }
+  return max_depth;
+}
+
+}  // namespace midas

@@ -1,0 +1,64 @@
+#ifndef MIDAS_ML_REGRESSION_TREE_H_
+#define MIDAS_ML_REGRESSION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/learner.h"
+
+namespace midas {
+
+struct RegressionTreeOptions {
+  /// Nodes with fewer samples become leaves. 2 grows fully (unpruned
+  /// trees, as Breiman's bagging prescribes for its base learner).
+  size_t min_samples_split = 2;
+  /// Hard depth cap; keeps trees bounded for the bagging ensemble.
+  size_t max_depth = 12;
+  /// A split must reduce SSE by at least this fraction of the node SSE.
+  double min_impurity_decrease = 1e-9;
+};
+
+/// \brief CART-style binary regression tree (variance-reduction splits,
+/// mean-value leaves). Base learner for BaggingLearner, and usable alone.
+class RegressionTree final : public Learner {
+ public:
+  explicit RegressionTree(RegressionTreeOptions options =
+                              RegressionTreeOptions());
+
+  std::string name() const override { return "regression_tree"; }
+
+  Status Fit(const std::vector<Vector>& features,
+             const Vector& targets) override;
+
+  StatusOr<double> Predict(const Vector& x) const override;
+
+  std::unique_ptr<Learner> Clone() const override;
+
+  size_t MinTrainingSize() const override { return 2; }
+
+  /// Number of nodes in the fitted tree (tests and ablation hooks).
+  size_t NodeCount() const;
+  size_t Depth() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    double value = 0.0;      // leaf prediction
+    size_t feature = 0;      // split feature index
+    double threshold = 0.0;  // go left when x[feature] <= threshold
+    int left = -1;           // child indices into nodes_
+    int right = -1;
+  };
+
+  int BuildNode(const std::vector<Vector>& xs, const Vector& ys,
+                std::vector<size_t>& indices, size_t depth);
+
+  RegressionTreeOptions options_;
+  std::vector<Node> nodes_;
+  size_t arity_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_ML_REGRESSION_TREE_H_

@@ -1,0 +1,49 @@
+#include "optimizer/configuration_problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace midas {
+
+ConfigurationProblem::ConfigurationProblem(std::string name,
+                                           std::vector<size_t> dims,
+                                           size_t num_objectives,
+                                           Evaluator evaluator)
+    : name_(std::move(name)),
+      dims_(std::move(dims)),
+      num_objectives_(num_objectives),
+      evaluator_(std::move(evaluator)) {
+  MIDAS_CHECK(!dims_.empty()) << "configuration space has no dimensions";
+  for (size_t d : dims_) MIDAS_CHECK(d > 0) << "empty dimension";
+  MIDAS_CHECK(static_cast<bool>(evaluator_)) << "null evaluator";
+}
+
+std::pair<double, double> ConfigurationProblem::bounds(size_t var) const {
+  MIDAS_CHECK(var < dims_.size());
+  return {0.0, static_cast<double>(dims_[var] - 1)};
+}
+
+std::vector<size_t> ConfigurationProblem::Decode(const Vector& x) const {
+  std::vector<size_t> config(dims_.size(), 0);
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    const double v = d < x.size() ? x[d] : 0.0;
+    const long idx = std::lround(v);
+    config[d] = static_cast<size_t>(
+        std::clamp<long>(idx, 0, static_cast<long>(dims_[d] - 1)));
+  }
+  return config;
+}
+
+Vector ConfigurationProblem::Evaluate(const Vector& x) const {
+  return evaluator_(Decode(x));
+}
+
+uint64_t ConfigurationProblem::SpaceSize() const {
+  uint64_t total = 1;
+  for (size_t d : dims_) total *= d;
+  return total;
+}
+
+}  // namespace midas

@@ -1,0 +1,48 @@
+#ifndef MIDAS_OPTIMIZER_CONFIGURATION_PROBLEM_H_
+#define MIDAS_OPTIMIZER_CONFIGURATION_PROBLEM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "optimizer/problem.h"
+
+namespace midas {
+
+/// \brief Adapter exposing a discrete configuration space (e.g., the QEP
+/// knobs: join order × compute placement × VM counts) as a continuous
+/// MooProblem so the genetic optimizers can search it.
+///
+/// Each decision dimension d has cardinality dims[d]; the continuous
+/// variable ranges over [0, dims[d] - 1] and is rounded to the nearest
+/// integer before evaluation. The evaluator maps a configuration (one
+/// index per dimension) to its predicted cost vector.
+class ConfigurationProblem final : public MooProblem {
+ public:
+  using Evaluator = std::function<Vector(const std::vector<size_t>&)>;
+
+  ConfigurationProblem(std::string name, std::vector<size_t> dims,
+                       size_t num_objectives, Evaluator evaluator);
+
+  std::string name() const override { return name_; }
+  size_t num_variables() const override { return dims_.size(); }
+  size_t num_objectives() const override { return num_objectives_; }
+  std::pair<double, double> bounds(size_t var) const override;
+  Vector Evaluate(const Vector& x) const override;
+
+  /// Rounds a continuous decision vector to its configuration indices.
+  std::vector<size_t> Decode(const Vector& x) const;
+
+  /// Total number of distinct configurations (product of dims).
+  uint64_t SpaceSize() const;
+
+ private:
+  std::string name_;
+  std::vector<size_t> dims_;
+  size_t num_objectives_;
+  Evaluator evaluator_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_OPTIMIZER_CONFIGURATION_PROBLEM_H_

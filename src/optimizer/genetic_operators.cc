@@ -1,0 +1,85 @@
+#include "optimizer/genetic_operators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace midas {
+
+Individual RandomIndividual(const MooProblem& problem, Rng* rng) {
+  Individual ind;
+  ind.variables.resize(problem.num_variables());
+  for (size_t i = 0; i < ind.variables.size(); ++i) {
+    auto [lo, hi] = problem.bounds(i);
+    ind.variables[i] = rng->Uniform(lo, hi);
+  }
+  ind.objectives = problem.Evaluate(ind.variables);
+  return ind;
+}
+
+std::pair<Vector, Vector> SbxCrossover(const MooProblem& problem,
+                                       const Vector& parent1,
+                                       const Vector& parent2,
+                                       const SbxOptions& options, Rng* rng) {
+  Vector child1 = parent1;
+  Vector child2 = parent2;
+  if (rng->Uniform() >= options.crossover_probability) {
+    return {child1, child2};
+  }
+  const double eta = options.distribution_index;
+  for (size_t i = 0; i < child1.size(); ++i) {
+    if (rng->Uniform() >= 0.5) continue;  // per-variable gate
+    const double x1 = parent1[i];
+    const double x2 = parent2[i];
+    if (std::abs(x1 - x2) < 1e-14) continue;
+    const double u = rng->Uniform();
+    double beta;
+    if (u <= 0.5) {
+      beta = std::pow(2.0 * u, 1.0 / (eta + 1.0));
+    } else {
+      beta = std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
+    }
+    child1[i] = 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2);
+    child2[i] = 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2);
+  }
+  child1 = problem.ClampToBounds(std::move(child1));
+  child2 = problem.ClampToBounds(std::move(child2));
+  return {child1, child2};
+}
+
+Vector PolynomialMutation(const MooProblem& problem, Vector x,
+                          const MutationOptions& options, Rng* rng) {
+  const double pm =
+      options.mutation_probability > 0.0
+          ? options.mutation_probability
+          : 1.0 / static_cast<double>(std::max<size_t>(1, x.size()));
+  const double eta = options.distribution_index;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (rng->Uniform() >= pm) continue;
+    auto [lo, hi] = problem.bounds(i);
+    const double range = hi - lo;
+    if (range <= 0.0) continue;
+    const double u = rng->Uniform();
+    double delta;
+    if (u < 0.5) {
+      delta = std::pow(2.0 * u, 1.0 / (eta + 1.0)) - 1.0;
+    } else {
+      delta = 1.0 - std::pow(2.0 * (1.0 - u), 1.0 / (eta + 1.0));
+    }
+    x[i] = std::clamp(x[i] + delta * range, lo, hi);
+  }
+  return x;
+}
+
+const Individual& BinaryTournament(const std::vector<Individual>& population,
+                                   Rng* rng) {
+  MIDAS_CHECK(!population.empty());
+  const Individual& a = population[rng->Index(population.size())];
+  const Individual& b = population[rng->Index(population.size())];
+  if (a.rank != b.rank) return a.rank < b.rank ? a : b;
+  if (a.crowding != b.crowding) return a.crowding > b.crowding ? a : b;
+  return rng->Bernoulli(0.5) ? a : b;
+}
+
+}  // namespace midas

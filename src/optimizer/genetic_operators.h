@@ -1,0 +1,49 @@
+#ifndef MIDAS_OPTIMIZER_GENETIC_OPERATORS_H_
+#define MIDAS_OPTIMIZER_GENETIC_OPERATORS_H_
+
+#include "common/random.h"
+#include "optimizer/problem.h"
+
+namespace midas {
+
+/// \brief One member of a genetic population.
+struct Individual {
+  Vector variables;
+  Vector objectives;
+  /// Non-domination rank (0 = Pareto front of the population).
+  int rank = 0;
+  /// Crowding distance within its front.
+  double crowding = 0.0;
+};
+
+/// Samples a uniform random point in the problem's box.
+Individual RandomIndividual(const MooProblem& problem, Rng* rng);
+
+/// Simulated Binary Crossover (Deb & Agrawal 1995). Produces two children;
+/// applied per-variable with probability 0.5 when crossover fires.
+struct SbxOptions {
+  double crossover_probability = 0.9;
+  double distribution_index = 15.0;  // eta_c
+};
+std::pair<Vector, Vector> SbxCrossover(const MooProblem& problem,
+                                       const Vector& parent1,
+                                       const Vector& parent2,
+                                       const SbxOptions& options, Rng* rng);
+
+/// Polynomial mutation (Deb 1996), applied per variable with probability
+/// `mutation_probability` (defaulting to 1/num_variables when <= 0).
+struct MutationOptions {
+  double mutation_probability = -1.0;
+  double distribution_index = 20.0;  // eta_m
+};
+Vector PolynomialMutation(const MooProblem& problem, Vector x,
+                          const MutationOptions& options, Rng* rng);
+
+/// Binary tournament by (rank, crowding): lower rank wins, ties broken by
+/// larger crowding distance, then randomly.
+const Individual& BinaryTournament(const std::vector<Individual>& population,
+                                   Rng* rng);
+
+}  // namespace midas
+
+#endif  // MIDAS_OPTIMIZER_GENETIC_OPERATORS_H_

@@ -1,0 +1,133 @@
+#include "optimizer/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "optimizer/pareto.h"
+
+namespace midas {
+
+StatusOr<double> Hypervolume2D(const std::vector<Vector>& front,
+                               const Vector& reference) {
+  if (reference.size() != 2) {
+    return Status::InvalidArgument("Hypervolume2D needs a 2-D reference");
+  }
+  if (front.empty()) return 0.0;
+  // Keep only points that dominate (are inside) the reference box.
+  std::vector<Vector> pts;
+  for (const Vector& p : front) {
+    if (p.size() != 2) {
+      return Status::InvalidArgument("non-2-D point in front");
+    }
+    if (p[0] < reference[0] && p[1] < reference[1]) pts.push_back(p);
+  }
+  if (pts.empty()) return 0.0;
+  // Sort by first objective ascending; sweep accumulating rectangles of
+  // the staircase formed by successively better second objectives.
+  std::sort(pts.begin(), pts.end(), [](const Vector& a, const Vector& b) {
+    if (a[0] != b[0]) return a[0] < b[0];
+    return a[1] < b[1];
+  });
+  double volume = 0.0;
+  double prev_y = reference[1];
+  for (const Vector& p : pts) {
+    if (p[1] < prev_y) {
+      volume += (reference[0] - p[0]) * (prev_y - p[1]);
+      prev_y = p[1];
+    }
+  }
+  return volume;
+}
+
+StatusOr<double> HypervolumeMonteCarlo(const std::vector<Vector>& front,
+                                       const Vector& reference,
+                                       size_t samples, uint64_t seed) {
+  if (reference.empty()) {
+    return Status::InvalidArgument("empty reference point");
+  }
+  if (samples == 0) return Status::InvalidArgument("need samples > 0");
+  const size_t k = reference.size();
+  // Box lower corner: component-wise minimum of the front (clipped at the
+  // reference).
+  Vector lo(k);
+  bool any_inside = false;
+  for (const Vector& p : front) {
+    if (p.size() != k) {
+      return Status::InvalidArgument("front/reference arity mismatch");
+    }
+  }
+  for (size_t m = 0; m < k; ++m) {
+    double v = reference[m];
+    for (const Vector& p : front) v = std::min(v, p[m]);
+    lo[m] = v;
+    if (v < reference[m]) any_inside = true;
+  }
+  if (front.empty() || !any_inside) return 0.0;
+  double box = 1.0;
+  for (size_t m = 0; m < k; ++m) box *= reference[m] - lo[m];
+  if (box <= 0.0) return 0.0;
+
+  Rng rng(seed);
+  size_t hits = 0;
+  Vector sample(k);
+  for (size_t s = 0; s < samples; ++s) {
+    for (size_t m = 0; m < k; ++m) sample[m] = rng.Uniform(lo[m], reference[m]);
+    for (const Vector& p : front) {
+      if (WeaklyDominates(p, sample)) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return box * static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+StatusOr<double> InvertedGenerationalDistance(
+    const std::vector<Vector>& front,
+    const std::vector<Vector>& reference_front) {
+  if (front.empty() || reference_front.empty()) {
+    return Status::InvalidArgument("IGD of empty front");
+  }
+  double total = 0.0;
+  for (const Vector& r : reference_front) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Vector& p : front) {
+      if (p.size() != r.size()) {
+        return Status::InvalidArgument("front arity mismatch");
+      }
+      double d2 = 0.0;
+      for (size_t m = 0; m < r.size(); ++m) {
+        d2 += (p[m] - r[m]) * (p[m] - r[m]);
+      }
+      best = std::min(best, d2);
+    }
+    total += std::sqrt(best);
+  }
+  return total / static_cast<double>(reference_front.size());
+}
+
+StatusOr<double> Spacing2D(const std::vector<Vector>& front) {
+  if (front.size() < 3) {
+    return Status::InvalidArgument("spacing needs at least 3 points");
+  }
+  std::vector<Vector> pts = front;
+  std::sort(pts.begin(), pts.end(), [](const Vector& a, const Vector& b) {
+    return a[0] < b[0];
+  });
+  std::vector<double> gaps;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    const double dx = pts[i][0] - pts[i - 1][0];
+    const double dy = pts[i][1] - pts[i - 1][1];
+    gaps.push_back(std::sqrt(dx * dx + dy * dy));
+  }
+  double mean = 0.0;
+  for (double g : gaps) mean += g;
+  mean /= static_cast<double>(gaps.size());
+  double var = 0.0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  return std::sqrt(var / static_cast<double>(gaps.size()));
+}
+
+}  // namespace midas

@@ -1,0 +1,38 @@
+#ifndef MIDAS_OPTIMIZER_METRICS_H_
+#define MIDAS_OPTIMIZER_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace midas {
+
+/// \brief Hypervolume of a 2-objective front w.r.t. a reference point
+/// (both objectives minimised; points outside the reference box are
+/// clipped away). Exact sweep algorithm.
+StatusOr<double> Hypervolume2D(const std::vector<Vector>& front,
+                               const Vector& reference);
+
+/// \brief Monte-Carlo hypervolume for K >= 2 objectives: fraction of the
+/// reference box dominated by the front, times the box volume.
+/// Deterministic given the seed.
+StatusOr<double> HypervolumeMonteCarlo(const std::vector<Vector>& front,
+                                       const Vector& reference,
+                                       size_t samples = 100000,
+                                       uint64_t seed = 99);
+
+/// \brief Inverted Generational Distance: mean distance from each point of
+/// `reference_front` to its nearest neighbour in `front`. Lower is better.
+StatusOr<double> InvertedGenerationalDistance(
+    const std::vector<Vector>& front,
+    const std::vector<Vector>& reference_front);
+
+/// \brief Spread (spacing) of a 2-objective front: standard deviation of
+/// consecutive gaps after sorting on the first objective. Lower = more
+/// uniform coverage.
+StatusOr<double> Spacing2D(const std::vector<Vector>& front);
+
+}  // namespace midas
+
+#endif  // MIDAS_OPTIMIZER_METRICS_H_

@@ -1,0 +1,127 @@
+#include "optimizer/moead.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "optimizer/pareto.h"
+
+namespace midas {
+
+namespace {
+constexpr double kWeightEpsilon = 1e-4;
+}  // namespace
+
+Moead::Moead(MoeadOptions options) : options_(options) {}
+
+double TchebycheffCost(const Vector& objectives, const Vector& weights,
+                       const Vector& ideal) {
+  double worst = 0.0;
+  for (size_t k = 0; k < objectives.size(); ++k) {
+    const double w = std::max(weights[k], kWeightEpsilon);
+    worst = std::max(worst, w * std::abs(objectives[k] - ideal[k]));
+  }
+  return worst;
+}
+
+StatusOr<MooResult> Moead::Optimize(const MooProblem& problem) const {
+  const size_t n = options_.population_size;
+  if (n < 4) {
+    return Status::InvalidArgument("population must hold at least 4");
+  }
+  if (problem.num_objectives() != 2) {
+    return Status::Unimplemented(
+        "MOEA/D implemented for two objectives (the time/money MOQP case)");
+  }
+  if (options_.neighborhood < 2) {
+    return Status::InvalidArgument("neighborhood must be at least 2");
+  }
+  Rng rng(options_.seed);
+
+  // Uniform 2-D weight vectors (λ_i, 1 - λ_i); neighbours are simply the
+  // adjacent indices in this spread.
+  std::vector<Vector> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double w = static_cast<double>(i) / static_cast<double>(n - 1);
+    weights[i] = {w, 1.0 - w};
+  }
+  const size_t t = std::min(options_.neighborhood, n);
+  std::vector<std::vector<size_t>> neighbors(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Window of T nearest weight indices centred on i.
+    const size_t half = t / 2;
+    size_t lo = i > half ? i - half : 0;
+    size_t hi = std::min(lo + t, n);
+    lo = hi > t ? hi - t : 0;
+    for (size_t j = lo; j < hi; ++j) neighbors[i].push_back(j);
+  }
+
+  // Initial population: one individual per subproblem.
+  std::vector<Individual> population;
+  population.reserve(n);
+  Vector ideal(2, std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    population.push_back(RandomIndividual(problem, &rng));
+    for (size_t k = 0; k < 2; ++k) {
+      ideal[k] = std::min(ideal[k], population[i].objectives[k]);
+    }
+  }
+
+  // External archive of non-dominated solutions.
+  std::vector<Individual> archive;
+  auto offer_to_archive = [&archive](const Individual& candidate) {
+    for (const Individual& member : archive) {
+      if (WeaklyDominates(member.objectives, candidate.objectives)) return;
+    }
+    archive.erase(
+        std::remove_if(archive.begin(), archive.end(),
+                       [&candidate](const Individual& member) {
+                         return Dominates(candidate.objectives,
+                                          member.objectives);
+                       }),
+        archive.end());
+    archive.push_back(candidate);
+  };
+  for (const Individual& ind : population) offer_to_archive(ind);
+
+  for (size_t gen = 0; gen < options_.generations; ++gen) {
+    for (size_t i = 0; i < n; ++i) {
+      // Mating selection within the neighbourhood.
+      const std::vector<size_t>& nbhd = neighbors[i];
+      const size_t p1 = nbhd[rng.Index(nbhd.size())];
+      const size_t p2 = nbhd[rng.Index(nbhd.size())];
+      auto [c1, c2] =
+          SbxCrossover(problem, population[p1].variables,
+                       population[p2].variables, options_.crossover, &rng);
+      Individual child;
+      child.variables = PolynomialMutation(
+          problem, rng.Bernoulli(0.5) ? std::move(c1) : std::move(c2),
+          options_.mutation, &rng);
+      child.objectives = problem.Evaluate(child.variables);
+
+      // Update the ideal point.
+      for (size_t k = 0; k < 2; ++k) {
+        ideal[k] = std::min(ideal[k], child.objectives[k]);
+      }
+      // Replace neighbours the child improves (Tchebycheff-wise).
+      for (size_t j : nbhd) {
+        const double child_cost =
+            TchebycheffCost(child.objectives, weights[j], ideal);
+        const double incumbent_cost =
+            TchebycheffCost(population[j].objectives, weights[j], ideal);
+        if (child_cost < incumbent_cost) population[j] = child;
+      }
+      offer_to_archive(child);
+    }
+  }
+
+  MooResult result;
+  result.population = std::move(archive);
+  RankAndCrowd(&result.population);
+  for (size_t i = 0; i < result.population.size(); ++i) {
+    if (result.population[i].rank == 0) result.front.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace midas

@@ -1,0 +1,54 @@
+#ifndef MIDAS_OPTIMIZER_MOEAD_H_
+#define MIDAS_OPTIMIZER_MOEAD_H_
+
+#include "optimizer/genetic_operators.h"
+#include "optimizer/nsga2.h"
+
+namespace midas {
+
+struct MoeadOptions {
+  /// Number of decomposition subproblems (== population size).
+  size_t population_size = 100;
+  size_t generations = 100;
+  /// Neighbourhood size T: parents are drawn from, and updates applied
+  /// to, each subproblem's T nearest weight vectors.
+  size_t neighborhood = 20;
+  SbxOptions crossover;
+  MutationOptions mutation;
+  uint64_t seed = 1;
+};
+
+/// \brief MOEA/D (Zhang & Li 2007; the paper's reference [36]) — a
+/// decomposition-based alternative to the Pareto-dominance optimizers in
+/// IReS' Multi-Objective Optimizer module.
+///
+/// The multi-objective problem is decomposed into `population_size`
+/// scalar subproblems via the Tchebycheff approach over a uniform spread
+/// of weight vectors; each generation evolves every subproblem using
+/// parents from its weight-space neighbourhood and propagates improving
+/// children to neighbouring subproblems. An external archive collects the
+/// non-dominated solutions encountered, which are returned as the front.
+///
+/// Supports two objectives (the time/money MOQP case); more objectives
+/// return Unimplemented.
+class Moead {
+ public:
+  explicit Moead(MoeadOptions options = MoeadOptions());
+
+  StatusOr<MooResult> Optimize(const MooProblem& problem) const;
+
+  const MoeadOptions& options() const { return options_; }
+
+ private:
+  MoeadOptions options_;
+};
+
+/// Tchebycheff scalarisation: max_k w_k |f_k - z*_k| with the convention
+/// that zero weights are replaced by a small epsilon (standard MOEA/D
+/// practice, keeps boundary subproblems well-posed). Exposed for tests.
+double TchebycheffCost(const Vector& objectives, const Vector& weights,
+                       const Vector& ideal);
+
+}  // namespace midas
+
+#endif  // MIDAS_OPTIMIZER_MOEAD_H_

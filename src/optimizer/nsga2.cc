@@ -1,0 +1,107 @@
+#include "optimizer/nsga2.h"
+
+#include <algorithm>
+
+#include "optimizer/pareto.h"
+
+namespace midas {
+
+std::vector<Vector> MooResult::FrontObjectives() const {
+  std::vector<Vector> out;
+  out.reserve(front.size());
+  for (size_t i : front) out.push_back(population[i].objectives);
+  return out;
+}
+
+std::vector<Vector> MooResult::FrontVariables() const {
+  std::vector<Vector> out;
+  out.reserve(front.size());
+  for (size_t i : front) out.push_back(population[i].variables);
+  return out;
+}
+
+void RankAndCrowd(std::vector<Individual>* population) {
+  std::vector<Vector> costs;
+  costs.reserve(population->size());
+  for (const Individual& ind : *population) costs.push_back(ind.objectives);
+  const auto fronts = FastNonDominatedSort(costs);
+  for (size_t f = 0; f < fronts.size(); ++f) {
+    const std::vector<double> crowding = CrowdingDistances(costs, fronts[f]);
+    for (size_t k = 0; k < fronts[f].size(); ++k) {
+      (*population)[fronts[f][k]].rank = static_cast<int>(f);
+      (*population)[fronts[f][k]].crowding = crowding[k];
+    }
+  }
+}
+
+std::vector<Individual> SelectByRankAndCrowding(std::vector<Individual> pool,
+                                                size_t target) {
+  RankAndCrowd(&pool);
+  std::sort(pool.begin(), pool.end(),
+            [](const Individual& a, const Individual& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              return a.crowding > b.crowding;
+            });
+  if (pool.size() > target) pool.resize(target);
+  return pool;
+}
+
+Nsga2::Nsga2(Nsga2Options options) : options_(options) {}
+
+StatusOr<MooResult> Nsga2::Optimize(const MooProblem& problem) const {
+  if (options_.population_size < 4) {
+    return Status::InvalidArgument("population must hold at least 4");
+  }
+  if (problem.num_variables() == 0 || problem.num_objectives() == 0) {
+    return Status::InvalidArgument("degenerate problem");
+  }
+  Rng rng(options_.seed);
+
+  std::vector<Individual> population;
+  population.reserve(options_.population_size);
+  for (size_t i = 0; i < options_.population_size; ++i) {
+    population.push_back(RandomIndividual(problem, &rng));
+  }
+  RankAndCrowd(&population);
+
+  for (size_t gen = 0; gen < options_.generations; ++gen) {
+    std::vector<Individual> offspring;
+    offspring.reserve(options_.population_size);
+    while (offspring.size() < options_.population_size) {
+      const Individual& p1 = BinaryTournament(population, &rng);
+      const Individual& p2 = BinaryTournament(population, &rng);
+      auto [c1, c2] =
+          SbxCrossover(problem, p1.variables, p2.variables,
+                       options_.crossover, &rng);
+      c1 = PolynomialMutation(problem, std::move(c1), options_.mutation,
+                              &rng);
+      c2 = PolynomialMutation(problem, std::move(c2), options_.mutation,
+                              &rng);
+      Individual o1;
+      o1.variables = std::move(c1);
+      o1.objectives = problem.Evaluate(o1.variables);
+      offspring.push_back(std::move(o1));
+      if (offspring.size() < options_.population_size) {
+        Individual o2;
+        o2.variables = std::move(c2);
+        o2.objectives = problem.Evaluate(o2.variables);
+        offspring.push_back(std::move(o2));
+      }
+    }
+    // (μ+λ) elitism over the combined pool.
+    std::vector<Individual> pool = std::move(population);
+    pool.insert(pool.end(), std::make_move_iterator(offspring.begin()),
+                std::make_move_iterator(offspring.end()));
+    population = SelectByRankAndCrowding(std::move(pool),
+                                         options_.population_size);
+  }
+
+  MooResult result;
+  result.population = std::move(population);
+  for (size_t i = 0; i < result.population.size(); ++i) {
+    if (result.population[i].rank == 0) result.front.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace midas

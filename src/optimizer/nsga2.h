@@ -1,0 +1,60 @@
+#ifndef MIDAS_OPTIMIZER_NSGA2_H_
+#define MIDAS_OPTIMIZER_NSGA2_H_
+
+#include <vector>
+
+#include "optimizer/genetic_operators.h"
+#include "optimizer/problem.h"
+
+namespace midas {
+
+struct Nsga2Options {
+  size_t population_size = 100;
+  size_t generations = 100;
+  SbxOptions crossover;
+  MutationOptions mutation;
+  uint64_t seed = 1;
+};
+
+/// \brief Result of a multi-objective evolutionary run: the final
+/// population and its first non-dominated front.
+struct MooResult {
+  std::vector<Individual> population;
+  /// Indices into `population` forming the final Pareto front.
+  std::vector<size_t> front;
+
+  /// Objective vectors of the front members.
+  std::vector<Vector> FrontObjectives() const;
+  /// Decision vectors of the front members.
+  std::vector<Vector> FrontVariables() const;
+};
+
+/// \brief NSGA-II (Deb, Pratap, Agarwal, Meyarivan 2002) — the
+/// multi-objective optimizer the paper plugs into IReS' Multi-Objective
+/// Optimizer module: fast non-dominated sorting, crowding-distance
+/// diversity, binary tournament selection, SBX crossover, polynomial
+/// mutation, and (μ+λ) elitist environmental selection.
+class Nsga2 {
+ public:
+  explicit Nsga2(Nsga2Options options = Nsga2Options());
+
+  StatusOr<MooResult> Optimize(const MooProblem& problem) const;
+
+  const Nsga2Options& options() const { return options_; }
+
+ private:
+  Nsga2Options options_;
+};
+
+/// Assigns rank and crowding to every individual in place (exposed for the
+/// NSGA-G variant and for tests).
+void RankAndCrowd(std::vector<Individual>* population);
+
+/// Elitist environmental selection: keeps the best `target` individuals by
+/// (rank, crowding) from a combined parent+offspring pool.
+std::vector<Individual> SelectByRankAndCrowding(
+    std::vector<Individual> pool, size_t target);
+
+}  // namespace midas
+
+#endif  // MIDAS_OPTIMIZER_NSGA2_H_

@@ -1,0 +1,143 @@
+#include "optimizer/nsga_g.h"
+
+#include <algorithm>
+#include <map>
+
+#include "optimizer/pareto.h"
+
+namespace midas {
+
+NsgaG::NsgaG(NsgaGOptions options) : options_(options) {}
+
+std::vector<size_t> GridSelect(const std::vector<Vector>& objectives,
+                               const std::vector<size_t>& front, size_t want,
+                               size_t grid_divisions, Rng* rng) {
+  if (want >= front.size()) return front;
+  if (front.empty() || want == 0) return {};
+  const size_t num_objectives = objectives[front[0]].size();
+
+  // Normalisation ranges over the front.
+  Vector lo(num_objectives, 0.0), hi(num_objectives, 0.0);
+  for (size_t m = 0; m < num_objectives; ++m) {
+    lo[m] = hi[m] = objectives[front[0]][m];
+    for (size_t idx : front) {
+      lo[m] = std::min(lo[m], objectives[idx][m]);
+      hi[m] = std::max(hi[m], objectives[idx][m]);
+    }
+  }
+  // Hash each member into its cell.
+  std::map<std::vector<size_t>, std::vector<size_t>> cells;
+  for (size_t idx : front) {
+    std::vector<size_t> key(num_objectives, 0);
+    for (size_t m = 0; m < num_objectives; ++m) {
+      const double range = hi[m] - lo[m];
+      double pos = range > 0.0 ? (objectives[idx][m] - lo[m]) / range : 0.0;
+      size_t cell = static_cast<size_t>(pos * static_cast<double>(
+                                                  grid_divisions));
+      key[m] = std::min(cell, grid_divisions - 1);
+    }
+    cells[key].push_back(idx);
+  }
+  // Round-robin: draw one member from a random non-empty cell each step.
+  std::vector<std::vector<size_t>> buckets;
+  buckets.reserve(cells.size());
+  for (auto& [key, members] : cells) buckets.push_back(std::move(members));
+  std::vector<size_t> selected;
+  selected.reserve(want);
+  while (selected.size() < want) {
+    const size_t b = rng->Index(buckets.size());
+    if (buckets[b].empty()) continue;
+    const size_t pick = rng->Index(buckets[b].size());
+    selected.push_back(buckets[b][pick]);
+    buckets[b].erase(buckets[b].begin() + static_cast<ptrdiff_t>(pick));
+    // Drop exhausted buckets so the random draw always terminates.
+    if (buckets[b].empty()) {
+      buckets.erase(buckets.begin() + static_cast<ptrdiff_t>(b));
+    }
+  }
+  return selected;
+}
+
+namespace {
+
+std::vector<Individual> GridEnvironmentalSelection(
+    std::vector<Individual> pool, size_t target, size_t grid_divisions,
+    Rng* rng) {
+  std::vector<Vector> costs;
+  costs.reserve(pool.size());
+  for (const Individual& ind : pool) costs.push_back(ind.objectives);
+  const auto fronts = FastNonDominatedSort(costs);
+
+  std::vector<Individual> next;
+  next.reserve(target);
+  for (size_t f = 0; f < fronts.size() && next.size() < target; ++f) {
+    const size_t room = target - next.size();
+    std::vector<size_t> chosen =
+        fronts[f].size() <= room
+            ? fronts[f]
+            : GridSelect(costs, fronts[f], room, grid_divisions, rng);
+    for (size_t idx : chosen) {
+      Individual ind = pool[idx];
+      ind.rank = static_cast<int>(f);
+      next.push_back(std::move(ind));
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+StatusOr<MooResult> NsgaG::Optimize(const MooProblem& problem) const {
+  if (options_.population_size < 4) {
+    return Status::InvalidArgument("population must hold at least 4");
+  }
+  if (options_.grid_divisions == 0) {
+    return Status::InvalidArgument("grid_divisions must be positive");
+  }
+  if (problem.num_variables() == 0 || problem.num_objectives() == 0) {
+    return Status::InvalidArgument("degenerate problem");
+  }
+  Rng rng(options_.seed);
+
+  std::vector<Individual> population;
+  population.reserve(options_.population_size);
+  for (size_t i = 0; i < options_.population_size; ++i) {
+    population.push_back(RandomIndividual(problem, &rng));
+  }
+  RankAndCrowd(&population);  // tournament still uses (rank, crowding)
+
+  for (size_t gen = 0; gen < options_.generations; ++gen) {
+    std::vector<Individual> offspring;
+    offspring.reserve(options_.population_size);
+    while (offspring.size() < options_.population_size) {
+      const Individual& p1 = BinaryTournament(population, &rng);
+      const Individual& p2 = BinaryTournament(population, &rng);
+      auto [c1, c2] = SbxCrossover(problem, p1.variables, p2.variables,
+                                   options_.crossover, &rng);
+      for (Vector* child : {&c1, &c2}) {
+        if (offspring.size() >= options_.population_size) break;
+        Individual o;
+        o.variables = PolynomialMutation(problem, std::move(*child),
+                                         options_.mutation, &rng);
+        o.objectives = problem.Evaluate(o.variables);
+        offspring.push_back(std::move(o));
+      }
+    }
+    std::vector<Individual> pool = std::move(population);
+    pool.insert(pool.end(), std::make_move_iterator(offspring.begin()),
+                std::make_move_iterator(offspring.end()));
+    population = GridEnvironmentalSelection(
+        std::move(pool), options_.population_size, options_.grid_divisions,
+        &rng);
+    RankAndCrowd(&population);  // refresh crowding for the next tournament
+  }
+
+  MooResult result;
+  result.population = std::move(population);
+  for (size_t i = 0; i < result.population.size(); ++i) {
+    if (result.population[i].rank == 0) result.front.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace midas

@@ -1,0 +1,49 @@
+#ifndef MIDAS_OPTIMIZER_NSGA_G_H_
+#define MIDAS_OPTIMIZER_NSGA_G_H_
+
+#include "optimizer/nsga2.h"
+
+namespace midas {
+
+struct NsgaGOptions {
+  size_t population_size = 100;
+  size_t generations = 100;
+  /// Grid divisions per objective used when splitting the last front.
+  size_t grid_divisions = 8;
+  SbxOptions crossover;
+  MutationOptions mutation;
+  uint64_t seed = 1;
+};
+
+/// \brief NSGA-G — the authors' grid-based NSGA variant (Le, Kantere,
+/// d'Orazio, BPOD@BigData 2018; reference [22] of the paper, listed as a
+/// future-work optimizer for MIDAS).
+///
+/// Identical to NSGA-II except for the environmental selection of the
+/// front that does not fit entirely: instead of ranking its members by
+/// crowding distance, the front is partitioned into a uniform grid over
+/// normalised objective space and members are drawn one per randomly
+/// chosen non-empty cell. This keeps spread with O(front) work instead of
+/// the crowding sort.
+class NsgaG {
+ public:
+  explicit NsgaG(NsgaGOptions options = NsgaGOptions());
+
+  StatusOr<MooResult> Optimize(const MooProblem& problem) const;
+
+  const NsgaGOptions& options() const { return options_; }
+
+ private:
+  NsgaGOptions options_;
+};
+
+/// Grid-based truncation of one front to `want` members (exposed for
+/// tests): normalises the front's objectives, hashes members into
+/// grid_divisions^K cells, then round-robins random non-empty cells.
+std::vector<size_t> GridSelect(const std::vector<Vector>& objectives,
+                               const std::vector<size_t>& front, size_t want,
+                               size_t grid_divisions, Rng* rng);
+
+}  // namespace midas
+
+#endif  // MIDAS_OPTIMIZER_NSGA_G_H_

@@ -1,0 +1,160 @@
+#include "optimizer/pareto.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace midas {
+
+bool WeaklyDominates(const Vector& a, const Vector& b) {
+  MIDAS_CHECK(a.size() == b.size()) << "objective arity mismatch";
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+bool Dominates(const Vector& a, const Vector& b) {
+  MIDAS_CHECK(a.size() == b.size()) << "objective arity mismatch";
+  bool strictly_better_somewhere = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+bool StrictlyDominates(const Vector& a, const Vector& b) {
+  MIDAS_CHECK(a.size() == b.size()) << "objective arity mismatch";
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] >= b[i]) return false;
+  }
+  return true;
+}
+
+std::vector<size_t> ParetoFrontIndices(const std::vector<Vector>& costs) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < costs.size(); ++j) {
+      if (i != j && Dominates(costs[j], costs[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<std::vector<size_t>> FastNonDominatedSort(
+    const std::vector<Vector>& costs) {
+  const size_t n = costs.size();
+  std::vector<std::vector<size_t>> dominated_by(n);  // S_p
+  std::vector<int> domination_count(n, 0);           // n_p
+  std::vector<std::vector<size_t>> fronts;
+
+  std::vector<size_t> first_front;
+  for (size_t p = 0; p < n; ++p) {
+    for (size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (Dominates(costs[p], costs[q])) {
+        dominated_by[p].push_back(q);
+      } else if (Dominates(costs[q], costs[p])) {
+        ++domination_count[p];
+      }
+    }
+    if (domination_count[p] == 0) first_front.push_back(p);
+  }
+  if (first_front.empty()) return fronts;
+  fronts.push_back(std::move(first_front));
+  size_t i = 0;
+  while (i < fronts.size()) {
+    std::vector<size_t> next;
+    for (size_t p : fronts[i]) {
+      for (size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    if (!next.empty()) fronts.push_back(std::move(next));
+    ++i;
+  }
+  return fronts;
+}
+
+std::vector<double> CrowdingDistances(const std::vector<Vector>& costs,
+                                      const std::vector<size_t>& front) {
+  std::vector<double> distance(front.size(), 0.0);
+  if (front.empty()) return distance;
+  const size_t num_objectives = costs[front[0]].size();
+  std::vector<size_t> order(front.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t m = 0; m < num_objectives; ++m) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return costs[front[a]][m] < costs[front[b]][m];
+    });
+    distance[order.front()] = std::numeric_limits<double>::infinity();
+    distance[order.back()] = std::numeric_limits<double>::infinity();
+    const double range =
+        costs[front[order.back()]][m] - costs[front[order.front()]][m];
+    if (range <= 0.0) continue;
+    for (size_t k = 1; k + 1 < order.size(); ++k) {
+      distance[order[k]] += (costs[front[order[k + 1]]][m] -
+                             costs[front[order[k - 1]]][m]) /
+                            range;
+    }
+  }
+  return distance;
+}
+
+StatusOr<std::vector<size_t>> DomRegion(
+    const ParametricCost& p1, const ParametricCost& p2,
+    const std::vector<Vector>& parameter_samples) {
+  if (!p1 || !p2) return Status::InvalidArgument("null cost function");
+  std::vector<size_t> region;
+  for (size_t i = 0; i < parameter_samples.size(); ++i) {
+    if (WeaklyDominates(p1(parameter_samples[i]), p2(parameter_samples[i]))) {
+      region.push_back(i);
+    }
+  }
+  return region;
+}
+
+StatusOr<std::vector<size_t>> StriDomRegion(
+    const ParametricCost& p1, const ParametricCost& p2,
+    const std::vector<Vector>& parameter_samples) {
+  if (!p1 || !p2) return Status::InvalidArgument("null cost function");
+  std::vector<size_t> region;
+  for (size_t i = 0; i < parameter_samples.size(); ++i) {
+    if (StrictlyDominates(p1(parameter_samples[i]),
+                          p2(parameter_samples[i]))) {
+      region.push_back(i);
+    }
+  }
+  return region;
+}
+
+StatusOr<std::vector<size_t>> ParetoRegion(
+    const ParametricCost& plan,
+    const std::vector<ParametricCost>& alternatives,
+    const std::vector<Vector>& parameter_samples) {
+  if (!plan) return Status::InvalidArgument("null cost function");
+  std::vector<size_t> region;
+  for (size_t i = 0; i < parameter_samples.size(); ++i) {
+    const Vector mine = plan(parameter_samples[i]);
+    bool beaten = false;
+    for (const ParametricCost& alt : alternatives) {
+      if (!alt) return Status::InvalidArgument("null cost function");
+      if (StrictlyDominates(alt(parameter_samples[i]), mine)) {
+        beaten = true;
+        break;
+      }
+    }
+    if (!beaten) region.push_back(i);
+  }
+  return region;
+}
+
+}  // namespace midas

@@ -1,0 +1,67 @@
+#ifndef MIDAS_OPTIMIZER_PARETO_H_
+#define MIDAS_OPTIMIZER_PARETO_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace midas {
+
+/// All objectives are minimised throughout the optimizer library.
+
+/// a weakly dominates b: a_n <= b_n for every metric (paper Eq. 1).
+bool WeaklyDominates(const Vector& a, const Vector& b);
+
+/// a dominates b in the standard Pareto sense: a <= b everywhere and
+/// a < b somewhere.
+bool Dominates(const Vector& a, const Vector& b);
+
+/// a strictly dominates b: a_n < b_n for every metric (paper Eq. 3).
+bool StrictlyDominates(const Vector& a, const Vector& b);
+
+/// Indices of the non-dominated points of `costs` (the Pareto front),
+/// using standard dominance. Duplicate cost vectors all survive.
+std::vector<size_t> ParetoFrontIndices(const std::vector<Vector>& costs);
+
+/// Fast non-dominated sort (Deb et al. 2002): partitions all points into
+/// fronts; result[0] is the Pareto front, result[1] the next layer, etc.
+std::vector<std::vector<size_t>> FastNonDominatedSort(
+    const std::vector<Vector>& costs);
+
+/// Crowding distance of each point within one front (Deb et al. 2002).
+/// Boundary points get +infinity.
+std::vector<double> CrowdingDistances(const std::vector<Vector>& costs,
+                                      const std::vector<size_t>& front);
+
+// --- Parametric definitions of §2.3 (after Trummer & Koch) -----------------
+//
+// Plans have parameter-dependent costs c_n(p, x). Over a finite sample X of
+// the parameter space we can compute where one plan dominates another
+// (Eq. 2) and each plan's Pareto region (Eq. 4).
+
+/// Cost function of one plan: maps a parameter vector x to its cost vector.
+using ParametricCost = std::function<Vector(const Vector& x)>;
+
+/// Dom(p1, p2) of Eq. 2: the subset of `parameter_samples` where p1 weakly
+/// dominates p2. Returns indices into `parameter_samples`.
+StatusOr<std::vector<size_t>> DomRegion(
+    const ParametricCost& p1, const ParametricCost& p2,
+    const std::vector<Vector>& parameter_samples);
+
+/// StriDom(p1, p2) of Eq. 3 over the sample.
+StatusOr<std::vector<size_t>> StriDomRegion(
+    const ParametricCost& p1, const ParametricCost& p2,
+    const std::vector<Vector>& parameter_samples);
+
+/// PaReg(p) of Eq. 4: parameter samples where no alternative plan strictly
+/// dominates `plan`. `alternatives` excludes (or may include) the plan
+/// itself — a plan never strictly dominates itself, so either is safe.
+StatusOr<std::vector<size_t>> ParetoRegion(
+    const ParametricCost& plan, const std::vector<ParametricCost>& alternatives,
+    const std::vector<Vector>& parameter_samples);
+
+}  // namespace midas
+
+#endif  // MIDAS_OPTIMIZER_PARETO_H_

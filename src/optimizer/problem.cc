@@ -1,0 +1,52 @@
+#include "optimizer/problem.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace midas {
+
+Vector MooProblem::ClampToBounds(Vector x) const {
+  for (size_t i = 0; i < x.size() && i < num_variables(); ++i) {
+    auto [lo, hi] = bounds(i);
+    x[i] = std::clamp(x[i], lo, hi);
+  }
+  return x;
+}
+
+namespace {
+double ZdtG(const Vector& x) {
+  double sum = 0.0;
+  for (size_t i = 1; i < x.size(); ++i) sum += x[i];
+  return 1.0 + 9.0 * sum / static_cast<double>(x.size() - 1);
+}
+}  // namespace
+
+Vector Zdt1::Evaluate(const Vector& x) const {
+  const double f1 = x[0];
+  const double g = ZdtG(x);
+  const double f2 = g * (1.0 - std::sqrt(f1 / g));
+  return {f1, f2};
+}
+
+Vector Zdt2::Evaluate(const Vector& x) const {
+  const double f1 = x[0];
+  const double g = ZdtG(x);
+  const double f2 = g * (1.0 - (f1 / g) * (f1 / g));
+  return {f1, f2};
+}
+
+Vector Zdt3::Evaluate(const Vector& x) const {
+  const double f1 = x[0];
+  const double g = ZdtG(x);
+  const double ratio = f1 / g;
+  const double f2 =
+      g * (1.0 - std::sqrt(ratio) - ratio * std::sin(10.0 * M_PI * f1));
+  return {f1, f2};
+}
+
+Vector Schaffer::Evaluate(const Vector& x) const {
+  const double v = x[0];
+  return {v * v, (v - 2.0) * (v - 2.0)};
+}
+
+}  // namespace midas

@@ -1,0 +1,93 @@
+#ifndef MIDAS_OPTIMIZER_PROBLEM_H_
+#define MIDAS_OPTIMIZER_PROBLEM_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace midas {
+
+/// \brief A box-constrained multi-objective minimisation problem
+/// (Eq. 13: minimise F(x) = (f_1(x), ..., f_K(x)) over x ∈ Ω ⊆ R^L).
+class MooProblem {
+ public:
+  virtual ~MooProblem() = default;
+
+  virtual std::string name() const = 0;
+  virtual size_t num_variables() const = 0;
+  virtual size_t num_objectives() const = 0;
+
+  /// Inclusive [lower, upper] bound of decision variable `var`.
+  virtual std::pair<double, double> bounds(size_t var) const = 0;
+
+  /// Objective vector at x (length num_variables()). Implementations may
+  /// assume x is within bounds.
+  virtual Vector Evaluate(const Vector& x) const = 0;
+
+  /// Clamps x into the box (helper for genetic operators).
+  Vector ClampToBounds(Vector x) const;
+};
+
+// --- Standard benchmark problems used to validate the optimizers -----------
+
+/// ZDT1: convex Pareto front f2 = 1 - sqrt(f1) on [0,1]^n.
+class Zdt1 : public MooProblem {
+ public:
+  explicit Zdt1(size_t num_variables = 30) : n_(num_variables) {}
+  std::string name() const override { return "ZDT1"; }
+  size_t num_variables() const override { return n_; }
+  size_t num_objectives() const override { return 2; }
+  std::pair<double, double> bounds(size_t) const override { return {0, 1}; }
+  Vector Evaluate(const Vector& x) const override;
+
+ private:
+  size_t n_;
+};
+
+/// ZDT2: non-convex front f2 = 1 - f1^2 — the case where the Weighted Sum
+/// Model provably misses solutions (§2.6 motivation).
+class Zdt2 : public MooProblem {
+ public:
+  explicit Zdt2(size_t num_variables = 30) : n_(num_variables) {}
+  std::string name() const override { return "ZDT2"; }
+  size_t num_variables() const override { return n_; }
+  size_t num_objectives() const override { return 2; }
+  std::pair<double, double> bounds(size_t) const override { return {0, 1}; }
+  Vector Evaluate(const Vector& x) const override;
+
+ private:
+  size_t n_;
+};
+
+/// ZDT3: disconnected front.
+class Zdt3 : public MooProblem {
+ public:
+  explicit Zdt3(size_t num_variables = 30) : n_(num_variables) {}
+  std::string name() const override { return "ZDT3"; }
+  size_t num_variables() const override { return n_; }
+  size_t num_objectives() const override { return 2; }
+  std::pair<double, double> bounds(size_t) const override { return {0, 1}; }
+  Vector Evaluate(const Vector& x) const override;
+
+ private:
+  size_t n_;
+};
+
+/// Schaffer's single-variable problem: f1 = x², f2 = (x-2)². Tiny and
+/// convex; handy for fast unit tests.
+class Schaffer : public MooProblem {
+ public:
+  std::string name() const override { return "Schaffer"; }
+  size_t num_variables() const override { return 1; }
+  size_t num_objectives() const override { return 2; }
+  std::pair<double, double> bounds(size_t) const override {
+    return {-3.0, 5.0};
+  }
+  Vector Evaluate(const Vector& x) const override;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_OPTIMIZER_PROBLEM_H_

@@ -1,0 +1,172 @@
+#include "optimizer/spea2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "optimizer/pareto.h"
+
+namespace midas {
+
+namespace {
+
+// Squared Euclidean distance in objective space.
+double Distance2(const Vector& a, const Vector& b) {
+  double d2 = 0.0;
+  for (size_t m = 0; m < a.size(); ++m) {
+    d2 += (a[m] - b[m]) * (a[m] - b[m]);
+  }
+  return d2;
+}
+
+// SPEA2 fitness: raw dominated-strength sum + kth-nearest density.
+// Lower is better; values < 1 mark non-dominated individuals.
+std::vector<double> ComputeFitness(const std::vector<Individual>& pool) {
+  const size_t n = pool.size();
+  std::vector<int> strength(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (i != j && Dominates(pool[i].objectives, pool[j].objectives)) {
+        ++strength[i];
+      }
+    }
+  }
+  const size_t k = std::max<size_t>(
+      1, static_cast<size_t>(std::sqrt(static_cast<double>(n))));
+  std::vector<double> fitness(n, 0.0);
+  std::vector<double> distances;
+  distances.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double raw = 0.0;
+    distances.clear();
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (Dominates(pool[j].objectives, pool[i].objectives)) {
+        raw += strength[j];
+      }
+      distances.push_back(Distance2(pool[i].objectives, pool[j].objectives));
+    }
+    double sigma_k = 0.0;
+    if (!distances.empty()) {
+      const size_t idx = std::min(k, distances.size()) - 1;
+      std::nth_element(distances.begin(),
+                       distances.begin() + static_cast<ptrdiff_t>(idx),
+                       distances.end());
+      sigma_k = std::sqrt(distances[idx]);
+    }
+    fitness[i] = raw + 1.0 / (sigma_k + 2.0);
+  }
+  return fitness;
+}
+
+// Environmental selection: the non-dominated set, truncated by removing
+// the member with the smallest nearest-neighbour distance while too big,
+// or topped up with the best dominated members while too small.
+std::vector<Individual> EnvironmentalSelection(
+    const std::vector<Individual>& pool, const std::vector<double>& fitness,
+    size_t target) {
+  std::vector<size_t> chosen;
+  std::vector<size_t> rest;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    (fitness[i] < 1.0 ? chosen : rest).push_back(i);
+  }
+  if (chosen.size() < target) {
+    std::sort(rest.begin(), rest.end(), [&fitness](size_t a, size_t b) {
+      return fitness[a] < fitness[b];
+    });
+    for (size_t i : rest) {
+      if (chosen.size() >= target) break;
+      chosen.push_back(i);
+    }
+  }
+  while (chosen.size() > target) {
+    // Remove the individual with the smallest distance to its nearest
+    // surviving neighbour (ties resolved by the second-nearest, which the
+    // simple min here approximates).
+    size_t victim = 0;
+    double smallest = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < chosen.size(); ++a) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (size_t b = 0; b < chosen.size(); ++b) {
+        if (a == b) continue;
+        nearest = std::min(nearest, Distance2(pool[chosen[a]].objectives,
+                                              pool[chosen[b]].objectives));
+      }
+      if (nearest < smallest) {
+        smallest = nearest;
+        victim = a;
+      }
+    }
+    chosen.erase(chosen.begin() + static_cast<ptrdiff_t>(victim));
+  }
+  std::vector<Individual> archive;
+  archive.reserve(chosen.size());
+  for (size_t i : chosen) archive.push_back(pool[i]);
+  return archive;
+}
+
+}  // namespace
+
+Spea2::Spea2(Spea2Options options) : options_(options) {}
+
+StatusOr<MooResult> Spea2::Optimize(const MooProblem& problem) const {
+  if (options_.population_size < 4 || options_.archive_size < 4) {
+    return Status::InvalidArgument(
+        "population and archive must hold at least 4");
+  }
+  if (problem.num_variables() == 0 || problem.num_objectives() == 0) {
+    return Status::InvalidArgument("degenerate problem");
+  }
+  Rng rng(options_.seed);
+
+  std::vector<Individual> population;
+  population.reserve(options_.population_size);
+  for (size_t i = 0; i < options_.population_size; ++i) {
+    population.push_back(RandomIndividual(problem, &rng));
+  }
+  std::vector<Individual> archive;
+
+  for (size_t gen = 0; gen <= options_.generations; ++gen) {
+    std::vector<Individual> pool = population;
+    pool.insert(pool.end(), archive.begin(), archive.end());
+    const std::vector<double> fitness = ComputeFitness(pool);
+    archive = EnvironmentalSelection(pool, fitness, options_.archive_size);
+    if (gen == options_.generations) break;
+
+    // Mating selection: binary tournament on SPEA2 fitness within the
+    // archive (lower fitness wins).
+    const std::vector<double> archive_fitness = ComputeFitness(archive);
+    auto tournament = [&]() -> const Individual& {
+      const size_t a = rng.Index(archive.size());
+      const size_t b = rng.Index(archive.size());
+      return archive_fitness[a] <= archive_fitness[b] ? archive[a]
+                                                      : archive[b];
+    };
+    std::vector<Individual> offspring;
+    offspring.reserve(options_.population_size);
+    while (offspring.size() < options_.population_size) {
+      auto [c1, c2] = SbxCrossover(problem, tournament().variables,
+                                   tournament().variables,
+                                   options_.crossover, &rng);
+      for (Vector* child : {&c1, &c2}) {
+        if (offspring.size() >= options_.population_size) break;
+        Individual o;
+        o.variables = PolynomialMutation(problem, std::move(*child),
+                                         options_.mutation, &rng);
+        o.objectives = problem.Evaluate(o.variables);
+        offspring.push_back(std::move(o));
+      }
+    }
+    population = std::move(offspring);
+  }
+
+  MooResult result;
+  result.population = std::move(archive);
+  RankAndCrowd(&result.population);
+  for (size_t i = 0; i < result.population.size(); ++i) {
+    if (result.population[i].rank == 0) result.front.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace midas

@@ -1,0 +1,44 @@
+#ifndef MIDAS_OPTIMIZER_SPEA2_H_
+#define MIDAS_OPTIMIZER_SPEA2_H_
+
+#include "optimizer/genetic_operators.h"
+#include "optimizer/nsga2.h"
+
+namespace midas {
+
+struct Spea2Options {
+  size_t population_size = 100;
+  /// Archive size (the returned front is the archive's non-dominated set).
+  size_t archive_size = 100;
+  size_t generations = 100;
+  SbxOptions crossover;
+  MutationOptions mutation;
+  uint64_t seed = 1;
+};
+
+/// \brief SPEA2 (Zitzler, Laumanns, Thiele 2001; the paper's reference
+/// [37]) — strength-Pareto evolutionary algorithm with fine-grained
+/// fitness and nearest-neighbour density.
+///
+/// Fitness of an individual is the sum of the strengths (number of
+/// solutions each dominator itself dominates) of everything dominating it,
+/// plus a density term 1 / (σ_k + 2) from the k-th nearest neighbour in
+/// objective space (k = sqrt(N + archive)). Environmental selection keeps
+/// the non-dominated set, truncating by iteratively removing the most
+/// crowded member when it overflows, or filling with the best dominated
+/// individuals when it underflows.
+class Spea2 {
+ public:
+  explicit Spea2(Spea2Options options = Spea2Options());
+
+  StatusOr<MooResult> Optimize(const MooProblem& problem) const;
+
+  const Spea2Options& options() const { return options_; }
+
+ private:
+  Spea2Options options_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_OPTIMIZER_SPEA2_H_

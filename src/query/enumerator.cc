@@ -1,0 +1,183 @@
+#include "query/enumerator.h"
+
+#include <algorithm>
+#include <set>
+
+namespace midas {
+
+PlanEnumerator::PlanEnumerator(const Federation* federation,
+                               const Catalog* catalog,
+                               EnumeratorOptions options)
+    : federation_(federation),
+      catalog_(catalog),
+      options_(std::move(options)) {}
+
+uint64_t PlanEnumerator::CountResourceConfigurations(int vcpu_pool,
+                                                     int memory_gib_pool) {
+  if (vcpu_pool <= 0 || memory_gib_pool <= 0) return 0;
+  return static_cast<uint64_t>(vcpu_pool) *
+         static_cast<uint64_t>(memory_gib_pool);
+}
+
+namespace {
+
+// Recursively emits all join-commutation variants of `node`.
+void CommuteVariants(const PlanNode& node,
+                     std::vector<std::unique_ptr<PlanNode>>* out) {
+  if (node.kind != OperatorKind::kJoin) {
+    if (node.children.empty()) {
+      out->push_back(node.Clone());
+      return;
+    }
+    // Unary operator: recurse into the single child.
+    std::vector<std::unique_ptr<PlanNode>> child_variants;
+    CommuteVariants(*node.children[0], &child_variants);
+    for (auto& child : child_variants) {
+      auto copy = node.Clone();
+      copy->children[0] = std::move(child);
+      out->push_back(std::move(copy));
+    }
+    return;
+  }
+  std::vector<std::unique_ptr<PlanNode>> left_variants;
+  std::vector<std::unique_ptr<PlanNode>> right_variants;
+  CommuteVariants(*node.children[0], &left_variants);
+  CommuteVariants(*node.children[1], &right_variants);
+  for (const auto& lv : left_variants) {
+    for (const auto& rv : right_variants) {
+      // Original orientation.
+      auto original = node.Clone();
+      original->children[0] = lv->Clone();
+      original->children[1] = rv->Clone();
+      out->push_back(std::move(original));
+      // Commuted orientation swaps inputs and join columns.
+      auto commuted = node.Clone();
+      commuted->children[0] = rv->Clone();
+      commuted->children[1] = lv->Clone();
+      std::swap(commuted->left_join_column, commuted->right_join_column);
+      out->push_back(std::move(commuted));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<QueryPlan> PlanEnumerator::JoinOrderVariants(
+    const QueryPlan& logical) const {
+  std::vector<QueryPlan> out;
+  if (!options_.enumerate_join_orders) {
+    out.push_back(logical);
+    return out;
+  }
+  std::vector<std::unique_ptr<PlanNode>> roots;
+  CommuteVariants(*logical.root(), &roots);
+  out.reserve(roots.size());
+  for (auto& root : roots) out.emplace_back(std::move(root));
+  return out;
+}
+
+StatusOr<std::vector<QueryPlan>> PlanEnumerator::EnumeratePhysical(
+    const QueryPlan& logical) const {
+  if (federation_ == nullptr || catalog_ == nullptr) {
+    return Status::FailedPrecondition("enumerator missing environment");
+  }
+  MIDAS_RETURN_IF_ERROR(logical.Validate(*catalog_));
+  if (options_.node_counts.empty()) {
+    return Status::InvalidArgument("no candidate node counts");
+  }
+
+  // Resolve base table placements once.
+  std::set<SiteId> data_sites;
+  for (const std::string& table : logical.BaseTables()) {
+    MIDAS_ASSIGN_OR_RETURN(Federation::Placement placement,
+                           federation_->TablePlacement(table));
+    data_sites.insert(placement.site);
+  }
+
+  // Candidate compute placements: every (site, engine) pair in the
+  // federation.
+  struct Compute {
+    SiteId site;
+    EngineKind engine;
+  };
+  std::vector<Compute> computes;
+  for (const CloudSite& site : federation_->sites()) {
+    for (EngineKind engine : site.engines()) {
+      computes.push_back({site.id(), engine});
+    }
+  }
+  if (computes.empty()) {
+    return Status::FailedPrecondition("federation hosts no engines");
+  }
+
+  std::vector<QueryPlan> variants = JoinOrderVariants(logical);
+  std::vector<QueryPlan> plans;
+
+  for (const QueryPlan& variant : variants) {
+    for (const Compute& compute : computes) {
+      // Participating sites for this choice: data sites plus compute site.
+      std::vector<SiteId> used_sites(data_sites.begin(), data_sites.end());
+      if (std::find(used_sites.begin(), used_sites.end(), compute.site) ==
+          used_sites.end()) {
+        used_sites.push_back(compute.site);
+      }
+      std::sort(used_sites.begin(), used_sites.end());
+
+      // Cartesian product of node counts over the participating sites.
+      std::vector<size_t> pick(used_sites.size(), 0);
+      while (true) {
+        // Materialise one annotated plan.
+        QueryPlan plan = variant;
+        auto nodes_at = [&](SiteId s) {
+          for (size_t i = 0; i < used_sites.size(); ++i) {
+            if (used_sites[i] == s) return options_.node_counts[pick[i]];
+          }
+          return options_.node_counts[0];
+        };
+        bool feasible = true;
+        for (PlanNode* node : plan.MutableNodes()) {
+          if (node->kind == OperatorKind::kScan) {
+            auto placement = federation_->TablePlacement(node->table);
+            if (!placement.ok()) {
+              feasible = false;
+              break;
+            }
+            node->site = placement->site;
+            node->engine = placement->engine;
+            node->num_nodes = nodes_at(placement->site);
+          } else {
+            node->site = compute.site;
+            node->engine = compute.engine;
+            node->num_nodes = nodes_at(compute.site);
+          }
+          // Respect per-site elasticity limits.
+          auto site = federation_->site(*node->site);
+          if (!site.ok() || node->num_nodes > (*site)->max_nodes()) {
+            feasible = false;
+            break;
+          }
+        }
+        if (feasible) {
+          MIDAS_RETURN_IF_ERROR(EstimateCardinalities(*catalog_, &plan));
+          plans.push_back(std::move(plan));
+          if (plans.size() >= options_.max_plans) return plans;
+        }
+        // Advance the mixed-radix counter.
+        size_t d = 0;
+        while (d < pick.size()) {
+          if (++pick[d] < options_.node_counts.size()) break;
+          pick[d] = 0;
+          ++d;
+        }
+        if (d == pick.size()) break;
+      }
+    }
+  }
+  if (plans.empty()) {
+    return Status::FailedPrecondition(
+        "no feasible physical plan (check node_counts vs site limits)");
+  }
+  return plans;
+}
+
+}  // namespace midas

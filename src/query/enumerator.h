@@ -1,0 +1,56 @@
+#ifndef MIDAS_QUERY_ENUMERATOR_H_
+#define MIDAS_QUERY_ENUMERATOR_H_
+
+#include <vector>
+
+#include "federation/federation.h"
+#include "query/plan.h"
+
+namespace midas {
+
+struct EnumeratorOptions {
+  /// Candidate VM counts per participating site.
+  std::vector<int> node_counts = {1, 2, 4, 8};
+  /// When true, also emit the commuted variant of every join.
+  bool enumerate_join_orders = true;
+  /// Hard cap on the number of emitted plans (guards combinatorial
+  /// explosion for many-join queries).
+  size_t max_plans = 20000;
+};
+
+/// \brief Generates the set P of equivalent physical QEPs for a logical
+/// plan in a federation (§2.3): join-order commutations × compute
+/// site/engine placement × per-site VM counts.
+///
+/// Scans are pinned to their table's placement (data does not move at rest);
+/// every other operator is assigned to a chosen compute (site, engine), and
+/// each participating site gets a VM count from `node_counts` — the
+/// x_nodeA / x_nodeB knobs of Example 2.1. In a cloud the same logical plan
+/// thus explodes into many equivalent QEPs (Example 3.1).
+class PlanEnumerator {
+ public:
+  PlanEnumerator(const Federation* federation, const Catalog* catalog,
+                 EnumeratorOptions options = EnumeratorOptions());
+
+  /// Emits fully annotated physical plans with cardinalities estimated.
+  /// The logical plan must validate and every scanned table must have a
+  /// placement in the federation.
+  StatusOr<std::vector<QueryPlan>> EnumeratePhysical(
+      const QueryPlan& logical) const;
+
+  /// Example 3.1: number of distinct (vCPU, memory-GiB) execution
+  /// configurations available from a resource pool — 70 x 260 = 18,200.
+  static uint64_t CountResourceConfigurations(int vcpu_pool,
+                                              int memory_gib_pool);
+
+ private:
+  std::vector<QueryPlan> JoinOrderVariants(const QueryPlan& logical) const;
+
+  const Federation* federation_;
+  const Catalog* catalog_;
+  EnumeratorOptions options_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_QUERY_ENUMERATOR_H_

@@ -1,0 +1,383 @@
+#include "query/plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace midas {
+
+std::string OperatorKindName(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kScan:
+      return "Scan";
+    case OperatorKind::kFilter:
+      return "Filter";
+    case OperatorKind::kProject:
+      return "Project";
+    case OperatorKind::kJoin:
+      return "Join";
+    case OperatorKind::kAggregate:
+      return "Aggregate";
+    case OperatorKind::kSort:
+      return "Sort";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->kind = kind;
+  copy->table = table;
+  copy->scan_fraction = scan_fraction;
+  copy->predicates = predicates;
+  copy->columns = columns;
+  copy->left_join_column = left_join_column;
+  copy->right_join_column = right_join_column;
+  copy->join_selectivity_override = join_selectivity_override;
+  copy->num_groups = num_groups;
+  copy->site = site;
+  copy->engine = engine;
+  copy->num_nodes = num_nodes;
+  copy->output_rows = output_rows;
+  copy->output_bytes = output_bytes;
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+QueryPlan::QueryPlan(const QueryPlan& other)
+    : root_(other.root_ ? other.root_->Clone() : nullptr) {}
+
+QueryPlan& QueryPlan::operator=(const QueryPlan& other) {
+  if (this != &other) {
+    root_ = other.root_ ? other.root_->Clone() : nullptr;
+  }
+  return *this;
+}
+
+namespace {
+
+void CollectPreOrder(const PlanNode* node,
+                     std::vector<const PlanNode*>* out) {
+  if (node == nullptr) return;
+  out->push_back(node);
+  for (const auto& child : node->children) CollectPreOrder(child.get(), out);
+}
+
+void CollectPreOrderMutable(PlanNode* node, std::vector<PlanNode*>* out) {
+  if (node == nullptr) return;
+  out->push_back(node);
+  for (auto& child : node->children) {
+    CollectPreOrderMutable(child.get(), out);
+  }
+}
+
+size_t ExpectedArity(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kScan:
+      return 0;
+    case OperatorKind::kJoin:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+std::vector<const PlanNode*> QueryPlan::Nodes() const {
+  std::vector<const PlanNode*> out;
+  CollectPreOrder(root_.get(), &out);
+  return out;
+}
+
+std::vector<PlanNode*> QueryPlan::MutableNodes() {
+  std::vector<PlanNode*> out;
+  CollectPreOrderMutable(root_.get(), &out);
+  return out;
+}
+
+std::vector<std::string> QueryPlan::BaseTables() const {
+  std::vector<std::string> out;
+  for (const PlanNode* node : Nodes()) {
+    if (node->kind == OperatorKind::kScan) out.push_back(node->table);
+  }
+  return out;
+}
+
+Status QueryPlan::Validate(const Catalog& catalog) const {
+  if (root_ == nullptr) return Status::InvalidArgument("empty plan");
+  for (const PlanNode* node : Nodes()) {
+    if (node->children.size() != ExpectedArity(node->kind)) {
+      return Status::InvalidArgument(
+          OperatorKindName(node->kind) + " expects " +
+          std::to_string(ExpectedArity(node->kind)) + " inputs, has " +
+          std::to_string(node->children.size()));
+    }
+    if (node->kind == OperatorKind::kScan && !catalog.Contains(node->table)) {
+      return Status::NotFound("scan of unknown table: " + node->table);
+    }
+    if (node->kind == OperatorKind::kJoin &&
+        (node->left_join_column.empty() || node->right_join_column.empty())) {
+      return Status::InvalidArgument("join without join columns");
+    }
+    if (node->num_nodes <= 0) {
+      return Status::InvalidArgument("operator annotated with <= 0 VMs");
+    }
+  }
+  return Status::OK();
+}
+
+std::string QueryPlan::ToString() const {
+  std::ostringstream os;
+  struct Frame {
+    const PlanNode* node;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  if (root_) stack.push_back({root_.get(), 0});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    os << std::string(static_cast<size_t>(f.depth) * 2, ' ')
+       << OperatorKindName(f.node->kind);
+    if (f.node->kind == OperatorKind::kScan) os << "(" << f.node->table << ")";
+    if (f.node->kind == OperatorKind::kJoin) {
+      os << "(" << f.node->left_join_column << " = "
+         << f.node->right_join_column << ")";
+    }
+    if (f.node->engine.has_value()) {
+      os << " @" << EngineKindName(*f.node->engine);
+      if (f.node->site.has_value()) os << "/site" << *f.node->site;
+      os << " x" << f.node->num_nodes;
+    }
+    if (f.node->output_rows > 0.0) {
+      os << "  [rows=" << static_cast<uint64_t>(f.node->output_rows) << "]";
+    }
+    os << "\n";
+    // Push children in reverse so the left child prints first.
+    for (auto it = f.node->children.rbegin(); it != f.node->children.rend();
+         ++it) {
+      stack.push_back({it->get(), f.depth + 1});
+    }
+  }
+  return os.str();
+}
+
+std::unique_ptr<PlanNode> MakeScan(const std::string& table) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = OperatorKind::kScan;
+  node->table = table;
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeFilter(std::unique_ptr<PlanNode> input,
+                                     std::vector<Predicate> predicates) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = OperatorKind::kFilter;
+  node->predicates = std::move(predicates);
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeProject(std::unique_ptr<PlanNode> input,
+                                      std::vector<std::string> columns) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = OperatorKind::kProject;
+  node->columns = std::move(columns);
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeJoin(std::unique_ptr<PlanNode> left,
+                                   std::unique_ptr<PlanNode> right,
+                                   const std::string& left_column,
+                                   const std::string& right_column) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = OperatorKind::kJoin;
+  node->left_join_column = left_column;
+  node->right_join_column = right_column;
+  node->children.push_back(std::move(left));
+  node->children.push_back(std::move(right));
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeAggregate(std::unique_ptr<PlanNode> input,
+                                        uint64_t num_groups) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = OperatorKind::kAggregate;
+  node->num_groups = num_groups;
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeSort(std::unique_ptr<PlanNode> input) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = OperatorKind::kSort;
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+StatusOr<QueryPlan> Combine(QueryPlan p1, QueryPlan p2, OperatorKind op,
+                            const std::string& left_column,
+                            const std::string& right_column) {
+  if (op != OperatorKind::kJoin) {
+    return Status::InvalidArgument("Combine requires a binary operator");
+  }
+  if (p1.empty() || p2.empty()) {
+    return Status::InvalidArgument("Combine of an empty plan");
+  }
+  auto joined = MakeJoin(p1.ReleaseRoot(), p2.ReleaseRoot(), left_column,
+                         right_column);
+  return QueryPlan(std::move(joined));
+}
+
+namespace {
+
+struct NodeStats {
+  double rows = 0.0;
+  double width = 0.0;  // bytes per row
+  // NDV of the join column as seen at this node (propagated from the base
+  // table, capped by the current row count).
+  double join_ndv = 1.0;
+};
+
+// Finds the NDV of `column` in any base table below `node`.
+double FindColumnNdv(const Catalog& catalog, const PlanNode& node,
+                     const std::string& column) {
+  if (node.kind == OperatorKind::kScan) {
+    auto table = catalog.Find(node.table);
+    if (!table.ok()) return 1.0;
+    auto col = (*table)->FindColumn(column);
+    if (!col.ok()) return 0.0;  // column not here
+    return static_cast<double>((*col)->distinct_values);
+  }
+  for (const auto& child : node.children) {
+    const double ndv = FindColumnNdv(catalog, *child, column);
+    if (ndv > 0.0) return ndv;
+  }
+  return 0.0;
+}
+
+// Locates the base table that provides `column` under `node` (for filter
+// selectivity estimation).
+const TableDef* FindProvidingTable(const Catalog& catalog,
+                                   const PlanNode& node,
+                                   const std::string& column) {
+  if (node.kind == OperatorKind::kScan) {
+    auto table = catalog.Find(node.table);
+    if (!table.ok()) return nullptr;
+    if ((*table)->FindColumn(column).ok()) return *table;
+    return nullptr;
+  }
+  for (const auto& child : node.children) {
+    const TableDef* t = FindProvidingTable(catalog, *child, column);
+    if (t != nullptr) return t;
+  }
+  return nullptr;
+}
+
+StatusOr<NodeStats> EstimateNode(const Catalog& catalog, PlanNode* node) {
+  NodeStats stats;
+  switch (node->kind) {
+    case OperatorKind::kScan: {
+      MIDAS_ASSIGN_OR_RETURN(const TableDef* table,
+                             catalog.Find(node->table));
+      if (node->scan_fraction <= 0.0 || node->scan_fraction > 1.0) {
+        return Status::InvalidArgument("scan_fraction outside (0, 1]");
+      }
+      stats.rows = static_cast<double>(table->row_count) *
+                   node->scan_fraction;
+      stats.width = table->RowWidthBytes();
+      break;
+    }
+    case OperatorKind::kFilter: {
+      MIDAS_ASSIGN_OR_RETURN(NodeStats in,
+                             EstimateNode(catalog, node->children[0].get()));
+      double selectivity = 1.0;
+      for (const Predicate& p : node->predicates) {
+        const TableDef* table =
+            FindProvidingTable(catalog, *node->children[0], p.column);
+        if (table == nullptr && !p.selectivity_override.has_value()) {
+          return Status::NotFound("filter column unresolvable: " + p.column);
+        }
+        if (p.selectivity_override.has_value()) {
+          selectivity *= *p.selectivity_override;
+        } else {
+          MIDAS_ASSIGN_OR_RETURN(double s, EstimateSelectivity(*table, p));
+          selectivity *= s;
+        }
+      }
+      stats.rows = in.rows * std::clamp(selectivity, 0.0, 1.0);
+      stats.width = in.width;
+      break;
+    }
+    case OperatorKind::kProject: {
+      MIDAS_ASSIGN_OR_RETURN(NodeStats in,
+                             EstimateNode(catalog, node->children[0].get()));
+      stats.rows = in.rows;
+      // Width of the retained columns, resolved against base tables.
+      double width = 0.0;
+      for (const std::string& col : node->columns) {
+        const TableDef* table =
+            FindProvidingTable(catalog, *node->children[0], col);
+        if (table == nullptr) {
+          return Status::NotFound("projected column unresolvable: " + col);
+        }
+        MIDAS_ASSIGN_OR_RETURN(const ColumnDef* cd, table->FindColumn(col));
+        width += cd->avg_width_bytes;
+      }
+      stats.width = width > 0.0 ? width : in.width;
+      break;
+    }
+    case OperatorKind::kJoin: {
+      MIDAS_ASSIGN_OR_RETURN(NodeStats left,
+                             EstimateNode(catalog, node->children[0].get()));
+      MIDAS_ASSIGN_OR_RETURN(NodeStats right,
+                             EstimateNode(catalog, node->children[1].get()));
+      double selectivity;
+      if (node->join_selectivity_override.has_value()) {
+        selectivity = *node->join_selectivity_override;
+      } else {
+        const double ndv_l =
+            FindColumnNdv(catalog, *node->children[0], node->left_join_column);
+        const double ndv_r = FindColumnNdv(catalog, *node->children[1],
+                                           node->right_join_column);
+        if (ndv_l <= 0.0 || ndv_r <= 0.0) {
+          return Status::NotFound("join column unresolvable");
+        }
+        selectivity = 1.0 / std::max(ndv_l, ndv_r);
+      }
+      stats.rows = left.rows * right.rows * selectivity;
+      stats.width = left.width + right.width;
+      break;
+    }
+    case OperatorKind::kAggregate: {
+      MIDAS_ASSIGN_OR_RETURN(NodeStats in,
+                             EstimateNode(catalog, node->children[0].get()));
+      stats.rows = std::min(in.rows, static_cast<double>(node->num_groups));
+      stats.width = 16.0;  // group key + aggregate value
+      break;
+    }
+    case OperatorKind::kSort: {
+      MIDAS_ASSIGN_OR_RETURN(NodeStats in,
+                             EstimateNode(catalog, node->children[0].get()));
+      stats = in;
+      break;
+    }
+  }
+  node->output_rows = stats.rows;
+  node->output_bytes = stats.rows * stats.width;
+  return stats;
+}
+
+}  // namespace
+
+Status EstimateCardinalities(const Catalog& catalog, QueryPlan* plan) {
+  if (plan == nullptr || plan->empty()) {
+    return Status::InvalidArgument("empty plan");
+  }
+  MIDAS_RETURN_IF_ERROR(plan->Validate(catalog));
+  return EstimateNode(catalog, plan->mutable_root()).status();
+}
+
+}  // namespace midas

@@ -1,0 +1,39 @@
+#ifndef MIDAS_QUERY_PREDICATE_H_
+#define MIDAS_QUERY_PREDICATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/schema.h"
+
+namespace midas {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kBetween, kLike };
+
+std::string CompareOpName(CompareOp op);
+
+/// \brief A simple column-vs-constant predicate with an optional explicit
+/// selectivity override (used by the TPC-H query templates whose reference
+/// selectivities are known).
+struct Predicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  /// When set, used verbatim; otherwise estimated from column statistics.
+  std::optional<double> selectivity_override;
+};
+
+/// System-R style selectivity defaults when only NDV statistics exist:
+/// eq -> 1/NDV, range -> 1/3, between -> 1/4, ne -> 1 - 1/NDV, like -> 1/10.
+StatusOr<double> EstimateSelectivity(const TableDef& table,
+                                     const Predicate& predicate);
+
+/// Product of per-predicate selectivities (independence assumption),
+/// clamped to [0, 1].
+StatusOr<double> EstimateConjunctionSelectivity(
+    const TableDef& table, const std::vector<Predicate>& predicates);
+
+}  // namespace midas
+
+#endif  // MIDAS_QUERY_PREDICATE_H_

@@ -1,0 +1,47 @@
+#include "query/schema.h"
+
+namespace midas {
+
+double TableDef::RowWidthBytes() const {
+  double width = 0.0;
+  for (const ColumnDef& col : columns) width += col.avg_width_bytes;
+  return width;
+}
+
+StatusOr<const ColumnDef*> TableDef::FindColumn(
+    const std::string& column) const {
+  for (const ColumnDef& col : columns) {
+    if (col.name == column) return &col;
+  }
+  return Status::NotFound("column " + column + " not in table " + name);
+}
+
+Status Catalog::AddTable(TableDef table) {
+  if (Contains(table.name)) {
+    return Status::AlreadyExists("duplicate table: " + table.name);
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+StatusOr<const TableDef*> Catalog::Find(const std::string& name) const {
+  for (const TableDef& t : tables_) {
+    if (t.name == name) return &t;
+  }
+  return Status::NotFound("table not in catalog: " + name);
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  for (const TableDef& t : tables_) {
+    if (t.name == name) return true;
+  }
+  return false;
+}
+
+double Catalog::TotalBytes() const {
+  double total = 0.0;
+  for (const TableDef& t : tables_) total += t.SizeBytes();
+  return total;
+}
+
+}  // namespace midas

@@ -1,0 +1,56 @@
+#ifndef MIDAS_QUERY_SCHEMA_H_
+#define MIDAS_QUERY_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace midas {
+
+enum class ColumnType { kInt, kDouble, kString, kDate };
+
+/// \brief Column metadata with the statistics the selectivity and
+/// cardinality estimators need.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+  /// Average encoded width in bytes.
+  double avg_width_bytes = 8.0;
+  /// Number of distinct values (for equality selectivity, 1/NDV).
+  uint64_t distinct_values = 1;
+};
+
+/// \brief Base-table metadata: columns plus cardinality.
+struct TableDef {
+  std::string name;
+  std::vector<ColumnDef> columns;
+  uint64_t row_count = 0;
+
+  double RowWidthBytes() const;
+  double SizeBytes() const { return RowWidthBytes() * row_count; }
+
+  StatusOr<const ColumnDef*> FindColumn(const std::string& column) const;
+};
+
+/// \brief Collection of table definitions a query is resolved against.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status AddTable(TableDef table);
+  StatusOr<const TableDef*> Find(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+  /// Total data volume across all tables (bytes).
+  double TotalBytes() const;
+
+ private:
+  std::vector<TableDef> tables_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_QUERY_SCHEMA_H_

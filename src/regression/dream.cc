@@ -1,0 +1,92 @@
+#include "regression/dream.h"
+
+#include <algorithm>
+
+namespace midas {
+
+StatusOr<Vector> DreamEstimate::Predict(const Vector& x) const {
+  if (models.empty()) {
+    return Status::FailedPrecondition("DREAM estimate holds no models");
+  }
+  Vector out;
+  out.reserve(models.size());
+  for (const OlsModel& model : models) {
+    MIDAS_ASSIGN_OR_RETURN(double c, model.Predict(x));
+    out.push_back(c);
+  }
+  return out;
+}
+
+Dream::Dream(DreamOptions options) : options_(std::move(options)) {}
+
+StatusOr<DreamEstimate> Dream::EstimateCostValue(
+    const TrainingSet& history) const {
+  const size_t l = history.num_features();
+  const size_t n_metrics = history.num_metrics();
+  if (n_metrics == 0) {
+    return Status::InvalidArgument("training set declares no cost metrics");
+  }
+  const size_t m_min = l + 2;  // smallest statistically valid window
+  if (history.size() < m_min) {
+    return Status::FailedPrecondition(
+        "DREAM needs at least L + 2 = " + std::to_string(m_min) +
+        " observations, have " + std::to_string(history.size()));
+  }
+  size_t m_cap = options_.m_max == 0 ? history.size() : options_.m_max;
+  m_cap = std::min(m_cap, history.size());
+  m_cap = std::max(m_cap, m_min);
+
+  DreamEstimate best;
+  for (size_t m = m_min; m <= m_cap; ++m) {
+    MIDAS_ASSIGN_OR_RETURN(std::vector<Vector> xs, history.RecentFeatures(m));
+    DreamEstimate current;
+    current.window_size = m;
+    current.models.reserve(n_metrics);
+    current.r_squared.reserve(n_metrics);
+    bool fit_ok = true;
+    bool all_reach = true;
+    for (size_t metric = 0; metric < n_metrics; ++metric) {
+      MIDAS_ASSIGN_OR_RETURN(Vector ys, history.RecentCosts(m, metric));
+      auto fit = FitOls(xs, ys, options_.ols);
+      if (!fit.ok()) {
+        fit_ok = false;
+        break;
+      }
+      const double r2 = options_.use_adjusted_r2 ? fit->adjusted_r_squared()
+                                                 : fit->r_squared();
+      current.r_squared.push_back(r2);
+      current.models.push_back(std::move(fit).ValueOrDie());
+      if (r2 < options_.r2_require) all_reach = false;
+    }
+    if (!fit_ok) continue;  // degenerate window: keep growing
+    current.converged = all_reach;
+    best = std::move(current);
+    if (all_reach) return best;
+  }
+  if (best.models.empty()) {
+    return Status::Internal(
+        "DREAM could not fit any window (degenerate history)");
+  }
+  // R² requirement not met anywhere up to the cap: Algorithm 1 returns the
+  // models at the largest window tried.
+  return best;
+}
+
+StatusOr<Vector> Dream::PredictCosts(const TrainingSet& history,
+                                     const Vector& x) const {
+  MIDAS_ASSIGN_OR_RETURN(DreamEstimate est, EstimateCostValue(history));
+  return est.Predict(x);
+}
+
+StatusOr<TrainingSet> Dream::MakeReducedTrainingSet(
+    const TrainingSet& history) const {
+  MIDAS_ASSIGN_OR_RETURN(DreamEstimate est, EstimateCostValue(history));
+  TrainingSet reduced(history.feature_names(), history.metric_names());
+  const size_t start = history.size() - est.window_size;
+  for (size_t i = start; i < history.size(); ++i) {
+    MIDAS_RETURN_IF_ERROR(reduced.Add(history.at(i)));
+  }
+  return reduced;
+}
+
+}  // namespace midas

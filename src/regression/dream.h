@@ -1,0 +1,84 @@
+#ifndef MIDAS_REGRESSION_DREAM_H_
+#define MIDAS_REGRESSION_DREAM_H_
+
+#include <vector>
+
+#include "regression/ols.h"
+#include "regression/training_set.h"
+
+namespace midas {
+
+/// \brief Configuration for the Dynamic REgression AlgorithM.
+struct DreamOptions {
+  /// R²_require of Algorithm 1: the window stops growing once every metric's
+  /// MLR reaches this coefficient of determination. The paper recommends 0.8
+  /// "to provide a sufficient quality of service level".
+  double r2_require = 0.8;
+
+  /// M_max of Algorithm 1: hard cap on the window size. 0 means "all
+  /// available history".
+  size_t m_max = 0;
+
+  /// Algorithm 1's literal stopping statistic is R² (Eq. 14, the
+  /// default). When true, the *adjusted* R² is used instead, discounting
+  /// the mechanical fit inflation of windows barely larger than the
+  /// coefficient count. The ablation bench compares both.
+  bool use_adjusted_r2 = false;
+
+  /// When true, the fit must also be numerically sound (non-degenerate
+  /// window); degenerate windows keep growing even if R² looks good.
+  OlsOptions ols;
+};
+
+/// \brief Result of one DREAM estimation pass: the fitted per-metric MLR
+/// models plus the window that satisfied (or exhausted) the R² requirement.
+struct DreamEstimate {
+  /// One fitted model per cost metric, in TrainingSet metric order.
+  std::vector<OlsModel> models;
+  /// Final window size m (number of newest observations used).
+  size_t window_size = 0;
+  /// R² per metric at the final window.
+  std::vector<double> r_squared;
+  /// True when every metric reached r2_require before hitting the cap.
+  bool converged = false;
+
+  /// Predicted cost vector (one value per metric) for feature vector x.
+  StatusOr<Vector> Predict(const Vector& x) const;
+};
+
+/// \brief DREAM — the paper's core contribution (Algorithm 1,
+/// EstimateCostValue).
+///
+/// Fits one Multiple Linear Regression per cost metric over the *newest* m
+/// observations of a training set, growing m one observation at a time from
+/// the statistical minimum m = L + 2 until every metric's R² reaches
+/// r2_require or m hits M_max / end of history. Keeping m small both speeds
+/// up the estimation of the thousands of equivalent QEPs a cloud federation
+/// generates (Example 3.1) and avoids training on expired measurements in a
+/// drifting environment.
+class Dream {
+ public:
+  explicit Dream(DreamOptions options = DreamOptions());
+
+  const DreamOptions& options() const { return options_; }
+
+  /// Algorithm 1. Fails if the history holds fewer than L + 2 observations.
+  StatusOr<DreamEstimate> EstimateCostValue(const TrainingSet& history) const;
+
+  /// Convenience: estimate then predict the cost vector of x.
+  StatusOr<Vector> PredictCosts(const TrainingSet& history,
+                                const Vector& x) const;
+
+  /// The "new training set" output of Figure 2: the chosen window copied
+  /// into a fresh TrainingSet, which the Modelling module can train on
+  /// instead of the full history.
+  StatusOr<TrainingSet> MakeReducedTrainingSet(
+      const TrainingSet& history) const;
+
+ private:
+  DreamOptions options_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_REGRESSION_DREAM_H_

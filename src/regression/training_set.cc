@@ -1,0 +1,81 @@
+#include "regression/training_set.h"
+
+#include <algorithm>
+
+namespace midas {
+
+TrainingSet::TrainingSet(std::vector<std::string> feature_names,
+                         std::vector<std::string> metric_names)
+    : feature_names_(std::move(feature_names)),
+      metric_names_(std::move(metric_names)) {}
+
+Status TrainingSet::Add(Observation obs) {
+  if (obs.features.size() != num_features()) {
+    return Status::InvalidArgument("observation feature arity mismatch");
+  }
+  if (obs.costs.size() != num_metrics()) {
+    return Status::InvalidArgument("observation metric arity mismatch");
+  }
+  if (!observations_.empty() &&
+      obs.timestamp < observations_.back().timestamp) {
+    return Status::InvalidArgument(
+        "observations must be appended in timestamp order");
+  }
+  observations_.push_back(std::move(obs));
+  return Status::OK();
+}
+
+Status TrainingSet::Add(Vector features, Vector costs) {
+  Observation obs;
+  obs.timestamp = observations_.empty() ? 0 : latest_timestamp() + 1;
+  obs.features = std::move(features);
+  obs.costs = std::move(costs);
+  return Add(std::move(obs));
+}
+
+int64_t TrainingSet::latest_timestamp() const {
+  return observations_.empty() ? 0 : observations_.back().timestamp;
+}
+
+StatusOr<std::vector<Vector>> TrainingSet::RecentFeatures(size_t m) const {
+  if (m > size()) {
+    return Status::OutOfRange("window larger than history");
+  }
+  std::vector<Vector> out;
+  out.reserve(m);
+  for (size_t i = size() - m; i < size(); ++i) {
+    out.push_back(observations_[i].features);
+  }
+  return out;
+}
+
+StatusOr<Vector> TrainingSet::RecentCosts(size_t m,
+                                          size_t metric_index) const {
+  if (m > size()) {
+    return Status::OutOfRange("window larger than history");
+  }
+  if (metric_index >= num_metrics()) {
+    return Status::OutOfRange("metric index out of range");
+  }
+  Vector out;
+  out.reserve(m);
+  for (size_t i = size() - m; i < size(); ++i) {
+    out.push_back(observations_[i].costs[metric_index]);
+  }
+  return out;
+}
+
+void TrainingSet::TrimToNewest(size_t keep) {
+  if (keep >= size()) return;
+  observations_.erase(observations_.begin(),
+                      observations_.end() - static_cast<ptrdiff_t>(keep));
+}
+
+void TrainingSet::EvictOlderThan(int64_t cutoff) {
+  auto first_kept = std::find_if(
+      observations_.begin(), observations_.end(),
+      [cutoff](const Observation& o) { return o.timestamp >= cutoff; });
+  observations_.erase(observations_.begin(), first_kept);
+}
+
+}  // namespace midas

@@ -1,0 +1,86 @@
+#ifndef MIDAS_REGRESSION_TRAINING_SET_H_
+#define MIDAS_REGRESSION_TRAINING_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace midas {
+
+/// \brief One historical measurement: the feature vector x (e.g., data
+/// sizes, node counts — paper Example 2.1) and the observed value of every
+/// cost metric (execution time, monetary cost, ...).
+struct Observation {
+  /// Logical time of the measurement; the store keeps observations ordered
+  /// by ascending timestamp so "most recent window" is well defined.
+  int64_t timestamp = 0;
+  Vector features;
+  Vector costs;
+};
+
+/// \brief Ordered store of multi-metric cost observations (Figure 2's
+/// "training set").
+///
+/// Observations are appended in timestamp order (enforced); windows are
+/// always taken from the *newest* end, which is what lets DREAM avoid
+/// expired information.
+class TrainingSet {
+ public:
+  /// \param feature_names one per regression variable x_l (fixes L)
+  /// \param metric_names one per cost metric c_n (fixes N)
+  TrainingSet(std::vector<std::string> feature_names,
+              std::vector<std::string> metric_names);
+
+  size_t num_features() const { return feature_names_.size(); }
+  size_t num_metrics() const { return metric_names_.size(); }
+  size_t size() const { return observations_.size(); }
+  bool empty() const { return observations_.empty(); }
+
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+  const std::vector<std::string>& metric_names() const {
+    return metric_names_;
+  }
+
+  /// Appends an observation. Fails when dimensions mismatch or the
+  /// timestamp is older than the latest stored one.
+  Status Add(Observation obs);
+
+  /// Convenience overload that stamps the observation with
+  /// latest_timestamp + 1.
+  Status Add(Vector features, Vector costs);
+
+  const Observation& at(size_t i) const { return observations_[i]; }
+  const std::vector<Observation>& observations() const {
+    return observations_;
+  }
+
+  int64_t latest_timestamp() const;
+
+  /// The m most recent feature rows, oldest of the window first.
+  StatusOr<std::vector<Vector>> RecentFeatures(size_t m) const;
+
+  /// The m most recent values of the given metric, aligned with
+  /// RecentFeatures(m).
+  StatusOr<Vector> RecentCosts(size_t m, size_t metric_index) const;
+
+  /// Drops everything but the newest `keep` observations (history pruning;
+  /// the "new training set" output of Figure 2).
+  void TrimToNewest(size_t keep);
+
+  /// Keeps only observations with timestamp >= cutoff.
+  void EvictOlderThan(int64_t cutoff);
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> metric_names_;
+  std::vector<Observation> observations_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_REGRESSION_TRAINING_SET_H_

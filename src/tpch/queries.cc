@@ -1,0 +1,153 @@
+#include "tpch/queries.h"
+
+#include <algorithm>
+
+namespace midas {
+namespace tpch {
+
+std::vector<int> PaperQueryIds() { return {12, 13, 14, 17}; }
+
+QueryParameters QueryParameters::Reference(int query_id) {
+  QueryParameters p;
+  switch (query_id) {
+    case 12:
+      // l_shipmode IN (2 of 7) AND commit < receipt AND ship < commit AND
+      // receipt within one year of seven: (2/7)·(1/2)·(1/2)·(1/7).
+      p.primary_selectivity = (2.0 / 7.0) * 0.5 * 0.5 * (1.0 / 7.0);
+      break;
+    case 13:
+      // o_comment NOT LIKE '%special%requests%': nearly all orders qualify.
+      p.primary_selectivity = 0.9852;
+      break;
+    case 14:
+      // l_shipdate within one month of the 84-month history.
+      p.primary_selectivity = 1.0 / 84.0;
+      break;
+    case 17:
+      // p_brand = 'Brand#23' AND p_container = 'MED BOX': (1/25)·(1/40).
+      p.primary_selectivity = (1.0 / 25.0) * (1.0 / 40.0);
+      // l_quantity below 20% of the average for the part.
+      p.secondary_selectivity = 0.2;
+      break;
+    default:
+      break;
+  }
+  return p;
+}
+
+StatusOr<QueryParameters> QueryParameters::Jitter(int query_id, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  const std::vector<int> ids = PaperQueryIds();
+  const bool known = std::find(ids.begin(), ids.end(), query_id) != ids.end();
+  if (!known) {
+    return Status::NotFound("not a paper query: " + std::to_string(query_id));
+  }
+  QueryParameters p = Reference(query_id);
+  // qgen draws different months/brands/modes per stream; the effect on the
+  // plan is a shifted predicate selectivity. ±50% around the reference.
+  p.primary_selectivity *= rng->Uniform(0.5, 1.5);
+  p.secondary_selectivity *= rng->Uniform(0.5, 1.5);
+  p.primary_selectivity = std::clamp(p.primary_selectivity, 1e-6, 1.0);
+  p.secondary_selectivity = std::clamp(p.secondary_selectivity, 1e-6, 1.0);
+  // Date-range width drawn per instance: the scan prunes to between a
+  // quarter and the whole of the fact table's partitions.
+  p.fact_fraction = rng->Uniform(0.25, 1.0);
+  return p;
+}
+
+namespace {
+
+Predicate WithSelectivity(const std::string& column, CompareOp op,
+                          double selectivity) {
+  Predicate p;
+  p.column = column;
+  p.op = op;
+  p.selectivity_override = selectivity;
+  return p;
+}
+
+std::unique_ptr<PlanNode> MakePrunedScan(const std::string& table,
+                                         double fraction) {
+  auto scan = MakeScan(table);
+  scan->scan_fraction = fraction;
+  return scan;
+}
+
+}  // namespace
+
+StatusOr<QueryPlan> MakeQuery(int query_id, const QueryParameters& params) {
+  switch (query_id) {
+    case 12: {
+      // The receipt-date year predicate prunes lineitem partitions; the
+      // ship-mode/commit-date conditions remain as a row filter.
+      auto lineitem = MakeFilter(
+          MakePrunedScan("lineitem", params.fact_fraction),
+          {WithSelectivity("l_shipmode", CompareOp::kEq,
+                           params.primary_selectivity)});
+      auto join = MakeJoin(MakeScan("orders"), std::move(lineitem),
+                           "o_orderkey", "l_orderkey");
+      return QueryPlan(MakeAggregate(std::move(join), /*num_groups=*/2));
+    }
+    case 13: {
+      auto orders = MakeFilter(
+          MakePrunedScan("orders", params.fact_fraction),
+          {WithSelectivity("o_comment", CompareOp::kLike,
+                           params.primary_selectivity)});
+      auto join = MakeJoin(MakeScan("customer"), std::move(orders),
+                           "c_custkey", "o_custkey");
+      // GROUP BY c_custkey, then by count: dominated by the per-customer
+      // aggregation.
+      return QueryPlan(
+          MakeAggregate(std::move(join), /*num_groups=*/150000));
+    }
+    case 14: {
+      // The one-month l_shipdate window is partition-prunable.
+      auto lineitem = MakeFilter(
+          MakePrunedScan("lineitem", params.fact_fraction),
+          {WithSelectivity("l_shipdate", CompareOp::kBetween,
+                           params.primary_selectivity)});
+      auto join = MakeJoin(MakeScan("part"), std::move(lineitem), "p_partkey",
+                           "l_partkey");
+      return QueryPlan(MakeAggregate(std::move(join), /*num_groups=*/1));
+    }
+    case 17: {
+      auto part = MakeFilter(
+          MakeScan("part"),
+          {WithSelectivity("p_brand", CompareOp::kEq,
+                           params.primary_selectivity)});
+      auto lineitem = MakeFilter(
+          MakePrunedScan("lineitem", params.fact_fraction),
+          {WithSelectivity("l_quantity", CompareOp::kLt,
+                           params.secondary_selectivity)});
+      auto join = MakeJoin(std::move(part), std::move(lineitem), "p_partkey",
+                           "l_partkey");
+      return QueryPlan(MakeAggregate(std::move(join), /*num_groups=*/1));
+    }
+    default:
+      return Status::NotFound("not a paper query: " +
+                              std::to_string(query_id));
+  }
+}
+
+StatusOr<QueryPlan> MakeQuery(int query_id) {
+  return MakeQuery(query_id, QueryParameters::Reference(query_id));
+}
+
+StatusOr<std::pair<std::string, std::string>> QueryTables(int query_id) {
+  switch (query_id) {
+    case 12:
+      return std::make_pair(std::string("orders"), std::string("lineitem"));
+    case 13:
+      return std::make_pair(std::string("customer"), std::string("orders"));
+    case 14:
+      return std::make_pair(std::string("part"), std::string("lineitem"));
+    case 17:
+      return std::make_pair(std::string("part"), std::string("lineitem"));
+    default:
+      return Status::NotFound("not a paper query: " +
+                              std::to_string(query_id));
+  }
+}
+
+}  // namespace tpch
+}  // namespace midas

@@ -1,0 +1,53 @@
+#ifndef MIDAS_TPCH_QUERIES_H_
+#define MIDAS_TPCH_QUERIES_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "query/plan.h"
+
+namespace midas {
+namespace tpch {
+
+/// The queries the paper evaluates: the four TPC-H queries that join
+/// exactly two tables (12, 13, 14, 17), each table living in a different
+/// engine of the multi-engine environment.
+std::vector<int> PaperQueryIds();
+
+/// \brief Parameters of one query instance. TPC-H's qgen substitutes random
+/// parameters into each template (the ship-mode pair, the report month, the
+/// brand/container, ...); we model that by the resulting predicate
+/// selectivities and let `Jitter` draw instance-specific values.
+struct QueryParameters {
+  /// Per-predicate selectivities; meaning depends on the query template.
+  double primary_selectivity = 1.0;
+  double secondary_selectivity = 1.0;
+  /// Fraction of the fact table (lineitem, or orders for Q13) the scan
+  /// actually reads: the date-range predicate of each template prunes
+  /// whole partitions, so instances touch different data volumes.
+  double fact_fraction = 1.0;
+
+  /// Draws TPC-H-style parameter variation around the reference values.
+  static QueryParameters Reference(int query_id);
+  static StatusOr<QueryParameters> Jitter(int query_id, Rng* rng);
+};
+
+/// Builds the logical plan of a paper query with the given parameters.
+/// Templates (selection σ, join ⋈, aggregation γ over tables in two
+/// engines):
+///   Q12: γ_shipmode( orders ⋈_orderkey σ(lineitem) )
+///   Q13: γ_custkey( customer ⋈_custkey σ(orders) )
+///   Q14: γ( part ⋈_partkey σ(lineitem) )
+///   Q17: γ( σ(part) ⋈_partkey σ(lineitem) )
+StatusOr<QueryPlan> MakeQuery(int query_id, const QueryParameters& params);
+
+/// Reference-parameter convenience overload.
+StatusOr<QueryPlan> MakeQuery(int query_id);
+
+/// The two base tables of a paper query, left/probe side first.
+StatusOr<std::pair<std::string, std::string>> QueryTables(int query_id);
+
+}  // namespace tpch
+}  // namespace midas
+
+#endif  // MIDAS_TPCH_QUERIES_H_

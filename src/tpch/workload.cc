@@ -1,0 +1,33 @@
+#include "tpch/workload.h"
+
+#include "tpch/tpch_schema.h"
+
+namespace midas {
+namespace tpch {
+
+Workload::Workload(WorkloadOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {
+  if (options_.query_ids.empty()) options_.query_ids = PaperQueryIds();
+  auto catalog = MakeCatalog(options_.scale_factor);
+  if (catalog.ok()) catalog_ = std::move(catalog).ValueOrDie();
+}
+
+StatusOr<WorkloadItem> Workload::Next() {
+  if (options_.query_ids.empty()) {
+    return Status::FailedPrecondition("workload has no queries");
+  }
+  const int qid = options_.query_ids[rng_.Index(options_.query_ids.size())];
+  return NextForQuery(qid);
+}
+
+StatusOr<WorkloadItem> Workload::NextForQuery(int query_id) {
+  WorkloadItem item;
+  item.query_id = query_id;
+  MIDAS_ASSIGN_OR_RETURN(item.params,
+                         QueryParameters::Jitter(query_id, &rng_));
+  MIDAS_ASSIGN_OR_RETURN(item.logical, MakeQuery(query_id, item.params));
+  return item;
+}
+
+}  // namespace tpch
+}  // namespace midas

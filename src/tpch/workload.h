@@ -1,0 +1,55 @@
+#ifndef MIDAS_TPCH_WORKLOAD_H_
+#define MIDAS_TPCH_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "query/schema.h"
+#include "tpch/queries.h"
+#include "tpch/tpch_schema.h"
+
+namespace midas {
+namespace tpch {
+
+/// \brief One workload step: a paper query instantiated with drawn
+/// parameters (what qgen would substitute into the template).
+struct WorkloadItem {
+  int query_id = 0;
+  QueryParameters params;
+  QueryPlan logical;
+};
+
+struct WorkloadOptions {
+  /// 0.1 reproduces the paper's 100 MiB dataset, 1.0 the 1 GiB one.
+  double scale_factor = kScaleFactor100MiB;
+  uint64_t seed = 2019;
+  /// Queries to draw from; defaults to the paper's {12, 13, 14, 17}.
+  std::vector<int> query_ids;
+};
+
+/// \brief Random stream of paper-query instances over a TPC-H catalog —
+/// the experiment driver for Tables 3 and 4.
+class Workload {
+ public:
+  explicit Workload(WorkloadOptions options = WorkloadOptions());
+
+  /// Catalog at the configured scale factor.
+  const Catalog& catalog() const { return catalog_; }
+  double scale_factor() const { return options_.scale_factor; }
+
+  /// Draws the next instance of a uniformly chosen query.
+  StatusOr<WorkloadItem> Next();
+
+  /// Draws the next instance of a specific query.
+  StatusOr<WorkloadItem> NextForQuery(int query_id);
+
+ private:
+  WorkloadOptions options_;
+  Catalog catalog_;
+  Rng rng_;
+};
+
+}  // namespace tpch
+}  // namespace midas
+
+#endif  // MIDAS_TPCH_WORKLOAD_H_

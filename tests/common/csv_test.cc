@@ -1,0 +1,95 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  CsvWriter w({"m", "r2"});
+  w.AddRow(std::vector<std::string>{"4", "0.757"});
+  w.AddRow(std::vector<double>{5.0, 0.77});
+  EXPECT_EQ(w.num_rows(), 2u);
+  const std::string out = w.ToString();
+  EXPECT_EQ(out, "m,r2\n4,0.757\n5,0.77\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter w({"name"});
+  w.AddRow({std::string("has,comma")});
+  w.AddRow({std::string("has\"quote")});
+  const std::string out = w.ToString();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, PadsShortRows) {
+  CsvWriter w({"a", "b"});
+  w.AddRow({std::string("x")});
+  EXPECT_EQ(w.ToString(), "a,b\nx,\n");
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  CsvWriter w({"k"});
+  w.AddRow({std::string("v")});
+  const std::string path = testing::TempDir() + "/midas_csv_test.csv";
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k");
+  std::getline(in, line);
+  EXPECT_EQ(line, "v");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteToBadPathFails) {
+  CsvWriter w({"k"});
+  EXPECT_FALSE(w.WriteToFile("/nonexistent-dir/x.csv").ok());
+}
+
+TEST(SplitCsvLineTest, PlainFields) {
+  const auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvLineTest, QuotedFieldWithComma) {
+  const auto fields = SplitCsvLine("\"x,y\",z");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "x,y");
+  EXPECT_EQ(fields[1], "z");
+}
+
+TEST(SplitCsvLineTest, EscapedQuote) {
+  const auto fields = SplitCsvLine("\"a\"\"b\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "a\"b");
+}
+
+TEST(SplitCsvLineTest, EmptyFields) {
+  const auto fields = SplitCsvLine(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(SplitCsvLineTest, RoundTripsWriterOutput) {
+  CsvWriter w({"odd"});
+  w.AddRow({std::string("a,b\"c")});
+  const std::string out = w.ToString();
+  // Second line is the data row (strip trailing newline).
+  const size_t nl = out.find('\n');
+  std::string row = out.substr(nl + 1);
+  row.pop_back();
+  const auto fields = SplitCsvLine(row);
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "a,b\"c");
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,72 @@
+#include "common/logging.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+class CaptureStderr {
+ public:
+  CaptureStderr() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+  ~CaptureStderr() { std::cerr.rdbuf(old_); }
+  std::string str() const { return buffer_.str(); }
+
+ private:
+  std::ostringstream buffer_;
+  std::streambuf* old_;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+}
+
+TEST_F(LoggingTest, EmitsAtOrAboveLevel) {
+  SetLogLevel(LogLevel::kInfo);
+  CaptureStderr capture;
+  MIDAS_LOG(Info) << "hello-info";
+  EXPECT_NE(capture.str().find("hello-info"), std::string::npos);
+  EXPECT_NE(capture.str().find("INFO"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressesBelowLevel) {
+  SetLogLevel(LogLevel::kError);
+  CaptureStderr capture;
+  MIDAS_LOG(Info) << "should-not-appear";
+  MIDAS_LOG(Debug) << "nor-this";
+  EXPECT_EQ(capture.str().find("should-not-appear"), std::string::npos);
+  EXPECT_EQ(capture.str().find("nor-this"), std::string::npos);
+}
+
+TEST_F(LoggingTest, IncludesFileBasename) {
+  SetLogLevel(LogLevel::kInfo);
+  CaptureStderr capture;
+  MIDAS_LOG(Warning) << "locate-me";
+  EXPECT_NE(capture.str().find("logging_test.cc"), std::string::npos);
+}
+
+TEST_F(LoggingTest, CheckPassesSilently) {
+  CaptureStderr capture;
+  MIDAS_CHECK(1 + 1 == 2) << "never evaluated";
+  EXPECT_TRUE(capture.str().empty());
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ MIDAS_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ MIDAS_LOG(Fatal) << "fatal message"; }, "fatal message");
+}
+
+}  // namespace
+}  // namespace midas

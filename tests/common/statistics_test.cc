@@ -1,0 +1,121 @@
+#include "common/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(StatisticsTest, MeanOfKnownValues) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0, 4.0}).ValueOrDie(), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({5.0}).ValueOrDie(), 5.0);
+}
+
+TEST(StatisticsTest, MeanOfEmptyFails) {
+  EXPECT_FALSE(Mean({}).ok());
+}
+
+TEST(StatisticsTest, SampleVariance) {
+  // var of {2, 4, 4, 4, 5, 5, 7, 9} (sample) = 32/7.
+  auto v = Variance({2, 4, 4, 4, 5, 5, 7, 9});
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 32.0 / 7.0, 1e-12);
+}
+
+TEST(StatisticsTest, VarianceNeedsTwoValues) {
+  EXPECT_FALSE(Variance({1.0}).ok());
+}
+
+TEST(StatisticsTest, StdDevIsSqrtOfVariance) {
+  auto sd = StdDev({1.0, 3.0});
+  ASSERT_TRUE(sd.ok());
+  EXPECT_NEAR(*sd, std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatisticsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Min({3.0, -1.0, 2.0}).ValueOrDie(), -1.0);
+  EXPECT_DOUBLE_EQ(Max({3.0, -1.0, 2.0}).ValueOrDie(), 3.0);
+  EXPECT_FALSE(Min({}).ok());
+  EXPECT_FALSE(Max({}).ok());
+}
+
+TEST(StatisticsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}).ValueOrDie(), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}).ValueOrDie(), 2.5);
+}
+
+TEST(StatisticsTest, QuantileInterpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0).ValueOrDie(), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25).ValueOrDie(), 2.5);
+}
+
+TEST(StatisticsTest, QuantileRejectsBadQ) {
+  EXPECT_FALSE(Quantile({1.0}, -0.1).ok());
+  EXPECT_FALSE(Quantile({1.0}, 1.1).ok());
+}
+
+TEST(StatisticsTest, MeanRelativeErrorMatchesEq15) {
+  // (|9-10|/10 + |22-20|/20) / 2 = (0.1 + 0.1) / 2 = 0.1.
+  auto mre = MeanRelativeError({9.0, 22.0}, {10.0, 20.0});
+  ASSERT_TRUE(mre.ok());
+  EXPECT_NEAR(*mre, 0.1, 1e-12);
+}
+
+TEST(StatisticsTest, MrePerfectPredictionIsZero) {
+  EXPECT_DOUBLE_EQ(MeanRelativeError({5.0, 7.0}, {5.0, 7.0}).ValueOrDie(),
+                   0.0);
+}
+
+TEST(StatisticsTest, MreRejectsZeroActual) {
+  EXPECT_FALSE(MeanRelativeError({1.0}, {0.0}).ok());
+}
+
+TEST(StatisticsTest, MreRejectsSizeMismatch) {
+  EXPECT_FALSE(MeanRelativeError({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(StatisticsTest, RootMeanSquaredError) {
+  auto rmse = RootMeanSquaredError({1.0, 2.0}, {2.0, 4.0});
+  ASSERT_TRUE(rmse.ok());
+  EXPECT_NEAR(*rmse, std::sqrt((1.0 + 4.0) / 2.0), 1e-12);
+}
+
+TEST(StatisticsTest, PearsonPerfectPositive) {
+  auto r = PearsonCorrelation({1, 2, 3}, {2, 4, 6});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+}
+
+TEST(StatisticsTest, PearsonPerfectNegative) {
+  auto r = PearsonCorrelation({1, 2, 3}, {6, 4, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, -1.0, 1e-12);
+}
+
+TEST(StatisticsTest, PearsonConstantInputFails) {
+  EXPECT_FALSE(PearsonCorrelation({1, 1, 1}, {1, 2, 3}).ok());
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics) {
+  const std::vector<double> data = {2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats rs;
+  for (double x : data) rs.Add(x);
+  EXPECT_EQ(rs.count(), data.size());
+  EXPECT_NEAR(rs.mean(), Mean(data).ValueOrDie(), 1e-12);
+  EXPECT_NEAR(rs.variance(), Variance(data).ValueOrDie(), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats rs;
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,59 @@
+#include "common/text_table.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(0.1465, 3), "0.146");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(FormatDouble(-1.25, 2), "-1.25");
+}
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t({"Query", "DREAM"});
+  t.AddRow({"12", "0.146"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("Query"), std::string::npos);
+  EXPECT_NE(out.find("DREAM"), std::string::npos);
+  EXPECT_NE(out.find("0.146"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TextTableTest, PadsMissingCells) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  const std::string out = t.ToString();
+  // Three header separators -> four '|' per row.
+  const std::string row_with_only = out.substr(out.find("only"));
+  EXPECT_NE(out.find("| only"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowHelperFormats) {
+  TextTable t({"label", "x", "y"});
+  t.AddRow("r1", {1.23456, 7.0}, 2);
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("7.00"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnWidthAdaptsToLongCells) {
+  TextTable t({"h"});
+  t.AddRow({"a-very-long-cell-value"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("a-very-long-cell-value"), std::string::npos);
+  // Header line must be at least as wide as the longest cell.
+  const size_t first_newline = out.find('\n');
+  EXPECT_GE(first_newline, std::string("a-very-long-cell-value").size());
+}
+
+TEST(TextTableTest, EmptyTableStillRendersHeader) {
+  TextTable t({"alpha", "beta"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,68 @@
+#include "engine/cost_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(CostProfileTest, HivePaysLargeStartup) {
+  const CostProfile hive = DefaultCostProfile(EngineKind::kHive);
+  const CostProfile pg = DefaultCostProfile(EngineKind::kPostgres);
+  const CostProfile spark = DefaultCostProfile(EngineKind::kSpark);
+  EXPECT_GT(hive.startup_seconds, spark.startup_seconds);
+  EXPECT_GT(spark.startup_seconds, pg.startup_seconds);
+}
+
+TEST(CostProfileTest, PostgresIsSingleNode) {
+  EXPECT_FALSE(DefaultCostProfile(EngineKind::kPostgres).distributed);
+  EXPECT_TRUE(DefaultCostProfile(EngineKind::kHive).distributed);
+  EXPECT_TRUE(DefaultCostProfile(EngineKind::kSpark).distributed);
+}
+
+TEST(CostProfileTest, PostgresFastestPerTuple) {
+  const CostProfile hive = DefaultCostProfile(EngineKind::kHive);
+  const CostProfile pg = DefaultCostProfile(EngineKind::kPostgres);
+  EXPECT_LT(pg.cpu_tuple_seconds, hive.cpu_tuple_seconds);
+}
+
+TEST(EffectiveParallelismTest, SingleNodeIsOne) {
+  const CostProfile hive = DefaultCostProfile(EngineKind::kHive);
+  EXPECT_DOUBLE_EQ(EffectiveParallelism(hive, 1), 1.0);
+}
+
+TEST(EffectiveParallelismTest, NonDistributedIgnoresNodes) {
+  const CostProfile pg = DefaultCostProfile(EngineKind::kPostgres);
+  EXPECT_DOUBLE_EQ(EffectiveParallelism(pg, 8), 1.0);
+}
+
+TEST(EffectiveParallelismTest, AmdahlSubLinearScaling) {
+  CostProfile p;
+  p.distributed = true;
+  p.serial_fraction = 0.1;
+  const double two = EffectiveParallelism(p, 2);
+  const double eight = EffectiveParallelism(p, 8);
+  EXPECT_GT(two, 1.0);
+  EXPECT_LT(two, 2.0);
+  EXPECT_GT(eight, two);
+  EXPECT_LT(eight, 8.0);
+}
+
+TEST(EffectiveParallelismTest, ZeroSerialFractionIsLinear) {
+  CostProfile p;
+  p.distributed = true;
+  p.serial_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(EffectiveParallelism(p, 8), 8.0);
+}
+
+TEST(EffectiveParallelismTest, MonotoneInNodes) {
+  const CostProfile hive = DefaultCostProfile(EngineKind::kHive);
+  double previous = 0.0;
+  for (int n = 1; n <= 16; ++n) {
+    const double par = EffectiveParallelism(hive, n);
+    EXPECT_GT(par, previous);
+    previous = par;
+  }
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,111 @@
+#include "engine/variance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(VarianceModelTest, ZeroOptionsAreStationary) {
+  VarianceOptions options;
+  options.noise_sigma = 0.0;
+  options.drift_amplitude = 0.0;
+  options.ar_sigma = 0.0;
+  VarianceModel model(options, 1);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_DOUBLE_EQ(model.LoadFactor(t), 1.0);
+    EXPECT_DOUBLE_EQ(model.NoiseMultiplier(), 1.0);
+  }
+}
+
+TEST(VarianceModelTest, SeasonalFactorFollowsSine) {
+  VarianceOptions options;
+  options.drift_amplitude = 0.5;
+  options.drift_period = 100.0;
+  options.drift_phase = 0.0;
+  VarianceModel model(options, 1);
+  EXPECT_NEAR(model.SeasonalFactor(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(model.SeasonalFactor(25.0), 1.5, 1e-12);   // sin peak
+  EXPECT_NEAR(model.SeasonalFactor(75.0), 0.5, 1e-12);   // sin trough
+  EXPECT_NEAR(model.SeasonalFactor(100.0), 1.0, 1e-9);   // full period
+}
+
+TEST(VarianceModelTest, PhaseShiftsSeason) {
+  VarianceOptions a;
+  a.drift_amplitude = 0.5;
+  a.drift_period = 100.0;
+  VarianceOptions b = a;
+  b.drift_phase = 3.14159265358979;
+  VarianceModel ma(a, 1), mb(b, 1);
+  EXPECT_GT(ma.SeasonalFactor(25.0), 1.0);
+  EXPECT_LT(mb.SeasonalFactor(25.0), 1.0);
+}
+
+TEST(VarianceModelTest, LoadFactorStaysPositive) {
+  VarianceOptions options;
+  options.drift_amplitude = 0.99;
+  options.ar_sigma = 0.5;
+  VarianceModel model(options, 3);
+  for (int t = 0; t < 500; ++t) {
+    EXPECT_GT(model.LoadFactor(t), 0.0);
+  }
+}
+
+TEST(VarianceModelTest, NoiseIsMeanOne) {
+  VarianceOptions options;
+  options.noise_sigma = 0.2;
+  VarianceModel model(options, 5);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += model.NoiseMultiplier();
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(VarianceModelTest, NoiseAlwaysPositive) {
+  VarianceOptions options;
+  options.noise_sigma = 0.5;
+  VarianceModel model(options, 7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(model.NoiseMultiplier(), 0.0);
+  }
+}
+
+TEST(VarianceModelTest, DeterministicGivenSeed) {
+  VarianceOptions options;  // defaults include AR noise
+  VarianceModel a(options, 11), b(options, 11);
+  for (int t = 0; t < 20; ++t) {
+    EXPECT_DOUBLE_EQ(a.LoadFactor(t), b.LoadFactor(t));
+  }
+}
+
+TEST(VarianceModelTest, ArProcessIsSmooth) {
+  // Successive load factors should be correlated: big jumps are rare when
+  // the seasonal component is flat.
+  VarianceOptions options;
+  options.drift_amplitude = 0.0;
+  options.noise_sigma = 0.0;
+  options.ar_coefficient = 0.95;
+  options.ar_sigma = 0.05;
+  VarianceModel model(options, 13);
+  double previous = model.LoadFactor(0);
+  double max_step = 0.0;
+  for (int t = 1; t < 300; ++t) {
+    const double current = model.LoadFactor(t);
+    max_step = std::max(max_step, std::abs(current - previous));
+    previous = current;
+  }
+  EXPECT_LT(max_step, 0.5);
+}
+
+TEST(VarianceModelTest, DefaultsModelDriftingCloud) {
+  // The library defaults must include non-trivial drift (the paper's
+  // premise) — guard against accidental neutering.
+  VarianceOptions options;
+  EXPECT_GT(options.drift_amplitude, 0.0);
+  EXPECT_GT(options.ar_sigma, 0.0);
+  EXPECT_GT(options.noise_sigma, 0.0);
+}
+
+}  // namespace
+}  // namespace midas

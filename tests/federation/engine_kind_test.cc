@@ -1,0 +1,32 @@
+#include "federation/engine_kind.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(EngineKindTest, NamesRoundTrip) {
+  for (EngineKind kind :
+       {EngineKind::kHive, EngineKind::kPostgres, EngineKind::kSpark}) {
+    auto parsed = EngineKindFromName(EngineKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(EngineKindTest, KnownNames) {
+  EXPECT_EQ(EngineKindName(EngineKind::kHive), "Hive");
+  EXPECT_EQ(EngineKindName(EngineKind::kPostgres), "PostgreSQL");
+  EXPECT_EQ(EngineKindName(EngineKind::kSpark), "Spark");
+}
+
+TEST(EngineKindTest, UnknownNameFails) {
+  EXPECT_FALSE(EngineKindFromName("MySQL").ok());
+}
+
+TEST(EngineKindTest, CountMatchesEnum) {
+  EXPECT_EQ(kNumEngineKinds, 3);
+}
+
+}  // namespace
+}  // namespace midas

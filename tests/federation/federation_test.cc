@@ -1,0 +1,140 @@
+#include "federation/federation.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+SiteConfig MakeSiteConfig(const std::string& name, EngineKind engine) {
+  SiteConfig config;
+  config.name = name;
+  config.engines = {engine};
+  config.node_type = {ProviderKind::kAmazon, "a1.large", 2, 4.0, 0.0, 0.0098};
+  return config;
+}
+
+TEST(FederationTest, AddSiteAssignsSequentialIds) {
+  Federation fed;
+  auto a = fed.AddSite(MakeSiteConfig("a", EngineKind::kHive));
+  auto b = fed.AddSite(MakeSiteConfig("b", EngineKind::kPostgres));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(fed.num_sites(), 2u);
+}
+
+TEST(FederationTest, DuplicateSiteNameRejected) {
+  Federation fed;
+  ASSERT_TRUE(fed.AddSite(MakeSiteConfig("a", EngineKind::kHive)).ok());
+  EXPECT_FALSE(fed.AddSite(MakeSiteConfig("a", EngineKind::kSpark)).ok());
+}
+
+TEST(FederationTest, AddSiteResizesNetwork) {
+  Federation fed;
+  fed.AddSite(MakeSiteConfig("a", EngineKind::kHive)).ValueOrDie();
+  fed.AddSite(MakeSiteConfig("b", EngineKind::kSpark)).ValueOrDie();
+  EXPECT_EQ(fed.network().num_sites(), 2u);
+}
+
+TEST(FederationTest, SiteLookup) {
+  Federation fed;
+  const SiteId id =
+      fed.AddSite(MakeSiteConfig("alpha", EngineKind::kHive)).ValueOrDie();
+  auto site = fed.site(id);
+  ASSERT_TRUE(site.ok());
+  EXPECT_EQ((*site)->name(), "alpha");
+  EXPECT_FALSE(fed.site(99).ok());
+}
+
+TEST(FederationTest, FindSiteByName) {
+  Federation fed;
+  fed.AddSite(MakeSiteConfig("alpha", EngineKind::kHive)).ValueOrDie();
+  EXPECT_TRUE(fed.FindSiteByName("alpha").ok());
+  EXPECT_FALSE(fed.FindSiteByName("beta").ok());
+}
+
+TEST(FederationTest, PlaceTableRequiresHostedEngine) {
+  Federation fed;
+  const SiteId a =
+      fed.AddSite(MakeSiteConfig("a", EngineKind::kHive)).ValueOrDie();
+  EXPECT_TRUE(fed.PlaceTable("t", a, EngineKind::kHive).ok());
+  EXPECT_FALSE(fed.PlaceTable("u", a, EngineKind::kPostgres).ok());
+}
+
+TEST(FederationTest, TablePlacementRoundTrip) {
+  Federation fed;
+  const SiteId a =
+      fed.AddSite(MakeSiteConfig("a", EngineKind::kHive)).ValueOrDie();
+  ASSERT_TRUE(fed.PlaceTable("patients", a, EngineKind::kHive).ok());
+  auto placement = fed.TablePlacement("patients");
+  ASSERT_TRUE(placement.ok());
+  EXPECT_EQ(placement->site, a);
+  EXPECT_EQ(placement->engine, EngineKind::kHive);
+  EXPECT_FALSE(fed.TablePlacement("unknown").ok());
+}
+
+TEST(FederationTest, SitesWithEngine) {
+  Federation fed;
+  fed.AddSite(MakeSiteConfig("a", EngineKind::kHive)).ValueOrDie();
+  fed.AddSite(MakeSiteConfig("b", EngineKind::kPostgres)).ValueOrDie();
+  fed.AddSite(MakeSiteConfig("c", EngineKind::kHive)).ValueOrDie();
+  EXPECT_EQ(fed.SitesWithEngine(EngineKind::kHive).size(), 2u);
+  EXPECT_EQ(fed.SitesWithEngine(EngineKind::kPostgres).size(), 1u);
+  EXPECT_TRUE(fed.SitesWithEngine(EngineKind::kSpark).empty());
+}
+
+TEST(FederationTest, PaperFederationShape) {
+  Federation fed = Federation::PaperFederation();
+  EXPECT_EQ(fed.num_sites(), 2u);
+  const SiteId a = fed.FindSiteByName("cloud-A").ValueOrDie();
+  const SiteId b = fed.FindSiteByName("cloud-B").ValueOrDie();
+  EXPECT_TRUE(fed.site(a).ValueOrDie()->HostsEngine(EngineKind::kHive));
+  EXPECT_TRUE(fed.site(a).ValueOrDie()->HostsEngine(EngineKind::kSpark));
+  EXPECT_TRUE(fed.site(b).ValueOrDie()->HostsEngine(EngineKind::kPostgres));
+  // WAN link is priced.
+  EXPECT_GT(fed.network().Link(a, b).ValueOrDie().egress_price_per_gib, 0.0);
+  EXPECT_GT(fed.network().Link(b, a).ValueOrDie().egress_price_per_gib, 0.0);
+}
+
+TEST(FederationTest, PaperPrivateCloudShape) {
+  Federation fed = Federation::PaperPrivateCloud();
+  EXPECT_EQ(fed.num_sites(), 1u);
+  const CloudSite* site = fed.site(0).ValueOrDie();
+  // §4.1: three nodes with 4 CPUs and 8 GiB each, all three engines.
+  EXPECT_EQ(site->max_nodes(), 3);
+  EXPECT_EQ(site->node_type().vcpu, 4);
+  EXPECT_DOUBLE_EQ(site->node_type().memory_gib, 8.0);
+  EXPECT_TRUE(site->HostsEngine(EngineKind::kHive));
+  EXPECT_TRUE(site->HostsEngine(EngineKind::kPostgres));
+  EXPECT_TRUE(site->HostsEngine(EngineKind::kSpark));
+}
+
+TEST(FederationTest, ThreeCloudFederationShape) {
+  Federation fed = Federation::ThreeCloudFederation();
+  EXPECT_EQ(fed.num_sites(), 3u);
+  const SiteId a = fed.FindSiteByName("cloud-A").ValueOrDie();
+  const SiteId b = fed.FindSiteByName("cloud-B").ValueOrDie();
+  const SiteId c = fed.FindSiteByName("cloud-C").ValueOrDie();
+  EXPECT_EQ(fed.site(c).ValueOrDie()->provider(), ProviderKind::kGoogle);
+  EXPECT_TRUE(fed.site(c).ValueOrDie()->HostsEngine(EngineKind::kSpark));
+  // Growing the federation must not have wiped the A<->B links.
+  EXPECT_GT(fed.network().Link(a, b).ValueOrDie().egress_price_per_gib, 0.0);
+  EXPECT_GT(fed.network().Link(b, a).ValueOrDie().egress_price_per_gib, 0.0);
+  // The new provider's premium egress is the most expensive.
+  EXPECT_GT(fed.network().Link(c, a).ValueOrDie().egress_price_per_gib,
+            fed.network().Link(a, c).ValueOrDie().egress_price_per_gib);
+}
+
+TEST(InstanceCatalogTest, ExtendedCatalogAddsGoogle) {
+  const InstanceCatalog catalog = InstanceCatalog::ExtendedThreeProviders();
+  EXPECT_EQ(catalog.size(), 16u);
+  EXPECT_EQ(catalog.ByProvider(ProviderKind::kGoogle).size(), 5u);
+  // Table 1 rows are untouched.
+  EXPECT_DOUBLE_EQ(catalog.Find("a1.medium").ValueOrDie().price_per_hour,
+                   0.0049);
+  EXPECT_TRUE(catalog.Find("e2-medium").ok());
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,91 @@
+#include "federation/instance.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(InstanceCatalogTest, PaperTable1HasElevenRows) {
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+  EXPECT_EQ(catalog.size(), 11u);
+  EXPECT_EQ(catalog.ByProvider(ProviderKind::kAmazon).size(), 5u);
+  EXPECT_EQ(catalog.ByProvider(ProviderKind::kMicrosoft).size(), 6u);
+}
+
+TEST(InstanceCatalogTest, PaperPricesMatchTable1) {
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+  EXPECT_DOUBLE_EQ(catalog.Find("a1.medium").ValueOrDie().price_per_hour,
+                   0.0049);
+  EXPECT_DOUBLE_EQ(catalog.Find("a1.4xlarge").ValueOrDie().price_per_hour,
+                   0.0788);
+  EXPECT_DOUBLE_EQ(catalog.Find("B1S").ValueOrDie().price_per_hour, 0.011);
+  EXPECT_DOUBLE_EQ(catalog.Find("B8MS").ValueOrDie().price_per_hour, 0.333);
+}
+
+TEST(InstanceCatalogTest, AmazonShapesAreEbsOnly) {
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+  for (const InstanceType& t : catalog.ByProvider(ProviderKind::kAmazon)) {
+    EXPECT_DOUBLE_EQ(t.storage_gib, 0.0) << t.name;
+  }
+}
+
+TEST(InstanceCatalogTest, MicrosoftShapesBundleStorage) {
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+  for (const InstanceType& t : catalog.ByProvider(ProviderKind::kMicrosoft)) {
+    EXPECT_GT(t.storage_gib, 0.0) << t.name;
+  }
+}
+
+TEST(InstanceCatalogTest, PaperSpecsMatchTable1) {
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+  const InstanceType xl = catalog.Find("a1.xlarge").ValueOrDie();
+  EXPECT_EQ(xl.vcpu, 4);
+  EXPECT_DOUBLE_EQ(xl.memory_gib, 8.0);
+  const InstanceType b2ms = catalog.Find("B2MS").ValueOrDie();
+  EXPECT_EQ(b2ms.vcpu, 2);
+  EXPECT_DOUBLE_EQ(b2ms.memory_gib, 8.0);
+  EXPECT_DOUBLE_EQ(b2ms.storage_gib, 16.0);
+}
+
+TEST(InstanceCatalogTest, FindUnknownFails) {
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+  EXPECT_FALSE(catalog.Find("m5.large").ok());
+}
+
+TEST(InstanceCatalogTest, CheapestSatisfyingPicksGlobalMinimum) {
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+  // 2 vCPU, 4 GiB: a1.large ($0.0098) beats B2S ($0.042).
+  auto pick = catalog.CheapestSatisfying(2, 4.0);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick->name, "a1.large");
+}
+
+TEST(InstanceCatalogTest, CheapestSatisfyingRespectsProviderFilter) {
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+  auto pick = catalog.CheapestSatisfying(2, 4.0, ProviderKind::kMicrosoft);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(pick->name, "B2S");
+}
+
+TEST(InstanceCatalogTest, CheapestSatisfyingUnsatisfiableFails) {
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+  EXPECT_FALSE(catalog.CheapestSatisfying(1000, 1.0).ok());
+}
+
+TEST(InstanceCatalogTest, PaperMonetaryObservation) {
+  // §2.2: Amazon instances are cheaper per hour than Microsoft at similar
+  // shapes — compare a1.large (2 vCPU, 4 GiB) with B2S (2 vCPU, 4 GiB).
+  const InstanceCatalog catalog = InstanceCatalog::PaperTable1();
+  EXPECT_LT(catalog.Find("a1.large").ValueOrDie().price_per_hour,
+            catalog.Find("B2S").ValueOrDie().price_per_hour);
+}
+
+TEST(ProviderKindTest, Names) {
+  EXPECT_EQ(ProviderKindName(ProviderKind::kAmazon), "Amazon");
+  EXPECT_EQ(ProviderKindName(ProviderKind::kMicrosoft), "Microsoft");
+  EXPECT_EQ(ProviderKindName(ProviderKind::kGoogle), "Google");
+  EXPECT_EQ(ProviderKindName(ProviderKind::kPrivate), "Private");
+}
+
+}  // namespace
+}  // namespace midas

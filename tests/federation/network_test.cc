@@ -1,0 +1,108 @@
+#include "federation/network.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(NetworkModelTest, DefaultLinkIsFastAndFree) {
+  NetworkModel net(2);
+  auto link = net.Link(0, 1);
+  ASSERT_TRUE(link.ok());
+  EXPECT_DOUBLE_EQ(link->egress_price_per_gib, 0.0);
+  EXPECT_GT(link->bandwidth_mbps, 0.0);
+}
+
+TEST(NetworkModelTest, SetAndGetDirectedLink) {
+  NetworkModel net(2);
+  NetworkLink link;
+  link.bandwidth_mbps = 100.0;
+  link.latency_ms = 40.0;
+  link.egress_price_per_gib = 0.09;
+  ASSERT_TRUE(net.SetLink(0, 1, link).ok());
+  EXPECT_DOUBLE_EQ(net.Link(0, 1).ValueOrDie().bandwidth_mbps, 100.0);
+  // Reverse direction keeps its default.
+  EXPECT_NE(net.Link(1, 0).ValueOrDie().bandwidth_mbps, 100.0);
+}
+
+TEST(NetworkModelTest, SymmetricLinkSetsBothDirections) {
+  NetworkModel net(2);
+  NetworkLink link;
+  link.bandwidth_mbps = 250.0;
+  ASSERT_TRUE(net.SetSymmetricLink(0, 1, link).ok());
+  EXPECT_DOUBLE_EQ(net.Link(0, 1).ValueOrDie().bandwidth_mbps, 250.0);
+  EXPECT_DOUBLE_EQ(net.Link(1, 0).ValueOrDie().bandwidth_mbps, 250.0);
+}
+
+TEST(NetworkModelTest, RejectsBadSiteIds) {
+  NetworkModel net(2);
+  EXPECT_FALSE(net.SetLink(0, 2, NetworkLink{}).ok());
+  EXPECT_FALSE(net.Link(3, 0).ok());
+}
+
+TEST(NetworkModelTest, RejectsNonPositiveBandwidth) {
+  NetworkModel net(2);
+  NetworkLink link;
+  link.bandwidth_mbps = 0.0;
+  EXPECT_FALSE(net.SetLink(0, 1, link).ok());
+}
+
+TEST(NetworkModelTest, IntraSiteTransferIsFree) {
+  NetworkModel net(2);
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(1, 1, 1e9).ValueOrDie(), 0.0);
+  EXPECT_DOUBLE_EQ(net.TransferCost(1, 1, 1e9).ValueOrDie(), 0.0);
+}
+
+TEST(NetworkModelTest, TransferSecondsCombinesLatencyAndBandwidth) {
+  NetworkModel net(2);
+  NetworkLink link;
+  link.bandwidth_mbps = 100.0;  // 100e6 bits/s
+  link.latency_ms = 40.0;
+  ASSERT_TRUE(net.SetLink(0, 1, link).ok());
+  // 10^8 bytes = 8*10^8 bits over 10^8 bits/s = 8 s, + 0.04 s latency.
+  auto seconds = net.TransferSeconds(0, 1, 1e8);
+  ASSERT_TRUE(seconds.ok());
+  EXPECT_NEAR(*seconds, 8.04, 1e-9);
+}
+
+TEST(NetworkModelTest, TransferCostChargesEgressPerGib) {
+  NetworkModel net(2);
+  NetworkLink link;
+  link.egress_price_per_gib = 0.09;
+  ASSERT_TRUE(net.SetLink(0, 1, link).ok());
+  const double two_gib = 2.0 * 1024 * 1024 * 1024;
+  auto cost = net.TransferCost(0, 1, two_gib);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_NEAR(*cost, 0.18, 1e-9);
+}
+
+TEST(NetworkModelTest, NegativeBytesRejected) {
+  NetworkModel net(2);
+  EXPECT_FALSE(net.TransferSeconds(0, 1, -1.0).ok());
+  EXPECT_FALSE(net.TransferCost(0, 1, -1.0).ok());
+}
+
+TEST(NetworkModelTest, ResizePreservesExistingLinks) {
+  NetworkModel net(2);
+  NetworkLink link;
+  link.bandwidth_mbps = 1.0;
+  ASSERT_TRUE(net.SetLink(0, 1, link).ok());
+  net.Resize(3);
+  EXPECT_EQ(net.num_sites(), 3u);
+  // The configured link survives the growth; new links get defaults.
+  EXPECT_DOUBLE_EQ(net.Link(0, 1).ValueOrDie().bandwidth_mbps, 1.0);
+  EXPECT_NE(net.Link(0, 2).ValueOrDie().bandwidth_mbps, 1.0);
+}
+
+TEST(NetworkModelTest, ShrinkingResizeDropsOutOfRangeLinks) {
+  NetworkModel net(3);
+  NetworkLink link;
+  link.bandwidth_mbps = 5.0;
+  ASSERT_TRUE(net.SetLink(0, 1, link).ok());
+  net.Resize(2);
+  EXPECT_DOUBLE_EQ(net.Link(0, 1).ValueOrDie().bandwidth_mbps, 5.0);
+  EXPECT_FALSE(net.Link(0, 2).ok());
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,71 @@
+#include "federation/site.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+CloudSite MakeSite() {
+  SiteConfig config;
+  config.name = "test-site";
+  config.provider = ProviderKind::kAmazon;
+  config.engines = {EngineKind::kHive, EngineKind::kSpark};
+  config.node_type = {ProviderKind::kAmazon, "a1.large", 2, 4.0, 0.0, 0.0098};
+  config.max_nodes = 4;
+  return CloudSite(0, config);
+}
+
+TEST(CloudSiteTest, ExposesConfig) {
+  CloudSite site = MakeSite();
+  EXPECT_EQ(site.id(), 0u);
+  EXPECT_EQ(site.name(), "test-site");
+  EXPECT_EQ(site.provider(), ProviderKind::kAmazon);
+  EXPECT_EQ(site.max_nodes(), 4);
+  EXPECT_EQ(site.node_type().name, "a1.large");
+}
+
+TEST(CloudSiteTest, HostsEngine) {
+  CloudSite site = MakeSite();
+  EXPECT_TRUE(site.HostsEngine(EngineKind::kHive));
+  EXPECT_TRUE(site.HostsEngine(EngineKind::kSpark));
+  EXPECT_FALSE(site.HostsEngine(EngineKind::kPostgres));
+}
+
+TEST(CloudSiteTest, VmCostIsPayAsYouGo) {
+  CloudSite site = MakeSite();
+  // 2 nodes for 1800 s at $0.0098/h = 2 * 0.0098 * 0.5 = $0.0098.
+  auto cost = site.VmCost(2, 1800.0);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_NEAR(*cost, 0.0098, 1e-9);
+}
+
+TEST(CloudSiteTest, VmCostZeroDurationIsFree) {
+  CloudSite site = MakeSite();
+  EXPECT_DOUBLE_EQ(site.VmCost(1, 0.0).ValueOrDie(), 0.0);
+}
+
+TEST(CloudSiteTest, VmCostRejectsNonPositiveNodes) {
+  CloudSite site = MakeSite();
+  EXPECT_FALSE(site.VmCost(0, 10.0).ok());
+  EXPECT_FALSE(site.VmCost(-1, 10.0).ok());
+}
+
+TEST(CloudSiteTest, VmCostRejectsOverElasticityLimit) {
+  CloudSite site = MakeSite();
+  EXPECT_FALSE(site.VmCost(5, 10.0).ok());
+}
+
+TEST(CloudSiteTest, VmCostRejectsNegativeDuration) {
+  CloudSite site = MakeSite();
+  EXPECT_FALSE(site.VmCost(1, -1.0).ok());
+}
+
+TEST(CloudSiteTest, VmCostScalesLinearlyInNodes) {
+  CloudSite site = MakeSite();
+  const double one = site.VmCost(1, 3600.0).ValueOrDie();
+  const double four = site.VmCost(4, 3600.0).ValueOrDie();
+  EXPECT_NEAR(four, 4.0 * one, 1e-12);
+}
+
+}  // namespace
+}  // namespace midas

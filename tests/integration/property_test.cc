@@ -1,0 +1,204 @@
+// Parameterised property suites over the library's key invariants.
+
+#include <algorithm>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/simulator.h"
+#include "optimizer/metrics.h"
+#include "optimizer/nsga2.h"
+#include "optimizer/pareto.h"
+#include "query/enumerator.h"
+#include "regression/dream.h"
+#include "tpch/workload.h"
+
+namespace midas {
+namespace {
+
+// --- Property: OLS residuals are orthogonal to fitted values -------------
+
+class OlsOrthogonalityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OlsOrthogonalityTest, ResidualsOrthogonalToFit) {
+  Rng rng(GetParam());
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 25; ++i) {
+    const double x1 = rng.Uniform(0, 10);
+    const double x2 = rng.Uniform(0, 10);
+    xs.push_back({x1, x2});
+    ys.push_back(3.0 + x1 - 0.5 * x2 + rng.Gaussian(0, 1.0));
+  }
+  auto model = FitOls(xs, ys).ValueOrDie();
+  double dot = 0.0;
+  double fit_norm = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double fitted = model.Predict(xs[i]).ValueOrDie();
+    dot += (ys[i] - fitted) * fitted;
+    fit_norm += fitted * fitted;
+  }
+  EXPECT_NEAR(dot / fit_norm, 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OlsOrthogonalityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Property: R² never decreases when the true model is fitted exactly --
+
+class DreamMonotoneTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DreamMonotoneTest, WindowChoiceIsReproducible) {
+  Rng rng(GetParam());
+  TrainingSet set({"x"}, {"c"});
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.Uniform(0, 5);
+    set.Add({x}, {2.0 * x + rng.Gaussian(0, 0.4)}).CheckOK();
+  }
+  Dream dream;
+  const size_t w1 = dream.EstimateCostValue(set).ValueOrDie().window_size;
+  const size_t w2 = dream.EstimateCostValue(set).ValueOrDie().window_size;
+  EXPECT_EQ(w1, w2);
+  EXPECT_GE(w1, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DreamMonotoneTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- Property: the Pareto front of any finite cost set is non-empty and
+// mutually non-dominated --------------------------------------------------
+
+class ParetoInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParetoInvariantTest, FrontNonEmptyAndNonDominated) {
+  Rng rng(GetParam());
+  std::vector<Vector> costs;
+  const size_t n = 5 + rng.Index(60);
+  for (size_t i = 0; i < n; ++i) {
+    costs.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10),
+                     rng.Uniform(0, 10)});
+  }
+  const auto front = ParetoFrontIndices(costs);
+  ASSERT_FALSE(front.empty());
+  for (size_t i : front) {
+    for (size_t j : front) {
+      if (i != j) {
+        EXPECT_FALSE(Dominates(costs[i], costs[j]));
+      }
+    }
+  }
+  // Every non-front point is dominated by some front point.
+  for (size_t i = 0; i < costs.size(); ++i) {
+    if (std::find(front.begin(), front.end(), i) != front.end()) continue;
+    bool dominated = false;
+    for (size_t j : front) {
+      if (Dominates(costs[j], costs[i])) dominated = true;
+    }
+    EXPECT_TRUE(dominated) << "point " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoInvariantTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// --- Property: hypervolume is monotone under adding front points ---------
+
+class HypervolumeMonotoneTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HypervolumeMonotoneTest, AddingPointsNeverShrinksVolume) {
+  Rng rng(GetParam());
+  const Vector reference = {10.0, 10.0};
+  std::vector<Vector> front;
+  double previous = 0.0;
+  for (int i = 0; i < 15; ++i) {
+    front.push_back({rng.Uniform(0, 9.5), rng.Uniform(0, 9.5)});
+    const double hv = Hypervolume2D(front, reference).ValueOrDie();
+    EXPECT_GE(hv, previous - 1e-12);
+    previous = hv;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypervolumeMonotoneTest,
+                         ::testing::Values(7, 17, 27, 37));
+
+// --- Property: simulated costs are positive and monotone in data size ----
+
+class SimulatorScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SimulatorScaleTest, CostsGrowWithScaleFactor) {
+  const double sf = GetParam();
+  Federation fed;
+  SiteConfig site;
+  site.name = "S";
+  site.engines = {EngineKind::kHive};
+  site.node_type = {ProviderKind::kAmazon, "a1.xlarge", 4, 8.0, 0.0, 0.0197};
+  site.max_nodes = 4;
+  fed.AddSite(site).ValueOrDie();
+  tpch::WorkloadOptions small_opts;
+  small_opts.scale_factor = sf;
+  tpch::Workload workload(small_opts);
+  fed.PlaceTable("lineitem", 0, EngineKind::kHive).CheckOK();
+  fed.PlaceTable("orders", 0, EngineKind::kHive).CheckOK();
+
+  SimulatorOptions sim_opts;
+  sim_opts.stochastic = false;
+  sim_opts.variance.drift_amplitude = 0.0;
+  sim_opts.variance.ar_sigma = 0.0;
+  sim_opts.variance.noise_sigma = 0.0;
+  ExecutionSimulator sim(&fed, &workload.catalog(), sim_opts);
+
+  EnumeratorOptions enum_opts;
+  enum_opts.node_counts = {2};
+  enum_opts.enumerate_join_orders = false;
+  PlanEnumerator enumerator(&fed, &workload.catalog(), enum_opts);
+  auto plans =
+      enumerator.EnumeratePhysical(tpch::MakeQuery(12).ValueOrDie());
+  ASSERT_TRUE(plans.ok());
+  auto m = sim.ExpectedCostAt((*plans)[0], 0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m->seconds, 0.0);
+  EXPECT_GT(m->dollars, 0.0);
+
+  // Compare with double the scale factor: strictly more expensive.
+  tpch::WorkloadOptions big_opts;
+  big_opts.scale_factor = sf * 2.0;
+  tpch::Workload big_workload(big_opts);
+  ExecutionSimulator big_sim(&fed, &big_workload.catalog(), sim_opts);
+  PlanEnumerator big_enumerator(&fed, &big_workload.catalog(), enum_opts);
+  auto big_plans =
+      big_enumerator.EnumeratePhysical(tpch::MakeQuery(12).ValueOrDie());
+  ASSERT_TRUE(big_plans.ok());
+  auto big_m = big_sim.ExpectedCostAt((*big_plans)[0], 0);
+  ASSERT_TRUE(big_m.ok());
+  EXPECT_GT(big_m->seconds, m->seconds);
+  EXPECT_GT(big_m->dollars, m->dollars);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, SimulatorScaleTest,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.5));
+
+// --- Property: NSGA-II front quality is stable across seeds --------------
+
+class Nsga2SeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Nsga2SeedTest, HypervolumeAboveFloor) {
+  Nsga2Options options;
+  options.population_size = 60;
+  options.generations = 80;
+  options.seed = GetParam();
+  auto result = Nsga2(options).Optimize(Zdt1(8));
+  ASSERT_TRUE(result.ok());
+  const double hv =
+      Hypervolume2D(result->FrontObjectives(), {1.1, 1.1}).ValueOrDie();
+  // The true front's hypervolume w.r.t. (1.1, 1.1) is ~0.757; accept any
+  // reasonable approximation.
+  EXPECT_GT(hv, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Nsga2SeedTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace midas

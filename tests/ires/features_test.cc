@@ -1,0 +1,139 @@
+#include "ires/features.h"
+
+#include <gtest/gtest.h>
+
+#include "query/enumerator.h"
+
+namespace midas {
+namespace {
+
+struct Environment {
+  Federation federation;
+  Catalog catalog;
+  SiteId site_a = 0;
+  SiteId site_b = 0;
+};
+
+Environment MakeEnvironment() {
+  Environment env;
+  SiteConfig a;
+  a.name = "A";
+  a.engines = {EngineKind::kHive};
+  a.node_type = {ProviderKind::kAmazon, "a1.large", 2, 4.0, 0.0, 0.0098};
+  env.site_a = env.federation.AddSite(a).ValueOrDie();
+  SiteConfig b;
+  b.name = "B";
+  b.engines = {EngineKind::kPostgres};
+  b.node_type = {ProviderKind::kMicrosoft, "B2S", 2, 4.0, 8.0, 0.042};
+  env.site_b = env.federation.AddSite(b).ValueOrDie();
+
+  TableDef t1;
+  t1.name = "t1";
+  t1.row_count = 1 << 20;  // 1 Mi rows x 8 bytes = 8 MiB
+  t1.columns = {{"id", ColumnType::kInt, 8.0, 1u << 20}};
+  env.catalog.AddTable(t1).CheckOK();
+  TableDef t2;
+  t2.name = "t2";
+  t2.row_count = 1 << 18;  // 2 MiB
+  t2.columns = {{"id", ColumnType::kInt, 8.0, 1u << 18}};
+  env.catalog.AddTable(t2).CheckOK();
+  env.federation.PlaceTable("t1", env.site_a, EngineKind::kHive).CheckOK();
+  env.federation.PlaceTable("t2", env.site_b, EngineKind::kPostgres)
+      .CheckOK();
+  return env;
+}
+
+QueryPlan AnnotatedJoin(const Environment& env, int nodes_a, int nodes_b,
+                        SiteId join_site, EngineKind join_engine) {
+  auto left = MakeScan("t1");
+  left->site = env.site_a;
+  left->engine = EngineKind::kHive;
+  left->num_nodes = nodes_a;
+  auto right = MakeScan("t2");
+  right->site = env.site_b;
+  right->engine = EngineKind::kPostgres;
+  right->num_nodes = nodes_b;
+  auto join = MakeJoin(std::move(left), std::move(right), "id", "id");
+  join->site = join_site;
+  join->engine = join_engine;
+  join->num_nodes = join_site == env.site_a ? nodes_a : nodes_b;
+  QueryPlan plan(std::move(join));
+  EstimateCardinalities(env.catalog, &plan).CheckOK();
+  return plan;
+}
+
+TEST(FeaturesTest, LayoutIsTwoPerSite) {
+  Environment env = MakeEnvironment();
+  const auto names = FeatureNames(env.federation);
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "data_mib_A");
+  EXPECT_EQ(names[1], "nodes_A");
+  EXPECT_EQ(names[2], "data_mib_B");
+  EXPECT_EQ(names[3], "nodes_B");
+}
+
+TEST(FeaturesTest, DataSizesPerSite) {
+  Environment env = MakeEnvironment();
+  QueryPlan plan =
+      AnnotatedJoin(env, 2, 1, env.site_a, EngineKind::kHive);
+  auto x = ExtractFeatures(env.federation, plan);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 8.0, 1e-9);  // t1 = 8 MiB at A
+  EXPECT_NEAR((*x)[2], 2.0, 1e-9);  // t2 = 2 MiB at B
+}
+
+TEST(FeaturesTest, NodeCountsPerSite) {
+  Environment env = MakeEnvironment();
+  QueryPlan plan =
+      AnnotatedJoin(env, 4, 2, env.site_b, EngineKind::kPostgres);
+  auto x = ExtractFeatures(env.federation, plan);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[1], 4.0);
+  EXPECT_DOUBLE_EQ((*x)[3], 2.0);
+}
+
+TEST(FeaturesTest, PartitionPruningShrinksDataFeature) {
+  Environment env = MakeEnvironment();
+  QueryPlan plan =
+      AnnotatedJoin(env, 1, 1, env.site_a, EngineKind::kHive);
+  // Prune t1's scan to a quarter.
+  for (PlanNode* node : plan.MutableNodes()) {
+    if (node->kind == OperatorKind::kScan && node->table == "t1") {
+      node->scan_fraction = 0.25;
+    }
+  }
+  EstimateCardinalities(env.catalog, &plan).CheckOK();
+  auto x = ExtractFeatures(env.federation, plan);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-9);
+}
+
+TEST(FeaturesTest, ArityMatchesNamesForAnyFederation) {
+  Environment env = MakeEnvironment();
+  QueryPlan plan =
+      AnnotatedJoin(env, 1, 1, env.site_a, EngineKind::kHive);
+  auto x = ExtractFeatures(env.federation, plan);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->size(), FeatureNames(env.federation).size());
+}
+
+TEST(FeaturesTest, UnannotatedPlanRejected) {
+  Environment env = MakeEnvironment();
+  QueryPlan logical(MakeScan("t1"));
+  EXPECT_FALSE(ExtractFeatures(env.federation, logical).ok());
+}
+
+TEST(FeaturesTest, EmptyPlanRejected) {
+  Environment env = MakeEnvironment();
+  EXPECT_FALSE(ExtractFeatures(env.federation, QueryPlan()).ok());
+}
+
+TEST(FeaturesTest, MatchesExample21Arity) {
+  // Example 2.1: x_Pa, x_Ge, x_nodeA, x_nodeB — four variables in a
+  // two-site federation.
+  Environment env = MakeEnvironment();
+  EXPECT_EQ(FeatureNames(env.federation).size(), 4u);
+}
+
+}  // namespace
+}  // namespace midas

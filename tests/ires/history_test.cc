@@ -1,0 +1,74 @@
+#include "ires/history.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+Observation MakeObs(int64_t t, double x, double c) {
+  Observation obs;
+  obs.timestamp = t;
+  obs.features = {x};
+  obs.costs = {c};
+  return obs;
+}
+
+TEST(HistoryTest, RecordCreatesScopeOnFirstUse) {
+  History history({"x"}, {"c"});
+  EXPECT_EQ(history.SizeOf("q12"), 0u);
+  ASSERT_TRUE(history.Record("q12", MakeObs(0, 1, 2)).ok());
+  EXPECT_EQ(history.SizeOf("q12"), 1u);
+}
+
+TEST(HistoryTest, ScopesAreIndependent) {
+  History history({"x"}, {"c"});
+  ASSERT_TRUE(history.Record("a", MakeObs(0, 1, 2)).ok());
+  ASSERT_TRUE(history.Record("b", MakeObs(0, 3, 4)).ok());
+  EXPECT_EQ(history.SizeOf("a"), 1u);
+  EXPECT_EQ(history.SizeOf("b"), 1u);
+  EXPECT_DOUBLE_EQ((*history.Get("a"))->at(0).features[0], 1.0);
+  EXPECT_DOUBLE_EQ((*history.Get("b"))->at(0).features[0], 3.0);
+}
+
+TEST(HistoryTest, GetUnknownScopeFails) {
+  History history({"x"}, {"c"});
+  EXPECT_FALSE(history.Get("missing").ok());
+}
+
+TEST(HistoryTest, RecordPropagatesArityErrors) {
+  History history({"x", "y"}, {"c"});
+  EXPECT_FALSE(history.Record("q", MakeObs(0, 1, 2)).ok());  // 1 feature
+}
+
+TEST(HistoryTest, RecordPropagatesTimestampErrors) {
+  History history({"x"}, {"c"});
+  ASSERT_TRUE(history.Record("q", MakeObs(10, 1, 2)).ok());
+  EXPECT_FALSE(history.Record("q", MakeObs(5, 1, 2)).ok());
+}
+
+TEST(HistoryTest, ScopesListsAllKeys) {
+  History history({"x"}, {"c"});
+  history.Record("q12", MakeObs(0, 1, 1)).CheckOK();
+  history.Record("q13", MakeObs(0, 1, 1)).CheckOK();
+  EXPECT_EQ(history.Scopes(), (std::vector<std::string>{"q12", "q13"}));
+}
+
+TEST(HistoryTest, TrimAllPrunesEveryScope) {
+  History history({"x"}, {"c"});
+  for (int i = 0; i < 5; ++i) {
+    history.Record("a", MakeObs(i, i, i)).CheckOK();
+    history.Record("b", MakeObs(i, i, i)).CheckOK();
+  }
+  history.TrimAll(2);
+  EXPECT_EQ(history.SizeOf("a"), 2u);
+  EXPECT_EQ(history.SizeOf("b"), 2u);
+}
+
+TEST(HistoryTest, NamesExposed) {
+  History history({"x1", "x2"}, {"time", "money"});
+  EXPECT_EQ(history.feature_names().size(), 2u);
+  EXPECT_EQ(history.metric_names()[1], "money");
+}
+
+}  // namespace
+}  // namespace midas

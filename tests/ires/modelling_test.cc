@@ -1,0 +1,141 @@
+#include "ires/modelling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace midas {
+namespace {
+
+// Fills a scope with a clean linear cost history: time = 5 + 2 x, money =
+// 0.1 + 0.01 x.
+void FillLinear(Modelling* modelling, const std::string& scope, size_t n,
+                uint64_t seed = 3) {
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    Observation obs;
+    obs.timestamp = static_cast<int64_t>(i);
+    const double x = rng.Uniform(0, 10);
+    obs.features = {x};
+    obs.costs = {5.0 + 2.0 * x, 0.1 + 0.01 * x};
+    modelling->Record(scope, std::move(obs)).CheckOK();
+  }
+}
+
+TEST(EstimatorConfigTest, Names) {
+  EXPECT_EQ(EstimatorName(EstimatorConfig::DreamDefault()), "DREAM");
+  EXPECT_EQ(EstimatorName(EstimatorConfig::Bml(WindowPolicy::kLastN)),
+            "BML_N");
+  EXPECT_EQ(EstimatorName(EstimatorConfig::Bml(WindowPolicy::kAll)), "BML");
+}
+
+TEST(ModellingTest, BaseWindowIsLPlusTwo) {
+  Modelling modelling({"x1", "x2", "x3"}, {"time"});
+  EXPECT_EQ(modelling.BaseWindow(), 5u);
+}
+
+TEST(ModellingTest, DreamPredictsLinearCosts) {
+  Modelling modelling({"x"}, {"time", "money"});
+  FillLinear(&modelling, "q", 20);
+  auto pred = modelling.Predict("q", {4.0}, EstimatorConfig::DreamDefault());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_NEAR((*pred)[0], 13.0, 0.1);
+  EXPECT_NEAR((*pred)[1], 0.14, 0.01);
+}
+
+TEST(ModellingTest, BmlPredictsLinearCosts) {
+  Modelling modelling({"x"}, {"time", "money"});
+  FillLinear(&modelling, "q", 20);
+  for (WindowPolicy policy :
+       {WindowPolicy::kLastN, WindowPolicy::kLast2N, WindowPolicy::kLast3N,
+        WindowPolicy::kAll}) {
+    auto pred = modelling.Predict("q", {4.0}, EstimatorConfig::Bml(policy));
+    ASSERT_TRUE(pred.ok()) << WindowPolicyName(policy);
+    EXPECT_NEAR((*pred)[0], 13.0, 3.0) << WindowPolicyName(policy);
+  }
+}
+
+TEST(ModellingTest, PredictUnknownScopeFails) {
+  Modelling modelling({"x"}, {"time"});
+  EXPECT_FALSE(
+      modelling.Predict("nope", {1.0}, EstimatorConfig::DreamDefault()).ok());
+}
+
+TEST(ModellingTest, PredictArityMismatchFails) {
+  Modelling modelling({"x"}, {"time", "money"});
+  FillLinear(&modelling, "q", 10);
+  EXPECT_FALSE(
+      modelling.Predict("q", {1.0, 2.0}, EstimatorConfig::DreamDefault())
+          .ok());
+}
+
+TEST(ModellingTest, TooLittleHistoryFails) {
+  Modelling modelling({"x"}, {"time", "money"});
+  FillLinear(&modelling, "q", 2);  // below N = 3
+  EXPECT_FALSE(
+      modelling.Predict("q", {1.0}, EstimatorConfig::DreamDefault()).ok());
+  EXPECT_FALSE(
+      modelling.Predict("q", {1.0}, EstimatorConfig::Bml(WindowPolicy::kLastN))
+          .ok());
+}
+
+TEST(ModellingTest, PredictionsAreNonNegative) {
+  // History with a steep negative slope would extrapolate below zero;
+  // Modelling clamps because costs are physical quantities.
+  Modelling modelling({"x"}, {"time"});
+  Rng rng(5);
+  for (int i = 0; i < 12; ++i) {
+    Observation obs;
+    obs.timestamp = i;
+    const double x = rng.Uniform(0, 1);
+    obs.features = {x};
+    obs.costs = {1.0 - 5.0 * x < 0 ? 0.0 : 1.0 - 5.0 * x};
+    modelling.Record("q", std::move(obs)).CheckOK();
+  }
+  auto pred =
+      modelling.Predict("q", {10.0}, EstimatorConfig::DreamDefault());
+  ASSERT_TRUE(pred.ok());
+  EXPECT_GE((*pred)[0], 0.0);
+}
+
+TEST(ModellingTest, DreamDiagnosticsReportWindow) {
+  Modelling modelling({"x"}, {"time", "money"});
+  FillLinear(&modelling, "q", 30);
+  auto diag = modelling.DreamDiagnostics("q", DreamOptions());
+  ASSERT_TRUE(diag.ok());
+  EXPECT_GE(diag->window_size, 3u);
+  EXPECT_LE(diag->window_size, 30u);
+  EXPECT_EQ(diag->r_squared.size(), 2u);
+}
+
+TEST(ModellingTest, DreamRespectsMmaxThroughConfig) {
+  Modelling modelling({"x"}, {"time", "money"});
+  // Noisy history so DREAM wants to grow.
+  Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    Observation obs;
+    obs.timestamp = i;
+    const double x = rng.Uniform(0, 10);
+    obs.features = {x};
+    obs.costs = {5.0 + 2.0 * x + rng.Gaussian(0, 10.0), 1.0};
+    modelling.Record("q", std::move(obs)).CheckOK();
+  }
+  EstimatorConfig config = EstimatorConfig::DreamDefault();
+  config.dream.r2_require = 0.999;
+  config.dream.m_max = 6;
+  auto diag = modelling.DreamDiagnostics("q", config.dream);
+  ASSERT_TRUE(diag.ok());
+  EXPECT_LE(diag->window_size, 6u);
+}
+
+TEST(ModellingTest, HistoryAccessorExposesScopes) {
+  Modelling modelling({"x"}, {"time", "money"});
+  FillLinear(&modelling, "q12", 5);
+  FillLinear(&modelling, "q13", 5);
+  EXPECT_EQ(modelling.history().Scopes().size(), 2u);
+  EXPECT_EQ(modelling.num_metrics(), 2u);
+  EXPECT_EQ(modelling.num_features(), 1u);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,240 @@
+#include "ires/moo_optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "engine/simulator.h"
+#include "optimizer/pareto.h"
+
+namespace midas {
+namespace {
+
+struct Environment {
+  Federation federation;
+  Catalog catalog;
+  SiteId site_a = 0;
+  SiteId site_b = 0;
+};
+
+Environment MakeEnvironment() {
+  Environment env;
+  SiteConfig a;
+  a.name = "A";
+  a.engines = {EngineKind::kHive};
+  a.node_type = {ProviderKind::kAmazon, "a1.xlarge", 4, 8.0, 0.0, 0.0197};
+  a.max_nodes = 8;
+  env.site_a = env.federation.AddSite(a).ValueOrDie();
+  SiteConfig b;
+  b.name = "B";
+  b.engines = {EngineKind::kPostgres};
+  b.node_type = {ProviderKind::kMicrosoft, "B2S", 2, 4.0, 8.0, 0.042};
+  b.max_nodes = 8;
+  env.site_b = env.federation.AddSite(b).ValueOrDie();
+  NetworkLink wan;
+  wan.bandwidth_mbps = 100.0;
+  wan.egress_price_per_gib = 0.09;
+  env.federation.network()
+      .SetSymmetricLink(env.site_a, env.site_b, wan)
+      .CheckOK();
+
+  TableDef t1;
+  t1.name = "t1";
+  t1.row_count = 200000;
+  t1.columns = {{"id", ColumnType::kInt, 8.0, 200000},
+                {"pay", ColumnType::kString, 72.0, 200000}};
+  env.catalog.AddTable(t1).CheckOK();
+  TableDef t2;
+  t2.name = "t2";
+  t2.row_count = 5000;
+  t2.columns = {{"id", ColumnType::kInt, 8.0, 5000}};
+  env.catalog.AddTable(t2).CheckOK();
+  env.federation.PlaceTable("t1", env.site_a, EngineKind::kHive).CheckOK();
+  env.federation.PlaceTable("t2", env.site_b, EngineKind::kPostgres)
+      .CheckOK();
+  return env;
+}
+
+QueryPlan LogicalJoin() {
+  return QueryPlan(MakeJoin(MakeScan("t1"), MakeScan("t2"), "id", "id"));
+}
+
+// Cost predictor backed by the deterministic simulator (oracle predictor).
+MultiObjectiveOptimizer::CostPredictor OraclePredictor(
+    ExecutionSimulator* sim) {
+  return [sim](const QueryPlan& plan) -> StatusOr<Vector> {
+    MIDAS_ASSIGN_OR_RETURN(Measurement m, sim->ExpectedCostAt(plan, 0));
+    return Vector{m.seconds, m.dollars};
+  };
+}
+
+SimulatorOptions Deterministic() {
+  SimulatorOptions options;
+  options.stochastic = false;
+  options.variance = VarianceOptions{};
+  options.variance.drift_amplitude = 0.0;
+  options.variance.ar_sigma = 0.0;
+  options.variance.noise_sigma = 0.0;
+  return options;
+}
+
+TEST(MoqpTest, ExhaustiveParetoReturnsNonDominatedSet) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Deterministic());
+  MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog);
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto result = optimizer.Optimize(LogicalJoin(),
+                                   OraclePredictor(&sim), policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->candidates_examined, 10u);
+  ASSERT_FALSE(result->pareto_costs.empty());
+  for (size_t i = 0; i < result->pareto_costs.size(); ++i) {
+    for (size_t j = 0; j < result->pareto_costs.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(
+          Dominates(result->pareto_costs[i], result->pareto_costs[j]));
+    }
+  }
+  EXPECT_LT(result->chosen, result->pareto_plans.size());
+}
+
+TEST(MoqpTest, ParetoCostsAreDeduplicated) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Deterministic());
+  MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog);
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto result = optimizer.Optimize(LogicalJoin(),
+                                   OraclePredictor(&sim), policy);
+  ASSERT_TRUE(result.ok());
+  std::set<Vector> unique(result->pareto_costs.begin(),
+                          result->pareto_costs.end());
+  EXPECT_EQ(unique.size(), result->pareto_costs.size());
+}
+
+TEST(MoqpTest, WeightsChangeChosenPlan) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Deterministic());
+  MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog);
+  QueryPolicy time_first;
+  time_first.weights = {1.0, 0.0};
+  QueryPolicy money_first;
+  money_first.weights = {0.0, 1.0};
+  auto fast = optimizer.Optimize(LogicalJoin(), OraclePredictor(&sim),
+                                 time_first);
+  auto cheap = optimizer.Optimize(LogicalJoin(), OraclePredictor(&sim),
+                                  money_first);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(cheap.ok());
+  EXPECT_LE(fast->chosen_costs()[0], cheap->chosen_costs()[0]);
+  EXPECT_GE(fast->chosen_costs()[1], cheap->chosen_costs()[1]);
+}
+
+TEST(MoqpTest, WsmReturnsSinglePlan) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Deterministic());
+  MoqpOptions options;
+  options.algorithm = MoqpAlgorithm::kWsm;
+  MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog, options);
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto result = optimizer.Optimize(LogicalJoin(),
+                                   OraclePredictor(&sim), policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pareto_plans.size(), 1u);
+  EXPECT_EQ(result->chosen, 0u);
+}
+
+TEST(MoqpTest, NsgaVariantsFindSubsetOfExhaustiveFront) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Deterministic());
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+
+  MultiObjectiveOptimizer exhaustive(&env.federation, &env.catalog);
+  auto full = exhaustive.Optimize(LogicalJoin(), OraclePredictor(&sim),
+                                  policy);
+  ASSERT_TRUE(full.ok());
+  std::set<Vector> full_front(full->pareto_costs.begin(),
+                              full->pareto_costs.end());
+
+  for (MoqpAlgorithm algorithm :
+       {MoqpAlgorithm::kNsga2, MoqpAlgorithm::kNsgaG}) {
+    MoqpOptions options;
+    options.algorithm = algorithm;
+    options.nsga2.population_size = 40;
+    options.nsga2.generations = 40;
+    options.nsga_g.population_size = 40;
+    options.nsga_g.generations = 40;
+    MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog,
+                                      options);
+    auto result = optimizer.Optimize(LogicalJoin(),
+                                     OraclePredictor(&sim), policy);
+    ASSERT_TRUE(result.ok()) << MoqpAlgorithmName(algorithm);
+    EXPECT_FALSE(result->pareto_costs.empty());
+    // Every evolved front point must be a true candidate cost vector, and
+    // non-dominated within itself.
+    for (size_t i = 0; i < result->pareto_costs.size(); ++i) {
+      for (size_t j = 0; j < result->pareto_costs.size(); ++j) {
+        if (i != j) {
+          EXPECT_FALSE(Dominates(result->pareto_costs[i],
+                                 result->pareto_costs[j]));
+        }
+      }
+    }
+  }
+}
+
+TEST(MoqpTest, ConstraintsRouteThroughBestInPareto) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Deterministic());
+  MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog);
+  QueryPolicy policy;
+  policy.weights = {1.0, 0.0};
+
+  // First find the overall cost range, then constrain money to the median.
+  auto unconstrained = optimizer.Optimize(
+      LogicalJoin(), OraclePredictor(&sim), policy);
+  ASSERT_TRUE(unconstrained.ok());
+  double max_money = 0.0;
+  for (const Vector& c : unconstrained->pareto_costs) {
+    max_money = std::max(max_money, c[1]);
+  }
+  policy.constraints = {1e12, max_money * 0.5};
+  auto constrained = optimizer.Optimize(
+      LogicalJoin(), OraclePredictor(&sim), policy);
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_LE(constrained->chosen_costs()[1], max_money * 0.5 + 1e-12);
+}
+
+TEST(MoqpTest, NullPredictorRejected) {
+  Environment env = MakeEnvironment();
+  MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog);
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  EXPECT_FALSE(optimizer.Optimize(LogicalJoin(), nullptr, policy).ok());
+}
+
+TEST(MoqpTest, PredictorArityMismatchRejected) {
+  Environment env = MakeEnvironment();
+  MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog);
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto bad_predictor = [](const QueryPlan&) -> StatusOr<Vector> {
+    return Vector{1.0};  // one metric, policy expects two
+  };
+  EXPECT_FALSE(optimizer.Optimize(LogicalJoin(), bad_predictor, policy).ok());
+}
+
+TEST(MoqpAlgorithmTest, Names) {
+  EXPECT_EQ(MoqpAlgorithmName(MoqpAlgorithm::kExhaustivePareto),
+            "exhaustive-pareto");
+  EXPECT_EQ(MoqpAlgorithmName(MoqpAlgorithm::kNsga2), "nsga2");
+  EXPECT_EQ(MoqpAlgorithmName(MoqpAlgorithm::kNsgaG), "nsga-g");
+  EXPECT_EQ(MoqpAlgorithmName(MoqpAlgorithm::kWsm), "wsm");
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,111 @@
+#include "ires/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "ires/features.h"
+#include "query/enumerator.h"
+
+namespace midas {
+namespace {
+
+struct Harness {
+  Federation federation;
+  Catalog catalog;
+  std::unique_ptr<ExecutionSimulator> simulator;
+  std::unique_ptr<Modelling> modelling;
+
+  Harness() {
+    SiteConfig a;
+    a.name = "A";
+    a.engines = {EngineKind::kHive};
+    a.node_type = {ProviderKind::kAmazon, "a1.large", 2, 4.0, 0.0, 0.0098};
+    federation.AddSite(a).ValueOrDie();
+    TableDef t;
+    t.name = "t";
+    t.row_count = 10000;
+    t.columns = {{"id", ColumnType::kInt, 8.0, 10000}};
+    catalog.AddTable(t).CheckOK();
+    federation.PlaceTable("t", 0, EngineKind::kHive).CheckOK();
+    simulator = std::make_unique<ExecutionSimulator>(&federation, &catalog);
+    modelling = std::make_unique<Modelling>(FeatureNames(federation),
+                                            StandardMetricNames());
+  }
+
+  QueryPlan AnnotatedScan(int nodes = 1) {
+    auto scan = MakeScan("t");
+    scan->site = 0;
+    scan->engine = EngineKind::kHive;
+    scan->num_nodes = nodes;
+    return QueryPlan(std::move(scan));
+  }
+};
+
+TEST(MeasurementToCostsTest, PacksSecondsAndDollars) {
+  Measurement m;
+  m.seconds = 12.5;
+  m.dollars = 0.04;
+  EXPECT_EQ(MeasurementToCosts(m), (Vector{12.5, 0.04}));
+}
+
+TEST(StandardMetricNamesTest, MatchesLayout) {
+  EXPECT_EQ(StandardMetricNames(),
+            (std::vector<std::string>{"seconds", "dollars"}));
+}
+
+TEST(SchedulerTest, ExecuteOnlyDoesNotRecord) {
+  Harness h;
+  Scheduler scheduler(&h.federation, h.simulator.get(), h.modelling.get());
+  ASSERT_TRUE(scheduler.ExecuteOnly(h.AnnotatedScan()).ok());
+  EXPECT_EQ(h.modelling->history().SizeOf("s"), 0u);
+}
+
+TEST(SchedulerTest, ExecuteAndRecordFeedsHistory) {
+  Harness h;
+  Scheduler scheduler(&h.federation, h.simulator.get(), h.modelling.get());
+  auto m = scheduler.ExecuteAndRecord("s", h.AnnotatedScan());
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(h.modelling->history().SizeOf("s"), 1u);
+  const TrainingSet* set = h.modelling->history().Get("s").ValueOrDie();
+  EXPECT_EQ(set->at(0).costs[0], m->seconds);
+  EXPECT_EQ(set->at(0).costs[1], m->dollars);
+  EXPECT_EQ(set->at(0).timestamp, m->timestamp);
+}
+
+TEST(SchedulerTest, TimestampsGrowAcrossExecutions) {
+  Harness h;
+  Scheduler scheduler(&h.federation, h.simulator.get(), h.modelling.get());
+  auto m0 = scheduler.ExecuteAndRecord("s", h.AnnotatedScan());
+  auto m1 = scheduler.ExecuteAndRecord("s", h.AnnotatedScan());
+  ASSERT_TRUE(m0.ok());
+  ASSERT_TRUE(m1.ok());
+  EXPECT_LT(m0->timestamp, m1->timestamp);
+}
+
+TEST(SchedulerTest, FeaturesReflectPlanConfiguration) {
+  Harness h;
+  Scheduler scheduler(&h.federation, h.simulator.get(), h.modelling.get());
+  scheduler.ExecuteAndRecord("s", h.AnnotatedScan(2)).status().CheckOK();
+  const TrainingSet* set = h.modelling->history().Get("s").ValueOrDie();
+  // Features layout for a 1-site federation: {data_mib, nodes}.
+  EXPECT_DOUBLE_EQ(set->at(0).features[1], 2.0);
+}
+
+TEST(SchedulerTest, UnwiredSchedulerFails) {
+  Harness h;
+  Scheduler no_sim(&h.federation, nullptr, h.modelling.get());
+  EXPECT_FALSE(no_sim.ExecuteOnly(h.AnnotatedScan()).ok());
+  EXPECT_FALSE(no_sim.ExecuteAndRecord("s", h.AnnotatedScan()).ok());
+  Scheduler no_model(&h.federation, h.simulator.get(), nullptr);
+  EXPECT_FALSE(no_model.ExecuteAndRecord("s", h.AnnotatedScan()).ok());
+}
+
+TEST(SchedulerTest, RecordingFailureDoesNotCorruptHistory) {
+  Harness h;
+  Scheduler scheduler(&h.federation, h.simulator.get(), h.modelling.get());
+  QueryPlan unannotated(MakeScan("t"));
+  EXPECT_FALSE(scheduler.ExecuteAndRecord("s", unannotated).ok());
+  EXPECT_EQ(h.modelling->history().SizeOf("s"), 0u);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,196 @@
+#include "ires/workflow.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+// A 4-operator pipeline: ingest -> clean -> (aggregate, train) with all
+// three engines available everywhere.
+WorkflowDag MakePipeline() {
+  WorkflowDag dag;
+  const std::vector<EngineKind> all = {EngineKind::kHive,
+                                       EngineKind::kPostgres,
+                                       EngineKind::kSpark};
+  const size_t ingest = dag.AddOperator("ingest", {}, all).ValueOrDie();
+  const size_t clean = dag.AddOperator("clean", {ingest}, all).ValueOrDie();
+  dag.AddOperator("aggregate", {clean}, all).ValueOrDie();
+  dag.AddOperator("train", {clean}, all).ValueOrDie();
+  return dag;
+}
+
+// Engine-biased costs: Spark fast/expensive, PostgreSQL slow/cheap.
+StatusOr<Vector> EngineCost(size_t, EngineKind engine) {
+  switch (engine) {
+    case EngineKind::kSpark:
+      return Vector{1.0, 3.0};
+    case EngineKind::kHive:
+      return Vector{2.0, 2.0};
+    case EngineKind::kPostgres:
+      return Vector{4.0, 1.0};
+  }
+  return Status::Internal("unreachable");
+}
+
+StatusOr<Vector> UnitTransfer(size_t, EngineKind, size_t, EngineKind) {
+  return Vector{0.5, 0.1};
+}
+
+QueryPolicy Balanced() {
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  return policy;
+}
+
+TEST(WorkflowDagTest, AddOperatorValidatesInputs) {
+  WorkflowDag dag;
+  EXPECT_TRUE(dag.AddOperator("a", {}, {EngineKind::kHive}).ok());
+  EXPECT_FALSE(dag.AddOperator("b", {5}, {EngineKind::kHive}).ok());
+  EXPECT_FALSE(dag.AddOperator("c", {}, {}).ok());
+}
+
+TEST(WorkflowDagTest, SinksAreUnconsumedOperators) {
+  WorkflowDag dag = MakePipeline();
+  EXPECT_EQ(dag.Sinks(), (std::vector<size_t>{2, 3}));
+}
+
+TEST(WorkflowDagTest, TopologicalOrderIsInsertionOrder) {
+  WorkflowDag dag = MakePipeline();
+  EXPECT_EQ(dag.TopologicalOrder(), (std::vector<size_t>{0, 1, 2, 3}));
+}
+
+TEST(WorkflowDagTest, ValidateRejectsEmpty) {
+  WorkflowDag dag;
+  EXPECT_FALSE(dag.Validate().ok());
+}
+
+TEST(WorkflowOptimizerTest, ExhaustiveSearchCoversSpace) {
+  WorkflowDag dag = MakePipeline();
+  WorkflowOptimizer optimizer;
+  auto result =
+      optimizer.Optimize(dag, EngineCost, UnitTransfer, Balanced());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignments_examined, 81u);  // 3^4
+  ASSERT_FALSE(result->pareto_costs.empty());
+  EXPECT_LT(result->chosen, result->pareto_costs.size());
+}
+
+TEST(WorkflowOptimizerTest, ExtremesOfTheFrontAreSingleEngine) {
+  // With uniform per-engine costs and positive transfer penalties, the
+  // all-Spark assignment is the time extreme and all-PostgreSQL the money
+  // extreme.
+  WorkflowDag dag = MakePipeline();
+  WorkflowOptimizer optimizer;
+  auto result =
+      optimizer.Optimize(dag, EngineCost, UnitTransfer, Balanced());
+  ASSERT_TRUE(result.ok());
+  double best_time = std::numeric_limits<double>::infinity();
+  double best_money = std::numeric_limits<double>::infinity();
+  for (const Vector& c : result->pareto_costs) {
+    best_time = std::min(best_time, c[0]);
+    best_money = std::min(best_money, c[1]);
+  }
+  EXPECT_DOUBLE_EQ(best_time, 4.0);   // 4 ops x 1.0, no transfers
+  EXPECT_DOUBLE_EQ(best_money, 4.0);  // 4 ops x 1.0, no transfers
+}
+
+TEST(WorkflowOptimizerTest, TransferPenaltyDiscouragesEngineChurn) {
+  WorkflowDag dag = MakePipeline();
+  WorkflowOptimizer optimizer;
+  // Make transfers brutally expensive: every Pareto assignment collapses
+  // to a single engine.
+  auto heavy_transfer = [](size_t, EngineKind, size_t,
+                           EngineKind) -> StatusOr<Vector> {
+    return Vector{100.0, 100.0};
+  };
+  auto result =
+      optimizer.Optimize(dag, EngineCost, heavy_transfer, Balanced());
+  ASSERT_TRUE(result.ok());
+  for (const WorkflowAssignment& a : result->pareto_assignments) {
+    for (EngineKind e : a.engine_per_op) {
+      EXPECT_EQ(e, a.engine_per_op[0]);
+    }
+  }
+}
+
+TEST(WorkflowOptimizerTest, ConstraintSteersChoice) {
+  WorkflowDag dag = MakePipeline();
+  WorkflowOptimizer optimizer;
+  QueryPolicy policy;
+  policy.weights = {1.0, 0.0};      // fastest...
+  policy.constraints = {1e9, 5.0};  // ...costing at most 5
+  auto result = optimizer.Optimize(dag, EngineCost, UnitTransfer, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->pareto_costs[result->chosen][1], 5.0);
+}
+
+TEST(WorkflowOptimizerTest, RestrictedEnginesRespected) {
+  WorkflowDag dag;
+  const size_t a =
+      dag.AddOperator("pg-only", {}, {EngineKind::kPostgres}).ValueOrDie();
+  dag.AddOperator("spark-only", {a}, {EngineKind::kSpark}).ValueOrDie();
+  WorkflowOptimizer optimizer;
+  auto result =
+      optimizer.Optimize(dag, EngineCost, UnitTransfer, Balanced());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pareto_assignments.size(), 1u);
+  EXPECT_EQ(result->chosen_assignment().engine_per_op[0],
+            EngineKind::kPostgres);
+  EXPECT_EQ(result->chosen_assignment().engine_per_op[1],
+            EngineKind::kSpark);
+}
+
+TEST(WorkflowOptimizerTest, LargeSpaceFallsBackToNsga2) {
+  // 12 operators x 3 engines = 531,441 assignments > default limit.
+  WorkflowDag dag;
+  const std::vector<EngineKind> all = {EngineKind::kHive,
+                                       EngineKind::kPostgres,
+                                       EngineKind::kSpark};
+  size_t previous = dag.AddOperator("op0", {}, all).ValueOrDie();
+  for (int i = 1; i < 12; ++i) {
+    previous =
+        dag.AddOperator("op" + std::to_string(i), {previous}, all)
+            .ValueOrDie();
+  }
+  WorkflowOptimizer::Options options;
+  options.exhaustive_limit = 1000;
+  options.nsga2_population = 100;
+  options.nsga2_generations = 150;
+  WorkflowOptimizer optimizer(options);
+  auto result =
+      optimizer.Optimize(dag, EngineCost, UnitTransfer, Balanced());
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->pareto_costs.empty());
+  // The GA cannot guarantee the exact single-engine extreme (time 12) in
+  // a 3^12 discrete space, but it must get well below a random
+  // assignment's expected time (~28 + transfer penalties).
+  double best_time = std::numeric_limits<double>::infinity();
+  for (const Vector& c : result->pareto_costs) {
+    best_time = std::min(best_time, c[0]);
+  }
+  EXPECT_LE(best_time, 20.0);
+}
+
+TEST(WorkflowOptimizerTest, NullCallbacksRejected) {
+  WorkflowDag dag = MakePipeline();
+  WorkflowOptimizer optimizer;
+  EXPECT_FALSE(
+      optimizer.Optimize(dag, nullptr, UnitTransfer, Balanced()).ok());
+  EXPECT_FALSE(
+      optimizer.Optimize(dag, EngineCost, nullptr, Balanced()).ok());
+}
+
+TEST(WorkflowOptimizerTest, CostArityMismatchRejected) {
+  WorkflowDag dag = MakePipeline();
+  WorkflowOptimizer optimizer;
+  auto bad_cost = [](size_t, EngineKind) -> StatusOr<Vector> {
+    return Vector{1.0};  // policy expects 2 metrics
+  };
+  EXPECT_FALSE(
+      optimizer.Optimize(dag, bad_cost, UnitTransfer, Balanced()).ok());
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,137 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(MatrixTest, ConstructionAndShape) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.empty());
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 1.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id.At(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, FromColumn) {
+  Matrix m = Matrix::FromColumn({1, 2, 3});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 3.0);
+}
+
+TEST(MatrixTest, RowAndColExtraction) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.Row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (Vector{3, 6}));
+}
+
+TEST(MatrixTest, SetRow) {
+  Matrix m(2, 2);
+  m.SetRow(0, {7, 8});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 8.0);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6.0);
+  EXPECT_EQ(t.Transpose(), m);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{5, 6}, {7, 8}});
+  auto c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, Matrix({{19, 22}, {43, 50}}));
+}
+
+TEST(MatrixTest, MultiplyShapeMismatch) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_FALSE(a.Multiply(b).ok());
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  Matrix a({{1, 2}, {3, 4}});
+  auto y = a.MultiplyVector({1, 1});
+  ASSERT_TRUE(y.ok());
+  EXPECT_EQ(*y, (Vector{3, 7}));
+}
+
+TEST(MatrixTest, MultiplyVectorShapeMismatch) {
+  Matrix a(2, 2);
+  EXPECT_FALSE(a.MultiplyVector({1, 2, 3}).ok());
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{4, 3}, {2, 1}});
+  EXPECT_EQ(a.Add(b).ValueOrDie(), Matrix({{5, 5}, {5, 5}}));
+  EXPECT_EQ(a.Subtract(a).ValueOrDie(), Matrix(2, 2, 0.0));
+  EXPECT_EQ(a.Scale(2.0), Matrix({{2, 4}, {6, 8}}));
+  EXPECT_FALSE(a.Add(Matrix(1, 2)).ok());
+  EXPECT_FALSE(a.Subtract(Matrix(3, 3)).ok());
+}
+
+TEST(MatrixTest, RowSlice) {
+  Matrix m({{1, 1}, {2, 2}, {3, 3}});
+  auto s = m.RowSlice(1, 3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s, Matrix({{2, 2}, {3, 3}}));
+  EXPECT_FALSE(m.RowSlice(2, 1).ok());
+  EXPECT_FALSE(m.RowSlice(0, 4).ok());
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a({{1, 2}});
+  Matrix b({{1.5, 1.0}});
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b).ValueOrDie(), 1.0);
+  EXPECT_FALSE(a.MaxAbsDiff(Matrix(2, 2)).ok());
+}
+
+TEST(MatrixTest, ToStringContainsValues) {
+  Matrix m({{1.5}});
+  EXPECT_NE(m.ToString().find("1.5"), std::string::npos);
+}
+
+TEST(MatrixDeathTest, OutOfRangeAccessAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m.At(2, 0), "out of range");
+}
+
+TEST(VectorOpsTest, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+}
+
+TEST(VectorOpsDeathTest, DotLengthMismatchAborts) {
+  EXPECT_DEATH(Dot({1.0}, {1.0, 2.0}), "mismatch");
+}
+
+}  // namespace
+}  // namespace midas

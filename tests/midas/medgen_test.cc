@@ -1,0 +1,127 @@
+#include "midas/medgen.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(MedGenTest, RowCountsMatchCatalog) {
+  MedGen gen(0.001);
+  EXPECT_EQ(gen.RowCount("Patient").ValueOrDie(), 1000u);
+  EXPECT_EQ(gen.RowCount("GeneralInfo").ValueOrDie(), 4000u);
+  EXPECT_FALSE(gen.RowCount("Bogus").ok());
+}
+
+TEST(MedGenTest, DeterministicGivenSeed) {
+  MedGen a(0.001, 5), b(0.001, 5);
+  for (uint64_t i : {0ull, 7ull, 100ull}) {
+    EXPECT_EQ(MedGen::FormatRow(a.GenerateRow("Patient", i).ValueOrDie()),
+              MedGen::FormatRow(b.GenerateRow("Patient", i).ValueOrDie()));
+  }
+}
+
+TEST(MedGenTest, SeedsChangeData) {
+  MedGen a(0.001, 1), b(0.001, 2);
+  EXPECT_NE(MedGen::FormatRow(a.GenerateRow("Patient", 0).ValueOrDie()),
+            MedGen::FormatRow(b.GenerateRow("Patient", 0).ValueOrDie()));
+}
+
+TEST(MedGenTest, RowIndexIndependence) {
+  MedGen gen(0.001, 9);
+  const MedRow direct = gen.GenerateRow("LabResult", 42).ValueOrDie();
+  MedGen gen2(0.001, 9);
+  gen2.GenerateRow("LabResult", 0).ValueOrDie();
+  EXPECT_EQ(MedGen::FormatRow(direct),
+            MedGen::FormatRow(gen2.GenerateRow("LabResult", 42).ValueOrDie()));
+}
+
+TEST(MedGenTest, PatientUidsAreSequential) {
+  MedGen gen(0.001);
+  for (uint64_t i : {0ull, 1ull, 999ull}) {
+    const MedRow row = gen.GenerateRow("Patient", i).ValueOrDie();
+    EXPECT_EQ(std::get<int64_t>(row[0]), static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(MedGenTest, ForeignKeysWithinPatientPopulation) {
+  MedGen gen(0.001);
+  for (uint64_t i = 0; i < 100; ++i) {
+    const MedRow row = gen.GenerateRow("GeneralInfo", i).ValueOrDie();
+    const int64_t uid = std::get<int64_t>(row[0]);
+    EXPECT_GE(uid, 1);
+    EXPECT_LE(uid, 1000);
+  }
+}
+
+TEST(MedGenTest, SexAndBloodTypeFromClinicalDomains) {
+  MedGen gen(0.001);
+  const std::set<std::string> sexes = {"F", "M", "U"};
+  const std::set<std::string> blood = {"O+", "O-", "A+", "A-",
+                                       "B+", "B-", "AB+", "AB-"};
+  for (uint64_t i = 0; i < 200; ++i) {
+    const MedRow row = gen.GenerateRow("Patient", i).ValueOrDie();
+    EXPECT_TRUE(sexes.count(std::get<std::string>(row[2])));
+    EXPECT_TRUE(blood.count(std::get<std::string>(row[4])));
+  }
+}
+
+TEST(MedGenTest, ModalitiesAreDicomCodes) {
+  MedGen gen(0.001);
+  const std::set<std::string> modalities = {"CT", "MR", "US", "XR",
+                                            "CR", "PT", "NM", "MG"};
+  for (uint64_t i = 0; i < 100; ++i) {
+    const MedRow row = gen.GenerateRow("ImagingStudy", i).ValueOrDie();
+    EXPECT_TRUE(modalities.count(std::get<std::string>(row[2])))
+        << std::get<std::string>(row[2]);
+  }
+}
+
+TEST(MedGenTest, RowArityMatchesSchema) {
+  MedGen gen(0.001);
+  EXPECT_EQ(gen.GenerateRow("Patient", 0).ValueOrDie().size(), 6u);
+  EXPECT_EQ(gen.GenerateRow("GeneralInfo", 0).ValueOrDie().size(), 5u);
+  EXPECT_EQ(gen.GenerateRow("ImagingStudy", 0).ValueOrDie().size(), 6u);
+  EXPECT_EQ(gen.GenerateRow("LabResult", 0).ValueOrDie().size(), 5u);
+}
+
+TEST(MedGenTest, OutOfRangeRejected) {
+  MedGen gen(0.001);
+  EXPECT_FALSE(gen.GenerateRow("Patient", 1000).ok());
+}
+
+TEST(MedGenTest, GenerateStopsOnSinkFalse) {
+  MedGen gen(0.001);
+  uint64_t count = 0;
+  ASSERT_TRUE(gen.Generate("Patient", [&](uint64_t, const MedRow&) {
+                    return ++count < 5;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(MedGenTest, WriteCsvWithHeader) {
+  MedGen gen(0.001);
+  const std::string path = testing::TempDir() + "/patients.csv";
+  ASSERT_TRUE(gen.WriteCsv("Patient", path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header.substr(0, 4), "UID,");
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1000u);
+  std::remove(path.c_str());
+}
+
+TEST(MedGenTest, InvalidScaleFails) {
+  MedGen gen(0.0);
+  EXPECT_FALSE(gen.RowCount("Patient").ok());
+}
+
+}  // namespace
+}  // namespace midas

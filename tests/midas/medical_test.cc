@@ -1,0 +1,94 @@
+#include "midas/medical.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(MedicalCatalogTest, HasFourTables) {
+  auto catalog = MakeMedicalCatalog();
+  ASSERT_TRUE(catalog.ok());
+  for (const char* name :
+       {"Patient", "GeneralInfo", "ImagingStudy", "LabResult"}) {
+    EXPECT_TRUE(catalog->Contains(name)) << name;
+  }
+}
+
+TEST(MedicalCatalogTest, ScaleMultipliesPopulation) {
+  auto full = MakeMedicalCatalog(1.0).ValueOrDie();
+  auto half = MakeMedicalCatalog(0.5).ValueOrDie();
+  EXPECT_EQ(full.Find("Patient").ValueOrDie()->row_count, 1'000'000u);
+  EXPECT_EQ(half.Find("Patient").ValueOrDie()->row_count, 500'000u);
+}
+
+TEST(MedicalCatalogTest, RejectsNonPositiveScale) {
+  EXPECT_FALSE(MakeMedicalCatalog(0.0).ok());
+  EXPECT_FALSE(MakeMedicalCatalog(-1.0).ok());
+}
+
+TEST(MedicalCatalogTest, Example21ColumnsExist) {
+  auto catalog = MakeMedicalCatalog().ValueOrDie();
+  const TableDef* patient = catalog.Find("Patient").ValueOrDie();
+  EXPECT_TRUE(patient->FindColumn("UID").ok());
+  EXPECT_TRUE(patient->FindColumn("PatientSex").ok());
+  const TableDef* info = catalog.Find("GeneralInfo").ValueOrDie();
+  EXPECT_TRUE(info->FindColumn("UID").ok());
+  EXPECT_TRUE(info->FindColumn("GeneralNames").ok());
+}
+
+TEST(Example21QueryTest, MatchesPaperShape) {
+  auto catalog = MakeMedicalCatalog().ValueOrDie();
+  auto plan = MakeExample21Query();
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->Validate(catalog).ok());
+  // SELECT PatientSex, GeneralNames FROM Patient ⋈ GeneralInfo ON UID.
+  EXPECT_EQ(plan->root()->kind, OperatorKind::kProject);
+  EXPECT_EQ(plan->root()->columns,
+            (std::vector<std::string>{"PatientSex", "GeneralNames"}));
+  const PlanNode* join = plan->root()->children[0].get();
+  EXPECT_EQ(join->kind, OperatorKind::kJoin);
+  EXPECT_EQ(join->left_join_column, "UID");
+  EXPECT_EQ(join->right_join_column, "UID");
+  EXPECT_EQ(plan->BaseTables(),
+            (std::vector<std::string>{"Patient", "GeneralInfo"}));
+}
+
+TEST(Example21QueryTest, CardinalityIsOneRowPerAdmission) {
+  auto catalog = MakeMedicalCatalog(0.1).ValueOrDie();
+  auto plan = MakeExample21Query().ValueOrDie();
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  // Each GeneralInfo row matches exactly one patient on average.
+  EXPECT_NEAR(plan.root()->output_rows, 400'000.0, 1.0);
+}
+
+TEST(ImagingCohortQueryTest, BuildsAndValidates) {
+  auto catalog = MakeMedicalCatalog().ValueOrDie();
+  auto plan = MakeImagingCohortQuery();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->Validate(catalog).ok());
+  EXPECT_EQ(plan->BaseTables().size(), 2u);
+}
+
+TEST(ImagingCohortQueryTest, RejectsBadSelectivity) {
+  EXPECT_FALSE(MakeImagingCohortQuery(0.0).ok());
+  EXPECT_FALSE(MakeImagingCohortQuery(1.5).ok());
+}
+
+TEST(PlaceMedicalTablesTest, PlacesAcrossPaperFederation) {
+  Federation fed = Federation::PaperFederation();
+  ASSERT_TRUE(PlaceMedicalTables(&fed).ok());
+  auto patient = fed.TablePlacement("Patient").ValueOrDie();
+  auto info = fed.TablePlacement("GeneralInfo").ValueOrDie();
+  EXPECT_EQ(patient.engine, EngineKind::kHive);
+  EXPECT_EQ(info.engine, EngineKind::kPostgres);
+  EXPECT_NE(patient.site, info.site);
+}
+
+TEST(PlaceMedicalTablesTest, NeedsNamedSites) {
+  Federation empty;
+  EXPECT_FALSE(PlaceMedicalTables(&empty).ok());
+  EXPECT_FALSE(PlaceMedicalTables(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace midas

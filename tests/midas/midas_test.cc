@@ -1,0 +1,125 @@
+#include "midas/midas.h"
+
+#include <gtest/gtest.h>
+
+#include "midas/medical.h"
+
+namespace midas {
+namespace {
+
+MidasSystem MakeSystem(MidasOptions options = MidasOptions()) {
+  Federation federation = Federation::PaperFederation();
+  Catalog catalog = MakeMedicalCatalog(/*scale=*/0.05).ValueOrDie();
+  PlaceMedicalTables(&federation).CheckOK();
+  return MidasSystem(std::move(federation), std::move(catalog), options);
+}
+
+TEST(MidasSystemTest, BootstrapFillsHistory) {
+  MidasSystem system = MakeSystem();
+  QueryPlan query = MakeExample21Query().ValueOrDie();
+  ASSERT_TRUE(system.Bootstrap("scope", query, 10).ok());
+  EXPECT_EQ(system.modelling().history().SizeOf("scope"), 10u);
+}
+
+TEST(MidasSystemTest, RunQueryEndToEnd) {
+  MidasSystem system = MakeSystem();
+  QueryPlan query = MakeExample21Query().ValueOrDie();
+  ASSERT_TRUE(system.Bootstrap("scope", query, 16).ok());
+  QueryPolicy policy;
+  policy.weights = {0.7, 0.3};
+  auto outcome = system.RunQuery("scope", query, policy);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->moqp.pareto_plans.empty());
+  EXPECT_EQ(outcome->predicted.size(), 2u);
+  EXPECT_GT(outcome->actual.seconds, 0.0);
+  EXPECT_GT(outcome->actual.dollars, 0.0);
+  EXPECT_EQ(outcome->estimator, "DREAM");
+  // Feedback: the executed measurement was recorded.
+  EXPECT_EQ(system.modelling().history().SizeOf("scope"), 17u);
+}
+
+TEST(MidasSystemTest, RunQueryWithoutHistoryFails) {
+  MidasSystem system = MakeSystem();
+  QueryPlan query = MakeExample21Query().ValueOrDie();
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  EXPECT_FALSE(system.RunQuery("cold", query, policy).ok());
+}
+
+TEST(MidasSystemTest, BmlEstimatorConfigurable) {
+  MidasOptions options;
+  options.estimator = EstimatorConfig::Bml(WindowPolicy::kLast2N);
+  MidasSystem system = MakeSystem(options);
+  QueryPlan query = MakeExample21Query().ValueOrDie();
+  ASSERT_TRUE(system.Bootstrap("scope", query, 16).ok());
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto outcome = system.RunQuery("scope", query, policy);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->estimator, "BML_2N");
+}
+
+TEST(MidasSystemTest, PredictPlanCostsMatchesMetricLayout) {
+  MidasSystem system = MakeSystem();
+  QueryPlan query = MakeExample21Query().ValueOrDie();
+  ASSERT_TRUE(system.Bootstrap("scope", query, 16).ok());
+  // Grab an annotated plan via a fresh enumeration inside RunQuery's path:
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto outcome = system.RunQuery("scope", query, policy);
+  ASSERT_TRUE(outcome.ok());
+  auto costs =
+      system.PredictPlanCosts("scope", outcome->moqp.chosen_plan());
+  ASSERT_TRUE(costs.ok());
+  EXPECT_EQ(costs->size(), 2u);
+  EXPECT_GE((*costs)[0], 0.0);
+  EXPECT_GE((*costs)[1], 0.0);
+}
+
+TEST(MidasSystemTest, PredictionTracksActualWithinFactor) {
+  MidasSystem system = MakeSystem();
+  QueryPlan query = MakeExample21Query().ValueOrDie();
+  ASSERT_TRUE(system.Bootstrap("scope", query, 24).ok());
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto outcome = system.RunQuery("scope", query, policy);
+  ASSERT_TRUE(outcome.ok());
+  // The estimator should land within 3x of the realised cost in a
+  // moderately drifting environment.
+  EXPECT_LT(outcome->predicted[0], outcome->actual.seconds * 3.0);
+  EXPECT_GT(outcome->predicted[0], outcome->actual.seconds / 3.0);
+}
+
+TEST(MidasSystemTest, WsmModeRunsEndToEnd) {
+  MidasOptions options;
+  options.moqp.algorithm = MoqpAlgorithm::kWsm;
+  MidasSystem system = MakeSystem(options);
+  QueryPlan query = MakeExample21Query().ValueOrDie();
+  ASSERT_TRUE(system.Bootstrap("scope", query, 16).ok());
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto outcome = system.RunQuery("scope", query, policy);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->moqp.pareto_plans.size(), 1u);
+}
+
+TEST(MidasSystemTest, DeterministicWithSameSeed) {
+  MidasOptions options;
+  options.seed = 777;
+  MidasSystem a = MakeSystem(options);
+  MidasSystem b = MakeSystem(options);
+  QueryPlan query = MakeExample21Query().ValueOrDie();
+  ASSERT_TRUE(a.Bootstrap("s", query, 12).ok());
+  ASSERT_TRUE(b.Bootstrap("s", query, 12).ok());
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto oa = a.RunQuery("s", query, policy);
+  auto ob = b.RunQuery("s", query, policy);
+  ASSERT_TRUE(oa.ok());
+  ASSERT_TRUE(ob.ok());
+  EXPECT_DOUBLE_EQ(oa->actual.seconds, ob->actual.seconds);
+  EXPECT_EQ(oa->predicted, ob->predicted);
+}
+
+}  // namespace
+}  // namespace midas

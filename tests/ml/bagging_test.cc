@@ -1,0 +1,130 @@
+#include "ml/bagging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace midas {
+namespace {
+
+TEST(BaggingTest, FitsAndPredictsSmoothFunction) {
+  Rng rng(1);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.Uniform(0, 10);
+    xs.push_back({x});
+    ys.push_back(3.0 * x + rng.Gaussian(0, 0.5));
+  }
+  BaggingLearner learner;
+  ASSERT_TRUE(learner.Fit(xs, ys).ok());
+  EXPECT_EQ(learner.num_fitted_estimators(), 10u);
+  EXPECT_NEAR(learner.Predict({5.0}).ValueOrDie(), 15.0, 2.0);
+  EXPECT_EQ(learner.name(), "bagging");
+}
+
+TEST(BaggingTest, DeterministicGivenSeed) {
+  Rng rng(2);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.Uniform(0, 1);
+    xs.push_back({x});
+    ys.push_back(x);
+  }
+  BaggingOptions options;
+  options.seed = 55;
+  BaggingLearner a(options), b(options);
+  ASSERT_TRUE(a.Fit(xs, ys).ok());
+  ASSERT_TRUE(b.Fit(xs, ys).ok());
+  EXPECT_DOUBLE_EQ(a.Predict({0.4}).ValueOrDie(),
+                   b.Predict({0.4}).ValueOrDie());
+}
+
+TEST(BaggingTest, EnsembleSizeConfigurable) {
+  BaggingOptions options;
+  options.num_estimators = 3;
+  BaggingLearner learner(options);
+  ASSERT_TRUE(learner.Fit({{1}, {2}, {3}, {4}}, {1, 2, 3, 4}).ok());
+  EXPECT_EQ(learner.num_fitted_estimators(), 3u);
+}
+
+TEST(BaggingTest, ZeroEstimatorsRejected) {
+  BaggingOptions options;
+  options.num_estimators = 0;
+  BaggingLearner learner(options);
+  EXPECT_FALSE(learner.Fit({{1}, {2}, {3}}, {1, 2, 3}).ok());
+}
+
+TEST(BaggingTest, BadSampleFractionRejected) {
+  BaggingOptions options;
+  options.sample_fraction = 0.0;
+  BaggingLearner learner(options);
+  EXPECT_FALSE(learner.Fit({{1}, {2}, {3}}, {1, 2, 3}).ok());
+  options.sample_fraction = 1.5;
+  BaggingLearner learner2(options);
+  EXPECT_FALSE(learner2.Fit({{1}, {2}, {3}}, {1, 2, 3}).ok());
+}
+
+TEST(BaggingTest, UnfittedPredictFails) {
+  BaggingLearner learner;
+  EXPECT_FALSE(learner.Predict({1}).ok());
+}
+
+TEST(BaggingTest, PredictionIsAverageWithinTargetRange) {
+  // Bagged trees cannot predict outside [min(y), max(y)].
+  Rng rng(3);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.Uniform(0, 1);
+    xs.push_back({x});
+    ys.push_back(rng.Uniform(10, 20));
+  }
+  BaggingLearner learner;
+  ASSERT_TRUE(learner.Fit(xs, ys).ok());
+  const double far = learner.Predict({100.0}).ValueOrDie();
+  EXPECT_GE(far, 10.0);
+  EXPECT_LE(far, 20.0);
+}
+
+TEST(BaggingTest, CloneKeepsEnsemble) {
+  BaggingLearner learner;
+  ASSERT_TRUE(learner.Fit({{0}, {1}, {2}, {3}}, {0, 0, 8, 8}).ok());
+  auto clone = learner.Clone();
+  EXPECT_DOUBLE_EQ(clone->Predict({3.0}).ValueOrDie(),
+                   learner.Predict({3.0}).ValueOrDie());
+}
+
+TEST(BaggingTest, VarianceReductionVersusSingleTree) {
+  // On noisy data the ensemble's test error should not exceed a single
+  // unpruned tree's by much; typically it is lower. Smoke-check ordering.
+  Rng rng(7);
+  std::vector<Vector> train_x, test_x;
+  Vector train_y, test_y;
+  for (int i = 0; i < 80; ++i) {
+    const double x = rng.Uniform(0, 10);
+    train_x.push_back({x});
+    train_y.push_back(2.0 * x + rng.Gaussian(0, 2.0));
+  }
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.Uniform(0, 10);
+    test_x.push_back({x});
+    test_y.push_back(2.0 * x);
+  }
+  RegressionTree tree;
+  BaggingLearner bagging;
+  ASSERT_TRUE(tree.Fit(train_x, train_y).ok());
+  ASSERT_TRUE(bagging.Fit(train_x, train_y).ok());
+  double tree_se = 0.0, bag_se = 0.0;
+  for (size_t i = 0; i < test_x.size(); ++i) {
+    const double tp = tree.Predict(test_x[i]).ValueOrDie();
+    const double bp = bagging.Predict(test_x[i]).ValueOrDie();
+    tree_se += (tp - test_y[i]) * (tp - test_y[i]);
+    bag_se += (bp - test_y[i]) * (bp - test_y[i]);
+  }
+  EXPECT_LT(bag_se, tree_se * 1.2);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,29 @@
+#include "ml/learner.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(ValidateTrainingDataTest, AcceptsWellFormedData) {
+  EXPECT_TRUE(ValidateTrainingData({{1, 2}, {3, 4}}, {1, 2}, 2).ok());
+}
+
+TEST(ValidateTrainingDataTest, RejectsSizeMismatch) {
+  EXPECT_FALSE(ValidateTrainingData({{1}, {2}}, {1}, 1).ok());
+}
+
+TEST(ValidateTrainingDataTest, RejectsTooSmall) {
+  EXPECT_FALSE(ValidateTrainingData({{1}}, {1}, 2).ok());
+}
+
+TEST(ValidateTrainingDataTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ValidateTrainingData({{1, 2}, {3}}, {1, 2}, 2).ok());
+}
+
+TEST(ValidateTrainingDataTest, RejectsZeroArity) {
+  EXPECT_FALSE(ValidateTrainingData({{}, {}}, {1, 2}, 2).ok());
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,49 @@
+#include "ml/least_squares.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace midas {
+namespace {
+
+TEST(LeastSquaresLearnerTest, FitsLinearData) {
+  LeastSquaresLearner learner;
+  std::vector<Vector> xs = {{0}, {1}, {2}, {3}};
+  ASSERT_TRUE(learner.Fit(xs, {1, 3, 5, 7}).ok());
+  EXPECT_NEAR(learner.Predict({5}).ValueOrDie(), 11.0, 1e-9);
+  EXPECT_EQ(learner.name(), "least_squares");
+}
+
+TEST(LeastSquaresLearnerTest, UnfittedPredictFails) {
+  LeastSquaresLearner learner;
+  EXPECT_FALSE(learner.Predict({1}).ok());
+}
+
+TEST(LeastSquaresLearnerTest, RequiresLPlusTwo) {
+  LeastSquaresLearner learner;
+  EXPECT_FALSE(learner.Fit({{1, 2}, {3, 4}, {5, 6}}, {1, 2, 3}).ok());
+}
+
+TEST(LeastSquaresLearnerTest, CloneKeepsFit) {
+  LeastSquaresLearner learner;
+  ASSERT_TRUE(learner.Fit({{0}, {1}, {2}}, {0, 2, 4}).ok());
+  auto clone = learner.Clone();
+  EXPECT_NEAR(clone->Predict({3}).ValueOrDie(), 6.0, 1e-9);
+}
+
+TEST(LeastSquaresLearnerTest, RefitReplacesModel) {
+  LeastSquaresLearner learner;
+  ASSERT_TRUE(learner.Fit({{0}, {1}, {2}}, {0, 1, 2}).ok());
+  ASSERT_TRUE(learner.Fit({{0}, {1}, {2}}, {0, 10, 20}).ok());
+  EXPECT_NEAR(learner.Predict({1}).ValueOrDie(), 10.0, 1e-9);
+}
+
+TEST(LeastSquaresLearnerTest, ExposesModelStatistics) {
+  LeastSquaresLearner learner;
+  ASSERT_TRUE(learner.Fit({{0}, {1}, {2}, {3}}, {1, 3, 5, 7}).ok());
+  EXPECT_NEAR(learner.model().r_squared(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace midas

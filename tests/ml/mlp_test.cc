@@ -1,0 +1,110 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace midas {
+namespace {
+
+TEST(MlpTest, LearnsLinearFunction) {
+  Rng rng(1);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 60; ++i) {
+    const double x = rng.Uniform(0, 1);
+    xs.push_back({x});
+    ys.push_back(2.0 + 3.0 * x);
+  }
+  MlpLearner learner;
+  ASSERT_TRUE(learner.Fit(xs, ys).ok());
+  EXPECT_NEAR(learner.Predict({0.5}).ValueOrDie(), 3.5, 0.3);
+  EXPECT_EQ(learner.name(), "mlp");
+}
+
+TEST(MlpTest, MemorisesTinyWindow) {
+  // With WEKA-default lr/momentum the net drives training error near zero
+  // on a handful of points — the behaviour that makes training-error model
+  // selection favour it.
+  Rng rng(2);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 6; ++i) {
+    xs.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+    ys.push_back(rng.Uniform(10, 30));
+  }
+  MlpLearner learner;
+  ASSERT_TRUE(learner.Fit(xs, ys).ok());
+  double max_err = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    max_err = std::max(max_err, std::abs(learner.Predict(xs[i]).ValueOrDie() -
+                                         ys[i]));
+  }
+  EXPECT_LT(max_err, 6.0);  // within ~30% of the target range
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  std::vector<Vector> xs = {{0}, {0.3}, {0.6}, {1.0}};
+  Vector ys = {0, 3, 6, 10};
+  MlpOptions options;
+  options.seed = 77;
+  MlpLearner a(options), b(options);
+  ASSERT_TRUE(a.Fit(xs, ys).ok());
+  ASSERT_TRUE(b.Fit(xs, ys).ok());
+  EXPECT_DOUBLE_EQ(a.Predict({0.5}).ValueOrDie(),
+                   b.Predict({0.5}).ValueOrDie());
+}
+
+TEST(MlpTest, HandlesConstantFeatureColumn) {
+  std::vector<Vector> xs = {{1, 5}, {2, 5}, {3, 5}, {4, 5}};
+  Vector ys = {2, 4, 6, 8};
+  MlpLearner learner;
+  ASSERT_TRUE(learner.Fit(xs, ys).ok());
+  const double p = learner.Predict({2.5, 5}).ValueOrDie();
+  EXPECT_GT(p, 2.0);
+  EXPECT_LT(p, 8.0);
+}
+
+TEST(MlpTest, HandlesConstantTarget) {
+  std::vector<Vector> xs = {{1}, {2}, {3}, {4}};
+  MlpLearner learner;
+  ASSERT_TRUE(learner.Fit(xs, {7, 7, 7, 7}).ok());
+  EXPECT_NEAR(learner.Predict({2.5}).ValueOrDie(), 7.0, 1.0);
+}
+
+TEST(MlpTest, RejectsZeroHiddenUnits) {
+  MlpOptions options;
+  options.hidden_units = 0;
+  MlpLearner learner(options);
+  EXPECT_FALSE(learner.Fit({{1}, {2}, {3}, {4}}, {1, 2, 3, 4}).ok());
+}
+
+TEST(MlpTest, MinTrainingSizeEnforced) {
+  MlpLearner learner;
+  EXPECT_FALSE(learner.Fit({{1}, {2}, {3}}, {1, 2, 3}).ok());
+}
+
+TEST(MlpTest, UnfittedPredictFails) {
+  MlpLearner learner;
+  EXPECT_FALSE(learner.Predict({1}).ok());
+}
+
+TEST(MlpTest, PredictRejectsWrongArity) {
+  MlpLearner learner;
+  ASSERT_TRUE(learner.Fit({{1}, {2}, {3}, {4}}, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(learner.Predict({1, 2}).ok());
+}
+
+TEST(MlpTest, CloneKeepsWeights) {
+  MlpLearner learner;
+  ASSERT_TRUE(learner.Fit({{0}, {0.5}, {1}, {1.5}}, {0, 1, 2, 3}).ok());
+  auto clone = learner.Clone();
+  EXPECT_DOUBLE_EQ(clone->Predict({0.7}).ValueOrDie(),
+                   learner.Predict({0.7}).ValueOrDie());
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,130 @@
+#include "ml/model_selection.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ml/least_squares.h"
+
+namespace midas {
+namespace {
+
+TEST(WindowPolicyTest, NamesMatchPaperColumns) {
+  EXPECT_EQ(WindowPolicyName(WindowPolicy::kLastN), "BML_N");
+  EXPECT_EQ(WindowPolicyName(WindowPolicy::kLast2N), "BML_2N");
+  EXPECT_EQ(WindowPolicyName(WindowPolicy::kLast3N), "BML_3N");
+  EXPECT_EQ(WindowPolicyName(WindowPolicy::kAll), "BML");
+}
+
+TEST(WindowSizeForTest, MultipliesBaseWindow) {
+  EXPECT_EQ(WindowSizeFor(WindowPolicy::kLastN, 6, 100), 6u);
+  EXPECT_EQ(WindowSizeFor(WindowPolicy::kLast2N, 6, 100), 12u);
+  EXPECT_EQ(WindowSizeFor(WindowPolicy::kLast3N, 6, 100), 18u);
+  EXPECT_EQ(WindowSizeFor(WindowPolicy::kAll, 6, 100), 100u);
+}
+
+TEST(WindowSizeForTest, ClampsToAvailable) {
+  EXPECT_EQ(WindowSizeFor(WindowPolicy::kLast3N, 6, 10), 10u);
+  EXPECT_EQ(WindowSizeFor(WindowPolicy::kLastN, 6, 4), 4u);
+}
+
+TEST(ModelSelectorTest, NoCandidatesFails) {
+  ModelSelector selector;
+  EXPECT_FALSE(selector.SelectBest({{1}, {2}}, {1, 2}).ok());
+}
+
+TEST(ModelSelectorTest, DefaultZooHasThreeLearners) {
+  ModelSelector selector;
+  selector.AddDefaultCandidates();
+  EXPECT_EQ(selector.num_candidates(), 3u);
+}
+
+TEST(ModelSelectorTest, SelectsOnlyViableCandidate) {
+  ModelSelector selector;
+  selector.AddCandidate([] { return std::make_unique<LeastSquaresLearner>(); });
+  std::vector<Vector> xs = {{0}, {1}, {2}, {3}, {4}, {5}};
+  Vector ys = {0, 2, 4, 6, 8, 10};
+  auto best = selector.SelectBest(xs, ys);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->name, "least_squares");
+  EXPECT_NEAR(best->learner->Predict({6}).ValueOrDie(), 12.0, 1e-9);
+}
+
+TEST(ModelSelectorTest, TrainingErrorModePrefersMemorisers) {
+  // Nonlinear noisy data: high-capacity learners reach lower training
+  // error than the linear model.
+  ModelSelectorOptions options;
+  options.mode = SelectionMode::kTrainingError;
+  ModelSelector selector(options);
+  selector.AddDefaultCandidates(3);
+  Rng rng(4);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 24; ++i) {
+    const double x = rng.Uniform(0, 10);
+    xs.push_back({x});
+    ys.push_back(std::sin(x) * 10.0 + rng.Gaussian(0, 0.5));
+  }
+  auto best = selector.SelectBest(xs, ys);
+  ASSERT_TRUE(best.ok());
+  EXPECT_NE(best->name, "least_squares");
+}
+
+TEST(ModelSelectorTest, CrossValidationModePrefersTrueModel) {
+  // Clean linear data with noise: CV should keep the linear model.
+  ModelSelectorOptions options;
+  options.mode = SelectionMode::kCrossValidation;
+  ModelSelector selector(options);
+  selector.AddDefaultCandidates(5);
+  Rng rng(6);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.Uniform(0, 10);
+    xs.push_back({x});
+    ys.push_back(5.0 + 2.0 * x + rng.Gaussian(0, 0.3));
+  }
+  auto best = selector.SelectBest(xs, ys);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->name, "least_squares");
+}
+
+TEST(ModelSelectorTest, SkipsCandidatesThatCannotFit) {
+  // Window of 4 points with 2 features: least squares fits (needs L+2=4),
+  // and the selector must not fail even if some candidate declines.
+  ModelSelector selector;
+  selector.AddDefaultCandidates(7);
+  std::vector<Vector> xs = {{0, 1}, {1, 2}, {2, 3.5}, {3, 5}};
+  Vector ys = {1, 2, 3, 4};
+  auto best = selector.SelectBest(xs, ys);
+  ASSERT_TRUE(best.ok());
+  EXPECT_FALSE(best->name.empty());
+}
+
+TEST(ModelSelectorTest, AllCandidatesUnfittableFails) {
+  ModelSelector selector;
+  selector.AddCandidate([] { return std::make_unique<LeastSquaresLearner>(); });
+  // 3 points with 2 features: least squares needs L+2 = 4.
+  EXPECT_FALSE(
+      selector.SelectBest({{1, 2}, {3, 4}, {5, 6}}, {1, 2, 3}).ok());
+}
+
+TEST(ModelSelectorTest, ValidationErrorIsReported) {
+  ModelSelector selector;
+  selector.AddDefaultCandidates(9);
+  std::vector<Vector> xs;
+  Vector ys;
+  Rng rng(10);
+  for (int i = 0; i < 20; ++i) {
+    const double x = rng.Uniform(0, 1);
+    xs.push_back({x});
+    ys.push_back(x);
+  }
+  auto best = selector.SelectBest(xs, ys);
+  ASSERT_TRUE(best.ok());
+  EXPECT_GE(best->validation_error, 0.0);
+}
+
+}  // namespace
+}  // namespace midas

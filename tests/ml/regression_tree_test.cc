@@ -1,0 +1,109 @@
+#include "ml/regression_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace midas {
+namespace {
+
+TEST(RegressionTreeTest, FitsStepFunction) {
+  // y = 0 for x < 5, y = 10 for x >= 5: one split suffices.
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back({static_cast<double>(i)});
+    ys.push_back(i < 5 ? 0.0 : 10.0);
+  }
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(xs, ys).ok());
+  EXPECT_NEAR(tree.Predict({2.0}).ValueOrDie(), 0.0, 1e-9);
+  EXPECT_NEAR(tree.Predict({8.0}).ValueOrDie(), 10.0, 1e-9);
+}
+
+TEST(RegressionTreeTest, PureNodeStaysLeaf) {
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit({{1}, {2}, {3}, {4}}, {5, 5, 5, 5}).ok());
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_NEAR(tree.Predict({100.0}).ValueOrDie(), 5.0, 1e-12);
+}
+
+TEST(RegressionTreeTest, RespectsMaxDepth) {
+  RegressionTreeOptions options;
+  options.max_depth = 1;
+  RegressionTree tree(options);
+  Rng rng(3);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.Uniform(0, 1);
+    xs.push_back({x});
+    ys.push_back(x * x * 100.0);
+  }
+  ASSERT_TRUE(tree.Fit(xs, ys).ok());
+  EXPECT_LE(tree.Depth(), 2u);  // root + one level
+}
+
+TEST(RegressionTreeTest, MinSamplesSplitStopsGrowth) {
+  RegressionTreeOptions options;
+  options.min_samples_split = 100;
+  RegressionTree tree(options);
+  ASSERT_TRUE(tree.Fit({{1}, {2}, {3}}, {1, 2, 3}).ok());
+  EXPECT_EQ(tree.NodeCount(), 1u);
+}
+
+TEST(RegressionTreeTest, MultiFeatureSplitsOnInformativeOne) {
+  // Feature 0 is noise; feature 1 determines the target.
+  Rng rng(5);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 60; ++i) {
+    const double informative = rng.Uniform(0, 1);
+    xs.push_back({rng.Uniform(0, 1), informative});
+    ys.push_back(informative > 0.5 ? 50.0 : -50.0);
+  }
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(xs, ys).ok());
+  EXPECT_NEAR(tree.Predict({0.9, 0.9}).ValueOrDie(), 50.0, 5.0);
+  EXPECT_NEAR(tree.Predict({0.1, 0.1}).ValueOrDie(), -50.0, 5.0);
+}
+
+TEST(RegressionTreeTest, PredictRejectsWrongArity) {
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit({{1}, {2}}, {1, 2}).ok());
+  EXPECT_FALSE(tree.Predict({1, 2}).ok());
+}
+
+TEST(RegressionTreeTest, UnfittedPredictFails) {
+  RegressionTree tree;
+  EXPECT_FALSE(tree.Predict({1}).ok());
+}
+
+TEST(RegressionTreeTest, CloneIsIndependent) {
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit({{0}, {1}, {2}, {3}}, {0, 0, 9, 9}).ok());
+  auto clone = tree.Clone();
+  EXPECT_NEAR(clone->Predict({3.0}).ValueOrDie(),
+              tree.Predict({3.0}).ValueOrDie(), 1e-12);
+}
+
+TEST(RegressionTreeTest, UnprunedTreeMemorisesDistinctPoints) {
+  // Default options grow fully: each distinct x gets its own leaf.
+  RegressionTree tree;
+  std::vector<Vector> xs = {{1}, {2}, {3}, {4}, {5}};
+  Vector ys = {3, 1, 4, 1, 5};
+  ASSERT_TRUE(tree.Fit(xs, ys).ok());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(tree.Predict(xs[i]).ValueOrDie(), ys[i], 1e-9);
+  }
+}
+
+TEST(RegressionTreeTest, IdenticalFeaturesCannotSplit) {
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit({{7}, {7}, {7}, {7}}, {1, 2, 3, 4}).ok());
+  EXPECT_EQ(tree.NodeCount(), 1u);
+  EXPECT_NEAR(tree.Predict({7.0}).ValueOrDie(), 2.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace midas

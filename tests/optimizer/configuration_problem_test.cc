@@ -1,0 +1,63 @@
+#include "optimizer/configuration_problem.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+ConfigurationProblem MakeProblem() {
+  // 3 x 4 configuration grid; cost = (i, j) directly.
+  return ConfigurationProblem(
+      "grid", {3, 4}, 2, [](const std::vector<size_t>& cfg) -> Vector {
+        return {static_cast<double>(cfg[0]), static_cast<double>(cfg[1])};
+      });
+}
+
+TEST(ConfigurationProblemTest, ShapeAndBounds) {
+  ConfigurationProblem problem = MakeProblem();
+  EXPECT_EQ(problem.num_variables(), 2u);
+  EXPECT_EQ(problem.num_objectives(), 2u);
+  EXPECT_EQ(problem.bounds(0), std::make_pair(0.0, 2.0));
+  EXPECT_EQ(problem.bounds(1), std::make_pair(0.0, 3.0));
+  EXPECT_EQ(problem.SpaceSize(), 12u);
+}
+
+TEST(ConfigurationProblemTest, DecodeRoundsToNearest) {
+  ConfigurationProblem problem = MakeProblem();
+  EXPECT_EQ(problem.Decode({0.4, 2.6}), (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(problem.Decode({1.5, 0.49}), (std::vector<size_t>{2, 0}));
+}
+
+TEST(ConfigurationProblemTest, DecodeClampsOutOfRange) {
+  ConfigurationProblem problem = MakeProblem();
+  EXPECT_EQ(problem.Decode({-5.0, 99.0}), (std::vector<size_t>{0, 3}));
+}
+
+TEST(ConfigurationProblemTest, DecodeShortVectorPadsWithZero) {
+  ConfigurationProblem problem = MakeProblem();
+  EXPECT_EQ(problem.Decode({1.0}), (std::vector<size_t>{1, 0}));
+}
+
+TEST(ConfigurationProblemTest, EvaluateRoutesThroughEvaluator) {
+  ConfigurationProblem problem = MakeProblem();
+  EXPECT_EQ(problem.Evaluate({2.0, 3.0}), (Vector{2.0, 3.0}));
+}
+
+TEST(ConfigurationProblemTest, Example31SpaceSize) {
+  // The 70 vCPU x 260 GiB pool as a two-dimensional config space.
+  ConfigurationProblem problem(
+      "ec2", {70, 260}, 1,
+      [](const std::vector<size_t>&) -> Vector { return {0.0}; });
+  EXPECT_EQ(problem.SpaceSize(), 18200u);
+}
+
+TEST(ConfigurationProblemDeathTest, RejectsEmptyDims) {
+  EXPECT_DEATH(ConfigurationProblem("bad", {}, 1,
+                                    [](const std::vector<size_t>&) -> Vector {
+                                      return {0.0};
+                                    }),
+               "dimension");
+}
+
+}  // namespace
+}  // namespace midas

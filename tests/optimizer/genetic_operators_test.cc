@@ -1,0 +1,144 @@
+#include "optimizer/genetic_operators.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(RandomIndividualTest, WithinBoundsAndEvaluated) {
+  Schaffer problem;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const Individual ind = RandomIndividual(problem, &rng);
+    ASSERT_EQ(ind.variables.size(), 1u);
+    EXPECT_GE(ind.variables[0], -3.0);
+    EXPECT_LE(ind.variables[0], 5.0);
+    EXPECT_EQ(ind.objectives.size(), 2u);
+    EXPECT_DOUBLE_EQ(ind.objectives[0],
+                     ind.variables[0] * ind.variables[0]);
+  }
+}
+
+TEST(SbxCrossoverTest, ChildrenWithinBounds) {
+  Zdt1 problem(5);
+  Rng rng(2);
+  SbxOptions options;
+  options.crossover_probability = 1.0;
+  const Vector p1 = {0.1, 0.2, 0.3, 0.4, 0.5};
+  const Vector p2 = {0.9, 0.8, 0.7, 0.6, 0.5};
+  for (int i = 0; i < 50; ++i) {
+    auto [c1, c2] = SbxCrossover(problem, p1, p2, options, &rng);
+    for (double v : c1) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    for (double v : c2) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(SbxCrossoverTest, ZeroProbabilityCopiesParents) {
+  Zdt1 problem(3);
+  Rng rng(3);
+  SbxOptions options;
+  options.crossover_probability = 0.0;
+  const Vector p1 = {0.1, 0.2, 0.3};
+  const Vector p2 = {0.9, 0.8, 0.7};
+  auto [c1, c2] = SbxCrossover(problem, p1, p2, options, &rng);
+  EXPECT_EQ(c1, p1);
+  EXPECT_EQ(c2, p2);
+}
+
+TEST(SbxCrossoverTest, ChildrenMixParents) {
+  Zdt1 problem(10);
+  Rng rng(4);
+  SbxOptions options;
+  options.crossover_probability = 1.0;
+  Vector p1(10, 0.2), p2(10, 0.8);
+  bool changed = false;
+  for (int i = 0; i < 20 && !changed; ++i) {
+    auto [c1, c2] = SbxCrossover(problem, p1, p2, options, &rng);
+    changed = c1 != p1 || c2 != p2;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(PolynomialMutationTest, StaysWithinBounds) {
+  Zdt1 problem(5);
+  Rng rng(5);
+  MutationOptions options;
+  options.mutation_probability = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    const Vector mutated =
+        PolynomialMutation(problem, {0.0, 0.25, 0.5, 0.75, 1.0}, options,
+                           &rng);
+    for (double v : mutated) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(PolynomialMutationTest, ZeroRateLeavesUnchangedMostly) {
+  Zdt1 problem(4);
+  Rng rng(6);
+  MutationOptions options;
+  options.mutation_probability = 1e-12;
+  const Vector x = {0.1, 0.2, 0.3, 0.4};
+  EXPECT_EQ(PolynomialMutation(problem, x, options, &rng), x);
+}
+
+TEST(PolynomialMutationTest, DefaultRateIsOneOverN) {
+  Zdt1 problem(30);
+  Rng rng(7);
+  MutationOptions options;  // mutation_probability <= 0 -> 1/n
+  int mutated_vars = 0;
+  const Vector x(30, 0.5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vector m = PolynomialMutation(problem, x, options, &rng);
+    for (size_t i = 0; i < m.size(); ++i) {
+      if (m[i] != x[i]) ++mutated_vars;
+    }
+  }
+  // Expected 200 * 30 * (1/30) = 200 mutations; allow wide slack.
+  EXPECT_GT(mutated_vars, 100);
+  EXPECT_LT(mutated_vars, 400);
+}
+
+TEST(BinaryTournamentTest, PrefersLowerRank) {
+  std::vector<Individual> population(2);
+  population[0].rank = 0;
+  population[0].crowding = 0.0;
+  population[1].rank = 5;
+  population[1].crowding = 100.0;
+  Rng rng(8);
+  int wins_for_rank0 = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (&BinaryTournament(population, &rng) == &population[0]) {
+      ++wins_for_rank0;
+    }
+  }
+  // rank 0 wins every mixed matchup and half of the self-matchups.
+  EXPECT_GT(wins_for_rank0, 60);
+}
+
+TEST(BinaryTournamentTest, BreaksRankTiesByCrowding) {
+  std::vector<Individual> population(2);
+  population[0].rank = 0;
+  population[0].crowding = 10.0;
+  population[1].rank = 0;
+  population[1].crowding = 1.0;
+  Rng rng(9);
+  int wins_for_crowded = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (&BinaryTournament(population, &rng) == &population[0]) {
+      ++wins_for_crowded;
+    }
+  }
+  EXPECT_GT(wins_for_crowded, 60);
+}
+
+}  // namespace
+}  // namespace midas

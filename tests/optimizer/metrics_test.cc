@@ -1,0 +1,108 @@
+#include "optimizer/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(Hypervolume2DTest, SinglePointRectangle) {
+  auto hv = Hypervolume2D({{1.0, 1.0}}, {3.0, 3.0});
+  ASSERT_TRUE(hv.ok());
+  EXPECT_DOUBLE_EQ(*hv, 4.0);
+}
+
+TEST(Hypervolume2DTest, StaircaseAccumulates) {
+  // Points (1,2) and (2,1) against reference (3,3):
+  // (3-1)(3-2) + (3-2)(2-1) = 2 + 1 = 3.
+  auto hv = Hypervolume2D({{1, 2}, {2, 1}}, {3, 3});
+  ASSERT_TRUE(hv.ok());
+  EXPECT_DOUBLE_EQ(*hv, 3.0);
+}
+
+TEST(Hypervolume2DTest, DominatedPointAddsNothing) {
+  const double base =
+      Hypervolume2D({{1, 1}}, {3, 3}).ValueOrDie();
+  const double with_dominated =
+      Hypervolume2D({{1, 1}, {2, 2}}, {3, 3}).ValueOrDie();
+  EXPECT_DOUBLE_EQ(base, with_dominated);
+}
+
+TEST(Hypervolume2DTest, PointsOutsideReferenceIgnored) {
+  auto hv = Hypervolume2D({{4.0, 4.0}}, {3.0, 3.0});
+  ASSERT_TRUE(hv.ok());
+  EXPECT_DOUBLE_EQ(*hv, 0.0);
+}
+
+TEST(Hypervolume2DTest, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(Hypervolume2D({}, {1, 1}).ValueOrDie(), 0.0);
+}
+
+TEST(Hypervolume2DTest, RejectsBadReference) {
+  EXPECT_FALSE(Hypervolume2D({{1, 1}}, {1, 1, 1}).ok());
+  EXPECT_FALSE(Hypervolume2D({{1, 1, 1}}, {2, 2}).ok());
+}
+
+TEST(HypervolumeMonteCarloTest, AgreesWithExact2D) {
+  const std::vector<Vector> front = {{1, 2}, {2, 1}};
+  const Vector reference = {3, 3};
+  const double exact = Hypervolume2D(front, reference).ValueOrDie();
+  const double approx =
+      HypervolumeMonteCarlo(front, reference, 200000, 7).ValueOrDie();
+  EXPECT_NEAR(approx, exact, 0.05 * exact);
+}
+
+TEST(HypervolumeMonteCarloTest, HandlesThreeObjectives) {
+  // Single point (1,1,1) vs reference (2,2,2): exact volume 1.
+  auto hv = HypervolumeMonteCarlo({{1, 1, 1}}, {2, 2, 2}, 100000, 9);
+  ASSERT_TRUE(hv.ok());
+  EXPECT_NEAR(*hv, 1.0, 0.05);
+}
+
+TEST(HypervolumeMonteCarloTest, DeterministicGivenSeed) {
+  const std::vector<Vector> front = {{1, 2}, {2, 1}};
+  EXPECT_DOUBLE_EQ(
+      HypervolumeMonteCarlo(front, {3, 3}, 10000, 5).ValueOrDie(),
+      HypervolumeMonteCarlo(front, {3, 3}, 10000, 5).ValueOrDie());
+}
+
+TEST(HypervolumeMonteCarloTest, RejectsZeroSamples) {
+  EXPECT_FALSE(HypervolumeMonteCarlo({{1, 1}}, {2, 2}, 0).ok());
+}
+
+TEST(IgdTest, PerfectFrontHasZeroDistance) {
+  const std::vector<Vector> front = {{0, 1}, {0.5, 0.5}, {1, 0}};
+  EXPECT_DOUBLE_EQ(
+      InvertedGenerationalDistance(front, front).ValueOrDie(), 0.0);
+}
+
+TEST(IgdTest, OffsetFrontHasPositiveDistance) {
+  const std::vector<Vector> reference = {{0, 1}, {1, 0}};
+  const std::vector<Vector> shifted = {{0.1, 1.1}, {1.1, 0.1}};
+  auto igd = InvertedGenerationalDistance(shifted, reference);
+  ASSERT_TRUE(igd.ok());
+  EXPECT_NEAR(*igd, std::sqrt(0.02), 1e-9);
+}
+
+TEST(IgdTest, RejectsEmptyFronts) {
+  EXPECT_FALSE(InvertedGenerationalDistance({}, {{1, 1}}).ok());
+  EXPECT_FALSE(InvertedGenerationalDistance({{1, 1}}, {}).ok());
+}
+
+TEST(SpacingTest, UniformFrontHasZeroSpacing) {
+  const std::vector<Vector> front = {{0, 3}, {1, 2}, {2, 1}, {3, 0}};
+  EXPECT_NEAR(Spacing2D(front).ValueOrDie(), 0.0, 1e-12);
+}
+
+TEST(SpacingTest, IrregularFrontHasPositiveSpacing) {
+  const std::vector<Vector> front = {{0, 3}, {0.1, 2.9}, {3, 0}};
+  EXPECT_GT(Spacing2D(front).ValueOrDie(), 0.5);
+}
+
+TEST(SpacingTest, NeedsThreePoints) {
+  EXPECT_FALSE(Spacing2D({{1, 1}, {2, 2}}).ok());
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,146 @@
+#include "optimizer/moead.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/metrics.h"
+#include "optimizer/pareto.h"
+
+namespace midas {
+namespace {
+
+MoeadOptions SmallRun(uint64_t seed = 1) {
+  MoeadOptions options;
+  options.population_size = 60;
+  options.generations = 60;
+  options.seed = seed;
+  return options;
+}
+
+TEST(TchebycheffTest, MaxWeightedDeviation) {
+  EXPECT_DOUBLE_EQ(TchebycheffCost({2, 3}, {0.5, 0.5}, {0, 0}), 1.5);
+  EXPECT_DOUBLE_EQ(TchebycheffCost({2, 3}, {1.0, 0.0}, {0, 0}),
+                   2.0);  // zero weight epsilon-ed, max is metric 0
+}
+
+TEST(TchebycheffTest, IdealPointCostsNothing) {
+  EXPECT_DOUBLE_EQ(TchebycheffCost({1, 2}, {0.5, 0.5}, {1, 2}), 0.0);
+}
+
+TEST(MoeadTest, SolvesSchaffer) {
+  Moead moead(SmallRun());
+  auto result = moead.Optimize(Schaffer());
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->front.empty());
+  for (const Vector& x : result->FrontVariables()) {
+    EXPECT_GT(x[0], -0.3);
+    EXPECT_LT(x[0], 2.3);
+  }
+}
+
+TEST(MoeadTest, Zdt1FrontCloseToTruth) {
+  MoeadOptions options;
+  options.population_size = 100;
+  options.generations = 150;
+  Moead moead(options);
+  auto result = moead.Optimize(Zdt1(10));
+  ASSERT_TRUE(result.ok());
+  const auto front = result->FrontObjectives();
+  ASSERT_GE(front.size(), 10u);
+  double total_gap = 0.0;
+  for (const Vector& f : front) {
+    total_gap += std::abs(f[1] - (1.0 - std::sqrt(f[0])));
+  }
+  EXPECT_LT(total_gap / static_cast<double>(front.size()), 0.15);
+}
+
+TEST(MoeadTest, CoversNonConvexZdt2Front) {
+  MoeadOptions options;
+  options.population_size = 100;
+  options.generations = 150;
+  Moead moead(options);
+  auto result = moead.Optimize(Zdt2(10));
+  ASSERT_TRUE(result.ok());
+  // Tchebycheff decomposition (unlike plain weighted sums) reaches
+  // non-convex front regions.
+  int interior = 0;
+  for (const Vector& f : result->FrontObjectives()) {
+    if (f[0] > 0.2 && f[0] < 0.8) ++interior;
+  }
+  EXPECT_GT(interior, 5);
+}
+
+TEST(MoeadTest, ArchiveIsMutuallyNonDominated) {
+  Moead moead(SmallRun(5));
+  auto result = moead.Optimize(Schaffer());
+  ASSERT_TRUE(result.ok());
+  const auto front = result->FrontObjectives();
+  for (size_t i = 0; i < front.size(); ++i) {
+    for (size_t j = 0; j < front.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(Dominates(front[i], front[j]));
+      }
+    }
+  }
+}
+
+TEST(MoeadTest, DeterministicGivenSeed) {
+  auto r1 = Moead(SmallRun(42)).Optimize(Schaffer());
+  auto r2 = Moead(SmallRun(42)).Optimize(Schaffer());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->FrontObjectives(), r2->FrontObjectives());
+}
+
+TEST(MoeadTest, HypervolumeComparableToNsga2) {
+  MoeadOptions moead_options;
+  moead_options.population_size = 80;
+  moead_options.generations = 100;
+  Nsga2Options nsga_options;
+  nsga_options.population_size = 80;
+  nsga_options.generations = 100;
+  auto moead = Moead(moead_options).Optimize(Zdt1(8));
+  auto nsga2 = Nsga2(nsga_options).Optimize(Zdt1(8));
+  ASSERT_TRUE(moead.ok());
+  ASSERT_TRUE(nsga2.ok());
+  const Vector reference = {1.1, 1.1};
+  const double hv_moead =
+      Hypervolume2D(moead->FrontObjectives(), reference).ValueOrDie();
+  const double hv_nsga2 =
+      Hypervolume2D(nsga2->FrontObjectives(), reference).ValueOrDie();
+  EXPECT_GT(hv_moead, hv_nsga2 * 0.85);
+}
+
+TEST(MoeadTest, RejectsTinyPopulation) {
+  MoeadOptions options;
+  options.population_size = 2;
+  EXPECT_FALSE(Moead(options).Optimize(Schaffer()).ok());
+}
+
+TEST(MoeadTest, RejectsTinyNeighborhood) {
+  MoeadOptions options = SmallRun();
+  options.neighborhood = 1;
+  EXPECT_FALSE(Moead(options).Optimize(Schaffer()).ok());
+}
+
+TEST(MoeadTest, ThreeObjectivesUnimplemented) {
+  class ThreeObjective : public MooProblem {
+   public:
+    std::string name() const override { return "3obj"; }
+    size_t num_variables() const override { return 1; }
+    size_t num_objectives() const override { return 3; }
+    std::pair<double, double> bounds(size_t) const override {
+      return {0, 1};
+    }
+    Vector Evaluate(const Vector& x) const override {
+      return {x[0], 1 - x[0], x[0] * x[0]};
+    }
+  };
+  auto result = Moead(SmallRun()).Optimize(ThreeObjective());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,135 @@
+#include "optimizer/nsga2.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/metrics.h"
+#include "optimizer/pareto.h"
+
+namespace midas {
+namespace {
+
+Nsga2Options SmallRun(uint64_t seed = 1) {
+  Nsga2Options options;
+  options.population_size = 60;
+  options.generations = 60;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Nsga2Test, SolvesSchaffer) {
+  Nsga2 nsga2(SmallRun());
+  auto result = nsga2.Optimize(Schaffer());
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->front.empty());
+  // Every front member should lie near the Pareto set x in [0, 2].
+  for (const Vector& x : result->FrontVariables()) {
+    EXPECT_GT(x[0], -0.3);
+    EXPECT_LT(x[0], 2.3);
+  }
+}
+
+TEST(Nsga2Test, Zdt1FrontApproachesTheoreticalCurve) {
+  Nsga2Options options;
+  options.population_size = 100;
+  options.generations = 150;
+  Nsga2 nsga2(options);
+  auto result = nsga2.Optimize(Zdt1(10));
+  ASSERT_TRUE(result.ok());
+  // On ZDT1 the true front is f2 = 1 - sqrt(f1); measure mean deviation.
+  double total_gap = 0.0;
+  const auto front = result->FrontObjectives();
+  ASSERT_GE(front.size(), 10u);
+  for (const Vector& f : front) {
+    total_gap += std::abs(f[1] - (1.0 - std::sqrt(f[0])));
+  }
+  EXPECT_LT(total_gap / static_cast<double>(front.size()), 0.1);
+}
+
+TEST(Nsga2Test, Zdt2NonConvexFrontCovered) {
+  // The non-convex case WSM cannot cover (paper §2.6): NSGA-II must return
+  // interior points, i.e., points with f1 well inside (0, 1).
+  Nsga2Options options;
+  options.population_size = 100;
+  options.generations = 150;
+  Nsga2 nsga2(options);
+  auto result = nsga2.Optimize(Zdt2(10));
+  ASSERT_TRUE(result.ok());
+  int interior = 0;
+  for (const Vector& f : result->FrontObjectives()) {
+    if (f[0] > 0.2 && f[0] < 0.8) ++interior;
+  }
+  EXPECT_GT(interior, 5);
+}
+
+TEST(Nsga2Test, FrontIsMutuallyNonDominated) {
+  Nsga2 nsga2(SmallRun(7));
+  auto result = nsga2.Optimize(Schaffer());
+  ASSERT_TRUE(result.ok());
+  const auto front = result->FrontObjectives();
+  for (size_t i = 0; i < front.size(); ++i) {
+    for (size_t j = 0; j < front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(Dominates(front[i], front[j]));
+    }
+  }
+}
+
+TEST(Nsga2Test, DeterministicGivenSeed) {
+  auto r1 = Nsga2(SmallRun(42)).Optimize(Schaffer());
+  auto r2 = Nsga2(SmallRun(42)).Optimize(Schaffer());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->front.size(), r2->front.size());
+  EXPECT_EQ(r1->FrontObjectives(), r2->FrontObjectives());
+}
+
+TEST(Nsga2Test, MoreGenerationsDoNotWorsenHypervolume) {
+  Nsga2Options short_run = SmallRun(5);
+  short_run.generations = 5;
+  Nsga2Options long_run = SmallRun(5);
+  long_run.generations = 100;
+  auto r_short = Nsga2(short_run).Optimize(Zdt1(8));
+  auto r_long = Nsga2(long_run).Optimize(Zdt1(8));
+  ASSERT_TRUE(r_short.ok());
+  ASSERT_TRUE(r_long.ok());
+  const Vector reference = {1.1, 5.0};
+  const double hv_short =
+      Hypervolume2D(r_short->FrontObjectives(), reference).ValueOrDie();
+  const double hv_long =
+      Hypervolume2D(r_long->FrontObjectives(), reference).ValueOrDie();
+  EXPECT_GE(hv_long, hv_short * 0.98);
+}
+
+TEST(Nsga2Test, RejectsTinyPopulation) {
+  Nsga2Options options;
+  options.population_size = 2;
+  EXPECT_FALSE(Nsga2(options).Optimize(Schaffer()).ok());
+}
+
+TEST(RankAndCrowdTest, AssignsRanksAcrossFronts) {
+  std::vector<Individual> population(3);
+  population[0].objectives = {1, 1};
+  population[1].objectives = {2, 2};
+  population[2].objectives = {0, 3};
+  RankAndCrowd(&population);
+  EXPECT_EQ(population[0].rank, 0);
+  EXPECT_EQ(population[1].rank, 1);
+  EXPECT_EQ(population[2].rank, 0);
+}
+
+TEST(SelectByRankAndCrowdingTest, KeepsBestAndTruncates) {
+  std::vector<Individual> pool(4);
+  pool[0].objectives = {5, 5};
+  pool[1].objectives = {1, 1};
+  pool[2].objectives = {2, 3};
+  pool[3].objectives = {3, 2};
+  auto selected = SelectByRankAndCrowding(std::move(pool), 2);
+  ASSERT_EQ(selected.size(), 2u);
+  // {1,1} dominates everything; it must survive.
+  EXPECT_EQ(selected[0].objectives, (Vector{1, 1}));
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,136 @@
+#include "optimizer/nsga_g.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/pareto.h"
+
+namespace midas {
+namespace {
+
+NsgaGOptions SmallRun(uint64_t seed = 1) {
+  NsgaGOptions options;
+  options.population_size = 60;
+  options.generations = 60;
+  options.seed = seed;
+  return options;
+}
+
+TEST(NsgaGTest, SolvesSchaffer) {
+  NsgaG nsga_g(SmallRun());
+  auto result = nsga_g.Optimize(Schaffer());
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->front.empty());
+  for (const Vector& x : result->FrontVariables()) {
+    EXPECT_GT(x[0], -0.3);
+    EXPECT_LT(x[0], 2.3);
+  }
+}
+
+TEST(NsgaGTest, Zdt1FrontCloseToTruth) {
+  NsgaGOptions options;
+  options.population_size = 100;
+  options.generations = 150;
+  NsgaG nsga_g(options);
+  auto result = nsga_g.Optimize(Zdt1(10));
+  ASSERT_TRUE(result.ok());
+  double total_gap = 0.0;
+  const auto front = result->FrontObjectives();
+  ASSERT_GE(front.size(), 10u);
+  for (const Vector& f : front) {
+    total_gap += std::abs(f[1] - (1.0 - std::sqrt(f[0])));
+  }
+  EXPECT_LT(total_gap / static_cast<double>(front.size()), 0.15);
+}
+
+TEST(NsgaGTest, FrontIsMutuallyNonDominated) {
+  NsgaG nsga_g(SmallRun(3));
+  auto result = nsga_g.Optimize(Schaffer());
+  ASSERT_TRUE(result.ok());
+  const auto front = result->FrontObjectives();
+  for (size_t i = 0; i < front.size(); ++i) {
+    for (size_t j = 0; j < front.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(Dominates(front[i], front[j]));
+    }
+  }
+}
+
+TEST(NsgaGTest, DeterministicGivenSeed) {
+  auto r1 = NsgaG(SmallRun(9)).Optimize(Schaffer());
+  auto r2 = NsgaG(SmallRun(9)).Optimize(Schaffer());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->FrontObjectives(), r2->FrontObjectives());
+}
+
+TEST(NsgaGTest, RejectsZeroGridDivisions) {
+  NsgaGOptions options = SmallRun();
+  options.grid_divisions = 0;
+  EXPECT_FALSE(NsgaG(options).Optimize(Schaffer()).ok());
+}
+
+TEST(NsgaGTest, RejectsTinyPopulation) {
+  NsgaGOptions options;
+  options.population_size = 3;
+  EXPECT_FALSE(NsgaG(options).Optimize(Schaffer()).ok());
+}
+
+TEST(GridSelectTest, ReturnsWholeFrontWhenItFits) {
+  const std::vector<Vector> objectives = {{1, 2}, {2, 1}};
+  const std::vector<size_t> front = {0, 1};
+  Rng rng(1);
+  EXPECT_EQ(GridSelect(objectives, front, 5, 4, &rng), front);
+}
+
+TEST(GridSelectTest, TruncatesToRequestedCount) {
+  std::vector<Vector> objectives;
+  std::vector<size_t> front;
+  for (int i = 0; i < 20; ++i) {
+    objectives.push_back({static_cast<double>(i),
+                          static_cast<double>(20 - i)});
+    front.push_back(i);
+  }
+  Rng rng(2);
+  const auto selected = GridSelect(objectives, front, 7, 4, &rng);
+  EXPECT_EQ(selected.size(), 7u);
+  // No duplicates.
+  std::set<size_t> unique(selected.begin(), selected.end());
+  EXPECT_EQ(unique.size(), 7u);
+}
+
+TEST(GridSelectTest, SpreadsAcrossObjectiveSpace) {
+  // Two clusters: 10 points near (0, 10), 10 near (10, 0). Selecting 4
+  // members should take from both clusters (grid cells round-robin).
+  std::vector<Vector> objectives;
+  std::vector<size_t> front;
+  Rng jitter(3);
+  for (int i = 0; i < 10; ++i) {
+    objectives.push_back({jitter.Uniform(0, 1), 10.0 + jitter.Uniform(0, 1)});
+    front.push_back(objectives.size() - 1);
+  }
+  for (int i = 0; i < 10; ++i) {
+    objectives.push_back({10.0 + jitter.Uniform(0, 1), jitter.Uniform(0, 1)});
+    front.push_back(objectives.size() - 1);
+  }
+  Rng rng(4);
+  // Selecting 12 of 20 members exceeds either cluster's size (10), so both
+  // clusters must contribute regardless of the random bucket order.
+  const auto selected = GridSelect(objectives, front, 12, 4, &rng);
+  int low_cluster = 0, high_cluster = 0;
+  for (size_t idx : selected) {
+    (objectives[idx][0] < 5.0 ? low_cluster : high_cluster) += 1;
+  }
+  EXPECT_GT(low_cluster, 0);
+  EXPECT_GT(high_cluster, 0);
+}
+
+TEST(GridSelectTest, ZeroWantReturnsEmpty) {
+  Rng rng(5);
+  EXPECT_TRUE(GridSelect({{1, 1}, {2, 2}}, {0, 1}, 0, 4, &rng).empty());
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,71 @@
+#include "optimizer/problem.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(Zdt1Test, KnownValues) {
+  Zdt1 problem(3);
+  EXPECT_EQ(problem.num_variables(), 3u);
+  EXPECT_EQ(problem.num_objectives(), 2u);
+  // On the Pareto-optimal manifold (x_i = 0 for i > 0): f2 = 1 - sqrt(f1).
+  const Vector f = problem.Evaluate({0.25, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(f[0], 0.25);
+  EXPECT_NEAR(f[1], 1.0 - std::sqrt(0.25), 1e-12);
+}
+
+TEST(Zdt1Test, GPenaltyRaisesSecondObjective) {
+  Zdt1 problem(3);
+  const Vector optimal = problem.Evaluate({0.5, 0.0, 0.0});
+  const Vector penalised = problem.Evaluate({0.5, 0.9, 0.9});
+  EXPECT_GT(penalised[1], optimal[1]);
+}
+
+TEST(Zdt2Test, NonConvexFront) {
+  Zdt2 problem(2);
+  const Vector f = problem.Evaluate({0.5, 0.0});
+  EXPECT_NEAR(f[1], 1.0 - 0.25, 1e-12);  // 1 - f1^2
+}
+
+TEST(Zdt3Test, DisconnectedFrontDipsNegative) {
+  Zdt3 problem(2);
+  // Scan f1 for a point where the sine term pushes f2 below zero.
+  bool found_negative = false;
+  for (double x = 0.01; x < 1.0; x += 0.01) {
+    if (problem.Evaluate({x, 0.0})[1] < 0.0) {
+      found_negative = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_negative);
+}
+
+TEST(SchafferTest, MinimaAtZeroAndTwo) {
+  Schaffer problem;
+  EXPECT_DOUBLE_EQ(problem.Evaluate({0.0})[0], 0.0);
+  EXPECT_DOUBLE_EQ(problem.Evaluate({2.0})[1], 0.0);
+  // Between the minima both objectives are positive: the trade-off zone.
+  const Vector mid = problem.Evaluate({1.0});
+  EXPECT_GT(mid[0], 0.0);
+  EXPECT_GT(mid[1], 0.0);
+}
+
+TEST(ClampToBoundsTest, ClampsEachVariable) {
+  Schaffer problem;  // bounds [-3, 5]
+  EXPECT_DOUBLE_EQ(problem.ClampToBounds({-10.0})[0], -3.0);
+  EXPECT_DOUBLE_EQ(problem.ClampToBounds({10.0})[0], 5.0);
+  EXPECT_DOUBLE_EQ(problem.ClampToBounds({1.0})[0], 1.0);
+}
+
+TEST(ProblemNamesTest, AreStable) {
+  EXPECT_EQ(Zdt1().name(), "ZDT1");
+  EXPECT_EQ(Zdt2().name(), "ZDT2");
+  EXPECT_EQ(Zdt3().name(), "ZDT3");
+  EXPECT_EQ(Schaffer().name(), "Schaffer");
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/best_in_pareto.h"
+
+namespace midas {
+namespace {
+
+// A convex front with a pronounced knee at (2, 2).
+const std::vector<Vector> kKneeFront = {
+    {1.0, 10.0}, {1.2, 7.0}, {2.0, 2.0}, {7.0, 1.2}, {10.0, 1.0}};
+
+TEST(KneePointTest, FindsTheKnee) {
+  EXPECT_EQ(KneePointSelect(kKneeFront).ValueOrDie(), 2u);
+}
+
+TEST(KneePointTest, StraightLineFrontPicksAnyPointOnChord) {
+  // On a perfectly linear front every point is on the chord; the extremes
+  // tie at distance ~0 and the selection must still return a valid index.
+  const std::vector<Vector> line = {{0, 4}, {1, 3}, {2, 2}, {3, 1}, {4, 0}};
+  auto pick = KneePointSelect(line);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_LT(*pick, line.size());
+}
+
+TEST(KneePointTest, TwoPlanFallback) {
+  // Degenerate set: normalised-sum minimiser. Both normalise to (0,1) and
+  // (1,0) — sums tie, first wins.
+  auto pick = KneePointSelect({{1.0, 5.0}, {2.0, 1.0}});
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 0u);
+}
+
+TEST(KneePointTest, SinglePlan) {
+  EXPECT_EQ(KneePointSelect({{3.0, 4.0}}).ValueOrDie(), 0u);
+}
+
+TEST(KneePointTest, IdenticalPlansHandled) {
+  auto pick = KneePointSelect({{1, 1}, {1, 1}, {1, 1}});
+  ASSERT_TRUE(pick.ok());
+  EXPECT_LT(*pick, 3u);
+}
+
+TEST(KneePointTest, RejectsEmptyAndNon2D) {
+  EXPECT_FALSE(KneePointSelect({}).ok());
+  EXPECT_FALSE(KneePointSelect({{1, 2, 3}}).ok());
+}
+
+TEST(KneePointTest, ScaleInvariant) {
+  // Scaling one metric by 1000 must not move the knee (normalisation).
+  std::vector<Vector> scaled = kKneeFront;
+  for (Vector& c : scaled) c[1] *= 1000.0;
+  EXPECT_EQ(KneePointSelect(scaled).ValueOrDie(),
+            KneePointSelect(kKneeFront).ValueOrDie());
+}
+
+TEST(LexicographicTest, PrimaryMetricWinsOutright) {
+  // Strict priority on metric 0 with zero tolerance.
+  auto pick = LexicographicSelect(kKneeFront, {0}, 0.0);
+  EXPECT_EQ(*pick, 0u);
+}
+
+TEST(LexicographicTest, ToleranceEnablesTieBreaking) {
+  // Within 25% of the best time (1.0 -> cutoff 1.25), plans 0 and 1
+  // survive; the cheaper of them is plan 1.
+  auto pick = LexicographicSelect(kKneeFront, {0, 1}, 0.25);
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(LexicographicTest, ReversedPriority) {
+  auto pick = LexicographicSelect(kKneeFront, {1, 0}, 0.25);
+  EXPECT_EQ(*pick, 3u);  // within 25% of best money, faster one
+}
+
+TEST(LexicographicTest, ZeroToleranceIsStrict) {
+  EXPECT_EQ(LexicographicSelect(kKneeFront, {1}, 0.0).ValueOrDie(), 4u);
+}
+
+TEST(LexicographicTest, RejectsBadInputs) {
+  EXPECT_FALSE(LexicographicSelect({}, {0}).ok());
+  EXPECT_FALSE(LexicographicSelect(kKneeFront, {}).ok());
+  EXPECT_FALSE(LexicographicSelect(kKneeFront, {5}).ok());
+  EXPECT_FALSE(LexicographicSelect(kKneeFront, {0}, -0.1).ok());
+}
+
+TEST(LexicographicTest, SurvivorAlwaysParetoMember) {
+  for (double tol : {0.0, 0.1, 0.5, 2.0}) {
+    auto pick = LexicographicSelect(kKneeFront, {0, 1}, tol);
+    ASSERT_TRUE(pick.ok());
+    EXPECT_LT(*pick, kKneeFront.size());
+  }
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,111 @@
+#include "optimizer/spea2.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "optimizer/metrics.h"
+#include "optimizer/pareto.h"
+
+namespace midas {
+namespace {
+
+Spea2Options SmallRun(uint64_t seed = 1) {
+  Spea2Options options;
+  options.population_size = 50;
+  options.archive_size = 50;
+  options.generations = 50;
+  options.seed = seed;
+  return options;
+}
+
+TEST(Spea2Test, SolvesSchaffer) {
+  Spea2 spea2(SmallRun());
+  auto result = spea2.Optimize(Schaffer());
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->front.empty());
+  for (const Vector& x : result->FrontVariables()) {
+    EXPECT_GT(x[0], -0.3);
+    EXPECT_LT(x[0], 2.3);
+  }
+}
+
+TEST(Spea2Test, Zdt1FrontCloseToTruth) {
+  Spea2Options options;
+  options.population_size = 80;
+  options.archive_size = 80;
+  options.generations = 120;
+  Spea2 spea2(options);
+  auto result = spea2.Optimize(Zdt1(10));
+  ASSERT_TRUE(result.ok());
+  const auto front = result->FrontObjectives();
+  ASSERT_GE(front.size(), 10u);
+  double total_gap = 0.0;
+  for (const Vector& f : front) {
+    total_gap += std::abs(f[1] - (1.0 - std::sqrt(f[0])));
+  }
+  EXPECT_LT(total_gap / static_cast<double>(front.size()), 0.15);
+}
+
+TEST(Spea2Test, ArchiveBoundedBySize) {
+  Spea2Options options = SmallRun();
+  options.archive_size = 20;
+  Spea2 spea2(options);
+  auto result = spea2.Optimize(Schaffer());
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->population.size(), 20u);
+}
+
+TEST(Spea2Test, FrontIsMutuallyNonDominated) {
+  Spea2 spea2(SmallRun(3));
+  auto result = spea2.Optimize(Schaffer());
+  ASSERT_TRUE(result.ok());
+  const auto front = result->FrontObjectives();
+  for (size_t i = 0; i < front.size(); ++i) {
+    for (size_t j = 0; j < front.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(Dominates(front[i], front[j]));
+      }
+    }
+  }
+}
+
+TEST(Spea2Test, DeterministicGivenSeed) {
+  auto r1 = Spea2(SmallRun(42)).Optimize(Schaffer());
+  auto r2 = Spea2(SmallRun(42)).Optimize(Schaffer());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->FrontObjectives(), r2->FrontObjectives());
+}
+
+TEST(Spea2Test, HypervolumeComparableToNsga2) {
+  Spea2Options spea_options;
+  spea_options.population_size = 80;
+  spea_options.archive_size = 80;
+  spea_options.generations = 100;
+  Nsga2Options nsga_options;
+  nsga_options.population_size = 80;
+  nsga_options.generations = 100;
+  auto spea = Spea2(spea_options).Optimize(Zdt1(8));
+  auto nsga = Nsga2(nsga_options).Optimize(Zdt1(8));
+  ASSERT_TRUE(spea.ok());
+  ASSERT_TRUE(nsga.ok());
+  const Vector reference = {1.1, 1.1};
+  const double hv_spea =
+      Hypervolume2D(spea->FrontObjectives(), reference).ValueOrDie();
+  const double hv_nsga =
+      Hypervolume2D(nsga->FrontObjectives(), reference).ValueOrDie();
+  EXPECT_GT(hv_spea, hv_nsga * 0.85);
+}
+
+TEST(Spea2Test, RejectsTinySizes) {
+  Spea2Options options;
+  options.population_size = 2;
+  EXPECT_FALSE(Spea2(options).Optimize(Schaffer()).ok());
+  options = SmallRun();
+  options.archive_size = 2;
+  EXPECT_FALSE(Spea2(options).Optimize(Schaffer()).ok());
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,181 @@
+#include "query/enumerator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+struct Environment {
+  Federation federation;
+  Catalog catalog;
+  SiteId site_a = 0;
+  SiteId site_b = 0;
+};
+
+Environment MakeEnvironment() {
+  Environment env;
+  SiteConfig a;
+  a.name = "A";
+  a.engines = {EngineKind::kHive};
+  a.node_type = {ProviderKind::kAmazon, "a1.large", 2, 4.0, 0.0, 0.0098};
+  a.max_nodes = 8;
+  env.site_a = env.federation.AddSite(a).ValueOrDie();
+  SiteConfig b;
+  b.name = "B";
+  b.engines = {EngineKind::kPostgres};
+  b.node_type = {ProviderKind::kMicrosoft, "B2S", 2, 4.0, 8.0, 0.042};
+  b.max_nodes = 8;
+  env.site_b = env.federation.AddSite(b).ValueOrDie();
+
+  TableDef t1;
+  t1.name = "t1";
+  t1.row_count = 1000;
+  t1.columns = {{"id", ColumnType::kInt, 8.0, 1000}};
+  env.catalog.AddTable(t1).CheckOK();
+  TableDef t2;
+  t2.name = "t2";
+  t2.row_count = 500;
+  t2.columns = {{"id", ColumnType::kInt, 8.0, 500}};
+  env.catalog.AddTable(t2).CheckOK();
+
+  env.federation.PlaceTable("t1", env.site_a, EngineKind::kHive).CheckOK();
+  env.federation.PlaceTable("t2", env.site_b, EngineKind::kPostgres)
+      .CheckOK();
+  return env;
+}
+
+QueryPlan JoinPlan() {
+  return QueryPlan(MakeJoin(MakeScan("t1"), MakeScan("t2"), "id", "id"));
+}
+
+TEST(EnumeratorTest, ProducesAnnotatedPlans) {
+  Environment env = MakeEnvironment();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  auto plans = enumerator.EnumeratePhysical(JoinPlan());
+  ASSERT_TRUE(plans.ok());
+  ASSERT_FALSE(plans->empty());
+  for (const QueryPlan& plan : *plans) {
+    for (const PlanNode* node : plan.Nodes()) {
+      EXPECT_TRUE(node->site.has_value());
+      EXPECT_TRUE(node->engine.has_value());
+      EXPECT_GT(node->num_nodes, 0);
+      EXPECT_GT(node->output_rows, 0.0);  // cardinalities estimated
+    }
+  }
+}
+
+TEST(EnumeratorTest, ScansPinnedToPlacement) {
+  Environment env = MakeEnvironment();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  auto plans = enumerator.EnumeratePhysical(JoinPlan());
+  ASSERT_TRUE(plans.ok());
+  for (const QueryPlan& plan : *plans) {
+    for (const PlanNode* node : plan.Nodes()) {
+      if (node->kind != OperatorKind::kScan) continue;
+      if (node->table == "t1") {
+        EXPECT_EQ(*node->site, env.site_a);
+        EXPECT_EQ(*node->engine, EngineKind::kHive);
+      } else {
+        EXPECT_EQ(*node->site, env.site_b);
+        EXPECT_EQ(*node->engine, EngineKind::kPostgres);
+      }
+    }
+  }
+}
+
+TEST(EnumeratorTest, CoversBothComputeEngines) {
+  Environment env = MakeEnvironment();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  auto plans = enumerator.EnumeratePhysical(JoinPlan());
+  ASSERT_TRUE(plans.ok());
+  std::set<EngineKind> join_engines;
+  for (const QueryPlan& plan : *plans) {
+    join_engines.insert(*plan.root()->engine);
+  }
+  EXPECT_EQ(join_engines.size(), 2u);
+}
+
+TEST(EnumeratorTest, CoversAllNodeCounts) {
+  Environment env = MakeEnvironment();
+  EnumeratorOptions options;
+  options.node_counts = {1, 2, 4};
+  PlanEnumerator enumerator(&env.federation, &env.catalog, options);
+  auto plans = enumerator.EnumeratePhysical(JoinPlan());
+  ASSERT_TRUE(plans.ok());
+  std::set<int> counts;
+  for (const QueryPlan& plan : *plans) {
+    counts.insert(plan.root()->num_nodes);
+  }
+  EXPECT_EQ(counts, (std::set<int>{1, 2, 4}));
+}
+
+TEST(EnumeratorTest, JoinOrderVariantsDoubleThePlans) {
+  Environment env = MakeEnvironment();
+  EnumeratorOptions with;
+  with.enumerate_join_orders = true;
+  EnumeratorOptions without;
+  without.enumerate_join_orders = false;
+  auto with_plans = PlanEnumerator(&env.federation, &env.catalog, with)
+                        .EnumeratePhysical(JoinPlan());
+  auto without_plans = PlanEnumerator(&env.federation, &env.catalog, without)
+                           .EnumeratePhysical(JoinPlan());
+  ASSERT_TRUE(with_plans.ok());
+  ASSERT_TRUE(without_plans.ok());
+  EXPECT_EQ(with_plans->size(), 2 * without_plans->size());
+}
+
+TEST(EnumeratorTest, RespectsMaxPlansCap) {
+  Environment env = MakeEnvironment();
+  EnumeratorOptions options;
+  options.max_plans = 5;
+  PlanEnumerator enumerator(&env.federation, &env.catalog, options);
+  auto plans = enumerator.EnumeratePhysical(JoinPlan());
+  ASSERT_TRUE(plans.ok());
+  EXPECT_EQ(plans->size(), 5u);
+}
+
+TEST(EnumeratorTest, RespectsSiteElasticityLimit) {
+  Environment env = MakeEnvironment();
+  EnumeratorOptions options;
+  options.node_counts = {1, 16};  // 16 exceeds both sites' max of 8
+  PlanEnumerator enumerator(&env.federation, &env.catalog, options);
+  auto plans = enumerator.EnumeratePhysical(JoinPlan());
+  ASSERT_TRUE(plans.ok());
+  for (const QueryPlan& plan : *plans) {
+    for (const PlanNode* node : plan.Nodes()) {
+      EXPECT_LE(node->num_nodes, 8);
+    }
+  }
+}
+
+TEST(EnumeratorTest, UnplacedTableFails) {
+  Environment env = MakeEnvironment();
+  TableDef t3;
+  t3.name = "t3";
+  t3.row_count = 10;
+  t3.columns = {{"id", ColumnType::kInt, 8.0, 10}};
+  env.catalog.AddTable(t3).CheckOK();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  EXPECT_FALSE(
+      enumerator.EnumeratePhysical(QueryPlan(MakeScan("t3"))).ok());
+}
+
+TEST(EnumeratorTest, EmptyNodeCountsRejected) {
+  Environment env = MakeEnvironment();
+  EnumeratorOptions options;
+  options.node_counts = {};
+  PlanEnumerator enumerator(&env.federation, &env.catalog, options);
+  EXPECT_FALSE(enumerator.EnumeratePhysical(JoinPlan()).ok());
+}
+
+TEST(EnumeratorTest, Example31ResourceConfigurations) {
+  // 70 vCPU x 260 GiB = 18,200 equivalent configurations.
+  EXPECT_EQ(PlanEnumerator::CountResourceConfigurations(70, 260), 18200u);
+  EXPECT_EQ(PlanEnumerator::CountResourceConfigurations(0, 10), 0u);
+  EXPECT_EQ(PlanEnumerator::CountResourceConfigurations(-1, 10), 0u);
+}
+
+}  // namespace
+}  // namespace midas

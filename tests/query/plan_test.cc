@@ -1,0 +1,225 @@
+#include "query/plan.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  TableDef a;
+  a.name = "a";
+  a.row_count = 1000;
+  a.columns = {{"id", ColumnType::kInt, 8.0, 1000},
+               {"payload", ColumnType::kString, 92.0, 1000}};
+  catalog.AddTable(a).CheckOK();
+  TableDef b;
+  b.name = "b";
+  b.row_count = 100;
+  b.columns = {{"id", ColumnType::kInt, 8.0, 100},
+               {"tag", ColumnType::kString, 12.0, 10}};
+  catalog.AddTable(b).CheckOK();
+  return catalog;
+}
+
+QueryPlan JoinPlan() {
+  return QueryPlan(
+      MakeJoin(MakeScan("a"), MakeScan("b"), "id", "id"));
+}
+
+TEST(PlanTest, MakeScanShape) {
+  auto scan = MakeScan("a");
+  EXPECT_EQ(scan->kind, OperatorKind::kScan);
+  EXPECT_EQ(scan->table, "a");
+  EXPECT_TRUE(scan->children.empty());
+}
+
+TEST(PlanTest, NodesPreOrder) {
+  QueryPlan plan = JoinPlan();
+  auto nodes = plan.Nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0]->kind, OperatorKind::kJoin);
+  EXPECT_EQ(nodes[1]->table, "a");
+  EXPECT_EQ(nodes[2]->table, "b");
+}
+
+TEST(PlanTest, BaseTables) {
+  QueryPlan plan = JoinPlan();
+  auto tables = plan.BaseTables();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0], "a");
+  EXPECT_EQ(tables[1], "b");
+}
+
+TEST(PlanTest, CopyIsDeep) {
+  QueryPlan plan = JoinPlan();
+  QueryPlan copy = plan;
+  copy.MutableNodes()[1]->table = "changed";
+  EXPECT_EQ(plan.Nodes()[1]->table, "a");
+}
+
+TEST(PlanTest, ValidateAcceptsWellFormedPlan) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan = JoinPlan();
+  EXPECT_TRUE(plan.Validate(catalog).ok());
+}
+
+TEST(PlanTest, ValidateRejectsUnknownTable) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan(MakeScan("nope"));
+  EXPECT_FALSE(plan.Validate(catalog).ok());
+}
+
+TEST(PlanTest, ValidateRejectsEmptyPlan) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan;
+  EXPECT_FALSE(plan.Validate(catalog).ok());
+}
+
+TEST(PlanTest, ValidateRejectsJoinWithoutColumns) {
+  Catalog catalog = MakeCatalog();
+  auto join = MakeJoin(MakeScan("a"), MakeScan("b"), "", "");
+  QueryPlan plan(std::move(join));
+  EXPECT_FALSE(plan.Validate(catalog).ok());
+}
+
+TEST(PlanTest, ValidateRejectsZeroNodeAnnotation) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan = JoinPlan();
+  plan.MutableNodes()[0]->num_nodes = 0;
+  EXPECT_FALSE(plan.Validate(catalog).ok());
+}
+
+TEST(PlanTest, CombineJoinsTwoPlans) {
+  auto combined = Combine(QueryPlan(MakeScan("a")), QueryPlan(MakeScan("b")),
+                          OperatorKind::kJoin, "id", "id");
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(combined->root()->kind, OperatorKind::kJoin);
+  EXPECT_EQ(combined->BaseTables().size(), 2u);
+}
+
+TEST(PlanTest, CombineRejectsUnaryOperator) {
+  auto combined = Combine(QueryPlan(MakeScan("a")), QueryPlan(MakeScan("b")),
+                          OperatorKind::kFilter, "id", "id");
+  EXPECT_FALSE(combined.ok());
+}
+
+TEST(PlanTest, CombineRejectsEmptyPlan) {
+  auto combined = Combine(QueryPlan(), QueryPlan(MakeScan("b")),
+                          OperatorKind::kJoin, "id", "id");
+  EXPECT_FALSE(combined.ok());
+}
+
+TEST(CardinalityTest, ScanUsesTableRowCount) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan(MakeScan("a"));
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.root()->output_rows, 1000.0);
+  EXPECT_DOUBLE_EQ(plan.root()->output_bytes, 1000.0 * 100.0);
+}
+
+TEST(CardinalityTest, ScanFractionPrunes) {
+  Catalog catalog = MakeCatalog();
+  auto scan = MakeScan("a");
+  scan->scan_fraction = 0.25;
+  QueryPlan plan(std::move(scan));
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.root()->output_rows, 250.0);
+}
+
+TEST(CardinalityTest, BadScanFractionRejected) {
+  Catalog catalog = MakeCatalog();
+  auto scan = MakeScan("a");
+  scan->scan_fraction = 0.0;
+  QueryPlan plan(std::move(scan));
+  EXPECT_FALSE(EstimateCardinalities(catalog, &plan).ok());
+}
+
+TEST(CardinalityTest, FilterAppliesSelectivity) {
+  Catalog catalog = MakeCatalog();
+  Predicate p{"tag", CompareOp::kEq, std::nullopt};  // NDV 10 -> 0.1
+  QueryPlan plan(MakeFilter(MakeScan("b"), {p}));
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.root()->output_rows, 10.0);
+}
+
+TEST(CardinalityTest, FilterOverrideSelectivity) {
+  Catalog catalog = MakeCatalog();
+  Predicate p{"tag", CompareOp::kEq, 0.5};
+  QueryPlan plan(MakeFilter(MakeScan("b"), {p}));
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.root()->output_rows, 50.0);
+}
+
+TEST(CardinalityTest, JoinUsesOneOverMaxNdv) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan = JoinPlan();
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  // |a| * |b| / max(ndv_a.id, ndv_b.id) = 1000 * 100 / 1000 = 100.
+  EXPECT_DOUBLE_EQ(plan.root()->output_rows, 100.0);
+}
+
+TEST(CardinalityTest, JoinSelectivityOverride) {
+  Catalog catalog = MakeCatalog();
+  auto join = MakeJoin(MakeScan("a"), MakeScan("b"), "id", "id");
+  join->join_selectivity_override = 0.01;
+  QueryPlan plan(std::move(join));
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.root()->output_rows, 1000.0);
+}
+
+TEST(CardinalityTest, ProjectNarrowsWidth) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan(MakeProject(MakeScan("a"), {"id"}));
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.root()->output_rows, 1000.0);
+  EXPECT_DOUBLE_EQ(plan.root()->output_bytes, 1000.0 * 8.0);
+}
+
+TEST(CardinalityTest, ProjectUnknownColumnFails) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan(MakeProject(MakeScan("a"), {"ghost"}));
+  EXPECT_FALSE(EstimateCardinalities(catalog, &plan).ok());
+}
+
+TEST(CardinalityTest, AggregateCapsAtGroups) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan(MakeAggregate(MakeScan("a"), 7));
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.root()->output_rows, 7.0);
+}
+
+TEST(CardinalityTest, AggregateCappedByInputRows) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan(MakeAggregate(MakeScan("b"), 1000000));
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.root()->output_rows, 100.0);
+}
+
+TEST(CardinalityTest, SortPreservesCardinality) {
+  Catalog catalog = MakeCatalog();
+  QueryPlan plan(MakeSort(MakeScan("b")));
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan).ok());
+  EXPECT_DOUBLE_EQ(plan.root()->output_rows, 100.0);
+}
+
+TEST(PlanToStringTest, RendersOperatorsAndAnnotations) {
+  QueryPlan plan = JoinPlan();
+  plan.MutableNodes()[0]->site = 0;
+  plan.MutableNodes()[0]->engine = EngineKind::kHive;
+  plan.MutableNodes()[0]->num_nodes = 4;
+  const std::string s = plan.ToString();
+  EXPECT_NE(s.find("Join"), std::string::npos);
+  EXPECT_NE(s.find("Scan(a)"), std::string::npos);
+  EXPECT_NE(s.find("@Hive"), std::string::npos);
+  EXPECT_NE(s.find("x4"), std::string::npos);
+}
+
+TEST(OperatorKindTest, Names) {
+  EXPECT_EQ(OperatorKindName(OperatorKind::kScan), "Scan");
+  EXPECT_EQ(OperatorKindName(OperatorKind::kJoin), "Join");
+  EXPECT_EQ(OperatorKindName(OperatorKind::kAggregate), "Aggregate");
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,174 @@
+#include "regression/dream.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace midas {
+namespace {
+
+// History with a clean linear relationship: c0 = 1 + 2 x1 + 3 x2,
+// c1 = 10 - x1.
+TrainingSet LinearHistory(size_t n, double noise_sigma = 0.0,
+                          uint64_t seed = 9) {
+  TrainingSet set({"x1", "x2"}, {"time", "money"});
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const double x1 = rng.Uniform(0, 5);
+    const double x2 = rng.Uniform(0, 5);
+    const double e0 = noise_sigma > 0 ? rng.Gaussian(0, noise_sigma) : 0.0;
+    const double e1 = noise_sigma > 0 ? rng.Gaussian(0, noise_sigma) : 0.0;
+    set.Add({x1, x2}, {1 + 2 * x1 + 3 * x2 + e0, 10 - x1 + e1}).CheckOK();
+  }
+  return set;
+}
+
+TEST(DreamTest, StopsAtMinimumWindowOnCleanData) {
+  TrainingSet history = LinearHistory(50);
+  Dream dream;
+  auto est = dream.EstimateCostValue(history);
+  ASSERT_TRUE(est.ok());
+  // L = 2 -> minimum window is 4; a perfect fit converges immediately.
+  EXPECT_EQ(est->window_size, 4u);
+  EXPECT_TRUE(est->converged);
+  ASSERT_EQ(est->r_squared.size(), 2u);
+  EXPECT_GE(est->r_squared[0], 0.8);
+  EXPECT_GE(est->r_squared[1], 0.8);
+}
+
+TEST(DreamTest, PredictsBothMetrics) {
+  TrainingSet history = LinearHistory(30);
+  Dream dream;
+  auto costs = dream.PredictCosts(history, {1.0, 1.0});
+  ASSERT_TRUE(costs.ok());
+  ASSERT_EQ(costs->size(), 2u);
+  EXPECT_NEAR((*costs)[0], 6.0, 1e-6);
+  EXPECT_NEAR((*costs)[1], 9.0, 1e-6);
+}
+
+TEST(DreamTest, RequiresAtLeastLPlusTwoObservations) {
+  TrainingSet history = LinearHistory(3);  // < 4
+  Dream dream;
+  EXPECT_FALSE(dream.EstimateCostValue(history).ok());
+}
+
+TEST(DreamTest, ExactlyMinimumHistoryWorks) {
+  TrainingSet history = LinearHistory(4);
+  Dream dream;
+  auto est = dream.EstimateCostValue(history);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->window_size, 4u);
+}
+
+TEST(DreamTest, GrowsWindowWhenNoisy) {
+  // Heavy noise keeps R² below the requirement at the minimum window.
+  TrainingSet history = LinearHistory(60, /*noise_sigma=*/6.0);
+  DreamOptions options;
+  options.r2_require = 0.9;
+  Dream dream(options);
+  auto est = dream.EstimateCostValue(history);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GT(est->window_size, 4u);
+}
+
+TEST(DreamTest, HonorsMmaxCap) {
+  TrainingSet history = LinearHistory(60, /*noise_sigma=*/50.0);
+  DreamOptions options;
+  options.r2_require = 0.999;  // unreachable
+  options.m_max = 10;
+  Dream dream(options);
+  auto est = dream.EstimateCostValue(history);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->window_size, 10u);
+  EXPECT_FALSE(est->converged);
+}
+
+TEST(DreamTest, MmaxZeroMeansAllHistory) {
+  TrainingSet history = LinearHistory(20, /*noise_sigma=*/50.0);
+  DreamOptions options;
+  options.r2_require = 0.9999;  // unreachable
+  options.m_max = 0;
+  Dream dream(options);
+  auto est = dream.EstimateCostValue(history);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->window_size, 20u);
+}
+
+TEST(DreamTest, UsesNewestObservations) {
+  // Old regime c = x1; new regime c = 100 + x1. A fresh window must track
+  // the new regime.
+  TrainingSet set({"x1"}, {"c"});
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.Uniform(0, 10);
+    set.Add({x}, {x}).CheckOK();
+  }
+  for (int i = 0; i < 10; ++i) {
+    const double x = rng.Uniform(0, 10);
+    set.Add({x}, {100.0 + x}).CheckOK();
+  }
+  Dream dream;
+  auto costs = dream.PredictCosts(set, {5.0});
+  ASSERT_TRUE(costs.ok());
+  EXPECT_NEAR((*costs)[0], 105.0, 1.0);
+}
+
+TEST(DreamTest, AdjustedR2ModeGrowsFurther) {
+  TrainingSet history = LinearHistory(60, /*noise_sigma=*/2.0, 17);
+  DreamOptions plain;
+  plain.use_adjusted_r2 = false;
+  DreamOptions adjusted;
+  adjusted.use_adjusted_r2 = true;
+  auto est_plain = Dream(plain).EstimateCostValue(history);
+  auto est_adj = Dream(adjusted).EstimateCostValue(history);
+  ASSERT_TRUE(est_plain.ok());
+  ASSERT_TRUE(est_adj.ok());
+  EXPECT_GE(est_adj->window_size, est_plain->window_size);
+}
+
+TEST(DreamTest, ReducedTrainingSetMatchesWindow) {
+  TrainingSet history = LinearHistory(30);
+  Dream dream;
+  auto est = dream.EstimateCostValue(history);
+  ASSERT_TRUE(est.ok());
+  auto reduced = dream.MakeReducedTrainingSet(history);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(reduced->size(), est->window_size);
+  // Newest observation must be preserved verbatim.
+  EXPECT_EQ(reduced->at(reduced->size() - 1).timestamp,
+            history.at(history.size() - 1).timestamp);
+}
+
+TEST(DreamTest, EmptyMetricSetRejected) {
+  TrainingSet set({"x1"}, {});
+  set.Add({1.0}, {}).CheckOK();
+  Dream dream;
+  EXPECT_FALSE(dream.EstimateCostValue(set).ok());
+}
+
+TEST(DreamEstimateTest, PredictWithoutModelsFails) {
+  DreamEstimate est;
+  EXPECT_FALSE(est.Predict({1.0}).ok());
+}
+
+// Property: the chosen window never exceeds min(m_max, history) and never
+// undercuts L + 2.
+class DreamWindowBoundsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DreamWindowBoundsTest, WindowWithinBounds) {
+  const double noise = GetParam();
+  TrainingSet history = LinearHistory(40, noise, 23);
+  DreamOptions options;
+  options.m_max = 25;
+  Dream dream(options);
+  auto est = dream.EstimateCostValue(history);
+  ASSERT_TRUE(est.ok());
+  EXPECT_GE(est->window_size, 4u);
+  EXPECT_LE(est->window_size, 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, DreamWindowBoundsTest,
+                         ::testing::Values(0.0, 0.5, 2.0, 8.0, 32.0));
+
+}  // namespace
+}  // namespace midas

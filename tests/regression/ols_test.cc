@@ -1,0 +1,155 @@
+#include "regression/ols.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace midas {
+namespace {
+
+TEST(OlsTest, RecoversExactLinearModel) {
+  // c = 2 + 3 x1 - x2, no noise.
+  std::vector<Vector> xs;
+  Vector ys;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const double x1 = rng.Uniform(0, 10);
+    const double x2 = rng.Uniform(0, 10);
+    xs.push_back({x1, x2});
+    ys.push_back(2.0 + 3.0 * x1 - x2);
+  }
+  auto model = FitOls(xs, ys);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->coefficients()[0], 2.0, 1e-9);
+  EXPECT_NEAR(model->coefficients()[1], 3.0, 1e-9);
+  EXPECT_NEAR(model->coefficients()[2], -1.0, 1e-9);
+  EXPECT_NEAR(model->r_squared(), 1.0, 1e-12);
+  EXPECT_NEAR(model->sse(), 0.0, 1e-9);
+}
+
+TEST(OlsTest, PredictMatchesEquation) {
+  std::vector<Vector> xs = {{0}, {1}, {2}, {3}};
+  Vector ys = {1, 3, 5, 7};  // c = 1 + 2x
+  auto model = FitOls(xs, ys);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Predict({10}).ValueOrDie(), 21.0, 1e-9);
+}
+
+TEST(OlsTest, PredictRejectsWrongArity) {
+  auto model = FitOls({{0}, {1}, {2}}, {0, 1, 2});
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->Predict({1, 2}).ok());
+}
+
+TEST(OlsTest, UnfittedModelCannotPredict) {
+  OlsModel model;
+  EXPECT_FALSE(model.Predict({1.0}).ok());
+}
+
+TEST(OlsTest, RequiresLPlusTwoObservations) {
+  // L = 2 needs at least 4 observations.
+  std::vector<Vector> xs = {{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_FALSE(FitOls(xs, {1, 2, 3}).ok());
+  xs.push_back({7, 9});
+  EXPECT_TRUE(FitOls(xs, {1, 2, 3, 4}).ok());
+}
+
+TEST(OlsTest, RejectsMismatchedSizes) {
+  EXPECT_FALSE(FitOls({{1}, {2}, {3}}, {1, 2}).ok());
+}
+
+TEST(OlsTest, RejectsRaggedRows) {
+  EXPECT_FALSE(FitOls({{1}, {2, 3}, {4}}, {1, 2, 3}).ok());
+}
+
+TEST(OlsTest, RejectsEmpty) {
+  EXPECT_FALSE(FitOls({}, {}).ok());
+}
+
+TEST(OlsTest, RSquaredMatchesPaperTable2) {
+  // First M = 4 rows of the paper's Table 2 dataset must give R² = 0.7571.
+  const std::vector<Vector> xs = {
+      {0.4916, 0.2977}, {0.6313, 0.0482}, {0.9481, 0.8232},
+      {0.4855, 2.7056}};
+  const Vector ys = {20.640, 15.557, 20.971, 24.878};
+  auto model = FitOls(xs, ys);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->r_squared(), 0.7571, 5e-4);
+}
+
+TEST(OlsTest, ConstantResponseGivesRSquaredOne) {
+  auto model = FitOls({{1}, {2}, {3}, {4}}, {5, 5, 5, 5});
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->r_squared(), 1.0);  // SST == 0 convention
+}
+
+TEST(OlsTest, ConstantFeatureHandledByRankRevealingFit) {
+  // Feature 2 constant: must fit on the remaining structure, not fail.
+  std::vector<Vector> xs = {{1, 7}, {2, 7}, {3, 7}, {4, 7}, {5, 7}};
+  Vector ys = {2, 4, 6, 8, 10};
+  auto model = FitOls(xs, ys);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->Predict({6, 7}).ValueOrDie(), 12.0, 1e-8);
+}
+
+TEST(OlsTest, AdjustedRSquaredBelowPlainForImperfectFit) {
+  Rng rng(3);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 12; ++i) {
+    const double x = rng.Uniform(0, 10);
+    xs.push_back({x});
+    ys.push_back(1.0 + 2.0 * x + rng.Gaussian(0, 1.0));
+  }
+  auto model = FitOls(xs, ys);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->adjusted_r_squared(), model->r_squared());
+  EXPECT_GT(model->r_squared(), 0.8);
+}
+
+TEST(OlsTest, NoisyFitHasPositiveSse) {
+  Rng rng(4);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.Uniform(0, 10);
+    xs.push_back({x});
+    ys.push_back(3.0 * x + rng.Gaussian(0, 0.5));
+  }
+  auto model = FitOls(xs, ys);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->sse(), 0.0);
+  EXPECT_GT(model->sst(), model->sse());
+  EXPECT_EQ(model->num_samples(), 30u);
+  EXPECT_EQ(model->num_features(), 1u);
+}
+
+// Property sweep: R² is invariant to affine scaling of features.
+class OlsScalingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(OlsScalingTest, RSquaredInvariantToFeatureScaling) {
+  const double scale = GetParam();
+  Rng rng(5);
+  std::vector<Vector> xs, xs_scaled;
+  Vector ys;
+  for (int i = 0; i < 15; ++i) {
+    const double x1 = rng.Uniform(0, 1);
+    const double x2 = rng.Uniform(0, 1);
+    xs.push_back({x1, x2});
+    xs_scaled.push_back({x1 * scale, x2 * scale});
+    ys.push_back(1.0 + x1 - 2.0 * x2 + rng.Gaussian(0, 0.1));
+  }
+  auto m1 = FitOls(xs, ys);
+  auto m2 = FitOls(xs_scaled, ys);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  EXPECT_NEAR(m1->r_squared(), m2->r_squared(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, OlsScalingTest,
+                         ::testing::Values(0.001, 0.1, 10.0, 1000.0));
+
+}  // namespace
+}  // namespace midas

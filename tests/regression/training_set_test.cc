@@ -1,0 +1,129 @@
+#include "regression/training_set.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TrainingSet MakeSet() {
+  return TrainingSet({"x1", "x2"}, {"seconds", "dollars"});
+}
+
+TEST(TrainingSetTest, EmptyOnConstruction) {
+  TrainingSet set = MakeSet();
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.num_features(), 2u);
+  EXPECT_EQ(set.num_metrics(), 2u);
+}
+
+TEST(TrainingSetTest, AddAssignsMonotonicTimestamps) {
+  TrainingSet set = MakeSet();
+  ASSERT_TRUE(set.Add({1.0, 2.0}, {10.0, 0.1}).ok());
+  ASSERT_TRUE(set.Add({2.0, 3.0}, {20.0, 0.2}).ok());
+  EXPECT_EQ(set.at(0).timestamp, 0);
+  EXPECT_EQ(set.at(1).timestamp, 1);
+  EXPECT_EQ(set.latest_timestamp(), 1);
+}
+
+TEST(TrainingSetTest, AddRejectsArityMismatch) {
+  TrainingSet set = MakeSet();
+  EXPECT_FALSE(set.Add({1.0}, {10.0, 0.1}).ok());
+  EXPECT_FALSE(set.Add({1.0, 2.0}, {10.0}).ok());
+}
+
+TEST(TrainingSetTest, AddRejectsOutOfOrderTimestamps) {
+  TrainingSet set = MakeSet();
+  Observation late;
+  late.timestamp = 10;
+  late.features = {1, 2};
+  late.costs = {1, 2};
+  ASSERT_TRUE(set.Add(late).ok());
+  Observation early;
+  early.timestamp = 5;
+  early.features = {1, 2};
+  early.costs = {1, 2};
+  EXPECT_FALSE(set.Add(early).ok());
+}
+
+TEST(TrainingSetTest, RecentFeaturesReturnsNewestWindow) {
+  TrainingSet set = MakeSet();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        set.Add({static_cast<double>(i), 0.0}, {1.0, 1.0}).ok());
+  }
+  auto window = set.RecentFeatures(2);
+  ASSERT_TRUE(window.ok());
+  ASSERT_EQ(window->size(), 2u);
+  EXPECT_DOUBLE_EQ((*window)[0][0], 3.0);  // oldest of the window first
+  EXPECT_DOUBLE_EQ((*window)[1][0], 4.0);
+}
+
+TEST(TrainingSetTest, RecentCostsAlignsWithFeatures) {
+  TrainingSet set = MakeSet();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(set.Add({0.0, 0.0},
+                        {static_cast<double>(i), static_cast<double>(10 * i)})
+                    .ok());
+  }
+  auto seconds = set.RecentCosts(3, 0);
+  auto dollars = set.RecentCosts(3, 1);
+  ASSERT_TRUE(seconds.ok());
+  ASSERT_TRUE(dollars.ok());
+  EXPECT_EQ(*seconds, (Vector{1, 2, 3}));
+  EXPECT_EQ(*dollars, (Vector{10, 20, 30}));
+}
+
+TEST(TrainingSetTest, WindowLargerThanHistoryFails) {
+  TrainingSet set = MakeSet();
+  ASSERT_TRUE(set.Add({0, 0}, {1, 1}).ok());
+  EXPECT_FALSE(set.RecentFeatures(2).ok());
+  EXPECT_FALSE(set.RecentCosts(2, 0).ok());
+}
+
+TEST(TrainingSetTest, BadMetricIndexFails) {
+  TrainingSet set = MakeSet();
+  ASSERT_TRUE(set.Add({0, 0}, {1, 1}).ok());
+  EXPECT_FALSE(set.RecentCosts(1, 2).ok());
+}
+
+TEST(TrainingSetTest, TrimToNewestKeepsTail) {
+  TrainingSet set = MakeSet();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(set.Add({static_cast<double>(i), 0}, {1, 1}).ok());
+  }
+  set.TrimToNewest(2);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_DOUBLE_EQ(set.at(0).features[0], 4.0);
+  EXPECT_DOUBLE_EQ(set.at(1).features[0], 5.0);
+}
+
+TEST(TrainingSetTest, TrimLargerThanSizeIsNoOp) {
+  TrainingSet set = MakeSet();
+  ASSERT_TRUE(set.Add({0, 0}, {1, 1}).ok());
+  set.TrimToNewest(10);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(TrainingSetTest, EvictOlderThanDropsStaleObservations) {
+  TrainingSet set = MakeSet();
+  for (int i = 0; i < 5; ++i) {
+    Observation obs;
+    obs.timestamp = i * 10;
+    obs.features = {0, 0};
+    obs.costs = {1, 1};
+    ASSERT_TRUE(set.Add(obs).ok());
+  }
+  set.EvictOlderThan(25);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.at(0).timestamp, 30);
+}
+
+TEST(TrainingSetTest, NamesPreserved) {
+  TrainingSet set = MakeSet();
+  EXPECT_EQ(set.feature_names()[1], "x2");
+  EXPECT_EQ(set.metric_names()[0], "seconds");
+}
+
+}  // namespace
+}  // namespace midas

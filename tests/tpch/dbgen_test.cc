@@ -1,0 +1,148 @@
+#include "tpch/dbgen.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace tpch {
+namespace {
+
+TEST(DbGenTest, RowCountsMatchSchema) {
+  DbGen gen(0.001);
+  EXPECT_EQ(gen.RowCount("lineitem").ValueOrDie(), 6000u);
+  EXPECT_EQ(gen.RowCount("region").ValueOrDie(), 5u);
+  EXPECT_FALSE(gen.RowCount("bogus").ok());
+}
+
+TEST(DbGenTest, RowsAreDeterministic) {
+  DbGen a(0.001, 99), b(0.001, 99);
+  for (uint64_t i : {0ull, 5ull, 100ull}) {
+    EXPECT_EQ(DbGen::FormatRow(a.GenerateRow("orders", i).ValueOrDie()),
+              DbGen::FormatRow(b.GenerateRow("orders", i).ValueOrDie()));
+  }
+}
+
+TEST(DbGenTest, DifferentSeedsDiffer) {
+  DbGen a(0.001, 1), b(0.001, 2);
+  EXPECT_NE(DbGen::FormatRow(a.GenerateRow("orders", 0).ValueOrDie()),
+            DbGen::FormatRow(b.GenerateRow("orders", 0).ValueOrDie()));
+}
+
+TEST(DbGenTest, RowIndexIndependence) {
+  // Row i must not depend on whether earlier rows were generated.
+  DbGen gen(0.001, 7);
+  const Row direct = gen.GenerateRow("customer", 50).ValueOrDie();
+  DbGen gen2(0.001, 7);
+  gen2.GenerateRow("customer", 0).ValueOrDie();
+  const Row after_other = gen2.GenerateRow("customer", 50).ValueOrDie();
+  EXPECT_EQ(DbGen::FormatRow(direct), DbGen::FormatRow(after_other));
+}
+
+TEST(DbGenTest, PrimaryKeysAreSequential) {
+  DbGen gen(0.001);
+  for (uint64_t i : {0ull, 1ull, 41ull}) {
+    const Row row = gen.GenerateRow("part", i).ValueOrDie();
+    EXPECT_EQ(std::get<int64_t>(row[0]), static_cast<int64_t>(i + 1));
+  }
+}
+
+TEST(DbGenTest, RowArityMatchesSchemaColumns) {
+  DbGen gen(0.001);
+  EXPECT_EQ(gen.GenerateRow("lineitem", 0).ValueOrDie().size(), 16u);
+  EXPECT_EQ(gen.GenerateRow("orders", 0).ValueOrDie().size(), 9u);
+  EXPECT_EQ(gen.GenerateRow("region", 0).ValueOrDie().size(), 3u);
+}
+
+TEST(DbGenTest, OutOfRangeRowRejected) {
+  DbGen gen(0.001);
+  EXPECT_FALSE(gen.GenerateRow("region", 5).ok());
+}
+
+TEST(DbGenTest, ShipModesAreValidDomain) {
+  DbGen gen(0.001);
+  const std::set<std::string> valid = {"AIR",  "FOB",     "MAIL", "RAIL",
+                                       "REG AIR", "SHIP", "TRUCK"};
+  // l_shipmode is column 14 of lineitem.
+  for (uint64_t i = 0; i < 50; ++i) {
+    const Row row = gen.GenerateRow("lineitem", i).ValueOrDie();
+    EXPECT_TRUE(valid.count(std::get<std::string>(row[14])))
+        << std::get<std::string>(row[14]);
+  }
+}
+
+TEST(DbGenTest, DatesWithinDbgenRange) {
+  DbGen gen(0.001);
+  for (uint64_t i = 0; i < 50; ++i) {
+    const Row row = gen.GenerateRow("orders", i).ValueOrDie();
+    const std::string date = std::get<std::string>(row[4]);  // o_orderdate
+    EXPECT_EQ(date.size(), 10u) << date;
+    const int year = std::stoi(date.substr(0, 4));
+    EXPECT_GE(year, 1992);
+    EXPECT_LE(year, 1998);
+    const int month = std::stoi(date.substr(5, 2));
+    EXPECT_GE(month, 1);
+    EXPECT_LE(month, 12);
+    const int day = std::stoi(date.substr(8, 2));
+    EXPECT_GE(day, 1);
+    EXPECT_LE(day, 31);
+  }
+}
+
+TEST(DbGenTest, GenerateStreamsAllRows) {
+  DbGen gen(0.001);
+  uint64_t count = 0;
+  ASSERT_TRUE(gen.Generate("supplier", [&](uint64_t, const Row&) {
+                    ++count;
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(count, gen.RowCount("supplier").ValueOrDie());
+}
+
+TEST(DbGenTest, GenerateStopsEarlyWhenSinkReturnsFalse) {
+  DbGen gen(0.001);
+  uint64_t count = 0;
+  ASSERT_TRUE(gen.Generate("supplier", [&](uint64_t, const Row&) {
+                    return ++count < 3;
+                  })
+                  .ok());
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(DbGenTest, GenerateAllHonorsLimit) {
+  DbGen gen(0.001);
+  auto rows = gen.GenerateAll("customer", 10);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+}
+
+TEST(DbGenTest, FormatRowIsPipeSeparated) {
+  Row row = {int64_t{1}, 2.5, std::string("abc")};
+  EXPECT_EQ(DbGen::FormatRow(row), "1|2.5|abc");
+}
+
+TEST(DbGenTest, WriteTblProducesDbgenFormat) {
+  DbGen gen(0.001);
+  const std::string path = testing::TempDir() + "/region.tbl";
+  ASSERT_TRUE(gen.WriteTbl("region", path).ok());
+  std::ifstream in(path);
+  std::string line;
+  size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.back(), '|');  // dbgen's trailing separator
+  }
+  EXPECT_EQ(lines, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(DbGenTest, InvalidScaleFactorFails) {
+  DbGen gen(0.0);
+  EXPECT_FALSE(gen.RowCount("region").ok());
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace midas

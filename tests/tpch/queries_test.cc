@@ -1,0 +1,136 @@
+#include "tpch/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/tpch_schema.h"
+
+namespace midas {
+namespace tpch {
+namespace {
+
+TEST(QueriesTest, PaperQueryIdsMatchSection42) {
+  EXPECT_EQ(PaperQueryIds(), (std::vector<int>{12, 13, 14, 17}));
+}
+
+TEST(QueriesTest, AllPaperQueriesBuildAndValidate) {
+  auto catalog = MakeCatalog(0.1).ValueOrDie();
+  for (int qid : PaperQueryIds()) {
+    auto plan = MakeQuery(qid);
+    ASSERT_TRUE(plan.ok()) << "Q" << qid;
+    EXPECT_TRUE(plan->Validate(catalog).ok()) << "Q" << qid;
+  }
+}
+
+TEST(QueriesTest, AllPaperQueriesJoinExactlyTwoTables) {
+  for (int qid : PaperQueryIds()) {
+    auto plan = MakeQuery(qid).ValueOrDie();
+    EXPECT_EQ(plan.BaseTables().size(), 2u) << "Q" << qid;
+    // Exactly one join operator.
+    int joins = 0;
+    for (const PlanNode* node : plan.Nodes()) {
+      if (node->kind == OperatorKind::kJoin) ++joins;
+    }
+    EXPECT_EQ(joins, 1) << "Q" << qid;
+  }
+}
+
+TEST(QueriesTest, QueryTablesMatchTemplates) {
+  EXPECT_EQ(QueryTables(12).ValueOrDie(),
+            std::make_pair(std::string("orders"), std::string("lineitem")));
+  EXPECT_EQ(QueryTables(13).ValueOrDie(),
+            std::make_pair(std::string("customer"), std::string("orders")));
+  EXPECT_EQ(QueryTables(14).ValueOrDie(),
+            std::make_pair(std::string("part"), std::string("lineitem")));
+  EXPECT_EQ(QueryTables(17).ValueOrDie(),
+            std::make_pair(std::string("part"), std::string("lineitem")));
+}
+
+TEST(QueriesTest, UnknownQueryRejected) {
+  EXPECT_FALSE(MakeQuery(1).ok());
+  EXPECT_FALSE(QueryTables(99).ok());
+}
+
+TEST(QueriesTest, ReferenceSelectivitiesAreSmallFractions) {
+  for (int qid : PaperQueryIds()) {
+    const QueryParameters p = QueryParameters::Reference(qid);
+    EXPECT_GT(p.primary_selectivity, 0.0) << "Q" << qid;
+    EXPECT_LE(p.primary_selectivity, 1.0) << "Q" << qid;
+  }
+  // Q12's compound predicate keeps ~1% of lineitem.
+  EXPECT_LT(QueryParameters::Reference(12).primary_selectivity, 0.02);
+  // Q13's NOT LIKE keeps nearly everything.
+  EXPECT_GT(QueryParameters::Reference(13).primary_selectivity, 0.9);
+}
+
+TEST(QueriesTest, JitterVariesParametersWithinBounds) {
+  Rng rng(3);
+  for (int qid : PaperQueryIds()) {
+    const QueryParameters ref = QueryParameters::Reference(qid);
+    for (int trial = 0; trial < 50; ++trial) {
+      auto p = QueryParameters::Jitter(qid, &rng);
+      ASSERT_TRUE(p.ok());
+      EXPECT_GT(p->primary_selectivity, 0.0);
+      EXPECT_LE(p->primary_selectivity, 1.0);
+      EXPECT_GE(p->fact_fraction, 0.25);
+      EXPECT_LE(p->fact_fraction, 1.0);
+      // Jitter stays within the +-50% envelope of the reference.
+      EXPECT_LE(p->primary_selectivity, ref.primary_selectivity * 1.5 + 1e-9);
+    }
+  }
+}
+
+TEST(QueriesTest, JitterRejectsNullRngAndUnknownQuery) {
+  Rng rng(1);
+  EXPECT_FALSE(QueryParameters::Jitter(12, nullptr).ok());
+  EXPECT_FALSE(QueryParameters::Jitter(5, &rng).ok());
+}
+
+TEST(QueriesTest, FactFractionScalesScannedRows) {
+  auto catalog = MakeCatalog(0.1).ValueOrDie();
+  QueryParameters narrow = QueryParameters::Reference(12);
+  narrow.fact_fraction = 0.25;
+  QueryParameters wide = QueryParameters::Reference(12);
+  wide.fact_fraction = 1.0;
+  QueryPlan plan_narrow = MakeQuery(12, narrow).ValueOrDie();
+  QueryPlan plan_wide = MakeQuery(12, wide).ValueOrDie();
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan_narrow).ok());
+  ASSERT_TRUE(EstimateCardinalities(catalog, &plan_wide).ok());
+  auto scanned_rows = [](const QueryPlan& plan) {
+    double rows = 0.0;
+    for (const PlanNode* node : plan.Nodes()) {
+      if (node->kind == OperatorKind::kScan && node->table == "lineitem") {
+        rows = node->output_rows;
+      }
+    }
+    return rows;
+  };
+  EXPECT_NEAR(scanned_rows(plan_narrow), scanned_rows(plan_wide) * 0.25,
+              1.0);
+}
+
+TEST(QueriesTest, Q17HasTwoFilters) {
+  QueryPlan plan = MakeQuery(17).ValueOrDie();
+  int filters = 0;
+  for (const PlanNode* node : plan.Nodes()) {
+    if (node->kind == OperatorKind::kFilter) ++filters;
+  }
+  EXPECT_EQ(filters, 2);
+}
+
+TEST(QueriesTest, CardinalitiesScaleWithDataset) {
+  auto small = MakeCatalog(0.1).ValueOrDie();
+  auto large = MakeCatalog(1.0).ValueOrDie();
+  for (int qid : PaperQueryIds()) {
+    QueryPlan plan_small = MakeQuery(qid).ValueOrDie();
+    QueryPlan plan_large = MakeQuery(qid).ValueOrDie();
+    ASSERT_TRUE(EstimateCardinalities(small, &plan_small).ok());
+    ASSERT_TRUE(EstimateCardinalities(large, &plan_large).ok());
+    EXPECT_GT(plan_large.Nodes()[0]->output_bytes * 1.01,
+              plan_small.Nodes()[0]->output_bytes)
+        << "Q" << qid;
+  }
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace midas

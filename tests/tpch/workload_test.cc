@@ -1,0 +1,91 @@
+#include "tpch/workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace tpch {
+namespace {
+
+TEST(WorkloadTest, DefaultsToPaperQueries) {
+  Workload workload;
+  std::set<int> seen;
+  for (int i = 0; i < 100; ++i) {
+    auto item = workload.Next();
+    ASSERT_TRUE(item.ok());
+    seen.insert(item->query_id);
+  }
+  EXPECT_EQ(seen, (std::set<int>{12, 13, 14, 17}));
+}
+
+TEST(WorkloadTest, CatalogMatchesScaleFactor) {
+  WorkloadOptions options;
+  options.scale_factor = 1.0;
+  Workload workload(options);
+  EXPECT_EQ(workload.catalog().Find("lineitem").ValueOrDie()->row_count,
+            6'000'000u);
+  EXPECT_DOUBLE_EQ(workload.scale_factor(), 1.0);
+}
+
+TEST(WorkloadTest, ItemsValidateAgainstCatalog) {
+  Workload workload;
+  for (int i = 0; i < 20; ++i) {
+    auto item = workload.Next();
+    ASSERT_TRUE(item.ok());
+    EXPECT_TRUE(item->logical.Validate(workload.catalog()).ok());
+  }
+}
+
+TEST(WorkloadTest, NextForQueryPinsId) {
+  Workload workload;
+  for (int i = 0; i < 10; ++i) {
+    auto item = workload.NextForQuery(14);
+    ASSERT_TRUE(item.ok());
+    EXPECT_EQ(item->query_id, 14);
+  }
+}
+
+TEST(WorkloadTest, ParametersVaryAcrossDraws) {
+  Workload workload;
+  std::set<double> fractions;
+  for (int i = 0; i < 10; ++i) {
+    auto item = workload.NextForQuery(12);
+    ASSERT_TRUE(item.ok());
+    fractions.insert(item->params.fact_fraction);
+  }
+  EXPECT_GT(fractions.size(), 5u);
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  WorkloadOptions options;
+  options.seed = 31337;
+  Workload a(options), b(options);
+  for (int i = 0; i < 10; ++i) {
+    auto ia = a.Next();
+    auto ib = b.Next();
+    ASSERT_TRUE(ia.ok());
+    ASSERT_TRUE(ib.ok());
+    EXPECT_EQ(ia->query_id, ib->query_id);
+    EXPECT_DOUBLE_EQ(ia->params.primary_selectivity,
+                     ib->params.primary_selectivity);
+  }
+}
+
+TEST(WorkloadTest, RestrictedQuerySet) {
+  WorkloadOptions options;
+  options.query_ids = {17};
+  Workload workload(options);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(workload.Next().ValueOrDie().query_id, 17);
+  }
+}
+
+TEST(WorkloadTest, UnknownQueryFails) {
+  Workload workload;
+  EXPECT_FALSE(workload.NextForQuery(3).ok());
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace midas
