@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_drift.dir/bench_ablation_drift.cc.o"
+  "CMakeFiles/bench_ablation_drift.dir/bench_ablation_drift.cc.o.d"
+  "bench_ablation_drift"
+  "bench_ablation_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

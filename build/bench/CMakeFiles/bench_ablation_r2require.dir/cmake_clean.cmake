@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_r2require.dir/bench_ablation_r2require.cc.o"
+  "CMakeFiles/bench_ablation_r2require.dir/bench_ablation_r2require.cc.o.d"
+  "bench_ablation_r2require"
+  "bench_ablation_r2require.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_r2require.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

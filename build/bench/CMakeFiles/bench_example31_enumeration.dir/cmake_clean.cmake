@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example31_enumeration.dir/bench_example31_enumeration.cc.o"
+  "CMakeFiles/bench_example31_enumeration.dir/bench_example31_enumeration.cc.o.d"
+  "bench_example31_enumeration"
+  "bench_example31_enumeration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example31_enumeration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

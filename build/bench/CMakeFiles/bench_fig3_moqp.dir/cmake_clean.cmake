@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_moqp.dir/bench_fig3_moqp.cc.o"
+  "CMakeFiles/bench_fig3_moqp.dir/bench_fig3_moqp.cc.o.d"
+  "bench_fig3_moqp"
+  "bench_fig3_moqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_moqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

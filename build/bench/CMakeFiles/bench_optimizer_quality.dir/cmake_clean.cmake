@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_quality.dir/bench_optimizer_quality.cc.o"
+  "CMakeFiles/bench_optimizer_quality.dir/bench_optimizer_quality.cc.o.d"
+  "bench_optimizer_quality"
+  "bench_optimizer_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mre_100mb.dir/bench_table3_mre_100mb.cc.o"
+  "CMakeFiles/bench_table3_mre_100mb.dir/bench_table3_mre_100mb.cc.o.d"
+  "bench_table3_mre_100mb"
+  "bench_table3_mre_100mb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mre_100mb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

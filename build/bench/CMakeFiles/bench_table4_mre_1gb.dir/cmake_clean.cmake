@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_mre_1gb.dir/bench_table4_mre_1gb.cc.o"
+  "CMakeFiles/bench_table4_mre_1gb.dir/bench_table4_mre_1gb.cc.o.d"
+  "bench_table4_mre_1gb"
+  "bench_table4_mre_1gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_mre_1gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table4_mre_1gb.
+# This may be replaced when dependencies are built.

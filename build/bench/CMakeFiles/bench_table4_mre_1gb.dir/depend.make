@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_mre_1gb.
+# This may be replaced when dependencies are built.

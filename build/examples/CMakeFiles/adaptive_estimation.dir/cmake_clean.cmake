@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_estimation.dir/adaptive_estimation.cpp.o"
+  "CMakeFiles/adaptive_estimation.dir/adaptive_estimation.cpp.o.d"
+  "adaptive_estimation"
+  "adaptive_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_workflow.dir/analytics_workflow.cpp.o"
+  "CMakeFiles/analytics_workflow.dir/analytics_workflow.cpp.o.d"
+  "analytics_workflow"
+  "analytics_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_federation.dir/medical_federation.cpp.o"
+  "CMakeFiles/medical_federation.dir/medical_federation.cpp.o.d"
+  "medical_federation"
+  "medical_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

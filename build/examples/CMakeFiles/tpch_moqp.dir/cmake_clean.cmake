@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_moqp.dir/tpch_moqp.cpp.o"
+  "CMakeFiles/tpch_moqp.dir/tpch_moqp.cpp.o.d"
+  "tpch_moqp"
+  "tpch_moqp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_moqp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

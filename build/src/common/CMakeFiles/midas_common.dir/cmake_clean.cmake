@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_common.dir/csv.cc.o"
+  "CMakeFiles/midas_common.dir/csv.cc.o.d"
+  "CMakeFiles/midas_common.dir/logging.cc.o"
+  "CMakeFiles/midas_common.dir/logging.cc.o.d"
+  "CMakeFiles/midas_common.dir/statistics.cc.o"
+  "CMakeFiles/midas_common.dir/statistics.cc.o.d"
+  "CMakeFiles/midas_common.dir/status.cc.o"
+  "CMakeFiles/midas_common.dir/status.cc.o.d"
+  "CMakeFiles/midas_common.dir/text_table.cc.o"
+  "CMakeFiles/midas_common.dir/text_table.cc.o.d"
+  "libmidas_common.a"
+  "libmidas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

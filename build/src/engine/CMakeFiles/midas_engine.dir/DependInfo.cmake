@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cost_profile.cc" "src/engine/CMakeFiles/midas_engine.dir/cost_profile.cc.o" "gcc" "src/engine/CMakeFiles/midas_engine.dir/cost_profile.cc.o.d"
+  "/root/repo/src/engine/simulator.cc" "src/engine/CMakeFiles/midas_engine.dir/simulator.cc.o" "gcc" "src/engine/CMakeFiles/midas_engine.dir/simulator.cc.o.d"
+  "/root/repo/src/engine/variance.cc" "src/engine/CMakeFiles/midas_engine.dir/variance.cc.o" "gcc" "src/engine/CMakeFiles/midas_engine.dir/variance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/midas_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/midas_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/midas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_engine.dir/cost_profile.cc.o"
+  "CMakeFiles/midas_engine.dir/cost_profile.cc.o.d"
+  "CMakeFiles/midas_engine.dir/simulator.cc.o"
+  "CMakeFiles/midas_engine.dir/simulator.cc.o.d"
+  "CMakeFiles/midas_engine.dir/variance.cc.o"
+  "CMakeFiles/midas_engine.dir/variance.cc.o.d"
+  "libmidas_engine.a"
+  "libmidas_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/federation/engine_kind.cc" "src/federation/CMakeFiles/midas_federation.dir/engine_kind.cc.o" "gcc" "src/federation/CMakeFiles/midas_federation.dir/engine_kind.cc.o.d"
+  "/root/repo/src/federation/federation.cc" "src/federation/CMakeFiles/midas_federation.dir/federation.cc.o" "gcc" "src/federation/CMakeFiles/midas_federation.dir/federation.cc.o.d"
+  "/root/repo/src/federation/instance.cc" "src/federation/CMakeFiles/midas_federation.dir/instance.cc.o" "gcc" "src/federation/CMakeFiles/midas_federation.dir/instance.cc.o.d"
+  "/root/repo/src/federation/network.cc" "src/federation/CMakeFiles/midas_federation.dir/network.cc.o" "gcc" "src/federation/CMakeFiles/midas_federation.dir/network.cc.o.d"
+  "/root/repo/src/federation/site.cc" "src/federation/CMakeFiles/midas_federation.dir/site.cc.o" "gcc" "src/federation/CMakeFiles/midas_federation.dir/site.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/midas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_federation.dir/engine_kind.cc.o"
+  "CMakeFiles/midas_federation.dir/engine_kind.cc.o.d"
+  "CMakeFiles/midas_federation.dir/federation.cc.o"
+  "CMakeFiles/midas_federation.dir/federation.cc.o.d"
+  "CMakeFiles/midas_federation.dir/instance.cc.o"
+  "CMakeFiles/midas_federation.dir/instance.cc.o.d"
+  "CMakeFiles/midas_federation.dir/network.cc.o"
+  "CMakeFiles/midas_federation.dir/network.cc.o.d"
+  "CMakeFiles/midas_federation.dir/site.cc.o"
+  "CMakeFiles/midas_federation.dir/site.cc.o.d"
+  "libmidas_federation.a"
+  "libmidas_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

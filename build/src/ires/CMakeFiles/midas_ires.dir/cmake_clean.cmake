@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_ires.dir/features.cc.o"
+  "CMakeFiles/midas_ires.dir/features.cc.o.d"
+  "CMakeFiles/midas_ires.dir/history.cc.o"
+  "CMakeFiles/midas_ires.dir/history.cc.o.d"
+  "CMakeFiles/midas_ires.dir/modelling.cc.o"
+  "CMakeFiles/midas_ires.dir/modelling.cc.o.d"
+  "CMakeFiles/midas_ires.dir/moo_optimizer.cc.o"
+  "CMakeFiles/midas_ires.dir/moo_optimizer.cc.o.d"
+  "CMakeFiles/midas_ires.dir/scheduler.cc.o"
+  "CMakeFiles/midas_ires.dir/scheduler.cc.o.d"
+  "CMakeFiles/midas_ires.dir/workflow.cc.o"
+  "CMakeFiles/midas_ires.dir/workflow.cc.o.d"
+  "libmidas_ires.a"
+  "libmidas_ires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_ires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

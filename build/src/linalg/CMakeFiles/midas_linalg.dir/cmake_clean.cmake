@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_linalg.dir/decomposition.cc.o"
+  "CMakeFiles/midas_linalg.dir/decomposition.cc.o.d"
+  "CMakeFiles/midas_linalg.dir/matrix.cc.o"
+  "CMakeFiles/midas_linalg.dir/matrix.cc.o.d"
+  "libmidas_linalg.a"
+  "libmidas_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

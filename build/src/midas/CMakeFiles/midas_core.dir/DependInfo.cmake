@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/midas/experiments.cc" "src/midas/CMakeFiles/midas_core.dir/experiments.cc.o" "gcc" "src/midas/CMakeFiles/midas_core.dir/experiments.cc.o.d"
+  "/root/repo/src/midas/medgen.cc" "src/midas/CMakeFiles/midas_core.dir/medgen.cc.o" "gcc" "src/midas/CMakeFiles/midas_core.dir/medgen.cc.o.d"
+  "/root/repo/src/midas/medical.cc" "src/midas/CMakeFiles/midas_core.dir/medical.cc.o" "gcc" "src/midas/CMakeFiles/midas_core.dir/medical.cc.o.d"
+  "/root/repo/src/midas/midas.cc" "src/midas/CMakeFiles/midas_core.dir/midas.cc.o" "gcc" "src/midas/CMakeFiles/midas_core.dir/midas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ires/CMakeFiles/midas_ires.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/midas_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/midas_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/midas_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/midas_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/midas_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/midas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/midas_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/regression/CMakeFiles/midas_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/midas_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_core.dir/experiments.cc.o"
+  "CMakeFiles/midas_core.dir/experiments.cc.o.d"
+  "CMakeFiles/midas_core.dir/medgen.cc.o"
+  "CMakeFiles/midas_core.dir/medgen.cc.o.d"
+  "CMakeFiles/midas_core.dir/medical.cc.o"
+  "CMakeFiles/midas_core.dir/medical.cc.o.d"
+  "CMakeFiles/midas_core.dir/midas.cc.o"
+  "CMakeFiles/midas_core.dir/midas.cc.o.d"
+  "libmidas_core.a"
+  "libmidas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/bagging.cc" "src/ml/CMakeFiles/midas_ml.dir/bagging.cc.o" "gcc" "src/ml/CMakeFiles/midas_ml.dir/bagging.cc.o.d"
+  "/root/repo/src/ml/learner.cc" "src/ml/CMakeFiles/midas_ml.dir/learner.cc.o" "gcc" "src/ml/CMakeFiles/midas_ml.dir/learner.cc.o.d"
+  "/root/repo/src/ml/least_squares.cc" "src/ml/CMakeFiles/midas_ml.dir/least_squares.cc.o" "gcc" "src/ml/CMakeFiles/midas_ml.dir/least_squares.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/midas_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/midas_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/model_selection.cc" "src/ml/CMakeFiles/midas_ml.dir/model_selection.cc.o" "gcc" "src/ml/CMakeFiles/midas_ml.dir/model_selection.cc.o.d"
+  "/root/repo/src/ml/regression_tree.cc" "src/ml/CMakeFiles/midas_ml.dir/regression_tree.cc.o" "gcc" "src/ml/CMakeFiles/midas_ml.dir/regression_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/regression/CMakeFiles/midas_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/midas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/midas_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

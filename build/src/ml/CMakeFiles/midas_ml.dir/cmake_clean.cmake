@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_ml.dir/bagging.cc.o"
+  "CMakeFiles/midas_ml.dir/bagging.cc.o.d"
+  "CMakeFiles/midas_ml.dir/learner.cc.o"
+  "CMakeFiles/midas_ml.dir/learner.cc.o.d"
+  "CMakeFiles/midas_ml.dir/least_squares.cc.o"
+  "CMakeFiles/midas_ml.dir/least_squares.cc.o.d"
+  "CMakeFiles/midas_ml.dir/mlp.cc.o"
+  "CMakeFiles/midas_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/midas_ml.dir/model_selection.cc.o"
+  "CMakeFiles/midas_ml.dir/model_selection.cc.o.d"
+  "CMakeFiles/midas_ml.dir/regression_tree.cc.o"
+  "CMakeFiles/midas_ml.dir/regression_tree.cc.o.d"
+  "libmidas_ml.a"
+  "libmidas_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

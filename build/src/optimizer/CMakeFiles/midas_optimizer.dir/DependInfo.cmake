@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/best_in_pareto.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/best_in_pareto.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/best_in_pareto.cc.o.d"
+  "/root/repo/src/optimizer/configuration_problem.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/configuration_problem.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/configuration_problem.cc.o.d"
+  "/root/repo/src/optimizer/genetic_operators.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/genetic_operators.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/genetic_operators.cc.o.d"
+  "/root/repo/src/optimizer/metrics.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/metrics.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/metrics.cc.o.d"
+  "/root/repo/src/optimizer/moead.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/moead.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/moead.cc.o.d"
+  "/root/repo/src/optimizer/nsga2.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/nsga2.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/nsga2.cc.o.d"
+  "/root/repo/src/optimizer/nsga_g.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/nsga_g.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/nsga_g.cc.o.d"
+  "/root/repo/src/optimizer/pareto.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/pareto.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/pareto.cc.o.d"
+  "/root/repo/src/optimizer/problem.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/problem.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/problem.cc.o.d"
+  "/root/repo/src/optimizer/spea2.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/spea2.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/spea2.cc.o.d"
+  "/root/repo/src/optimizer/wsm.cc" "src/optimizer/CMakeFiles/midas_optimizer.dir/wsm.cc.o" "gcc" "src/optimizer/CMakeFiles/midas_optimizer.dir/wsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/midas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/midas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_optimizer.dir/best_in_pareto.cc.o"
+  "CMakeFiles/midas_optimizer.dir/best_in_pareto.cc.o.d"
+  "CMakeFiles/midas_optimizer.dir/configuration_problem.cc.o"
+  "CMakeFiles/midas_optimizer.dir/configuration_problem.cc.o.d"
+  "CMakeFiles/midas_optimizer.dir/genetic_operators.cc.o"
+  "CMakeFiles/midas_optimizer.dir/genetic_operators.cc.o.d"
+  "CMakeFiles/midas_optimizer.dir/metrics.cc.o"
+  "CMakeFiles/midas_optimizer.dir/metrics.cc.o.d"
+  "CMakeFiles/midas_optimizer.dir/moead.cc.o"
+  "CMakeFiles/midas_optimizer.dir/moead.cc.o.d"
+  "CMakeFiles/midas_optimizer.dir/nsga2.cc.o"
+  "CMakeFiles/midas_optimizer.dir/nsga2.cc.o.d"
+  "CMakeFiles/midas_optimizer.dir/nsga_g.cc.o"
+  "CMakeFiles/midas_optimizer.dir/nsga_g.cc.o.d"
+  "CMakeFiles/midas_optimizer.dir/pareto.cc.o"
+  "CMakeFiles/midas_optimizer.dir/pareto.cc.o.d"
+  "CMakeFiles/midas_optimizer.dir/problem.cc.o"
+  "CMakeFiles/midas_optimizer.dir/problem.cc.o.d"
+  "CMakeFiles/midas_optimizer.dir/spea2.cc.o"
+  "CMakeFiles/midas_optimizer.dir/spea2.cc.o.d"
+  "CMakeFiles/midas_optimizer.dir/wsm.cc.o"
+  "CMakeFiles/midas_optimizer.dir/wsm.cc.o.d"
+  "libmidas_optimizer.a"
+  "libmidas_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

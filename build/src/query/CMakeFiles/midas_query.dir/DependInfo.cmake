@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/enumerator.cc" "src/query/CMakeFiles/midas_query.dir/enumerator.cc.o" "gcc" "src/query/CMakeFiles/midas_query.dir/enumerator.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/query/CMakeFiles/midas_query.dir/plan.cc.o" "gcc" "src/query/CMakeFiles/midas_query.dir/plan.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/query/CMakeFiles/midas_query.dir/predicate.cc.o" "gcc" "src/query/CMakeFiles/midas_query.dir/predicate.cc.o.d"
+  "/root/repo/src/query/schema.cc" "src/query/CMakeFiles/midas_query.dir/schema.cc.o" "gcc" "src/query/CMakeFiles/midas_query.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/federation/CMakeFiles/midas_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/midas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

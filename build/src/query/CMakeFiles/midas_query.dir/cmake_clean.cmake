@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_query.dir/enumerator.cc.o"
+  "CMakeFiles/midas_query.dir/enumerator.cc.o.d"
+  "CMakeFiles/midas_query.dir/plan.cc.o"
+  "CMakeFiles/midas_query.dir/plan.cc.o.d"
+  "CMakeFiles/midas_query.dir/predicate.cc.o"
+  "CMakeFiles/midas_query.dir/predicate.cc.o.d"
+  "CMakeFiles/midas_query.dir/schema.cc.o"
+  "CMakeFiles/midas_query.dir/schema.cc.o.d"
+  "libmidas_query.a"
+  "libmidas_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

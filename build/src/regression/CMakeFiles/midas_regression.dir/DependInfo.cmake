@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regression/dream.cc" "src/regression/CMakeFiles/midas_regression.dir/dream.cc.o" "gcc" "src/regression/CMakeFiles/midas_regression.dir/dream.cc.o.d"
+  "/root/repo/src/regression/ols.cc" "src/regression/CMakeFiles/midas_regression.dir/ols.cc.o" "gcc" "src/regression/CMakeFiles/midas_regression.dir/ols.cc.o.d"
+  "/root/repo/src/regression/training_set.cc" "src/regression/CMakeFiles/midas_regression.dir/training_set.cc.o" "gcc" "src/regression/CMakeFiles/midas_regression.dir/training_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/midas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/midas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_regression.dir/dream.cc.o"
+  "CMakeFiles/midas_regression.dir/dream.cc.o.d"
+  "CMakeFiles/midas_regression.dir/ols.cc.o"
+  "CMakeFiles/midas_regression.dir/ols.cc.o.d"
+  "CMakeFiles/midas_regression.dir/training_set.cc.o"
+  "CMakeFiles/midas_regression.dir/training_set.cc.o.d"
+  "libmidas_regression.a"
+  "libmidas_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

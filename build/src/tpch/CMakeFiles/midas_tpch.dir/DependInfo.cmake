@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/dbgen.cc" "src/tpch/CMakeFiles/midas_tpch.dir/dbgen.cc.o" "gcc" "src/tpch/CMakeFiles/midas_tpch.dir/dbgen.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/tpch/CMakeFiles/midas_tpch.dir/queries.cc.o" "gcc" "src/tpch/CMakeFiles/midas_tpch.dir/queries.cc.o.d"
+  "/root/repo/src/tpch/tpch_schema.cc" "src/tpch/CMakeFiles/midas_tpch.dir/tpch_schema.cc.o" "gcc" "src/tpch/CMakeFiles/midas_tpch.dir/tpch_schema.cc.o.d"
+  "/root/repo/src/tpch/workload.cc" "src/tpch/CMakeFiles/midas_tpch.dir/workload.cc.o" "gcc" "src/tpch/CMakeFiles/midas_tpch.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/midas_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/midas_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/midas_federation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/midas_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/midas_tpch.dir/queries.cc.o"
+  "CMakeFiles/midas_tpch.dir/queries.cc.o.d"
+  "CMakeFiles/midas_tpch.dir/tpch_schema.cc.o"
+  "CMakeFiles/midas_tpch.dir/tpch_schema.cc.o.d"
+  "CMakeFiles/midas_tpch.dir/workload.cc.o"
+  "CMakeFiles/midas_tpch.dir/workload.cc.o.d"
+  "libmidas_tpch.a"
+  "libmidas_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

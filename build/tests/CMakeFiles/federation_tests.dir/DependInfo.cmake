@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/federation/engine_kind_test.cc" "tests/CMakeFiles/federation_tests.dir/federation/engine_kind_test.cc.o" "gcc" "tests/CMakeFiles/federation_tests.dir/federation/engine_kind_test.cc.o.d"
+  "/root/repo/tests/federation/federation_test.cc" "tests/CMakeFiles/federation_tests.dir/federation/federation_test.cc.o" "gcc" "tests/CMakeFiles/federation_tests.dir/federation/federation_test.cc.o.d"
+  "/root/repo/tests/federation/instance_test.cc" "tests/CMakeFiles/federation_tests.dir/federation/instance_test.cc.o" "gcc" "tests/CMakeFiles/federation_tests.dir/federation/instance_test.cc.o.d"
+  "/root/repo/tests/federation/network_test.cc" "tests/CMakeFiles/federation_tests.dir/federation/network_test.cc.o" "gcc" "tests/CMakeFiles/federation_tests.dir/federation/network_test.cc.o.d"
+  "/root/repo/tests/federation/site_test.cc" "tests/CMakeFiles/federation_tests.dir/federation/site_test.cc.o" "gcc" "tests/CMakeFiles/federation_tests.dir/federation/site_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/midas/CMakeFiles/midas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ires/CMakeFiles/midas_ires.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/midas_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/midas_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/midas_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/midas_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/midas_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/midas_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/regression/CMakeFiles/midas_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/midas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/midas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

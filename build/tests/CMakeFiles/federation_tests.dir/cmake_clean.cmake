@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_tests.dir/federation/engine_kind_test.cc.o"
+  "CMakeFiles/federation_tests.dir/federation/engine_kind_test.cc.o.d"
+  "CMakeFiles/federation_tests.dir/federation/federation_test.cc.o"
+  "CMakeFiles/federation_tests.dir/federation/federation_test.cc.o.d"
+  "CMakeFiles/federation_tests.dir/federation/instance_test.cc.o"
+  "CMakeFiles/federation_tests.dir/federation/instance_test.cc.o.d"
+  "CMakeFiles/federation_tests.dir/federation/network_test.cc.o"
+  "CMakeFiles/federation_tests.dir/federation/network_test.cc.o.d"
+  "CMakeFiles/federation_tests.dir/federation/site_test.cc.o"
+  "CMakeFiles/federation_tests.dir/federation/site_test.cc.o.d"
+  "federation_tests"
+  "federation_tests.pdb"
+  "federation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

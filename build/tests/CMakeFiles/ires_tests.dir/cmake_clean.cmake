@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ires_tests.dir/ires/features_test.cc.o"
+  "CMakeFiles/ires_tests.dir/ires/features_test.cc.o.d"
+  "CMakeFiles/ires_tests.dir/ires/history_test.cc.o"
+  "CMakeFiles/ires_tests.dir/ires/history_test.cc.o.d"
+  "CMakeFiles/ires_tests.dir/ires/modelling_test.cc.o"
+  "CMakeFiles/ires_tests.dir/ires/modelling_test.cc.o.d"
+  "CMakeFiles/ires_tests.dir/ires/moo_optimizer_test.cc.o"
+  "CMakeFiles/ires_tests.dir/ires/moo_optimizer_test.cc.o.d"
+  "CMakeFiles/ires_tests.dir/ires/scheduler_test.cc.o"
+  "CMakeFiles/ires_tests.dir/ires/scheduler_test.cc.o.d"
+  "CMakeFiles/ires_tests.dir/ires/workflow_test.cc.o"
+  "CMakeFiles/ires_tests.dir/ires/workflow_test.cc.o.d"
+  "ires_tests"
+  "ires_tests.pdb"
+  "ires_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ires_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midas_tests.dir/midas/experiments_test.cc.o"
+  "CMakeFiles/midas_tests.dir/midas/experiments_test.cc.o.d"
+  "CMakeFiles/midas_tests.dir/midas/medgen_test.cc.o"
+  "CMakeFiles/midas_tests.dir/midas/medgen_test.cc.o.d"
+  "CMakeFiles/midas_tests.dir/midas/medical_test.cc.o"
+  "CMakeFiles/midas_tests.dir/midas/medical_test.cc.o.d"
+  "CMakeFiles/midas_tests.dir/midas/midas_test.cc.o"
+  "CMakeFiles/midas_tests.dir/midas/midas_test.cc.o.d"
+  "midas_tests"
+  "midas_tests.pdb"
+  "midas_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midas_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

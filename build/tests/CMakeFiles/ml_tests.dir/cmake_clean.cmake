@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_tests.dir/ml/bagging_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/bagging_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/learner_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/learner_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/least_squares_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/least_squares_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/mlp_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/mlp_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/model_selection_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/model_selection_test.cc.o.d"
+  "CMakeFiles/ml_tests.dir/ml/regression_tree_test.cc.o"
+  "CMakeFiles/ml_tests.dir/ml/regression_tree_test.cc.o.d"
+  "ml_tests"
+  "ml_tests.pdb"
+  "ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/optimizer/best_in_pareto_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/best_in_pareto_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/best_in_pareto_test.cc.o.d"
+  "/root/repo/tests/optimizer/configuration_problem_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/configuration_problem_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/configuration_problem_test.cc.o.d"
+  "/root/repo/tests/optimizer/genetic_operators_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/genetic_operators_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/genetic_operators_test.cc.o.d"
+  "/root/repo/tests/optimizer/metrics_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/metrics_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/metrics_test.cc.o.d"
+  "/root/repo/tests/optimizer/moead_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/moead_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/moead_test.cc.o.d"
+  "/root/repo/tests/optimizer/nsga2_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/nsga2_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/nsga2_test.cc.o.d"
+  "/root/repo/tests/optimizer/nsga_g_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/nsga_g_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/nsga_g_test.cc.o.d"
+  "/root/repo/tests/optimizer/pareto_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/pareto_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/pareto_test.cc.o.d"
+  "/root/repo/tests/optimizer/problem_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/problem_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/problem_test.cc.o.d"
+  "/root/repo/tests/optimizer/selection_strategies_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/selection_strategies_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/selection_strategies_test.cc.o.d"
+  "/root/repo/tests/optimizer/spea2_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/spea2_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/spea2_test.cc.o.d"
+  "/root/repo/tests/optimizer/wsm_test.cc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/wsm_test.cc.o" "gcc" "tests/CMakeFiles/optimizer_tests.dir/optimizer/wsm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/midas/CMakeFiles/midas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ires/CMakeFiles/midas_ires.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/midas_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/midas_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/midas_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/midas_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/midas_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/midas_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/regression/CMakeFiles/midas_regression.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/midas_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/midas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_tests.dir/optimizer/best_in_pareto_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/best_in_pareto_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/configuration_problem_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/configuration_problem_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/genetic_operators_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/genetic_operators_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/metrics_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/metrics_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/moead_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/moead_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/nsga2_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/nsga2_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/nsga_g_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/nsga_g_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/pareto_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/pareto_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/problem_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/problem_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/selection_strategies_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/selection_strategies_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/spea2_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/spea2_test.cc.o.d"
+  "CMakeFiles/optimizer_tests.dir/optimizer/wsm_test.cc.o"
+  "CMakeFiles/optimizer_tests.dir/optimizer/wsm_test.cc.o.d"
+  "optimizer_tests"
+  "optimizer_tests.pdb"
+  "optimizer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

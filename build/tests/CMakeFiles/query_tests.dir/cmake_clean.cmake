@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_tests.dir/query/enumerator_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/enumerator_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/plan_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/plan_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/predicate_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/predicate_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/schema_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/schema_test.cc.o.d"
+  "query_tests"
+  "query_tests.pdb"
+  "query_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_tests.dir/regression/dream_test.cc.o"
+  "CMakeFiles/regression_tests.dir/regression/dream_test.cc.o.d"
+  "CMakeFiles/regression_tests.dir/regression/ols_test.cc.o"
+  "CMakeFiles/regression_tests.dir/regression/ols_test.cc.o.d"
+  "CMakeFiles/regression_tests.dir/regression/training_set_test.cc.o"
+  "CMakeFiles/regression_tests.dir/regression/training_set_test.cc.o.d"
+  "regression_tests"
+  "regression_tests.pdb"
+  "regression_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

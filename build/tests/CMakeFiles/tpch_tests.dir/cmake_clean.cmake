@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_tests.dir/tpch/dbgen_test.cc.o"
+  "CMakeFiles/tpch_tests.dir/tpch/dbgen_test.cc.o.d"
+  "CMakeFiles/tpch_tests.dir/tpch/queries_test.cc.o"
+  "CMakeFiles/tpch_tests.dir/tpch/queries_test.cc.o.d"
+  "CMakeFiles/tpch_tests.dir/tpch/tpch_schema_test.cc.o"
+  "CMakeFiles/tpch_tests.dir/tpch/tpch_schema_test.cc.o.d"
+  "CMakeFiles/tpch_tests.dir/tpch/workload_test.cc.o"
+  "CMakeFiles/tpch_tests.dir/tpch/workload_test.cc.o.d"
+  "tpch_tests"
+  "tpch_tests.pdb"
+  "tpch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/linalg_tests[1]_include.cmake")
+include("/root/repo/build/tests/regression_tests[1]_include.cmake")
+include("/root/repo/build/tests/ml_tests[1]_include.cmake")
+include("/root/repo/build/tests/federation_tests[1]_include.cmake")
+include("/root/repo/build/tests/query_tests[1]_include.cmake")
+include("/root/repo/build/tests/engine_tests[1]_include.cmake")
+include("/root/repo/build/tests/tpch_tests[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_tests[1]_include.cmake")
+include("/root/repo/build/tests/ires_tests[1]_include.cmake")
+include("/root/repo/build/tests/midas_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
