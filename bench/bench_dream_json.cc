@@ -1,0 +1,113 @@
+// Machine-readable DREAM window-growth benchmark: times the batch
+// (refit-from-scratch, the seed implementation) and incremental (rank-1
+// normal-equation updates) engines over identical histories at several
+// window caps, and emits BENCH_dream.json so the perf trajectory can be
+// tracked across PRs. Run via scripts/bench_dream.sh.
+//
+// An unreachable R² requirement forces Algorithm 1 to grow the window all
+// the way to the cap — the worst case for both engines and the regime
+// Example 3.1's thousands-of-QEPs workload cares about.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "regression/dream.h"
+
+namespace midas {
+namespace {
+
+TrainingSet MakeHistory(size_t n) {
+  TrainingSet set({"x1", "x2", "x3", "x4"}, {"seconds", "dollars"});
+  Rng rng(1);
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.Uniform(0, 100);
+    const double b = rng.Uniform(0, 100);
+    const double c = 1 + rng.Index(8);
+    const double d = 1 + rng.Index(8);
+    set.Add({a, b, c, d}, {1 + 0.1 * a + 0.2 * b + c + rng.Gaussian(0, 1),
+                           0.01 * a + rng.Gaussian(0, 0.1) + 2})
+        .CheckOK();
+  }
+  return set;
+}
+
+// Nanoseconds per estimate, adaptively iterated: keep running until the
+// total wall time passes min_total so fast paths get stable statistics,
+// but never fewer than one and never more than max_iters iterations (the
+// batch engine at cap 2048 takes tens of seconds per estimate).
+double TimeEstimate(const Dream& dream, const TrainingSet& history,
+                    double min_total_sec, size_t max_iters) {
+  using clock = std::chrono::steady_clock;
+  size_t iters = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  while (iters < max_iters && (iters == 0 || elapsed < min_total_sec)) {
+    auto estimate = dream.EstimateCostValue(history);
+    estimate.status().CheckOK();
+    ++iters;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  }
+  return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+int Run(const char* out_path) {
+  // Open the sink before benchmarking: a bad path should fail in
+  // milliseconds, not after minutes of timing runs.
+  std::FILE* out = stdout;
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+      return 1;
+    }
+  }
+  const std::vector<size_t> caps = {32, 128, 512, 2048};
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"dream_window_growth\",\n";
+  json += "  \"features\": 4,\n";
+  json += "  \"metrics\": 2,\n";
+  json +=
+      "  \"setup\": \"unreachable r2_require forces Algorithm 1 to grow the "
+      "window to the cap; both engines see the same history\",\n";
+  json += "  \"unit\": \"ns_per_estimate\",\n";
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < caps.size(); ++i) {
+    const size_t cap = caps[i];
+    const TrainingSet history = MakeHistory(cap);
+    DreamOptions options;
+    options.r2_require = 2.0;  // unreachable: grow to the cap
+    options.m_max = cap;
+
+    options.engine = DreamEngine::kIncremental;
+    const double incremental_ns =
+        TimeEstimate(Dream(options), history, 0.5, 1u << 20);
+    options.engine = DreamEngine::kBatch;
+    const double batch_ns = TimeEstimate(Dream(options), history, 0.5, 25);
+
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"window_cap\": %zu, \"batch_ns\": %.0f, "
+                  "\"incremental_ns\": %.0f, \"speedup\": %.1f}%s\n",
+                  cap, batch_ns, incremental_ns, batch_ns / incremental_ns,
+                  i + 1 < caps.size() ? "," : "");
+    json += row;
+    std::fprintf(stderr, "cap %5zu: batch %12.0f ns  incremental %9.0f ns  "
+                 "speedup %.1fx\n",
+                 cap, batch_ns, incremental_ns, batch_ns / incremental_ns);
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), out);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+}  // namespace
+}  // namespace midas
+
+int main(int argc, char** argv) {
+  return midas::Run(argc > 1 ? argv[1] : nullptr);
+}

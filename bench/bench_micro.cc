@@ -53,6 +53,42 @@ void BM_DreamEstimate(benchmark::State& state) {
 }
 BENCHMARK(BM_DreamEstimate)->Arg(12)->Arg(50)->Arg(200);
 
+// Worst-case window growth: an unreachable R² requirement forces Algorithm 1
+// all the way to the cap, which is where the batch refit-from-scratch loop
+// (O(Σ_m m·L²) per metric) and the incremental rank-1 engine (O(L³ + N·L²)
+// per window) diverge the most. Same history, same windows, same models.
+DreamOptions FullGrowthOptions(size_t cap, DreamEngine engine) {
+  DreamOptions options;
+  options.r2_require = 2.0;  // unreachable: grow to the cap
+  options.m_max = cap;
+  options.engine = engine;
+  return options;
+}
+
+void BM_DreamBatch(benchmark::State& state) {
+  const size_t cap = static_cast<size_t>(state.range(0));
+  TrainingSet history = MakeHistory(cap);
+  Dream dream(FullGrowthOptions(cap, DreamEngine::kBatch));
+  for (auto _ : state) {
+    auto estimate = dream.EstimateCostValue(history);
+    benchmark::DoNotOptimize(estimate);
+  }
+}
+BENCHMARK(BM_DreamBatch)->Arg(32)->Arg(128)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DreamIncremental(benchmark::State& state) {
+  const size_t cap = static_cast<size_t>(state.range(0));
+  TrainingSet history = MakeHistory(cap);
+  Dream dream(FullGrowthOptions(cap, DreamEngine::kIncremental));
+  for (auto _ : state) {
+    auto estimate = dream.EstimateCostValue(history);
+    benchmark::DoNotOptimize(estimate);
+  }
+}
+BENCHMARK(BM_DreamIncremental)->Arg(32)->Arg(128)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_DreamPredict(benchmark::State& state) {
   TrainingSet history = MakeHistory(50);
   Dream dream;

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds and runs the DREAM window-growth benchmark, writing the
+# machine-readable results to BENCH_dream.json at the repo root so the
+# perf trajectory (batch vs incremental engine, ns/estimate per window
+# cap) is tracked across PRs.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" --target bench_dream_json -j "$(nproc)"
+
+"$build_dir/bench/bench_dream_json" "$repo_root/BENCH_dream.json"
+echo "wrote $repo_root/BENCH_dream.json"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: builds the default and asan presets and runs the full test
+# suite under both, so numerically delicate code (e.g. the rank-1
+# normal-equation updates behind DREAM's incremental engine) is
+# sanitizer-verified on every change.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="${JOBS:-$(nproc)}"
+cd "$repo_root"
+
+for preset in default asan; do
+  echo "=== preset: $preset ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs"
+done
+echo "=== all presets green ==="

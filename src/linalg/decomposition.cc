@@ -226,6 +226,54 @@ StatusOr<Matrix> CholeskyFactor(const Matrix& a, double tolerance) {
   return l;
 }
 
+Status CholeskyFactorInto(const Matrix& a, Matrix* l, double rel_tolerance) {
+  const size_t n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  if (l->rows() != n || l->cols() != n) *l = Matrix(n, n);
+  double scale = 1.0;
+  for (size_t i = 0; i < n; ++i) scale = std::max(scale, std::abs(a.At(i, i)));
+  const double pivot_floor = rel_tolerance * scale;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a.At(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l->At(i, k) * l->At(j, k);
+      if (i == j) {
+        if (sum < pivot_floor) {
+          return Status::InvalidArgument(
+              "matrix is numerically not positive definite");
+        }
+        l->At(i, i) = std::sqrt(sum);
+      } else {
+        l->At(i, j) = sum / l->At(j, j);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CholeskySolveFactored(const Matrix& l, const Vector& b, Vector* x) {
+  const size_t n = l.rows();
+  if (l.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("factored Cholesky solve shape mismatch");
+  }
+  x->assign(n, 0.0);
+  // Forward solve L y = b (y aliases x).
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * (*x)[k];
+    (*x)[i] = sum / l.At(i, i);
+  }
+  // Back solve Lᵀ x = y in place.
+  for (size_t ii = n; ii-- > 0;) {
+    double sum = (*x)[ii];
+    for (size_t k = ii + 1; k < n; ++k) sum -= l.At(k, ii) * (*x)[k];
+    (*x)[ii] = sum / l.At(ii, ii);
+  }
+  return Status::OK();
+}
+
 StatusOr<Vector> CholeskySolve(const Matrix& a, const Vector& b,
                                double tolerance) {
   const size_t n = a.rows();

@@ -51,6 +51,22 @@ StatusOr<Vector> LeastSquaresSolve(const Matrix& a, const Vector& b,
 /// Fails (InvalidArgument) when A is not positive definite.
 StatusOr<Matrix> CholeskyFactor(const Matrix& a, double tolerance = 1e-12);
 
+/// Cholesky factorisation into a caller-owned buffer: writes L's lower
+/// triangle into *l (resized only when the shape is wrong), so repeated
+/// factorisations of same-sized matrices allocate nothing. The pivot
+/// tolerance is *relative* to max(|diag(a)|, 1), which keeps the
+/// positive-definiteness test meaningful for Gram matrices of arbitrary
+/// feature magnitude; near-singular inputs fail instead of producing
+/// explosive factors. *l's strict upper triangle is left unspecified —
+/// only the factored solvers below may consume it.
+Status CholeskyFactorInto(const Matrix& a, Matrix* l,
+                          double rel_tolerance = 1e-10);
+
+/// Solves L Lᵀ x = b given a Cholesky factor produced by CholeskyFactor /
+/// CholeskyFactorInto, writing into *x (resized as needed). Reads only L's
+/// lower triangle. O(n²), no allocation when x is already the right size.
+Status CholeskySolveFactored(const Matrix& l, const Vector& b, Vector* x);
+
 /// Solves A x = b for symmetric positive-definite A via Cholesky.
 StatusOr<Vector> CholeskySolve(const Matrix& a, const Vector& b,
                                double tolerance = 1e-12);

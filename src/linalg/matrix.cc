@@ -71,6 +71,53 @@ Matrix Matrix::Transpose() const {
   return out;
 }
 
+Matrix Matrix::Gram() const {
+  Matrix out(cols_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    for (size_t i = 0; i < cols_; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (size_t j = i; j < cols_; ++j) {
+        out.data_[i * cols_ + j] += ri * row[j];
+      }
+    }
+  }
+  // Mirror the upper triangle into the lower one.
+  for (size_t i = 1; i < cols_; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      out.data_[i * cols_ + j] = out.data_[j * cols_ + i];
+    }
+  }
+  return out;
+}
+
+StatusOr<Vector> Matrix::TransposeTimesVector(const Vector& v) const {
+  if (rows_ != v.size()) {
+    return Status::InvalidArgument("transpose-matvec shape mismatch");
+  }
+  Vector out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * vr;
+  }
+  return out;
+}
+
+void Matrix::AddOuterProduct(const Vector& v) {
+  MIDAS_CHECK(rows_ == cols_ && rows_ == v.size())
+      << "outer-product update needs a square matrix of side " << v.size()
+      << ", have " << rows_ << "x" << cols_;
+  for (size_t i = 0; i < rows_; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    double* row = data_.data() + i * cols_;
+    for (size_t j = 0; j < cols_; ++j) row[j] += vi * v[j];
+  }
+}
+
 StatusOr<Matrix> Matrix::Multiply(const Matrix& other) const {
   if (cols_ != other.rows_) {
     return Status::InvalidArgument("matmul shape mismatch");

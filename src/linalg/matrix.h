@@ -48,6 +48,20 @@ class Matrix {
 
   Matrix Transpose() const;
 
+  /// The Gram matrix AᵀA (cols x cols), computed without materializing the
+  /// transpose and exploiting symmetry — half the flops of
+  /// Transpose().Multiply(*this). This is the normal-equations building
+  /// block of the regression layer.
+  Matrix Gram() const;
+
+  /// Aᵀv (length cols) without materializing the transpose.
+  StatusOr<Vector> TransposeTimesVector(const Vector& v) const;
+
+  /// Rank-1 symmetric update: *this += v vᵀ. Requires a square matrix of
+  /// side v.size() (checked). This is the O(n²) step that lets a Gram
+  /// matrix grow one observation at a time.
+  void AddOuterProduct(const Vector& v);
+
   StatusOr<Matrix> Multiply(const Matrix& other) const;
   StatusOr<Vector> MultiplyVector(const Vector& v) const;
   StatusOr<Matrix> Add(const Matrix& other) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "regression/incremental_ols.h"
+
 namespace midas {
 
 StatusOr<Vector> DreamEstimate::Predict(const Vector& x) const {
@@ -22,11 +24,10 @@ Dream::Dream(DreamOptions options) : options_(std::move(options)) {}
 StatusOr<DreamEstimate> Dream::EstimateCostValue(
     const TrainingSet& history) const {
   const size_t l = history.num_features();
-  const size_t n_metrics = history.num_metrics();
-  if (n_metrics == 0) {
+  const size_t m_min = l + 2;  // smallest statistically valid window
+  if (history.num_metrics() == 0) {
     return Status::InvalidArgument("training set declares no cost metrics");
   }
-  const size_t m_min = l + 2;  // smallest statistically valid window
   if (history.size() < m_min) {
     return Status::FailedPrecondition(
         "DREAM needs at least L + 2 = " + std::to_string(m_min) +
@@ -36,39 +37,102 @@ StatusOr<DreamEstimate> Dream::EstimateCostValue(
   m_cap = std::min(m_cap, history.size());
   m_cap = std::max(m_cap, m_min);
 
-  DreamEstimate best;
-  for (size_t m = m_min; m <= m_cap; ++m) {
-    MIDAS_ASSIGN_OR_RETURN(std::vector<Vector> xs, history.RecentFeatures(m));
-    DreamEstimate current;
-    current.window_size = m;
-    current.models.reserve(n_metrics);
-    current.r_squared.reserve(n_metrics);
-    bool fit_ok = true;
-    bool all_reach = true;
-    for (size_t metric = 0; metric < n_metrics; ++metric) {
-      MIDAS_ASSIGN_OR_RETURN(Vector ys, history.RecentCosts(m, metric));
-      auto fit = FitOls(xs, ys, options_.ols);
-      if (!fit.ok()) {
-        fit_ok = false;
-        break;
-      }
-      const double r2 = options_.use_adjusted_r2 ? fit->adjusted_r_squared()
-                                                 : fit->r_squared();
-      current.r_squared.push_back(r2);
-      current.models.push_back(std::move(fit).ValueOrDie());
-      if (r2 < options_.r2_require) all_reach = false;
-    }
-    if (!fit_ok) continue;  // degenerate window: keep growing
-    current.converged = all_reach;
-    best = std::move(current);
-    if (all_reach) return best;
-  }
-  if (best.models.empty()) {
+  StatusOr<DreamEstimate> best =
+      options_.engine == DreamEngine::kBatch
+          ? EstimateBatch(history, m_min, m_cap)
+          : EstimateIncremental(history, m_min, m_cap);
+  if (best.ok() && best->models.empty()) {
     return Status::Internal(
         "DREAM could not fit any window (degenerate history)");
   }
+  return best;
+}
+
+DreamEstimate Dream::MakeWindowEstimate(std::vector<OlsModel> models,
+                                        size_t window_size) const {
+  DreamEstimate est;
+  est.window_size = window_size;
+  est.r_squared.reserve(models.size());
+  bool all_reach = true;
+  for (const OlsModel& model : models) {
+    const double r2 = options_.use_adjusted_r2 ? model.adjusted_r_squared()
+                                               : model.r_squared();
+    est.r_squared.push_back(r2);
+    if (r2 < options_.r2_require) all_reach = false;
+  }
+  est.converged = all_reach;
+  est.models = std::move(models);
+  return est;
+}
+
+namespace {
+
+// Rank-revealing batch fit of every metric over the window; false when any
+// metric's fit fails (degenerate window — the caller keeps growing).
+bool FitWindowBatch(const TrainingWindow& window, size_t n_metrics,
+                    const OlsOptions& options, std::vector<OlsModel>* out) {
+  out->clear();
+  const std::vector<Vector> xs = window.CopyFeatures();
+  for (size_t metric = 0; metric < n_metrics; ++metric) {
+    auto fit = FitOls(xs, window.CopyCosts(metric), options);
+    if (!fit.ok()) return false;
+    out->push_back(std::move(fit).ValueOrDie());
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<DreamEstimate> Dream::EstimateIncremental(const TrainingSet& history,
+                                                   size_t m_min,
+                                                   size_t m_cap) const {
+  const size_t n_metrics = history.num_metrics();
+  MIDAS_ASSIGN_OR_RETURN(TrainingWindow window, history.RecentWindow(m_cap));
+  // window.at(0) is the *oldest* observation any window up to the cap can
+  // use; the window of size m covers indices [m_cap - m, m_cap). The
+  // normal-equation statistics are order independent, so growing m by one
+  // feeds the engine the next *older* observation — each exactly once.
+  IncrementalOls engine(history.num_features(), n_metrics);
+  for (size_t i = m_cap - m_min; i < m_cap; ++i) {
+    MIDAS_RETURN_IF_ERROR(engine.Add(window.features(i), window.at(i).costs));
+  }
+  DreamEstimate best;
+  std::vector<OlsModel> models;
+  for (size_t m = m_min; m <= m_cap; ++m) {
+    if (m > m_min) {
+      const size_t next_older = m_cap - m;
+      MIDAS_RETURN_IF_ERROR(engine.Add(window.features(next_older),
+                                       window.at(next_older).costs));
+    }
+    if (!engine.FitAll(&models).ok() &&
+        // Shared Gram matrix numerically singular (collinear or constant
+        // feature): this window needs the rank-revealing batch path.
+        !FitWindowBatch(window.Newest(m), n_metrics, options_.ols, &models)) {
+      continue;  // degenerate window: keep growing
+    }
+    best = MakeWindowEstimate(std::move(models), m);
+    if (best.converged) return best;
+    models.clear();
+  }
   // R² requirement not met anywhere up to the cap: Algorithm 1 returns the
   // models at the largest window tried.
+  return best;
+}
+
+StatusOr<DreamEstimate> Dream::EstimateBatch(const TrainingSet& history,
+                                             size_t m_min,
+                                             size_t m_cap) const {
+  const size_t n_metrics = history.num_metrics();
+  DreamEstimate best;
+  for (size_t m = m_min; m <= m_cap; ++m) {
+    MIDAS_ASSIGN_OR_RETURN(TrainingWindow window, history.RecentWindow(m));
+    std::vector<OlsModel> models;
+    if (!FitWindowBatch(window, n_metrics, options_.ols, &models)) {
+      continue;  // degenerate window: keep growing
+    }
+    best = MakeWindowEstimate(std::move(models), m);
+    if (best.converged) return best;
+  }
   return best;
 }
 

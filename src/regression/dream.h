@@ -8,6 +8,21 @@
 
 namespace midas {
 
+/// \brief Which fitting engine backs Algorithm 1's window growth.
+enum class DreamEngine {
+  /// Maintains the shared normal-equation statistics (XᵀX once for all
+  /// metrics, Xᵀy/Σy/Σy² per metric) and grows the window via rank-1
+  /// updates: O(L² + N·L) per added observation and O(L³ + N·L²) per
+  /// window solve, independent of the window size m. Numerically singular
+  /// windows (collinear or constant features) fall back to the
+  /// rank-revealing batch fit below. This is the default.
+  kIncremental,
+  /// Refits every window from scratch with batch FitOls (pivoted QR per
+  /// metric over the m window rows) — the original implementation, kept as
+  /// the reference path for equivalence tests and benchmarks.
+  kBatch,
+};
+
 /// \brief Configuration for the Dynamic REgression AlgorithM.
 struct DreamOptions {
   /// R²_require of Algorithm 1: the window stops growing once every metric's
@@ -28,6 +43,11 @@ struct DreamOptions {
   /// When true, the fit must also be numerically sound (non-degenerate
   /// window); degenerate windows keep growing even if R² looks good.
   OlsOptions ols;
+
+  /// Fitting engine; see DreamEngine. Both engines implement the same
+  /// Algorithm 1 semantics and agree on the selected window, models and
+  /// convergence flag (up to floating-point noise).
+  DreamEngine engine = DreamEngine::kIncremental;
 };
 
 /// \brief Result of one DREAM estimation pass: the fitted per-metric MLR
@@ -76,6 +96,17 @@ class Dream {
       const TrainingSet& history) const;
 
  private:
+  StatusOr<DreamEstimate> EstimateIncremental(const TrainingSet& history,
+                                              size_t m_min,
+                                              size_t m_cap) const;
+  StatusOr<DreamEstimate> EstimateBatch(const TrainingSet& history,
+                                        size_t m_min, size_t m_cap) const;
+
+  /// Shared epilogue of one window attempt: records R² per metric and the
+  /// convergence verdict against r2_require.
+  DreamEstimate MakeWindowEstimate(std::vector<OlsModel> models,
+                                   size_t window_size) const;
+
   DreamOptions options_;
 };
 

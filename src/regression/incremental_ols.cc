@@ -1,0 +1,73 @@
+#include "regression/incremental_ols.h"
+
+#include <algorithm>
+
+#include "linalg/decomposition.h"
+
+namespace midas {
+
+IncrementalOls::IncrementalOls(size_t num_features, size_t num_metrics)
+    : num_features_(num_features),
+      num_metrics_(num_metrics),
+      gram_(num_features + 1, num_features + 1),
+      xty_(num_metrics, Vector(num_features + 1, 0.0)),
+      sum_y_(num_metrics, 0.0),
+      sum_yy_(num_metrics, 0.0),
+      design_row_(num_features + 1, 0.0) {}
+
+Status IncrementalOls::Add(const Vector& features, const Vector& costs) {
+  if (features.size() != num_features_) {
+    return Status::InvalidArgument("observation feature arity mismatch");
+  }
+  if (costs.size() != num_metrics_) {
+    return Status::InvalidArgument("observation metric arity mismatch");
+  }
+  design_row_[0] = 1.0;
+  std::copy(features.begin(), features.end(), design_row_.begin() + 1);
+  gram_.AddOuterProduct(design_row_);
+  for (size_t metric = 0; metric < num_metrics_; ++metric) {
+    const double y = costs[metric];
+    Vector& xty = xty_[metric];
+    for (size_t i = 0; i <= num_features_; ++i) xty[i] += design_row_[i] * y;
+    sum_y_[metric] += y;
+    sum_yy_[metric] += y * y;
+  }
+  ++num_observations_;
+  return Status::OK();
+}
+
+void IncrementalOls::Reset() {
+  num_observations_ = 0;
+  gram_ = Matrix(num_features_ + 1, num_features_ + 1);
+  for (Vector& v : xty_) std::fill(v.begin(), v.end(), 0.0);
+  std::fill(sum_y_.begin(), sum_y_.end(), 0.0);
+  std::fill(sum_yy_.begin(), sum_yy_.end(), 0.0);
+}
+
+Status IncrementalOls::FitAll(std::vector<OlsModel>* out) const {
+  out->clear();
+  const size_t m = num_observations_;
+  if (m < num_features_ + 2) {
+    return Status::FailedPrecondition(
+        "need at least L + 2 observations to fit an MLR with L variables");
+  }
+  // One shared factorisation; its failure means the window's design matrix
+  // is numerically rank deficient for *every* metric.
+  MIDAS_RETURN_IF_ERROR(CholeskyFactorInto(gram_, &chol_));
+  out->reserve(num_metrics_);
+  Vector beta;
+  for (size_t metric = 0; metric < num_metrics_; ++metric) {
+    MIDAS_RETURN_IF_ERROR(CholeskySolveFactored(chol_, xty_[metric], &beta));
+    // SSE = yᵀy − βᵀXᵀy holds at the least-squares optimum; rounding can
+    // push either moment difference a hair negative, so clamp at zero.
+    const double sse = std::max(0.0, sum_yy_[metric] - Dot(beta, xty_[metric]));
+    const double sst = std::max(
+        0.0,
+        sum_yy_[metric] - sum_y_[metric] * sum_y_[metric] /
+                              static_cast<double>(m));
+    out->emplace_back(std::move(beta), sse, sst, m, sum_yy_[metric]);
+  }
+  return Status::OK();
+}
+
+}  // namespace midas

@@ -1,0 +1,80 @@
+#ifndef MIDAS_REGRESSION_INCREMENTAL_OLS_H_
+#define MIDAS_REGRESSION_INCREMENTAL_OLS_H_
+
+#include <vector>
+
+#include "regression/ols.h"
+
+namespace midas {
+
+/// \brief Incremental multi-metric OLS over a growing observation window.
+///
+/// Maintains the sufficient statistics of the normal equations instead of
+/// the observations themselves:
+///
+///   - XᵀX  — the (L+1)x(L+1) Gram matrix of the design matrix (leading
+///            ones column + features), shared by *all* N metrics because
+///            they regress on the same features,
+///   - Xᵀy, Σy, Σy² — one triple per metric.
+///
+/// Adding one observation is a rank-1 update: O(L²) on the shared Gram
+/// matrix plus O(N·L) on the per-metric moments. Fitting at the current
+/// window is one Cholesky factorisation of XᵀX — O(L³), shared across
+/// metrics — followed by N O(L²) triangular solves; SSE and SST come out
+/// algebraically (SSE = Σy² − βᵀXᵀy, SST = Σy² − (Σy)²/m) without
+/// re-predicting the m window rows. Growing a window from M to M_max
+/// therefore costs O(m·(L² + N·L) ) in updates plus O(m·(L³ + N·L²)) in
+/// solves — independent of the window contents' length m per step, unlike
+/// a batch refit whose per-step cost itself grows with m.
+///
+/// The price of the normal equations is numerical: a collinear or constant
+/// feature makes XᵀX singular, and conditioning is squared relative to a QR
+/// on X. Fit() reports that as a Status failure (the Cholesky pivot check is
+/// relative to the Gram diagonal), and callers such as Dream fall back to
+/// the rank-revealing batch FitOls for that window.
+class IncrementalOls {
+ public:
+  /// \param num_features L — length of each feature vector.
+  /// \param num_metrics N — number of simultaneously regressed responses.
+  IncrementalOls(size_t num_features, size_t num_metrics);
+
+  size_t num_features() const { return num_features_; }
+  size_t num_metrics() const { return num_metrics_; }
+  /// Number of observations accumulated so far (the current window size m).
+  size_t size() const { return num_observations_; }
+
+  /// Rank-1 update with one observation. Fails on arity mismatch.
+  Status Add(const Vector& features, const Vector& costs);
+
+  /// Drops all accumulated statistics; dimensions are kept and the
+  /// internal buffers stay allocated.
+  void Reset();
+
+  /// Fits all N metrics at the current window. Requires size() >= L + 2
+  /// (the same statistical minimum as batch FitOls). Fails when the shared
+  /// Gram matrix is numerically rank deficient; the caller decides whether
+  /// to fall back to a rank-revealing batch fit or grow the window.
+  ///
+  /// On success appends one OlsModel per metric (in metric order) to *out,
+  /// which is cleared first.
+  Status FitAll(std::vector<OlsModel>* out) const;
+
+ private:
+  size_t num_features_;
+  size_t num_metrics_;
+  size_t num_observations_ = 0;
+
+  Matrix gram_;                    // XᵀX, (L+1)x(L+1), shared across metrics
+  std::vector<Vector> xty_;        // per metric, length L+1
+  Vector sum_y_;                   // per metric, Σy
+  Vector sum_yy_;                  // per metric, Σy²
+
+  // Scratch reused across Add/FitAll calls so the steady state allocates
+  // only the per-model coefficient vectors it hands out.
+  mutable Vector design_row_;      // [1, x₁, .., x_L]
+  mutable Matrix chol_;            // Cholesky factor buffer
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_REGRESSION_INCREMENTAL_OLS_H_

@@ -7,14 +7,22 @@
 namespace midas {
 
 OlsModel::OlsModel(Vector coefficients, double sse, double sst,
-                   size_t num_samples)
+                   size_t num_samples, double sum_yy)
     : coefficients_(std::move(coefficients)),
       sse_(sse),
       sst_(sst),
-      num_samples_(num_samples) {}
+      num_samples_(num_samples),
+      sum_yy_(sum_yy) {}
 
 double OlsModel::r_squared() const {
-  if (sst_ == 0.0) return 1.0;
+  if (sst_ == 0.0) {
+    // Constant response: R² is formally undefined. A perfect fit earns the
+    // conventional 1; residual error beyond rounding noise means the model
+    // failed to reproduce even a constant, which is the opposite of
+    // explanatory power — report 0 instead of the old (vacuously
+    // optimistic) 1.
+    return sse_ > 1e-12 * std::max(sum_yy_, 1e-12) ? 0.0 : 1.0;
+  }
   return 1.0 - sse_ / sst_;
 }
 
@@ -55,13 +63,13 @@ Matrix BuildDesignMatrix(const std::vector<Vector>& features) {
 // λ' = λ · trace(AᵀA) / cols, so the penalty is meaningful regardless of
 // the features' magnitudes.
 StatusOr<Vector> RidgeSolve(const Matrix& a, const Vector& y, double lambda) {
-  MIDAS_ASSIGN_OR_RETURN(Matrix ata, a.Transpose().Multiply(a));
+  Matrix ata = a.Gram();  // AᵀA without materializing the transpose
   double trace = 0.0;
   for (size_t i = 0; i < ata.rows(); ++i) trace += ata.At(i, i);
   const double scaled =
       std::max(lambda * trace / static_cast<double>(ata.rows()), 1e-12);
   for (size_t i = 0; i < ata.rows(); ++i) ata.At(i, i) += scaled;
-  MIDAS_ASSIGN_OR_RETURN(Vector aty, a.Transpose().MultiplyVector(y));
+  MIDAS_ASSIGN_OR_RETURN(Vector aty, a.TransposeTimesVector(y));
   return CholeskySolve(ata, aty);
 }
 
@@ -105,12 +113,14 @@ StatusOr<OlsModel> FitOls(const std::vector<Vector>& features,
   for (double y : response) mean += y;
   mean /= static_cast<double>(m);
   double sst = 0.0;
+  double sum_yy = 0.0;
   for (size_t i = 0; i < m; ++i) {
     const double e = response[i] - fitted[i];
     sse += e * e;
     sst += (response[i] - mean) * (response[i] - mean);
+    sum_yy += response[i] * response[i];
   }
-  return OlsModel(std::move(beta), sse, sst, m);
+  return OlsModel(std::move(beta), sse, sst, m, sum_yy);
 }
 
 }  // namespace midas

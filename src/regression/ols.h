@@ -15,7 +15,11 @@ namespace midas {
 class OlsModel {
  public:
   OlsModel() = default;
-  OlsModel(Vector coefficients, double sse, double sst, size_t num_samples);
+  /// \param sum_yy Σy² of the fitted response — the scale against which a
+  /// residual counts as genuinely nonzero in the SST == 0 degenerate case
+  /// (see r_squared()). 0 means "unknown", making any positive SSE count.
+  OlsModel(Vector coefficients, double sse, double sst, size_t num_samples,
+           double sum_yy = 0.0);
 
   /// β̂, intercept at index 0, then one slope per feature.
   const Vector& coefficients() const { return coefficients_; }
@@ -32,8 +36,10 @@ class OlsModel {
   /// Total sum of squares around the response mean.
   double sst() const { return sst_; }
 
-  /// Coefficient of determination R² = 1 - SSE/SST (Eq. 14). By convention
-  /// returns 1 when SST == 0 (constant response perfectly fitted).
+  /// Coefficient of determination R² = 1 - SSE/SST (Eq. 14). When SST == 0
+  /// (constant response) returns 1 for a perfect fit and 0 when residual
+  /// error remains — "perfect" judged relative to the response magnitude
+  /// Σy², so rounding noise in an exactly-reproduced constant still earns 1.
   double r_squared() const;
 
   /// Adjusted R², penalising model size: 1-(1-R²)(n-1)/(n-L-1).
@@ -47,6 +53,7 @@ class OlsModel {
   double sse_ = 0.0;
   double sst_ = 0.0;
   size_t num_samples_ = 0;
+  double sum_yy_ = 0.0;
 };
 
 struct OlsOptions {

@@ -2,7 +2,14 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace midas {
+
+TrainingWindow TrainingWindow::Newest(size_t m) const {
+  MIDAS_CHECK(m <= count_) << "sub-window larger than window";
+  return TrainingWindow(data_ + (count_ - m), m);
+}
 
 TrainingSet::TrainingSet(std::vector<std::string> feature_names,
                          std::vector<std::string> metric_names)
@@ -35,6 +42,27 @@ Status TrainingSet::Add(Vector features, Vector costs) {
 
 int64_t TrainingSet::latest_timestamp() const {
   return observations_.empty() ? 0 : observations_.back().timestamp;
+}
+
+std::vector<Vector> TrainingWindow::CopyFeatures() const {
+  std::vector<Vector> out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) out.push_back(data_[i].features);
+  return out;
+}
+
+Vector TrainingWindow::CopyCosts(size_t metric) const {
+  Vector out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) out.push_back(data_[i].costs[metric]);
+  return out;
+}
+
+StatusOr<TrainingWindow> TrainingSet::RecentWindow(size_t m) const {
+  if (m > size()) {
+    return Status::OutOfRange("window larger than history");
+  }
+  return TrainingWindow(observations_.data() + (size() - m), m);
 }
 
 StatusOr<std::vector<Vector>> TrainingSet::RecentFeatures(size_t m) const {

@@ -21,6 +21,44 @@ struct Observation {
   Vector costs;
 };
 
+/// \brief Zero-copy view of the newest `size()` observations of a
+/// TrainingSet, oldest of the window first (the same orientation as
+/// RecentFeatures/RecentCosts, without materializing per-window copies).
+///
+/// Invalidated by any mutation of the underlying TrainingSet, exactly like
+/// an iterator; windows are meant to be taken, consumed and dropped within
+/// one estimation pass.
+class TrainingWindow {
+ public:
+  TrainingWindow() = default;
+  TrainingWindow(const Observation* data, size_t count)
+      : data_(data), count_(count) {}
+
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// i = 0 is the oldest observation of the window, i = size() - 1 the
+  /// newest.
+  const Observation& at(size_t i) const { return data_[i]; }
+  const Vector& features(size_t i) const { return data_[i].features; }
+  double cost(size_t i, size_t metric) const {
+    return data_[i].costs[metric];
+  }
+
+  /// The newest m observations of this window as a sub-view (m <= size(),
+  /// checked).
+  TrainingWindow Newest(size_t m) const;
+
+  /// Materialized copies for consumers of the batch OLS interface (the
+  /// rank-revealing fallback path); the hot path never calls these.
+  std::vector<Vector> CopyFeatures() const;
+  Vector CopyCosts(size_t metric) const;
+
+ private:
+  const Observation* data_ = nullptr;
+  size_t count_ = 0;
+};
+
 /// \brief Ordered store of multi-metric cost observations (Figure 2's
 /// "training set").
 ///
@@ -60,6 +98,10 @@ class TrainingSet {
   }
 
   int64_t latest_timestamp() const;
+
+  /// Zero-copy view of the m most recent observations, oldest first.
+  /// Invalidated by any subsequent mutation of this TrainingSet.
+  StatusOr<TrainingWindow> RecentWindow(size_t m) const;
 
   /// The m most recent feature rows, oldest of the window first.
   StatusOr<std::vector<Vector>> RecentFeatures(size_t m) const;

@@ -178,6 +178,50 @@ TEST(SpdInverseTest, InverseTimesMatrixIsIdentity) {
                    1e-10);
 }
 
+TEST(CholeskyFactorIntoTest, MatchesAllocatingFactor) {
+  Matrix a({{6, 2, 1}, {2, 5, 2}, {1, 2, 4}});
+  Matrix buffer;
+  ASSERT_TRUE(CholeskyFactorInto(a, &buffer).ok());
+  auto fresh = CholeskyFactor(a);
+  ASSERT_TRUE(fresh.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      EXPECT_NEAR(buffer.At(i, j), fresh->At(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(CholeskyFactorIntoTest, ReusesBufferAcrossCalls) {
+  Rng rng(11);
+  Matrix buffer;
+  for (int trial = 0; trial < 5; ++trial) {
+    const Matrix x = RandomMatrix(8, 3, &rng);
+    const Matrix gram = x.Gram();  // SPD with probability 1
+    ASSERT_TRUE(CholeskyFactorInto(gram, &buffer).ok());
+    Vector solved;
+    ASSERT_TRUE(CholeskySolveFactored(buffer, {1.0, 2.0, 3.0}, &solved).ok());
+    auto direct = CholeskySolve(gram, {1.0, 2.0, 3.0});
+    ASSERT_TRUE(direct.ok());
+    for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(solved[i], (*direct)[i], 1e-9);
+  }
+}
+
+TEST(CholeskyFactorIntoTest, RejectsNumericallySingular) {
+  // Two identical columns: the Gram matrix of [v v] is exactly singular.
+  Matrix a({{4, 4}, {4, 4}});
+  Matrix buffer;
+  EXPECT_FALSE(CholeskyFactorInto(a, &buffer).ok());
+}
+
+TEST(CholeskyFactorIntoTest, RelativeToleranceScalesWithDiagonal) {
+  // A matrix that is singular up to rounding but has a huge diagonal: an
+  // absolute pivot floor would wrongly accept it.
+  const double big = 1e12;
+  Matrix a({{big, big}, {big, big}});
+  Matrix buffer;
+  EXPECT_FALSE(CholeskyFactorInto(a, &buffer).ok());
+}
+
 TEST(PivotedQrPropertyTest, RandomMatricesReconstruct) {
   Rng rng(99);
   for (int trial = 0; trial < 20; ++trial) {

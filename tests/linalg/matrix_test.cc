@@ -121,6 +121,37 @@ TEST(MatrixDeathTest, OutOfRangeAccessAborts) {
   EXPECT_DEATH(m.At(2, 0), "out of range");
 }
 
+TEST(MatrixTest, GramMatchesTransposeMultiply) {
+  Matrix a({{1, 2}, {3, 4}, {5, 6}});
+  const Matrix gram = a.Gram();
+  const Matrix reference = a.Transpose().Multiply(a).ValueOrDie();
+  EXPECT_DOUBLE_EQ(gram.MaxAbsDiff(reference).ValueOrDie(), 0.0);
+}
+
+TEST(MatrixTest, TransposeTimesVectorMatchesTranspose) {
+  Matrix a({{1, 2}, {3, 4}, {5, 6}});
+  const Vector v = {1.0, -1.0, 2.0};
+  const Vector got = a.TransposeTimesVector(v).ValueOrDie();
+  const Vector want = a.Transpose().MultiplyVector(v).ValueOrDie();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_DOUBLE_EQ(got[i], want[i]);
+  EXPECT_FALSE(a.TransposeTimesVector({1.0}).ok());
+}
+
+TEST(MatrixTest, AddOuterProductGrowsGram) {
+  // Accumulating v vᵀ row by row must reproduce the one-shot Gram matrix.
+  Matrix a({{1, 2}, {3, 4}, {5, 6}});
+  Matrix accumulated(2, 2);
+  for (size_t r = 0; r < a.rows(); ++r) accumulated.AddOuterProduct(a.Row(r));
+  EXPECT_LT(accumulated.MaxAbsDiff(a.Gram()).ValueOrDie(), 1e-12);
+}
+
+TEST(MatrixDeathTest, AddOuterProductShapeMismatchAborts) {
+  Matrix m(2, 2);
+  Vector v = {1.0, 2.0, 3.0};
+  EXPECT_DEATH(m.AddOuterProduct(v), "outer-product");
+}
+
 TEST(VectorOpsTest, Dot) {
   EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
 }

@@ -1,5 +1,8 @@
 #include "regression/dream.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "common/random.h"
@@ -149,6 +152,117 @@ TEST(DreamTest, EmptyMetricSetRejected) {
 TEST(DreamEstimateTest, PredictWithoutModelsFails) {
   DreamEstimate est;
   EXPECT_FALSE(est.Predict({1.0}).ok());
+}
+
+// --- Incremental vs batch engine equivalence -------------------------------
+//
+// The incremental engine must be a drop-in replacement for the seed's
+// refit-from-scratch loop: same selected window, same convergence flag,
+// and numerically matching models at the chosen window.
+
+void ExpectEnginesAgree(const TrainingSet& history, DreamOptions options,
+                        const char* label) {
+  options.engine = DreamEngine::kIncremental;
+  auto incremental = Dream(options).EstimateCostValue(history);
+  options.engine = DreamEngine::kBatch;
+  auto batch = Dream(options).EstimateCostValue(history);
+  ASSERT_EQ(incremental.ok(), batch.ok()) << label;
+  if (!incremental.ok()) return;
+  EXPECT_EQ(incremental->window_size, batch->window_size) << label;
+  EXPECT_EQ(incremental->converged, batch->converged) << label;
+  ASSERT_EQ(incremental->models.size(), batch->models.size()) << label;
+  for (size_t k = 0; k < batch->models.size(); ++k) {
+    const Vector& got = incremental->models[k].coefficients();
+    const Vector& want = batch->models[k].coefficients();
+    ASSERT_EQ(got.size(), want.size()) << label;
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_NEAR(got[j], want[j], 1e-8 * std::max(1.0, std::abs(want[j])))
+          << label << " metric " << k << " coefficient " << j;
+    }
+    EXPECT_NEAR(incremental->r_squared[k], batch->r_squared[k], 1e-8)
+        << label << " metric " << k;
+  }
+}
+
+TEST(DreamEngineEquivalenceTest, RandomHistories) {
+  Rng rng(211);
+  for (int trial = 0; trial < 25; ++trial) {
+    const size_t l = 1 + rng.Index(4);
+    const size_t n = 1 + rng.Index(3);
+    const size_t history_size = l + 2 + rng.Index(60);
+    std::vector<std::string> features(l), metrics(n);
+    for (size_t j = 0; j < l; ++j) features[j] = "x" + std::to_string(j);
+    for (size_t k = 0; k < n; ++k) metrics[k] = "c" + std::to_string(k);
+    TrainingSet history(std::move(features), std::move(metrics));
+    std::vector<Vector> truth(n, Vector(l + 1, 0.0));
+    for (size_t k = 0; k < n; ++k) {
+      for (size_t j = 0; j <= l; ++j) truth[k][j] = rng.Uniform(-3, 3);
+    }
+    const double noise = rng.Uniform(0.1, 4.0);
+    for (size_t i = 0; i < history_size; ++i) {
+      Vector x(l);
+      for (size_t j = 0; j < l; ++j) x[j] = rng.Uniform(0, 10);
+      Vector costs(n);
+      for (size_t k = 0; k < n; ++k) {
+        double y = truth[k][0];
+        for (size_t j = 0; j < l; ++j) y += truth[k][j + 1] * x[j];
+        costs[k] = y + rng.Gaussian(0, noise);
+      }
+      history.Add(std::move(x), std::move(costs)).CheckOK();
+    }
+    DreamOptions options;
+    options.r2_require = rng.Uniform(0.5, 0.99);
+    options.m_max = rng.Bernoulli(0.5) ? 0 : l + 2 + rng.Index(40);
+    options.use_adjusted_r2 = rng.Bernoulli(0.3);
+    ExpectEnginesAgree(history, options, "random history");
+  }
+}
+
+TEST(DreamEngineEquivalenceTest, ConstantFeatureFallsBackToBatch) {
+  // x2 never varies: every window's Gram matrix is singular, so the
+  // incremental path must take the rank-revealing fallback — and still
+  // agree with the batch engine exactly.
+  Rng rng(223);
+  TrainingSet history({"x1", "x2"}, {"c"});
+  for (int i = 0; i < 30; ++i) {
+    const double x1 = rng.Uniform(0, 10);
+    history.Add({x1, 7.0}, {2 + 3 * x1 + rng.Gaussian(0, 1.0)}).CheckOK();
+  }
+  DreamOptions options;
+  options.r2_require = 0.95;
+  ExpectEnginesAgree(history, options, "constant feature");
+}
+
+TEST(DreamEngineEquivalenceTest, CollinearFeaturesFallBackToBatch) {
+  Rng rng(227);
+  TrainingSet history({"x1", "x2", "x3"}, {"c", "d"});
+  for (int i = 0; i < 40; ++i) {
+    const double x1 = rng.Uniform(0, 5);
+    const double x3 = rng.Uniform(0, 5);
+    history
+        .Add({x1, 2 * x1, x3},
+             {1 + x1 + x3 + rng.Gaussian(0, 0.5),
+              4 - x3 + rng.Gaussian(0, 0.5)})
+        .CheckOK();
+    }
+  DreamOptions options;
+  options.r2_require = 0.9;
+  ExpectEnginesAgree(history, options, "collinear features");
+}
+
+TEST(DreamEngineEquivalenceTest, UnreachableRequirementGrowsToCap) {
+  // Forces full window growth on both engines — the configuration the
+  // perf benchmarks use — and checks they still land on the same cap.
+  Rng rng(229);
+  TrainingSet history({"x1"}, {"c"});
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.Uniform(0, 10);
+    history.Add({x}, {x + rng.Gaussian(0, 2.0)}).CheckOK();
+  }
+  DreamOptions options;
+  options.r2_require = 2.0;  // unreachable by construction
+  options.m_max = 35;
+  ExpectEnginesAgree(history, options, "unreachable R2");
 }
 
 // Property: the chosen window never exceeds min(m_max, history) and never

@@ -1,0 +1,154 @@
+#include "regression/incremental_ols.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace midas {
+namespace {
+
+// Tolerance for incremental (normal equations + Cholesky) vs batch
+// (pivoted QR) agreement, relative to the magnitude of the value compared.
+void ExpectClose(double got, double want, const char* what) {
+  const double tol = 1e-8 * std::max(1.0, std::abs(want));
+  EXPECT_NEAR(got, want, tol) << what;
+}
+
+TEST(IncrementalOlsTest, RejectsArityMismatch) {
+  IncrementalOls engine(2, 1);
+  EXPECT_FALSE(engine.Add({1.0}, {1.0}).ok());
+  EXPECT_FALSE(engine.Add({1.0, 2.0}, {1.0, 2.0}).ok());
+  EXPECT_TRUE(engine.Add({1.0, 2.0}, {1.0}).ok());
+  EXPECT_EQ(engine.size(), 1u);
+}
+
+TEST(IncrementalOlsTest, RequiresStatisticalMinimum) {
+  IncrementalOls engine(1, 1);
+  std::vector<OlsModel> models;
+  ASSERT_TRUE(engine.Add({1.0}, {2.0}).ok());
+  ASSERT_TRUE(engine.Add({2.0}, {4.0}).ok());
+  EXPECT_FALSE(engine.FitAll(&models).ok());  // m = 2 < L + 2 = 3
+}
+
+TEST(IncrementalOlsTest, RecoversExactLinearModel) {
+  // y0 = 1 + 2 x1 + 3 x2, y1 = 10 - x1: noiseless, so the fit is exact.
+  IncrementalOls engine(2, 2);
+  Rng rng(7);
+  for (int i = 0; i < 12; ++i) {
+    const double x1 = rng.Uniform(0, 5);
+    const double x2 = rng.Uniform(0, 5);
+    ASSERT_TRUE(
+        engine.Add({x1, x2}, {1 + 2 * x1 + 3 * x2, 10 - x1}).ok());
+  }
+  std::vector<OlsModel> models;
+  ASSERT_TRUE(engine.FitAll(&models).ok());
+  ASSERT_EQ(models.size(), 2u);
+  ExpectClose(models[0].coefficients()[0], 1.0, "intercept0");
+  ExpectClose(models[0].coefficients()[1], 2.0, "slope x1");
+  ExpectClose(models[0].coefficients()[2], 3.0, "slope x2");
+  ExpectClose(models[1].coefficients()[0], 10.0, "intercept1");
+  ExpectClose(models[1].coefficients()[1], -1.0, "slope -x1");
+  EXPECT_NEAR(models[0].r_squared(), 1.0, 1e-9);
+  EXPECT_EQ(models[0].num_samples(), 12u);
+}
+
+TEST(IncrementalOlsTest, FailsOnCollinearFeatures) {
+  // x2 = 2 x1 exactly: the shared Gram matrix is singular, which is the
+  // signal for DREAM's rank-revealing batch fallback.
+  IncrementalOls engine(2, 1);
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    const double x1 = rng.Uniform(0, 5);
+    ASSERT_TRUE(engine.Add({x1, 2 * x1}, {x1}).ok());
+  }
+  std::vector<OlsModel> models;
+  EXPECT_FALSE(engine.FitAll(&models).ok());
+}
+
+TEST(IncrementalOlsTest, FailsOnConstantFeature) {
+  // A feature constant over the window duplicates the intercept column.
+  IncrementalOls engine(1, 1);
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(engine.Add({3.0}, {rng.Uniform(0, 1)}).ok());
+  }
+  std::vector<OlsModel> models;
+  EXPECT_FALSE(engine.FitAll(&models).ok());
+}
+
+TEST(IncrementalOlsTest, ResetClearsStatistics) {
+  IncrementalOls engine(1, 1);
+  Rng rng(19);
+  for (int i = 0; i < 8; ++i) {
+    const double x = rng.Uniform(0, 5);
+    ASSERT_TRUE(engine.Add({x}, {5 * x}).ok());
+  }
+  engine.Reset();
+  EXPECT_EQ(engine.size(), 0u);
+  for (int i = 0; i < 8; ++i) {
+    const double x = rng.Uniform(0, 5);
+    ASSERT_TRUE(engine.Add({x}, {1 + 2 * x}).ok());
+  }
+  std::vector<OlsModel> models;
+  ASSERT_TRUE(engine.FitAll(&models).ok());
+  ExpectClose(models[0].coefficients()[0], 1.0, "post-reset intercept");
+  ExpectClose(models[0].coefficients()[1], 2.0, "post-reset slope");
+}
+
+// The property the whole PR rests on: at every window size, for every
+// metric, the incremental engine agrees with batch FitOls on coefficients,
+// SSE-derived R², and adjusted R² — across random problem shapes.
+TEST(IncrementalOlsPropertyTest, MatchesBatchFitAcrossRandomProblems) {
+  Rng rng(101);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t l = 1 + rng.Index(5);       // features
+    const size_t n = 1 + rng.Index(3);       // metrics
+    const size_t m_cap = l + 2 + rng.Index(40);
+
+    // Random ground-truth linear models with noise.
+    std::vector<Vector> truth(n, Vector(l + 1, 0.0));
+    for (size_t k = 0; k < n; ++k) {
+      for (size_t j = 0; j <= l; ++j) truth[k][j] = rng.Uniform(-3, 3);
+    }
+    std::vector<Vector> xs;
+    std::vector<Vector> ys(n);
+    IncrementalOls engine(l, n);
+    for (size_t i = 0; i < m_cap; ++i) {
+      Vector x(l);
+      for (size_t j = 0; j < l; ++j) x[j] = rng.Uniform(0, 10);
+      Vector costs(n);
+      for (size_t k = 0; k < n; ++k) {
+        double y = truth[k][0];
+        for (size_t j = 0; j < l; ++j) y += truth[k][j + 1] * x[j];
+        costs[k] = y + rng.Gaussian(0, 0.5);
+        ys[k].push_back(costs[k]);
+      }
+      xs.push_back(x);
+      ASSERT_TRUE(engine.Add(x, costs).ok());
+
+      if (i + 1 < l + 2) continue;  // below the statistical minimum
+      std::vector<OlsModel> incremental;
+      ASSERT_TRUE(engine.FitAll(&incremental).ok())
+          << "trial " << trial << " window " << i + 1;
+      ASSERT_EQ(incremental.size(), n);
+      for (size_t k = 0; k < n; ++k) {
+        auto batch = FitOls(xs, ys[k]);
+        ASSERT_TRUE(batch.ok());
+        const Vector& got = incremental[k].coefficients();
+        const Vector& want = batch->coefficients();
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t j = 0; j < got.size(); ++j) {
+          ExpectClose(got[j], want[j], "coefficient");
+        }
+        ExpectClose(incremental[k].r_squared(), batch->r_squared(), "R2");
+        ExpectClose(incremental[k].adjusted_r_squared(),
+                    batch->adjusted_r_squared(), "adjusted R2");
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace midas

@@ -126,6 +126,15 @@ TEST(OlsTest, NoisyFitHasPositiveSse) {
   EXPECT_EQ(model->num_features(), 1u);
 }
 
+TEST(OlsModelTest, ConstantResponseR2HonestAboutResidualError) {
+  // SST == 0 (constant response): a perfect fit keeps the conventional
+  // R² = 1, but leftover SSE must not masquerade as a perfect fit.
+  const OlsModel perfect({5.0}, /*sse=*/0.0, /*sst=*/0.0, /*num_samples=*/6);
+  EXPECT_DOUBLE_EQ(perfect.r_squared(), 1.0);
+  const OlsModel failed({5.0}, /*sse=*/0.5, /*sst=*/0.0, /*num_samples=*/6);
+  EXPECT_DOUBLE_EQ(failed.r_squared(), 0.0);
+}
+
 // Property sweep: R² is invariant to affine scaling of features.
 class OlsScalingTest : public ::testing::TestWithParam<double> {};
 

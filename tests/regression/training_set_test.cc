@@ -119,6 +119,38 @@ TEST(TrainingSetTest, EvictOlderThanDropsStaleObservations) {
   EXPECT_EQ(set.at(0).timestamp, 30);
 }
 
+TEST(TrainingWindowTest, ViewMatchesCopyingAccessors) {
+  TrainingSet set = MakeSet();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(set.Add({1.0 * i, 2.0 * i}, {10.0 * i, 0.1 * i}).ok());
+  }
+  auto window = set.RecentWindow(4);
+  ASSERT_TRUE(window.ok());
+  EXPECT_EQ(window->size(), 4u);
+  const auto features = set.RecentFeatures(4).ValueOrDie();
+  const auto costs = set.RecentCosts(4, 1).ValueOrDie();
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(window->features(i), features[i]);
+    EXPECT_DOUBLE_EQ(window->cost(i, 1), costs[i]);
+  }
+  EXPECT_EQ(window->CopyFeatures(), features);
+  EXPECT_EQ(window->CopyCosts(1), costs);
+  EXPECT_FALSE(set.RecentWindow(7).ok());
+}
+
+TEST(TrainingWindowTest, NewestSubViewAlignsWithNewestEnd) {
+  TrainingSet set = MakeSet();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(set.Add({1.0 * i, 0.0}, {1.0 * i, 0.0}).ok());
+  }
+  auto window = set.RecentWindow(5).ValueOrDie();
+  TrainingWindow newest = window.Newest(2);
+  EXPECT_EQ(newest.size(), 2u);
+  // The sub-view's oldest element is the full set's second-newest.
+  EXPECT_DOUBLE_EQ(newest.features(0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(newest.features(1)[0], 4.0);
+}
+
 TEST(TrainingSetTest, NamesPreserved) {
   TrainingSet set = MakeSet();
   EXPECT_EQ(set.feature_names()[1], "x2");
