@@ -14,6 +14,7 @@
 //       pipeline but a full re-optimization with WSM.
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 
 #include "common/text_table.h"
@@ -33,8 +34,8 @@ double NowSeconds() {
       .count();
 }
 
-void NonConvexFrontExperiment() {
-  std::cout << "Experiment 1 — non-convex front coverage (ZDT2)\n";
+void NonConvexFrontExperiment(std::ostream& out) {
+  out << "Experiment 1 — non-convex front coverage (ZDT2)\n";
   Zdt2 problem(8);
 
   Nsga2Options ga_options;
@@ -72,15 +73,15 @@ void NonConvexFrontExperiment() {
                 std::to_string(ga_interior), FormatDouble(hv_ga, 3)});
   table.AddRow({"WSM (9-weight sweep)", std::to_string(wsm_points.size()),
                 std::to_string(wsm_interior), FormatDouble(hv_wsm, 3)});
-  table.Print(std::cout);
-  std::cout << "Reading: on a non-convex front the WSM sweep collapses to "
-               "the extremes (≈0 interior points) while the Pareto set "
-               "covers the whole trade-off (§2.6).\n\n";
+  table.Print(out);
+  out << "Reading: on a non-convex front the WSM sweep collapses to "
+         "the extremes (≈0 interior points) while the Pareto set "
+         "covers the whole trade-off (§2.6).\n\n";
 }
 
-void QepRetargetingExperiment() {
-  std::cout << "Experiment 2 — policy re-targeting cost on the Q12 QEP "
-               "space\n";
+void QepRetargetingExperiment(std::ostream& out) {
+  out << "Experiment 2 — policy re-targeting cost on the Q12 QEP "
+         "space\n";
   // Two-cloud federation with Q12's tables split across engines.
   Federation fed;
   const InstanceCatalog catalog_t1 = InstanceCatalog::PaperTable1();
@@ -165,10 +166,16 @@ void QepRetargetingExperiment() {
                   FormatDouble(wsm_costs[i][0], 2) + ", " +
                       FormatDouble(wsm_costs[i][1], 5)});
   }
-  table.Print(std::cout);
+  table.Print(out);
 
-  std::cout << "\nPareto set size: " << moqp->pareto_costs.size() << " of "
-            << moqp->candidates_examined << " candidate QEPs\n";
+  out << "\ncandidates_examined: " << moqp->candidates_examined
+      << " QEPs, Pareto set size: " << moqp->pareto_costs.size() << "\n";
+  out << "pipeline throughput: "
+      << FormatDouble(
+             static_cast<double>(moqp->candidates_examined) /
+                 pareto_build_seconds,
+             0)
+      << " plans/sec (enumerate + predict + Pareto + select)\n";
   TextTable timing({"pipeline", "build once", "6 policy changes", "total"});
   timing.AddRow({"GA/Pareto + Algorithm 2",
                  FormatDouble(pareto_build_seconds * 1e3, 2) + " ms",
@@ -180,18 +187,29 @@ void QepRetargetingExperiment() {
   timing.AddRow({"WSM re-optimization", "-",
                  FormatDouble(wsm_total_seconds * 1e3, 2) + " ms",
                  FormatDouble(wsm_total_seconds * 1e3, 2) + " ms"});
-  timing.Print(std::cout);
-  std::cout << "Reading: once the Pareto set exists, a policy change is a "
-               "cheap Algorithm-2 pass; the WSM branch repeats the whole "
-               "optimization (§2.6).\n";
+  timing.Print(out);
+  out << "Reading: once the Pareto set exists, a policy change is a "
+         "cheap Algorithm-2 pass; the WSM branch repeats the whole "
+         "optimization (§2.6).\n";
 }
 
 }  // namespace
 }  // namespace midas
 
-int main() {
-  std::cout << "Figure 3 — comparing the two MOQP approaches\n\n";
-  midas::NonConvexFrontExperiment();
-  midas::QepRetargetingExperiment();
+int main(int argc, char** argv) {
+  // Open the report sink before the experiments: a bad path should fail
+  // in milliseconds, not after the optimization runs.
+  std::ofstream file;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << " for writing\n";
+      return 1;
+    }
+  }
+  std::ostream& out = argc > 1 ? file : std::cout;
+  out << "Figure 3 — comparing the two MOQP approaches\n\n";
+  midas::NonConvexFrontExperiment(out);
+  midas::QepRetargetingExperiment(out);
   return 0;
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds and runs the parallel-MOQP pipeline benchmark, writing the
+# machine-readable results to BENCH_moqp.json at the repo root so the
+# perf trajectory (serial vs parallel vs parallel+cache, plans/sec over
+# an Example-3.1-scale enumeration) is tracked across PRs.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" --target bench_moqp_json -j "$(nproc)"
+
+"$build_dir/bench/bench_moqp_json" "$repo_root/BENCH_moqp.json"
+echo "wrote $repo_root/BENCH_moqp.json"

@@ -7,6 +7,19 @@
 
 namespace midas {
 
+/// Derives an independent 64-bit seed from (seed, stream) with a
+/// splitmix64-style finalizer. Parallel components (NSGA offspring slots,
+/// bagging bootstrap replicates) seed one Rng per work item via
+/// MixSeed(MixSeed(seed, level), item): the resulting streams depend only
+/// on the seed and the item's position, never on scheduling, so results
+/// are bit-identical at any thread count.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// \brief Deterministic pseudo-random source used across the library.
 ///
 /// Every stochastic component (noise models, genetic operators, data

@@ -1,0 +1,214 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <string>
+
+namespace midas {
+
+namespace {
+
+std::atomic<size_t> g_default_threads{0};  // 0 = not configured yet
+
+size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t InitialDefaultThreads() {
+  if (const char* env = std::getenv("MIDAS_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return HardwareThreads();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Default() {
+  static ThreadPool pool(std::max(DefaultThreadCount(), HardwareThreads()));
+  return pool;
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  size_t n = g_default_threads.load(std::memory_order_relaxed);
+  if (n == 0) {
+    n = InitialDefaultThreads();
+    g_default_threads.store(n, std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void ThreadPool::SetDefaultThreadCount(size_t n) {
+  g_default_threads.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+namespace {
+
+constexpr size_t kNoError = std::numeric_limits<size_t>::max();
+
+/// Shared state of one ParallelFor call. Chunks are claimed from an atomic
+/// counter; results only ever land in per-chunk slots.
+struct ParallelForState {
+  size_t n = 0;
+  size_t num_chunks = 0;
+  const std::function<Status(size_t)>* body = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  /// Smallest failing index seen so far; lets chunks that can only contain
+  /// larger indices stop early (the serial loop would never reach them).
+  std::atomic<size_t> first_bad{kNoError};
+  std::vector<size_t> chunk_bad_index;
+  std::vector<Status> chunk_status;
+
+  std::mutex done_mutex;
+  std::condition_variable all_done;
+  size_t chunks_done = 0;
+
+  size_t ChunkBegin(size_t c) const { return c * n / num_chunks; }
+  size_t ChunkEnd(size_t c) const { return (c + 1) * n / num_chunks; }
+};
+
+Status InvokeGuarded(const std::function<Status(size_t)>& body, size_t i) {
+  try {
+    return body(i);
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("ParallelFor body threw: ") +
+                            e.what());
+  } catch (...) {
+    return Status::Internal("ParallelFor body threw a non-std exception");
+  }
+}
+
+void RunChunks(ParallelForState* state) {
+  for (;;) {
+    const size_t c =
+        state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state->num_chunks) return;
+    const size_t begin = state->ChunkBegin(c);
+    const size_t end = state->ChunkEnd(c);
+    for (size_t i = begin; i < end; ++i) {
+      // An already-recorded smaller failing index means the serial loop
+      // would have stopped before i.
+      if (state->first_bad.load(std::memory_order_relaxed) < i) break;
+      Status st = InvokeGuarded(*state->body, i);
+      if (!st.ok()) {
+        state->chunk_bad_index[c] = i;
+        state->chunk_status[c] = std::move(st);
+        size_t expected = state->first_bad.load(std::memory_order_relaxed);
+        while (i < expected && !state->first_bad.compare_exchange_weak(
+                                   expected, i, std::memory_order_relaxed)) {
+        }
+        break;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(state->done_mutex);
+      ++state->chunks_done;
+    }
+    state->all_done.notify_one();
+  }
+}
+
+}  // namespace
+
+Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
+                   const ParallelForOptions& options) {
+  if (n == 0) return Status::OK();
+  const size_t threads =
+      options.threads == 0 ? ThreadPool::DefaultThreadCount()
+                           : options.threads;
+  if (threads <= 1 || n == 1) {
+    // Exact serial semantics: stop at the first error.
+    for (size_t i = 0; i < n; ++i) {
+      Status st = InvokeGuarded(body, i);
+      if (!st.ok()) return st;
+    }
+    return Status::OK();
+  }
+
+  // Shared ownership: a helper task may still be queued (or about to probe
+  // the chunk counter) after every chunk has completed and this call has
+  // returned; the state must outlive such stragglers. Once all chunks are
+  // done a straggler only reads next_chunk — it never dereferences `body`,
+  // which dies with this frame.
+  auto state = std::make_shared<ParallelForState>();
+  state->n = n;
+  state->num_chunks = std::min(threads, n);
+  state->body = &body;
+  state->chunk_bad_index.assign(state->num_chunks, kNoError);
+  state->chunk_status.assign(state->num_chunks, Status::OK());
+
+  // The caller is one worker; borrow the rest from the pool. Helpers that
+  // arrive after all chunks are claimed exit immediately.
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Default();
+  const size_t helpers = std::min(state->num_chunks - 1, pool.num_threads());
+  for (size_t h = 0; h < helpers; ++h) {
+    pool.Submit([state] { RunChunks(state.get()); });
+  }
+  RunChunks(state.get());
+  {
+    std::unique_lock<std::mutex> lock(state->done_mutex);
+    state->all_done.wait(lock, [&] {
+      return state->chunks_done == state->num_chunks;
+    });
+  }
+
+  // First-error semantics: report the smallest failing index's status.
+  size_t best_chunk = kNoError;
+  for (size_t c = 0; c < state->num_chunks; ++c) {
+    if (state->chunk_bad_index[c] == kNoError) continue;
+    if (best_chunk == kNoError ||
+        state->chunk_bad_index[c] < state->chunk_bad_index[best_chunk]) {
+      best_chunk = c;
+    }
+  }
+  if (best_chunk != kNoError) return state->chunk_status[best_chunk];
+  return Status::OK();
+}
+
+}  // namespace midas

@@ -1,0 +1,102 @@
+#ifndef MIDAS_COMMON_THREAD_POOL_H_
+#define MIDAS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace midas {
+
+/// \brief Fixed-size thread pool shared by the parallel stages of the MOQP
+/// pipeline (candidate cost prediction, NSGA offspring evaluation, bagging
+/// ensemble training, Pareto front extraction).
+///
+/// Deliberately work-stealing-free: tasks are drained FIFO from one queue,
+/// and ParallelFor (below) assigns work by deterministic static chunking,
+/// so a computation's result never depends on which worker ran which chunk.
+/// Workers are created once at construction and joined at destruction.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw (ParallelFor wraps its chunk
+  /// runners in a catch-all; do the same for hand-submitted work).
+  void Submit(std::function<void()> task);
+
+  /// Process-wide shared pool, created on first use. Sized generously
+  /// (max of the configured default parallelism and the hardware
+  /// concurrency) so per-call thread-count overrides above the default
+  /// still gain real workers where the hardware has them.
+  static ThreadPool& Default();
+
+  /// Default worker count used when a caller passes `threads == 0`:
+  /// the value set via SetDefaultThreadCount, else the MIDAS_THREADS
+  /// environment variable, else std::thread::hardware_concurrency().
+  /// Always at least 1.
+  static size_t DefaultThreadCount();
+
+  /// Overrides the process-wide default parallelism (the `threads == 0`
+  /// meaning) for subsequent calls. Does not resize an already-created
+  /// Default() pool: parallelism beyond the pool's worker count degrades
+  /// gracefully to queueing.
+  static void SetDefaultThreadCount(size_t n);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+struct ParallelForOptions {
+  /// Number of concurrent chunks: 1 runs inline on the caller (exact
+  /// serial semantics, no pool involvement), 0 uses
+  /// ThreadPool::DefaultThreadCount(), anything else caps the chunk
+  /// concurrency at that many workers (the caller always participates).
+  size_t threads = 0;
+  /// Pool to borrow workers from; nullptr means ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief Invokes `body(i)` for every i in [0, n) and returns the first
+/// error in *index order* (the error the equivalent serial loop would have
+/// returned), or OK.
+///
+/// Guarantees, at any thread count:
+///   - deterministic chunking: [0, n) is split into contiguous chunks whose
+///     boundaries depend only on n and the resolved thread count, and each
+///     chunk runs its indices in ascending order;
+///   - disjoint writes by index slot compose into results that are
+///     bit-identical to the serial loop, because `body` receives exactly
+///     the same index set regardless of scheduling;
+///   - first-error semantics: once some index fails, higher chunks stop
+///     early, and the error reported is the one with the smallest failing
+///     index (identical to the serial loop's, since all lower indices
+///     succeeded);
+///   - exceptions escaping `body` are captured and converted to
+///     Status::Internal — nothing propagates across the pool boundary.
+///
+/// The caller participates in chunk execution, so nested ParallelFor calls
+/// (e.g. bagging inside a parallel cost-prediction loop) cannot deadlock
+/// even when every pool worker is busy.
+Status ParallelFor(size_t n, const std::function<Status(size_t)>& body,
+                   const ParallelForOptions& options = ParallelForOptions());
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_THREAD_POOL_H_

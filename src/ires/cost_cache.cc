@@ -1,0 +1,36 @@
+#include "ires/cost_cache.h"
+
+#include <mutex>
+#include <utility>
+
+namespace midas {
+
+std::optional<Vector> FeatureCostCache::Lookup(const Vector& features) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  const auto it = entries_.find(features);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void FeatureCostCache::Insert(const Vector& features, Vector cost) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  entries_.emplace(features, std::move(cost));
+}
+
+size_t FeatureCostCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void FeatureCostCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  entries_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace midas

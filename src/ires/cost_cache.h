@@ -1,0 +1,54 @@
+#ifndef MIDAS_IRES_COST_CACHE_H_
+#define MIDAS_IRES_COST_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "linalg/matrix.h"
+
+namespace midas {
+
+/// \brief Concurrent memo table for predicted cost vectors, keyed by the
+/// plan's extracted feature vector (Example 2.1's variables).
+///
+/// A federation's QEP space maps many plans onto the same features — every
+/// commuted join that scans the same bytes with the same VM counts — so the
+/// estimator only needs to run once per distinct feature vector
+/// (Example 3.1's 18,200 configurations collapse to the distinct VM-count
+/// combinations). Readers take a shared lock; inserts take an exclusive
+/// one. Hit/miss counters are atomics so concurrent lookups stay cheap.
+///
+/// Correctness requires the predictor to be a pure function of the
+/// features; predictors that read other plan structure (e.g. the raw
+/// simulator, whose transfer costs depend on join shape) must not be
+/// cached.
+class FeatureCostCache {
+ public:
+  FeatureCostCache() = default;
+
+  /// Returns the cached cost for `features`, counting a hit or a miss.
+  std::optional<Vector> Lookup(const Vector& features) const;
+
+  /// Stores the cost for `features` (first writer wins on a race).
+  void Insert(const Vector& features, Vector cost);
+
+  size_t size() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  /// Drops all entries and resets the counters.
+  void Clear();
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<Vector, Vector, VectorHash> entries_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_IRES_COST_CACHE_H_

@@ -1,7 +1,11 @@
 #include "ires/moo_optimizer.h"
 
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "common/thread_pool.h"
+#include "ires/features.h"
 #include "optimizer/configuration_problem.h"
 #include "optimizer/pareto.h"
 #include "optimizer/wsm.h"
@@ -27,19 +31,22 @@ MultiObjectiveOptimizer::MultiObjectiveOptimizer(const Federation* federation,
                                                  MoqpOptions options)
     : federation_(federation),
       catalog_(catalog),
-      options_(std::move(options)) {}
+      options_(std::move(options)),
+      cache_(std::make_shared<FeatureCostCache>()) {}
 
 StatusOr<MoqpResult> MultiObjectiveOptimizer::FromCandidates(
     std::vector<QueryPlan> plans, std::vector<Vector> costs,
     const QueryPolicy& policy) const {
   MoqpResult result;
   result.candidates_examined = plans.size();
-  const std::vector<size_t> front = ParetoFrontIndices(costs);
+  const std::vector<size_t> front =
+      ParetoFrontIndices(costs, options_.threads);
   result.pareto_plans.reserve(front.size());
   result.pareto_costs.reserve(front.size());
   // Equivalent QEPs can share identical predicted costs (e.g., commuted
   // joins over the same features); keep one representative per cost point.
-  std::set<Vector> seen_costs;
+  std::unordered_set<Vector, VectorHash> seen_costs;
+  seen_costs.reserve(front.size());
   for (size_t idx : front) {
     if (!seen_costs.insert(costs[idx]).second) continue;
     result.pareto_plans.push_back(std::move(plans[idx]));
@@ -50,25 +57,90 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::FromCandidates(
   return result;
 }
 
-StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
-    const QueryPlan& logical, const CostPredictor& predictor,
-    const QueryPolicy& policy) const {
-  if (!predictor) return Status::InvalidArgument("null cost predictor");
+StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
+    const std::vector<QueryPlan>& plans, const CostPredictor& predictor,
+    size_t arity, PredictionStats* stats) const {
+  ParallelForOptions parallel;
+  parallel.threads = options_.threads;
+  std::vector<Vector> costs(plans.size());
 
-  PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
-  MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
-                         enumerator.EnumeratePhysical(logical));
-
-  std::vector<Vector> costs;
-  costs.reserve(plans.size());
-  for (const QueryPlan& plan : plans) {
-    MIDAS_ASSIGN_OR_RETURN(Vector c, predictor(plan));
-    if (c.size() != policy.weights.size()) {
-      return Status::InvalidArgument("predictor/policy arity mismatch");
-    }
-    costs.push_back(std::move(c));
+  if (!options_.cache_predictions) {
+    MIDAS_RETURN_IF_ERROR(ParallelFor(
+        plans.size(),
+        [&](size_t i) -> Status {
+          MIDAS_ASSIGN_OR_RETURN(Vector c, predictor(plans[i]));
+          if (c.size() != arity) {
+            return Status::InvalidArgument(
+                "predictor/policy arity mismatch");
+          }
+          costs[i] = std::move(c);
+          return Status::OK();
+        },
+        parallel));
+    stats->predictor_calls = plans.size();
+    return costs;
   }
 
+  // Feature-keyed memoisation: commuted-join QEPs that map onto the same
+  // feature vector are predicted once (Example 3.1's equivalent
+  // configurations collapse to the distinct VM-count combinations), and
+  // the persistent cache carries estimates across Optimize calls.
+  std::vector<Vector> keys(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    MIDAS_ASSIGN_OR_RETURN(keys[i], ExtractFeatures(*federation_, plans[i]));
+  }
+  std::unordered_map<Vector, size_t, VectorHash> slot_by_feature;
+  slot_by_feature.reserve(plans.size());
+  std::vector<size_t> representative;  // first plan index per unique slot
+  std::vector<size_t> slot_of_plan(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const auto [it, inserted] =
+        slot_by_feature.emplace(keys[i], representative.size());
+    if (inserted) representative.push_back(i);
+    slot_of_plan[i] = it->second;
+  }
+
+  std::vector<Vector> unique_costs(representative.size());
+  std::vector<size_t> to_predict;
+  for (size_t s = 0; s < representative.size(); ++s) {
+    if (auto cached = cache_->Lookup(keys[representative[s]])) {
+      unique_costs[s] = std::move(*cached);
+      ++stats->cache_hits;
+    } else {
+      to_predict.push_back(s);
+      ++stats->cache_misses;
+    }
+  }
+  MIDAS_RETURN_IF_ERROR(ParallelFor(
+      to_predict.size(),
+      [&](size_t k) -> Status {
+        const size_t s = to_predict[k];
+        MIDAS_ASSIGN_OR_RETURN(Vector c, predictor(plans[representative[s]]));
+        unique_costs[s] = std::move(c);
+        return Status::OK();
+      },
+      parallel));
+  stats->predictor_calls = to_predict.size();
+  for (size_t s : to_predict) {
+    cache_->Insert(keys[representative[s]], unique_costs[s]);
+  }
+
+  for (size_t s = 0; s < unique_costs.size(); ++s) {
+    // Checked after the fact so cached entries from an earlier predictor
+    // arity are rejected too.
+    if (unique_costs[s].size() != arity) {
+      return Status::InvalidArgument("predictor/policy arity mismatch");
+    }
+  }
+  for (size_t i = 0; i < plans.size(); ++i) {
+    costs[i] = unique_costs[slot_of_plan[i]];
+  }
+  return costs;
+}
+
+StatusOr<MoqpResult> MultiObjectiveOptimizer::RunAlgorithm(
+    std::vector<QueryPlan> plans, std::vector<Vector> costs,
+    const QueryPolicy& policy) const {
   switch (options_.algorithm) {
     case MoqpAlgorithm::kExhaustivePareto:
       return FromCandidates(std::move(plans), std::move(costs), policy);
@@ -100,13 +172,14 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
         MIDAS_ASSIGN_OR_RETURN(moo, nsga_g.Optimize(problem));
       }
       // Collect the distinct candidate plans on the evolved front.
-      std::set<size_t> seen;
+      std::vector<uint8_t> seen(plans.size(), 0);
       std::vector<QueryPlan> front_plans;
       std::vector<Vector> front_costs;
       for (size_t i : moo.front) {
         const size_t plan_idx =
             problem.Decode(moo.population[i].variables)[0];
-        if (seen.insert(plan_idx).second) {
+        if (seen[plan_idx] == 0) {
+          seen[plan_idx] = 1;
           front_plans.push_back(plans[plan_idx]);
           front_costs.push_back(costs[plan_idx]);
         }
@@ -120,6 +193,30 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
     }
   }
   return Status::Internal("unhandled MOQP algorithm");
+}
+
+StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
+    const QueryPlan& logical, const CostPredictor& predictor,
+    const QueryPolicy& policy) const {
+  if (!predictor) return Status::InvalidArgument("null cost predictor");
+
+  PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
+  MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
+                         enumerator.EnumeratePhysical(logical));
+
+  PredictionStats stats;
+  MIDAS_ASSIGN_OR_RETURN(
+      std::vector<Vector> costs,
+      PredictCandidateCosts(plans, predictor, policy.weights.size(),
+                            &stats));
+
+  MIDAS_ASSIGN_OR_RETURN(
+      MoqpResult result,
+      RunAlgorithm(std::move(plans), std::move(costs), policy));
+  result.predictor_calls = stats.predictor_calls;
+  result.cache_hits = stats.cache_hits;
+  result.cache_misses = stats.cache_misses;
+  return result;
 }
 
 }  // namespace midas

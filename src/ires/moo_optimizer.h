@@ -2,9 +2,11 @@
 #define MIDAS_IRES_MOO_OPTIMIZER_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "federation/federation.h"
+#include "ires/cost_cache.h"
 #include "optimizer/best_in_pareto.h"
 #include "optimizer/nsga2.h"
 #include "optimizer/nsga_g.h"
@@ -34,6 +36,18 @@ struct MoqpOptions {
   EnumeratorOptions enumerator;
   Nsga2Options nsga2;
   NsgaGOptions nsga_g;
+  /// Concurrent chunks for the candidate cost-prediction loop and the
+  /// exhaustive Pareto front extraction: 1 = serial (default), 0 = the
+  /// process-wide default parallelism. Candidate order, results and
+  /// first-error semantics are preserved at any value; the cost predictor
+  /// must be thread-safe when != 1.
+  size_t threads = 1;
+  /// Memoise predictor calls in a FeatureCostCache keyed by the plan's
+  /// extracted feature vector, shared across Optimize calls on this
+  /// optimizer. Only sound when the predictor is a pure function of the
+  /// features (true for the Modelling/DREAM estimators; NOT true for the
+  /// raw execution simulator, whose costs also depend on join shape).
+  bool cache_predictions = false;
 };
 
 /// \brief Outcome of one MOQP optimisation.
@@ -46,6 +60,13 @@ struct MoqpResult {
   size_t chosen = 0;
   /// Number of physical plans considered.
   size_t candidates_examined = 0;
+  /// Predictor invocations this call actually performed (equals
+  /// candidates_examined without the feature cache; with it, only the
+  /// distinct feature vectors absent from the cache are predicted).
+  size_t predictor_calls = 0;
+  /// Feature-cache hits/misses of this call (0/0 when caching is off).
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
 
   const QueryPlan& chosen_plan() const { return pareto_plans[chosen]; }
   const Vector& chosen_costs() const { return pareto_costs[chosen]; }
@@ -68,7 +89,31 @@ class MultiObjectiveOptimizer {
                                 const CostPredictor& predictor,
                                 const QueryPolicy& policy) const;
 
+  /// The feature-keyed prediction memo (populated only when
+  /// options.cache_predictions is set). Shared by copies of this optimizer
+  /// and persistent across Optimize calls, so repeated queries and policy
+  /// re-targeting reuse earlier estimates.
+  const FeatureCostCache& prediction_cache() const { return *cache_; }
+  void ClearPredictionCache() { cache_->Clear(); }
+
  private:
+  struct PredictionStats {
+    size_t predictor_calls = 0;
+    size_t cache_hits = 0;
+    size_t cache_misses = 0;
+  };
+
+  /// Predicts every candidate's cost vector, in candidate order, using
+  /// options.threads concurrent chunks and (optionally) the feature cache.
+  StatusOr<std::vector<Vector>> PredictCandidateCosts(
+      const std::vector<QueryPlan>& plans, const CostPredictor& predictor,
+      size_t arity, PredictionStats* stats) const;
+
+  /// Dispatches to the configured MOQP algorithm over the predicted table.
+  StatusOr<MoqpResult> RunAlgorithm(std::vector<QueryPlan> plans,
+                                    std::vector<Vector> costs,
+                                    const QueryPolicy& policy) const;
+
   StatusOr<MoqpResult> FromCandidates(std::vector<QueryPlan> plans,
                                       std::vector<Vector> costs,
                                       const QueryPolicy& policy) const;
@@ -76,6 +121,7 @@ class MultiObjectiveOptimizer {
   const Federation* federation_;
   const Catalog* catalog_;
   MoqpOptions options_;
+  std::shared_ptr<FeatureCostCache> cache_;
 };
 
 }  // namespace midas

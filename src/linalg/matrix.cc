@@ -1,6 +1,8 @@
 #include "linalg/matrix.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <iomanip>
 #include <sstream>
 
@@ -214,5 +216,19 @@ double Dot(const Vector& a, const Vector& b) {
 }
 
 double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+size_t VectorHash::operator()(const Vector& v) const noexcept {
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ v.size();
+  for (double d : v) {
+    if (d == 0.0) d = 0.0;  // collapse -0.0 onto +0.0
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    h ^= bits;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+  }
+  return static_cast<size_t>(h);
+}
 
 }  // namespace midas

@@ -12,6 +12,15 @@ namespace midas {
 
 using Vector = std::vector<double>;
 
+/// \brief Bitwise hash for Vector, for unordered containers keyed by exact
+/// cost or feature vectors (e.g. the MOQP cost dedup and the plan-feature
+/// prediction cache). Normalises -0.0 to 0.0 so vectors that compare equal
+/// under operator== hash identically; NaN keys are unusable either way
+/// (NaN != NaN).
+struct VectorHash {
+  size_t operator()(const Vector& v) const noexcept;
+};
+
 /// \brief Dense row-major matrix of doubles.
 ///
 /// Sized for regression problems (tens of columns, up to a few thousand

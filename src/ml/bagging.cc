@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+
 namespace midas {
 
 BaggingLearner::BaggingLearner(BaggingOptions options) : options_(options) {}
@@ -16,26 +18,35 @@ Status BaggingLearner::Fit(const std::vector<Vector>& features,
   if (options_.sample_fraction <= 0.0 || options_.sample_fraction > 1.0) {
     return Status::InvalidArgument("sample_fraction must be in (0, 1]");
   }
-  trees_.clear();
-  trees_.reserve(options_.num_estimators);
-  Rng rng(options_.seed);
   const size_t n = features.size();
   const size_t sample_size = std::max<size_t>(
       2, static_cast<size_t>(options_.sample_fraction *
                              static_cast<double>(n)));
-  for (size_t t = 0; t < options_.num_estimators; ++t) {
-    std::vector<Vector> xs;
-    Vector ys;
-    xs.reserve(sample_size);
-    ys.reserve(sample_size);
-    for (size_t i = 0; i < sample_size; ++i) {
-      const size_t pick = rng.Index(n);
-      xs.push_back(features[pick]);
-      ys.push_back(targets[pick]);
-    }
-    RegressionTree tree(options_.tree);
-    MIDAS_RETURN_IF_ERROR(tree.Fit(xs, ys));
-    trees_.push_back(std::move(tree));
+  // Each replicate bootstraps from its own RNG stream and fits into its
+  // own slot, so ensemble members can train concurrently and the fitted
+  // ensemble does not depend on the thread count.
+  trees_.assign(options_.num_estimators, RegressionTree(options_.tree));
+  ParallelForOptions parallel;
+  parallel.threads = options_.threads;
+  const Status st = ParallelFor(
+      options_.num_estimators,
+      [&](size_t t) {
+        Rng rng(MixSeed(options_.seed, t));
+        std::vector<Vector> xs;
+        Vector ys;
+        xs.reserve(sample_size);
+        ys.reserve(sample_size);
+        for (size_t i = 0; i < sample_size; ++i) {
+          const size_t pick = rng.Index(n);
+          xs.push_back(features[pick]);
+          ys.push_back(targets[pick]);
+        }
+        return trees_[t].Fit(xs, ys);
+      },
+      parallel);
+  if (!st.ok()) {
+    trees_.clear();
+    return st;
   }
   fitted_ = true;
   return Status::OK();

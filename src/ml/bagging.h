@@ -17,6 +17,11 @@ struct BaggingOptions {
   /// Bootstrap sample size as a fraction of the training set.
   double sample_fraction = 1.0;
   uint64_t seed = 7;
+  /// Concurrent chunks for fitting the ensemble members: 1 = serial
+  /// (default), 0 = the process-wide default parallelism. Every replicate
+  /// resamples from its own RNG stream split deterministically from
+  /// `seed`, so the fitted ensemble is identical at any thread count.
+  size_t threads = 1;
   RegressionTreeOptions tree;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "optimizer/pareto.h"
 
 namespace midas {
@@ -21,9 +22,11 @@ std::vector<Vector> MooResult::FrontVariables() const {
 }
 
 void RankAndCrowd(std::vector<Individual>* population) {
-  std::vector<Vector> costs;
+  // Borrow the objective vectors in place: the sort and crowding passes
+  // only read them, so there is no reason to copy every Vector per call.
+  std::vector<const Vector*> costs;
   costs.reserve(population->size());
-  for (const Individual& ind : *population) costs.push_back(ind.objectives);
+  for (const Individual& ind : *population) costs.push_back(&ind.objectives);
   const auto fronts = FastNonDominatedSort(costs);
   for (size_t f = 0; f < fronts.size(); ++f) {
     const std::vector<double> crowding = CrowdingDistances(costs, fronts[f]);
@@ -46,6 +49,31 @@ std::vector<Individual> SelectByRankAndCrowding(std::vector<Individual> pool,
   return pool;
 }
 
+void GenerateOffspringPair(const MooProblem& problem,
+                           const std::vector<Individual>& parents,
+                           const SbxOptions& crossover,
+                           const MutationOptions& mutation,
+                           uint64_t stream_seed, size_t slot,
+                           std::vector<Individual>* offspring) {
+  Rng rng(stream_seed);
+  const Individual& p1 = BinaryTournament(parents, &rng);
+  const Individual& p2 = BinaryTournament(parents, &rng);
+  auto [c1, c2] = SbxCrossover(problem, p1.variables, p2.variables,
+                               crossover, &rng);
+  const size_t first = 2 * slot;
+  Individual o1;
+  o1.variables = PolynomialMutation(problem, std::move(c1), mutation, &rng);
+  o1.objectives = problem.Evaluate(o1.variables);
+  (*offspring)[first] = std::move(o1);
+  if (first + 1 < offspring->size()) {
+    Individual o2;
+    o2.variables = PolynomialMutation(problem, std::move(c2), mutation,
+                                      &rng);
+    o2.objectives = problem.Evaluate(o2.variables);
+    (*offspring)[first + 1] = std::move(o2);
+  }
+}
+
 Nsga2::Nsga2(Nsga2Options options) : options_(options) {}
 
 StatusOr<MooResult> Nsga2::Optimize(const MooProblem& problem) const {
@@ -64,30 +92,25 @@ StatusOr<MooResult> Nsga2::Optimize(const MooProblem& problem) const {
   }
   RankAndCrowd(&population);
 
+  const size_t pairs = (options_.population_size + 1) / 2;
+  ParallelForOptions parallel;
+  parallel.threads = options_.evaluation_threads;
   for (size_t gen = 0; gen < options_.generations; ++gen) {
-    std::vector<Individual> offspring;
-    offspring.reserve(options_.population_size);
-    while (offspring.size() < options_.population_size) {
-      const Individual& p1 = BinaryTournament(population, &rng);
-      const Individual& p2 = BinaryTournament(population, &rng);
-      auto [c1, c2] =
-          SbxCrossover(problem, p1.variables, p2.variables,
-                       options_.crossover, &rng);
-      c1 = PolynomialMutation(problem, std::move(c1), options_.mutation,
-                              &rng);
-      c2 = PolynomialMutation(problem, std::move(c2), options_.mutation,
-                              &rng);
-      Individual o1;
-      o1.variables = std::move(c1);
-      o1.objectives = problem.Evaluate(o1.variables);
-      offspring.push_back(std::move(o1));
-      if (offspring.size() < options_.population_size) {
-        Individual o2;
-        o2.variables = std::move(c2);
-        o2.objectives = problem.Evaluate(o2.variables);
-        offspring.push_back(std::move(o2));
-      }
-    }
+    // Each offspring pair owns an RNG stream split from (seed, gen, slot)
+    // and a fixed pair of result slots, so the batch can evaluate
+    // concurrently yet lands bit-identical to the serial path.
+    std::vector<Individual> offspring(options_.population_size);
+    const uint64_t generation_seed = MixSeed(options_.seed, gen);
+    MIDAS_RETURN_IF_ERROR(ParallelFor(
+        pairs,
+        [&](size_t slot) {
+          GenerateOffspringPair(problem, population, options_.crossover,
+                                options_.mutation,
+                                MixSeed(generation_seed, slot), slot,
+                                &offspring);
+          return Status::OK();
+        },
+        parallel));
     // (μ+λ) elitism over the combined pool.
     std::vector<Individual> pool = std::move(population);
     pool.insert(pool.end(), std::make_move_iterator(offspring.begin()),

@@ -14,6 +14,13 @@ struct Nsga2Options {
   SbxOptions crossover;
   MutationOptions mutation;
   uint64_t seed = 1;
+  /// Concurrent chunks for each generation's offspring batch (selection,
+  /// variation and evaluation): 1 = inline serial (default), 0 = the
+  /// process-wide default parallelism. Every offspring pair draws from its
+  /// own RNG stream split deterministically from `seed`, so the result is
+  /// bit-identical at any thread count. Problem::Evaluate must be
+  /// thread-safe (const and free of shared mutable state) when != 1.
+  size_t evaluation_threads = 1;
 };
 
 /// \brief Result of a multi-objective evolutionary run: the final
@@ -54,6 +61,21 @@ void RankAndCrowd(std::vector<Individual>* population);
 /// (rank, crowding) from a combined parent+offspring pool.
 std::vector<Individual> SelectByRankAndCrowding(
     std::vector<Individual> pool, size_t target);
+
+/// One offspring-pair work item of a generation, shared by NSGA-II and
+/// NSGA-G: binary tournament ×2, SBX crossover and polynomial mutation, all
+/// drawing from an Rng seeded with `stream_seed` only, then evaluation.
+/// Slot s writes offspring indices 2s and (when < offspring->size()) 2s+1;
+/// `offspring` must be pre-sized to the desired batch size. Because the
+/// stream seed and the slots are functions of the position alone, a batch
+/// of these items may run in any order — or concurrently — with
+/// bit-identical results.
+void GenerateOffspringPair(const MooProblem& problem,
+                           const std::vector<Individual>& parents,
+                           const SbxOptions& crossover,
+                           const MutationOptions& mutation,
+                           uint64_t stream_seed, size_t slot,
+                           std::vector<Individual>* offspring);
 
 }  // namespace midas
 

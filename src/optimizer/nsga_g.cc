@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/thread_pool.h"
 #include "optimizer/pareto.h"
 
 namespace midas {
@@ -66,7 +67,7 @@ std::vector<Individual> GridEnvironmentalSelection(
   std::vector<Vector> costs;
   costs.reserve(pool.size());
   for (const Individual& ind : pool) costs.push_back(ind.objectives);
-  const auto fronts = FastNonDominatedSort(costs);
+  const auto fronts = FastNonDominatedSort(costs);  // GridSelect needs costs
 
   std::vector<Individual> next;
   next.reserve(target);
@@ -106,23 +107,25 @@ StatusOr<MooResult> NsgaG::Optimize(const MooProblem& problem) const {
   }
   RankAndCrowd(&population);  // tournament still uses (rank, crowding)
 
+  const size_t pairs = (options_.population_size + 1) / 2;
+  ParallelForOptions parallel;
+  parallel.threads = options_.evaluation_threads;
   for (size_t gen = 0; gen < options_.generations; ++gen) {
-    std::vector<Individual> offspring;
-    offspring.reserve(options_.population_size);
-    while (offspring.size() < options_.population_size) {
-      const Individual& p1 = BinaryTournament(population, &rng);
-      const Individual& p2 = BinaryTournament(population, &rng);
-      auto [c1, c2] = SbxCrossover(problem, p1.variables, p2.variables,
-                                   options_.crossover, &rng);
-      for (Vector* child : {&c1, &c2}) {
-        if (offspring.size() >= options_.population_size) break;
-        Individual o;
-        o.variables = PolynomialMutation(problem, std::move(*child),
-                                         options_.mutation, &rng);
-        o.objectives = problem.Evaluate(o.variables);
-        offspring.push_back(std::move(o));
-      }
-    }
+    // Offspring pairs draw from per-slot RNG streams (see nsga2.cc); the
+    // master rng is reserved for the grid selection below, so the result
+    // is independent of the thread count.
+    std::vector<Individual> offspring(options_.population_size);
+    const uint64_t generation_seed = MixSeed(options_.seed, gen);
+    MIDAS_RETURN_IF_ERROR(ParallelFor(
+        pairs,
+        [&](size_t slot) {
+          GenerateOffspringPair(problem, population, options_.crossover,
+                                options_.mutation,
+                                MixSeed(generation_seed, slot), slot,
+                                &offspring);
+          return Status::OK();
+        },
+        parallel));
     std::vector<Individual> pool = std::move(population);
     pool.insert(pool.end(), std::make_move_iterator(offspring.begin()),
                 std::make_move_iterator(offspring.end()));

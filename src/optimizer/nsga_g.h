@@ -13,6 +13,11 @@ struct NsgaGOptions {
   SbxOptions crossover;
   MutationOptions mutation;
   uint64_t seed = 1;
+  /// Concurrent chunks for each generation's offspring batch; same
+  /// semantics and determinism guarantee as Nsga2Options. The grid-based
+  /// environmental selection stays on the master RNG stream and is not
+  /// affected by this knob.
+  size_t evaluation_threads = 1;
 };
 
 /// \brief NSGA-G — the authors' grid-based NSGA variant (Le, Kantere,

@@ -1,11 +1,24 @@
 #include "optimizer/pareto.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace midas {
+
+namespace {
+
+std::vector<const Vector*> BorrowAll(const std::vector<Vector>& costs) {
+  std::vector<const Vector*> borrowed;
+  borrowed.reserve(costs.size());
+  for (const Vector& c : costs) borrowed.push_back(&c);
+  return borrowed;
+}
+
+}  // namespace
 
 bool WeaklyDominates(const Vector& a, const Vector& b) {
   MIDAS_CHECK(a.size() == b.size()) << "objective arity mismatch";
@@ -34,22 +47,46 @@ bool StrictlyDominates(const Vector& a, const Vector& b) {
 }
 
 std::vector<size_t> ParetoFrontIndices(const std::vector<Vector>& costs) {
+  return ParetoFrontIndices(costs, 1);
+}
+
+std::vector<size_t> ParetoFrontIndices(const std::vector<Vector>& costs,
+                                       size_t threads) {
+  // Membership of each point is an independent scan of the full set, so
+  // the chunks write disjoint flag slots and the collected front is
+  // identical at any thread count.
+  std::vector<uint8_t> non_dominated(costs.size(), 0);
+  ParallelForOptions options;
+  options.threads = threads;
+  const Status st = ParallelFor(
+      costs.size(),
+      [&costs, &non_dominated](size_t i) {
+        bool dominated = false;
+        for (size_t j = 0; j < costs.size(); ++j) {
+          if (i != j && Dominates(costs[j], costs[i])) {
+            dominated = true;
+            break;
+          }
+        }
+        non_dominated[i] = dominated ? 0 : 1;
+        return Status::OK();
+      },
+      options);
+  MIDAS_CHECK(st.ok()) << "ParetoFrontIndices: " << st.ToString();
   std::vector<size_t> front;
   for (size_t i = 0; i < costs.size(); ++i) {
-    bool dominated = false;
-    for (size_t j = 0; j < costs.size(); ++j) {
-      if (i != j && Dominates(costs[j], costs[i])) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) front.push_back(i);
+    if (non_dominated[i] != 0) front.push_back(i);
   }
   return front;
 }
 
 std::vector<std::vector<size_t>> FastNonDominatedSort(
     const std::vector<Vector>& costs) {
+  return FastNonDominatedSort(BorrowAll(costs));
+}
+
+std::vector<std::vector<size_t>> FastNonDominatedSort(
+    const std::vector<const Vector*>& costs) {
   const size_t n = costs.size();
   std::vector<std::vector<size_t>> dominated_by(n);  // S_p
   std::vector<int> domination_count(n, 0);           // n_p
@@ -59,9 +96,9 @@ std::vector<std::vector<size_t>> FastNonDominatedSort(
   for (size_t p = 0; p < n; ++p) {
     for (size_t q = 0; q < n; ++q) {
       if (p == q) continue;
-      if (Dominates(costs[p], costs[q])) {
+      if (Dominates(*costs[p], *costs[q])) {
         dominated_by[p].push_back(q);
-      } else if (Dominates(costs[q], costs[p])) {
+      } else if (Dominates(*costs[q], *costs[p])) {
         ++domination_count[p];
       }
     }
@@ -85,24 +122,29 @@ std::vector<std::vector<size_t>> FastNonDominatedSort(
 
 std::vector<double> CrowdingDistances(const std::vector<Vector>& costs,
                                       const std::vector<size_t>& front) {
+  return CrowdingDistances(BorrowAll(costs), front);
+}
+
+std::vector<double> CrowdingDistances(const std::vector<const Vector*>& costs,
+                                      const std::vector<size_t>& front) {
   std::vector<double> distance(front.size(), 0.0);
   if (front.empty()) return distance;
-  const size_t num_objectives = costs[front[0]].size();
+  const size_t num_objectives = costs[front[0]]->size();
   std::vector<size_t> order(front.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   for (size_t m = 0; m < num_objectives; ++m) {
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return costs[front[a]][m] < costs[front[b]][m];
+      return (*costs[front[a]])[m] < (*costs[front[b]])[m];
     });
     distance[order.front()] = std::numeric_limits<double>::infinity();
     distance[order.back()] = std::numeric_limits<double>::infinity();
     const double range =
-        costs[front[order.back()]][m] - costs[front[order.front()]][m];
+        (*costs[front[order.back()]])[m] - (*costs[front[order.front()]])[m];
     if (range <= 0.0) continue;
     for (size_t k = 1; k + 1 < order.size(); ++k) {
-      distance[order[k]] += (costs[front[order[k + 1]]][m] -
-                             costs[front[order[k - 1]]][m]) /
+      distance[order[k]] += ((*costs[front[order[k + 1]]])[m] -
+                             (*costs[front[order[k - 1]]])[m]) /
                             range;
     }
   }

@@ -25,14 +25,31 @@ bool StrictlyDominates(const Vector& a, const Vector& b);
 /// using standard dominance. Duplicate cost vectors all survive.
 std::vector<size_t> ParetoFrontIndices(const std::vector<Vector>& costs);
 
+/// Same front, with the O(n²) dominance matrix scanned by `threads`
+/// concurrent chunks (1 = serial, 0 = the process default). Each point's
+/// front membership is independent of the others', so the result is
+/// identical to the serial overload at any thread count.
+std::vector<size_t> ParetoFrontIndices(const std::vector<Vector>& costs,
+                                       size_t threads);
+
 /// Fast non-dominated sort (Deb et al. 2002): partitions all points into
 /// fronts; result[0] is the Pareto front, result[1] the next layer, etc.
 std::vector<std::vector<size_t>> FastNonDominatedSort(
     const std::vector<Vector>& costs);
 
+/// Zero-copy variant over borrowed objective vectors (callers holding
+/// Individuals pass pointers instead of copying every objective vector
+/// into a scratch array).
+std::vector<std::vector<size_t>> FastNonDominatedSort(
+    const std::vector<const Vector*>& costs);
+
 /// Crowding distance of each point within one front (Deb et al. 2002).
 /// Boundary points get +infinity.
 std::vector<double> CrowdingDistances(const std::vector<Vector>& costs,
+                                      const std::vector<size_t>& front);
+
+/// Zero-copy variant over borrowed objective vectors.
+std::vector<double> CrowdingDistances(const std::vector<const Vector*>& costs,
                                       const std::vector<size_t>& front);
 
 // --- Parametric definitions of §2.3 (after Trummer & Koch) -----------------

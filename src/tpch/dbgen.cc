@@ -50,7 +50,9 @@ std::string FormatDate(int64_t day_offset) {
     remaining -= dim;
     ++month;
   }
-  char buf[32];
+  // Sized for the full int range so -Wformat-truncation holds under every
+  // sanitizer's value-range analysis, not just -O2's.
+  char buf[40];
   std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", year, month + 1,
                 static_cast<int>(remaining) + 1);
   return buf;

@@ -1,0 +1,198 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace midas {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  std::atomic<int> counter{0};
+  std::mutex mutex;
+  std::condition_variable done;
+  constexpr int kTasks = 16;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      if (counter.fetch_add(1) + 1 == kTasks) {
+        std::lock_guard<std::mutex> lock(mutex);
+        done.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return counter.load() == kTasks; });
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 8; ++i) pool.Submit([&] { counter.fetch_add(1); });
+  }
+  // Joining the workers must not drop queued tasks.
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  const size_t saved = ThreadPool::DefaultThreadCount();
+  ThreadPool::SetDefaultThreadCount(3);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3u);
+  ThreadPool::SetDefaultThreadCount(saved);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    constexpr size_t kN = 1000;
+    std::vector<int> visits(kN, 0);
+    ParallelForOptions options;
+    options.threads = threads;
+    const Status st = ParallelFor(
+        kN,
+        [&](size_t i) {
+          ++visits[i];  // disjoint slots, no synchronisation needed
+          return Status::OK();
+        },
+        options);
+    ASSERT_TRUE(st.ok()) << "threads=" << threads;
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0),
+              static_cast<int>(kN));
+    for (size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i], 1);
+  }
+}
+
+TEST(ParallelForTest, SlotWritesMatchSerialAtAnyThreadCount) {
+  constexpr size_t kN = 257;  // deliberately not a multiple of the chunking
+  std::vector<double> serial(kN);
+  ParallelForOptions one;
+  one.threads = 1;
+  ASSERT_TRUE(ParallelFor(
+                  kN,
+                  [&](size_t i) {
+                    serial[i] = static_cast<double>(i) * 1.5 + 1.0;
+                    return Status::OK();
+                  },
+                  one)
+                  .ok());
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    std::vector<double> parallel(kN);
+    ParallelForOptions options;
+    options.threads = threads;
+    ASSERT_TRUE(ParallelFor(
+                    kN,
+                    [&](size_t i) {
+                      parallel[i] = static_cast<double>(i) * 1.5 + 1.0;
+                      return Status::OK();
+                    },
+                    options)
+                    .ok());
+    EXPECT_EQ(parallel, serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsOk) {
+  EXPECT_TRUE(ParallelFor(0, [](size_t) {
+                return Status::Internal("never called");
+              }).ok());
+}
+
+TEST(ParallelForTest, ReportsSmallestFailingIndex) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ParallelForOptions options;
+    options.threads = threads;
+    const Status st = ParallelFor(
+        500,
+        [&](size_t i) -> Status {
+          if (i == 137) return Status::InvalidArgument("fail-137");
+          if (i >= 300) return Status::Internal("fail-high");
+          return Status::OK();
+        },
+        options);
+    ASSERT_FALSE(st.ok()) << "threads=" << threads;
+    // The serial loop would have stopped at 137; the parallel one must
+    // report that same error even if a later chunk failed first in time.
+    EXPECT_EQ(st.message(), "fail-137") << "threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, ExceptionsBecomeInternalStatus) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    ParallelForOptions options;
+    options.threads = threads;
+    const Status st = ParallelFor(
+        64,
+        [](size_t i) -> Status {
+          if (i == 10) throw std::runtime_error("boom");
+          return Status::OK();
+        },
+        options);
+    ASSERT_FALSE(st.ok()) << "threads=" << threads;
+    EXPECT_EQ(st.code(), StatusCode::kInternal);
+  }
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  // Every outer chunk runs an inner ParallelFor against the same default
+  // pool; caller participation must keep this from deadlocking even when
+  // all workers are occupied by outer chunks.
+  std::atomic<int> inner_total{0};
+  ParallelForOptions outer;
+  outer.threads = 4;
+  const Status st = ParallelFor(
+      8,
+      [&](size_t) {
+        ParallelForOptions inner;
+        inner.threads = 4;
+        return ParallelFor(
+            16,
+            [&](size_t) {
+              inner_total.fetch_add(1, std::memory_order_relaxed);
+              return Status::OK();
+            },
+            inner);
+      },
+      outer);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ParallelForTest, ExplicitPoolIsUsed) {
+  ThreadPool pool(2);
+  std::vector<int> visits(64, 0);
+  ParallelForOptions options;
+  options.threads = 2;
+  options.pool = &pool;
+  ASSERT_TRUE(ParallelFor(
+                  visits.size(),
+                  [&](size_t i) {
+                    ++visits[i];
+                    return Status::OK();
+                  },
+                  options)
+                  .ok());
+  for (int v : visits) EXPECT_EQ(v, 1);
+}
+
+TEST(MixSeedTest, StreamsAreDistinctAndDeterministic) {
+  EXPECT_EQ(MixSeed(42, 0), MixSeed(42, 0));
+  EXPECT_NE(MixSeed(42, 0), MixSeed(42, 1));
+  EXPECT_NE(MixSeed(42, 0), MixSeed(43, 0));
+  // Derived generators produce different sequences per stream.
+  Rng a(MixSeed(7, 0));
+  Rng b(MixSeed(7, 1));
+  EXPECT_NE(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,348 @@
+// Parallel == serial equivalence: every parallel knob added to the MOQP
+// pipeline (cost prediction, NSGA offspring evaluation, bagging ensemble
+// training, cached prediction) must produce bit-identical results at any
+// thread count, and across repeated runs at the same thread count.
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/simulator.h"
+#include "ires/moo_optimizer.h"
+#include "ml/bagging.h"
+#include "optimizer/nsga2.h"
+#include "optimizer/nsga_g.h"
+#include "optimizer/problem.h"
+
+namespace midas {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+
+struct Environment {
+  Federation federation;
+  Catalog catalog;
+  SiteId site_a = 0;
+  SiteId site_b = 0;
+};
+
+Environment MakeEnvironment() {
+  Environment env;
+  SiteConfig a;
+  a.name = "A";
+  a.engines = {EngineKind::kHive};
+  a.node_type = {ProviderKind::kAmazon, "a1.xlarge", 4, 8.0, 0.0, 0.0197};
+  a.max_nodes = 8;
+  env.site_a = env.federation.AddSite(a).ValueOrDie();
+  SiteConfig b;
+  b.name = "B";
+  b.engines = {EngineKind::kPostgres};
+  b.node_type = {ProviderKind::kMicrosoft, "B2S", 2, 4.0, 8.0, 0.042};
+  b.max_nodes = 8;
+  env.site_b = env.federation.AddSite(b).ValueOrDie();
+  NetworkLink wan;
+  wan.bandwidth_mbps = 100.0;
+  wan.egress_price_per_gib = 0.09;
+  env.federation.network()
+      .SetSymmetricLink(env.site_a, env.site_b, wan)
+      .CheckOK();
+
+  TableDef t1;
+  t1.name = "t1";
+  t1.row_count = 200000;
+  t1.columns = {{"id", ColumnType::kInt, 8.0, 200000},
+                {"pay", ColumnType::kString, 72.0, 200000}};
+  env.catalog.AddTable(t1).CheckOK();
+  TableDef t2;
+  t2.name = "t2";
+  t2.row_count = 5000;
+  t2.columns = {{"id", ColumnType::kInt, 8.0, 5000}};
+  env.catalog.AddTable(t2).CheckOK();
+  env.federation.PlaceTable("t1", env.site_a, EngineKind::kHive).CheckOK();
+  env.federation.PlaceTable("t2", env.site_b, EngineKind::kPostgres)
+      .CheckOK();
+  return env;
+}
+
+QueryPlan LogicalJoin() {
+  return QueryPlan(MakeJoin(MakeScan("t1"), MakeScan("t2"), "id", "id"));
+}
+
+SimulatorOptions Deterministic() {
+  SimulatorOptions options;
+  options.stochastic = false;
+  options.variance = VarianceOptions{};
+  options.variance.drift_amplitude = 0.0;
+  options.variance.ar_sigma = 0.0;
+  options.variance.noise_sigma = 0.0;
+  return options;
+}
+
+MultiObjectiveOptimizer::CostPredictor OraclePredictor(
+    ExecutionSimulator* sim, std::atomic<size_t>* calls = nullptr) {
+  return [sim, calls](const QueryPlan& plan) -> StatusOr<Vector> {
+    if (calls != nullptr) calls->fetch_add(1, std::memory_order_relaxed);
+    MIDAS_ASSIGN_OR_RETURN(Measurement m, sim->ExpectedCostAt(plan, 0));
+    return Vector{m.seconds, m.dollars};
+  };
+}
+
+void ExpectSameResult(const MoqpResult& a, const MoqpResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.candidates_examined, b.candidates_examined) << label;
+  EXPECT_EQ(a.pareto_costs, b.pareto_costs) << label;
+  EXPECT_EQ(a.chosen, b.chosen) << label;
+  ASSERT_EQ(a.pareto_plans.size(), b.pareto_plans.size()) << label;
+  for (size_t i = 0; i < a.pareto_plans.size(); ++i) {
+    EXPECT_EQ(a.pareto_plans[i].ToString(), b.pareto_plans[i].ToString())
+        << label << " plan " << i;
+  }
+}
+
+TEST(ParallelEquivalenceTest, MoqpExhaustiveIdenticalAcrossThreadCounts) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Deterministic());
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+
+  MoqpOptions serial_options;
+  serial_options.threads = 1;
+  MultiObjectiveOptimizer serial(&env.federation, &env.catalog,
+                                 serial_options);
+  auto baseline =
+      serial.Optimize(LogicalJoin(), OraclePredictor(&sim), policy);
+  ASSERT_TRUE(baseline.ok());
+
+  for (size_t threads : kThreadCounts) {
+    MoqpOptions options;
+    options.threads = threads;
+    MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog,
+                                      options);
+    // Repeated runs at the same thread count must also agree (no
+    // scheduling-order leakage into results).
+    for (int rep = 0; rep < 2; ++rep) {
+      auto result =
+          optimizer.Optimize(LogicalJoin(), OraclePredictor(&sim), policy);
+      ASSERT_TRUE(result.ok());
+      ExpectSameResult(*baseline, *result,
+                       "threads=" + std::to_string(threads) + " rep=" +
+                           std::to_string(rep));
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, MoqpNsgaIdenticalAcrossThreadCounts) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Deterministic());
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+
+  for (MoqpAlgorithm algorithm :
+       {MoqpAlgorithm::kNsga2, MoqpAlgorithm::kNsgaG}) {
+    MoqpResult baseline;
+    bool have_baseline = false;
+    for (size_t threads : kThreadCounts) {
+      MoqpOptions options;
+      options.algorithm = algorithm;
+      options.threads = threads;
+      options.nsga2.population_size = 24;
+      options.nsga2.generations = 12;
+      options.nsga2.evaluation_threads = threads;
+      options.nsga_g.population_size = 24;
+      options.nsga_g.generations = 12;
+      options.nsga_g.evaluation_threads = threads;
+      MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog,
+                                        options);
+      auto result =
+          optimizer.Optimize(LogicalJoin(), OraclePredictor(&sim), policy);
+      ASSERT_TRUE(result.ok()) << MoqpAlgorithmName(algorithm);
+      if (!have_baseline) {
+        baseline = *result;
+        have_baseline = true;
+      } else {
+        ExpectSameResult(baseline, *result,
+                         MoqpAlgorithmName(algorithm) + " threads=" +
+                             std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, Nsga2PopulationBitIdentical) {
+  MooResult baseline;
+  bool have_baseline = false;
+  for (size_t threads : kThreadCounts) {
+    Nsga2Options options;
+    options.population_size = 20;
+    options.generations = 15;
+    options.seed = 11;
+    options.evaluation_threads = threads;
+    auto result = Nsga2(options).Optimize(Zdt1(8));
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    if (!have_baseline) {
+      baseline = *result;
+      have_baseline = true;
+      continue;
+    }
+    ASSERT_EQ(result->population.size(), baseline.population.size());
+    for (size_t i = 0; i < baseline.population.size(); ++i) {
+      EXPECT_EQ(result->population[i].variables,
+                baseline.population[i].variables)
+          << "threads=" << threads << " individual " << i;
+      EXPECT_EQ(result->population[i].objectives,
+                baseline.population[i].objectives)
+          << "threads=" << threads << " individual " << i;
+    }
+    EXPECT_EQ(result->front, baseline.front) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEquivalenceTest, NsgaGPopulationBitIdentical) {
+  MooResult baseline;
+  bool have_baseline = false;
+  for (size_t threads : kThreadCounts) {
+    NsgaGOptions options;
+    options.population_size = 20;
+    options.generations = 15;
+    options.seed = 11;
+    options.evaluation_threads = threads;
+    auto result = NsgaG(options).Optimize(Zdt2(8));
+    ASSERT_TRUE(result.ok()) << "threads=" << threads;
+    if (!have_baseline) {
+      baseline = *result;
+      have_baseline = true;
+      continue;
+    }
+    ASSERT_EQ(result->population.size(), baseline.population.size());
+    for (size_t i = 0; i < baseline.population.size(); ++i) {
+      EXPECT_EQ(result->population[i].variables,
+                baseline.population[i].variables)
+          << "threads=" << threads << " individual " << i;
+    }
+    EXPECT_EQ(result->front, baseline.front) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEquivalenceTest, BaggingEnsembleBitIdentical) {
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 60; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back({x});
+    ys.push_back(3.0 * x + 1.0);
+  }
+  const std::vector<Vector> probes = {{0.15}, {2.5}, {4.95}};
+
+  std::vector<double> baseline;
+  for (size_t threads : kThreadCounts) {
+    BaggingOptions options;
+    options.num_estimators = 12;
+    options.seed = 19;
+    options.threads = threads;
+    BaggingLearner learner(options);
+    ASSERT_TRUE(learner.Fit(xs, ys).ok()) << "threads=" << threads;
+    EXPECT_EQ(learner.num_fitted_estimators(), 12u);
+    std::vector<double> predictions;
+    for (const Vector& p : probes) {
+      predictions.push_back(learner.Predict(p).ValueOrDie());
+    }
+    if (baseline.empty()) {
+      baseline = predictions;
+    } else {
+      EXPECT_EQ(predictions, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, CachedPredictionsMatchUncached) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Deterministic());
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+
+  MultiObjectiveOptimizer uncached(&env.federation, &env.catalog);
+  auto baseline =
+      uncached.Optimize(LogicalJoin(), OraclePredictor(&sim), policy);
+  ASSERT_TRUE(baseline.ok());
+
+  // The deterministic simulator's expected cost depends only on the plan's
+  // extracted features for this single-join query, so caching is sound
+  // here and must not change any result.
+  MoqpOptions options;
+  options.threads = 2;
+  options.cache_predictions = true;
+  MultiObjectiveOptimizer cached(&env.federation, &env.catalog, options);
+
+  std::atomic<size_t> cold_calls{0};
+  auto cold =
+      cached.Optimize(LogicalJoin(), OraclePredictor(&sim, &cold_calls),
+                      policy);
+  ASSERT_TRUE(cold.ok());
+  ExpectSameResult(*baseline, *cold, "cold cache");
+  // Equivalent QEPs collapse onto shared feature vectors: fewer predictor
+  // calls than candidates, and the result reports the collapse.
+  EXPECT_EQ(cold->predictor_calls, cold_calls.load());
+  EXPECT_LT(cold->predictor_calls, cold->candidates_examined);
+  EXPECT_EQ(cold->cache_hits, 0u);
+  EXPECT_EQ(cold->cache_misses, cold->predictor_calls);
+
+  // Second run on the same optimizer: everything is a hit.
+  std::atomic<size_t> warm_calls{0};
+  auto warm =
+      cached.Optimize(LogicalJoin(), OraclePredictor(&sim, &warm_calls),
+                      policy);
+  ASSERT_TRUE(warm.ok());
+  ExpectSameResult(*baseline, *warm, "warm cache");
+  EXPECT_EQ(warm_calls.load(), 0u);
+  EXPECT_EQ(warm->predictor_calls, 0u);
+  EXPECT_EQ(warm->cache_misses, 0u);
+  EXPECT_GT(warm->cache_hits, 0u);
+  EXPECT_EQ(cached.prediction_cache().size(), cold->cache_misses);
+
+  // Clearing the cache forces fresh predictions again.
+  cached.ClearPredictionCache();
+  std::atomic<size_t> cleared_calls{0};
+  auto cleared =
+      cached.Optimize(LogicalJoin(), OraclePredictor(&sim, &cleared_calls),
+                      policy);
+  ASSERT_TRUE(cleared.ok());
+  ExpectSameResult(*baseline, *cleared, "cleared cache");
+  EXPECT_EQ(cleared_calls.load(), cold_calls.load());
+}
+
+TEST(ParallelEquivalenceTest, ParallelFirstErrorMatchesSerial) {
+  Environment env = MakeEnvironment();
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+
+  // A predictor that fails on every call: serial and parallel must report
+  // the same (first) error.
+  auto failing = [](const QueryPlan&) -> StatusOr<Vector> {
+    return Status::InvalidArgument("predictor offline");
+  };
+  Status serial_status, parallel_status;
+  {
+    MoqpOptions options;
+    options.threads = 1;
+    MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog,
+                                      options);
+    serial_status = optimizer.Optimize(LogicalJoin(), failing, policy)
+                        .status();
+  }
+  {
+    MoqpOptions options;
+    options.threads = 8;
+    MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog,
+                                      options);
+    parallel_status = optimizer.Optimize(LogicalJoin(), failing, policy)
+                          .status();
+  }
+  EXPECT_FALSE(serial_status.ok());
+  EXPECT_FALSE(parallel_status.ok());
+  EXPECT_EQ(serial_status.code(), parallel_status.code());
+  EXPECT_EQ(serial_status.message(), parallel_status.message());
+}
+
+}  // namespace
+}  // namespace midas

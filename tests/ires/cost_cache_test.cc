@@ -1,0 +1,104 @@
+#include "ires/cost_cache.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace {
+
+TEST(FeatureCostCacheTest, MissThenInsertThenHit) {
+  FeatureCostCache cache;
+  const Vector key = {64.0, 4.0, 128.0, 2.0};
+  EXPECT_FALSE(cache.Lookup(key).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  cache.Insert(key, {10.0, 0.5});
+  EXPECT_EQ(cache.size(), 1u);
+  const auto cached = cache.Lookup(key);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, (Vector{10.0, 0.5}));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(FeatureCostCacheTest, DistinctFeaturesNeverShareEntries) {
+  FeatureCostCache cache;
+  // Keys differing in any coordinate — including by tiny deltas and in
+  // length — must map to independent entries.
+  const std::vector<Vector> keys = {
+      {1.0, 2.0},
+      {1.0, 2.0000000001},
+      {2.0, 1.0},
+      {1.0, 2.0, 0.0},
+      {},
+  };
+  for (size_t i = 0; i < keys.size(); ++i) {
+    cache.Insert(keys[i], {static_cast<double>(i)});
+  }
+  EXPECT_EQ(cache.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const auto cached = cache.Lookup(keys[i]);
+    ASSERT_TRUE(cached.has_value()) << "key " << i;
+    EXPECT_EQ((*cached)[0], static_cast<double>(i));
+  }
+}
+
+TEST(FeatureCostCacheTest, NegativeZeroAliasesPositiveZero) {
+  // -0.0 == 0.0 under Vector's operator==, so VectorHash must agree and
+  // the two spellings must share one entry.
+  FeatureCostCache cache;
+  cache.Insert({0.0, 1.0}, {7.0});
+  const auto cached = cache.Lookup({-0.0, 1.0});
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ((*cached)[0], 7.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(FeatureCostCacheTest, FirstWriterWinsOnDuplicateInsert) {
+  FeatureCostCache cache;
+  cache.Insert({1.0}, {1.0});
+  cache.Insert({1.0}, {2.0});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ((*cache.Lookup({1.0}))[0], 1.0);
+}
+
+TEST(FeatureCostCacheTest, ClearResetsEntriesAndCounters) {
+  FeatureCostCache cache;
+  cache.Insert({1.0}, {1.0});
+  cache.Lookup({1.0});
+  cache.Lookup({2.0});
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.Lookup({1.0}).has_value());
+}
+
+TEST(FeatureCostCacheTest, ConcurrentInsertAndLookup) {
+  FeatureCostCache cache;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache] {
+      for (int k = 0; k < kKeys; ++k) {
+        const Vector key = {static_cast<double>(k)};
+        cache.Insert(key, {static_cast<double>(k) * 2.0});
+        const auto cached = cache.Lookup(key);
+        ASSERT_TRUE(cached.has_value());
+        EXPECT_EQ((*cached)[0], static_cast<double>(k) * 2.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kThreads) * kKeys);
+}
+
+}  // namespace
+}  // namespace midas

@@ -99,7 +99,7 @@ TEST(CrowdingDistanceTest, DenserPointsGetSmallerDistance) {
 }
 
 TEST(CrowdingDistanceTest, EmptyFront) {
-  EXPECT_TRUE(CrowdingDistances({}, {}).empty());
+  EXPECT_TRUE(CrowdingDistances(std::vector<Vector>{}, {}).empty());
 }
 
 // --- Parametric definitions (Eqs. 2-4) over a sampled parameter space ---
