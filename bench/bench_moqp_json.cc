@@ -1,30 +1,31 @@
 // Machine-readable MOQP pipeline benchmark: times the end-to-end
 // Multi-Objective Optimizer (enumerate → predict → Pareto → Algorithm 2)
-// over an Example-3.1-scale QEP space under three configurations —
+// over an Example-3.1-scale QEP space, sweeping thread counts 1/2/4/8 for
+// both costing stages —
 //
-//   serial          threads=1, no cache (the seed pipeline);
-//   parallel        threads=8 concurrent cost prediction + front extraction;
-//   parallel_cache  threads=8 plus the feature-keyed prediction memo, so
-//                   equivalent QEPs that share a feature vector are
-//                   estimated once and repeated optimizations reuse the
-//                   persistent cache;
+//   scalar_tN   per-plan CostPredictor: each candidate runs DREAM's
+//               Algorithm 1 (window growth to the cap) and one Predict —
+//               the seed pipeline, parallelised over plans;
+//   batch_tN    BatchCostPredictor: candidates are gathered into SoA
+//               feature matrices (MoqpOptions::batch_size rows), each
+//               chunk runs Algorithm 1 once and scores every row through
+//               one GEMM-backed PredictBatch;
 //
-// and emits BENCH_moqp.json so the perf trajectory is tracked across PRs.
-// Run via scripts/bench_moqp.sh.
-//
-// The predictor runs DREAM's Algorithm 1 (window growth to the cap) per
-// estimate, the per-QEP estimation cost §3 argues gets multiplied by the
-// fleet of equivalent configurations. It reads the plan only through
-// ExtractFeatures, so memoisation is sound.
+// plus batch_t8_cache, which adds the striped feature-keyed memo so
+// equivalent QEPs are scored once and repeated optimizations reuse the
+// persistent cache. Every row records whether its Pareto front and chosen
+// plan are identical to the serial scalar baseline (they must be: the
+// batch path is bit-identical by construction). Emits BENCH_moqp.json so
+// the perf trajectory is tracked across PRs; run via scripts/bench_moqp.sh.
 
 #include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
-#include "engine/simulator.h"
 #include "ires/features.h"
 #include "ires/moo_optimizer.h"
 #include "regression/dream.h"
@@ -119,9 +120,13 @@ TrainingSet MakeHistory(const Federation& federation, size_t n) {
 
 struct ConfigResult {
   std::string name;
+  std::string mode;  // "scalar" or "batch"
+  size_t threads = 0;
+  bool cache = false;
   std::vector<double> rep_seconds;
   size_t candidates_examined = 0;
   size_t pareto_size = 0;
+  bool matches_serial = true;
   std::vector<size_t> predictor_calls;
   std::vector<size_t> cache_hits;
 
@@ -148,12 +153,15 @@ int Run(const char* out_path) {
 
   // Algorithm 1 with an unreachable R² target grows the window to the cap
   // on every estimate — the per-QEP estimation cost §3 multiplies by the
-  // fleet size.
+  // fleet size. The scalar predictor pays it per candidate; the batch
+  // predictor pays it once per SoA chunk and scores all rows in one GEMM.
+  // Both are deterministic functions of the same history, so their
+  // per-plan costs are bit-identical.
   DreamOptions dream_options;
   dream_options.r2_require = 2.0;
   dream_options.m_max = 256;
   dream_options.engine = DreamEngine::kIncremental;
-  const auto predictor =
+  const auto scalar_predictor =
       [&](const QueryPlan& plan) -> StatusOr<Vector> {
     MIDAS_ASSIGN_OR_RETURN(Vector x,
                            ExtractFeatures(env.federation, plan));
@@ -161,6 +169,12 @@ int Run(const char* out_path) {
     MIDAS_ASSIGN_OR_RETURN(DreamEstimate estimate,
                            dream.EstimateCostValue(history));
     return estimate.Predict(x);
+  };
+  const MultiObjectiveOptimizer::BatchCostPredictor batch_predictor =
+      [&](const Matrix& x, Matrix* costs) -> Status {
+    Dream dream(dream_options);
+    MIDAS_ASSIGN_OR_RETURN(*costs, dream.PredictCostsBatch(history, x));
+    return Status::OK();
   };
 
   QueryPolicy policy;
@@ -171,18 +185,29 @@ int Run(const char* out_path) {
   enumerator.max_plans = 200000;
 
   constexpr int kReps = 3;
-  constexpr size_t kThreads = 8;
   std::vector<ConfigResult> results;
-  const struct {
-    const char* name;
+  struct Config {
+    std::string name;
+    std::string mode;
     size_t threads;
     bool cache;
-  } configs[] = {
-      {"serial", 1, false},
-      {"parallel", kThreads, false},
-      {"parallel_cache", kThreads, true},
   };
-  for (const auto& config : configs) {
+  std::vector<Config> configs;
+  for (size_t threads : {1, 2, 4, 8}) {
+    configs.push_back({"scalar_t" + std::to_string(threads), "scalar",
+                       threads, false});
+  }
+  for (size_t threads : {1, 2, 4, 8}) {
+    configs.push_back({"batch_t" + std::to_string(threads), "batch",
+                       threads, false});
+  }
+  configs.push_back({"batch_t8_cache", "batch", 8, true});
+
+  // Serial scalar result, against which every other row is checked.
+  std::vector<Vector> baseline_front;
+  size_t baseline_chosen = 0;
+  std::string baseline_plan;
+  for (const Config& config : configs) {
     MoqpOptions options;
     options.enumerator = enumerator;
     options.threads = config.threads;
@@ -193,34 +218,54 @@ int Run(const char* out_path) {
                                       options);
     ConfigResult r;
     r.name = config.name;
+    r.mode = config.mode;
+    r.threads = config.threads;
+    r.cache = config.cache;
     for (int rep = 0; rep < kReps; ++rep) {
       const double t0 = NowSeconds();
-      auto result = optimizer.Optimize(logical, predictor, policy);
+      StatusOr<MoqpResult> result =
+          config.mode == "scalar"
+              ? optimizer.Optimize(logical, scalar_predictor, policy)
+              : optimizer.Optimize(logical, batch_predictor, policy);
       result.status().CheckOK();
       r.rep_seconds.push_back(NowSeconds() - t0);
       r.candidates_examined = result->candidates_examined;
       r.pareto_size = result->pareto_costs.size();
       r.predictor_calls.push_back(result->predictor_calls);
       r.cache_hits.push_back(result->cache_hits);
+      const std::string chosen_plan =
+          result->pareto_plans[result->chosen].ToString();
+      if (results.empty() && rep == 0) {
+        baseline_front = result->pareto_costs;
+        baseline_chosen = result->chosen;
+        baseline_plan = chosen_plan;
+      }
+      if (result->pareto_costs != baseline_front ||
+          result->chosen != baseline_chosen ||
+          chosen_plan != baseline_plan) {
+        r.matches_serial = false;
+      }
       std::fprintf(stderr,
                    "%-15s rep %d: %7.3f s  %zu candidates  "
-                   "%zu predictor calls  %zu cache hits\n",
-                   config.name, rep, r.rep_seconds.back(),
+                   "%zu predictor calls  %zu cache hits%s\n",
+                   config.name.c_str(), rep, r.rep_seconds.back(),
                    result->candidates_examined, result->predictor_calls,
-                   result->cache_hits);
+                   result->cache_hits,
+                   r.matches_serial ? "" : "  [MISMATCH vs serial]");
     }
     results.push_back(std::move(r));
   }
 
   const double serial_total = results[0].TotalSeconds();
   std::string json = "{\n";
-  json += "  \"benchmark\": \"moqp_parallel_pipeline\",\n";
+  json += "  \"benchmark\": \"moqp_batched_pipeline\",\n";
   json +=
       "  \"setup\": \"three-table join over a two-cloud federation, VM "
       "counts 1-32 per site (Example 3.1 scale); DREAM window-growth "
-      "estimator per predictor call; " +
+      "estimator, scalar per-plan vs GEMM-backed batch costing; " +
       std::to_string(kReps) + " optimizations per config\",\n";
-  json += "  \"threads\": " + std::to_string(kThreads) + ",\n";
+  json += "  \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
   json += "  \"reps\": " + std::to_string(kReps) + ",\n";
   json += "  \"candidates_examined\": " +
           std::to_string(results[0].candidates_examined) + ",\n";
@@ -233,14 +278,18 @@ int Run(const char* out_path) {
     char row[512];
     std::snprintf(
         row, sizeof(row),
-        "    {\"config\": \"%s\", \"total_seconds\": %.3f, "
-        "\"plans_per_sec\": %.0f, \"speedup_vs_serial\": %.2f, "
-        "\"pareto_size\": %zu, \"predictor_calls\": [%zu, %zu, %zu], "
+        "    {\"config\": \"%s\", \"mode\": \"%s\", \"threads\": %zu, "
+        "\"cache\": %s, \"total_seconds\": %.3f, \"plans_per_sec\": %.0f, "
+        "\"speedup_vs_serial\": %.2f, \"pareto_size\": %zu, "
+        "\"matches_serial\": %s, \"predictor_calls\": [%zu, %zu, %zu], "
         "\"cache_hits\": [%zu, %zu, %zu]}%s\n",
-        r.name.c_str(), total, plans_per_sec, serial_total / total,
-        r.pareto_size, r.predictor_calls[0], r.predictor_calls[1],
-        r.predictor_calls[2], r.cache_hits[0], r.cache_hits[1],
-        r.cache_hits[2], i + 1 < results.size() ? "," : "");
+        r.name.c_str(), r.mode.c_str(), r.threads,
+        r.cache ? "true" : "false", total, plans_per_sec,
+        serial_total / total, r.pareto_size,
+        r.matches_serial ? "true" : "false", r.predictor_calls[0],
+        r.predictor_calls[1], r.predictor_calls[2], r.cache_hits[0],
+        r.cache_hits[1], r.cache_hits[2],
+        i + 1 < results.size() ? "," : "");
     json += row;
   }
   json += "  ]\n}\n";

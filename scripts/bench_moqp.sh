@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Builds and runs the parallel-MOQP pipeline benchmark, writing the
+# Builds and runs the batched-MOQP pipeline benchmark, writing the
 # machine-readable results to BENCH_moqp.json at the repo root so the
-# perf trajectory (serial vs parallel vs parallel+cache, plans/sec over
-# an Example-3.1-scale enumeration) is tracked across PRs.
+# perf trajectory (scalar vs GEMM-backed batch costing across thread
+# counts 1/2/4/8, plus the striped prediction cache, plans/sec over an
+# Example-3.1-scale enumeration) is tracked across PRs. Every row is
+# cross-checked against the serial scalar baseline (matches_serial).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -1,16 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 gate: builds the default, asan and tsan presets and runs the full
-# test suite under each, so numerically delicate code (e.g. the rank-1
-# normal-equation updates behind DREAM's incremental engine) is
-# sanitizer-verified on every change and the thread-pool / parallel MOQP
-# paths are race-checked under ThreadSanitizer.
+# Tier-1 gate: builds the default, asan, ubsan and tsan presets and runs
+# the full test suite under each, so numerically delicate code (e.g. the
+# rank-1 normal-equation updates behind DREAM's incremental engine and the
+# blocked GEMM kernels) is sanitizer-verified on every change and the
+# thread-pool / parallel MOQP / striped-cache paths are race-checked under
+# ThreadSanitizer.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${JOBS:-$(nproc)}"
 cd "$repo_root"
 
-for preset in default asan tsan; do
+for preset in default asan ubsan tsan; do
   echo "=== preset: $preset ==="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$jobs"

@@ -5,32 +5,78 @@
 
 namespace midas {
 
+namespace {
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FeatureCostCache::FeatureCostCache(size_t num_shards)
+    : shards_(RoundUpToPowerOfTwo(num_shards == 0 ? 1 : num_shards)),
+      shard_mask_(shards_.size() - 1) {}
+
+FeatureCostCache::Shard& FeatureCostCache::ShardFor(
+    const Vector& features) const {
+  // Upper hash bits pick the shard so the shard index stays independent of
+  // the map's own bucket choice (which consumes the low bits).
+  const size_t h = VectorHash()(features);
+  return shards_[(h >> 48) & shard_mask_];
+}
+
 std::optional<Vector> FeatureCostCache::Lookup(const Vector& features) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  const auto it = entries_.find(features);
-  if (it == entries_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = ShardFor(features);
+  std::shared_lock<std::shared_mutex> lock(shard.mutex);
+  const auto it = shard.entries.find(features);
+  if (it == shard.entries.end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
 
 void FeatureCostCache::Insert(const Vector& features, Vector cost) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  entries_.emplace(features, std::move(cost));
+  Shard& shard = ShardFor(features);
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  shard.entries.emplace(features, std::move(cost));
 }
 
 size_t FeatureCostCache::size() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return entries_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+uint64_t FeatureCostCache::hits() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.hits.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t FeatureCostCache::misses() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.misses.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 void FeatureCostCache::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  entries_.clear();
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.entries.clear();
+    shard.hits.store(0, std::memory_order_relaxed);
+    shard.misses.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace midas

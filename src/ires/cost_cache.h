@@ -6,6 +6,7 @@
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "linalg/matrix.h"
 
@@ -18,8 +19,14 @@ namespace midas {
 /// commuted join that scans the same bytes with the same VM counts — so the
 /// estimator only needs to run once per distinct feature vector
 /// (Example 3.1's 18,200 configurations collapse to the distinct VM-count
-/// combinations). Readers take a shared lock; inserts take an exclusive
-/// one. Hit/miss counters are atomics so concurrent lookups stay cheap.
+/// combinations).
+///
+/// The table is lock-striped: keys are spread over `num_shards` independent
+/// shards by the upper bits of their VectorHash, each shard owning its own
+/// shared_mutex, map and hit/miss counters. Warm parallel lookups therefore
+/// contend only when two threads land on the same shard, instead of
+/// funnelling every reader through one global lock. hits()/misses()/size()
+/// aggregate across shards.
 ///
 /// Correctness requires the predictor to be a pure function of the
 /// features; predictors that read other plan structure (e.g. the raw
@@ -27,7 +34,12 @@ namespace midas {
 /// cached.
 class FeatureCostCache {
  public:
-  FeatureCostCache() = default;
+  /// Default stripe count: enough shards that 8-16 threads rarely collide,
+  /// small enough that size()/Clear() stay cheap.
+  static constexpr size_t kDefaultShards = 16;
+
+  /// \param num_shards rounded up to the next power of two, at least 1.
+  explicit FeatureCostCache(size_t num_shards = kDefaultShards);
 
   /// Returns the cached cost for `features`, counting a hit or a miss.
   std::optional<Vector> Lookup(const Vector& features) const;
@@ -35,18 +47,31 @@ class FeatureCostCache {
   /// Stores the cost for `features` (first writer wins on a race).
   void Insert(const Vector& features, Vector cost);
 
+  /// Entry count summed over all shards.
   size_t size() const;
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
-  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Hit/miss totals aggregated over the per-shard counters.
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+  size_t num_shards() const { return shards_.size(); }
 
   /// Drops all entries and resets the counters.
   void Clear();
 
  private:
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<Vector, Vector, VectorHash> entries_;
-  mutable std::atomic<uint64_t> hits_{0};
-  mutable std::atomic<uint64_t> misses_{0};
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<Vector, Vector, VectorHash> entries;
+    mutable std::atomic<uint64_t> hits{0};
+    mutable std::atomic<uint64_t> misses{0};
+  };
+
+  Shard& ShardFor(const Vector& features) const;
+
+  // Fixed at construction; Shard is neither copyable nor movable, so the
+  // vector is sized once and never reallocated.
+  mutable std::vector<Shard> shards_;
+  size_t shard_mask_ = 0;
 };
 
 }  // namespace midas

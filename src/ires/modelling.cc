@@ -52,6 +52,30 @@ StatusOr<Vector> Modelling::Predict(const std::string& scope, const Vector& x,
   return prediction;
 }
 
+StatusOr<Matrix> Modelling::PredictBatch(const std::string& scope,
+                                         const Matrix& X,
+                                         const EstimatorConfig& config) const {
+  MIDAS_ASSIGN_OR_RETURN(const TrainingSet* set, history_.Get(scope));
+  if (X.cols() != num_features()) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  StatusOr<Matrix> prediction =
+      config.kind == EstimatorKind::kDream
+          ? [&]() -> StatusOr<Matrix> {
+              Dream dream(config.dream);
+              return dream.PredictCostsBatch(*set, X);
+            }()
+          : PredictBmlBatch(*set, X, config.window);
+  if (!prediction.ok()) return prediction;
+  // Same clamp as the per-row path: costs are physical quantities.
+  for (size_t r = 0; r < prediction->rows(); ++r) {
+    for (size_t m = 0; m < prediction->cols(); ++m) {
+      (*prediction)(r, m) = std::max(0.0, (*prediction)(r, m));
+    }
+  }
+  return prediction;
+}
+
 StatusOr<Vector> Modelling::PredictBml(const TrainingSet& set, const Vector& x,
                                        WindowPolicy window) const {
   const size_t m =
@@ -68,6 +92,28 @@ StatusOr<Vector> Modelling::PredictBml(const TrainingSet& set, const Vector& x,
     MIDAS_ASSIGN_OR_RETURN(Vector ys, set.RecentCosts(m, metric));
     MIDAS_ASSIGN_OR_RETURN(SelectedModel model, selector_.SelectBest(xs, ys));
     MIDAS_ASSIGN_OR_RETURN(prediction[metric], model.learner->Predict(x));
+  }
+  return prediction;
+}
+
+StatusOr<Matrix> Modelling::PredictBmlBatch(const TrainingSet& set,
+                                            const Matrix& X,
+                                            WindowPolicy window) const {
+  const size_t m = WindowSizeFor(window, BaseWindow(), set.size());
+  if (m < BaseWindow()) {
+    return Status::FailedPrecondition(
+        "history smaller than the base window N");
+  }
+  MIDAS_ASSIGN_OR_RETURN(std::vector<Vector> xs, set.RecentFeatures(m));
+  Matrix prediction(X.rows(), num_metrics());
+  // One selection per metric for the whole batch; selection is
+  // deterministic, so the winner matches the per-row path's.
+  for (size_t metric = 0; metric < num_metrics(); ++metric) {
+    MIDAS_ASSIGN_OR_RETURN(Vector ys, set.RecentCosts(m, metric));
+    MIDAS_ASSIGN_OR_RETURN(SelectedModel model, selector_.SelectBest(xs, ys));
+    Vector column;
+    MIDAS_RETURN_IF_ERROR(model.learner->PredictBatch(X, &column));
+    for (size_t r = 0; r < X.rows(); ++r) prediction(r, metric) = column[r];
   }
   return prediction;
 }

@@ -59,6 +59,15 @@ class Modelling {
   StatusOr<Vector> Predict(const std::string& scope, const Vector& x,
                            const EstimatorConfig& config) const;
 
+  /// Batched Predict: one cost row per feature row of X (columns in metric
+  /// order). Row r equals Predict(scope, X.Row(r), config) bit-for-bit,
+  /// but the estimator is fitted *once* for the whole batch — DREAM runs
+  /// Algorithm 1 once and scores the batch as a GEMM, BML selects each
+  /// metric's best model once and calls its vectorised PredictBatch —
+  /// instead of refitting per candidate as the per-row path does.
+  StatusOr<Matrix> PredictBatch(const std::string& scope, const Matrix& X,
+                                const EstimatorConfig& config) const;
+
   /// DREAM diagnostic: the estimate (window size, per-metric R²) that a
   /// kDream prediction for this scope would use right now.
   StatusOr<DreamEstimate> DreamDiagnostics(const std::string& scope,
@@ -67,6 +76,8 @@ class Modelling {
  private:
   StatusOr<Vector> PredictBml(const TrainingSet& set, const Vector& x,
                               WindowPolicy window) const;
+  StatusOr<Matrix> PredictBmlBatch(const TrainingSet& set, const Matrix& X,
+                                   WindowPolicy window) const;
 
   History history_;
   ModelSelector selector_;

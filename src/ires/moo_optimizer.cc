@@ -1,5 +1,6 @@
 #include "ires/moo_optimizer.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -32,7 +33,7 @@ MultiObjectiveOptimizer::MultiObjectiveOptimizer(const Federation* federation,
     : federation_(federation),
       catalog_(catalog),
       options_(std::move(options)),
-      cache_(std::make_shared<FeatureCostCache>()) {}
+      cache_(std::make_shared<FeatureCostCache>(options_.cache_shards)) {}
 
 StatusOr<MoqpResult> MultiObjectiveOptimizer::FromCandidates(
     std::vector<QueryPlan> plans, std::vector<Vector> costs,
@@ -138,6 +139,121 @@ StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
   return costs;
 }
 
+StatusOr<std::vector<Vector>>
+MultiObjectiveOptimizer::PredictCandidateCostsBatched(
+    const std::vector<QueryPlan>& plans, const BatchCostPredictor& predictor,
+    size_t arity, PredictionStats* stats) const {
+  ParallelForOptions parallel;
+  parallel.threads = options_.threads;
+  std::vector<Vector> costs(plans.size());
+  if (plans.empty()) return costs;
+
+  // One ExtractFeatures pass over every candidate, in stable candidate
+  // order (each index writes its own slot, so the parallel pass is
+  // bit-identical to a serial one).
+  std::vector<Vector> features(plans.size());
+  MIDAS_RETURN_IF_ERROR(ParallelFor(
+      plans.size(),
+      [&](size_t i) -> Status {
+        MIDAS_ASSIGN_OR_RETURN(features[i],
+                               ExtractFeatures(*federation_, plans[i]));
+        return Status::OK();
+      },
+      parallel));
+  const size_t n_features = features[0].size();
+
+  // Output slots: without the cache every candidate owns one; with it,
+  // candidates sharing a feature vector collapse onto one slot and only
+  // the slots absent from the cache reach the predictor.
+  std::vector<size_t> slot_of_plan(plans.size());
+  std::vector<size_t> representative;  // first feature-row index per slot
+  std::vector<size_t> to_predict;      // slots that need scoring
+  std::vector<Vector> unique_costs;
+  if (!options_.cache_predictions) {
+    representative.resize(plans.size());
+    to_predict.resize(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      slot_of_plan[i] = representative[i] = to_predict[i] = i;
+    }
+    unique_costs.resize(plans.size());
+  } else {
+    std::unordered_map<Vector, size_t, VectorHash> slot_by_feature;
+    slot_by_feature.reserve(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      const auto [it, inserted] =
+          slot_by_feature.emplace(features[i], representative.size());
+      if (inserted) representative.push_back(i);
+      slot_of_plan[i] = it->second;
+    }
+    unique_costs.resize(representative.size());
+    for (size_t s = 0; s < representative.size(); ++s) {
+      if (auto cached = cache_->Lookup(features[representative[s]])) {
+        unique_costs[s] = std::move(*cached);
+        ++stats->cache_hits;
+      } else {
+        to_predict.push_back(s);
+        ++stats->cache_misses;
+      }
+    }
+  }
+
+  // Score batch_size-row chunks concurrently. Each chunk gathers its
+  // feature rows into one SoA matrix and receives one cost row per
+  // feature row; chunk boundaries never affect the scored values, only
+  // how often the predictor amortises its per-batch setup.
+  const size_t rows = to_predict.size();
+  size_t chunk_rows = options_.batch_size;
+  if (chunk_rows == 0) {
+    const size_t t = parallel.threads == 0 ? ThreadPool::DefaultThreadCount()
+                                           : parallel.threads;
+    chunk_rows = (rows + t - 1) / t;
+  }
+  chunk_rows = std::max<size_t>(1, chunk_rows);
+  const size_t n_chunks = (rows + chunk_rows - 1) / chunk_rows;
+  MIDAS_RETURN_IF_ERROR(ParallelFor(
+      n_chunks,
+      [&](size_t c) -> Status {
+        const size_t begin = c * chunk_rows;
+        const size_t end = std::min(begin + chunk_rows, rows);
+        Matrix x(end - begin, n_features);
+        for (size_t r = begin; r < end; ++r) {
+          x.SetRow(r - begin, features[representative[to_predict[r]]]);
+        }
+        Matrix scored;
+        MIDAS_RETURN_IF_ERROR(predictor(x, &scored));
+        if (scored.rows() != x.rows()) {
+          return Status::InvalidArgument(
+              "batch predictor returned a wrong-sized batch");
+        }
+        if (scored.cols() != arity) {
+          return Status::InvalidArgument("predictor/policy arity mismatch");
+        }
+        for (size_t r = begin; r < end; ++r) {
+          unique_costs[to_predict[r]] = scored.Row(r - begin);
+        }
+        return Status::OK();
+      },
+      parallel));
+  stats->predictor_calls = rows;
+
+  if (options_.cache_predictions) {
+    for (size_t s : to_predict) {
+      cache_->Insert(features[representative[s]], unique_costs[s]);
+    }
+    // Checked after the fact so cached entries from an earlier predictor
+    // arity are rejected too.
+    for (const Vector& cost : unique_costs) {
+      if (cost.size() != arity) {
+        return Status::InvalidArgument("predictor/policy arity mismatch");
+      }
+    }
+  }
+  for (size_t i = 0; i < plans.size(); ++i) {
+    costs[i] = unique_costs[slot_of_plan[i]];
+  }
+  return costs;
+}
+
 StatusOr<MoqpResult> MultiObjectiveOptimizer::RunAlgorithm(
     std::vector<QueryPlan> plans, std::vector<Vector> costs,
     const QueryPolicy& policy) const {
@@ -209,6 +325,30 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
       std::vector<Vector> costs,
       PredictCandidateCosts(plans, predictor, policy.weights.size(),
                             &stats));
+
+  MIDAS_ASSIGN_OR_RETURN(
+      MoqpResult result,
+      RunAlgorithm(std::move(plans), std::move(costs), policy));
+  result.predictor_calls = stats.predictor_calls;
+  result.cache_hits = stats.cache_hits;
+  result.cache_misses = stats.cache_misses;
+  return result;
+}
+
+StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
+    const QueryPlan& logical, const BatchCostPredictor& predictor,
+    const QueryPolicy& policy) const {
+  if (!predictor) return Status::InvalidArgument("null cost predictor");
+
+  PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
+  MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
+                         enumerator.EnumeratePhysical(logical));
+
+  PredictionStats stats;
+  MIDAS_ASSIGN_OR_RETURN(
+      std::vector<Vector> costs,
+      PredictCandidateCostsBatched(plans, predictor, policy.weights.size(),
+                                   &stats));
 
   MIDAS_ASSIGN_OR_RETURN(
       MoqpResult result,

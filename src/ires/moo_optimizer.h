@@ -48,6 +48,18 @@ struct MoqpOptions {
   /// features (true for the Modelling/DREAM estimators; NOT true for the
   /// raw execution simulator, whose costs also depend on join shape).
   bool cache_predictions = false;
+  /// Rows per chunk of the *batched* costing stage (the Optimize overload
+  /// taking a BatchCostPredictor): candidates are scored `batch_size`
+  /// feature rows at a time, chunks running concurrently on the thread
+  /// pool. Bigger chunks amortise per-batch estimator setup (DREAM refits
+  /// Algorithm 1 once per chunk) but leave fewer chunks to parallelise;
+  /// 0 splits the batch evenly across the resolved thread count. Results
+  /// are independent of the chunking.
+  size_t batch_size = 1024;
+  /// Lock stripes of the shared FeatureCostCache (rounded up to a power of
+  /// two). More shards cut contention on warm parallel lookups; counters
+  /// and contents behave identically at any value.
+  size_t cache_shards = FeatureCostCache::kDefaultShards;
 };
 
 /// \brief Outcome of one MOQP optimisation.
@@ -81,12 +93,31 @@ class MultiObjectiveOptimizer {
   /// Predicts the cost vector of one annotated physical plan.
   using CostPredictor = std::function<StatusOr<Vector>(const QueryPlan&)>;
 
+  /// Scores a batch of candidates at once: `features` holds one extracted
+  /// feature row per candidate (ires/features.h layout) and the predictor
+  /// fills *costs with one row per feature row, one column per metric.
+  /// Must be a pure function of the features — the batched pipeline reads
+  /// plans only through ExtractFeatures, which is also what makes the
+  /// prediction cache sound for it.
+  using BatchCostPredictor =
+      std::function<Status(const Matrix& features, Matrix* costs)>;
+
   MultiObjectiveOptimizer(const Federation* federation,
                           const Catalog* catalog,
                           MoqpOptions options = MoqpOptions());
 
   StatusOr<MoqpResult> Optimize(const QueryPlan& logical,
                                 const CostPredictor& predictor,
+                                const QueryPolicy& policy) const;
+
+  /// Batched pipeline: enumerate, extract every candidate's features once
+  /// into a single SoA matrix (stable candidate order), score
+  /// options.batch_size-row chunks concurrently through `predictor`, then
+  /// run Pareto extraction and Algorithm 2 exactly as the per-plan path.
+  /// MoqpResult::predictor_calls counts scored *rows*, so the two paths
+  /// report comparable work.
+  StatusOr<MoqpResult> Optimize(const QueryPlan& logical,
+                                const BatchCostPredictor& predictor,
                                 const QueryPolicy& policy) const;
 
   /// The feature-keyed prediction memo (populated only when
@@ -108,6 +139,14 @@ class MultiObjectiveOptimizer {
   StatusOr<std::vector<Vector>> PredictCandidateCosts(
       const std::vector<QueryPlan>& plans, const CostPredictor& predictor,
       size_t arity, PredictionStats* stats) const;
+
+  /// Batched variant: one ExtractFeatures pass over all candidates, then
+  /// chunked matrix scoring (feature-deduplicated and cache-filtered when
+  /// options.cache_predictions is set).
+  StatusOr<std::vector<Vector>> PredictCandidateCostsBatched(
+      const std::vector<QueryPlan>& plans,
+      const BatchCostPredictor& predictor, size_t arity,
+      PredictionStats* stats) const;
 
   /// Dispatches to the configured MOQP algorithm over the predicted table.
   StatusOr<MoqpResult> RunAlgorithm(std::vector<QueryPlan> plans,

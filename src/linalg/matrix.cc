@@ -31,6 +31,21 @@ Matrix Matrix::FromColumn(const Vector& v) {
   return m;
 }
 
+StatusOr<Matrix> Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  const size_t cols = rows[0].size();
+  Matrix m(rows.size(), cols);
+  double* dst = m.data_.data();
+  for (const Vector& row : rows) {
+    if (row.size() != cols) {
+      return Status::InvalidArgument("ragged rows");
+    }
+    std::memcpy(dst, row.data(), cols * sizeof(double));
+    dst += cols;
+  }
+  return m;
+}
+
 double& Matrix::At(size_t r, size_t c) {
   MIDAS_CHECK(r < rows_ && c < cols_)
       << "index (" << r << "," << c << ") out of range for " << rows_ << "x"
@@ -43,6 +58,11 @@ double Matrix::At(size_t r, size_t c) const {
       << "index (" << r << "," << c << ") out of range for " << rows_ << "x"
       << cols_;
   return data_[r * cols_ + c];
+}
+
+const double* Matrix::RowData(size_t r) const {
+  MIDAS_CHECK(r < rows_) << "row " << r << " out of range for " << rows_;
+  return data_.data() + r * cols_;
 }
 
 Vector Matrix::Row(size_t r) const {
@@ -120,21 +140,91 @@ void Matrix::AddOuterProduct(const Vector& v) {
   }
 }
 
+namespace {
+
+/// Tile side of the blocked GEMM kernels. 64×64 doubles = 32 KiB per
+/// operand panel, sized so an A tile, the C rows it updates and the
+/// streaming B panel coexist in L1/L2.
+constexpr size_t kGemmTile = 64;
+
+}  // namespace
+
 StatusOr<Matrix> Matrix::Multiply(const Matrix& other) const {
+  Matrix out;
+  MIDAS_RETURN_IF_ERROR(MultiplyInto(other, &out));
+  return out;
+}
+
+Status Matrix::MultiplyInto(const Matrix& other, Matrix* out,
+                            bool accumulate) const {
   if (cols_ != other.rows_) {
     return Status::InvalidArgument("matmul shape mismatch");
   }
-  Matrix out(rows_, other.cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t k = 0; k < cols_; ++k) {
-      const double aik = data_[i * cols_ + k];
-      if (aik == 0.0) continue;
-      for (size_t j = 0; j < other.cols_; ++j) {
-        out.At(i, j) += aik * other.data_[k * other.cols_ + j];
+  if (out == this || out == &other) {
+    return Status::InvalidArgument("matmul output aliases an operand");
+  }
+  if (!accumulate) {
+    *out = Matrix(rows_, other.cols_);
+  } else if (out->rows_ != rows_ || out->cols_ != other.cols_) {
+    return Status::InvalidArgument("matmul accumulate shape mismatch");
+  }
+  const size_t n = rows_, kd = cols_, m = other.cols_;
+  // Blocked i-k-j: for each (ii, kk) tile the B panel rows [kk, k_end) are
+  // reused across every A row of the tile. k advances monotonically for a
+  // fixed output element, so the accumulation order matches the naive loop.
+  for (size_t ii = 0; ii < n; ii += kGemmTile) {
+    const size_t i_end = std::min(ii + kGemmTile, n);
+    for (size_t kk = 0; kk < kd; kk += kGemmTile) {
+      const size_t k_end = std::min(kk + kGemmTile, kd);
+      for (size_t i = ii; i < i_end; ++i) {
+        const double* a_row = data_.data() + i * kd;
+        double* c_row = out->data_.data() + i * m;
+        for (size_t k = kk; k < k_end; ++k) {
+          const double aik = a_row[k];
+          if (aik == 0.0) continue;
+          const double* b_row = other.data_.data() + k * m;
+          for (size_t j = 0; j < m; ++j) c_row[j] += aik * b_row[j];
+        }
       }
     }
   }
-  return out;
+  return Status::OK();
+}
+
+Status Matrix::MultiplyTransposedInto(const Matrix& other_t, Matrix* out,
+                                      bool accumulate) const {
+  if (cols_ != other_t.cols_) {
+    return Status::InvalidArgument("matmul shape mismatch");
+  }
+  if (out == this || out == &other_t) {
+    return Status::InvalidArgument("matmul output aliases an operand");
+  }
+  if (!accumulate) {
+    *out = Matrix(rows_, other_t.rows_);
+  } else if (out->rows_ != rows_ || out->cols_ != other_t.rows_) {
+    return Status::InvalidArgument("matmul accumulate shape mismatch");
+  }
+  const size_t n = rows_, kd = cols_, m = other_t.rows_;
+  // Both operands stream row-contiguously; the dot accumulates onto the
+  // preloaded output element (the bias under `accumulate`), k ascending —
+  // the same association as the scalar "intercept first" evaluation.
+  for (size_t ii = 0; ii < n; ii += kGemmTile) {
+    const size_t i_end = std::min(ii + kGemmTile, n);
+    for (size_t jj = 0; jj < m; jj += kGemmTile) {
+      const size_t j_end = std::min(jj + kGemmTile, m);
+      for (size_t i = ii; i < i_end; ++i) {
+        const double* a_row = data_.data() + i * kd;
+        double* c_row = out->data_.data() + i * m;
+        for (size_t j = jj; j < j_end; ++j) {
+          const double* b_row = other_t.data_.data() + j * kd;
+          double acc = c_row[j];
+          for (size_t k = 0; k < kd; ++k) acc += a_row[k] * b_row[k];
+          c_row[j] = acc;
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 StatusOr<Vector> Matrix::MultiplyVector(const Vector& v) const {
@@ -206,6 +296,21 @@ std::string Matrix::ToString(int precision) const {
     os << "]\n";
   }
   return os.str();
+}
+
+Status MultiplyReferenceInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  if (a.cols() != b.rows()) {
+    return Status::InvalidArgument("matmul shape mismatch");
+  }
+  *out = Matrix(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a.At(i, k) * b.At(k, j);
+      out->At(i, j) = acc;
+    }
+  }
+  return Status::OK();
 }
 
 double Dot(const Vector& a, const Vector& b) {

@@ -42,6 +42,12 @@ class Matrix {
   /// Builds a single-column matrix from a vector.
   static Matrix FromColumn(const Vector& v);
 
+  /// Assembles a matrix from equal-length rows in one pass over the flat
+  /// buffer (no per-row temporaries) — the way batch-inference callers turn
+  /// a candidate feature list into one SoA design matrix. Zero rows yield
+  /// the empty matrix; ragged rows are an error.
+  static StatusOr<Matrix> FromRows(const std::vector<Vector>& rows);
+
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
@@ -54,6 +60,11 @@ class Matrix {
   Vector Row(size_t r) const;
   Vector Col(size_t c) const;
   void SetRow(size_t r, const Vector& values);
+
+  /// Borrowed pointer to row r's cols() contiguous elements — the zero-copy
+  /// row view the batch prediction loops iterate with. Invalidated by any
+  /// reassignment of the matrix.
+  const double* RowData(size_t r) const;
 
   Matrix Transpose() const;
 
@@ -72,6 +83,30 @@ class Matrix {
   void AddOuterProduct(const Vector& v);
 
   StatusOr<Matrix> Multiply(const Matrix& other) const;
+
+  /// GEMM into a caller-owned output: out (+)= *this · other. The kernel is
+  /// a cache-blocked i-k-j loop (tiles over the i and k dimensions, so each
+  /// B panel is reused across a whole tile of A rows), and each out(i, j)
+  /// accumulates its k-terms in ascending k order — the same association as
+  /// the textbook triple loop, so blocked and naive results are
+  /// bit-identical on finite inputs and a bias-initialised `accumulate`
+  /// pass reproduces the scalar "start from the intercept, add terms in
+  /// order" evaluation exactly.
+  ///
+  /// With accumulate == false, out is resized to rows() × other.cols() and
+  /// zeroed first; with accumulate == true it must already have that shape
+  /// and the product is added on top. out must not alias either operand.
+  Status MultiplyInto(const Matrix& other, Matrix* out,
+                      bool accumulate = false) const;
+
+  /// Same contract as MultiplyInto, but `other_t` is handed over
+  /// pre-transposed (other_t.row(j) holds column j of the logical B), so
+  /// both operands stream contiguously: out(i, j) (+)= Σ_k this(i, k) ·
+  /// other_t(j, k), k ascending. This is the layout weight matrices are
+  /// naturally stored in (one row per output unit).
+  Status MultiplyTransposedInto(const Matrix& other_t, Matrix* out,
+                                bool accumulate = false) const;
+
   StatusOr<Vector> MultiplyVector(const Vector& v) const;
   StatusOr<Matrix> Add(const Matrix& other) const;
   StatusOr<Matrix> Subtract(const Matrix& other) const;
@@ -95,6 +130,12 @@ class Matrix {
   size_t cols_;
   std::vector<double> data_;
 };
+
+/// Reference textbook i-j-k matrix multiply (register-accumulated dot per
+/// output element, no tiling). The oracle the blocked MultiplyInto kernel
+/// is pinned against in tests and the baseline of the GEMM
+/// micro-benchmark; not used on any hot path.
+Status MultiplyReferenceInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// Dot product; aborts on length mismatch (programming error).
 double Dot(const Vector& a, const Vector& b);

@@ -62,6 +62,24 @@ StatusOr<double> BaggingLearner::Predict(const Vector& x) const {
   return sum / static_cast<double>(trees_.size());
 }
 
+Status BaggingLearner::PredictBatch(const Matrix& X, Vector* out) const {
+  if (!fitted_) return Status::FailedPrecondition("bagging is not fitted");
+  std::vector<Vector> per_tree(trees_.size());
+  ParallelForOptions parallel;
+  parallel.threads = options_.threads;
+  MIDAS_RETURN_IF_ERROR(ParallelFor(
+      trees_.size(),
+      [&](size_t t) { return trees_[t].PredictBatch(X, &per_tree[t]); },
+      parallel));
+  out->assign(X.rows(), 0.0);
+  const double count = static_cast<double>(trees_.size());
+  for (const Vector& replicate : per_tree) {
+    for (size_t r = 0; r < replicate.size(); ++r) (*out)[r] += replicate[r];
+  }
+  for (double& y : *out) y /= count;
+  return Status::OK();
+}
+
 std::unique_ptr<Learner> BaggingLearner::Clone() const {
   return std::make_unique<BaggingLearner>(*this);
 }

@@ -39,6 +39,12 @@ class BaggingLearner final : public Learner {
 
   StatusOr<double> Predict(const Vector& x) const override;
 
+  /// Batched Predict, parallel over *replicates* (options.threads): each
+  /// tree traverses the whole batch into its own buffer, and the buffers
+  /// are averaged in tree order — the same summation order as the scalar
+  /// path, so batch == scalar bit-for-bit at any thread count.
+  Status PredictBatch(const Matrix& X, Vector* out) const override;
+
   std::unique_ptr<Learner> Clone() const override;
 
   size_t MinTrainingSize() const override { return 3; }

@@ -2,6 +2,14 @@
 
 namespace midas {
 
+Status Learner::PredictBatch(const Matrix& X, Vector* out) const {
+  out->resize(X.rows());
+  for (size_t r = 0; r < X.rows(); ++r) {
+    MIDAS_ASSIGN_OR_RETURN((*out)[r], Predict(X.Row(r)));
+  }
+  return Status::OK();
+}
+
 Status ValidateTrainingData(const std::vector<Vector>& features,
                             const Vector& targets, size_t min_size) {
   if (features.size() != targets.size()) {

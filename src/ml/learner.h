@@ -31,6 +31,14 @@ class Learner {
   /// arity mismatch.
   virtual StatusOr<double> Predict(const Vector& x) const = 0;
 
+  /// Predicts the target of every row of X into *out (resized to
+  /// X.rows()). Fails when not fitted or when X.cols() mismatches the
+  /// fitted arity, exactly like the per-row path. The base implementation
+  /// loops Predict row by row; learners on the MOQP hot path override it
+  /// with vectorised kernels whose results match the per-row path
+  /// bit-for-bit (pinned by the batch==scalar equivalence suites).
+  virtual Status PredictBatch(const Matrix& X, Vector* out) const;
+
   /// Deep copy (so the model selector can keep fitted snapshots).
   virtual std::unique_ptr<Learner> Clone() const = 0;
 

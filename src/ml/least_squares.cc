@@ -21,4 +21,9 @@ StatusOr<double> LeastSquaresLearner::Predict(const Vector& x) const {
   return model_.Predict(x);
 }
 
+Status LeastSquaresLearner::PredictBatch(const Matrix& X, Vector* out) const {
+  if (!fitted_) return Status::FailedPrecondition("learner is not fitted");
+  return model_.PredictBatch(X, out);
+}
+
 }  // namespace midas

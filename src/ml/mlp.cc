@@ -129,6 +129,48 @@ StatusOr<double> MlpLearner::Predict(const Vector& x) const {
   return target_min_ + out * t_range;
 }
 
+Status MlpLearner::PredictBatch(const Matrix& X, Vector* out) const {
+  if (!fitted_) return Status::FailedPrecondition("mlp is not fitted");
+  if (X.cols() != arity_) {
+    return Status::InvalidArgument("feature length mismatch");
+  }
+  const size_t n = X.rows();
+  const size_t h = options_.hidden_units;
+
+  Matrix xn(n, arity_);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = X.RowData(r);
+    for (size_t f = 0; f < arity_; ++f) {
+      const double range = feat_max_[f] - feat_min_[f];
+      xn(r, f) = range > 0.0 ? (row[f] - feat_min_[f]) / range : 0.0;
+    }
+  }
+
+  // Hidden pre-activations: seed every z(r, j) with unit j's bias, then
+  // accumulate Xn · W_hiddenᵀ on top — the same "bias first, weights in
+  // feature order" association as the scalar forward pass.
+  Matrix weights(h, arity_);
+  Matrix z(n, h);
+  for (size_t j = 0; j < h; ++j) {
+    const Vector& w = w_hidden_[j];
+    for (size_t f = 0; f < arity_; ++f) weights(j, f) = w[f];
+    for (size_t r = 0; r < n; ++r) z(r, j) = w[arity_];
+  }
+  MIDAS_RETURN_IF_ERROR(
+      xn.MultiplyTransposedInto(weights, &z, /*accumulate=*/true));
+
+  const double t_range =
+      target_max_ > target_min_ ? target_max_ - target_min_ : 1.0;
+  out->resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    const double* z_row = z.RowData(r);
+    double o = w_out_[h];
+    for (size_t j = 0; j < h; ++j) o += w_out_[j] * Sigmoid(z_row[j]);
+    (*out)[r] = target_min_ + o * t_range;
+  }
+  return Status::OK();
+}
+
 std::unique_ptr<Learner> MlpLearner::Clone() const {
   return std::make_unique<MlpLearner>(*this);
 }

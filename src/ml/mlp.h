@@ -41,6 +41,12 @@ class MlpLearner final : public Learner {
 
   StatusOr<double> Predict(const Vector& x) const override;
 
+  /// Layer-wise batch inference: normalise the whole batch, compute every
+  /// hidden pre-activation with one bias-initialised GEMM against the
+  /// weight matrix, then reduce through the output layer. Term order per
+  /// element matches the scalar path, so batch == scalar bit-for-bit.
+  Status PredictBatch(const Matrix& X, Vector* out) const override;
+
   std::unique_ptr<Learner> Clone() const override;
 
   size_t MinTrainingSize() const override { return 4; }

@@ -125,6 +125,26 @@ StatusOr<double> RegressionTree::Predict(const Vector& x) const {
   return nodes_[node].value;
 }
 
+Status RegressionTree::PredictBatch(const Matrix& X, Vector* out) const {
+  if (!fitted_) return Status::FailedPrecondition("tree is not fitted");
+  if (X.cols() != arity_) {
+    return Status::InvalidArgument("feature length mismatch");
+  }
+  out->resize(X.rows());
+  const Node* nodes = nodes_.data();
+  for (size_t r = 0; r < X.rows(); ++r) {
+    const double* x = X.RowData(r);
+    int node = 0;
+    while (!nodes[node].is_leaf) {
+      node = x[nodes[node].feature] <= nodes[node].threshold
+                 ? nodes[node].left
+                 : nodes[node].right;
+    }
+    (*out)[r] = nodes[node].value;
+  }
+  return Status::OK();
+}
+
 std::unique_ptr<Learner> RegressionTree::Clone() const {
   return std::make_unique<RegressionTree>(*this);
 }

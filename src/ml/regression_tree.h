@@ -32,6 +32,10 @@ class RegressionTree final : public Learner {
 
   StatusOr<double> Predict(const Vector& x) const override;
 
+  /// Tight traversal loop over the batch: preconditions are checked once,
+  /// then every row descends the tree with no per-row StatusOr round-trip.
+  Status PredictBatch(const Matrix& X, Vector* out) const override;
+
   std::unique_ptr<Learner> Clone() const override;
 
   size_t MinTrainingSize() const override { return 2; }

@@ -19,6 +19,31 @@ StatusOr<Vector> DreamEstimate::Predict(const Vector& x) const {
   return out;
 }
 
+StatusOr<Matrix> DreamEstimate::PredictBatch(const Matrix& X) const {
+  if (models.empty()) {
+    return Status::FailedPrecondition("DREAM estimate holds no models");
+  }
+  const size_t n_metrics = models.size();
+  // Stack the per-metric slopes into one L × M coefficient matrix and seed
+  // the output with the intercepts; the GEMM then adds the feature terms
+  // in ascending feature order, matching OlsModel::Predict exactly.
+  Matrix coeffs(X.cols(), n_metrics);
+  Matrix out(X.rows(), n_metrics);
+  for (size_t m = 0; m < n_metrics; ++m) {
+    const Vector& beta = models[m].coefficients();
+    if (beta.empty()) {
+      return Status::FailedPrecondition("model is not fitted");
+    }
+    if (beta.size() - 1 != X.cols()) {
+      return Status::InvalidArgument("feature length mismatch");
+    }
+    for (size_t l = 0; l + 1 < beta.size(); ++l) coeffs(l, m) = beta[l + 1];
+    for (size_t r = 0; r < X.rows(); ++r) out(r, m) = beta[0];
+  }
+  MIDAS_RETURN_IF_ERROR(X.MultiplyInto(coeffs, &out, /*accumulate=*/true));
+  return out;
+}
+
 Dream::Dream(DreamOptions options) : options_(std::move(options)) {}
 
 StatusOr<DreamEstimate> Dream::EstimateCostValue(
@@ -140,6 +165,12 @@ StatusOr<Vector> Dream::PredictCosts(const TrainingSet& history,
                                      const Vector& x) const {
   MIDAS_ASSIGN_OR_RETURN(DreamEstimate est, EstimateCostValue(history));
   return est.Predict(x);
+}
+
+StatusOr<Matrix> Dream::PredictCostsBatch(const TrainingSet& history,
+                                          const Matrix& X) const {
+  MIDAS_ASSIGN_OR_RETURN(DreamEstimate est, EstimateCostValue(history));
+  return est.PredictBatch(X);
 }
 
 StatusOr<TrainingSet> Dream::MakeReducedTrainingSet(

@@ -64,6 +64,12 @@ struct DreamEstimate {
 
   /// Predicted cost vector (one value per metric) for feature vector x.
   StatusOr<Vector> Predict(const Vector& x) const;
+
+  /// Batched Predict: evaluates every metric over the whole batch with one
+  /// intercept-initialised GEMM against the stacked coefficient matrix
+  /// (X.rows() × L times L × num-metrics). Row r of the result is
+  /// bit-identical to Predict(X.Row(r)) — same terms, same order.
+  StatusOr<Matrix> PredictBatch(const Matrix& X) const;
 };
 
 /// \brief DREAM — the paper's core contribution (Algorithm 1,
@@ -88,6 +94,13 @@ class Dream {
   /// Convenience: estimate then predict the cost vector of x.
   StatusOr<Vector> PredictCosts(const TrainingSet& history,
                                 const Vector& x) const;
+
+  /// Batched PredictCosts: runs Algorithm 1 *once* and scores every row of
+  /// X against the fitted window (one row of costs per feature row, one
+  /// column per metric). This is the amortisation batch callers rely on —
+  /// the per-row path re-runs the window growth for every candidate.
+  StatusOr<Matrix> PredictCostsBatch(const TrainingSet& history,
+                                     const Matrix& X) const;
 
   /// The "new training set" output of Figure 2: the chosen window copied
   /// into a fresh TrainingSet, which the Modelling module can train on

@@ -45,6 +45,24 @@ StatusOr<double> OlsModel::Predict(const Vector& x) const {
   return y;
 }
 
+Status OlsModel::PredictBatch(const Matrix& X, Vector* out) const {
+  if (coefficients_.empty()) {
+    return Status::FailedPrecondition("model is not fitted");
+  }
+  if (X.cols() != num_features()) {
+    return Status::InvalidArgument("feature length mismatch");
+  }
+  out->resize(X.rows());
+  const size_t l = num_features();
+  for (size_t r = 0; r < X.rows(); ++r) {
+    const double* row = X.RowData(r);
+    double y = coefficients_[0];
+    for (size_t i = 0; i < l; ++i) y += coefficients_[i + 1] * row[i];
+    (*out)[r] = y;
+  }
+  return Status::OK();
+}
+
 namespace {
 
 // Design matrix A of Eq. 8: leading column of ones, then the features.

@@ -48,6 +48,11 @@ class OlsModel {
   /// Predicts the cost for a feature vector of length num_features().
   StatusOr<double> Predict(const Vector& x) const;
 
+  /// Batched Predict: one matrix-vector product over the whole design
+  /// matrix, (*out)[r] = β̂0 + Σ_l β̂_{l+1} X(r, l) with the terms added in
+  /// the same order as the scalar path, so batch == scalar bit-for-bit.
+  Status PredictBatch(const Matrix& X, Vector* out) const;
+
  private:
   Vector coefficients_;
   double sse_ = 0.0;

@@ -8,9 +8,12 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "engine/simulator.h"
+#include "ires/features.h"
 #include "ires/moo_optimizer.h"
 #include "ml/bagging.h"
+#include "regression/dream.h"
 #include "optimizer/nsga2.h"
 #include "optimizer/nsga_g.h"
 #include "optimizer/problem.h"
@@ -309,6 +312,122 @@ TEST(ParallelEquivalenceTest, CachedPredictionsMatchUncached) {
   ASSERT_TRUE(cleared.ok());
   ExpectSameResult(*baseline, *cleared, "cleared cache");
   EXPECT_EQ(cleared_calls.load(), cold_calls.load());
+}
+
+TEST(ParallelEquivalenceTest, BatchedCostingMatchesScalarSerial) {
+  // The batched costing stage (SoA feature matrix -> chunked PredictBatch)
+  // must reproduce the serial scalar pipeline bit-for-bit: same front, same
+  // chosen plan, at every thread count, batch size, and cache setting. The
+  // predictor is a captured DREAM estimate, whose batch evaluation is
+  // bit-identical to its per-row Predict by construction.
+  Environment env = MakeEnvironment();
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+
+  // Train a DREAM estimate on a synthetic linear history over the plan
+  // feature layout, then freeze it so scalar and batch paths share one
+  // model. The estimate only sees feature vectors, so synthetic training
+  // data exercises exactly the same prediction code as live history.
+  const std::vector<std::string> names = FeatureNames(env.federation);
+  TrainingSet history(names, {"time", "money"});
+  {
+    Rng rng(97);
+    for (int i = 0; i < 40; ++i) {
+      Vector x(names.size());
+      for (double& v : x) v = rng.Uniform(0, 100);
+      double time = 3.0, money = 0.2;
+      for (size_t j = 0; j < x.size(); ++j) {
+        time += (0.5 + 0.1 * j) * x[j];
+        money += 0.01 * x[j];
+      }
+      history.Add(std::move(x), {time, money}).CheckOK();
+    }
+  }
+  Dream dream;
+  auto est = dream.EstimateCostValue(history);
+  ASSERT_TRUE(est.ok());
+
+  const Federation* federation = &env.federation;
+  auto scalar_predictor =
+      [federation, &est](const QueryPlan& plan) -> StatusOr<Vector> {
+    MIDAS_ASSIGN_OR_RETURN(Vector features,
+                           ExtractFeatures(*federation, plan));
+    return est->Predict(features);
+  };
+  MultiObjectiveOptimizer::BatchCostPredictor batch_predictor =
+      [&est](const Matrix& features, Matrix* costs) -> Status {
+    MIDAS_ASSIGN_OR_RETURN(*costs, est->PredictBatch(features));
+    return Status::OK();
+  };
+
+  MoqpOptions serial_options;
+  serial_options.threads = 1;
+  MultiObjectiveOptimizer serial(&env.federation, &env.catalog,
+                                 serial_options);
+  auto baseline = serial.Optimize(LogicalJoin(), scalar_predictor, policy);
+  ASSERT_TRUE(baseline.ok());
+
+  for (size_t threads : kThreadCounts) {
+    for (size_t batch_size : {size_t{0}, size_t{1}, size_t{7}, size_t{1024}}) {
+      for (bool cache : {false, true}) {
+        MoqpOptions options;
+        options.threads = threads;
+        options.batch_size = batch_size;
+        options.cache_predictions = cache;
+        MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog,
+                                          options);
+        auto result = optimizer.Optimize(LogicalJoin(), batch_predictor,
+                                         policy);
+        const std::string label = "threads=" + std::to_string(threads) +
+                                  " batch=" + std::to_string(batch_size) +
+                                  " cache=" + std::to_string(cache);
+        ASSERT_TRUE(result.ok()) << label;
+        ExpectSameResult(*baseline, *result, label);
+        if (cache) {
+          // Deduped: each distinct feature vector scored at most once.
+          EXPECT_LE(result->predictor_calls, result->candidates_examined)
+              << label;
+          EXPECT_EQ(result->cache_misses, result->predictor_calls) << label;
+        } else {
+          EXPECT_EQ(result->predictor_calls, result->candidates_examined)
+              << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, BatchedPredictorErrorsSurface) {
+  Environment env = MakeEnvironment();
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  MoqpOptions options;
+  options.threads = 4;
+  MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog, options);
+
+  MultiObjectiveOptimizer::BatchCostPredictor failing =
+      [](const Matrix&, Matrix*) -> Status {
+    return Status::InvalidArgument("predictor offline");
+  };
+  auto failed = optimizer.Optimize(LogicalJoin(), failing, policy);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().message(), "predictor offline");
+
+  // Wrong-sized batches are rejected rather than silently scattered.
+  MultiObjectiveOptimizer::BatchCostPredictor short_batch =
+      [](const Matrix& features, Matrix* costs) -> Status {
+    *costs = Matrix(features.rows() / 2, 2, 1.0);
+    return Status::OK();
+  };
+  EXPECT_FALSE(optimizer.Optimize(LogicalJoin(), short_batch, policy).ok());
+
+  // Arity mismatches against the policy are rejected too.
+  MultiObjectiveOptimizer::BatchCostPredictor one_metric =
+      [](const Matrix& features, Matrix* costs) -> Status {
+    *costs = Matrix(features.rows(), 1, 1.0);
+    return Status::OK();
+  };
+  EXPECT_FALSE(optimizer.Optimize(LogicalJoin(), one_metric, policy).ok());
 }
 
 TEST(ParallelEquivalenceTest, ParallelFirstErrorMatchesSerial) {

@@ -100,5 +100,98 @@ TEST(FeatureCostCacheTest, ConcurrentInsertAndLookup) {
             static_cast<uint64_t>(kThreads) * kKeys);
 }
 
+TEST(FeatureCostCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FeatureCostCache(0).num_shards(), 1u);
+  EXPECT_EQ(FeatureCostCache(1).num_shards(), 1u);
+  EXPECT_EQ(FeatureCostCache(3).num_shards(), 4u);
+  EXPECT_EQ(FeatureCostCache(8).num_shards(), 8u);
+  EXPECT_EQ(FeatureCostCache(9).num_shards(), 16u);
+  EXPECT_EQ(FeatureCostCache().num_shards(), FeatureCostCache::kDefaultShards);
+}
+
+TEST(FeatureCostCacheTest, BehaviourIdenticalAcrossShardCounts) {
+  // Striping is an implementation detail: every observable (size, hit/miss
+  // totals, lookup results) must be the same with 1 shard and with many.
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{16}, size_t{64}}) {
+    FeatureCostCache cache(shards);
+    for (int k = 0; k < 100; ++k) {
+      const Vector key = {static_cast<double>(k), static_cast<double>(k % 7)};
+      EXPECT_FALSE(cache.Lookup(key).has_value()) << shards;
+      cache.Insert(key, {static_cast<double>(k) * 3.0});
+    }
+    EXPECT_EQ(cache.size(), 100u) << shards;
+    EXPECT_EQ(cache.misses(), 100u) << shards;
+    for (int k = 0; k < 100; ++k) {
+      const Vector key = {static_cast<double>(k), static_cast<double>(k % 7)};
+      const auto cached = cache.Lookup(key);
+      ASSERT_TRUE(cached.has_value()) << shards;
+      EXPECT_EQ((*cached)[0], static_cast<double>(k) * 3.0) << shards;
+    }
+    EXPECT_EQ(cache.hits(), 100u) << shards;
+    cache.Clear();
+    EXPECT_EQ(cache.size(), 0u) << shards;
+    EXPECT_EQ(cache.hits(), 0u) << shards;
+    EXPECT_EQ(cache.misses(), 0u) << shards;
+  }
+}
+
+TEST(FeatureCostCacheTest, CountersSumExactlyAcrossShardsUnderHammering) {
+  // Pre-populate, then hammer with read-only lookups from 8 threads: every
+  // lookup of a present key must count exactly one hit, every absent key
+  // exactly one miss, regardless of which shard it lands on.
+  FeatureCostCache cache(8);
+  constexpr int kKeys = 64;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  for (int k = 0; k < kKeys; ++k) {
+    cache.Insert({static_cast<double>(k)}, {static_cast<double>(k)});
+  }
+  const uint64_t seed_misses = cache.misses();  // 0: Insert doesn't count
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          ASSERT_TRUE(cache.Lookup({static_cast<double>(k)}).has_value());
+          ASSERT_FALSE(
+              cache.Lookup({static_cast<double>(k), -1.0}).has_value());
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const uint64_t expected =
+      static_cast<uint64_t>(kThreads) * kRounds * kKeys;
+  EXPECT_EQ(cache.hits(), expected);
+  EXPECT_EQ(cache.misses(), seed_misses + expected);
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
+}
+
+TEST(FeatureCostCacheTest, SingleShardConcurrentInsertStillSafe) {
+  // Degenerate stripe count: everything funnels through one shard, which
+  // must still be race-free (exercised under tsan).
+  FeatureCostCache cache(1);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 100;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int k = 0; k < kKeys; ++k) {
+        const Vector key = {static_cast<double>(k)};
+        cache.Insert(key, {static_cast<double>(k) + 0.5});
+        const auto cached = cache.Lookup(key);
+        ASSERT_TRUE(cached.has_value()) << t;
+        EXPECT_EQ((*cached)[0], static_cast<double>(k) + 0.5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kThreads) * kKeys);
+}
+
 }  // namespace
 }  // namespace midas

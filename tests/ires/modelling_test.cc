@@ -128,6 +128,58 @@ TEST(ModellingTest, DreamRespectsMmaxThroughConfig) {
   EXPECT_LE(diag->window_size, 6u);
 }
 
+TEST(ModellingTest, PredictBatchMatchesScalarForAllEstimators) {
+  Modelling modelling({"x"}, {"time", "money"});
+  // Mildly noisy so BML model selection has real work to do.
+  Rng rng(43);
+  for (int i = 0; i < 25; ++i) {
+    Observation obs;
+    obs.timestamp = i;
+    const double x = rng.Uniform(0, 10);
+    obs.features = {x};
+    obs.costs = {5.0 + 2.0 * x + rng.Gaussian(0, 0.5),
+                 0.1 + 0.01 * x + rng.Gaussian(0, 0.01)};
+    modelling.Record("q", std::move(obs)).CheckOK();
+  }
+  std::vector<Vector> queries;
+  for (int i = 0; i < 19; ++i) queries.push_back({rng.Uniform(-2, 12)});
+  Matrix x = Matrix::FromRows(queries).ValueOrDie();
+  std::vector<EstimatorConfig> configs = {
+      EstimatorConfig::DreamDefault(), EstimatorConfig::Bml(WindowPolicy::kLastN),
+      EstimatorConfig::Bml(WindowPolicy::kAll)};
+  for (const EstimatorConfig& config : configs) {
+    auto batch = modelling.PredictBatch("q", x, config);
+    ASSERT_TRUE(batch.ok()) << EstimatorName(config);
+    ASSERT_EQ(batch->rows(), queries.size()) << EstimatorName(config);
+    ASSERT_EQ(batch->cols(), 2u) << EstimatorName(config);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const Vector scalar =
+          modelling.Predict("q", queries[i], config).ValueOrDie();
+      for (size_t k = 0; k < scalar.size(); ++k) {
+        EXPECT_EQ(batch->At(i, k), scalar[k])
+            << EstimatorName(config) << " row " << i << " metric " << k;
+      }
+    }
+  }
+}
+
+TEST(ModellingTest, PredictBatchErrorPaths) {
+  Modelling modelling({"x"}, {"time", "money"});
+  EXPECT_FALSE(
+      modelling.PredictBatch("nope", Matrix({{1.0}}),
+                             EstimatorConfig::DreamDefault())
+          .ok());
+  FillLinear(&modelling, "q", 10);
+  EXPECT_FALSE(modelling
+                   .PredictBatch("q", Matrix({{1.0, 2.0}}),
+                                 EstimatorConfig::DreamDefault())
+                   .ok());
+  EXPECT_FALSE(modelling
+                   .PredictBatch("q", Matrix({{1.0, 2.0}}),
+                                 EstimatorConfig::Bml(WindowPolicy::kLastN))
+                   .ok());
+}
+
 TEST(ModellingTest, HistoryAccessorExposesScopes) {
   Modelling modelling({"x"}, {"time", "money"});
   FillLinear(&modelling, "q12", 5);

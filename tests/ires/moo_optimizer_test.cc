@@ -214,7 +214,17 @@ TEST(MoqpTest, NullPredictorRejected) {
   MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog);
   QueryPolicy policy;
   policy.weights = {0.5, 0.5};
-  EXPECT_FALSE(optimizer.Optimize(LogicalJoin(), nullptr, policy).ok());
+  EXPECT_FALSE(optimizer
+                   .Optimize(LogicalJoin(),
+                             MultiObjectiveOptimizer::CostPredictor(nullptr),
+                             policy)
+                   .ok());
+  EXPECT_FALSE(
+      optimizer
+          .Optimize(LogicalJoin(),
+                    MultiObjectiveOptimizer::BatchCostPredictor(nullptr),
+                    policy)
+          .ok());
 }
 
 TEST(MoqpTest, PredictorArityMismatchRejected) {

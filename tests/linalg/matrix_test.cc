@@ -1,9 +1,22 @@
 #include "linalg/matrix.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
+
+#include "common/random.h"
 
 namespace midas {
 namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng.Uniform(-10.0, 10.0);
+  }
+  return m;
+}
 
 TEST(MatrixTest, ConstructionAndShape) {
   Matrix m(2, 3, 1.5);
@@ -150,6 +163,95 @@ TEST(MatrixDeathTest, AddOuterProductShapeMismatchAborts) {
   Matrix m(2, 2);
   Vector v = {1.0, 2.0, 3.0};
   EXPECT_DEATH(m.AddOuterProduct(v), "outer-product");
+}
+
+TEST(MatrixTest, FromRowsAssemblesAndRejectsRagged) {
+  const std::vector<Vector> rows = {{1, 2, 3}, {4, 5, 6}};
+  const Matrix m = Matrix::FromRows(rows).ValueOrDie();
+  EXPECT_EQ(m, Matrix({{1, 2, 3}, {4, 5, 6}}));
+
+  EXPECT_TRUE(Matrix::FromRows({}).ValueOrDie().empty());
+  EXPECT_FALSE(Matrix::FromRows({{1, 2}, {3}}).ok());
+}
+
+TEST(MatrixTest, RowDataViewsFlatStorage) {
+  const Matrix m({{1, 2}, {3, 4}});
+  const double* row = m.RowData(1);
+  EXPECT_DOUBLE_EQ(row[0], 3.0);
+  EXPECT_DOUBLE_EQ(row[1], 4.0);
+}
+
+TEST(MatrixTest, MultiplyIntoMatchesMultiply) {
+  const Matrix a({{1, 2, 3}, {4, 5, 6}});
+  const Matrix b({{7, 8}, {9, 10}, {11, 12}});
+  Matrix out;
+  ASSERT_TRUE(a.MultiplyInto(b, &out).ok());
+  EXPECT_EQ(out, a.Multiply(b).ValueOrDie());
+}
+
+TEST(MatrixTest, MultiplyIntoAccumulatesOnTopOfSeed) {
+  const Matrix a({{1, 0}, {0, 1}});
+  const Matrix b({{2, 3}, {4, 5}});
+  Matrix out({{100, 100}, {100, 100}});
+  ASSERT_TRUE(a.MultiplyInto(b, &out, /*accumulate=*/true).ok());
+  EXPECT_EQ(out, Matrix({{102, 103}, {104, 105}}));
+}
+
+TEST(MatrixTest, MultiplyIntoRejectsBadShapesAndAliasing) {
+  const Matrix a(2, 3);
+  const Matrix b(3, 2);
+  Matrix wrong(5, 5);
+  EXPECT_FALSE(a.MultiplyInto(a, &wrong).ok());  // 3 != 2
+  EXPECT_FALSE(a.MultiplyInto(b, &wrong, /*accumulate=*/true).ok());
+  Matrix alias = b;
+  EXPECT_FALSE(a.MultiplyInto(alias, &alias).ok());
+}
+
+TEST(MatrixTest, MultiplyTransposedIntoMatchesExplicitTranspose) {
+  const Matrix a = RandomMatrix(7, 5, 21);
+  const Matrix b = RandomMatrix(5, 9, 22);
+  const Matrix bt = b.Transpose();
+  Matrix via_transposed;
+  ASSERT_TRUE(a.MultiplyTransposedInto(bt, &via_transposed).ok());
+  const Matrix direct = a.Multiply(b).ValueOrDie();
+  EXPECT_LT(via_transposed.MaxAbsDiff(direct).ValueOrDie(), 1e-12);
+
+  Matrix wrong(7, 9);
+  EXPECT_FALSE(a.MultiplyTransposedInto(b, &wrong).ok());  // 5 != 9 (k)
+}
+
+TEST(MatrixTest, MultiplyTransposedIntoAccumulatesBiasFirst) {
+  // Seeding the output and accumulating must equal seed + product.
+  const Matrix a = RandomMatrix(4, 6, 23);
+  const Matrix bt = RandomMatrix(3, 6, 24);
+  Matrix seeded(4, 3, 2.5);
+  ASSERT_TRUE(a.MultiplyTransposedInto(bt, &seeded, /*accumulate=*/true).ok());
+  Matrix product;
+  ASSERT_TRUE(a.MultiplyTransposedInto(bt, &product).ok());
+  const Matrix want = product.Add(Matrix(4, 3, 2.5)).ValueOrDie();
+  EXPECT_LT(seeded.MaxAbsDiff(want).ValueOrDie(), 1e-12);
+}
+
+TEST(MatrixTest, BlockedMultiplyMatchesNaiveReference) {
+  // The blocked kernel is pinned against the textbook triple loop across
+  // shapes that exercise full tiles, ragged tail tiles and tall/flat
+  // operands.
+  const struct {
+    size_t n, k, m;
+  } shapes[] = {{1, 1, 1},   {3, 4, 5},    {64, 64, 64},
+                {65, 63, 66}, {128, 17, 96}, {200, 129, 71}};
+  uint64_t seed = 100;
+  for (const auto& s : shapes) {
+    const Matrix a = RandomMatrix(s.n, s.k, seed++);
+    const Matrix b = RandomMatrix(s.k, s.m, seed++);
+    Matrix blocked, naive;
+    ASSERT_TRUE(a.MultiplyInto(b, &blocked).ok());
+    ASSERT_TRUE(MultiplyReferenceInto(a, b, &naive).ok());
+    EXPECT_LT(blocked.MaxAbsDiff(naive).ValueOrDie(), 1e-12)
+        << s.n << "x" << s.k << "x" << s.m;
+  }
+  Matrix out;
+  EXPECT_FALSE(MultiplyReferenceInto(Matrix(2, 3), Matrix(2, 3), &out).ok());
 }
 
 TEST(VectorOpsTest, Dot) {

@@ -96,6 +96,43 @@ TEST(BaggingTest, CloneKeepsEnsemble) {
                    learner.Predict({3.0}).ValueOrDie());
 }
 
+TEST(BaggingTest, PredictBatchMatchesScalarExactly) {
+  Rng rng(13);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back({rng.Uniform(0, 10), rng.Uniform(0, 1)});
+    ys.push_back(rng.Uniform(-20, 20));
+  }
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    BaggingOptions options;
+    options.threads = threads;
+    BaggingLearner learner(options);
+    ASSERT_TRUE(learner.Fit(xs, ys).ok());
+    std::vector<Vector> queries;
+    Rng qrng(14);
+    for (int i = 0; i < 33; ++i) {
+      queries.push_back({qrng.Uniform(-2, 12), qrng.Uniform(-1, 2)});
+    }
+    Matrix x = Matrix::FromRows(queries).ValueOrDie();
+    Vector batch;
+    ASSERT_TRUE(learner.PredictBatch(x, &batch).ok());
+    ASSERT_EQ(batch.size(), queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(batch[i], learner.Predict(queries[i]).ValueOrDie())
+          << "threads=" << threads << " row=" << i;
+    }
+  }
+}
+
+TEST(BaggingTest, PredictBatchErrorPaths) {
+  BaggingLearner learner;
+  Vector out;
+  EXPECT_FALSE(learner.PredictBatch(Matrix({{1.0}}), &out).ok());
+  ASSERT_TRUE(learner.Fit({{1}, {2}, {3}, {4}}, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(learner.PredictBatch(Matrix({{1.0, 2.0}}), &out).ok());
+}
+
 TEST(BaggingTest, VarianceReductionVersusSingleTree) {
   // On noisy data the ensemble's test error should not exceed a single
   // unpruned tree's by much; typically it is lower. Smoke-check ordering.

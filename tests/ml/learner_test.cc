@@ -5,6 +5,46 @@
 namespace midas {
 namespace {
 
+/// Minimal learner that keeps the base-class PredictBatch, to pin the
+/// default per-row fallback's semantics (order, error propagation).
+class DoublingLearner final : public Learner {
+ public:
+  std::string name() const override { return "doubling"; }
+  Status Fit(const std::vector<Vector>& features,
+             const Vector& targets) override {
+    MIDAS_RETURN_IF_ERROR(ValidateTrainingData(features, targets, 2));
+    fitted_ = true;
+    return Status::OK();
+  }
+  StatusOr<double> Predict(const Vector& x) const override {
+    if (!fitted_) return Status::FailedPrecondition("not fitted");
+    if (x.size() != 1) return Status::InvalidArgument("arity mismatch");
+    return 2.0 * x[0];
+  }
+  std::unique_ptr<Learner> Clone() const override {
+    return std::make_unique<DoublingLearner>(*this);
+  }
+
+ private:
+  bool fitted_ = false;
+};
+
+TEST(LearnerPredictBatchTest, DefaultFallbackLoopsPredictInRowOrder) {
+  DoublingLearner learner;
+  ASSERT_TRUE(learner.Fit({{1}, {2}}, {2, 4}).ok());
+  Vector out;
+  ASSERT_TRUE(learner.PredictBatch(Matrix({{3}, {5}, {-1}}), &out).ok());
+  EXPECT_EQ(out, (Vector{6.0, 10.0, -2.0}));
+}
+
+TEST(LearnerPredictBatchTest, DefaultFallbackPropagatesErrors) {
+  DoublingLearner learner;
+  Vector out;
+  EXPECT_FALSE(learner.PredictBatch(Matrix({{1}}), &out).ok());
+  ASSERT_TRUE(learner.Fit({{1}, {2}}, {2, 4}).ok());
+  EXPECT_FALSE(learner.PredictBatch(Matrix({{1, 2}}), &out).ok());
+}
+
 TEST(ValidateTrainingDataTest, AcceptsWellFormedData) {
   EXPECT_TRUE(ValidateTrainingData({{1, 2}, {3, 4}}, {1, 2}, 2).ok());
 }

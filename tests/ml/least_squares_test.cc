@@ -39,6 +39,40 @@ TEST(LeastSquaresLearnerTest, RefitReplacesModel) {
   EXPECT_NEAR(learner.Predict({1}).ValueOrDie(), 10.0, 1e-9);
 }
 
+TEST(LeastSquaresLearnerTest, PredictBatchMatchesScalarExactly) {
+  Rng rng(11);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back({rng.Uniform(0, 10), rng.Uniform(-5, 5), rng.Uniform(0, 1)});
+    ys.push_back(rng.Uniform(-100, 100));
+  }
+  LeastSquaresLearner learner;
+  ASSERT_TRUE(learner.Fit(xs, ys).ok());
+  std::vector<Vector> queries;
+  for (int i = 0; i < 17; ++i) {
+    queries.push_back(
+        {rng.Uniform(0, 10), rng.Uniform(-5, 5), rng.Uniform(0, 1)});
+  }
+  Matrix x = Matrix::FromRows(queries).ValueOrDie();
+  Vector batch;
+  ASSERT_TRUE(learner.PredictBatch(x, &batch).ok());
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], learner.Predict(queries[i]).ValueOrDie()) << i;
+  }
+}
+
+TEST(LeastSquaresLearnerTest, PredictBatchErrorPaths) {
+  LeastSquaresLearner learner;
+  Vector out;
+  EXPECT_FALSE(learner.PredictBatch(Matrix({{1.0}}), &out).ok());
+  ASSERT_TRUE(learner.Fit({{0}, {1}, {2}}, {0, 2, 4}).ok());
+  EXPECT_FALSE(learner.PredictBatch(Matrix({{1.0, 2.0}}), &out).ok());
+  ASSERT_TRUE(learner.PredictBatch(Matrix(0, 1), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(LeastSquaresLearnerTest, ExposesModelStatistics) {
   LeastSquaresLearner learner;
   ASSERT_TRUE(learner.Fit({{0}, {1}, {2}, {3}}, {1, 3, 5, 7}).ok());

@@ -98,6 +98,37 @@ TEST(MlpTest, PredictRejectsWrongArity) {
   EXPECT_FALSE(learner.Predict({1, 2}).ok());
 }
 
+TEST(MlpTest, PredictBatchMatchesScalarExactly) {
+  Rng rng(17);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back({rng.Uniform(0, 4), rng.Uniform(-1, 1)});
+    ys.push_back(rng.Uniform(5, 25));
+  }
+  MlpLearner learner;
+  ASSERT_TRUE(learner.Fit(xs, ys).ok());
+  std::vector<Vector> queries;
+  for (int i = 0; i < 21; ++i) {
+    queries.push_back({rng.Uniform(-1, 5), rng.Uniform(-2, 2)});
+  }
+  Matrix x = Matrix::FromRows(queries).ValueOrDie();
+  Vector batch;
+  ASSERT_TRUE(learner.PredictBatch(x, &batch).ok());
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], learner.Predict(queries[i]).ValueOrDie()) << i;
+  }
+}
+
+TEST(MlpTest, PredictBatchErrorPaths) {
+  MlpLearner learner;
+  Vector out;
+  EXPECT_FALSE(learner.PredictBatch(Matrix({{1.0}}), &out).ok());
+  ASSERT_TRUE(learner.Fit({{1}, {2}, {3}, {4}}, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(learner.PredictBatch(Matrix({{1.0, 2.0}}), &out).ok());
+}
+
 TEST(MlpTest, CloneKeepsWeights) {
   MlpLearner learner;
   ASSERT_TRUE(learner.Fit({{0}, {0.5}, {1}, {1.5}}, {0, 1, 2, 3}).ok());

@@ -87,6 +87,37 @@ TEST(RegressionTreeTest, CloneIsIndependent) {
               tree.Predict({3.0}).ValueOrDie(), 1e-12);
 }
 
+TEST(RegressionTreeTest, PredictBatchMatchesScalarExactly) {
+  Rng rng(19);
+  std::vector<Vector> xs;
+  Vector ys;
+  for (int i = 0; i < 80; ++i) {
+    xs.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+    ys.push_back(rng.Uniform(-50, 50));
+  }
+  RegressionTree tree;
+  ASSERT_TRUE(tree.Fit(xs, ys).ok());
+  std::vector<Vector> queries;
+  for (int i = 0; i < 41; ++i) {
+    queries.push_back({rng.Uniform(-5, 15), rng.Uniform(-5, 15)});
+  }
+  Matrix x = Matrix::FromRows(queries).ValueOrDie();
+  Vector batch;
+  ASSERT_TRUE(tree.PredictBatch(x, &batch).ok());
+  ASSERT_EQ(batch.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batch[i], tree.Predict(queries[i]).ValueOrDie()) << i;
+  }
+}
+
+TEST(RegressionTreeTest, PredictBatchErrorPaths) {
+  RegressionTree tree;
+  Vector out;
+  EXPECT_FALSE(tree.PredictBatch(Matrix({{1.0}}), &out).ok());
+  ASSERT_TRUE(tree.Fit({{1}, {2}}, {1, 2}).ok());
+  EXPECT_FALSE(tree.PredictBatch(Matrix({{1.0, 2.0}}), &out).ok());
+}
+
 TEST(RegressionTreeTest, UnprunedTreeMemorisesDistinctPoints) {
   // Default options grow fully: each distinct x gets its own leaf.
   RegressionTree tree;

@@ -154,6 +154,63 @@ TEST(DreamEstimateTest, PredictWithoutModelsFails) {
   EXPECT_FALSE(est.Predict({1.0}).ok());
 }
 
+TEST(DreamEstimateTest, PredictBatchMatchesScalarExactly) {
+  TrainingSet history = LinearHistory(30, /*noise_sigma=*/1.5, 31);
+  Dream dream;
+  auto est = dream.EstimateCostValue(history);
+  ASSERT_TRUE(est.ok());
+  Rng rng(33);
+  std::vector<Vector> queries;
+  for (int i = 0; i < 29; ++i) {
+    queries.push_back({rng.Uniform(-2, 7), rng.Uniform(-2, 7)});
+  }
+  Matrix x = Matrix::FromRows(queries).ValueOrDie();
+  auto batch = est->PredictBatch(x);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->rows(), queries.size());
+  ASSERT_EQ(batch->cols(), 2u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Vector scalar = est->Predict(queries[i]).ValueOrDie();
+    for (size_t k = 0; k < scalar.size(); ++k) {
+      EXPECT_EQ(batch->At(i, k), scalar[k]) << "row " << i << " metric " << k;
+    }
+  }
+}
+
+TEST(DreamEstimateTest, PredictBatchErrorPaths) {
+  DreamEstimate empty;
+  EXPECT_FALSE(empty.PredictBatch(Matrix({{1.0, 2.0}})).ok());
+  TrainingSet history = LinearHistory(20);
+  Dream dream;
+  auto est = dream.EstimateCostValue(history);
+  ASSERT_TRUE(est.ok());
+  EXPECT_FALSE(est->PredictBatch(Matrix({{1.0, 2.0, 3.0}})).ok());
+  auto none = est->PredictBatch(Matrix(0, 2));
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->rows(), 0u);
+}
+
+TEST(DreamTest, PredictCostsBatchMatchesPerQueryPredictCosts) {
+  TrainingSet history = LinearHistory(40, /*noise_sigma=*/2.0, 37);
+  Dream dream;
+  Rng rng(41);
+  std::vector<Vector> queries;
+  for (int i = 0; i < 15; ++i) {
+    queries.push_back({rng.Uniform(0, 5), rng.Uniform(0, 5)});
+  }
+  Matrix x = Matrix::FromRows(queries).ValueOrDie();
+  auto batch = dream.PredictCostsBatch(history, x);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->rows(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Vector scalar = dream.PredictCosts(history, queries[i]).ValueOrDie();
+    ASSERT_EQ(scalar.size(), batch->cols());
+    for (size_t k = 0; k < scalar.size(); ++k) {
+      EXPECT_EQ(batch->At(i, k), scalar[k]) << "row " << i << " metric " << k;
+    }
+  }
+}
+
 // --- Incremental vs batch engine equivalence -------------------------------
 //
 // The incremental engine must be a drop-in replacement for the seed's
