@@ -3,13 +3,22 @@
 // configurations, so the per-QEP estimation cost — which grows with the
 // training-window size M — is multiplied 18,200-fold. DREAM's small window
 // turns directly into fleet-wide estimation speedup.
+//
+// A second section times the MOQP pipeline over an Example-3.1-scale
+// enumeration in both execution modes — materialize-everything Optimize
+// vs chunked OptimizeStreaming — reporting plans/sec and the peak number
+// of simultaneously resident candidate plans, optionally as JSON
+// (argv[2], written by scripts/bench_stream.sh to BENCH_stream.json).
 
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/text_table.h"
+#include "ires/moo_optimizer.h"
 #include "query/enumerator.h"
 #include "regression/dream.h"
 
@@ -38,6 +47,188 @@ TrainingSet MakeHistory(size_t n) {
         .CheckOK();
   }
   return set;
+}
+
+// Two-cloud federation whose enumeration explodes into an
+// Example-3.1-scale candidate fleet (VM counts 1-32 per site).
+struct FederationEnv {
+  Federation federation;
+  Catalog catalog;
+};
+
+FederationEnv MakeFederationEnv() {
+  FederationEnv env;
+  SiteConfig a;
+  a.name = "cloud-A";
+  a.engines = {EngineKind::kHive};
+  a.node_type = {ProviderKind::kAmazon, "a1.xlarge", 4, 8.0, 0.0, 0.0197};
+  a.max_nodes = 32;
+  const SiteId site_a = env.federation.AddSite(a).ValueOrDie();
+  SiteConfig b;
+  b.name = "cloud-B";
+  b.engines = {EngineKind::kPostgres};
+  b.node_type = {ProviderKind::kMicrosoft, "B2S", 2, 4.0, 8.0, 0.042};
+  b.max_nodes = 32;
+  const SiteId site_b = env.federation.AddSite(b).ValueOrDie();
+  NetworkLink wan;
+  wan.bandwidth_mbps = 200.0;
+  wan.egress_price_per_gib = 0.09;
+  env.federation.network().SetSymmetricLink(site_a, site_b, wan).CheckOK();
+
+  TableDef t1;
+  t1.name = "t1";
+  t1.row_count = 500000;
+  t1.columns = {{"id", ColumnType::kInt, 8.0, 500000},
+                {"pay", ColumnType::kString, 64.0, 500000}};
+  env.catalog.AddTable(t1).CheckOK();
+  TableDef t2;
+  t2.name = "t2";
+  t2.row_count = 40000;
+  t2.columns = {{"id", ColumnType::kInt, 8.0, 40000}};
+  env.catalog.AddTable(t2).CheckOK();
+  env.federation.PlaceTable("t1", site_a, EngineKind::kHive).CheckOK();
+  env.federation.PlaceTable("t2", site_b, EngineKind::kPostgres).CheckOK();
+  return env;
+}
+
+// Cheap pure-linear batch predictor: keeps the timing dominated by the
+// enumerate/fold machinery under comparison, not by estimator fits. The
+// signs mirror the MOQP feature layout (data MiB then VM count per
+// site): more VMs buy time and cost money, so the front is a genuine
+// time/money trade-off rather than a single dominating plan.
+MultiObjectiveOptimizer::BatchCostPredictor LinearBatchPredictor() {
+  return [](const Matrix& features, Matrix* costs) -> Status {
+    *costs = Matrix(features.rows(), 2, 0.0);
+    for (size_t r = 0; r < features.rows(); ++r) {
+      double seconds = 100.0;
+      double dollars = 0.05;
+      for (size_t c = 0; c < features.cols(); ++c) {
+        seconds += (c % 2 == 0 ? 0.05 : -1.5) * features(r, c);
+        dollars += (c % 2 == 0 ? 1e-4 : 2e-3) * features(r, c);
+      }
+      (*costs)(r, 0) = seconds;
+      (*costs)(r, 1) = dollars;
+    }
+    return Status::OK();
+  };
+}
+
+constexpr int kStreamReps = 3;
+
+struct StreamRow {
+  std::string config;
+  size_t chunk_size = 0;  // 0 = materialized
+  double total_seconds = 0.0;
+  size_t candidates = 0;
+  size_t peak_resident = 0;
+  size_t pareto_size = 0;
+  bool matches_materialized = true;
+};
+
+// Times Optimize vs OptimizeStreaming over the same candidate fleet and
+// appends the rows to `rows`; every streaming row is cross-checked
+// against the materialized front.
+void RunStreamingComparison(std::ostream& out,
+                            std::vector<StreamRow>* rows) {
+  FederationEnv env = MakeFederationEnv();
+  const QueryPlan logical =
+      QueryPlan(MakeJoin(MakeScan("t1"), MakeScan("t2"), "id", "id"));
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  const auto predictor = LinearBatchPredictor();
+
+  EnumeratorOptions enumerator;
+  enumerator.node_counts.clear();
+  for (int n = 1; n <= 32; ++n) enumerator.node_counts.push_back(n);
+  enumerator.max_plans = 200000;
+
+  std::vector<Vector> baseline_front;
+  size_t baseline_chosen = 0;
+
+  auto run = [&](const std::string& name, size_t chunk_size) {
+    MoqpOptions options;
+    options.enumerator = enumerator;
+    options.stream_chunk_size = chunk_size;
+    MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog,
+                                      options);
+    StreamRow row;
+    row.config = name;
+    row.chunk_size = chunk_size;
+    for (int rep = 0; rep < kStreamReps; ++rep) {
+      const double t0 = NowSeconds();
+      StatusOr<MoqpResult> result =
+          chunk_size == 0
+              ? optimizer.Optimize(logical, predictor, policy)
+              : optimizer.OptimizeStreaming(logical, predictor, policy);
+      result.status().CheckOK();
+      row.total_seconds += NowSeconds() - t0;
+      row.candidates = result->candidates_examined;
+      row.peak_resident = result->peak_resident_candidates;
+      row.pareto_size = result->pareto_costs.size();
+      if (baseline_front.empty() && chunk_size == 0) {
+        baseline_front = result->pareto_costs;
+        baseline_chosen = result->chosen;
+      }
+      if (result->pareto_costs != baseline_front ||
+          result->chosen != baseline_chosen) {
+        row.matches_materialized = false;
+      }
+    }
+    rows->push_back(std::move(row));
+  };
+
+  run("materialized", 0);
+  for (size_t chunk : {size_t{256}, size_t{1024}, size_t{4096}}) {
+    run("stream_c" + std::to_string(chunk), chunk);
+  }
+
+  out << "\nStreaming vs materialized MOQP pipeline ("
+      << rows->front().candidates << " candidates, " << kStreamReps
+      << " reps, linear batch predictor)\n";
+  TextTable table({"config", "total", "plans/sec", "peak resident",
+                   "front", "matches"});
+  for (const StreamRow& row : *rows) {
+    table.AddRow(
+        {row.config, FormatDouble(row.total_seconds * 1e3, 1) + " ms",
+         FormatDouble(
+             static_cast<double>(row.candidates) * kStreamReps / row.total_seconds,
+             0),
+         std::to_string(row.peak_resident), std::to_string(row.pareto_size),
+         row.matches_materialized ? "yes" : "NO"});
+  }
+  table.Print(out);
+  out << "\nReading: the streaming pipeline folds each costed chunk into "
+         "an online Pareto archive, so its peak working set is the front "
+         "plus one chunk instead of the whole fleet — identical results "
+         "at a fraction of the resident plans.\n";
+}
+
+void WriteStreamJson(const std::vector<StreamRow>& rows, int reps,
+                     std::ostream& out) {
+  out << "{\n  \"benchmark\": \"moqp_streaming_enumeration\",\n";
+  out << "  \"setup\": \"two-table join over a two-cloud federation, VM "
+         "counts 1-32 per site (Example 3.1 scale); linear batch "
+         "predictor; materialize-everything Optimize vs chunked "
+         "OptimizeStreaming with an online Pareto archive\",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"candidates_examined\": " << rows.front().candidates << ",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const StreamRow& row = rows[i];
+    out << "    {\"config\": \"" << row.config
+        << "\", \"chunk_size\": " << row.chunk_size
+        << ", \"total_seconds\": " << FormatDouble(row.total_seconds, 4)
+        << ", \"plans_per_sec\": "
+        << FormatDouble(static_cast<double>(row.candidates) * reps /
+                            row.total_seconds,
+                        0)
+        << ", \"peak_resident_candidates\": " << row.peak_resident
+        << ", \"pareto_size\": " << row.pareto_size
+        << ", \"matches_materialized\": "
+        << (row.matches_materialized ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -111,5 +302,18 @@ int main(int argc, char** argv) {
          "estimation cost minimal — \"a small reduction of "
          "computation for an equivalent QEP will become significant "
          "for a large number of equivalent QEPs\" (§3).\n";
+
+  // Section 2: streaming vs materialized pipeline execution over the
+  // same scale of plan fleet.
+  std::vector<StreamRow> rows;
+  RunStreamingComparison(out, &rows);
+  if (argc > 2) {
+    std::ofstream json(argv[2]);
+    if (!json) {
+      std::cerr << "cannot open " << argv[2] << " for writing\n";
+      return 1;
+    }
+    WriteStreamJson(rows, kStreamReps, json);
+  }
   return 0;
 }

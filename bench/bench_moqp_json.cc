@@ -13,10 +13,14 @@
 //
 // plus batch_t8_cache, which adds the striped feature-keyed memo so
 // equivalent QEPs are scored once and repeated optimizations reuse the
-// persistent cache. Every row records whether its Pareto front and chosen
-// plan are identical to the serial scalar baseline (they must be: the
-// batch path is bit-identical by construction). Emits BENCH_moqp.json so
-// the perf trajectory is tracked across PRs; run via scripts/bench_moqp.sh.
+// persistent cache. With --stream, stream_tN configurations run the same
+// batched costing through OptimizeStreaming (chunked enumeration folded
+// into the online Pareto archive) so the O(front + chunk) pipeline is
+// tracked against the materialized one. Every row records whether its
+// Pareto front and chosen plan are identical to the serial scalar
+// baseline (they must be: the batch and streaming paths are bit-identical
+// by construction). Emits BENCH_moqp.json so the perf trajectory is
+// tracked across PRs; run via scripts/bench_moqp.sh.
 
 #include <chrono>
 #include <cstdio>
@@ -120,12 +124,13 @@ TrainingSet MakeHistory(const Federation& federation, size_t n) {
 
 struct ConfigResult {
   std::string name;
-  std::string mode;  // "scalar" or "batch"
+  std::string mode;  // "scalar", "batch" or "stream"
   size_t threads = 0;
   bool cache = false;
   std::vector<double> rep_seconds;
   size_t candidates_examined = 0;
   size_t pareto_size = 0;
+  size_t peak_resident = 0;
   bool matches_serial = true;
   std::vector<size_t> predictor_calls;
   std::vector<size_t> cache_hits;
@@ -135,7 +140,7 @@ struct ConfigResult {
   }
 };
 
-int Run(const char* out_path) {
+int Run(const char* out_path, bool stream) {
   // Open the sink before benchmarking: a bad path should fail in
   // milliseconds, not after the timing runs.
   std::FILE* out = stdout;
@@ -202,6 +207,13 @@ int Run(const char* out_path) {
                        threads, false});
   }
   configs.push_back({"batch_t8_cache", "batch", 8, true});
+  if (stream) {
+    for (size_t threads : {1, 8}) {
+      configs.push_back({"stream_t" + std::to_string(threads), "stream",
+                         threads, false});
+    }
+    configs.push_back({"stream_t8_cache", "stream", 8, true});
+  }
 
   // Serial scalar result, against which every other row is checked.
   std::vector<Vector> baseline_front;
@@ -226,11 +238,15 @@ int Run(const char* out_path) {
       StatusOr<MoqpResult> result =
           config.mode == "scalar"
               ? optimizer.Optimize(logical, scalar_predictor, policy)
+          : config.mode == "stream"
+              ? optimizer.OptimizeStreaming(logical, batch_predictor,
+                                            policy)
               : optimizer.Optimize(logical, batch_predictor, policy);
       result.status().CheckOK();
       r.rep_seconds.push_back(NowSeconds() - t0);
       r.candidates_examined = result->candidates_examined;
       r.pareto_size = result->pareto_costs.size();
+      r.peak_resident = result->peak_resident_candidates;
       r.predictor_calls.push_back(result->predictor_calls);
       r.cache_hits.push_back(result->cache_hits);
       const std::string chosen_plan =
@@ -281,11 +297,12 @@ int Run(const char* out_path) {
         "    {\"config\": \"%s\", \"mode\": \"%s\", \"threads\": %zu, "
         "\"cache\": %s, \"total_seconds\": %.3f, \"plans_per_sec\": %.0f, "
         "\"speedup_vs_serial\": %.2f, \"pareto_size\": %zu, "
+        "\"peak_resident_candidates\": %zu, "
         "\"matches_serial\": %s, \"predictor_calls\": [%zu, %zu, %zu], "
         "\"cache_hits\": [%zu, %zu, %zu]}%s\n",
         r.name.c_str(), r.mode.c_str(), r.threads,
         r.cache ? "true" : "false", total, plans_per_sec,
-        serial_total / total, r.pareto_size,
+        serial_total / total, r.pareto_size, r.peak_resident,
         r.matches_serial ? "true" : "false", r.predictor_calls[0],
         r.predictor_calls[1], r.predictor_calls[2], r.cache_hits[0],
         r.cache_hits[1], r.cache_hits[2],
@@ -303,5 +320,14 @@ int Run(const char* out_path) {
 }  // namespace midas
 
 int main(int argc, char** argv) {
-  return midas::Run(argc > 1 ? argv[1] : nullptr);
+  const char* out_path = nullptr;
+  bool stream = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--stream") {
+      stream = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  return midas::Run(out_path, stream);
 }

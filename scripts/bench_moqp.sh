@@ -2,9 +2,10 @@
 # Builds and runs the batched-MOQP pipeline benchmark, writing the
 # machine-readable results to BENCH_moqp.json at the repo root so the
 # perf trajectory (scalar vs GEMM-backed batch costing across thread
-# counts 1/2/4/8, plus the striped prediction cache, plans/sec over an
-# Example-3.1-scale enumeration) is tracked across PRs. Every row is
-# cross-checked against the serial scalar baseline (matches_serial).
+# counts 1/2/4/8, plus the striped prediction cache and the streaming
+# OptimizeStreaming configurations, plans/sec over an Example-3.1-scale
+# enumeration) is tracked across PRs. Every row is cross-checked against
+# the serial scalar baseline (matches_serial).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -13,5 +14,5 @@ build_dir="${BUILD_DIR:-$repo_root/build}"
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" --target bench_moqp_json -j "$(nproc)"
 
-"$build_dir/bench/bench_moqp_json" "$repo_root/BENCH_moqp.json"
+"$build_dir/bench/bench_moqp_json" --stream "$repo_root/BENCH_moqp.json"
 echo "wrote $repo_root/BENCH_moqp.json"

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds and runs the streaming-pipeline benchmark (section 2 of
+# bench_example31_enumeration): materialize-everything Optimize vs chunked
+# OptimizeStreaming over an Example-3.1-scale plan fleet, reporting
+# plans/sec and the peak number of simultaneously resident candidate
+# plans. Writes the machine-readable results to BENCH_stream.json at the
+# repo root so the streaming perf trajectory is tracked across PRs; every
+# streaming row is cross-checked against the materialized front
+# (matches_materialized).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" --target bench_example31_enumeration -j "$(nproc)"
+
+"$build_dir/bench/bench_example31_enumeration" /dev/stdout \
+  "$repo_root/BENCH_stream.json"
+echo "wrote $repo_root/BENCH_stream.json"

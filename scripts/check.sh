@@ -4,7 +4,11 @@
 # rank-1 normal-equation updates behind DREAM's incremental engine and the
 # blocked GEMM kernels) is sanitizer-verified on every change and the
 # thread-pool / parallel MOQP / striped-cache paths are race-checked under
-# ThreadSanitizer.
+# ThreadSanitizer. The streaming-pipeline equivalence suites (fast
+# non-dominated sort vs naive oracle, online Pareto archive vs
+# materialized front, chunked vs materialized enumeration, and
+# OptimizeStreaming vs Optimize across threads x chunk sizes x cache
+# settings) are discovered with the rest and run under every preset.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

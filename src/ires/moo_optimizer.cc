@@ -9,6 +9,7 @@
 #include "ires/features.h"
 #include "optimizer/configuration_problem.h"
 #include "optimizer/pareto.h"
+#include "optimizer/pareto_archive.h"
 #include "optimizer/wsm.h"
 
 namespace midas {
@@ -319,6 +320,7 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
   PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
   MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
                          enumerator.EnumeratePhysical(logical));
+  const size_t candidates = plans.size();
 
   PredictionStats stats;
   MIDAS_ASSIGN_OR_RETURN(
@@ -332,6 +334,7 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
   result.predictor_calls = stats.predictor_calls;
   result.cache_hits = stats.cache_hits;
   result.cache_misses = stats.cache_misses;
+  result.peak_resident_candidates = candidates;
   return result;
 }
 
@@ -343,6 +346,7 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
   PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
   MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
                          enumerator.EnumeratePhysical(logical));
+  const size_t candidates = plans.size();
 
   PredictionStats stats;
   MIDAS_ASSIGN_OR_RETURN(
@@ -356,6 +360,66 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
   result.predictor_calls = stats.predictor_calls;
   result.cache_hits = stats.cache_hits;
   result.cache_misses = stats.cache_misses;
+  result.peak_resident_candidates = candidates;
+  return result;
+}
+
+StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
+    const QueryPlan& logical, const BatchCostPredictor& predictor,
+    const QueryPolicy& policy) const {
+  if (!predictor) return Status::InvalidArgument("null cost predictor");
+  if (options_.algorithm != MoqpAlgorithm::kExhaustivePareto) {
+    // kWsm min-max-normalises every metric over the full candidate set
+    // and the NSGA variants evolve over the full cost table, so neither
+    // can be folded chunk by chunk without changing the answer.
+    return Optimize(logical, predictor, policy);
+  }
+
+  PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
+  const size_t arity = policy.weights.size();
+  const size_t chunk_size = options_.stream_chunk_size == 0
+                                ? MoqpOptions().stream_chunk_size
+                                : options_.stream_chunk_size;
+
+  PredictionStats stats;
+  ParetoArchive<QueryPlan> archive;
+  size_t examined = 0;
+  size_t peak_resident = 0;
+  MIDAS_RETURN_IF_ERROR(enumerator.EnumerateChunked(
+      logical, chunk_size,
+      [&](std::vector<QueryPlan>&& chunk) -> Status {
+        examined += chunk.size();
+        PredictionStats chunk_stats;
+        MIDAS_ASSIGN_OR_RETURN(
+            std::vector<Vector> costs,
+            PredictCandidateCostsBatched(chunk, predictor, arity,
+                                         &chunk_stats));
+        stats.predictor_calls += chunk_stats.predictor_calls;
+        stats.cache_hits += chunk_stats.cache_hits;
+        stats.cache_misses += chunk_stats.cache_misses;
+        peak_resident = std::max(peak_resident, archive.size() + chunk.size());
+        // Reduce the chunk to its own front first (cheap for the 2–3
+        // metric policies), then fold the survivors in candidate order:
+        // the archive keeps first representatives and evicts members a
+        // later chunk dominates, reproducing FromCandidates exactly.
+        const std::vector<size_t> front =
+            ParetoFrontIndices(costs, options_.threads);
+        for (size_t idx : front) {
+          archive.Insert(std::move(costs[idx]), std::move(chunk[idx]));
+        }
+        return Status::OK();
+      }));
+
+  MoqpResult result;
+  result.candidates_examined = examined;
+  result.pareto_costs = archive.TakeCosts();
+  result.pareto_plans = archive.TakePayloads();
+  MIDAS_ASSIGN_OR_RETURN(result.chosen,
+                         BestInPareto(result.pareto_costs, policy));
+  result.predictor_calls = stats.predictor_calls;
+  result.cache_hits = stats.cache_hits;
+  result.cache_misses = stats.cache_misses;
+  result.peak_resident_candidates = peak_resident;
   return result;
 }
 

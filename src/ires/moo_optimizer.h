@@ -60,6 +60,13 @@ struct MoqpOptions {
   /// two). More shards cut contention on warm parallel lookups; counters
   /// and contents behave identically at any value.
   size_t cache_shards = FeatureCostCache::kDefaultShards;
+  /// Candidate plans materialised per enumeration chunk of
+  /// OptimizeStreaming: the streaming pipeline holds at most the online
+  /// Pareto archive plus one chunk of this many plans, so smaller values
+  /// tighten the O(front + chunk) peak working set while larger values
+  /// amortise the batched scoring setup over more rows. 0 falls back to
+  /// the default. The produced result is independent of the value.
+  size_t stream_chunk_size = 4096;
 };
 
 /// \brief Outcome of one MOQP optimisation.
@@ -79,6 +86,10 @@ struct MoqpResult {
   /// Feature-cache hits/misses of this call (0/0 when caching is off).
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// High-water mark of simultaneously materialised candidate plans: the
+  /// whole candidate set for the materialize-everything paths, the
+  /// archive front plus one in-flight chunk for OptimizeStreaming.
+  size_t peak_resident_candidates = 0;
 
   const QueryPlan& chosen_plan() const { return pareto_plans[chosen]; }
   const Vector& chosen_costs() const { return pareto_costs[chosen]; }
@@ -119,6 +130,19 @@ class MultiObjectiveOptimizer {
   StatusOr<MoqpResult> Optimize(const QueryPlan& logical,
                                 const BatchCostPredictor& predictor,
                                 const QueryPolicy& policy) const;
+
+  /// Streaming pipeline: enumerates candidates in
+  /// options.stream_chunk_size batches, scores each chunk through the
+  /// batched costing stage, and folds the chunk's Pareto survivors into
+  /// an online archive — peak memory O(front + chunk) instead of
+  /// O(all candidates), with a result identical to the materialized
+  /// batched Optimize. Only kExhaustivePareto can be stream-folded; kWsm
+  /// (whose scalarisation min-max-normalises over the full candidate
+  /// set) and the NSGA variants (which evolve over the full cost table)
+  /// transparently fall back to the materialized path.
+  StatusOr<MoqpResult> OptimizeStreaming(const QueryPlan& logical,
+                                         const BatchCostPredictor& predictor,
+                                         const QueryPolicy& policy) const;
 
   /// The feature-keyed prediction memo (populated only when
   /// options.cache_predictions is set). Shared by copies of this optimizer

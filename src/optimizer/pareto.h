@@ -22,18 +22,26 @@ bool Dominates(const Vector& a, const Vector& b);
 bool StrictlyDominates(const Vector& a, const Vector& b);
 
 /// Indices of the non-dominated points of `costs` (the Pareto front),
-/// using standard dominance. Duplicate cost vectors all survive.
+/// ascending, using standard dominance. Duplicate cost vectors all
+/// survive.
 std::vector<size_t> ParetoFrontIndices(const std::vector<Vector>& costs);
 
-/// Same front, with the O(n²) dominance matrix scanned by `threads`
-/// concurrent chunks (1 = serial, 0 = the process default). Each point's
-/// front membership is independent of the others', so the result is
-/// identical to the serial overload at any thread count.
+/// Same front. For the 1–3 objective cases the paper's policies use
+/// (time / money / latency trade-offs) the front is extracted by a
+/// lexicographic sweep (2 objectives) or Kung's divide-and-conquer
+/// (3 objectives) in O(n log n) / O(n log² n); higher arities fall back
+/// to the O(n²) dominance scan split over `threads` concurrent chunks
+/// (1 = serial, 0 = the process default). Every path returns the same
+/// ascending index list at any thread count.
 std::vector<size_t> ParetoFrontIndices(const std::vector<Vector>& costs,
                                        size_t threads);
 
-/// Fast non-dominated sort (Deb et al. 2002): partitions all points into
-/// fronts; result[0] is the Pareto front, result[1] the next layer, etc.
+/// Fast non-dominated sort: partitions all points into fronts; result[0]
+/// is the Pareto front, result[1] the next layer, etc. Indices within a
+/// front are ascending. Implemented as the Jensen/Fortin divide-and-
+/// conquer sort (generalised sweep over lexicographically ordered unique
+/// cost vectors, O(n log^(M-1) n)) — bit-identical in ranking to
+/// `NonDominatedSortNaive` below, which is kept as the test oracle.
 std::vector<std::vector<size_t>> FastNonDominatedSort(
     const std::vector<Vector>& costs);
 
@@ -41,6 +49,18 @@ std::vector<std::vector<size_t>> FastNonDominatedSort(
 /// Individuals pass pointers instead of copying every objective vector
 /// into a scratch array).
 std::vector<std::vector<size_t>> FastNonDominatedSort(
+    const std::vector<const Vector*>& costs);
+
+/// Reference non-dominated sort (Deb et al. 2002): the O(n²) adjacency-
+/// list algorithm, kept as the oracle the fast sort is tested against the
+/// same way `MultiplyReferenceInto` anchors the blocked GEMM. Indices
+/// within a front are ascending, so the result is directly comparable to
+/// `FastNonDominatedSort`.
+std::vector<std::vector<size_t>> NonDominatedSortNaive(
+    const std::vector<Vector>& costs);
+
+/// Zero-copy variant over borrowed objective vectors.
+std::vector<std::vector<size_t>> NonDominatedSortNaive(
     const std::vector<const Vector*>& costs);
 
 /// Crowding distance of each point within one front (Deb et al. 2002).

@@ -1,0 +1,60 @@
+#include "optimizer/pareto_archive.h"
+
+#include <algorithm>
+
+#include "optimizer/pareto.h"
+
+namespace midas {
+
+bool ParetoArchiveCore::Insert(Vector cost, std::vector<size_t>* evicted) {
+  ++considered_;
+  evicted->clear();
+  if (member_set_.count(cost) != 0) {
+    ++duplicate_rejections_;
+    return false;
+  }
+  // Members are mutually non-dominated, so the newcomer cannot both be
+  // dominated by one member and dominate another: the first dominator
+  // found proves no eviction has been recorded yet.
+  std::vector<size_t>& out = *evicted;
+  for (size_t i = 0; i < costs_.size(); ++i) {
+    if (Dominates(costs_[i], cost)) {
+      ++dominated_rejections_;
+      out.clear();
+      return false;
+    }
+    if (Dominates(cost, costs_[i])) out.push_back(i);
+  }
+  if (!out.empty()) {
+    for (size_t i : out) member_set_.erase(costs_[i]);
+    size_t write = out.front();
+    size_t next = 0;
+    for (size_t read = write; read < costs_.size(); ++read) {
+      if (next < out.size() && out[next] == read) {
+        ++next;
+        continue;
+      }
+      costs_[write++] = std::move(costs_[read]);
+    }
+    costs_.resize(write);
+    evictions_ += out.size();
+  }
+  member_set_.insert(cost);
+  costs_.push_back(std::move(cost));
+  peak_size_ = std::max(peak_size_, costs_.size());
+  return true;
+}
+
+std::vector<Vector> ParetoArchiveCore::TakeCosts() {
+  member_set_.clear();
+  std::vector<Vector> out = std::move(costs_);
+  costs_.clear();
+  return out;
+}
+
+void ParetoArchiveCore::Clear() {
+  costs_.clear();
+  member_set_.clear();
+}
+
+}  // namespace midas

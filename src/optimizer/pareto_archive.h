@@ -1,0 +1,134 @@
+#ifndef MIDAS_OPTIMIZER_PARETO_ARCHIVE_H_
+#define MIDAS_OPTIMIZER_PARETO_ARCHIVE_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace midas {
+
+/// \brief Online Pareto archive over cost vectors (all objectives
+/// minimised): the streaming counterpart of `ParetoFrontIndices` +
+/// first-representative dedup.
+///
+/// Feeding every candidate of a set through `Insert` in order leaves the
+/// archive holding exactly the distinct non-dominated cost vectors, each
+/// represented by its *first* occurrence and kept in arrival order — the
+/// same (plan, cost) sequence the materialize-everything pipeline
+/// produces, but with O(front) resident state instead of O(candidates).
+///
+/// Insert semantics:
+///  - a cost bitwise equal to a member is rejected (hashed O(1) dedup,
+///    `VectorHash`), keeping the earlier representative;
+///  - a cost dominated by any member is rejected;
+///  - otherwise the cost is appended and every member it dominates is
+///    evicted, preserving the relative order of the survivors.
+///
+/// Each insert is O(archive size); the archive never holds a dominated
+/// point, so the peak working set of a streaming pass is bounded by
+/// O(max front + chunk).
+class ParetoArchiveCore {
+ public:
+  /// Attempts to add `cost`. Returns true and appends it if it joins the
+  /// archive; `evicted` then holds the ascending positions (in the
+  /// pre-insert member order) of the members it displaced, so a caller
+  /// tracking parallel payloads can mirror the removal. On a false
+  /// return (duplicate or dominated) the archive is untouched and
+  /// `evicted` is left empty.
+  bool Insert(Vector cost, std::vector<size_t>* evicted);
+
+  /// Members in arrival order (mutually non-dominated, distinct).
+  const std::vector<Vector>& costs() const { return costs_; }
+  size_t size() const { return costs_.size(); }
+  bool empty() const { return costs_.empty(); }
+
+  /// Moves the members out and resets the archive (stats survive).
+  std::vector<Vector> TakeCosts();
+
+  void Clear();
+
+  /// High-water mark of the member count.
+  size_t peak_size() const { return peak_size_; }
+  /// Total costs offered to Insert.
+  uint64_t considered() const { return considered_; }
+  /// Rejected as bitwise duplicates of a member.
+  uint64_t duplicate_rejections() const { return duplicate_rejections_; }
+  /// Rejected as dominated by a member.
+  uint64_t dominated_rejections() const { return dominated_rejections_; }
+  /// Members displaced by later inserts.
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::vector<Vector> costs_;
+  std::unordered_set<Vector, VectorHash> member_set_;
+  size_t peak_size_ = 0;
+  uint64_t considered_ = 0;
+  uint64_t duplicate_rejections_ = 0;
+  uint64_t dominated_rejections_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// \brief `ParetoArchiveCore` plus a payload carried alongside every cost
+/// (the physical plan that produced it): payloads ride through the same
+/// insert/evict lifecycle, so `payloads()[i]` always corresponds to
+/// `costs()[i]`.
+template <typename Payload>
+class ParetoArchive {
+ public:
+  /// Returns true iff the (cost, payload) pair joined the archive.
+  bool Insert(Vector cost, Payload payload) {
+    evicted_.clear();
+    if (!core_.Insert(std::move(cost), &evicted_)) return false;
+    if (!evicted_.empty()) {
+      size_t write = evicted_.front();
+      size_t next = 0;
+      for (size_t read = write; read < payloads_.size(); ++read) {
+        if (next < evicted_.size() && evicted_[next] == read) {
+          ++next;
+          continue;
+        }
+        payloads_[write++] = std::move(payloads_[read]);
+      }
+      payloads_.resize(write);
+    }
+    payloads_.push_back(std::move(payload));
+    return true;
+  }
+
+  const std::vector<Vector>& costs() const { return core_.costs(); }
+  const std::vector<Payload>& payloads() const { return payloads_; }
+  size_t size() const { return core_.size(); }
+  bool empty() const { return core_.empty(); }
+
+  /// Moves the members out (costs and payloads stay index-aligned) and
+  /// resets the archive; stats survive.
+  std::vector<Vector> TakeCosts() { return core_.TakeCosts(); }
+  std::vector<Payload> TakePayloads() { return std::move(payloads_); }
+
+  void Clear() {
+    core_.Clear();
+    payloads_.clear();
+  }
+
+  size_t peak_size() const { return core_.peak_size(); }
+  uint64_t considered() const { return core_.considered(); }
+  uint64_t duplicate_rejections() const {
+    return core_.duplicate_rejections();
+  }
+  uint64_t dominated_rejections() const {
+    return core_.dominated_rejections();
+  }
+  uint64_t evictions() const { return core_.evictions(); }
+
+ private:
+  ParetoArchiveCore core_;
+  std::vector<Payload> payloads_;
+  std::vector<size_t> evicted_;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_OPTIMIZER_PARETO_ARCHIVE_H_

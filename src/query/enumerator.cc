@@ -1,7 +1,6 @@
 #include "query/enumerator.h"
 
 #include <algorithm>
-#include <set>
 
 namespace midas {
 
@@ -21,7 +20,11 @@ uint64_t PlanEnumerator::CountResourceConfigurations(int vcpu_pool,
 
 namespace {
 
-// Recursively emits all join-commutation variants of `node`.
+// Recursively emits all join-commutation variants of `node`. Parents are
+// shallow-cloned (their subtrees are rebuilt from the variants anyway)
+// and each variant subtree is moved rather than re-cloned on its final
+// pairing, so a deep tree costs roughly half the node copies of the
+// clone-everything version.
 void CommuteVariants(const PlanNode& node,
                      std::vector<std::unique_ptr<PlanNode>>* out) {
   if (node.kind != OperatorKind::kJoin) {
@@ -32,9 +35,10 @@ void CommuteVariants(const PlanNode& node,
     // Unary operator: recurse into the single child.
     std::vector<std::unique_ptr<PlanNode>> child_variants;
     CommuteVariants(*node.children[0], &child_variants);
+    out->reserve(out->size() + child_variants.size());
     for (auto& child : child_variants) {
-      auto copy = node.Clone();
-      copy->children[0] = std::move(child);
+      auto copy = node.CloneShallow();
+      copy->children.push_back(std::move(child));
       out->push_back(std::move(copy));
     }
     return;
@@ -43,17 +47,24 @@ void CommuteVariants(const PlanNode& node,
   std::vector<std::unique_ptr<PlanNode>> right_variants;
   CommuteVariants(*node.children[0], &left_variants);
   CommuteVariants(*node.children[1], &right_variants);
-  for (const auto& lv : left_variants) {
-    for (const auto& rv : right_variants) {
+  out->reserve(out->size() + 2 * left_variants.size() * right_variants.size());
+  for (size_t li = 0; li < left_variants.size(); ++li) {
+    auto& lv = left_variants[li];
+    for (size_t ri = 0; ri < right_variants.size(); ++ri) {
+      auto& rv = right_variants[ri];
+      // lv's last use is its pairing with the final rv; rv's last use is
+      // its pairing with the final lv.
+      const bool lv_final_use = ri + 1 == right_variants.size();
+      const bool rv_final_use = li + 1 == left_variants.size();
       // Original orientation.
-      auto original = node.Clone();
-      original->children[0] = lv->Clone();
-      original->children[1] = rv->Clone();
+      auto original = node.CloneShallow();
+      original->children.push_back(lv->Clone());
+      original->children.push_back(rv->Clone());
       out->push_back(std::move(original));
       // Commuted orientation swaps inputs and join columns.
-      auto commuted = node.Clone();
-      commuted->children[0] = rv->Clone();
-      commuted->children[1] = lv->Clone();
+      auto commuted = node.CloneShallow();
+      commuted->children.push_back(rv_final_use ? std::move(rv) : rv->Clone());
+      commuted->children.push_back(lv_final_use ? std::move(lv) : lv->Clone());
       std::swap(commuted->left_join_column, commuted->right_join_column);
       out->push_back(std::move(commuted));
     }
@@ -78,6 +89,42 @@ std::vector<QueryPlan> PlanEnumerator::JoinOrderVariants(
 
 StatusOr<std::vector<QueryPlan>> PlanEnumerator::EnumeratePhysical(
     const QueryPlan& logical) const {
+  std::vector<QueryPlan> plans;
+  MIDAS_RETURN_IF_ERROR(
+      ForEachPhysical(logical, [&plans](QueryPlan&& plan) {
+        plans.push_back(std::move(plan));
+        return Status::OK();
+      }));
+  return plans;
+}
+
+Status PlanEnumerator::EnumerateChunked(const QueryPlan& logical,
+                                        size_t chunk_size,
+                                        const ChunkVisitor& visitor) const {
+  if (!visitor) return Status::InvalidArgument("null chunk visitor");
+  if (chunk_size == 0) {
+    return Status::InvalidArgument("chunk_size must be positive");
+  }
+  std::vector<QueryPlan> chunk;
+  chunk.reserve(std::min(chunk_size, options_.max_plans));
+  MIDAS_RETURN_IF_ERROR(
+      ForEachPhysical(logical, [&](QueryPlan&& plan) -> Status {
+        chunk.push_back(std::move(plan));
+        if (chunk.size() < chunk_size) return Status::OK();
+        std::vector<QueryPlan> full;
+        full.swap(chunk);
+        chunk.reserve(chunk_size);
+        return visitor(std::move(full));
+      }));
+  if (!chunk.empty()) {
+    MIDAS_RETURN_IF_ERROR(visitor(std::move(chunk)));
+  }
+  return Status::OK();
+}
+
+Status PlanEnumerator::ForEachPhysical(
+    const QueryPlan& logical,
+    const std::function<Status(QueryPlan&&)>& emit) const {
   if (federation_ == nullptr || catalog_ == nullptr) {
     return Status::FailedPrecondition("enumerator missing environment");
   }
@@ -86,13 +133,16 @@ StatusOr<std::vector<QueryPlan>> PlanEnumerator::EnumeratePhysical(
     return Status::InvalidArgument("no candidate node counts");
   }
 
-  // Resolve base table placements once.
-  std::set<SiteId> data_sites;
+  // Resolve base table placements once; sorted + deduplicated.
+  std::vector<SiteId> data_sites;
   for (const std::string& table : logical.BaseTables()) {
     MIDAS_ASSIGN_OR_RETURN(Federation::Placement placement,
                            federation_->TablePlacement(table));
-    data_sites.insert(placement.site);
+    data_sites.push_back(placement.site);
   }
+  std::sort(data_sites.begin(), data_sites.end());
+  data_sites.erase(std::unique(data_sites.begin(), data_sites.end()),
+                   data_sites.end());
 
   // Candidate compute placements: every (site, engine) pair in the
   // federation.
@@ -111,12 +161,12 @@ StatusOr<std::vector<QueryPlan>> PlanEnumerator::EnumeratePhysical(
   }
 
   std::vector<QueryPlan> variants = JoinOrderVariants(logical);
-  std::vector<QueryPlan> plans;
+  size_t emitted = 0;
 
   for (const QueryPlan& variant : variants) {
     for (const Compute& compute : computes) {
       // Participating sites for this choice: data sites plus compute site.
-      std::vector<SiteId> used_sites(data_sites.begin(), data_sites.end());
+      std::vector<SiteId> used_sites = data_sites;
       if (std::find(used_sites.begin(), used_sites.end(), compute.site) ==
           used_sites.end()) {
         used_sites.push_back(compute.site);
@@ -159,8 +209,8 @@ StatusOr<std::vector<QueryPlan>> PlanEnumerator::EnumeratePhysical(
         }
         if (feasible) {
           MIDAS_RETURN_IF_ERROR(EstimateCardinalities(*catalog_, &plan));
-          plans.push_back(std::move(plan));
-          if (plans.size() >= options_.max_plans) return plans;
+          MIDAS_RETURN_IF_ERROR(emit(std::move(plan)));
+          if (++emitted >= options_.max_plans) return Status::OK();
         }
         // Advance the mixed-radix counter.
         size_t d = 0;
@@ -173,11 +223,11 @@ StatusOr<std::vector<QueryPlan>> PlanEnumerator::EnumeratePhysical(
       }
     }
   }
-  if (plans.empty()) {
+  if (emitted == 0) {
     return Status::FailedPrecondition(
         "no feasible physical plan (check node_counts vs site limits)");
   }
-  return plans;
+  return Status::OK();
 }
 
 }  // namespace midas

@@ -1,6 +1,7 @@
 #ifndef MIDAS_QUERY_ENUMERATOR_H_
 #define MIDAS_QUERY_ENUMERATOR_H_
 
+#include <functional>
 #include <vector>
 
 #include "federation/federation.h"
@@ -32,11 +33,26 @@ class PlanEnumerator {
   PlanEnumerator(const Federation* federation, const Catalog* catalog,
                  EnumeratorOptions options = EnumeratorOptions());
 
+  /// Receives one batch of annotated physical plans, in enumeration
+  /// order, with ownership. Returning a non-OK status aborts the
+  /// enumeration and propagates out of `EnumerateChunked`.
+  using ChunkVisitor = std::function<Status(std::vector<QueryPlan>&& chunk)>;
+
   /// Emits fully annotated physical plans with cardinalities estimated.
   /// The logical plan must validate and every scanned table must have a
   /// placement in the federation.
   StatusOr<std::vector<QueryPlan>> EnumeratePhysical(
       const QueryPlan& logical) const;
+
+  /// Streaming enumeration: generates exactly the plans (and order) of
+  /// `EnumeratePhysical`, but hands them to `visitor` in batches of at
+  /// most `chunk_size` so no more than one chunk is ever materialised at
+  /// a time — the generator half of the O(front + chunk) streaming
+  /// pipeline. Fails with the same errors as `EnumeratePhysical`
+  /// (including "no feasible physical plan" when nothing is emitted);
+  /// `chunk_size` must be positive and `visitor` non-null.
+  Status EnumerateChunked(const QueryPlan& logical, size_t chunk_size,
+                          const ChunkVisitor& visitor) const;
 
   /// Example 3.1: number of distinct (vCPU, memory-GiB) execution
   /// configurations available from a resource pool — 70 x 260 = 18,200.
@@ -44,6 +60,12 @@ class PlanEnumerator {
                                               int memory_gib_pool);
 
  private:
+  /// Shared generator core: invokes `emit` once per feasible annotated
+  /// plan, stopping after `options_.max_plans` emissions.
+  Status ForEachPhysical(
+      const QueryPlan& logical,
+      const std::function<Status(QueryPlan&&)>& emit) const;
+
   std::vector<QueryPlan> JoinOrderVariants(const QueryPlan& logical) const;
 
   const Federation* federation_;

@@ -24,6 +24,13 @@ std::string OperatorKindName(OperatorKind kind) {
 }
 
 std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = CloneShallow();
+  copy->children.reserve(children.size());
+  for (const auto& child : children) copy->children.push_back(child->Clone());
+  return copy;
+}
+
+std::unique_ptr<PlanNode> PlanNode::CloneShallow() const {
   auto copy = std::make_unique<PlanNode>();
   copy->kind = kind;
   copy->table = table;
@@ -39,8 +46,6 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   copy->num_nodes = num_nodes;
   copy->output_rows = output_rows;
   copy->output_bytes = output_bytes;
-  copy->children.reserve(children.size());
-  for (const auto& child : children) copy->children.push_back(child->Clone());
   return copy;
 }
 

@@ -56,6 +56,11 @@ struct PlanNode {
   std::vector<std::unique_ptr<PlanNode>> children;
 
   std::unique_ptr<PlanNode> Clone() const;
+  /// Copies the node's payload and annotations but none of its children —
+  /// for callers (e.g. the enumerator's commutation recursion) that
+  /// rebuild the child list themselves instead of paying for a deep copy
+  /// they would immediately discard.
+  std::unique_ptr<PlanNode> CloneShallow() const;
 };
 
 /// \brief A Query Execution Plan p ∈ P: an operator tree over base tables.

@@ -397,6 +397,71 @@ TEST(ParallelEquivalenceTest, BatchedCostingMatchesScalarSerial) {
   }
 }
 
+TEST(ParallelEquivalenceTest, StreamingMatchesMaterializedBatched) {
+  // The streaming pipeline (chunked enumeration -> batched costing ->
+  // online Pareto archive) must reproduce the materialized batched path
+  // bit-for-bit at every thread count, stream chunk size, and cache
+  // setting, while never holding more candidates than the materialized
+  // run does.
+  Environment env = MakeEnvironment();
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+
+  // Pure function of the feature rows, so it is thread-safe and sound to
+  // cache.
+  MultiObjectiveOptimizer::BatchCostPredictor predictor =
+      [](const Matrix& features, Matrix* costs) -> Status {
+    *costs = Matrix(features.rows(), 2, 0.0);
+    for (size_t r = 0; r < features.rows(); ++r) {
+      double time = 3.0;
+      double money = 0.2;
+      for (size_t c = 0; c < features.cols(); ++c) {
+        time += (0.5 + 0.1 * c) * features(r, c);
+        money += 0.01 * features(r, c);
+      }
+      (*costs)(r, 0) = time;
+      (*costs)(r, 1) = money;
+    }
+    return Status::OK();
+  };
+
+  MoqpOptions serial_options;
+  serial_options.threads = 1;
+  MultiObjectiveOptimizer serial(&env.federation, &env.catalog,
+                                 serial_options);
+  auto baseline = serial.Optimize(LogicalJoin(), predictor, policy);
+  ASSERT_TRUE(baseline.ok());
+
+  for (size_t threads : kThreadCounts) {
+    for (size_t chunk : {size_t{0}, size_t{1}, size_t{7}, size_t{1024}}) {
+      for (bool cache : {false, true}) {
+        MoqpOptions options;
+        options.threads = threads;
+        options.stream_chunk_size = chunk;
+        options.batch_size = 16;
+        options.cache_predictions = cache;
+        MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog,
+                                          options);
+        auto result =
+            optimizer.OptimizeStreaming(LogicalJoin(), predictor, policy);
+        const std::string label = "threads=" + std::to_string(threads) +
+                                  " chunk=" + std::to_string(chunk) +
+                                  " cache=" + std::to_string(cache);
+        ASSERT_TRUE(result.ok()) << label;
+        ExpectSameResult(*baseline, *result, label);
+        EXPECT_LE(result->peak_resident_candidates,
+                  baseline->peak_resident_candidates)
+            << label;
+        if (chunk == 1) {
+          EXPECT_LT(result->peak_resident_candidates,
+                    baseline->peak_resident_candidates)
+              << label;
+        }
+      }
+    }
+  }
+}
+
 TEST(ParallelEquivalenceTest, BatchedPredictorErrorsSurface) {
   Environment env = MakeEnvironment();
   QueryPolicy policy;

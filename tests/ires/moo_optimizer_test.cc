@@ -79,6 +79,25 @@ SimulatorOptions Deterministic() {
   return options;
 }
 
+// Synthetic linear batch predictor: a pure, thread-safe function of the
+// feature rows, as the batched/streaming pipelines require.
+MultiObjectiveOptimizer::BatchCostPredictor LinearBatchPredictor() {
+  return [](const Matrix& features, Matrix* costs) -> Status {
+    *costs = Matrix(features.rows(), 2, 0.0);
+    for (size_t r = 0; r < features.rows(); ++r) {
+      double time = 1.0;
+      double money = 0.1;
+      for (size_t c = 0; c < features.cols(); ++c) {
+        time += (0.3 + 0.05 * c) * features(r, c);
+        money += 0.01 * features(r, c);
+      }
+      (*costs)(r, 0) = time;
+      (*costs)(r, 1) = money;
+    }
+    return Status::OK();
+  };
+}
+
 TEST(MoqpTest, ExhaustiveParetoReturnsNonDominatedSet) {
   Environment env = MakeEnvironment();
   ExecutionSimulator sim(&env.federation, &env.catalog, Deterministic());
@@ -209,6 +228,82 @@ TEST(MoqpTest, ConstraintsRouteThroughBestInPareto) {
   EXPECT_LE(constrained->chosen_costs()[1], max_money * 0.5 + 1e-12);
 }
 
+TEST(MoqpTest, StreamingMatchesMaterializedAcrossChunkSizes) {
+  Environment env = MakeEnvironment();
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  MultiObjectiveOptimizer baseline_opt(&env.federation, &env.catalog);
+  auto baseline =
+      baseline_opt.Optimize(LogicalJoin(), LinearBatchPredictor(), policy);
+  ASSERT_TRUE(baseline.ok());
+  // The materialized path holds the whole candidate set at once.
+  EXPECT_EQ(baseline->peak_resident_candidates,
+            baseline->candidates_examined);
+
+  for (size_t chunk :
+       {size_t{0}, size_t{1}, size_t{7}, size_t{100000}}) {
+    MoqpOptions options;
+    options.stream_chunk_size = chunk;
+    MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog,
+                                      options);
+    auto streamed = optimizer.OptimizeStreaming(
+        LogicalJoin(), LinearBatchPredictor(), policy);
+    ASSERT_TRUE(streamed.ok()) << "chunk=" << chunk;
+    EXPECT_EQ(streamed->pareto_costs, baseline->pareto_costs)
+        << "chunk=" << chunk;
+    EXPECT_EQ(streamed->chosen, baseline->chosen) << "chunk=" << chunk;
+    EXPECT_EQ(streamed->candidates_examined, baseline->candidates_examined)
+        << "chunk=" << chunk;
+    ASSERT_EQ(streamed->pareto_plans.size(), baseline->pareto_plans.size())
+        << "chunk=" << chunk;
+    for (size_t i = 0; i < streamed->pareto_plans.size(); ++i) {
+      EXPECT_EQ(streamed->pareto_plans[i].ToString(),
+                baseline->pareto_plans[i].ToString())
+          << "chunk=" << chunk << " plan " << i;
+    }
+    EXPECT_LE(streamed->peak_resident_candidates,
+              baseline->peak_resident_candidates)
+        << "chunk=" << chunk;
+    if (chunk == 1) {
+      // O(front + chunk) beats O(candidates) once chunks are small.
+      EXPECT_LT(streamed->peak_resident_candidates,
+                baseline->peak_resident_candidates);
+    }
+  }
+}
+
+TEST(MoqpTest, StreamingFallsBackForNonStreamableAlgorithms) {
+  // kWsm normalises over the full candidate set and the NSGA variants
+  // evolve over the full cost table, so OptimizeStreaming must delegate
+  // to the materialized path and return its exact result.
+  Environment env = MakeEnvironment();
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  for (MoqpAlgorithm algorithm :
+       {MoqpAlgorithm::kWsm, MoqpAlgorithm::kNsga2}) {
+    MoqpOptions options;
+    options.algorithm = algorithm;
+    options.nsga2.population_size = 20;
+    options.nsga2.generations = 10;
+    MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog,
+                                      options);
+    auto materialized =
+        optimizer.Optimize(LogicalJoin(), LinearBatchPredictor(), policy);
+    auto streamed = optimizer.OptimizeStreaming(
+        LogicalJoin(), LinearBatchPredictor(), policy);
+    ASSERT_TRUE(materialized.ok()) << MoqpAlgorithmName(algorithm);
+    ASSERT_TRUE(streamed.ok()) << MoqpAlgorithmName(algorithm);
+    EXPECT_EQ(streamed->pareto_costs, materialized->pareto_costs)
+        << MoqpAlgorithmName(algorithm);
+    EXPECT_EQ(streamed->chosen, materialized->chosen)
+        << MoqpAlgorithmName(algorithm);
+    // The fallback materialises the full candidate set.
+    EXPECT_EQ(streamed->peak_resident_candidates,
+              streamed->candidates_examined)
+        << MoqpAlgorithmName(algorithm);
+  }
+}
+
 TEST(MoqpTest, NullPredictorRejected) {
   Environment env = MakeEnvironment();
   MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog);
@@ -224,6 +319,12 @@ TEST(MoqpTest, NullPredictorRejected) {
           .Optimize(LogicalJoin(),
                     MultiObjectiveOptimizer::BatchCostPredictor(nullptr),
                     policy)
+          .ok());
+  EXPECT_FALSE(
+      optimizer
+          .OptimizeStreaming(
+              LogicalJoin(),
+              MultiObjectiveOptimizer::BatchCostPredictor(nullptr), policy)
           .ok());
 }
 

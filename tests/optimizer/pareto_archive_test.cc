@@ -1,0 +1,155 @@
+#include "optimizer/pareto_archive.h"
+
+#include <numeric>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "optimizer/pareto.h"
+
+namespace midas {
+namespace {
+
+size_t InsertAll(ParetoArchiveCore* archive,
+                 const std::vector<Vector>& costs) {
+  std::vector<size_t> evicted;
+  size_t accepted = 0;
+  for (const Vector& c : costs) {
+    if (archive->Insert(c, &evicted)) ++accepted;
+  }
+  return accepted;
+}
+
+TEST(ParetoArchiveCoreTest, KeepsNonDominatedInArrivalOrder) {
+  ParetoArchiveCore archive;
+  InsertAll(&archive, {{1, 5}, {2, 4}, {3, 3}, {2, 6}, {4, 4}});
+  EXPECT_EQ(archive.costs(), (std::vector<Vector>{{1, 5}, {2, 4}, {3, 3}}));
+}
+
+TEST(ParetoArchiveCoreTest, DominatedInsertLeavesArchiveUntouched) {
+  ParetoArchiveCore archive;
+  std::vector<size_t> evicted;
+  ASSERT_TRUE(archive.Insert({1, 1}, &evicted));
+  EXPECT_FALSE(archive.Insert({2, 2}, &evicted));
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(archive.costs(), (std::vector<Vector>{{1, 1}}));
+  EXPECT_EQ(archive.dominated_rejections(), 1u);
+}
+
+TEST(ParetoArchiveCoreTest, EvictionsReportedAscendingAndCompacted) {
+  ParetoArchiveCore archive;
+  std::vector<size_t> evicted;
+  ASSERT_TRUE(archive.Insert({1, 9}, &evicted));
+  ASSERT_TRUE(archive.Insert({5, 5}, &evicted));
+  ASSERT_TRUE(archive.Insert({9, 1}, &evicted));
+  // {0, 4} dominates the members at positions 0 and 1 but not {9, 1}.
+  ASSERT_TRUE(archive.Insert({0, 4}, &evicted));
+  EXPECT_EQ(evicted, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(archive.costs(), (std::vector<Vector>{{9, 1}, {0, 4}}));
+  EXPECT_EQ(archive.evictions(), 2u);
+}
+
+TEST(ParetoArchiveCoreTest, TakeCostsResetsMembershipButKeepsStats) {
+  ParetoArchiveCore archive;
+  std::vector<size_t> evicted;
+  ASSERT_TRUE(archive.Insert({1, 2}, &evicted));
+  EXPECT_EQ(archive.TakeCosts(), (std::vector<Vector>{{1, 2}}));
+  EXPECT_TRUE(archive.empty());
+  // The moved-out member no longer blocks re-insertion as a duplicate...
+  EXPECT_TRUE(archive.Insert({1, 2}, &evicted));
+  // ...while the counters keep accumulating across the reset.
+  EXPECT_EQ(archive.considered(), 2u);
+  EXPECT_EQ(archive.duplicate_rejections(), 0u);
+}
+
+TEST(ParetoArchiveCoreTest, StatsAccounting) {
+  Rng rng(99);
+  std::vector<Vector> costs(400, Vector(2));
+  for (Vector& c : costs) {
+    for (double& v : c) v = static_cast<double>(rng.UniformInt(0, 6));
+  }
+  ParetoArchiveCore archive;
+  const size_t accepted = InsertAll(&archive, costs);
+  EXPECT_EQ(archive.considered(), costs.size());
+  EXPECT_EQ(accepted + archive.duplicate_rejections() +
+                archive.dominated_rejections(),
+            costs.size());
+  EXPECT_EQ(archive.size() + archive.evictions(), accepted);
+  EXPECT_GE(archive.peak_size(), archive.size());
+  EXPECT_LE(archive.peak_size(), accepted);
+}
+
+TEST(ParetoArchiveTest, DuplicateKeepsFirstPayload) {
+  ParetoArchive<std::string> archive;
+  EXPECT_TRUE(archive.Insert({1, 2}, "first"));
+  EXPECT_FALSE(archive.Insert({1, 2}, "second"));
+  EXPECT_EQ(archive.payloads(), (std::vector<std::string>{"first"}));
+  EXPECT_EQ(archive.duplicate_rejections(), 1u);
+}
+
+TEST(ParetoArchiveTest, PayloadsStayAlignedThroughEvictions) {
+  ParetoArchive<std::string> archive;
+  ASSERT_TRUE(archive.Insert({1, 9}, "a"));
+  ASSERT_TRUE(archive.Insert({5, 5}, "b"));
+  ASSERT_TRUE(archive.Insert({9, 1}, "c"));
+  ASSERT_TRUE(archive.Insert({0, 4}, "d"));  // evicts "a" and "b"
+  EXPECT_EQ(archive.costs(), (std::vector<Vector>{{9, 1}, {0, 4}}));
+  EXPECT_EQ(archive.payloads(), (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ(archive.TakeCosts(), (std::vector<Vector>{{9, 1}, {0, 4}}));
+  EXPECT_EQ(archive.TakePayloads(), (std::vector<std::string>{"c", "d"}));
+  EXPECT_TRUE(archive.empty());
+}
+
+// Materialize-everything reference: the global Pareto front with one
+// (first) representative per distinct cost vector, in arrival order —
+// exactly what FromCandidates produces.
+void ReferenceFront(const std::vector<Vector>& costs,
+                    std::vector<Vector>* front_costs,
+                    std::vector<int>* front_ids) {
+  std::unordered_set<Vector, VectorHash> seen;
+  for (size_t idx : ParetoFrontIndices(costs)) {
+    if (!seen.insert(costs[idx]).second) continue;
+    front_costs->push_back(costs[idx]);
+    front_ids->push_back(static_cast<int>(idx));
+  }
+}
+
+TEST(ParetoArchiveTest, StreamingEqualsMaterializedReferenceRandomized) {
+  Rng rng(555);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{10}, size_t{100},
+                   size_t{500}}) {
+    for (size_t arity : {size_t{2}, size_t{3}}) {
+      std::vector<Vector> costs(n, Vector(arity));
+      for (Vector& c : costs) {
+        for (double& v : c) v = static_cast<double>(rng.UniformInt(0, 8));
+      }
+      ParetoArchive<int> archive;
+      for (size_t i = 0; i < n; ++i) {
+        archive.Insert(costs[i], static_cast<int>(i));
+      }
+      std::vector<Vector> want_costs;
+      std::vector<int> want_ids;
+      ReferenceFront(costs, &want_costs, &want_ids);
+      EXPECT_EQ(archive.costs(), want_costs)
+          << "n=" << n << " arity=" << arity;
+      EXPECT_EQ(archive.payloads(), want_ids)
+          << "n=" << n << " arity=" << arity;
+      EXPECT_EQ(archive.considered(), n) << "n=" << n << " arity=" << arity;
+    }
+  }
+}
+
+TEST(ParetoArchiveTest, ClearEmptiesBothSides) {
+  ParetoArchive<int> archive;
+  ASSERT_TRUE(archive.Insert({1, 2}, 0));
+  archive.Clear();
+  EXPECT_TRUE(archive.empty());
+  EXPECT_TRUE(archive.payloads().empty());
+  EXPECT_TRUE(archive.Insert({1, 2}, 1));  // not a duplicate after Clear
+}
+
+}  // namespace
+}  // namespace midas

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include <gtest/gtest.h>
+
+#include "common/random.h"
 
 namespace midas {
 namespace {
@@ -78,6 +81,85 @@ TEST(FastNonDominatedSortTest, EveryPointAssignedExactlyOnce) {
   size_t total = 0;
   for (const auto& f : fronts) total += f.size();
   EXPECT_EQ(total, costs.size());
+}
+
+// --- Randomized equivalence sweeps against the naive oracles ---
+
+// Costs on a coarse integer grid: small grids force duplicate vectors and
+// per-metric ties, the cases where sweep/divide-and-conquer bugs hide.
+std::vector<Vector> RandomCosts(Rng* rng, size_t n, size_t arity,
+                                int64_t grid) {
+  std::vector<Vector> costs(n, Vector(arity));
+  for (Vector& c : costs) {
+    for (double& v : c) v = static_cast<double>(rng->UniformInt(0, grid));
+  }
+  return costs;
+}
+
+// Pareto front membership straight from the definition of dominance.
+std::vector<size_t> FrontByDefinition(const std::vector<Vector>& costs) {
+  std::vector<size_t> front;
+  for (size_t i = 0; i < costs.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < costs.size() && !dominated; ++j) {
+      dominated = j != i && Dominates(costs[j], costs[i]);
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+constexpr size_t kSweepSizes[] = {0, 1, 2, 3, 7, 33, 128};
+
+TEST(FastNonDominatedSortTest, MatchesNaiveOracleRandomized) {
+  Rng rng(20260806);
+  for (size_t n : kSweepSizes) {
+    for (size_t arity = 1; arity <= 5; ++arity) {
+      for (int64_t grid : {int64_t{2}, int64_t{5}, int64_t{50}}) {
+        const std::vector<Vector> costs = RandomCosts(&rng, n, arity, grid);
+        EXPECT_EQ(FastNonDominatedSort(costs), NonDominatedSortNaive(costs))
+            << "n=" << n << " arity=" << arity << " grid=" << grid;
+      }
+    }
+  }
+}
+
+TEST(FastNonDominatedSortTest, BorrowedOverloadMatchesOwned) {
+  Rng rng(7);
+  const std::vector<Vector> costs = RandomCosts(&rng, 64, 3, 4);
+  std::vector<const Vector*> borrowed;
+  borrowed.reserve(costs.size());
+  for (const Vector& c : costs) borrowed.push_back(&c);
+  EXPECT_EQ(FastNonDominatedSort(borrowed), FastNonDominatedSort(costs));
+  EXPECT_EQ(NonDominatedSortNaive(borrowed), NonDominatedSortNaive(costs));
+}
+
+TEST(FastNonDominatedSortTest, AllDuplicatesFormOneFront) {
+  const std::vector<Vector> costs(9, Vector{2.0, 2.0, 2.0});
+  const auto fronts = FastNonDominatedSort(costs);
+  ASSERT_EQ(fronts.size(), 1u);
+  std::vector<size_t> all(costs.size());
+  std::iota(all.begin(), all.end(), size_t{0});
+  EXPECT_EQ(fronts[0], all);
+}
+
+TEST(ParetoFrontTest, FastPathsMatchDefinitionRandomized) {
+  // Exercises the 2-objective lex sweep, the 3-objective Kung recursion,
+  // and the >= 4 objective parallel scan against the brute-force scan.
+  Rng rng(31);
+  for (size_t n : kSweepSizes) {
+    for (size_t arity = 1; arity <= 5; ++arity) {
+      for (int64_t grid : {int64_t{2}, int64_t{6}}) {
+        const std::vector<Vector> costs = RandomCosts(&rng, n, arity, grid);
+        const std::vector<size_t> expected = FrontByDefinition(costs);
+        for (size_t threads : {size_t{1}, size_t{3}}) {
+          EXPECT_EQ(ParetoFrontIndices(costs, threads), expected)
+              << "n=" << n << " arity=" << arity << " grid=" << grid
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
 }
 
 TEST(CrowdingDistanceTest, BoundaryPointsAreInfinite) {

@@ -1,6 +1,8 @@
 #include "query/enumerator.h"
 
 #include <set>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -168,6 +170,97 @@ TEST(EnumeratorTest, EmptyNodeCountsRejected) {
   options.node_counts = {};
   PlanEnumerator enumerator(&env.federation, &env.catalog, options);
   EXPECT_FALSE(enumerator.EnumeratePhysical(JoinPlan()).ok());
+}
+
+std::vector<std::string> PlanStrings(const std::vector<QueryPlan>& plans) {
+  std::vector<std::string> out;
+  out.reserve(plans.size());
+  for (const QueryPlan& plan : plans) out.push_back(plan.ToString());
+  return out;
+}
+
+TEST(EnumeratorTest, ChunkedMatchesMaterializedAtAnyChunkSize) {
+  Environment env = MakeEnvironment();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  auto all = enumerator.EnumeratePhysical(JoinPlan());
+  ASSERT_TRUE(all.ok());
+  const std::vector<std::string> want = PlanStrings(*all);
+  ASSERT_FALSE(want.empty());
+
+  for (size_t chunk_size :
+       {size_t{1}, size_t{3}, size_t{64}, size_t{1000000}}) {
+    std::vector<std::string> got;
+    size_t chunks = 0;
+    auto status = enumerator.EnumerateChunked(
+        JoinPlan(), chunk_size,
+        [&](std::vector<QueryPlan>&& chunk) -> Status {
+          EXPECT_FALSE(chunk.empty());
+          EXPECT_LE(chunk.size(), chunk_size);
+          ++chunks;
+          for (QueryPlan& plan : chunk) got.push_back(plan.ToString());
+          return Status::OK();
+        });
+    ASSERT_TRUE(status.ok()) << "chunk_size=" << chunk_size;
+    EXPECT_EQ(got, want) << "chunk_size=" << chunk_size;
+    EXPECT_EQ(chunks, (want.size() + chunk_size - 1) / chunk_size)
+        << "chunk_size=" << chunk_size;
+  }
+}
+
+TEST(EnumeratorTest, ChunkedVisitorErrorAbortsEnumeration) {
+  Environment env = MakeEnvironment();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  size_t calls = 0;
+  auto status = enumerator.EnumerateChunked(
+      JoinPlan(), 4, [&](std::vector<QueryPlan>&&) -> Status {
+        ++calls;
+        return Status::Internal("stop here");
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "stop here");
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(EnumeratorTest, ChunkedRespectsMaxPlansCap) {
+  Environment env = MakeEnvironment();
+  EnumeratorOptions options;
+  options.max_plans = 5;
+  PlanEnumerator enumerator(&env.federation, &env.catalog, options);
+  size_t total = 0;
+  ASSERT_TRUE(enumerator
+                  .EnumerateChunked(JoinPlan(), 2,
+                                    [&](std::vector<QueryPlan>&& chunk) {
+                                      total += chunk.size();
+                                      return Status::OK();
+                                    })
+                  .ok());
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(EnumeratorTest, ChunkedRejectsBadArguments) {
+  Environment env = MakeEnvironment();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  auto noop = [](std::vector<QueryPlan>&&) { return Status::OK(); };
+  EXPECT_FALSE(enumerator.EnumerateChunked(JoinPlan(), 0, noop).ok());
+  EXPECT_FALSE(enumerator
+                   .EnumerateChunked(JoinPlan(), 4,
+                                     PlanEnumerator::ChunkVisitor())
+                   .ok());
+}
+
+TEST(EnumeratorTest, ChunkedReportsNoFeasiblePlan) {
+  Environment env = MakeEnvironment();
+  EnumeratorOptions options;
+  options.node_counts = {16};  // exceeds both sites' max of 8
+  PlanEnumerator enumerator(&env.federation, &env.catalog, options);
+  size_t calls = 0;
+  auto status = enumerator.EnumerateChunked(
+      JoinPlan(), 4, [&](std::vector<QueryPlan>&&) {
+        ++calls;
+        return Status::OK();
+      });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 0u);
 }
 
 TEST(EnumeratorTest, Example31ResourceConfigurations) {
