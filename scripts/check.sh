@@ -9,6 +9,14 @@
 # materialized front, chunked vs materialized enumeration, and
 # OptimizeStreaming vs Optimize across threads x chunk sizes x cache
 # settings) are discovered with the rest and run under every preset.
+#
+# The snapshot suites ride the same discovery: the snapshot/live
+# equivalence tests run everywhere, the snapshot concurrency suite
+# (readers at 1/4/16 threads pinning epochs against live writers) is
+# race-checked under the tsan preset by default, and the
+# TrainingWindow use-after-mutation death tests arm themselves in the
+# asan/tsan builds (MIDAS_TRAINING_WINDOW_CHECKS; GCC exposes no UBSan
+# detection macro, so the pure-ubsan preset skips them).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

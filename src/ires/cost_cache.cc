@@ -19,18 +19,19 @@ FeatureCostCache::FeatureCostCache(size_t num_shards)
     : shards_(RoundUpToPowerOfTwo(num_shards == 0 ? 1 : num_shards)),
       shard_mask_(shards_.size() - 1) {}
 
-FeatureCostCache::Shard& FeatureCostCache::ShardFor(
-    const Vector& features) const {
+FeatureCostCache::Shard& FeatureCostCache::ShardFor(const Vector& features,
+                                                    uint64_t epoch) const {
   // Upper hash bits pick the shard so the shard index stays independent of
   // the map's own bucket choice (which consumes the low bits).
-  const size_t h = VectorHash()(features);
+  const size_t h = KeyHash::Hash(epoch, features);
   return shards_[(h >> 48) & shard_mask_];
 }
 
-std::optional<Vector> FeatureCostCache::Lookup(const Vector& features) const {
-  Shard& shard = ShardFor(features);
+std::optional<Vector> FeatureCostCache::Lookup(const Vector& features,
+                                               uint64_t epoch) const {
+  Shard& shard = ShardFor(features, epoch);
   std::shared_lock<std::shared_mutex> lock(shard.mutex);
-  const auto it = shard.entries.find(features);
+  const auto it = shard.entries.find(Key{epoch, features});
   if (it == shard.entries.end()) {
     shard.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -39,10 +40,24 @@ std::optional<Vector> FeatureCostCache::Lookup(const Vector& features) const {
   return it->second;
 }
 
-void FeatureCostCache::Insert(const Vector& features, Vector cost) {
-  Shard& shard = ShardFor(features);
+void FeatureCostCache::Insert(const Vector& features, Vector cost,
+                              uint64_t epoch) {
+  Shard& shard = ShardFor(features, epoch);
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  shard.entries.emplace(features, std::move(cost));
+  shard.entries.emplace(Key{epoch, features}, std::move(cost));
+}
+
+void FeatureCostCache::PruneOtherEpochs(uint64_t keep) {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (it->first.epoch != keep) {
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 }
 
 size_t FeatureCostCache::size() const {

@@ -28,10 +28,17 @@ namespace midas {
 /// funnelling every reader through one global lock. hits()/misses()/size()
 /// aggregate across shards.
 ///
+/// Entries are additionally keyed by the snapshot *epoch* the cost was
+/// predicted against: a cost computed from an epoch-N estimator snapshot
+/// is never served to an optimization pinned to epoch N+1, even when both
+/// run concurrently over a shared cache. Callers that don't version their
+/// estimator state use the default epoch 0 and get the old behaviour.
+/// PruneOtherEpochs evicts superseded epochs without resetting counters.
+///
 /// Correctness requires the predictor to be a pure function of the
-/// features; predictors that read other plan structure (e.g. the raw
-/// simulator, whose transfer costs depend on join shape) must not be
-/// cached.
+/// features (at a fixed epoch); predictors that read other plan structure
+/// (e.g. the raw simulator, whose transfer costs depend on join shape)
+/// must not be cached.
 class FeatureCostCache {
  public:
   /// Default stripe count: enough shards that 8-16 threads rarely collide,
@@ -41,11 +48,18 @@ class FeatureCostCache {
   /// \param num_shards rounded up to the next power of two, at least 1.
   explicit FeatureCostCache(size_t num_shards = kDefaultShards);
 
-  /// Returns the cached cost for `features`, counting a hit or a miss.
-  std::optional<Vector> Lookup(const Vector& features) const;
+  /// Returns the cost cached for `features` under `epoch`, counting a hit
+  /// or a miss. An entry inserted under a different epoch never matches.
+  std::optional<Vector> Lookup(const Vector& features,
+                               uint64_t epoch = 0) const;
 
-  /// Stores the cost for `features` (first writer wins on a race).
-  void Insert(const Vector& features, Vector cost);
+  /// Stores the cost for `features` under `epoch` (first writer wins on a
+  /// race).
+  void Insert(const Vector& features, Vector cost, uint64_t epoch = 0);
+
+  /// Evicts every entry whose epoch differs from `keep`. Hit/miss counters
+  /// are cumulative across the cache's lifetime and are NOT reset.
+  void PruneOtherEpochs(uint64_t keep);
 
   /// Entry count summed over all shards.
   size_t size() const;
@@ -59,14 +73,38 @@ class FeatureCostCache {
   void Clear();
 
  private:
+  /// (epoch, features) composite key.
+  struct Key {
+    uint64_t epoch;
+    Vector features;
+    bool operator==(const Key& other) const {
+      return epoch == other.epoch && features == other.features;
+    }
+  };
+
+  struct KeyHash {
+    // splitmix64-style scramble of the epoch folded into the feature
+    // hash; consecutive epochs must not land in adjacent buckets.
+    static size_t Hash(uint64_t epoch, const Vector& features) {
+      uint64_t e = epoch + 0x9e3779b97f4a7c15ULL;
+      e = (e ^ (e >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      e = (e ^ (e >> 27)) * 0x94d049bb133111ebULL;
+      e ^= e >> 31;
+      return VectorHash()(features) ^ static_cast<size_t>(e);
+    }
+    size_t operator()(const Key& key) const {
+      return Hash(key.epoch, key.features);
+    }
+  };
+
   struct Shard {
     mutable std::shared_mutex mutex;
-    std::unordered_map<Vector, Vector, VectorHash> entries;
+    std::unordered_map<Key, Vector, KeyHash> entries;
     mutable std::atomic<uint64_t> hits{0};
     mutable std::atomic<uint64_t> misses{0};
   };
 
-  Shard& ShardFor(const Vector& features) const;
+  Shard& ShardFor(const Vector& features, uint64_t epoch) const;
 
   // Fixed at construction; Shard is neither copyable nor movable, so the
   // vector is sized once and never reallocated.

@@ -4,6 +4,24 @@
 
 namespace midas {
 
+namespace {
+
+/// Costs are physical quantities; an extrapolating model can go negative
+/// on out-of-hull feature points, which no caller can use.
+void ClampCosts(Vector* costs) {
+  for (double& c : *costs) c = std::max(0.0, c);
+}
+
+void ClampCosts(Matrix* costs) {
+  for (size_t r = 0; r < costs->rows(); ++r) {
+    for (size_t m = 0; m < costs->cols(); ++m) {
+      (*costs)(r, m) = std::max(0.0, (*costs)(r, m));
+    }
+  }
+}
+
+}  // namespace
+
 EstimatorConfig EstimatorConfig::DreamDefault() {
   EstimatorConfig cfg;
   cfg.kind = EstimatorKind::kDream;
@@ -24,17 +42,22 @@ std::string EstimatorName(const EstimatorConfig& config) {
 
 Modelling::Modelling(std::vector<std::string> feature_names,
                      std::vector<std::string> metric_names, uint64_t seed)
-    : history_(std::move(feature_names), std::move(metric_names)) {
+    : publisher_(std::move(feature_names), std::move(metric_names)) {
   selector_.AddDefaultCandidates(seed);
 }
 
 Status Modelling::Record(const std::string& scope, Observation observation) {
-  return history_.Record(scope, std::move(observation));
+  return publisher_.Record(scope, std::move(observation));
+}
+
+Status Modelling::RecordBatch(
+    std::vector<SnapshotPublisher::ScopedObservation> batch) {
+  return publisher_.RecordBatch(std::move(batch));
 }
 
 StatusOr<Vector> Modelling::Predict(const std::string& scope, const Vector& x,
                                     const EstimatorConfig& config) const {
-  MIDAS_ASSIGN_OR_RETURN(const TrainingSet* set, history_.Get(scope));
+  MIDAS_ASSIGN_OR_RETURN(const TrainingSet* set, history().Get(scope));
   if (x.size() != num_features()) {
     return Status::InvalidArgument("feature arity mismatch");
   }
@@ -46,16 +69,43 @@ StatusOr<Vector> Modelling::Predict(const std::string& scope, const Vector& x,
             }()
           : PredictBml(*set, x, config.window);
   if (!prediction.ok()) return prediction;
-  // Costs are physical quantities; an extrapolating model can go negative
-  // on out-of-hull feature points, which no caller can use.
-  for (double& c : *prediction) c = std::max(0.0, c);
+  ClampCosts(&*prediction);
+  return prediction;
+}
+
+StatusOr<Vector> Modelling::Predict(const EstimatorSnapshot& snapshot,
+                                    const std::string& scope, const Vector& x,
+                                    const EstimatorConfig& config) const {
+  if (x.size() != snapshot.num_features()) {
+    return Status::InvalidArgument("feature arity mismatch");
+  }
+  StatusOr<Vector> prediction = [&]() -> StatusOr<Vector> {
+    if (config.kind == EstimatorKind::kDream) {
+      MIDAS_ASSIGN_OR_RETURN(std::shared_ptr<const DreamEstimate> fit,
+                             snapshot.DreamFit(scope, config.dream));
+      return fit->Predict(x);
+    }
+    MIDAS_ASSIGN_OR_RETURN(
+        std::shared_ptr<const BmlScopeFit> fit,
+        snapshot.BmlFit(scope, WindowPolicyName(config.window),
+                        [&](const TrainingSet& set) {
+                          return FitBml(set, config.window);
+                        }));
+    Vector out(snapshot.num_metrics(), 0.0);
+    for (size_t metric = 0; metric < fit->learners.size(); ++metric) {
+      MIDAS_ASSIGN_OR_RETURN(out[metric], fit->learners[metric]->Predict(x));
+    }
+    return out;
+  }();
+  if (!prediction.ok()) return prediction;
+  ClampCosts(&*prediction);
   return prediction;
 }
 
 StatusOr<Matrix> Modelling::PredictBatch(const std::string& scope,
                                          const Matrix& X,
                                          const EstimatorConfig& config) const {
-  MIDAS_ASSIGN_OR_RETURN(const TrainingSet* set, history_.Get(scope));
+  MIDAS_ASSIGN_OR_RETURN(const TrainingSet* set, history().Get(scope));
   if (X.cols() != num_features()) {
     return Status::InvalidArgument("feature arity mismatch");
   }
@@ -67,12 +117,40 @@ StatusOr<Matrix> Modelling::PredictBatch(const std::string& scope,
             }()
           : PredictBmlBatch(*set, X, config.window);
   if (!prediction.ok()) return prediction;
-  // Same clamp as the per-row path: costs are physical quantities.
-  for (size_t r = 0; r < prediction->rows(); ++r) {
-    for (size_t m = 0; m < prediction->cols(); ++m) {
-      (*prediction)(r, m) = std::max(0.0, (*prediction)(r, m));
-    }
+  ClampCosts(&*prediction);
+  return prediction;
+}
+
+StatusOr<Matrix> Modelling::PredictBatch(const EstimatorSnapshot& snapshot,
+                                         const std::string& scope,
+                                         const Matrix& X,
+                                         const EstimatorConfig& config) const {
+  if (X.cols() != snapshot.num_features()) {
+    return Status::InvalidArgument("feature arity mismatch");
   }
+  StatusOr<Matrix> prediction = [&]() -> StatusOr<Matrix> {
+    if (config.kind == EstimatorKind::kDream) {
+      MIDAS_ASSIGN_OR_RETURN(std::shared_ptr<const DreamEstimate> fit,
+                             snapshot.DreamFit(scope, config.dream));
+      return fit->PredictBatch(X);
+    }
+    MIDAS_ASSIGN_OR_RETURN(
+        std::shared_ptr<const BmlScopeFit> fit,
+        snapshot.BmlFit(scope, WindowPolicyName(config.window),
+                        [&](const TrainingSet& set) {
+                          return FitBml(set, config.window);
+                        }));
+    Matrix out(X.rows(), snapshot.num_metrics());
+    for (size_t metric = 0; metric < fit->learners.size(); ++metric) {
+      Vector column;
+      MIDAS_RETURN_IF_ERROR(
+          fit->learners[metric]->PredictBatch(X, &column));
+      for (size_t r = 0; r < X.rows(); ++r) out(r, metric) = column[r];
+    }
+    return out;
+  }();
+  if (!prediction.ok()) return prediction;
+  ClampCosts(&*prediction);
   return prediction;
 }
 
@@ -118,11 +196,40 @@ StatusOr<Matrix> Modelling::PredictBmlBatch(const TrainingSet& set,
   return prediction;
 }
 
+StatusOr<BmlScopeFit> Modelling::FitBml(const TrainingSet& set,
+                                        WindowPolicy window) const {
+  const size_t base = set.num_features() + 2;
+  const size_t m = WindowSizeFor(window, base, set.size());
+  if (m < base) {
+    return Status::FailedPrecondition(
+        "history smaller than the base window N");
+  }
+  MIDAS_ASSIGN_OR_RETURN(std::vector<Vector> xs, set.RecentFeatures(m));
+  BmlScopeFit fit;
+  fit.learners.reserve(set.num_metrics());
+  fit.names.reserve(set.num_metrics());
+  for (size_t metric = 0; metric < set.num_metrics(); ++metric) {
+    MIDAS_ASSIGN_OR_RETURN(Vector ys, set.RecentCosts(m, metric));
+    MIDAS_ASSIGN_OR_RETURN(SelectedModel model, selector_.SelectBest(xs, ys));
+    fit.learners.emplace_back(std::move(model.learner));
+    fit.names.push_back(std::move(model.name));
+  }
+  return fit;
+}
+
 StatusOr<DreamEstimate> Modelling::DreamDiagnostics(
     const std::string& scope, const DreamOptions& options) const {
-  MIDAS_ASSIGN_OR_RETURN(const TrainingSet* set, history_.Get(scope));
+  MIDAS_ASSIGN_OR_RETURN(const TrainingSet* set, history().Get(scope));
   Dream dream(options);
   return dream.EstimateCostValue(*set);
+}
+
+StatusOr<DreamEstimate> Modelling::DreamDiagnostics(
+    const EstimatorSnapshot& snapshot, const std::string& scope,
+    const DreamOptions& options) const {
+  MIDAS_ASSIGN_OR_RETURN(std::shared_ptr<const DreamEstimate> fit,
+                         snapshot.DreamFit(scope, options));
+  return *fit;
 }
 
 }  // namespace midas

@@ -1,10 +1,12 @@
 #ifndef MIDAS_IRES_MODELLING_H_
 #define MIDAS_IRES_MODELLING_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ires/history.h"
+#include "ires/snapshot.h"
 #include "ml/model_selection.h"
 #include "regression/dream.h"
 
@@ -36,6 +38,15 @@ std::string EstimatorName(const EstimatorConfig& config);
 /// \brief The IReS Modelling module with DREAM integrated (Figure 2):
 /// stores execution feedback per scope and answers multi-metric cost
 /// predictions with either DREAM or the BML baseline.
+///
+/// Storage is owned by a SnapshotPublisher, splitting the read path from
+/// the write path: Record applies feedback through the publisher (one
+/// published epoch per batch), while concurrent readers pin an immutable
+/// EstimatorSnapshot via Snapshot() and predict against it with the
+/// snapshot-taking Predict/PredictBatch overloads. The snapshot-less
+/// overloads read the writer-side live history directly — the legacy
+/// single-threaded path, bit-identical to predicting against a snapshot
+/// pinned at the same point.
 class Modelling {
  public:
   /// \param feature_names regression variables (see ires/features.h)
@@ -43,20 +54,46 @@ class Modelling {
   Modelling(std::vector<std::string> feature_names,
             std::vector<std::string> metric_names, uint64_t seed = 31);
 
-  History& history() { return history_; }
-  const History& history() const { return history_; }
+  /// Writer-side live history. The non-const accessor marks the published
+  /// snapshot stale, so direct maintenance (pruning, manual inserts) is
+  /// folded into a fresh epoch on the next Snapshot()/Acquire.
+  History& history() { return publisher_.MutableHistory(); }
+  const History& history() const { return publisher_.history(); }
 
-  size_t num_metrics() const { return history_.metric_names().size(); }
-  size_t num_features() const { return history_.feature_names().size(); }
+  /// The estimator state's publication point (epoch inspection, batched
+  /// Record, reader pinning).
+  SnapshotPublisher& publisher() { return publisher_; }
+  const SnapshotPublisher& publisher() const { return publisher_; }
+
+  /// Pins the current estimator snapshot for one optimization pass.
+  std::shared_ptr<const EstimatorSnapshot> Snapshot() const {
+    return publisher_.Acquire();
+  }
+
+  size_t num_metrics() const { return history().metric_names().size(); }
+  size_t num_features() const { return history().feature_names().size(); }
 
   /// The smallest statistically valid window N = L + 2.
   size_t BaseWindow() const { return num_features() + 2; }
 
-  /// Records one execution observation for a scope.
+  /// Records one execution observation for a scope and publishes the
+  /// successor snapshot (epoch + 1).
   Status Record(const std::string& scope, Observation observation);
 
-  /// Predicts the full cost vector of feature point `x` for `scope`.
+  /// Records a whole feedback batch under ONE published epoch.
+  Status RecordBatch(std::vector<SnapshotPublisher::ScopedObservation> batch);
+
+  /// Predicts the full cost vector of feature point `x` for `scope`
+  /// against the writer-side live history (single-threaded legacy path).
   StatusOr<Vector> Predict(const std::string& scope, const Vector& x,
+                           const EstimatorConfig& config) const;
+
+  /// Predicts against a pinned snapshot: safe under concurrent Record
+  /// traffic and bit-identical to the live path at the same state. Fits
+  /// are memoised inside the snapshot, so thousands of predictions per
+  /// epoch fit DREAM/BML once.
+  StatusOr<Vector> Predict(const EstimatorSnapshot& snapshot,
+                           const std::string& scope, const Vector& x,
                            const EstimatorConfig& config) const;
 
   /// Batched Predict: one cost row per feature row of X (columns in metric
@@ -68,9 +105,19 @@ class Modelling {
   StatusOr<Matrix> PredictBatch(const std::string& scope, const Matrix& X,
                                 const EstimatorConfig& config) const;
 
+  /// Snapshot-taking batched Predict (see the scalar overload above).
+  StatusOr<Matrix> PredictBatch(const EstimatorSnapshot& snapshot,
+                                const std::string& scope, const Matrix& X,
+                                const EstimatorConfig& config) const;
+
   /// DREAM diagnostic: the estimate (window size, per-metric R²) that a
   /// kDream prediction for this scope would use right now.
   StatusOr<DreamEstimate> DreamDiagnostics(const std::string& scope,
+                                           const DreamOptions& options) const;
+
+  /// Snapshot-taking diagnostic variant (reads the frozen window).
+  StatusOr<DreamEstimate> DreamDiagnostics(const EstimatorSnapshot& snapshot,
+                                           const std::string& scope,
                                            const DreamOptions& options) const;
 
  private:
@@ -79,7 +126,12 @@ class Modelling {
   StatusOr<Matrix> PredictBmlBatch(const TrainingSet& set, const Matrix& X,
                                    WindowPolicy window) const;
 
-  History history_;
+  /// Deterministic BML fit over the set's window — the snapshot memo's
+  /// fitter (selection matches PredictBml's winner exactly).
+  StatusOr<BmlScopeFit> FitBml(const TrainingSet& set,
+                               WindowPolicy window) const;
+
+  SnapshotPublisher publisher_;
   ModelSelector selector_;
 };
 

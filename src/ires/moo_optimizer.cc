@@ -59,9 +59,17 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::FromCandidates(
   return result;
 }
 
+void MultiObjectiveOptimizer::PruneStaleEpochs(uint64_t snapshot_epoch) const {
+  // A concurrent optimize still pinned to an older epoch only loses warm
+  // entries (it re-predicts); correctness comes from the epoch keying.
+  if (options_.cache_predictions && snapshot_epoch != 0) {
+    cache_->PruneOtherEpochs(snapshot_epoch);
+  }
+}
+
 StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
     const std::vector<QueryPlan>& plans, const CostPredictor& predictor,
-    size_t arity, PredictionStats* stats) const {
+    size_t arity, uint64_t epoch, PredictionStats* stats) const {
   ParallelForOptions parallel;
   parallel.threads = options_.threads;
   std::vector<Vector> costs(plans.size());
@@ -105,7 +113,7 @@ StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
   std::vector<Vector> unique_costs(representative.size());
   std::vector<size_t> to_predict;
   for (size_t s = 0; s < representative.size(); ++s) {
-    if (auto cached = cache_->Lookup(keys[representative[s]])) {
+    if (auto cached = cache_->Lookup(keys[representative[s]], epoch)) {
       unique_costs[s] = std::move(*cached);
       ++stats->cache_hits;
     } else {
@@ -124,7 +132,7 @@ StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
       parallel));
   stats->predictor_calls = to_predict.size();
   for (size_t s : to_predict) {
-    cache_->Insert(keys[representative[s]], unique_costs[s]);
+    cache_->Insert(keys[representative[s]], unique_costs[s], epoch);
   }
 
   for (size_t s = 0; s < unique_costs.size(); ++s) {
@@ -143,7 +151,7 @@ StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
 StatusOr<std::vector<Vector>>
 MultiObjectiveOptimizer::PredictCandidateCostsBatched(
     const std::vector<QueryPlan>& plans, const BatchCostPredictor& predictor,
-    size_t arity, PredictionStats* stats) const {
+    size_t arity, uint64_t epoch, PredictionStats* stats) const {
   ParallelForOptions parallel;
   parallel.threads = options_.threads;
   std::vector<Vector> costs(plans.size());
@@ -188,7 +196,7 @@ MultiObjectiveOptimizer::PredictCandidateCostsBatched(
     }
     unique_costs.resize(representative.size());
     for (size_t s = 0; s < representative.size(); ++s) {
-      if (auto cached = cache_->Lookup(features[representative[s]])) {
+      if (auto cached = cache_->Lookup(features[representative[s]], epoch)) {
         unique_costs[s] = std::move(*cached);
         ++stats->cache_hits;
       } else {
@@ -239,7 +247,7 @@ MultiObjectiveOptimizer::PredictCandidateCostsBatched(
 
   if (options_.cache_predictions) {
     for (size_t s : to_predict) {
-      cache_->Insert(features[representative[s]], unique_costs[s]);
+      cache_->Insert(features[representative[s]], unique_costs[s], epoch);
     }
     // Checked after the fact so cached entries from an earlier predictor
     // arity are rejected too.
@@ -314,8 +322,9 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::RunAlgorithm(
 
 StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
     const QueryPlan& logical, const CostPredictor& predictor,
-    const QueryPolicy& policy) const {
+    const QueryPolicy& policy, uint64_t snapshot_epoch) const {
   if (!predictor) return Status::InvalidArgument("null cost predictor");
+  PruneStaleEpochs(snapshot_epoch);
 
   PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
   MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
@@ -326,22 +335,21 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
   MIDAS_ASSIGN_OR_RETURN(
       std::vector<Vector> costs,
       PredictCandidateCosts(plans, predictor, policy.weights.size(),
-                            &stats));
+                            snapshot_epoch, &stats));
 
   MIDAS_ASSIGN_OR_RETURN(
       MoqpResult result,
       RunAlgorithm(std::move(plans), std::move(costs), policy));
-  result.predictor_calls = stats.predictor_calls;
-  result.cache_hits = stats.cache_hits;
-  result.cache_misses = stats.cache_misses;
+  stats.ApplyTo(&result, snapshot_epoch);
   result.peak_resident_candidates = candidates;
   return result;
 }
 
 StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
     const QueryPlan& logical, const BatchCostPredictor& predictor,
-    const QueryPolicy& policy) const {
+    const QueryPolicy& policy, uint64_t snapshot_epoch) const {
   if (!predictor) return Status::InvalidArgument("null cost predictor");
+  PruneStaleEpochs(snapshot_epoch);
 
   PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
   MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
@@ -352,28 +360,27 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
   MIDAS_ASSIGN_OR_RETURN(
       std::vector<Vector> costs,
       PredictCandidateCostsBatched(plans, predictor, policy.weights.size(),
-                                   &stats));
+                                   snapshot_epoch, &stats));
 
   MIDAS_ASSIGN_OR_RETURN(
       MoqpResult result,
       RunAlgorithm(std::move(plans), std::move(costs), policy));
-  result.predictor_calls = stats.predictor_calls;
-  result.cache_hits = stats.cache_hits;
-  result.cache_misses = stats.cache_misses;
+  stats.ApplyTo(&result, snapshot_epoch);
   result.peak_resident_candidates = candidates;
   return result;
 }
 
 StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
     const QueryPlan& logical, const BatchCostPredictor& predictor,
-    const QueryPolicy& policy) const {
+    const QueryPolicy& policy, uint64_t snapshot_epoch) const {
   if (!predictor) return Status::InvalidArgument("null cost predictor");
   if (options_.algorithm != MoqpAlgorithm::kExhaustivePareto) {
     // kWsm min-max-normalises every metric over the full candidate set
     // and the NSGA variants evolve over the full cost table, so neither
     // can be folded chunk by chunk without changing the answer.
-    return Optimize(logical, predictor, policy);
+    return Optimize(logical, predictor, policy, snapshot_epoch);
   }
+  PruneStaleEpochs(snapshot_epoch);
 
   PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
   const size_t arity = policy.weights.size();
@@ -393,10 +400,8 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
         MIDAS_ASSIGN_OR_RETURN(
             std::vector<Vector> costs,
             PredictCandidateCostsBatched(chunk, predictor, arity,
-                                         &chunk_stats));
-        stats.predictor_calls += chunk_stats.predictor_calls;
-        stats.cache_hits += chunk_stats.cache_hits;
-        stats.cache_misses += chunk_stats.cache_misses;
+                                         snapshot_epoch, &chunk_stats));
+        stats.MergeFrom(chunk_stats);
         peak_resident = std::max(peak_resident, archive.size() + chunk.size());
         // Reduce the chunk to its own front first (cheap for the 2–3
         // metric policies), then fold the survivors in candidate order:
@@ -416,9 +421,7 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
   result.pareto_plans = archive.TakePayloads();
   MIDAS_ASSIGN_OR_RETURN(result.chosen,
                          BestInPareto(result.pareto_costs, policy));
-  result.predictor_calls = stats.predictor_calls;
-  result.cache_hits = stats.cache_hits;
-  result.cache_misses = stats.cache_misses;
+  stats.ApplyTo(&result, snapshot_epoch);
   result.peak_resident_candidates = peak_resident;
   return result;
 }

@@ -84,8 +84,15 @@ struct MoqpResult {
   /// distinct feature vectors absent from the cache are predicted).
   size_t predictor_calls = 0;
   /// Feature-cache hits/misses of this call (0/0 when caching is off).
+  /// Aggregated identically on every pipeline — scalar, batched and
+  /// streaming — so the three are directly comparable:
+  /// cache_hits + cache_misses == distinct feature vectors examined, and
+  /// predictor_calls == cache_misses whenever caching is on.
   size_t cache_hits = 0;
   size_t cache_misses = 0;
+  /// Estimator snapshot epoch the costs were predicted against, as passed
+  /// to Optimize (0 = unversioned legacy caller).
+  uint64_t snapshot_epoch = 0;
   /// High-water mark of simultaneously materialised candidate plans: the
   /// whole candidate set for the materialize-everything paths, the
   /// archive front plus one in-flight chunk for OptimizeStreaming.
@@ -117,9 +124,15 @@ class MultiObjectiveOptimizer {
                           const Catalog* catalog,
                           MoqpOptions options = MoqpOptions());
 
+  /// \param snapshot_epoch epoch of the EstimatorSnapshot the predictor is
+  /// pinned to. Cached costs are keyed by it, so an optimization running
+  /// against epoch N never reuses costs predicted at any other epoch —
+  /// required for a shared cache under concurrent Record traffic. Callers
+  /// with an unversioned predictor keep the default 0.
   StatusOr<MoqpResult> Optimize(const QueryPlan& logical,
                                 const CostPredictor& predictor,
-                                const QueryPolicy& policy) const;
+                                const QueryPolicy& policy,
+                                uint64_t snapshot_epoch = 0) const;
 
   /// Batched pipeline: enumerate, extract every candidate's features once
   /// into a single SoA matrix (stable candidate order), score
@@ -129,7 +142,8 @@ class MultiObjectiveOptimizer {
   /// report comparable work.
   StatusOr<MoqpResult> Optimize(const QueryPlan& logical,
                                 const BatchCostPredictor& predictor,
-                                const QueryPolicy& policy) const;
+                                const QueryPolicy& policy,
+                                uint64_t snapshot_epoch = 0) const;
 
   /// Streaming pipeline: enumerates candidates in
   /// options.stream_chunk_size batches, scores each chunk through the
@@ -142,7 +156,8 @@ class MultiObjectiveOptimizer {
   /// transparently fall back to the materialized path.
   StatusOr<MoqpResult> OptimizeStreaming(const QueryPlan& logical,
                                          const BatchCostPredictor& predictor,
-                                         const QueryPolicy& policy) const;
+                                         const QueryPolicy& policy,
+                                         uint64_t snapshot_epoch = 0) const;
 
   /// The feature-keyed prediction memo (populated only when
   /// options.cache_predictions is set). Shared by copies of this optimizer
@@ -156,21 +171,46 @@ class MultiObjectiveOptimizer {
     size_t predictor_calls = 0;
     size_t cache_hits = 0;
     size_t cache_misses = 0;
+
+    /// Accumulates another stage's counters (streaming folds one per
+    /// chunk; the materialized paths fold exactly one).
+    void MergeFrom(const PredictionStats& other) {
+      predictor_calls += other.predictor_calls;
+      cache_hits += other.cache_hits;
+      cache_misses += other.cache_misses;
+    }
+
+    /// Copies the aggregated counters into a result — the single point
+    /// every pipeline reports through, so the scalar, batched and
+    /// streaming paths can never drift apart in how they account.
+    void ApplyTo(MoqpResult* result, uint64_t snapshot_epoch) const {
+      result->predictor_calls = predictor_calls;
+      result->cache_hits = cache_hits;
+      result->cache_misses = cache_misses;
+      result->snapshot_epoch = snapshot_epoch;
+    }
   };
 
   /// Predicts every candidate's cost vector, in candidate order, using
-  /// options.threads concurrent chunks and (optionally) the feature cache.
+  /// options.threads concurrent chunks and (optionally) the feature cache
+  /// at `epoch`.
   StatusOr<std::vector<Vector>> PredictCandidateCosts(
       const std::vector<QueryPlan>& plans, const CostPredictor& predictor,
-      size_t arity, PredictionStats* stats) const;
+      size_t arity, uint64_t epoch, PredictionStats* stats) const;
 
   /// Batched variant: one ExtractFeatures pass over all candidates, then
   /// chunked matrix scoring (feature-deduplicated and cache-filtered when
   /// options.cache_predictions is set).
   StatusOr<std::vector<Vector>> PredictCandidateCostsBatched(
       const std::vector<QueryPlan>& plans,
-      const BatchCostPredictor& predictor, size_t arity,
+      const BatchCostPredictor& predictor, size_t arity, uint64_t epoch,
       PredictionStats* stats) const;
+
+  /// Drops cache entries from epochs other than `snapshot_epoch` before an
+  /// optimization starts — superseded epochs can never hit again for this
+  /// caller, so the shared cache stays bounded by one epoch's working set.
+  /// No-op for unversioned callers (epoch 0) and when caching is off.
+  void PruneStaleEpochs(uint64_t snapshot_epoch) const;
 
   /// Dispatches to the configured MOQP algorithm over the predicted table.
   StatusOr<MoqpResult> RunAlgorithm(std::vector<QueryPlan> plans,

@@ -39,4 +39,42 @@ StatusOr<Measurement> Scheduler::ExecuteAndRecord(const std::string& scope,
   return m;
 }
 
+StatusOr<std::vector<Measurement>> Scheduler::ExecuteAndRecordBatch(
+    const std::string& scope, const std::vector<QueryPlan>& plans) {
+  if (federation_ == nullptr || simulator_ == nullptr ||
+      modelling_ == nullptr) {
+    return Status::FailedPrecondition("scheduler not fully wired");
+  }
+  std::vector<Measurement> measurements;
+  measurements.reserve(plans.size());
+  std::vector<SnapshotPublisher::ScopedObservation> batch;
+  batch.reserve(plans.size());
+  Status first_error = Status::OK();
+  for (const QueryPlan& plan : plans) {
+    StatusOr<Vector> features = ExtractFeatures(*federation_, plan);
+    if (!features.ok()) {
+      first_error = features.status();
+      break;
+    }
+    StatusOr<Measurement> m = simulator_->Execute(plan);
+    if (!m.ok()) {
+      first_error = m.status();
+      break;
+    }
+    Observation obs;
+    obs.timestamp = m->timestamp;
+    obs.features = std::move(*features);
+    obs.costs = MeasurementToCosts(*m);
+    batch.push_back({scope, std::move(obs)});
+    measurements.push_back(*m);
+  }
+  // Record whatever executed even when a later plan failed: the feedback
+  // is real and readers see it atomically under one epoch either way.
+  if (!batch.empty()) {
+    MIDAS_RETURN_IF_ERROR(modelling_->RecordBatch(std::move(batch)));
+  }
+  MIDAS_RETURN_IF_ERROR(first_error);
+  return measurements;
+}
+
 }  // namespace midas

@@ -2,6 +2,7 @@
 #define MIDAS_IRES_SCHEDULER_H_
 
 #include <string>
+#include <vector>
 
 #include "engine/simulator.h"
 #include "federation/federation.h"
@@ -12,15 +13,29 @@ namespace midas {
 /// \brief IReS execution layer: runs the chosen QEP on the (simulated)
 /// engines and feeds the measured costs back into the Modelling history —
 /// closing the monitor → model → optimize loop of the platform.
+///
+/// The scheduler is a *writer client* of the estimator's SnapshotPublisher:
+/// every recorded measurement flows through Modelling::Record/RecordBatch,
+/// which publishes a new immutable snapshot epoch, so concurrent
+/// optimizations (readers pinned to an earlier epoch) never observe a
+/// half-applied feedback batch.
 class Scheduler {
  public:
   Scheduler(const Federation* federation, ExecutionSimulator* simulator,
             Modelling* modelling);
 
   /// Executes `plan`, records the (features, measured costs) observation
-  /// under `scope`, and returns the measurement.
+  /// under `scope` (publishing one snapshot epoch), and returns the
+  /// measurement.
   StatusOr<Measurement> ExecuteAndRecord(const std::string& scope,
                                          const QueryPlan& plan);
+
+  /// Executes every plan and records all measurements under ONE published
+  /// snapshot epoch — readers either see the whole batch or none of it.
+  /// Returns the measurements in plan order; stops at the first failing
+  /// execution (already-executed plans are still recorded and published).
+  StatusOr<std::vector<Measurement>> ExecuteAndRecordBatch(
+      const std::string& scope, const std::vector<QueryPlan>& plans);
 
   /// Executes without recording (e.g., validation runs whose cost must not
   /// leak into the training history).

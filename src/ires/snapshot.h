@@ -1,0 +1,176 @@
+#ifndef MIDAS_IRES_SNAPSHOT_H_
+#define MIDAS_IRES_SNAPSHOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ires/history.h"
+#include "ml/learner.h"
+#include "regression/dream.h"
+
+namespace midas {
+
+/// \brief Fitted BML model parameters for one scope at one snapshot: the
+/// selected best learner per cost metric (metric order), refitted on the
+/// scope's frozen window. Learners are immutable once fitted; sharing them
+/// across reader threads is safe because Predict/PredictBatch are const.
+struct BmlScopeFit {
+  std::vector<std::shared_ptr<const Learner>> learners;
+  std::vector<std::string> names;  // winning algorithm per metric
+};
+
+/// \brief Immutable, refcounted view of the whole estimator state at one
+/// publication epoch: frozen per-scope training windows plus the fitted
+/// DREAM/BML model parameters derived from them.
+///
+/// Readers pin a snapshot (shared_ptr) for the duration of one
+/// optimization and every prediction inside it sees one consistent
+/// (features, model, window) triple, no matter how many Record batches the
+/// writer publishes meanwhile. Nothing reachable from a snapshot ever
+/// mutates: scope windows are frozen TrainingSet copies (structurally
+/// sharing the writer's observation buffer, see TrainingSet), and model
+/// fits are deterministic functions of those windows, computed lazily on
+/// first use and memoised per (scope, estimator configuration).
+///
+/// Scope states are shared between consecutive snapshots when the epoch's
+/// Record batch did not touch the scope — the snapshot-to-snapshot
+/// carry-over that replaces IncrementalOls' within-call carry-over: a
+/// DREAM fit computed against epoch N keeps serving epoch N+1 readers
+/// unless the delta replay rebuilt that scope's window.
+class EstimatorSnapshot {
+ public:
+  /// Monotone publication counter; epoch 0 is the empty initial snapshot.
+  uint64_t epoch() const { return epoch_; }
+
+  const std::vector<std::string>& feature_names() const {
+    return *feature_names_;
+  }
+  const std::vector<std::string>& metric_names() const {
+    return *metric_names_;
+  }
+  size_t num_features() const { return feature_names_->size(); }
+  size_t num_metrics() const { return metric_names_->size(); }
+
+  /// The scope's frozen training window; NotFound when the scope had no
+  /// observations when this snapshot was published.
+  StatusOr<const TrainingSet*> Window(const std::string& scope) const;
+
+  /// Number of observations frozen for a scope (0 when absent).
+  size_t SizeOf(const std::string& scope) const;
+
+  std::vector<std::string> Scopes() const;
+
+  /// The DREAM estimate (Algorithm 1) for a scope's frozen window under
+  /// `options`, fitted on first use and shared by every later caller with
+  /// the same configuration. Deterministic, so the memo never changes an
+  /// answer — it only amortises the fit across the readers of one epoch.
+  StatusOr<std::shared_ptr<const DreamEstimate>> DreamFit(
+      const std::string& scope, const DreamOptions& options) const;
+
+  /// Fits (or returns the memoised) BML models for a scope under the memo
+  /// key `key` (one per window policy). `fitter` must be a deterministic
+  /// pure function of the frozen window; it runs at most once per key per
+  /// scope state.
+  using BmlFitter = std::function<StatusOr<BmlScopeFit>(const TrainingSet&)>;
+  StatusOr<std::shared_ptr<const BmlScopeFit>> BmlFit(
+      const std::string& scope, const std::string& key,
+      const BmlFitter& fitter) const;
+
+ private:
+  friend class SnapshotPublisher;
+
+  /// Frozen per-scope state. Immutable except for the fit memos, which are
+  /// logically const (deterministic, mutex-guarded lazy initialisation).
+  struct ScopeState {
+    explicit ScopeState(TrainingSet window) : frozen(std::move(window)) {}
+    const TrainingSet frozen;
+    mutable std::mutex fit_mutex;
+    mutable std::map<std::string, std::shared_ptr<const DreamEstimate>>
+        dream_fits;
+    mutable std::map<std::string, std::shared_ptr<const BmlScopeFit>>
+        bml_fits;
+  };
+
+  StatusOr<const ScopeState*> Find(const std::string& scope) const;
+
+  uint64_t epoch_ = 0;
+  std::shared_ptr<const std::vector<std::string>> feature_names_;
+  std::shared_ptr<const std::vector<std::string>> metric_names_;
+  std::map<std::string, std::shared_ptr<const ScopeState>> scopes_;
+};
+
+/// \brief Single-writer, many-reader publication point of the estimator
+/// state — the split between Figure 2's feedback writes and DREAM/BML
+/// prediction reads.
+///
+/// Writers apply Record batches to the private writer-side History and
+/// publish an immutable successor snapshot with an atomically bumped
+/// epoch: the successor shares every untouched scope's state (including
+/// its fit memos) with the predecessor and rebuilds only the scopes the
+/// batch touched by replaying the delta onto a fresh frozen copy. Readers
+/// call Acquire() to pin the current snapshot; pinned snapshots stay valid
+/// and self-consistent for as long as the reader holds the shared_ptr,
+/// regardless of later publications.
+class SnapshotPublisher {
+ public:
+  SnapshotPublisher(std::vector<std::string> feature_names,
+                    std::vector<std::string> metric_names);
+
+  /// Pins the currently published snapshot (cheap: one shared_ptr copy
+  /// under a short critical section).
+  std::shared_ptr<const EstimatorSnapshot> Acquire() const;
+
+  /// Epoch of the currently published snapshot.
+  uint64_t epoch() const;
+
+  /// One scoped observation of a Record batch.
+  struct ScopedObservation {
+    std::string scope;
+    Observation observation;
+  };
+
+  /// Applies one observation and publishes the successor (epoch + 1).
+  Status Record(const std::string& scope, Observation observation);
+
+  /// Applies a whole feedback batch and publishes ONE successor epoch —
+  /// the writer-client pattern for high-rate streams (e.g. the drift
+  /// simulator's scheduler feedback). On a validation error the
+  /// observations already applied are still published so readers never
+  /// see a half-written scope.
+  Status RecordBatch(std::vector<ScopedObservation> batch);
+
+  /// Writer-side live history (what the next snapshot will freeze).
+  /// Reading it concurrently with Record is the caller's race to manage —
+  /// concurrent consumers should pin a snapshot instead.
+  const History& history() const { return live_; }
+
+  /// Mutable writer-side history for legacy callers (pruning, direct
+  /// maintenance). Marks the published snapshot stale: the next Acquire()
+  /// republishes every scope from the live state under a fresh epoch.
+  History& MutableHistory();
+
+ private:
+  /// Rebuilds `touched` scopes from live_ into a successor snapshot and
+  /// publishes it. Caller holds mutex_.
+  void PublishLocked(const std::vector<std::string>& touched);
+
+  /// Republishes every scope from live_ (dirty MutableHistory path).
+  /// Caller holds mutex_.
+  void RepublishAllLocked();
+
+  mutable std::mutex mutex_;  // guards live_, published_, dirty_
+  History live_;
+  std::shared_ptr<const std::vector<std::string>> feature_names_;
+  std::shared_ptr<const std::vector<std::string>> metric_names_;
+  std::shared_ptr<const EstimatorSnapshot> published_;
+  bool dirty_ = false;
+};
+
+}  // namespace midas
+
+#endif  // MIDAS_IRES_SNAPSHOT_H_

@@ -1,6 +1,7 @@
 #include "midas/experiments.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/statistics.h"
 #include "engine/simulator.h"
@@ -144,8 +145,16 @@ StatusOr<MreReport> RunMreExperiment(MreExperimentOptions options) {
       const QueryPlan& plan = plans[rng.Index(plans.size())];
       if (evaluate) {
         MIDAS_ASSIGN_OR_RETURN(Vector x, ExtractFeatures(federation, plan));
+        // The drift loop is the writer (feedback below publishes a new
+        // epoch every run); this evaluation pass is a reader pinning ONE
+        // snapshot so every estimator scores the same frozen state. The
+        // fits are deterministic, so the numbers are bit-identical to the
+        // live-history path.
+        std::shared_ptr<const EstimatorSnapshot> snapshot =
+            modelling.Snapshot();
         for (size_t e = 0; e < options.estimators.size(); ++e) {
-          auto pred = modelling.Predict(scope, x, options.estimators[e]);
+          auto pred =
+              modelling.Predict(*snapshot, scope, x, options.estimators[e]);
           if (pred.ok()) {
             (*preds_time)[e].push_back((*pred)[0]);
             (*preds_money)[e].push_back((*pred)[1]);
@@ -158,7 +167,7 @@ StatusOr<MreReport> RunMreExperiment(MreExperimentOptions options) {
         }
         if (dream_index < options.estimators.size()) {
           auto diag = modelling.DreamDiagnostics(
-              scope, options.estimators[dream_index].dream);
+              *snapshot, scope, options.estimators[dream_index].dream);
           if (diag.ok()) {
             window_stats->Add(static_cast<double>(diag->window_size));
           }

@@ -43,15 +43,28 @@ StatusOr<Vector> MidasSystem::PredictPlanCosts(const std::string& scope,
   return modelling_->Predict(scope, features, options_.estimator);
 }
 
+StatusOr<Vector> MidasSystem::PredictPlanCosts(
+    const EstimatorSnapshot& snapshot, const std::string& scope,
+    const QueryPlan& plan) const {
+  MIDAS_ASSIGN_OR_RETURN(Vector features, ExtractFeatures(federation_, plan));
+  return modelling_->Predict(snapshot, scope, features, options_.estimator);
+}
+
 StatusOr<MidasSystem::QueryOutcome> MidasSystem::RunQuery(
     const std::string& scope, const QueryPlan& logical,
     const QueryPolicy& policy) {
-  auto predictor = [this, &scope](const QueryPlan& plan) {
-    return PredictPlanCosts(scope, plan);
+  // Pin one estimator snapshot for the whole optimization: every candidate
+  // cost comes from the same epoch, and the cache (if enabled) is keyed by
+  // it, so feedback recorded concurrently can never skew this query's
+  // Pareto front.
+  std::shared_ptr<const EstimatorSnapshot> snapshot = modelling_->Snapshot();
+  auto predictor = [this, &scope, &snapshot](const QueryPlan& plan) {
+    return PredictPlanCosts(*snapshot, scope, plan);
   };
   QueryOutcome outcome;
-  MIDAS_ASSIGN_OR_RETURN(outcome.moqp,
-                         optimizer_->Optimize(logical, predictor, policy));
+  MIDAS_ASSIGN_OR_RETURN(
+      outcome.moqp,
+      optimizer_->Optimize(logical, predictor, policy, snapshot->epoch()));
   outcome.predicted = outcome.moqp.chosen_costs();
   outcome.estimator = EstimatorName(options_.estimator);
   MIDAS_ASSIGN_OR_RETURN(

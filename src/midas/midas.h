@@ -65,15 +65,26 @@ class MidasSystem {
     std::string estimator;
   };
 
-  /// Full pipeline for one query. The measurement is recorded back into
-  /// the scope's history (adaptive feedback).
+  /// Full pipeline for one query. The whole optimization predicts against
+  /// ONE pinned estimator snapshot (its epoch is reported in
+  /// MoqpResult::snapshot_epoch), so every candidate is costed from the
+  /// same (features, model, window) state even while feedback from other
+  /// queries streams in; the measurement is then recorded back into the
+  /// scope's history (adaptive feedback), publishing the next epoch.
   StatusOr<QueryOutcome> RunQuery(const std::string& scope,
                                   const QueryPlan& logical,
                                   const QueryPolicy& policy);
 
   /// Predicts plan costs for `scope` with the configured estimator —
-  /// exposed for experiments that bypass execution.
+  /// exposed for experiments that bypass execution. Reads the live
+  /// history (single-threaded convenience path).
   StatusOr<Vector> PredictPlanCosts(const std::string& scope,
+                                    const QueryPlan& plan) const;
+
+  /// Snapshot-pinned variant: predicts against `snapshot` regardless of
+  /// feedback recorded after it was acquired.
+  StatusOr<Vector> PredictPlanCosts(const EstimatorSnapshot& snapshot,
+                                    const std::string& scope,
                                     const QueryPlan& plan) const;
 
  private:

@@ -2,19 +2,31 @@
 
 #include <algorithm>
 
-#include "common/logging.h"
-
 namespace midas {
+
+namespace {
+/// First buffer size; small histories are common in tests and the drift
+/// experiments trim aggressively.
+constexpr size_t kInitialCapacity = 16;
+}  // namespace
 
 TrainingWindow TrainingWindow::Newest(size_t m) const {
   MIDAS_CHECK(m <= count_) << "sub-window larger than window";
-  return TrainingWindow(data_ + (count_ - m), m);
+  return TrainingWindow(data_ + (count_ - m), m, owner_, generation_);
 }
 
 TrainingSet::TrainingSet(std::vector<std::string> feature_names,
                          std::vector<std::string> metric_names)
     : feature_names_(std::move(feature_names)),
       metric_names_(std::move(metric_names)) {}
+
+void TrainingSet::Reallocate(size_t min_capacity) {
+  auto grown = std::make_shared<Buffer>(
+      std::max({min_capacity, count_ * 2, kInitialCapacity}));
+  for (size_t i = 0; i < count_; ++i) grown->slots[i] = buffer_->slots[i];
+  grown->committed.store(count_, std::memory_order_relaxed);
+  buffer_ = std::move(grown);
+}
 
 Status TrainingSet::Add(Observation obs) {
   if (obs.features.size() != num_features()) {
@@ -23,28 +35,45 @@ Status TrainingSet::Add(Observation obs) {
   if (obs.costs.size() != num_metrics()) {
     return Status::InvalidArgument("observation metric arity mismatch");
   }
-  if (!observations_.empty() &&
-      obs.timestamp < observations_.back().timestamp) {
+  if (count_ > 0 && obs.timestamp < at(count_ - 1).timestamp) {
     return Status::InvalidArgument(
         "observations must be appended in timestamp order");
   }
-  observations_.push_back(std::move(obs));
+  if (buffer_ == nullptr) {
+    buffer_ = std::make_shared<Buffer>(kInitialCapacity);
+  }
+  // Claim slot count_ of the shared buffer via the committed high-water
+  // mark. Losing the race means a sibling copy (an earlier fork of this
+  // history) already extended the buffer past our length, so our append
+  // must diverge into a fresh buffer; frozen copies are never affected
+  // either way, because slots below their length are immutable.
+  size_t expected = count_;
+  if (count_ == buffer_->slots.size() ||
+      !buffer_->committed.compare_exchange_strong(expected, count_ + 1,
+                                                  std::memory_order_acq_rel)) {
+    Reallocate(count_ + 1);
+    buffer_->committed.store(count_ + 1, std::memory_order_relaxed);
+  }
+  buffer_->slots[count_] = std::move(obs);
+  ++count_;
+  ++generation_;
   return Status::OK();
 }
 
 Status TrainingSet::Add(Vector features, Vector costs) {
   Observation obs;
-  obs.timestamp = observations_.empty() ? 0 : latest_timestamp() + 1;
+  obs.timestamp = count_ == 0 ? 0 : latest_timestamp() + 1;
   obs.features = std::move(features);
   obs.costs = std::move(costs);
   return Add(std::move(obs));
 }
 
 int64_t TrainingSet::latest_timestamp() const {
-  return observations_.empty() ? 0 : observations_.back().timestamp;
+  return count_ == 0 ? 0 : at(count_ - 1).timestamp;
 }
 
 std::vector<Vector> TrainingWindow::CopyFeatures() const {
+  CheckFresh();
   std::vector<Vector> out;
   out.reserve(count_);
   for (size_t i = 0; i < count_; ++i) out.push_back(data_[i].features);
@@ -52,6 +81,7 @@ std::vector<Vector> TrainingWindow::CopyFeatures() const {
 }
 
 Vector TrainingWindow::CopyCosts(size_t metric) const {
+  CheckFresh();
   Vector out;
   out.reserve(count_);
   for (size_t i = 0; i < count_; ++i) out.push_back(data_[i].costs[metric]);
@@ -62,7 +92,10 @@ StatusOr<TrainingWindow> TrainingSet::RecentWindow(size_t m) const {
   if (m > size()) {
     return Status::OutOfRange("window larger than history");
   }
-  return TrainingWindow(observations_.data() + (size() - m), m);
+  return TrainingWindow(buffer_ == nullptr
+                            ? nullptr
+                            : buffer_->slots.data() + (size() - m),
+                        m, this, generation_);
 }
 
 StatusOr<std::vector<Vector>> TrainingSet::RecentFeatures(size_t m) const {
@@ -72,7 +105,7 @@ StatusOr<std::vector<Vector>> TrainingSet::RecentFeatures(size_t m) const {
   std::vector<Vector> out;
   out.reserve(m);
   for (size_t i = size() - m; i < size(); ++i) {
-    out.push_back(observations_[i].features);
+    out.push_back(at(i).features);
   }
   return out;
 }
@@ -88,22 +121,30 @@ StatusOr<Vector> TrainingSet::RecentCosts(size_t m,
   Vector out;
   out.reserve(m);
   for (size_t i = size() - m; i < size(); ++i) {
-    out.push_back(observations_[i].costs[metric_index]);
+    out.push_back(at(i).costs[metric_index]);
   }
   return out;
 }
 
 void TrainingSet::TrimToNewest(size_t keep) {
   if (keep >= size()) return;
-  observations_.erase(observations_.begin(),
-                      observations_.end() - static_cast<ptrdiff_t>(keep));
+  auto kept = std::make_shared<Buffer>(std::max(keep, kInitialCapacity));
+  for (size_t i = 0; i < keep; ++i) {
+    kept->slots[i] = buffer_->slots[count_ - keep + i];
+  }
+  kept->committed.store(keep, std::memory_order_relaxed);
+  buffer_ = std::move(kept);
+  count_ = keep;
+  ++generation_;
 }
 
 void TrainingSet::EvictOlderThan(int64_t cutoff) {
-  auto first_kept = std::find_if(
-      observations_.begin(), observations_.end(),
-      [cutoff](const Observation& o) { return o.timestamp >= cutoff; });
-  observations_.erase(observations_.begin(), first_kept);
+  size_t first_kept = 0;
+  while (first_kept < count_ && at(first_kept).timestamp < cutoff) {
+    ++first_kept;
+  }
+  if (first_kept == 0) return;
+  TrimToNewest(count_ - first_kept);
 }
 
 }  // namespace midas

@@ -1,0 +1,307 @@
+// Serial equivalence of the snapshot prediction path and the mutable live
+// path: at the same estimator state, pinning a snapshot must change NOTHING
+// about the numbers — predictions, diagnostics and whole optimizations are
+// bit-identical. This is what licenses routing concurrent readers through
+// snapshots without re-validating the paper's results.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/simulator.h"
+#include "ires/features.h"
+#include "ires/modelling.h"
+#include "ires/moo_optimizer.h"
+#include "ires/scheduler.h"
+
+namespace midas {
+namespace {
+
+std::unique_ptr<Modelling> MakeTrainedModelling(int observations,
+                                                uint64_t seed = 17) {
+  auto modelling = std::make_unique<Modelling>(
+      std::vector<std::string>{"x1", "x2"},
+      std::vector<std::string>{"seconds", "dollars"});
+  Rng rng(seed);
+  for (int i = 0; i < observations; ++i) {
+    const double x1 = rng.Uniform(1, 10);
+    const double x2 = rng.Uniform(1, 10);
+    Observation obs;
+    obs.timestamp = i;
+    obs.features = {x1, x2};
+    obs.costs = {2 + 3 * x1 + x2 + rng.Gaussian(0, 0.4),
+                 0.1 + 0.02 * x1 + rng.Gaussian(0, 0.01)};
+    modelling->Record("q", std::move(obs)).CheckOK();
+  }
+  return modelling;
+}
+
+std::vector<EstimatorConfig> AllEstimators() {
+  return {
+      EstimatorConfig::DreamDefault(),
+      EstimatorConfig::Bml(WindowPolicy::kLastN),
+      EstimatorConfig::Bml(WindowPolicy::kLast2N),
+      EstimatorConfig::Bml(WindowPolicy::kAll),
+  };
+}
+
+TEST(SnapshotEquivalenceTest, PredictMatchesLivePathBitwise) {
+  auto modelling_ptr = MakeTrainedModelling(30);
+  Modelling& modelling = *modelling_ptr;
+  auto snapshot = modelling.Snapshot();
+  Rng rng(23);
+  for (const EstimatorConfig& config : AllEstimators()) {
+    for (int p = 0; p < 5; ++p) {
+      const Vector probe = {rng.Uniform(1, 10), rng.Uniform(1, 10)};
+      auto live = modelling.Predict("q", probe, config);
+      auto frozen = modelling.Predict(*snapshot, "q", probe, config);
+      ASSERT_TRUE(live.ok()) << EstimatorName(config);
+      ASSERT_TRUE(frozen.ok()) << EstimatorName(config);
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(*live, *frozen) << EstimatorName(config);
+    }
+  }
+}
+
+TEST(SnapshotEquivalenceTest, PredictBatchMatchesLivePathBitwise) {
+  auto modelling_ptr = MakeTrainedModelling(25);
+  Modelling& modelling = *modelling_ptr;
+  auto snapshot = modelling.Snapshot();
+  Rng rng(29);
+  Matrix probes(7, 2);
+  for (size_t r = 0; r < probes.rows(); ++r) {
+    probes.SetRow(r, {rng.Uniform(1, 10), rng.Uniform(1, 10)});
+  }
+  for (const EstimatorConfig& config : AllEstimators()) {
+    auto live = modelling.PredictBatch("q", probes, config);
+    auto frozen = modelling.PredictBatch(*snapshot, "q", probes, config);
+    ASSERT_TRUE(live.ok()) << EstimatorName(config);
+    ASSERT_TRUE(frozen.ok()) << EstimatorName(config);
+    for (size_t r = 0; r < probes.rows(); ++r) {
+      for (size_t c = 0; c < 2u; ++c) {
+        EXPECT_EQ((*live)(r, c), (*frozen)(r, c)) << EstimatorName(config);
+      }
+    }
+  }
+}
+
+TEST(SnapshotEquivalenceTest, DreamDiagnosticsMatchLivePath) {
+  auto modelling_ptr = MakeTrainedModelling(30);
+  Modelling& modelling = *modelling_ptr;
+  auto snapshot = modelling.Snapshot();
+  DreamOptions options;
+  auto live = modelling.DreamDiagnostics("q", options);
+  auto frozen = modelling.DreamDiagnostics(*snapshot, "q", options);
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(frozen.ok());
+  EXPECT_EQ(live->window_size, frozen->window_size);
+  ASSERT_EQ(live->models.size(), frozen->models.size());
+  for (size_t m = 0; m < live->models.size(); ++m) {
+    EXPECT_EQ(live->models[m].r_squared(), frozen->models[m].r_squared());
+  }
+}
+
+TEST(SnapshotEquivalenceTest, ErrorsMatchLivePathVerbatim) {
+  auto modelling_ptr = MakeTrainedModelling(30);
+  Modelling& modelling = *modelling_ptr;
+  auto snapshot = modelling.Snapshot();
+  const EstimatorConfig config = EstimatorConfig::DreamDefault();
+  // Unknown scope.
+  const Status live_missing =
+      modelling.Predict("nope", {1.0, 1.0}, config).status();
+  const Status frozen_missing =
+      modelling.Predict(*snapshot, "nope", {1.0, 1.0}, config).status();
+  EXPECT_EQ(live_missing.code(), frozen_missing.code());
+  EXPECT_EQ(live_missing.message(), frozen_missing.message());
+  // Wrong arity.
+  const Status live_arity = modelling.Predict("q", {1.0}, config).status();
+  const Status frozen_arity =
+      modelling.Predict(*snapshot, "q", {1.0}, config).status();
+  EXPECT_EQ(live_arity.code(), frozen_arity.code());
+  EXPECT_EQ(live_arity.message(), frozen_arity.message());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-pipeline equivalence: an Optimize driven by snapshot-pinned
+// predictions must reproduce the live-path optimization exactly.
+
+struct Environment {
+  Federation federation;
+  Catalog catalog;
+};
+
+Environment MakeEnvironment() {
+  Environment env;
+  SiteConfig a;
+  a.name = "A";
+  a.engines = {EngineKind::kHive};
+  a.node_type = {ProviderKind::kAmazon, "a1.xlarge", 4, 8.0, 0.0, 0.0197};
+  a.max_nodes = 8;
+  const SiteId site_a = env.federation.AddSite(a).ValueOrDie();
+  SiteConfig b;
+  b.name = "B";
+  b.engines = {EngineKind::kPostgres};
+  b.node_type = {ProviderKind::kMicrosoft, "B2S", 2, 4.0, 8.0, 0.042};
+  b.max_nodes = 8;
+  const SiteId site_b = env.federation.AddSite(b).ValueOrDie();
+  NetworkLink wan;
+  wan.bandwidth_mbps = 100.0;
+  wan.egress_price_per_gib = 0.09;
+  env.federation.network().SetSymmetricLink(site_a, site_b, wan).CheckOK();
+
+  TableDef t1;
+  t1.name = "t1";
+  t1.row_count = 200000;
+  t1.columns = {{"id", ColumnType::kInt, 8.0, 200000},
+                {"pay", ColumnType::kString, 72.0, 200000}};
+  env.catalog.AddTable(t1).CheckOK();
+  TableDef t2;
+  t2.name = "t2";
+  t2.row_count = 5000;
+  t2.columns = {{"id", ColumnType::kInt, 8.0, 5000}};
+  env.catalog.AddTable(t2).CheckOK();
+  env.federation.PlaceTable("t1", site_a, EngineKind::kHive).CheckOK();
+  env.federation.PlaceTable("t2", site_b, EngineKind::kPostgres).CheckOK();
+  return env;
+}
+
+QueryPlan LogicalJoin() {
+  return QueryPlan(MakeJoin(MakeScan("t1"), MakeScan("t2"), "id", "id"));
+}
+
+SimulatorOptions Deterministic() {
+  SimulatorOptions options;
+  options.stochastic = false;
+  options.variance = VarianceOptions{};
+  options.variance.drift_amplitude = 0.0;
+  options.variance.ar_sigma = 0.0;
+  options.variance.noise_sigma = 0.0;
+  return options;
+}
+
+TEST(SnapshotEquivalenceTest, OptimizeOverSnapshotReproducesLivePath) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator simulator(&env.federation, &env.catalog,
+                               Deterministic());
+  Modelling modelling(FeatureNames(env.federation), StandardMetricNames());
+  Scheduler scheduler(&env.federation, &simulator, &modelling);
+  const std::string scope = "join";
+
+  // Warm the history over a spread of plans so DREAM has signal.
+  EnumeratorOptions enum_opts;
+  PlanEnumerator enumerator(&env.federation, &env.catalog, enum_opts);
+  auto plans = enumerator.EnumeratePhysical(LogicalJoin()).ValueOrDie();
+  Rng rng(41);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(
+        scheduler.ExecuteAndRecord(scope, plans[rng.Index(plans.size())])
+            .ok());
+  }
+
+  const EstimatorConfig estimator = EstimatorConfig::DreamDefault();
+  auto snapshot = modelling.Snapshot();
+  auto live_predictor = [&](const QueryPlan& plan) -> StatusOr<Vector> {
+    MIDAS_ASSIGN_OR_RETURN(Vector x,
+                           ExtractFeatures(env.federation, plan));
+    return modelling.Predict(scope, x, estimator);
+  };
+  auto snapshot_predictor = [&](const QueryPlan& plan) -> StatusOr<Vector> {
+    MIDAS_ASSIGN_OR_RETURN(Vector x,
+                           ExtractFeatures(env.federation, plan));
+    return modelling.Predict(*snapshot, scope, x, estimator);
+  };
+
+  MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog);
+  QueryPolicy policy;
+  policy.weights = {0.6, 0.4};
+  auto live = optimizer.Optimize(LogicalJoin(), live_predictor, policy);
+  auto frozen = optimizer.Optimize(LogicalJoin(), snapshot_predictor, policy,
+                                   snapshot->epoch());
+  ASSERT_TRUE(live.ok());
+  ASSERT_TRUE(frozen.ok());
+  EXPECT_EQ(live->candidates_examined, frozen->candidates_examined);
+  EXPECT_EQ(live->chosen, frozen->chosen);
+  ASSERT_EQ(live->pareto_costs.size(), frozen->pareto_costs.size());
+  for (size_t i = 0; i < live->pareto_costs.size(); ++i) {
+    EXPECT_EQ(live->pareto_costs[i], frozen->pareto_costs[i]);
+  }
+  EXPECT_EQ(live->snapshot_epoch, 0u);  // unversioned legacy caller
+  EXPECT_EQ(frozen->snapshot_epoch, snapshot->epoch());
+}
+
+TEST(SnapshotEquivalenceTest, CachedCostsNeverCrossEpochs) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator simulator(&env.federation, &env.catalog,
+                               Deterministic());
+  Modelling modelling(FeatureNames(env.federation), StandardMetricNames());
+  Scheduler scheduler(&env.federation, &simulator, &modelling);
+  const std::string scope = "join";
+  EnumeratorOptions enum_opts;
+  PlanEnumerator enumerator(&env.federation, &env.catalog, enum_opts);
+  auto plans = enumerator.EnumeratePhysical(LogicalJoin()).ValueOrDie();
+  Rng rng(43);
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(
+        scheduler.ExecuteAndRecord(scope, plans[rng.Index(plans.size())])
+            .ok());
+  }
+
+  const EstimatorConfig estimator = EstimatorConfig::DreamDefault();
+  MoqpOptions moqp;
+  moqp.cache_predictions = true;
+  MultiObjectiveOptimizer optimizer(&env.federation, &env.catalog, moqp);
+  QueryPolicy policy;
+  policy.weights = {0.6, 0.4};
+
+  auto make_predictor = [&](std::shared_ptr<const EstimatorSnapshot> snap) {
+    return [&, snap](const QueryPlan& plan) -> StatusOr<Vector> {
+      MIDAS_ASSIGN_OR_RETURN(Vector x,
+                             ExtractFeatures(env.federation, plan));
+      return modelling.Predict(*snap, scope, x, estimator);
+    };
+  };
+
+  auto first_snapshot = modelling.Snapshot();
+  auto first = optimizer.Optimize(LogicalJoin(),
+                                  make_predictor(first_snapshot), policy,
+                                  first_snapshot->epoch());
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->cache_hits, 0u);
+  EXPECT_GT(first->cache_misses, 0u);
+  // With caching on, every miss is one predictor call and hits+misses
+  // covers exactly the distinct feature vectors (aggregation invariant
+  // shared by the scalar, batched and streaming paths).
+  EXPECT_EQ(first->predictor_calls, first->cache_misses);
+  EXPECT_EQ(first->snapshot_epoch, first_snapshot->epoch());
+
+  // Same snapshot again: all warm.
+  auto warm = optimizer.Optimize(LogicalJoin(),
+                                 make_predictor(first_snapshot), policy,
+                                 first_snapshot->epoch());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->cache_misses, 0u);
+  EXPECT_EQ(warm->predictor_calls, 0u);
+  EXPECT_EQ(warm->cache_hits, first->cache_misses);
+
+  // New feedback -> new epoch -> the warm entries must NOT be served.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        scheduler.ExecuteAndRecord(scope, plans[rng.Index(plans.size())])
+            .ok());
+  }
+  auto second_snapshot = modelling.Snapshot();
+  ASSERT_GT(second_snapshot->epoch(), first_snapshot->epoch());
+  auto second = optimizer.Optimize(LogicalJoin(),
+                                   make_predictor(second_snapshot), policy,
+                                   second_snapshot->epoch());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cache_hits, 0u);
+  EXPECT_EQ(second->predictor_calls, second->cache_misses);
+  EXPECT_EQ(second->snapshot_epoch, second_snapshot->epoch());
+}
+
+}  // namespace
+}  // namespace midas

@@ -100,6 +100,55 @@ TEST(FeatureCostCacheTest, ConcurrentInsertAndLookup) {
             static_cast<uint64_t>(kThreads) * kKeys);
 }
 
+TEST(FeatureCostCacheTest, EpochsNeverShareEntries) {
+  // A cost predicted against snapshot epoch N must not answer a lookup
+  // pinned to any other epoch, even for the same feature vector.
+  FeatureCostCache cache;
+  const Vector key = {64.0, 4.0};
+  cache.Insert(key, {10.0, 0.5}, /*epoch=*/1);
+  EXPECT_FALSE(cache.Lookup(key, /*epoch=*/2).has_value());
+  EXPECT_FALSE(cache.Lookup(key, /*epoch=*/0).has_value());
+  const auto cached = cache.Lookup(key, /*epoch=*/1);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(*cached, (Vector{10.0, 0.5}));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  cache.Insert(key, {99.0, 9.9}, /*epoch=*/2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ((*cache.Lookup(key, 2))[0], 99.0);
+  EXPECT_EQ((*cache.Lookup(key, 1))[0], 10.0);
+}
+
+TEST(FeatureCostCacheTest, DefaultEpochMatchesLegacyCalls) {
+  // Unversioned callers (no epoch argument) keep the old behaviour.
+  FeatureCostCache cache;
+  cache.Insert({1.0}, {5.0});
+  EXPECT_EQ((*cache.Lookup({1.0}, /*epoch=*/0))[0], 5.0);
+  EXPECT_EQ((*cache.Lookup({1.0}))[0], 5.0);
+}
+
+TEST(FeatureCostCacheTest, PruneOtherEpochsKeepsCountersCumulative) {
+  FeatureCostCache cache;
+  for (int k = 0; k < 10; ++k) {
+    cache.Insert({static_cast<double>(k)}, {1.0}, /*epoch=*/1);
+    cache.Insert({static_cast<double>(k)}, {2.0}, /*epoch=*/2);
+  }
+  EXPECT_EQ(cache.size(), 20u);
+  cache.Lookup({0.0}, 1);  // hit
+  cache.Lookup({-1.0}, 1);  // miss
+  const uint64_t hits_before = cache.hits();
+  const uint64_t misses_before = cache.misses();
+
+  cache.PruneOtherEpochs(2);
+  EXPECT_EQ(cache.size(), 10u);
+  // Counters survive the prune (cumulative across the cache's lifetime).
+  EXPECT_EQ(cache.hits(), hits_before);
+  EXPECT_EQ(cache.misses(), misses_before);
+  EXPECT_FALSE(cache.Lookup({0.0}, 1).has_value());
+  EXPECT_EQ((*cache.Lookup({0.0}, 2))[0], 2.0);
+}
+
 TEST(FeatureCostCacheTest, ShardCountRoundsUpToPowerOfTwo) {
   EXPECT_EQ(FeatureCostCache(0).num_shards(), 1u);
   EXPECT_EQ(FeatureCostCache(1).num_shards(), 1u);

@@ -157,5 +157,77 @@ TEST(TrainingSetTest, NamesPreserved) {
   EXPECT_EQ(set.metric_names()[0], "seconds");
 }
 
+TEST(TrainingSetTest, GenerationCountsEveryMutation) {
+  TrainingSet set = MakeSet();
+  const uint64_t g0 = set.generation();
+  ASSERT_TRUE(set.Add({0, 0}, {1, 1}).ok());
+  ASSERT_TRUE(set.Add({1, 0}, {1, 1}).ok());
+  EXPECT_EQ(set.generation(), g0 + 2);
+  set.TrimToNewest(1);
+  EXPECT_EQ(set.generation(), g0 + 3);
+  set.TrimToNewest(5);  // no-op: nothing changed, nothing counted
+  EXPECT_EQ(set.generation(), g0 + 3);
+  set.EvictOlderThan(-100);  // no-op
+  EXPECT_EQ(set.generation(), g0 + 3);
+  // A rejected Add mutates nothing.
+  ASSERT_FALSE(set.Add({0.0}, {1, 1}).ok());
+  EXPECT_EQ(set.generation(), g0 + 3);
+}
+
+TEST(TrainingSetTest, FrozenCopyNeverObservesLaterMutation) {
+  // Copies are O(1) (they share the observation buffer); the copy must
+  // stay frozen while the original keeps appending in place.
+  TrainingSet set = MakeSet();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(set.Add({1.0 * i, 0.0}, {2.0 * i, 0.0}).ok());
+  }
+  const TrainingSet frozen = set;
+  for (int i = 3; i < 40; ++i) {  // crosses several buffer growths
+    ASSERT_TRUE(set.Add({1.0 * i, 0.0}, {2.0 * i, 0.0}).ok());
+  }
+  set.TrimToNewest(5);
+  ASSERT_EQ(frozen.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(frozen.at(i).features[0], 1.0 * i);
+    EXPECT_DOUBLE_EQ(frozen.at(i).costs[0], 2.0 * i);
+  }
+  // The frozen copy's windows stay valid: its own generation is unchanged.
+  auto window = frozen.RecentWindow(3);
+  ASSERT_TRUE(window.ok());
+  EXPECT_DOUBLE_EQ(window->features(2)[0], 2.0);
+}
+
+TEST(TrainingSetTest, SiblingCopiesDivergeOnAppend) {
+  // Two copies appending different observations must not see each other's
+  // writes (the second appender forks the shared buffer).
+  TrainingSet a = MakeSet();
+  ASSERT_TRUE(a.Add({1.0, 0.0}, {1.0, 0.0}).ok());
+  TrainingSet b = a;
+  ASSERT_TRUE(a.Add({2.0, 0.0}, {2.0, 0.0}).ok());
+  ASSERT_TRUE(b.Add({3.0, 0.0}, {3.0, 0.0}).ok());
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.at(1).features[0], 2.0);
+  EXPECT_DOUBLE_EQ(b.at(1).features[0], 3.0);
+  EXPECT_DOUBLE_EQ(a.at(0).features[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.at(0).features[0], 1.0);
+}
+
+#if MIDAS_TRAINING_WINDOW_CHECKS
+TEST(TrainingWindowDeathTest, StaleWindowFailsLoudly) {
+  // Reading a window after its owning set mutated is a use-after-mutation
+  // bug; with checks compiled in (debug/sanitizer builds) it must abort
+  // instead of silently reading possibly-reallocated memory.
+  TrainingSet set = MakeSet();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(set.Add({1.0 * i, 0.0}, {1.0, 1.0}).ok());
+  }
+  auto window = set.RecentWindow(2).ValueOrDie();
+  ASSERT_TRUE(set.Add({9.0, 0.0}, {1.0, 1.0}).ok());
+  EXPECT_DEATH(window.features(0), "stale view");
+  EXPECT_DEATH(window.CopyCosts(0), "stale view");
+}
+#endif  // MIDAS_TRAINING_WINDOW_CHECKS
+
 }  // namespace
 }  // namespace midas
