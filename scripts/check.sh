@@ -29,4 +29,11 @@ for preset in default asan ubsan tsan; do
   cmake --build --preset "$preset" -j "$jobs"
   ctest --preset "$preset" -j "$jobs"
 done
+
+# Sharded-streaming cross-check: the quick bench partitions a ~10^5-plan
+# enumeration into 1/2/4/8 shards and exits nonzero unless every sharded
+# front is bitwise identical to the serial stream.
+echo "=== bench: sharded streaming cross-check (--quick) ==="
+"$repo_root/scripts/bench_shard.sh" --quick
+
 echo "=== all presets green ==="

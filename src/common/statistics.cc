@@ -1,6 +1,7 @@
 #include "common/statistics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 namespace midas {
@@ -129,5 +130,11 @@ double RunningStats::variance() const {
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 }  // namespace midas

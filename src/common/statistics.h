@@ -60,6 +60,11 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Seconds on a monotonic clock — the shared stopwatch for pipeline
+/// timing (per-shard plans/sec, benchmark sections). Differences between
+/// two calls are wall-clock durations unaffected by system time changes.
+double MonotonicSeconds();
+
 }  // namespace midas
 
 #endif  // MIDAS_COMMON_STATISTICS_H_

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/statistics.h"
 #include "common/thread_pool.h"
 #include "ires/features.h"
 #include "optimizer/configuration_problem.h"
@@ -151,9 +152,10 @@ StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
 StatusOr<std::vector<Vector>>
 MultiObjectiveOptimizer::PredictCandidateCostsBatched(
     const std::vector<QueryPlan>& plans, const BatchCostPredictor& predictor,
-    size_t arity, uint64_t epoch, PredictionStats* stats) const {
+    size_t arity, uint64_t epoch, size_t threads,
+    PredictionStats* stats) const {
   ParallelForOptions parallel;
-  parallel.threads = options_.threads;
+  parallel.threads = threads;
   std::vector<Vector> costs(plans.size());
   if (plans.empty()) return costs;
 
@@ -360,7 +362,7 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
   MIDAS_ASSIGN_OR_RETURN(
       std::vector<Vector> costs,
       PredictCandidateCostsBatched(plans, predictor, policy.weights.size(),
-                                   snapshot_epoch, &stats));
+                                   snapshot_epoch, options_.threads, &stats));
 
   MIDAS_ASSIGN_OR_RETURN(
       MoqpResult result,
@@ -387,6 +389,13 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
   const size_t chunk_size = options_.stream_chunk_size == 0
                                 ? MoqpOptions().stream_chunk_size
                                 : options_.stream_chunk_size;
+  const size_t num_shards = options_.shards == 0
+                                ? ThreadPool::DefaultThreadCount()
+                                : options_.shards;
+  if (num_shards > 1) {
+    return OptimizeShardedStreaming(enumerator, logical, predictor, policy,
+                                    chunk_size, num_shards, snapshot_epoch);
+  }
 
   PredictionStats stats;
   ParetoArchive<QueryPlan> archive;
@@ -400,7 +409,8 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
         MIDAS_ASSIGN_OR_RETURN(
             std::vector<Vector> costs,
             PredictCandidateCostsBatched(chunk, predictor, arity,
-                                         snapshot_epoch, &chunk_stats));
+                                         snapshot_epoch, options_.threads,
+                                         &chunk_stats));
         stats.MergeFrom(chunk_stats);
         peak_resident = std::max(peak_resident, archive.size() + chunk.size());
         // Reduce the chunk to its own front first (cheap for the 2–3
@@ -423,6 +433,103 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
                          BestInPareto(result.pareto_costs, policy));
   stats.ApplyTo(&result, snapshot_epoch);
   result.peak_resident_candidates = peak_resident;
+  return result;
+}
+
+StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeShardedStreaming(
+    const PlanEnumerator& enumerator, const QueryPlan& logical,
+    const BatchCostPredictor& predictor, const QueryPolicy& policy,
+    size_t chunk_size, size_t num_shards, uint64_t snapshot_epoch) const {
+  MIDAS_ASSIGN_OR_RETURN(std::vector<EnumerationShard> shards,
+                         enumerator.PartitionShards(logical, num_shards));
+  const size_t arity = policy.weights.size();
+
+  // One independent pipeline per shard: enumerate its strata, score
+  // whole chunks against the pinned snapshot epoch, fold each chunk's
+  // survivors into a shard-local archive keyed by global sequence
+  // numbers. Shards share only the (lock-striped, epoch-keyed) feature
+  // cache; everything else is shard-private, so the only concurrency
+  // effect is which shard publishes a shared feature vector first — the
+  // cost values are a pure function of the features at this epoch.
+  struct ShardRun {
+    ParetoArchive<QueryPlan> archive;
+    PredictionStats stats;
+    uint64_t examined = 0;
+    size_t peak_resident = 0;
+    double seconds = 0.0;
+  };
+  std::vector<ShardRun> runs(shards.size());
+  ParallelForOptions parallel;
+  parallel.threads = num_shards;
+  MIDAS_RETURN_IF_ERROR(ParallelFor(
+      shards.size(),
+      [&](size_t s) -> Status {
+        ShardRun& run = runs[s];
+        const double started = MonotonicSeconds();
+        MIDAS_RETURN_IF_ERROR(enumerator.EnumerateShardChunked(
+            logical, shards[s], chunk_size,
+            [&](std::vector<QueryPlan>&& chunk,
+                std::vector<uint64_t>&& seqs) -> Status {
+              run.examined += chunk.size();
+              PredictionStats chunk_stats;
+              // Inner stages run serial (threads = 1): the shard fan-out
+              // already occupies the pool's workers.
+              MIDAS_ASSIGN_OR_RETURN(
+                  std::vector<Vector> costs,
+                  PredictCandidateCostsBatched(chunk, predictor, arity,
+                                               snapshot_epoch, /*threads=*/1,
+                                               &chunk_stats));
+              run.stats.MergeFrom(chunk_stats);
+              run.peak_resident = std::max(run.peak_resident,
+                                           run.archive.size() + chunk.size());
+              const std::vector<size_t> front =
+                  ParetoFrontIndices(costs, /*threads=*/1);
+              for (size_t idx : front) {
+                run.archive.InsertSequenced(std::move(costs[idx]), seqs[idx],
+                                            std::move(chunk[idx]));
+              }
+              return Status::OK();
+            }));
+        run.seconds = MonotonicSeconds() - started;
+        return Status::OK();
+      },
+      parallel));
+
+  MoqpResult result;
+  PredictionStats stats;
+  std::vector<ParetoArchive<QueryPlan>> archives;
+  archives.reserve(runs.size());
+  result.shard_stats.reserve(runs.size());
+  for (size_t s = 0; s < runs.size(); ++s) {
+    ShardRun& run = runs[s];
+    stats.MergeFrom(run.stats);
+    result.candidates_examined += static_cast<size_t>(run.examined);
+    result.peak_resident_candidates += run.peak_resident;
+    MoqpShardStats shard_stats;
+    shard_stats.shard = s;
+    shard_stats.candidates_examined = run.examined;
+    shard_stats.front_size = run.archive.size();
+    shard_stats.peak_resident_candidates = run.peak_resident;
+    shard_stats.seconds = run.seconds;
+    shard_stats.plans_per_sec =
+        run.seconds > 0.0 ? static_cast<double>(run.examined) / run.seconds
+                          : 0.0;
+    result.shard_stats.push_back(shard_stats);
+    archives.push_back(std::move(run.archive));
+  }
+
+  // Tree-merge the shard archives (associative + dedup-stable, so the
+  // member set is independent of the tree shape) and restore the serial
+  // arrival order via the global sequence numbers: from here on the
+  // result is byte-for-byte the single-stream one.
+  ParetoArchive<QueryPlan> merged =
+      ParetoArchive<QueryPlan>::MergeTree(std::move(archives));
+  merged.SortBySequence();
+  result.pareto_costs = merged.TakeCosts();
+  result.pareto_plans = merged.TakePayloads();
+  MIDAS_ASSIGN_OR_RETURN(result.chosen,
+                         BestInPareto(result.pareto_costs, policy));
+  stats.ApplyTo(&result, snapshot_epoch);
   return result;
 }
 

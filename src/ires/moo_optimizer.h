@@ -67,6 +67,40 @@ struct MoqpOptions {
   /// amortise the batched scoring setup over more rows. 0 falls back to
   /// the default. The produced result is independent of the value.
   size_t stream_chunk_size = 4096;
+  /// Disjoint enumeration pipelines of OptimizeStreaming: the plan space
+  /// is partitioned into this many shards (PlanEnumerator::PartitionShards)
+  /// that each run the whole enumerate → batched-cost → Pareto-fold
+  /// pipeline concurrently on the thread pool against the pinned snapshot
+  /// epoch, after which the shard archives are tree-merged and re-ordered
+  /// into the serial arrival sequence. 1 = the single serial stream
+  /// (default); 0 = the process-wide default parallelism. The produced
+  /// result is bit-identical at any value; per-shard pipeline metrics
+  /// land in MoqpResult::shard_stats. Only kExhaustivePareto streams —
+  /// the other algorithms delegate to the materialized path, which
+  /// ignores this knob. The batch predictor must be thread-safe
+  /// when != 1.
+  size_t shards = 1;
+};
+
+/// \brief Pipeline metrics of one enumeration shard of the sharded
+/// OptimizeStreaming path (MoqpOptions::shards): timings are per shard,
+/// so plans/sec here exposes stragglers the aggregate result hides.
+struct MoqpShardStats {
+  /// Shard id, 0-based (matches the PartitionShards output order).
+  size_t shard = 0;
+  /// Candidate plans this shard enumerated and costed.
+  uint64_t candidates_examined = 0;
+  /// Members of the shard-local archive when the shard finished
+  /// (pre-merge front size).
+  size_t front_size = 0;
+  /// High-water mark of this shard's resident candidates (its archive
+  /// front plus one in-flight chunk).
+  size_t peak_resident_candidates = 0;
+  /// Wall-clock seconds of the shard's enumerate→cost→fold pipeline.
+  double seconds = 0.0;
+  /// candidates_examined / seconds (0 when the duration underflows the
+  /// clock).
+  double plans_per_sec = 0.0;
 };
 
 /// \brief Outcome of one MOQP optimisation.
@@ -77,17 +111,26 @@ struct MoqpResult {
   std::vector<Vector> pareto_costs;
   /// Index of the plan Algorithm 2 picked for the user policy.
   size_t chosen = 0;
-  /// Number of physical plans considered.
+  /// Number of physical plans considered. Aggregation: SUM across
+  /// concurrent pipelines — every candidate is examined by exactly one
+  /// shard, so the sum equals the serial count.
   size_t candidates_examined = 0;
   /// Predictor invocations this call actually performed (equals
   /// candidates_examined without the feature cache; with it, only the
   /// distinct feature vectors absent from the cache are predicted).
+  /// Aggregation: SUM of rows scored across concurrent pipelines.
   size_t predictor_calls = 0;
   /// Feature-cache hits/misses of this call (0/0 when caching is off).
-  /// Aggregated identically on every pipeline — scalar, batched and
-  /// streaming — so the three are directly comparable:
-  /// cache_hits + cache_misses == distinct feature vectors examined, and
-  /// predictor_calls == cache_misses whenever caching is on.
+  /// Aggregated identically on every pipeline — scalar, batched,
+  /// streaming and sharded — always as a SUM over the pipeline's stages.
+  /// Per pipeline, cache_hits + cache_misses == distinct feature vectors
+  /// it examined, and predictor_calls == cache_misses whenever caching is
+  /// on. Under concurrent shards those invariants hold per shard and
+  /// therefore for the sums, but the hit/miss *split* is not
+  /// deterministic: two shards can each miss the same vector before
+  /// either publishes it, turning a would-be hit into a second miss (the
+  /// cost *values* are unaffected — the predictor is a pure function of
+  /// the features at a fixed epoch).
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   /// Estimator snapshot epoch the costs were predicted against, as passed
@@ -95,8 +138,17 @@ struct MoqpResult {
   uint64_t snapshot_epoch = 0;
   /// High-water mark of simultaneously materialised candidate plans: the
   /// whole candidate set for the materialize-everything paths, the
-  /// archive front plus one in-flight chunk for OptimizeStreaming.
+  /// archive front plus one in-flight chunk for single-stream
+  /// OptimizeStreaming. Aggregation under sharding: SUM of the per-shard
+  /// peaks (shard_stats breaks it down) — the worst case when every
+  /// shard hits its high-water mark simultaneously, still
+  /// O(front + shards × chunk); the merge stage holds at most the shard
+  /// fronts, which the same bound covers.
   size_t peak_resident_candidates = 0;
+  /// Per-shard pipeline metrics of the sharded OptimizeStreaming path;
+  /// empty for the materialized paths and the single-stream
+  /// (shards == 1) streaming path.
+  std::vector<MoqpShardStats> shard_stats;
 
   const QueryPlan& chosen_plan() const { return pareto_plans[chosen]; }
   const Vector& chosen_costs() const { return pareto_costs[chosen]; }
@@ -150,10 +202,14 @@ class MultiObjectiveOptimizer {
   /// batched costing stage, and folds the chunk's Pareto survivors into
   /// an online archive — peak memory O(front + chunk) instead of
   /// O(all candidates), with a result identical to the materialized
-  /// batched Optimize. Only kExhaustivePareto can be stream-folded; kWsm
-  /// (whose scalarisation min-max-normalises over the full candidate
-  /// set) and the NSGA variants (which evolve over the full cost table)
-  /// transparently fall back to the materialized path.
+  /// batched Optimize. With options.shards != 1 the plan space is
+  /// partitioned and the whole pipeline runs once per shard concurrently,
+  /// the shard archives tree-merged and re-sequenced afterwards — still
+  /// bit-identical to the serial stream at any shard count. Only
+  /// kExhaustivePareto can be stream-folded; kWsm (whose scalarisation
+  /// min-max-normalises over the full candidate set) and the NSGA
+  /// variants (which evolve over the full cost table) transparently fall
+  /// back to the materialized path.
   StatusOr<MoqpResult> OptimizeStreaming(const QueryPlan& logical,
                                          const BatchCostPredictor& predictor,
                                          const QueryPolicy& policy,
@@ -200,11 +256,23 @@ class MultiObjectiveOptimizer {
 
   /// Batched variant: one ExtractFeatures pass over all candidates, then
   /// chunked matrix scoring (feature-deduplicated and cache-filtered when
-  /// options.cache_predictions is set).
+  /// options.cache_predictions is set). `threads` is the inner
+  /// parallelism of the extraction and scoring stages — the materialized
+  /// paths pass options.threads, while shard pipelines pass 1 because the
+  /// shard fan-out already owns the pool's workers.
   StatusOr<std::vector<Vector>> PredictCandidateCostsBatched(
       const std::vector<QueryPlan>& plans,
       const BatchCostPredictor& predictor, size_t arity, uint64_t epoch,
-      PredictionStats* stats) const;
+      size_t threads, PredictionStats* stats) const;
+
+  /// The shards != 1 arm of OptimizeStreaming: partitions the plan space,
+  /// runs one enumerate→cost→fold pipeline per shard on the thread pool,
+  /// tree-merges the shard archives and restores serial arrival order via
+  /// the plans' global sequence numbers.
+  StatusOr<MoqpResult> OptimizeShardedStreaming(
+      const PlanEnumerator& enumerator, const QueryPlan& logical,
+      const BatchCostPredictor& predictor, const QueryPolicy& policy,
+      size_t chunk_size, size_t num_shards, uint64_t snapshot_epoch) const;
 
   /// Drops cache entries from epochs other than `snapshot_epoch` before an
   /// optimization starts — superseded epochs can never hit again for this

@@ -58,13 +58,32 @@ StatusOr<MidasSystem::QueryOutcome> MidasSystem::RunQuery(
   // it, so feedback recorded concurrently can never skew this query's
   // Pareto front.
   std::shared_ptr<const EstimatorSnapshot> snapshot = modelling_->Snapshot();
-  auto predictor = [this, &scope, &snapshot](const QueryPlan& plan) {
-    return PredictPlanCosts(*snapshot, scope, plan);
-  };
   QueryOutcome outcome;
-  MIDAS_ASSIGN_OR_RETURN(
-      outcome.moqp,
-      optimizer_->Optimize(logical, predictor, policy, snapshot->epoch()));
+  if (options_.moqp.shards != 1) {
+    // Sharded streaming: disjoint slices of the plan space run whole
+    // enumerate→cost→fold pipelines concurrently, costing SoA feature
+    // batches against the pinned snapshot — bit-identical to the scalar
+    // path below, at a fraction of the wall clock on multi-core hosts.
+    MultiObjectiveOptimizer::BatchCostPredictor batch_predictor =
+        [this, &scope, &snapshot](const Matrix& features,
+                                  Matrix* costs) -> Status {
+      MIDAS_ASSIGN_OR_RETURN(
+          *costs, modelling_->PredictBatch(*snapshot, scope, features,
+                                           options_.estimator));
+      return Status::OK();
+    };
+    MIDAS_ASSIGN_OR_RETURN(
+        outcome.moqp,
+        optimizer_->OptimizeStreaming(logical, batch_predictor, policy,
+                                      snapshot->epoch()));
+  } else {
+    auto predictor = [this, &scope, &snapshot](const QueryPlan& plan) {
+      return PredictPlanCosts(*snapshot, scope, plan);
+    };
+    MIDAS_ASSIGN_OR_RETURN(
+        outcome.moqp,
+        optimizer_->Optimize(logical, predictor, policy, snapshot->epoch()));
+  }
   outcome.predicted = outcome.moqp.chosen_costs();
   outcome.estimator = EstimatorName(options_.estimator);
   MIDAS_ASSIGN_OR_RETURN(

@@ -71,6 +71,11 @@ class MidasSystem {
   /// same (features, model, window) state even while feedback from other
   /// queries streams in; the measurement is then recorded back into the
   /// scope's history (adaptive feedback), publishing the next epoch.
+  /// With options.moqp.shards != 1 the optimization runs the sharded
+  /// streaming pipeline instead — disjoint plan-space shards costing SoA
+  /// batches concurrently against the same pinned snapshot — with a
+  /// bit-identical outcome (per-shard metrics in
+  /// MoqpResult::shard_stats).
   StatusOr<QueryOutcome> RunQuery(const std::string& scope,
                                   const QueryPlan& logical,
                                   const QueryPolicy& policy);

@@ -1,17 +1,40 @@
 #include "optimizer/pareto_archive.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "optimizer/pareto.h"
 
 namespace midas {
 
 bool ParetoArchiveCore::Insert(Vector cost, std::vector<size_t>* evicted) {
+  size_t replaced_pos = 0;
+  // With a monotone sequence an equal member always has a smaller
+  // sequence, so kReplacedRepresentative cannot occur and the outcome
+  // collapses to the historical accept/reject semantics.
+  return InsertSequenced(std::move(cost), next_auto_seq_, evicted,
+                         &replaced_pos) == SequencedInsert::kInserted;
+}
+
+ParetoArchiveCore::SequencedInsert ParetoArchiveCore::InsertSequenced(
+    Vector cost, uint64_t seq, std::vector<size_t>* evicted,
+    size_t* replaced_pos) {
   ++considered_;
+  if (seq >= next_auto_seq_) next_auto_seq_ = seq + 1;
   evicted->clear();
   if (member_set_.count(cost) != 0) {
-    ++duplicate_rejections_;
-    return false;
+    // The bitwise-equal member is unique; find its position to compare
+    // sequences (O(front), same bound as the dominance pass below).
+    const auto it = std::find(costs_.begin(), costs_.end(), cost);
+    const size_t pos = static_cast<size_t>(it - costs_.begin());
+    if (seqs_[pos] <= seq) {
+      ++duplicate_rejections_;
+      return SequencedInsert::kRejectedDuplicate;
+    }
+    seqs_[pos] = seq;
+    *replaced_pos = pos;
+    ++duplicate_replacements_;
+    return SequencedInsert::kReplacedRepresentative;
   }
   // Members are mutually non-dominated, so the newcomer cannot both be
   // dominated by one member and dominate another: the first dominator
@@ -21,7 +44,7 @@ bool ParetoArchiveCore::Insert(Vector cost, std::vector<size_t>* evicted) {
     if (Dominates(costs_[i], cost)) {
       ++dominated_rejections_;
       out.clear();
-      return false;
+      return SequencedInsert::kRejectedDominated;
     }
     if (Dominates(cost, costs_[i])) out.push_back(i);
   }
@@ -34,26 +57,59 @@ bool ParetoArchiveCore::Insert(Vector cost, std::vector<size_t>* evicted) {
         ++next;
         continue;
       }
-      costs_[write++] = std::move(costs_[read]);
+      costs_[write] = std::move(costs_[read]);
+      seqs_[write] = seqs_[read];
+      ++write;
     }
     costs_.resize(write);
+    seqs_.resize(write);
     evictions_ += out.size();
   }
   member_set_.insert(cost);
   costs_.push_back(std::move(cost));
+  seqs_.push_back(seq);
   peak_size_ = std::max(peak_size_, costs_.size());
-  return true;
+  return SequencedInsert::kInserted;
 }
 
 std::vector<Vector> ParetoArchiveCore::TakeCosts() {
   member_set_.clear();
   std::vector<Vector> out = std::move(costs_);
   costs_.clear();
+  seqs_.clear();
   return out;
+}
+
+void ParetoArchiveCore::TakeMembers(std::vector<Vector>* costs,
+                                    std::vector<uint64_t>* seqs) {
+  member_set_.clear();
+  *costs = std::move(costs_);
+  *seqs = std::move(seqs_);
+  costs_.clear();
+  seqs_.clear();
+}
+
+void ParetoArchiveCore::SortBySequence(std::vector<size_t>* permutation) {
+  std::vector<size_t> order(costs_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](size_t a, size_t b) { return seqs_[a] < seqs_[b]; });
+  std::vector<Vector> costs;
+  std::vector<uint64_t> seqs;
+  costs.reserve(order.size());
+  seqs.reserve(order.size());
+  for (size_t from : order) {
+    costs.push_back(std::move(costs_[from]));
+    seqs.push_back(seqs_[from]);
+  }
+  costs_ = std::move(costs);
+  seqs_ = std::move(seqs);
+  if (permutation != nullptr) *permutation = std::move(order);
 }
 
 void ParetoArchiveCore::Clear() {
   costs_.clear();
+  seqs_.clear();
   member_set_.clear();
 }
 

@@ -30,23 +30,73 @@ namespace midas {
 /// Each insert is O(archive size); the archive never holds a dominated
 /// point, so the peak working set of a streaming pass is bounded by
 /// O(max front + chunk).
+///
+/// Every member also carries a sequence number — its global arrival rank
+/// in the candidate stream. `Insert` assigns sequences from an internal
+/// monotone counter; `InsertSequenced` takes an explicit rank so disjoint
+/// shards of one stream can fold into independent archives and later be
+/// recombined with `MergeFrom`. Dedup under explicit sequences is
+/// *dedup-stable*: of two bitwise-equal costs the one with the smaller
+/// sequence wins regardless of insertion order, which together with the
+/// transitivity of dominance makes merging associative and commutative —
+/// any merge tree over any partition of the stream yields the same member
+/// set, and `SortBySequence` then reproduces the serial arrival order
+/// exactly.
 class ParetoArchiveCore {
  public:
+  /// Outcome of a sequenced insertion attempt.
+  enum class SequencedInsert {
+    /// The cost joined the archive (possibly evicting members).
+    kInserted,
+    /// A bitwise-equal member existed with a larger sequence; the member
+    /// kept its position but adopted the smaller incoming sequence.
+    kReplacedRepresentative,
+    /// A bitwise-equal member existed with a smaller-or-equal sequence.
+    kRejectedDuplicate,
+    /// A member dominates the cost.
+    kRejectedDominated,
+  };
+
   /// Attempts to add `cost`. Returns true and appends it if it joins the
   /// archive; `evicted` then holds the ascending positions (in the
   /// pre-insert member order) of the members it displaced, so a caller
   /// tracking parallel payloads can mirror the removal. On a false
   /// return (duplicate or dominated) the archive is untouched and
-  /// `evicted` is left empty.
+  /// `evicted` is left empty. The member's sequence is the next value of
+  /// the internal arrival counter (which counts every offer, accepted or
+  /// not, so sequences match candidate-stream ranks).
   bool Insert(Vector cost, std::vector<size_t>* evicted);
+
+  /// `Insert` with an explicit global sequence number. On
+  /// `kReplacedRepresentative`, `*replaced_pos` is the member position
+  /// whose sequence (and, for payload-carrying wrappers, payload) must be
+  /// swapped for the incoming one; on every other outcome it is left
+  /// untouched. `evicted` is filled exactly as for `Insert` and is empty
+  /// unless the outcome is `kInserted`.
+  SequencedInsert InsertSequenced(Vector cost, uint64_t seq,
+                                  std::vector<size_t>* evicted,
+                                  size_t* replaced_pos);
 
   /// Members in arrival order (mutually non-dominated, distinct).
   const std::vector<Vector>& costs() const { return costs_; }
+  /// Sequence numbers aligned with `costs()`.
+  const std::vector<uint64_t>& seqs() const { return seqs_; }
   size_t size() const { return costs_.size(); }
   bool empty() const { return costs_.empty(); }
 
   /// Moves the members out and resets the archive (stats survive).
   std::vector<Vector> TakeCosts();
+
+  /// Moves costs and their aligned sequences out and resets the archive
+  /// (stats survive).
+  void TakeMembers(std::vector<Vector>* costs, std::vector<uint64_t>* seqs);
+
+  /// Reorders the members ascending by sequence number (ties keep their
+  /// current relative order). When `permutation` is non-null it receives
+  /// the applied ordering: new position i holds the member formerly at
+  /// `(*permutation)[i]`, so wrappers can mirror the reorder onto
+  /// payloads.
+  void SortBySequence(std::vector<size_t>* permutation = nullptr);
 
   void Clear();
 
@@ -56,6 +106,9 @@ class ParetoArchiveCore {
   uint64_t considered() const { return considered_; }
   /// Rejected as bitwise duplicates of a member.
   uint64_t duplicate_rejections() const { return duplicate_rejections_; }
+  /// Rejected as bitwise duplicates but with a smaller sequence, so the
+  /// member adopted the incoming sequence (and payload) in place.
+  uint64_t duplicate_replacements() const { return duplicate_replacements_; }
   /// Rejected as dominated by a member.
   uint64_t dominated_rejections() const { return dominated_rejections_; }
   /// Members displaced by later inserts.
@@ -63,18 +116,21 @@ class ParetoArchiveCore {
 
  private:
   std::vector<Vector> costs_;
+  std::vector<uint64_t> seqs_;
   std::unordered_set<Vector, VectorHash> member_set_;
+  uint64_t next_auto_seq_ = 0;
   size_t peak_size_ = 0;
   uint64_t considered_ = 0;
   uint64_t duplicate_rejections_ = 0;
+  uint64_t duplicate_replacements_ = 0;
   uint64_t dominated_rejections_ = 0;
   uint64_t evictions_ = 0;
 };
 
 /// \brief `ParetoArchiveCore` plus a payload carried alongside every cost
 /// (the physical plan that produced it): payloads ride through the same
-/// insert/evict lifecycle, so `payloads()[i]` always corresponds to
-/// `costs()[i]`.
+/// insert/evict/replace lifecycle, so `payloads()[i]` always corresponds
+/// to `costs()[i]`.
 template <typename Payload>
 class ParetoArchive {
  public:
@@ -82,23 +138,82 @@ class ParetoArchive {
   bool Insert(Vector cost, Payload payload) {
     evicted_.clear();
     if (!core_.Insert(std::move(cost), &evicted_)) return false;
-    if (!evicted_.empty()) {
-      size_t write = evicted_.front();
-      size_t next = 0;
-      for (size_t read = write; read < payloads_.size(); ++read) {
-        if (next < evicted_.size() && evicted_[next] == read) {
-          ++next;
-          continue;
-        }
-        payloads_[write++] = std::move(payloads_[read]);
-      }
-      payloads_.resize(write);
-    }
+    CompactEvicted();
     payloads_.push_back(std::move(payload));
     return true;
   }
 
+  /// `Insert` with an explicit global sequence number (see
+  /// `ParetoArchiveCore::InsertSequenced`). Returns true iff the archive
+  /// changed: the pair joined, or a bitwise-equal member with a larger
+  /// sequence handed its slot to this earlier representative.
+  bool InsertSequenced(Vector cost, uint64_t seq, Payload payload) {
+    evicted_.clear();
+    size_t replaced_pos = 0;
+    switch (core_.InsertSequenced(std::move(cost), seq, &evicted_,
+                                  &replaced_pos)) {
+      case ParetoArchiveCore::SequencedInsert::kRejectedDuplicate:
+      case ParetoArchiveCore::SequencedInsert::kRejectedDominated:
+        return false;
+      case ParetoArchiveCore::SequencedInsert::kReplacedRepresentative:
+        payloads_[replaced_pos] = std::move(payload);
+        return true;
+      case ParetoArchiveCore::SequencedInsert::kInserted:
+        break;
+    }
+    CompactEvicted();
+    payloads_.push_back(std::move(payload));
+    return true;
+  }
+
+  /// Drains `other` into this archive via sequenced inserts. Dedup
+  /// stability (smaller sequence wins) and transitivity of dominance make
+  /// the operation associative and commutative on the member set: merging
+  /// shard archives in any tree shape yields the same members, ready for
+  /// `SortBySequence`. Only members move — `other`'s lifetime counters
+  /// (considered/evictions/peaks) stay behind, so read per-shard stats
+  /// *before* merging; this archive counts each incoming member as one
+  /// offered insert.
+  void MergeFrom(ParetoArchive&& other) {
+    std::vector<Vector> costs;
+    std::vector<uint64_t> seqs;
+    other.core_.TakeMembers(&costs, &seqs);
+    std::vector<Payload> payloads = std::move(other.payloads_);
+    other.payloads_.clear();
+    for (size_t i = 0; i < costs.size(); ++i) {
+      InsertSequenced(std::move(costs[i]), seqs[i], std::move(payloads[i]));
+    }
+  }
+
+  /// Folds `archives` into one with a deterministic balanced merge tree
+  /// (pairwise rounds, halving each round); returns an empty archive for
+  /// empty input. The result's member set is independent of the tree
+  /// shape — the tree only balances merge work.
+  static ParetoArchive MergeTree(std::vector<ParetoArchive>&& archives) {
+    if (archives.empty()) return ParetoArchive();
+    size_t count = archives.size();
+    while (count > 1) {
+      const size_t half = (count + 1) / 2;
+      for (size_t i = 0; i + half < count; ++i) {
+        archives[i].MergeFrom(std::move(archives[i + half]));
+      }
+      count = half;
+    }
+    return std::move(archives.front());
+  }
+
+  /// Reorders members (and their payloads) ascending by sequence number.
+  void SortBySequence() {
+    std::vector<size_t> permutation;
+    core_.SortBySequence(&permutation);
+    std::vector<Payload> sorted;
+    sorted.reserve(payloads_.size());
+    for (size_t from : permutation) sorted.push_back(std::move(payloads_[from]));
+    payloads_ = std::move(sorted);
+  }
+
   const std::vector<Vector>& costs() const { return core_.costs(); }
+  const std::vector<uint64_t>& seqs() const { return core_.seqs(); }
   const std::vector<Payload>& payloads() const { return payloads_; }
   size_t size() const { return core_.size(); }
   bool empty() const { return core_.empty(); }
@@ -118,12 +233,31 @@ class ParetoArchive {
   uint64_t duplicate_rejections() const {
     return core_.duplicate_rejections();
   }
+  uint64_t duplicate_replacements() const {
+    return core_.duplicate_replacements();
+  }
   uint64_t dominated_rejections() const {
     return core_.dominated_rejections();
   }
   uint64_t evictions() const { return core_.evictions(); }
 
  private:
+  /// Mirrors the core's latest eviction list onto `payloads_` with the
+  /// same stable compaction.
+  void CompactEvicted() {
+    if (evicted_.empty()) return;
+    size_t write = evicted_.front();
+    size_t next = 0;
+    for (size_t read = write; read < payloads_.size(); ++read) {
+      if (next < evicted_.size() && evicted_[next] == read) {
+        ++next;
+        continue;
+      }
+      payloads_[write++] = std::move(payloads_[read]);
+    }
+    payloads_.resize(write);
+  }
+
   ParetoArchiveCore core_;
   std::vector<Payload> payloads_;
   std::vector<size_t> evicted_;

@@ -1,6 +1,8 @@
 #include "query/enumerator.h"
 
 #include <algorithm>
+#include <limits>
+#include <numeric>
 
 namespace midas {
 
@@ -20,6 +22,16 @@ uint64_t PlanEnumerator::CountResourceConfigurations(int vcpu_pool,
 
 namespace {
 
+// Number of variants CommuteVariants emits for `node` — exact, so the
+// hot-loop vectors below can reserve once instead of growing.
+uint64_t CountCommuteVariants(const PlanNode& node) {
+  if (node.kind != OperatorKind::kJoin) {
+    return node.children.empty() ? 1 : CountCommuteVariants(*node.children[0]);
+  }
+  return 2 * CountCommuteVariants(*node.children[0]) *
+         CountCommuteVariants(*node.children[1]);
+}
+
 // Recursively emits all join-commutation variants of `node`. Parents are
 // shallow-cloned (their subtrees are rebuilt from the variants anyway)
 // and each variant subtree is moved rather than re-cloned on its final
@@ -34,6 +46,7 @@ void CommuteVariants(const PlanNode& node,
     }
     // Unary operator: recurse into the single child.
     std::vector<std::unique_ptr<PlanNode>> child_variants;
+    child_variants.reserve(CountCommuteVariants(*node.children[0]));
     CommuteVariants(*node.children[0], &child_variants);
     out->reserve(out->size() + child_variants.size());
     for (auto& child : child_variants) {
@@ -45,6 +58,8 @@ void CommuteVariants(const PlanNode& node,
   }
   std::vector<std::unique_ptr<PlanNode>> left_variants;
   std::vector<std::unique_ptr<PlanNode>> right_variants;
+  left_variants.reserve(CountCommuteVariants(*node.children[0]));
+  right_variants.reserve(CountCommuteVariants(*node.children[1]));
   CommuteVariants(*node.children[0], &left_variants);
   CommuteVariants(*node.children[1], &right_variants);
   out->reserve(out->size() + 2 * left_variants.size() * right_variants.size());
@@ -71,6 +86,44 @@ void CommuteVariants(const PlanNode& node,
   }
 }
 
+// Annotates `node` and its subtree in place: scans pin to their table's
+// placement, every other operator runs at the chosen compute, and each
+// node's VM count comes from `nodes_at` (the current mixed-radix pick).
+// Feasibility was established before materialisation, so this walk only
+// assigns. Recursing directly instead of materialising a node-pointer
+// vector per plan keeps the per-pick cost allocation-free.
+template <typename NodesAt>
+Status AnnotateNode(
+    PlanNode* node,
+    const std::vector<std::pair<std::string, Federation::Placement>>&
+        placements,
+    SiteId compute_site, EngineKind compute_engine, const NodesAt& nodes_at) {
+  if (node->kind == OperatorKind::kScan) {
+    const Federation::Placement* placement = nullptr;
+    for (const auto& entry : placements) {
+      if (entry.first == node->table) {
+        placement = &entry.second;
+        break;
+      }
+    }
+    if (placement == nullptr) {
+      return Status::Internal("scan table missing from resolved placements");
+    }
+    node->site = placement->site;
+    node->engine = placement->engine;
+    node->num_nodes = nodes_at(placement->site);
+  } else {
+    node->site = compute_site;
+    node->engine = compute_engine;
+    node->num_nodes = nodes_at(compute_site);
+  }
+  for (auto& child : node->children) {
+    MIDAS_RETURN_IF_ERROR(AnnotateNode(child.get(), placements, compute_site,
+                                       compute_engine, nodes_at));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::vector<QueryPlan> PlanEnumerator::JoinOrderVariants(
@@ -81,10 +134,174 @@ std::vector<QueryPlan> PlanEnumerator::JoinOrderVariants(
     return out;
   }
   std::vector<std::unique_ptr<PlanNode>> roots;
+  roots.reserve(CountCommuteVariants(*logical.root()));
   CommuteVariants(*logical.root(), &roots);
   out.reserve(roots.size());
   for (auto& root : roots) out.emplace_back(std::move(root));
   return out;
+}
+
+Status PlanEnumerator::ResolveSpace(const QueryPlan& logical,
+                                    EnumerationSpace* space) const {
+  if (federation_ == nullptr || catalog_ == nullptr) {
+    return Status::FailedPrecondition("enumerator missing environment");
+  }
+  MIDAS_RETURN_IF_ERROR(logical.Validate(*catalog_));
+  if (options_.node_counts.empty()) {
+    return Status::InvalidArgument("no candidate node counts");
+  }
+
+  // Resolve base table placements once; sorted + deduplicated.
+  for (const std::string& table : logical.BaseTables()) {
+    MIDAS_ASSIGN_OR_RETURN(Federation::Placement placement,
+                           federation_->TablePlacement(table));
+    space->data_sites.push_back(placement.site);
+    space->placements.emplace_back(table, placement);
+  }
+  std::sort(space->data_sites.begin(), space->data_sites.end());
+  space->data_sites.erase(
+      std::unique(space->data_sites.begin(), space->data_sites.end()),
+      space->data_sites.end());
+
+  // Candidate compute placements: every (site, engine) pair in the
+  // federation.
+  for (const CloudSite& site : federation_->sites()) {
+    for (EngineKind engine : site.engines()) {
+      space->computes.push_back({site.id(), engine});
+    }
+  }
+  if (space->computes.empty()) {
+    return Status::FailedPrecondition("federation hosts no engines");
+  }
+
+  space->variants = JoinOrderVariants(logical);
+  for (const PlanNode* node : logical.Nodes()) {
+    if (node->kind != OperatorKind::kScan) {
+      space->has_compute_node = true;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<PlanEnumerator::StratumSpec> PlanEnumerator::MakeStratumSpec(
+    const EnumerationSpace& space, size_t stratum_index) const {
+  const size_t n_counts = options_.node_counts.size();
+  const size_t n_computes = space.computes.size();
+  const size_t n_strata = space.variants.size() * n_computes * n_counts;
+  if (stratum_index >= n_strata) {
+    return Status::InvalidArgument("stratum index out of range");
+  }
+  StratumSpec spec;
+  spec.leading_digit = stratum_index % n_counts;
+  const size_t vc = stratum_index / n_counts;
+  spec.compute = vc % n_computes;
+  spec.variant = vc / n_computes;
+
+  // Participating sites for this choice: data sites plus compute site.
+  const Compute& compute = space.computes[spec.compute];
+  spec.used_sites = space.data_sites;
+  if (std::find(spec.used_sites.begin(), spec.used_sites.end(),
+                compute.site) == spec.used_sites.end()) {
+    spec.used_sites.push_back(compute.site);
+  }
+  std::sort(spec.used_sites.begin(), spec.used_sites.end());
+
+  // A site constrains feasibility iff some operator actually runs there:
+  // data sites always host their scans; the compute site hosts work only
+  // when the plan has a non-scan operator. Unconstrained sites admit
+  // every VM count (their digit never touches a plan).
+  spec.allowed.resize(spec.used_sites.size());
+  for (size_t i = 0; i < spec.used_sites.size(); ++i) {
+    const SiteId site_id = spec.used_sites[i];
+    const bool constrained =
+        std::binary_search(space.data_sites.begin(), space.data_sites.end(),
+                           site_id) ||
+        (site_id == compute.site && space.has_compute_node);
+    std::vector<char>& allowed = spec.allowed[i];
+    allowed.assign(options_.node_counts.size(), 1);
+    if (!constrained) continue;
+    auto site = federation_->site(site_id);
+    for (size_t k = 0; k < options_.node_counts.size(); ++k) {
+      // Respect per-site elasticity limits (an unresolvable site admits
+      // nothing, mirroring the defensive skip of the materialising loop).
+      allowed[k] = site.ok() && options_.node_counts[k] <= (*site)->max_nodes()
+                       ? 1
+                       : 0;
+    }
+  }
+  return spec;
+}
+
+uint64_t PlanEnumerator::StratumFeasibleCount(const StratumSpec& spec) {
+  const size_t digits = spec.used_sites.size();
+  if (spec.allowed[digits - 1][spec.leading_digit] == 0) return 0;
+  uint64_t product = 1;
+  for (size_t i = 0; i + 1 < digits; ++i) {
+    uint64_t admissible = 0;
+    for (char a : spec.allowed[i]) admissible += a != 0 ? 1 : 0;
+    if (admissible == 0) return 0;
+    // Saturate rather than overflow: callers only compare counts against
+    // max_plans, so any value past the cap behaves identically.
+    if (product > std::numeric_limits<uint64_t>::max() / admissible) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    product *= admissible;
+  }
+  return product;
+}
+
+Status PlanEnumerator::EnumerateStratum(
+    const EnumerationSpace& space, const StratumSpec& spec,
+    uint64_t* next_seq,
+    const std::function<Status(QueryPlan&&, uint64_t)>& emit) const {
+  if (*next_seq >= options_.max_plans) return Status::OK();
+  if (StratumFeasibleCount(spec) == 0) return Status::OK();
+  const QueryPlan& variant = space.variants[spec.variant];
+  const Compute& compute = space.computes[spec.compute];
+  const std::vector<int>& counts = options_.node_counts;
+  const size_t digits = spec.used_sites.size();
+
+  // Cartesian product of node counts over the participating sites, with
+  // the leading (slowest) digit pinned to this stratum.
+  std::vector<size_t> pick(digits, 0);
+  pick[digits - 1] = spec.leading_digit;
+  const auto nodes_at = [&](SiteId s) {
+    for (size_t i = 0; i < digits; ++i) {
+      if (spec.used_sites[i] == s) return counts[pick[i]];
+    }
+    return counts[0];
+  };
+  while (true) {
+    // Feasibility needs only the per-site admissibility of the pick, so
+    // infeasible picks skip plan materialisation entirely.
+    bool feasible = true;
+    for (size_t i = 0; i + 1 < digits; ++i) {
+      if (spec.allowed[i][pick[i]] == 0) {
+        feasible = false;
+        break;
+      }
+    }
+    if (feasible) {
+      QueryPlan plan = variant;
+      MIDAS_RETURN_IF_ERROR(AnnotateNode(plan.mutable_root(), space.placements,
+                                         compute.site, compute.engine,
+                                         nodes_at));
+      MIDAS_RETURN_IF_ERROR(EstimateCardinalities(*catalog_, &plan));
+      const uint64_t seq = (*next_seq)++;
+      MIDAS_RETURN_IF_ERROR(emit(std::move(plan), seq));
+      if (*next_seq >= options_.max_plans) return Status::OK();
+    }
+    // Advance the mixed-radix counter below the leading digit.
+    size_t d = 0;
+    while (d + 1 < digits) {
+      if (++pick[d] < counts.size()) break;
+      pick[d] = 0;
+      ++d;
+    }
+    if (d + 1 >= digits) break;
+  }
+  return Status::OK();
 }
 
 StatusOr<std::vector<QueryPlan>> PlanEnumerator::EnumeratePhysical(
@@ -125,109 +342,119 @@ Status PlanEnumerator::EnumerateChunked(const QueryPlan& logical,
 Status PlanEnumerator::ForEachPhysical(
     const QueryPlan& logical,
     const std::function<Status(QueryPlan&&)>& emit) const {
-  if (federation_ == nullptr || catalog_ == nullptr) {
-    return Status::FailedPrecondition("enumerator missing environment");
+  EnumerationSpace space;
+  MIDAS_RETURN_IF_ERROR(ResolveSpace(logical, &space));
+  const size_t n_strata = space.variants.size() * space.computes.size() *
+                          options_.node_counts.size();
+  uint64_t next_seq = 0;
+  for (size_t s = 0; s < n_strata && next_seq < options_.max_plans; ++s) {
+    MIDAS_ASSIGN_OR_RETURN(StratumSpec spec, MakeStratumSpec(space, s));
+    MIDAS_RETURN_IF_ERROR(EnumerateStratum(
+        space, spec, &next_seq,
+        [&emit](QueryPlan&& plan, uint64_t) { return emit(std::move(plan)); }));
   }
-  MIDAS_RETURN_IF_ERROR(logical.Validate(*catalog_));
-  if (options_.node_counts.empty()) {
-    return Status::InvalidArgument("no candidate node counts");
-  }
-
-  // Resolve base table placements once; sorted + deduplicated.
-  std::vector<SiteId> data_sites;
-  for (const std::string& table : logical.BaseTables()) {
-    MIDAS_ASSIGN_OR_RETURN(Federation::Placement placement,
-                           federation_->TablePlacement(table));
-    data_sites.push_back(placement.site);
-  }
-  std::sort(data_sites.begin(), data_sites.end());
-  data_sites.erase(std::unique(data_sites.begin(), data_sites.end()),
-                   data_sites.end());
-
-  // Candidate compute placements: every (site, engine) pair in the
-  // federation.
-  struct Compute {
-    SiteId site;
-    EngineKind engine;
-  };
-  std::vector<Compute> computes;
-  for (const CloudSite& site : federation_->sites()) {
-    for (EngineKind engine : site.engines()) {
-      computes.push_back({site.id(), engine});
-    }
-  }
-  if (computes.empty()) {
-    return Status::FailedPrecondition("federation hosts no engines");
-  }
-
-  std::vector<QueryPlan> variants = JoinOrderVariants(logical);
-  size_t emitted = 0;
-
-  for (const QueryPlan& variant : variants) {
-    for (const Compute& compute : computes) {
-      // Participating sites for this choice: data sites plus compute site.
-      std::vector<SiteId> used_sites = data_sites;
-      if (std::find(used_sites.begin(), used_sites.end(), compute.site) ==
-          used_sites.end()) {
-        used_sites.push_back(compute.site);
-      }
-      std::sort(used_sites.begin(), used_sites.end());
-
-      // Cartesian product of node counts over the participating sites.
-      std::vector<size_t> pick(used_sites.size(), 0);
-      while (true) {
-        // Materialise one annotated plan.
-        QueryPlan plan = variant;
-        auto nodes_at = [&](SiteId s) {
-          for (size_t i = 0; i < used_sites.size(); ++i) {
-            if (used_sites[i] == s) return options_.node_counts[pick[i]];
-          }
-          return options_.node_counts[0];
-        };
-        bool feasible = true;
-        for (PlanNode* node : plan.MutableNodes()) {
-          if (node->kind == OperatorKind::kScan) {
-            auto placement = federation_->TablePlacement(node->table);
-            if (!placement.ok()) {
-              feasible = false;
-              break;
-            }
-            node->site = placement->site;
-            node->engine = placement->engine;
-            node->num_nodes = nodes_at(placement->site);
-          } else {
-            node->site = compute.site;
-            node->engine = compute.engine;
-            node->num_nodes = nodes_at(compute.site);
-          }
-          // Respect per-site elasticity limits.
-          auto site = federation_->site(*node->site);
-          if (!site.ok() || node->num_nodes > (*site)->max_nodes()) {
-            feasible = false;
-            break;
-          }
-        }
-        if (feasible) {
-          MIDAS_RETURN_IF_ERROR(EstimateCardinalities(*catalog_, &plan));
-          MIDAS_RETURN_IF_ERROR(emit(std::move(plan)));
-          if (++emitted >= options_.max_plans) return Status::OK();
-        }
-        // Advance the mixed-radix counter.
-        size_t d = 0;
-        while (d < pick.size()) {
-          if (++pick[d] < options_.node_counts.size()) break;
-          pick[d] = 0;
-          ++d;
-        }
-        if (d == pick.size()) break;
-      }
-    }
-  }
-  if (emitted == 0) {
+  if (next_seq == 0) {
     return Status::FailedPrecondition(
         "no feasible physical plan (check node_counts vs site limits)");
   }
   return Status::OK();
+}
+
+StatusOr<std::vector<EnumerationShard>> PlanEnumerator::PartitionShards(
+    const QueryPlan& logical, size_t num_shards) const {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  EnumerationSpace space;
+  MIDAS_RETURN_IF_ERROR(ResolveSpace(logical, &space));
+  const size_t n_strata = space.variants.size() * space.computes.size() *
+                          options_.node_counts.size();
+  const uint64_t cap = options_.max_plans;
+  std::vector<EnumerationShard::Stratum> entries;
+  uint64_t prefix = 0;
+  for (size_t s = 0; s < n_strata && prefix < cap; ++s) {
+    MIDAS_ASSIGN_OR_RETURN(StratumSpec spec, MakeStratumSpec(space, s));
+    const uint64_t count = StratumFeasibleCount(spec);
+    if (count > 0) {
+      entries.push_back({s, prefix, std::min(count, cap - prefix)});
+    }
+    prefix = count > std::numeric_limits<uint64_t>::max() - prefix
+                 ? std::numeric_limits<uint64_t>::max()
+                 : prefix + count;
+  }
+  if (entries.empty()) {
+    return Status::FailedPrecondition(
+        "no feasible physical plan (check node_counts vs site limits)");
+  }
+
+  // Greedy LPT over the capped stratum sizes: biggest strata first, each
+  // to the currently lightest shard (ties to the lower shard id). Fully
+  // deterministic, so every caller partitions identically.
+  std::vector<size_t> order(entries.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&entries](size_t a, size_t b) {
+    return entries[a].feasible > entries[b].feasible;
+  });
+  std::vector<EnumerationShard> shards(num_shards);
+  for (size_t e : order) {
+    size_t best = 0;
+    for (size_t sh = 1; sh < num_shards; ++sh) {
+      if (shards[sh].planned_emissions < shards[best].planned_emissions) {
+        best = sh;
+      }
+    }
+    shards[best].strata.push_back(entries[e]);
+    shards[best].planned_emissions += entries[e].feasible;
+  }
+  for (EnumerationShard& shard : shards) {
+    std::sort(shard.strata.begin(), shard.strata.end(),
+              [](const EnumerationShard::Stratum& a,
+                 const EnumerationShard::Stratum& b) {
+                return a.index < b.index;
+              });
+  }
+  return shards;
+}
+
+Status PlanEnumerator::EnumerateShardChunked(
+    const QueryPlan& logical, const EnumerationShard& shard, size_t chunk_size,
+    const SequencedChunkVisitor& visitor) const {
+  if (!visitor) return Status::InvalidArgument("null chunk visitor");
+  if (chunk_size == 0) {
+    return Status::InvalidArgument("chunk_size must be positive");
+  }
+  EnumerationSpace space;
+  MIDAS_RETURN_IF_ERROR(ResolveSpace(logical, &space));
+  const size_t reserve = static_cast<size_t>(
+      std::min<uint64_t>(chunk_size, shard.planned_emissions));
+  std::vector<QueryPlan> chunk;
+  std::vector<uint64_t> seqs;
+  chunk.reserve(reserve);
+  seqs.reserve(reserve);
+  const auto flush = [&]() -> Status {
+    if (chunk.empty()) return Status::OK();
+    std::vector<QueryPlan> full_chunk;
+    std::vector<uint64_t> full_seqs;
+    full_chunk.swap(chunk);
+    full_seqs.swap(seqs);
+    chunk.reserve(reserve);
+    seqs.reserve(reserve);
+    return visitor(std::move(full_chunk), std::move(full_seqs));
+  };
+  for (const EnumerationShard::Stratum& stratum : shard.strata) {
+    MIDAS_ASSIGN_OR_RETURN(StratumSpec spec,
+                           MakeStratumSpec(space, stratum.index));
+    uint64_t next_seq = stratum.seq_base;
+    MIDAS_RETURN_IF_ERROR(EnumerateStratum(
+        space, spec, &next_seq,
+        [&](QueryPlan&& plan, uint64_t seq) -> Status {
+          chunk.push_back(std::move(plan));
+          seqs.push_back(seq);
+          if (chunk.size() < chunk_size) return Status::OK();
+          return flush();
+        }));
+  }
+  return flush();
 }
 
 }  // namespace midas

@@ -1,7 +1,10 @@
 #ifndef MIDAS_QUERY_ENUMERATOR_H_
 #define MIDAS_QUERY_ENUMERATOR_H_
 
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "federation/federation.h"
@@ -17,6 +20,35 @@ struct EnumeratorOptions {
   /// Hard cap on the number of emitted plans (guards combinatorial
   /// explosion for many-join queries).
   size_t max_plans = 20000;
+};
+
+/// \brief One disjoint slice of the physical plan space, produced by
+/// `PlanEnumerator::PartitionShards`.
+///
+/// The plan space factors into *strata*: one per (join-order variant ×
+/// compute placement × leading VM-count digit) triple, where the leading
+/// digit is the slowest-moving position of the per-site VM-count counter.
+/// Serial enumeration visits strata in ascending `Stratum::index` order
+/// and the plans inside one stratum contiguously, so every feasible plan
+/// has a *global sequence number* — its 0-based emission index in
+/// `EnumeratePhysical` order — computable per stratum in closed form
+/// without enumerating anything. A shard owns whole strata; shards from
+/// one `PartitionShards` call are disjoint and together cover exactly the
+/// serial emission sequence (max_plans cap included).
+struct EnumerationShard {
+  struct Stratum {
+    /// Position in the (variant × compute × leading-digit) grid, in
+    /// serial enumeration order.
+    size_t index = 0;
+    /// Global sequence number of this stratum's first feasible plan.
+    uint64_t seq_base = 0;
+    /// Feasible plans the stratum emits (after the global max_plans cap).
+    uint64_t feasible = 0;
+  };
+  /// Owned strata, ascending by `index`.
+  std::vector<Stratum> strata;
+  /// Total plans this shard emits (sum of `Stratum::feasible`).
+  uint64_t planned_emissions = 0;
 };
 
 /// \brief Generates the set P of equivalent physical QEPs for a logical
@@ -38,6 +70,14 @@ class PlanEnumerator {
   /// enumeration and propagates out of `EnumerateChunked`.
   using ChunkVisitor = std::function<Status(std::vector<QueryPlan>&& chunk)>;
 
+  /// Receives one batch of annotated physical plans plus each plan's
+  /// global sequence number (`seqs[i]` is `chunk[i]`'s 0-based emission
+  /// index in `EnumeratePhysical` order). Returning a non-OK status
+  /// aborts the enumeration and propagates out of
+  /// `EnumerateShardChunked`.
+  using SequencedChunkVisitor = std::function<Status(
+      std::vector<QueryPlan>&& chunk, std::vector<uint64_t>&& seqs)>;
+
   /// Emits fully annotated physical plans with cardinalities estimated.
   /// The logical plan must validate and every scanned table must have a
   /// placement in the federation.
@@ -54,12 +94,87 @@ class PlanEnumerator {
   Status EnumerateChunked(const QueryPlan& logical, size_t chunk_size,
                           const ChunkVisitor& visitor) const;
 
+  /// Deterministically splits the plan space of `logical` into
+  /// `num_shards` disjoint shards of whole strata, balanced by feasible
+  /// plan count (greedy longest-processing-time over the closed-form
+  /// stratum sizes, ties to the lower shard id). The union of the shards
+  /// is exactly the serial emission sequence of `EnumeratePhysical` —
+  /// same plans, same global sequence numbers, same max_plans cap.
+  /// Shards may come back empty when there are fewer non-empty strata
+  /// than shards. Fails with `EnumeratePhysical`'s resolution errors,
+  /// with "no feasible physical plan" when the whole space is infeasible,
+  /// and rejects `num_shards == 0`.
+  StatusOr<std::vector<EnumerationShard>> PartitionShards(
+      const QueryPlan& logical, size_t num_shards) const;
+
+  /// Streams one shard: enumerates exactly the plans of the shard's
+  /// strata (in ascending stratum order, serial order within each) and
+  /// hands them to `visitor` in batches of at most `chunk_size` together
+  /// with their global sequence numbers. Unlike `EnumerateChunked` an
+  /// empty shard is not an error — infeasibility of the whole space is
+  /// `PartitionShards`'s job. The shard must come from `PartitionShards`
+  /// on the same enumerator and logical plan.
+  Status EnumerateShardChunked(const QueryPlan& logical,
+                               const EnumerationShard& shard,
+                               size_t chunk_size,
+                               const SequencedChunkVisitor& visitor) const;
+
   /// Example 3.1: number of distinct (vCPU, memory-GiB) execution
   /// configurations available from a resource pool — 70 x 260 = 18,200.
   static uint64_t CountResourceConfigurations(int vcpu_pool,
                                               int memory_gib_pool);
 
  private:
+  struct Compute {
+    SiteId site;
+    EngineKind engine;
+  };
+
+  /// Everything `logical`'s plan space depends on, resolved once per
+  /// enumeration: table placements, candidate computes, join-order
+  /// variants. The stratum grid is
+  /// `variants × computes × node_counts` (leading digit last,
+  /// `Stratum::index = (v * |computes| + c) * |node_counts| + digit`).
+  struct EnumerationSpace {
+    std::vector<SiteId> data_sites;
+    std::vector<std::pair<std::string, Federation::Placement>> placements;
+    std::vector<Compute> computes;
+    std::vector<QueryPlan> variants;
+    /// True when the plan has at least one non-scan operator, i.e. the
+    /// compute site actually hosts work and constrains feasibility.
+    bool has_compute_node = false;
+  };
+
+  /// Per-stratum derived state: the participating sites and which VM
+  /// counts each of them admits.
+  struct StratumSpec {
+    size_t variant = 0;
+    size_t compute = 0;
+    size_t leading_digit = 0;
+    std::vector<SiteId> used_sites;
+    /// allowed[i][k] — may site used_sites[i] run with node_counts[k]?
+    /// (Always true for a site hosting no operator of the plan.)
+    std::vector<std::vector<char>> allowed;
+  };
+
+  Status ResolveSpace(const QueryPlan& logical, EnumerationSpace* space) const;
+
+  StatusOr<StratumSpec> MakeStratumSpec(const EnumerationSpace& space,
+                                        size_t stratum_index) const;
+
+  /// Closed-form number of feasible plans in a stratum (before the
+  /// max_plans cap): the product over participating sites of the number
+  /// of admissible VM counts, with the leading digit pinned.
+  static uint64_t StratumFeasibleCount(const StratumSpec& spec);
+
+  /// Emits every feasible plan of one stratum in serial order, assigning
+  /// consecutive global sequence numbers from `*next_seq` and honouring
+  /// the global `options_.max_plans` cap.
+  Status EnumerateStratum(
+      const EnumerationSpace& space, const StratumSpec& spec,
+      uint64_t* next_seq,
+      const std::function<Status(QueryPlan&&, uint64_t)>& emit) const;
+
   /// Shared generator core: invokes `emit` once per feasible annotated
   /// plan, stopping after `options_.max_plans` emissions.
   Status ForEachPhysical(

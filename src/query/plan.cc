@@ -23,6 +23,82 @@ std::string OperatorKindName(OperatorKind kind) {
   return "?";
 }
 
+namespace {
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MIDAS_PLAN_NODE_POOL_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MIDAS_PLAN_NODE_POOL_DISABLED 1
+#endif
+#endif
+
+#ifndef MIDAS_PLAN_NODE_POOL_DISABLED
+
+// Slab pool behind PlanNode::operator new/delete. Each thread owns a free
+// list of fixed-size slots; an empty list is refilled by carving a fresh
+// slab from the global heap (one ::operator new per kSlabNodes nodes).
+// Slots freed on a thread re-enter only that thread's list, so the hot
+// path is entirely lock- and atomic-free; cross-thread handoff of the
+// node itself is the caller's synchronisation, as with any allocator.
+// Slabs are intentionally retained for the process lifetime: static
+// destructors may still free PlanNodes, and the per-node amortised cost
+// is what matters, not slab reclamation.
+struct FreeSlot {
+  FreeSlot* next;
+};
+
+constexpr size_t kSlabNodes = 256;
+constexpr size_t kSlotSize =
+    sizeof(PlanNode) > sizeof(FreeSlot) ? sizeof(PlanNode) : sizeof(FreeSlot);
+
+thread_local FreeSlot* t_free_list = nullptr;
+
+void* PoolAllocate() {
+  if (t_free_list == nullptr) {
+    // sizeof(PlanNode) is a multiple of its alignment and ::operator new
+    // returns max_align_t-aligned storage, so consecutive slots are
+    // correctly aligned for PlanNode.
+    char* slab = static_cast<char*>(::operator new(kSlabNodes * kSlotSize));
+    for (size_t i = kSlabNodes; i > 0; --i) {
+      auto* slot = reinterpret_cast<FreeSlot*>(slab + (i - 1) * kSlotSize);
+      slot->next = t_free_list;
+      t_free_list = slot;
+    }
+  }
+  FreeSlot* slot = t_free_list;
+  t_free_list = slot->next;
+  return slot;
+}
+
+void PoolFree(void* ptr) {
+  auto* slot = static_cast<FreeSlot*>(ptr);
+  slot->next = t_free_list;
+  t_free_list = slot;
+}
+
+#endif  // MIDAS_PLAN_NODE_POOL_DISABLED
+
+}  // namespace
+
+void* PlanNode::operator new(size_t size) {
+#ifndef MIDAS_PLAN_NODE_POOL_DISABLED
+  if (size == sizeof(PlanNode)) return PoolAllocate();
+#endif
+  return ::operator new(size);
+}
+
+void PlanNode::operator delete(void* ptr, size_t size) noexcept {
+  if (ptr == nullptr) return;
+#ifndef MIDAS_PLAN_NODE_POOL_DISABLED
+  if (size == sizeof(PlanNode)) {
+    PoolFree(ptr);
+    return;
+  }
+#endif
+  ::operator delete(ptr, size);
+}
+
 std::unique_ptr<PlanNode> PlanNode::Clone() const {
   auto copy = CloneShallow();
   copy->children.reserve(children.size());

@@ -55,6 +55,15 @@ struct PlanNode {
 
   std::vector<std::unique_ptr<PlanNode>> children;
 
+  /// Pooled allocation: enumeration materialises and frees millions of
+  /// node trees, so PlanNodes draw from slab-backed thread-local free
+  /// lists instead of the global heap — no allocator lock on the shard
+  /// hot path. A freed slot is recycled only by the thread that freed it;
+  /// slabs live for the process lifetime. Disabled under asan/tsan so the
+  /// sanitizers keep full heap instrumentation on nodes.
+  static void* operator new(size_t size);
+  static void operator delete(void* ptr, size_t size) noexcept;
+
   std::unique_ptr<PlanNode> Clone() const;
   /// Copies the node's payload and annotations but none of its children —
   /// for callers (e.g. the enumerator's commutation recursion) that

@@ -103,6 +103,34 @@ TEST(MidasSystemTest, WsmModeRunsEndToEnd) {
   EXPECT_EQ(outcome->moqp.pareto_plans.size(), 1u);
 }
 
+TEST(MidasSystemTest, ShardedRunQueryMatchesSerial) {
+  // RunQuery with moqp.shards != 1 routes through the sharded streaming
+  // pipeline (batched snapshot predictor); at equal seed and history the
+  // optimization outcome must be bit-identical to the serial path.
+  MidasOptions serial_options;
+  serial_options.seed = 321;
+  MidasSystem serial = MakeSystem(serial_options);
+  MidasOptions sharded_options = serial_options;
+  sharded_options.moqp.shards = 2;
+  MidasSystem sharded = MakeSystem(sharded_options);
+
+  QueryPlan query = MakeExample21Query().ValueOrDie();
+  ASSERT_TRUE(serial.Bootstrap("s", query, 16).ok());
+  ASSERT_TRUE(sharded.Bootstrap("s", query, 16).ok());
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto a = serial.RunQuery("s", query, policy);
+  auto b = sharded.RunQuery("s", query, policy);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->moqp.pareto_costs, b->moqp.pareto_costs);
+  EXPECT_EQ(a->moqp.chosen, b->moqp.chosen);
+  EXPECT_EQ(a->moqp.chosen_plan().ToString(), b->moqp.chosen_plan().ToString());
+  EXPECT_EQ(a->predicted, b->predicted);
+  EXPECT_TRUE(a->moqp.shard_stats.empty());
+  EXPECT_EQ(b->moqp.shard_stats.size(), 2u);
+}
+
 TEST(MidasSystemTest, DeterministicWithSameSeed) {
   MidasOptions options;
   options.seed = 777;

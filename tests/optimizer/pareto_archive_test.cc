@@ -151,5 +151,133 @@ TEST(ParetoArchiveTest, ClearEmptiesBothSides) {
   EXPECT_TRUE(archive.Insert({1, 2}, 1));  // not a duplicate after Clear
 }
 
+TEST(ParetoArchiveCoreTest, PlainInsertsCarryArrivalSequences) {
+  ParetoArchiveCore archive;
+  std::vector<size_t> evicted;
+  ASSERT_TRUE(archive.Insert({1, 9}, &evicted));
+  EXPECT_FALSE(archive.Insert({2, 10}, &evicted));  // dominated, still counted
+  ASSERT_TRUE(archive.Insert({9, 1}, &evicted));
+  EXPECT_EQ(archive.seqs(), (std::vector<uint64_t>{0, 2}));
+}
+
+TEST(ParetoArchiveTest, SequencedDuplicateKeepsSmallestSequence) {
+  ParetoArchive<std::string> archive;
+  EXPECT_TRUE(archive.InsertSequenced({1, 2}, 7, "late"));
+  // Same cost, smaller sequence: the member stays put but adopts the
+  // earlier representative's sequence and payload.
+  EXPECT_TRUE(archive.InsertSequenced({1, 2}, 3, "early"));
+  EXPECT_EQ(archive.payloads(), (std::vector<std::string>{"early"}));
+  EXPECT_EQ(archive.seqs(), (std::vector<uint64_t>{3}));
+  EXPECT_EQ(archive.duplicate_replacements(), 1u);
+  // Same cost, larger sequence: plain duplicate rejection.
+  EXPECT_FALSE(archive.InsertSequenced({1, 2}, 5, "later"));
+  EXPECT_EQ(archive.payloads(), (std::vector<std::string>{"early"}));
+  EXPECT_EQ(archive.duplicate_rejections(), 1u);
+}
+
+TEST(ParetoArchiveTest, SortBySequenceRestoresArrivalOrder) {
+  ParetoArchive<int> archive;
+  EXPECT_TRUE(archive.InsertSequenced({9, 1}, 5, 5));
+  EXPECT_TRUE(archive.InsertSequenced({1, 9}, 0, 0));
+  EXPECT_TRUE(archive.InsertSequenced({5, 5}, 2, 2));
+  archive.SortBySequence();
+  EXPECT_EQ(archive.costs(), (std::vector<Vector>{{1, 9}, {5, 5}, {9, 1}}));
+  EXPECT_EQ(archive.payloads(), (std::vector<int>{0, 2, 5}));
+  EXPECT_EQ(archive.seqs(), (std::vector<uint64_t>{0, 2, 5}));
+}
+
+// Single-pass reference for the merge suites: every cost in stream order
+// through one archive, then payload ids compared against the merged
+// result.
+void SinglePassArchive(const std::vector<Vector>& costs,
+                       ParetoArchive<int>* archive) {
+  for (size_t i = 0; i < costs.size(); ++i) {
+    archive->Insert(costs[i], static_cast<int>(i));
+  }
+}
+
+// The satellite's randomized MergeFrom oracle: split the stream K ways
+// (round-robin), fold each slice into its own archive with explicit
+// global sequences, tree-merge the slices in several shuffled orders, and
+// demand the result equals both the single-pass archive and the
+// materialized ReferenceFront.
+TEST(ParetoArchiveTest, ShardedMergeMatchesSinglePassAndReferenceRandomized) {
+  Rng rng(4242);
+  for (size_t n : {size_t{1}, size_t{37}, size_t{200}, size_t{500}}) {
+    for (size_t arity : {size_t{2}, size_t{3}}) {
+      for (size_t k : {size_t{2}, size_t{3}, size_t{7}}) {
+        std::vector<Vector> costs(n, Vector(arity));
+        for (Vector& c : costs) {
+          for (double& v : c) v = static_cast<double>(rng.UniformInt(0, 6));
+        }
+        ParetoArchive<int> single;
+        SinglePassArchive(costs, &single);
+        std::vector<Vector> want_costs;
+        std::vector<int> want_ids;
+        ReferenceFront(costs, &want_costs, &want_ids);
+        ASSERT_EQ(single.costs(), want_costs) << "n=" << n << " k=" << k;
+
+        for (int shuffle = 0; shuffle < 4; ++shuffle) {
+          // Build K shard archives over a round-robin split of the
+          // stream, inserting each shard's costs in stream order.
+          std::vector<ParetoArchive<int>> shards(k);
+          for (size_t i = 0; i < n; ++i) {
+            shards[i % k].InsertSequenced(costs[i], i, static_cast<int>(i));
+          }
+          // Merge in a random tree order: repeatedly fold a random
+          // archive into another random one.
+          while (shards.size() > 1) {
+            const size_t into = static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int>(shards.size()) - 1));
+            size_t from = static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int>(shards.size()) - 2));
+            if (from >= into) ++from;
+            shards[into].MergeFrom(std::move(shards[from]));
+            shards.erase(shards.begin() + static_cast<long>(from));
+          }
+          shards.front().SortBySequence();
+          EXPECT_EQ(shards.front().costs(), want_costs)
+              << "n=" << n << " arity=" << arity << " k=" << k
+              << " shuffle=" << shuffle;
+          EXPECT_EQ(shards.front().payloads(), want_ids)
+              << "n=" << n << " arity=" << arity << " k=" << k
+              << " shuffle=" << shuffle;
+        }
+
+        // MergeTree: same members through the deterministic balanced tree.
+        std::vector<ParetoArchive<int>> shards(k);
+        for (size_t i = 0; i < n; ++i) {
+          shards[i % k].InsertSequenced(costs[i], i, static_cast<int>(i));
+        }
+        ParetoArchive<int> merged =
+            ParetoArchive<int>::MergeTree(std::move(shards));
+        merged.SortBySequence();
+        EXPECT_EQ(merged.costs(), want_costs) << "n=" << n << " k=" << k;
+        EXPECT_EQ(merged.payloads(), want_ids) << "n=" << n << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(ParetoArchiveTest, MergeTreeOfEmptyInputIsEmpty) {
+  ParetoArchive<int> merged = ParetoArchive<int>::MergeTree({});
+  EXPECT_TRUE(merged.empty());
+  std::vector<ParetoArchive<int>> empties(3);
+  merged = ParetoArchive<int>::MergeTree(std::move(empties));
+  EXPECT_TRUE(merged.empty());
+}
+
+TEST(ParetoArchiveTest, MergeFromDrainsSourceAndCountsInserts) {
+  ParetoArchive<int> a;
+  ParetoArchive<int> b;
+  ASSERT_TRUE(a.InsertSequenced({1, 9}, 0, 0));
+  ASSERT_TRUE(b.InsertSequenced({9, 1}, 1, 1));
+  ASSERT_TRUE(b.InsertSequenced({5, 5}, 2, 2));
+  a.MergeFrom(std::move(b));
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.considered(), 3u);  // 1 direct + 2 merged-in offers
+}
+
 }  // namespace
 }  // namespace midas

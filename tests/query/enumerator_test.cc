@@ -1,5 +1,7 @@
 #include "query/enumerator.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
@@ -260,6 +262,161 @@ TEST(EnumeratorTest, ChunkedReportsNoFeasiblePlan) {
         return Status::OK();
       });
   EXPECT_FALSE(status.ok());
+  EXPECT_EQ(calls, 0u);
+}
+
+// Runs every shard and returns plan strings indexed by global sequence
+// number, verifying chunk/seq alignment along the way.
+std::vector<std::string> CollectSharded(
+    const PlanEnumerator& enumerator, const QueryPlan& logical,
+    const std::vector<EnumerationShard>& shards, size_t total,
+    size_t chunk_size) {
+  std::vector<std::string> by_seq(total);
+  std::vector<char> seen(total, 0);
+  for (const EnumerationShard& shard : shards) {
+    uint64_t emitted = 0;
+    auto status = enumerator.EnumerateShardChunked(
+        logical, shard, chunk_size,
+        [&](std::vector<QueryPlan>&& chunk,
+            std::vector<uint64_t>&& seqs) -> Status {
+          EXPECT_FALSE(chunk.empty());
+          EXPECT_LE(chunk.size(), chunk_size);
+          EXPECT_EQ(chunk.size(), seqs.size());
+          for (size_t i = 0; i < chunk.size(); ++i) {
+            EXPECT_LT(seqs[i], total);
+            EXPECT_EQ(seen[seqs[i]], 0) << "duplicate seq " << seqs[i];
+            seen[seqs[i]] = 1;
+            by_seq[seqs[i]] = chunk[i].ToString();
+          }
+          emitted += chunk.size();
+          return Status::OK();
+        });
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(emitted, shard.planned_emissions);
+  }
+  for (char s : seen) EXPECT_EQ(s, 1);  // shards cover the space exactly
+  return by_seq;
+}
+
+TEST(EnumeratorTest, ShardsReassembleSerialEnumerationExactly) {
+  Environment env = MakeEnvironment();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  auto all = enumerator.EnumeratePhysical(JoinPlan());
+  ASSERT_TRUE(all.ok());
+  const std::vector<std::string> want = PlanStrings(*all);
+  ASSERT_FALSE(want.empty());
+
+  for (size_t num_shards : {size_t{1}, size_t{2}, size_t{3}, size_t{8}}) {
+    auto shards = enumerator.PartitionShards(JoinPlan(), num_shards);
+    ASSERT_TRUE(shards.ok()) << "shards=" << num_shards;
+    ASSERT_EQ(shards->size(), num_shards);
+    uint64_t planned = 0;
+    for (const EnumerationShard& shard : *shards) {
+      planned += shard.planned_emissions;
+      // Strata ascend by index and planned_emissions is their sum.
+      uint64_t from_strata = 0;
+      for (size_t i = 0; i < shard.strata.size(); ++i) {
+        from_strata += shard.strata[i].feasible;
+        if (i > 0) {
+          EXPECT_LT(shard.strata[i - 1].index, shard.strata[i].index);
+        }
+      }
+      EXPECT_EQ(from_strata, shard.planned_emissions);
+    }
+    EXPECT_EQ(planned, want.size()) << "shards=" << num_shards;
+    const std::vector<std::string> got = CollectSharded(
+        enumerator, JoinPlan(), *shards, want.size(), /*chunk_size=*/3);
+    EXPECT_EQ(got, want) << "shards=" << num_shards;
+  }
+}
+
+TEST(EnumeratorTest, ShardsRespectMaxPlansCap) {
+  Environment env = MakeEnvironment();
+  EnumeratorOptions options;
+  options.max_plans = 5;
+  PlanEnumerator enumerator(&env.federation, &env.catalog, options);
+  auto capped = enumerator.EnumeratePhysical(JoinPlan());
+  ASSERT_TRUE(capped.ok());
+  ASSERT_EQ(capped->size(), 5u);
+
+  auto shards = enumerator.PartitionShards(JoinPlan(), 3);
+  ASSERT_TRUE(shards.ok());
+  uint64_t planned = 0;
+  for (const EnumerationShard& shard : *shards) {
+    planned += shard.planned_emissions;
+  }
+  EXPECT_EQ(planned, 5u);
+  // The union of the shards is exactly the first max_plans serial plans.
+  const std::vector<std::string> got =
+      CollectSharded(enumerator, JoinPlan(), *shards, 5, /*chunk_size=*/2);
+  EXPECT_EQ(got, PlanStrings(*capped));
+}
+
+TEST(EnumeratorTest, PartitionShardsBalancesAndIsDeterministic) {
+  Environment env = MakeEnvironment();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  auto first = enumerator.PartitionShards(JoinPlan(), 4);
+  auto second = enumerator.PartitionShards(JoinPlan(), 4);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(first->size(), second->size());
+  for (size_t s = 0; s < first->size(); ++s) {
+    EXPECT_EQ((*first)[s].planned_emissions, (*second)[s].planned_emissions);
+    ASSERT_EQ((*first)[s].strata.size(), (*second)[s].strata.size());
+    for (size_t i = 0; i < (*first)[s].strata.size(); ++i) {
+      EXPECT_EQ((*first)[s].strata[i].index, (*second)[s].strata[i].index);
+      EXPECT_EQ((*first)[s].strata[i].seq_base,
+                (*second)[s].strata[i].seq_base);
+    }
+  }
+  // No shard should carry everything when there are enough strata.
+  uint64_t total = 0;
+  uint64_t largest = 0;
+  for (const EnumerationShard& shard : *first) {
+    total += shard.planned_emissions;
+    largest = std::max(largest, shard.planned_emissions);
+  }
+  EXPECT_LT(largest, total);
+}
+
+TEST(EnumeratorTest, PartitionShardsErrors) {
+  Environment env = MakeEnvironment();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  EXPECT_FALSE(enumerator.PartitionShards(JoinPlan(), 0).ok());
+
+  EnumeratorOptions infeasible;
+  infeasible.node_counts = {16};  // exceeds both sites' max of 8
+  PlanEnumerator bad(&env.federation, &env.catalog, infeasible);
+  auto shards = bad.PartitionShards(JoinPlan(), 2);
+  EXPECT_FALSE(shards.ok());  // same "no feasible physical plan" as serial
+}
+
+TEST(EnumeratorTest, ShardChunkedRejectsBadArguments) {
+  Environment env = MakeEnvironment();
+  PlanEnumerator enumerator(&env.federation, &env.catalog);
+  auto shards = enumerator.PartitionShards(JoinPlan(), 2);
+  ASSERT_TRUE(shards.ok());
+  auto noop = [](std::vector<QueryPlan>&&, std::vector<uint64_t>&&) {
+    return Status::OK();
+  };
+  EXPECT_FALSE(
+      enumerator.EnumerateShardChunked(JoinPlan(), (*shards)[0], 0, noop)
+          .ok());
+  EXPECT_FALSE(enumerator
+                   .EnumerateShardChunked(JoinPlan(), (*shards)[0], 4,
+                                          PlanEnumerator::SequencedChunkVisitor())
+                   .ok());
+  // An empty shard is fine: no chunks, no error.
+  EnumerationShard empty;
+  size_t calls = 0;
+  EXPECT_TRUE(enumerator
+                  .EnumerateShardChunked(
+                      JoinPlan(), empty, 4,
+                      [&](std::vector<QueryPlan>&&, std::vector<uint64_t>&&) {
+                        ++calls;
+                        return Status::OK();
+                      })
+                  .ok());
   EXPECT_EQ(calls, 0u);
 }
 
