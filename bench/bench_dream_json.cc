@@ -15,6 +15,7 @@
 
 #include "common/random.h"
 #include "regression/dream.h"
+#include "bench_env_common.h"
 
 namespace midas {
 namespace {
@@ -67,6 +68,7 @@ int Run(const char* out_path) {
   const std::vector<size_t> caps = {32, 128, 512, 2048};
   std::string json = "{\n";
   json += "  \"benchmark\": \"dream_window_growth\",\n";
+  json += "  \"git_commit\": \"" + GitCommitOrUnknown() + "\",\n";
   json += "  \"features\": 4,\n";
   json += "  \"metrics\": 2,\n";
   json +=

@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 #include <vector>
+#include "bench_env_common.h"
 
 #include "common/random.h"
 #include "common/text_table.h"
@@ -206,6 +207,7 @@ void RunStreamingComparison(std::ostream& out,
 void WriteStreamJson(const std::vector<StreamRow>& rows, int reps,
                      std::ostream& out) {
   out << "{\n  \"benchmark\": \"moqp_streaming_enumeration\",\n";
+  out << "  \"git_commit\": \"" << GitCommitOrUnknown() << "\",\n";
   out << "  \"setup\": \"two-table join over a two-cloud federation, VM "
          "counts 1-32 per site (Example 3.1 scale); linear batch "
          "predictor; materialize-everything Optimize vs chunked "

@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "engine/simulator.h"
 #include "linalg/matrix.h"
+#include "linalg/simd.h"
 #include "optimizer/nsga2.h"
 #include "query/enumerator.h"
 #include "regression/dream.h"
@@ -136,6 +137,77 @@ void BM_GemmBlocked(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(256)->Arg(1024)
     ->Unit(benchmark::kMicrosecond);
+
+void BM_GemmBlockedScalar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Matrix a = RandomSquare(n, 51);
+  const Matrix b = RandomSquare(n, 52);
+  Matrix out;
+  simd::SetForceScalar(true);
+  for (auto _ : state) {
+    a.MultiplyInto(b, &out).CheckOK();
+    benchmark::DoNotOptimize(out);
+  }
+  simd::SetForceScalar(false);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n *
+                          n);
+}
+BENCHMARK(BM_GemmBlockedScalar)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- SIMD kernel tiers -----------------------------------------------------
+//
+// Each pair runs the same kernel with the dispatched vector tier and with
+// the scalar tier pinned (simd::SetForceScalar), so one report shows the
+// per-kernel speedup of the active ISA. BM_Gemm{Blocked,BlockedScalar}
+// above are the GEMM pair.
+
+void DotBody(benchmark::State& state, bool scalar) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(61);
+  Vector a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(-1, 1);
+    b[i] = rng.Uniform(-1, 1);
+  }
+  simd::SetForceScalar(scalar);
+  for (auto _ : state) {
+    double d = Dot(a, b);
+    benchmark::DoNotOptimize(d);
+  }
+  simd::SetForceScalar(false);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+
+void BM_DotSimd(benchmark::State& state) { DotBody(state, false); }
+BENCHMARK(BM_DotSimd)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_DotScalar(benchmark::State& state) { DotBody(state, true); }
+BENCHMARK(BM_DotScalar)->Arg(64)->Arg(1024)->Arg(16384);
+
+void GramBody(benchmark::State& state, bool scalar) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  const size_t cols = static_cast<size_t>(state.range(1));
+  Rng rng(62);
+  Matrix x(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) x(r, c) = rng.Uniform(-1, 1);
+  }
+  simd::SetForceScalar(scalar);
+  for (auto _ : state) {
+    Matrix g = x.Gram();
+    benchmark::DoNotOptimize(g);
+  }
+  simd::SetForceScalar(false);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows *
+                          cols * cols);
+}
+
+void BM_GramSimd(benchmark::State& state) { GramBody(state, false); }
+BENCHMARK(BM_GramSimd)->Args({256, 16})->Args({1024, 64});
+
+void BM_GramScalar(benchmark::State& state) { GramBody(state, true); }
+BENCHMARK(BM_GramScalar)->Args({256, 16})->Args({1024, 64});
 
 void BM_DreamPredict(benchmark::State& state) {
   TrainingSet history = MakeHistory(50);

@@ -17,6 +17,7 @@
 #include <string>
 #include <thread>
 #include <vector>
+#include "bench_env_common.h"
 
 #include "common/statistics.h"
 #include "common/text_table.h"
@@ -231,6 +232,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     json << "{\n  \"benchmark\": \"moqp_sharded_streaming\",\n";
+    json << "  \"git_commit\": \"" << GitCommitOrUnknown() << "\",\n";
     json << "  \"setup\": \"3-table chain join over a 3-cloud federation, "
             "VM counts 1-"
          << max_nodes

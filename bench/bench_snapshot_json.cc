@@ -17,6 +17,7 @@
 #include <string>
 #include <thread>
 #include <vector>
+#include "bench_env_common.h"
 
 #include "common/random.h"
 #include "ires/modelling.h"
@@ -151,6 +152,7 @@ int Run(const char* out_path) {
   const std::vector<int> reader_counts = {1, 4, 16};
   std::string json = "{\n";
   json += "  \"benchmark\": \"snapshot_reader_scaling\",\n";
+  json += "  \"git_commit\": \"" + GitCommitOrUnknown() + "\",\n";
   char header[512];
   std::snprintf(header, sizeof(header),
                 "  \"hardware_concurrency\": %u,\n"

@@ -17,13 +17,20 @@
 # TrainingWindow use-after-mutation death tests arm themselves in the
 # asan/tsan builds (MIDAS_TRAINING_WINDOW_CHECKS; GCC exposes no UBSan
 # detection macro, so the pure-ubsan preset skips them).
+#
+# The force-scalar preset compiles the SIMD vector tiers out entirely
+# (MIDAS_FORCE_SCALAR=ON) and reruns the whole suite, so the bitwise
+# batch==scalar / shard==serial equivalence gates are exercised with the
+# pinned scalar kernels on every change, alongside the default preset
+# where the same suites run as 1e-12-tolerance gates against the
+# dispatched vector tier.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="${JOBS:-$(nproc)}"
 cd "$repo_root"
 
-for preset in default asan ubsan tsan; do
+for preset in default force-scalar asan ubsan tsan; do
   echo "=== preset: $preset ==="
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$jobs"

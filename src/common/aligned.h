@@ -1,0 +1,71 @@
+#ifndef MIDAS_COMMON_ALIGNED_H_
+#define MIDAS_COMMON_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace midas {
+
+/// \brief Minimal stateless allocator handing out storage aligned to
+/// `Alignment` bytes (default: one cache line, which also covers the widest
+/// vector registers the kernel layer targets).
+///
+/// Backing the linalg containers with it means SIMD loads of a row never
+/// straddle a cache line at the row base. The allocator is stateless and
+/// always-equal, so containers over it copy, move and compare exactly like
+/// their default-allocator counterparts.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "alignment below the type's own");
+
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+  using propagate_on_container_move_assignment = std::true_type;
+  using is_always_equal = std::true_type;
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(size_type n) {
+    if (n == 0) return nullptr;
+    if (n > static_cast<size_type>(-1) / sizeof(T)) throw std::bad_alloc();
+    // Aligned size must be a multiple of the alignment for std::aligned_alloc.
+    const size_type bytes = (n * sizeof(T) + Alignment - 1) & ~(Alignment - 1);
+    void* p = std::aligned_alloc(Alignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, size_type) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// A std::vector whose buffer starts on a 64-byte boundary. `midas::Vector`
+/// (linalg/matrix.h) is an alias of AlignedVector<double>, so headers below
+/// the linalg layer can name the same type without including it.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_ALIGNED_H_

@@ -1,0 +1,57 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace midas {
+
+const char* SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kAvx2Fma:
+      return "avx2+fma";
+    case SimdTier::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+namespace {
+
+SimdTier ProbeCpu() {
+#if defined(MIDAS_FORCE_SCALAR)
+  // Build-time pin: the vector tiers are compiled out entirely, so the
+  // probe must never advertise them.
+  return SimdTier::kScalar;
+#elif defined(__x86_64__) && defined(__GNUC__)
+  // The AVX2 kernels are compiled with per-function target attributes, so
+  // the binary runs on any x86-64; the CPUID probe decides per host.
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdTier::kAvx2Fma;
+  }
+  return SimdTier::kScalar;
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+  // Advanced SIMD is architecturally mandatory on aarch64.
+  return SimdTier::kNeon;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+}  // namespace
+
+SimdTier DetectCpuSimdTier() {
+  static const SimdTier tier = ProbeCpu();
+  return tier;
+}
+
+bool ForceScalarRequestedByEnv() {
+  static const bool force = [] {
+    const char* v = std::getenv("MIDAS_FORCE_SCALAR");
+    return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+  }();
+  return force;
+}
+
+}  // namespace midas

@@ -1,0 +1,35 @@
+#ifndef MIDAS_COMMON_CPU_FEATURES_H_
+#define MIDAS_COMMON_CPU_FEATURES_H_
+
+namespace midas {
+
+/// \brief The instruction-set tiers the vectorized kernel layer
+/// (linalg/simd.h) can dispatch to. Exactly one tier is active per process;
+/// kScalar is always available and is the bit-exact reference the other
+/// tiers are tested against.
+enum class SimdTier {
+  kScalar = 0,   ///< portable scalar loops (the seed kernels)
+  kAvx2Fma = 1,  ///< x86-64 with AVX2 + FMA3 (4 doubles / register)
+  kNeon = 2,     ///< aarch64 Advanced SIMD (2 doubles / register)
+};
+
+/// Stable lowercase name for logs and the BENCH_*.json emitters.
+const char* SimdTierName(SimdTier tier);
+
+/// One-shot hardware probe: the widest tier this binary can run on this
+/// CPU, ignoring every override knob. Compile-time ISA selection bounds the
+/// answer (an aarch64 build never reports AVX2 and vice versa); the runtime
+/// CPUID check lowers it further on hosts without the feature. The probe
+/// runs once and is cached — subsequent calls are a load.
+SimdTier DetectCpuSimdTier();
+
+/// True when the MIDAS_FORCE_SCALAR environment variable is set to a value
+/// other than "" or "0" — the reproducibility knob that pins the process to
+/// the bit-exact scalar kernels. Read once and cached; flipping the
+/// environment after startup has no effect (use linalg's
+/// simd::SetForceScalar for in-process control, e.g. from tests).
+bool ForceScalarRequestedByEnv();
+
+}  // namespace midas
+
+#endif  // MIDAS_COMMON_CPU_FEATURES_H_

@@ -34,7 +34,7 @@ void CsvWriter::AddRow(std::vector<std::string> row) {
   rows_.push_back(std::move(row));
 }
 
-void CsvWriter::AddRow(const std::vector<double>& values) {
+void CsvWriter::AddRow(std::span<const double> values) {
   std::vector<std::string> row;
   row.reserve(values.size());
   for (double v : values) {

@@ -1,6 +1,8 @@
 #ifndef MIDAS_COMMON_CSV_H_
 #define MIDAS_COMMON_CSV_H_
 
+#include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,7 +19,10 @@ class CsvWriter {
   explicit CsvWriter(std::vector<std::string> header);
 
   void AddRow(std::vector<std::string> row);
-  void AddRow(const std::vector<double>& values);
+  void AddRow(std::span<const double> values);
+  void AddRow(std::initializer_list<double> values) {
+    AddRow(std::span<const double>(values.begin(), values.size()));
+  }
 
   /// Serialises header + rows.
   std::string ToString() const;

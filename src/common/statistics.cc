@@ -3,17 +3,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <vector>
 
 namespace midas {
 
-StatusOr<double> Mean(const std::vector<double>& v) {
+StatusOr<double> Mean(std::span<const double> v) {
   if (v.empty()) return Status::InvalidArgument("Mean of empty vector");
   double sum = 0.0;
   for (double x : v) sum += x;
   return sum / static_cast<double>(v.size());
 }
 
-StatusOr<double> Variance(const std::vector<double>& v) {
+StatusOr<double> Variance(std::span<const double> v) {
   if (v.size() < 2) {
     return Status::InvalidArgument("Variance requires at least two values");
   }
@@ -23,40 +24,41 @@ StatusOr<double> Variance(const std::vector<double>& v) {
   return ss / static_cast<double>(v.size() - 1);
 }
 
-StatusOr<double> StdDev(const std::vector<double>& v) {
+StatusOr<double> StdDev(std::span<const double> v) {
   MIDAS_ASSIGN_OR_RETURN(double var, Variance(v));
   return std::sqrt(var);
 }
 
-StatusOr<double> Min(const std::vector<double>& v) {
+StatusOr<double> Min(std::span<const double> v) {
   if (v.empty()) return Status::InvalidArgument("Min of empty vector");
   return *std::min_element(v.begin(), v.end());
 }
 
-StatusOr<double> Max(const std::vector<double>& v) {
+StatusOr<double> Max(std::span<const double> v) {
   if (v.empty()) return Status::InvalidArgument("Max of empty vector");
   return *std::max_element(v.begin(), v.end());
 }
 
-StatusOr<double> Quantile(std::vector<double> v, double q) {
+StatusOr<double> Quantile(std::span<const double> v, double q) {
   if (v.empty()) return Status::InvalidArgument("Quantile of empty vector");
   if (q < 0.0 || q > 1.0) {
     return Status::InvalidArgument("Quantile q must be in [0, 1]");
   }
-  std::sort(v.begin(), v.end());
-  const double pos = q * static_cast<double>(v.size() - 1);
+  std::vector<double> sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
-StatusOr<double> Median(std::vector<double> v) {
-  return Quantile(std::move(v), 0.5);
+StatusOr<double> Median(std::span<const double> v) {
+  return Quantile(v, 0.5);
 }
 
-StatusOr<double> MeanRelativeError(const std::vector<double>& predicted,
-                                   const std::vector<double>& actual) {
+StatusOr<double> MeanRelativeError(std::span<const double> predicted,
+                                   std::span<const double> actual) {
   if (predicted.size() != actual.size()) {
     return Status::InvalidArgument("MRE: size mismatch");
   }
@@ -73,8 +75,8 @@ StatusOr<double> MeanRelativeError(const std::vector<double>& predicted,
   return sum / static_cast<double>(predicted.size());
 }
 
-StatusOr<double> RootMeanSquaredError(const std::vector<double>& predicted,
-                                      const std::vector<double>& actual) {
+StatusOr<double> RootMeanSquaredError(std::span<const double> predicted,
+                                      std::span<const double> actual) {
   if (predicted.size() != actual.size()) {
     return Status::InvalidArgument("RMSE: size mismatch");
   }
@@ -89,8 +91,8 @@ StatusOr<double> RootMeanSquaredError(const std::vector<double>& predicted,
   return std::sqrt(ss / static_cast<double>(predicted.size()));
 }
 
-StatusOr<double> PearsonCorrelation(const std::vector<double>& a,
-                                    const std::vector<double>& b) {
+StatusOr<double> PearsonCorrelation(std::span<const double> a,
+                                    std::span<const double> b) {
   if (a.size() != b.size()) {
     return Status::InvalidArgument("Correlation: size mismatch");
   }

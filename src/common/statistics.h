@@ -2,43 +2,84 @@
 #define MIDAS_COMMON_STATISTICS_H_
 
 #include <cstddef>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
 
 namespace midas {
 
-/// Descriptive statistics over vectors of doubles. All functions return an
-/// error on empty input rather than NaN so that callers surface mistakes
-/// early.
+/// Descriptive statistics over sequences of doubles. Parameters are
+/// std::span so both std::vector<double> and the 64-byte-aligned linalg
+/// Vector bind without copies. All functions return an error on empty
+/// input rather than NaN so that callers surface mistakes early.
 
-StatusOr<double> Mean(const std::vector<double>& v);
+StatusOr<double> Mean(std::span<const double> v);
 
 /// Sample variance (divides by n-1); requires at least two values.
-StatusOr<double> Variance(const std::vector<double>& v);
+StatusOr<double> Variance(std::span<const double> v);
 
-StatusOr<double> StdDev(const std::vector<double>& v);
+StatusOr<double> StdDev(std::span<const double> v);
 
-StatusOr<double> Min(const std::vector<double>& v);
-StatusOr<double> Max(const std::vector<double>& v);
+StatusOr<double> Min(std::span<const double> v);
+StatusOr<double> Max(std::span<const double> v);
 
-/// Linear-interpolation quantile, q in [0, 1].
-StatusOr<double> Quantile(std::vector<double> v, double q);
-StatusOr<double> Median(std::vector<double> v);
+/// Linear-interpolation quantile, q in [0, 1]. Copies the input to sort.
+StatusOr<double> Quantile(std::span<const double> v, double q);
+StatusOr<double> Median(std::span<const double> v);
 
 /// Mean Relative Error (Eq. 15 of the paper):
 ///   (1/M) * sum_i |predicted_i - actual_i| / actual_i.
 /// Requires equal-length non-empty inputs and non-zero actual values.
-StatusOr<double> MeanRelativeError(const std::vector<double>& predicted,
-                                   const std::vector<double>& actual);
+StatusOr<double> MeanRelativeError(std::span<const double> predicted,
+                                   std::span<const double> actual);
 
 /// Root mean squared error between equal-length non-empty vectors.
-StatusOr<double> RootMeanSquaredError(const std::vector<double>& predicted,
-                                      const std::vector<double>& actual);
+StatusOr<double> RootMeanSquaredError(std::span<const double> predicted,
+                                      std::span<const double> actual);
 
 /// Pearson correlation; requires length >= 2 and non-constant inputs.
-StatusOr<double> PearsonCorrelation(const std::vector<double>& a,
-                                    const std::vector<double>& b);
+StatusOr<double> PearsonCorrelation(std::span<const double> a,
+                                    std::span<const double> b);
+
+/// Braced-list conveniences (initializer_list does not convert to span).
+inline StatusOr<double> Mean(std::initializer_list<double> v) {
+  return Mean(std::span<const double>(v.begin(), v.size()));
+}
+inline StatusOr<double> Variance(std::initializer_list<double> v) {
+  return Variance(std::span<const double>(v.begin(), v.size()));
+}
+inline StatusOr<double> StdDev(std::initializer_list<double> v) {
+  return StdDev(std::span<const double>(v.begin(), v.size()));
+}
+inline StatusOr<double> Min(std::initializer_list<double> v) {
+  return Min(std::span<const double>(v.begin(), v.size()));
+}
+inline StatusOr<double> Max(std::initializer_list<double> v) {
+  return Max(std::span<const double>(v.begin(), v.size()));
+}
+inline StatusOr<double> Quantile(std::initializer_list<double> v, double q) {
+  return Quantile(std::span<const double>(v.begin(), v.size()), q);
+}
+inline StatusOr<double> Median(std::initializer_list<double> v) {
+  return Median(std::span<const double>(v.begin(), v.size()));
+}
+inline StatusOr<double> MeanRelativeError(std::initializer_list<double> p,
+                                          std::initializer_list<double> a) {
+  return MeanRelativeError(std::span<const double>(p.begin(), p.size()),
+                           std::span<const double>(a.begin(), a.size()));
+}
+inline StatusOr<double> RootMeanSquaredError(std::initializer_list<double> p,
+                                             std::initializer_list<double> a) {
+  return RootMeanSquaredError(std::span<const double>(p.begin(), p.size()),
+                              std::span<const double>(a.begin(), a.size()));
+}
+inline StatusOr<double> PearsonCorrelation(std::initializer_list<double> a,
+                                           std::initializer_list<double> b) {
+  return PearsonCorrelation(std::span<const double>(a.begin(), a.size()),
+                            std::span<const double>(b.begin(), b.size()));
+}
 
 /// Running single-pass mean/variance accumulator (Welford).
 class RunningStats {

@@ -21,7 +21,7 @@ void TextTable::AddRow(std::vector<std::string> row) {
 }
 
 void TextTable::AddRow(const std::string& label,
-                       const std::vector<double>& values, int precision) {
+                       std::span<const double> values, int precision) {
   std::vector<std::string> row;
   row.reserve(values.size() + 1);
   row.push_back(label);

@@ -1,7 +1,9 @@
 #ifndef MIDAS_COMMON_TEXT_TABLE_H_
 #define MIDAS_COMMON_TEXT_TABLE_H_
 
+#include <initializer_list>
 #include <ostream>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,8 +24,13 @@ class TextTable {
   void AddRow(std::vector<std::string> row);
 
   /// Convenience: formats doubles with the given precision.
-  void AddRow(const std::string& label, const std::vector<double>& values,
+  void AddRow(const std::string& label, std::span<const double> values,
               int precision = 3);
+  void AddRow(const std::string& label, std::initializer_list<double> values,
+              int precision = 3) {
+    AddRow(label, std::span<const double>(values.begin(), values.size()),
+           precision);
+  }
 
   void Print(std::ostream& os) const;
 

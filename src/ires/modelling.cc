@@ -132,7 +132,13 @@ StatusOr<Matrix> Modelling::PredictBatch(const EstimatorSnapshot& snapshot,
     if (config.kind == EstimatorKind::kDream) {
       MIDAS_ASSIGN_OR_RETURN(std::shared_ptr<const DreamEstimate> fit,
                              snapshot.DreamFit(scope, config.dream));
-      return fit->PredictBatch(X);
+      // Serving path: the stacked-coefficient scratch is thread-local so
+      // each concurrent shard pipeline reuses its own buffer across the
+      // batches it costs.
+      thread_local Matrix coeffs_scratch;
+      Matrix out;
+      MIDAS_RETURN_IF_ERROR(fit->PredictBatchInto(X, &coeffs_scratch, &out));
+      return out;
     }
     MIDAS_ASSIGN_OR_RETURN(
         std::shared_ptr<const BmlScopeFit> fit,
@@ -140,11 +146,14 @@ StatusOr<Matrix> Modelling::PredictBatch(const EstimatorSnapshot& snapshot,
                         [&](const TrainingSet& set) {
                           return FitBml(set, config.window);
                         }));
+    // Serving path: per-thread column and learner workspace, reused
+    // across batches and metrics.
+    thread_local Vector column;
+    thread_local PredictWorkspace workspace;
     Matrix out(X.rows(), snapshot.num_metrics());
     for (size_t metric = 0; metric < fit->learners.size(); ++metric) {
-      Vector column;
       MIDAS_RETURN_IF_ERROR(
-          fit->learners[metric]->PredictBatch(X, &column));
+          fit->learners[metric]->PredictBatch(X, &column, &workspace));
       for (size_t r = 0; r < X.rows(); ++r) out(r, metric) = column[r];
     }
     return out;
@@ -185,12 +194,14 @@ StatusOr<Matrix> Modelling::PredictBmlBatch(const TrainingSet& set,
   MIDAS_ASSIGN_OR_RETURN(std::vector<Vector> xs, set.RecentFeatures(m));
   Matrix prediction(X.rows(), num_metrics());
   // One selection per metric for the whole batch; selection is
-  // deterministic, so the winner matches the per-row path's.
+  // deterministic, so the winner matches the per-row path's. The column
+  // and learner workspace are hoisted out of the metric loop.
+  Vector column;
+  PredictWorkspace workspace;
   for (size_t metric = 0; metric < num_metrics(); ++metric) {
     MIDAS_ASSIGN_OR_RETURN(Vector ys, set.RecentCosts(m, metric));
     MIDAS_ASSIGN_OR_RETURN(SelectedModel model, selector_.SelectBest(xs, ys));
-    Vector column;
-    MIDAS_RETURN_IF_ERROR(model.learner->PredictBatch(X, &column));
+    MIDAS_RETURN_IF_ERROR(model.learner->PredictBatch(X, &column, &workspace));
     for (size_t r = 0; r < X.rows(); ++r) prediction(r, metric) = column[r];
   }
   return prediction;

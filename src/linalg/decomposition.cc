@@ -2,7 +2,27 @@
 
 #include <cmath>
 
+#include "linalg/simd.h"
+
 namespace midas {
+
+namespace {
+
+/// The Cholesky inner product Σ_k<j L(i,k)·L(j,k) over two contiguous row
+/// prefixes. The seed loops interleave the subtraction with the products
+/// (sum -= term, one rounding per step), which a fused dot cannot reproduce
+/// bit-exactly — so the vector tier computes the dot in one reduction and
+/// subtracts once, and the scalar tier keeps the original interleaved loop.
+/// Equivalence between the two is pinned at ≤1e-12 relative by the SIMD
+/// suites; force-scalar runs always take the seed loop.
+inline double CholeskyRowDot(const double* li, const double* lj, size_t j,
+                             double seed) {
+  if (simd::Enabled()) return seed - simd::Dot(li, lj, j);
+  for (size_t k = 0; k < j; ++k) seed -= li[k] * lj[k];
+  return seed;
+}
+
+}  // namespace
 
 StatusOr<QrDecomposition> HouseholderQr(const Matrix& a, double tolerance) {
   const size_t m = a.rows();
@@ -211,8 +231,8 @@ StatusOr<Matrix> CholeskyFactor(const Matrix& a, double tolerance) {
   Matrix l(n, n);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j <= i; ++j) {
-      double sum = a.At(i, j);
-      for (size_t k = 0; k < j; ++k) sum -= l.At(i, k) * l.At(j, k);
+      const double sum =
+          CholeskyRowDot(l.RowData(i), l.RowData(j), j, a.At(i, j));
       if (i == j) {
         if (sum < tolerance) {
           return Status::InvalidArgument("matrix is not positive definite");
@@ -237,8 +257,8 @@ Status CholeskyFactorInto(const Matrix& a, Matrix* l, double rel_tolerance) {
   const double pivot_floor = rel_tolerance * scale;
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j <= i; ++j) {
-      double sum = a.At(i, j);
-      for (size_t k = 0; k < j; ++k) sum -= l->At(i, k) * l->At(j, k);
+      const double sum =
+          CholeskyRowDot(l->RowData(i), l->RowData(j), j, a.At(i, j));
       if (i == j) {
         if (sum < pivot_floor) {
           return Status::InvalidArgument(
@@ -259,10 +279,10 @@ Status CholeskySolveFactored(const Matrix& l, const Vector& b, Vector* x) {
     return Status::InvalidArgument("factored Cholesky solve shape mismatch");
   }
   x->assign(n, 0.0);
-  // Forward solve L y = b (y aliases x).
+  // Forward solve L y = b (y aliases x); row prefixes are contiguous, so
+  // the inner product runs through the kernel layer.
   for (size_t i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * (*x)[k];
+    const double sum = CholeskyRowDot(l.RowData(i), x->data(), i, b[i]);
     (*x)[i] = sum / l.At(i, i);
   }
   // Back solve Lᵀ x = y in place.
@@ -284,8 +304,7 @@ StatusOr<Vector> CholeskySolve(const Matrix& a, const Vector& b,
   // Forward solve L y = b.
   Vector y(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
-    double sum = b[i];
-    for (size_t k = 0; k < i; ++k) sum -= l.At(i, k) * y[k];
+    const double sum = CholeskyRowDot(l.RowData(i), y.data(), i, b[i]);
     y[i] = sum / l.At(i, i);
   }
   // Back solve Lᵀ x = y.

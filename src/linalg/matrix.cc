@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "linalg/simd.h"
 
 namespace midas {
 
@@ -100,9 +101,9 @@ Matrix Matrix::Gram() const {
     for (size_t i = 0; i < cols_; ++i) {
       const double ri = row[i];
       if (ri == 0.0) continue;
-      for (size_t j = i; j < cols_; ++j) {
-        out.data_[i * cols_ + j] += ri * row[j];
-      }
+      // Upper-triangle rank-1 update on the row suffix [i, cols): an axpy
+      // with the same ascending-j association as the seed loop.
+      simd::Axpy(ri, row + i, out.data_.data() + i * cols_ + i, cols_ - i);
     }
   }
   // Mirror the upper triangle into the lower one.
@@ -122,8 +123,7 @@ StatusOr<Vector> Matrix::TransposeTimesVector(const Vector& v) const {
   for (size_t r = 0; r < rows_; ++r) {
     const double vr = v[r];
     if (vr == 0.0) continue;
-    const double* row = data_.data() + r * cols_;
-    for (size_t c = 0; c < cols_; ++c) out[c] += row[c] * vr;
+    simd::Axpy(vr, data_.data() + r * cols_, out.data(), cols_);
   }
   return out;
 }
@@ -135,19 +135,15 @@ void Matrix::AddOuterProduct(const Vector& v) {
   for (size_t i = 0; i < rows_; ++i) {
     const double vi = v[i];
     if (vi == 0.0) continue;
-    double* row = data_.data() + i * cols_;
-    for (size_t j = 0; j < cols_; ++j) row[j] += vi * v[j];
+    simd::Axpy(vi, v.data(), data_.data() + i * cols_, cols_);
   }
 }
 
-namespace {
-
-/// Tile side of the blocked GEMM kernels. 64×64 doubles = 32 KiB per
-/// operand panel, sized so an A tile, the C rows it updates and the
-/// streaming B panel coexist in L1/L2.
-constexpr size_t kGemmTile = 64;
-
-}  // namespace
+void Matrix::Resize(size_t rows, size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
 
 StatusOr<Matrix> Matrix::Multiply(const Matrix& other) const {
   Matrix out;
@@ -164,30 +160,12 @@ Status Matrix::MultiplyInto(const Matrix& other, Matrix* out,
     return Status::InvalidArgument("matmul output aliases an operand");
   }
   if (!accumulate) {
-    *out = Matrix(rows_, other.cols_);
+    out->Resize(rows_, other.cols_);
   } else if (out->rows_ != rows_ || out->cols_ != other.cols_) {
     return Status::InvalidArgument("matmul accumulate shape mismatch");
   }
-  const size_t n = rows_, kd = cols_, m = other.cols_;
-  // Blocked i-k-j: for each (ii, kk) tile the B panel rows [kk, k_end) are
-  // reused across every A row of the tile. k advances monotonically for a
-  // fixed output element, so the accumulation order matches the naive loop.
-  for (size_t ii = 0; ii < n; ii += kGemmTile) {
-    const size_t i_end = std::min(ii + kGemmTile, n);
-    for (size_t kk = 0; kk < kd; kk += kGemmTile) {
-      const size_t k_end = std::min(kk + kGemmTile, kd);
-      for (size_t i = ii; i < i_end; ++i) {
-        const double* a_row = data_.data() + i * kd;
-        double* c_row = out->data_.data() + i * m;
-        for (size_t k = kk; k < k_end; ++k) {
-          const double aik = a_row[k];
-          if (aik == 0.0) continue;
-          const double* b_row = other.data_.data() + k * m;
-          for (size_t j = 0; j < m; ++j) c_row[j] += aik * b_row[j];
-        }
-      }
-    }
-  }
+  simd::GemmAcc(data_.data(), other.data_.data(), out->data_.data(), rows_,
+                cols_, other.cols_);
   return Status::OK();
 }
 
@@ -200,30 +178,12 @@ Status Matrix::MultiplyTransposedInto(const Matrix& other_t, Matrix* out,
     return Status::InvalidArgument("matmul output aliases an operand");
   }
   if (!accumulate) {
-    *out = Matrix(rows_, other_t.rows_);
+    out->Resize(rows_, other_t.rows_);
   } else if (out->rows_ != rows_ || out->cols_ != other_t.rows_) {
     return Status::InvalidArgument("matmul accumulate shape mismatch");
   }
-  const size_t n = rows_, kd = cols_, m = other_t.rows_;
-  // Both operands stream row-contiguously; the dot accumulates onto the
-  // preloaded output element (the bias under `accumulate`), k ascending —
-  // the same association as the scalar "intercept first" evaluation.
-  for (size_t ii = 0; ii < n; ii += kGemmTile) {
-    const size_t i_end = std::min(ii + kGemmTile, n);
-    for (size_t jj = 0; jj < m; jj += kGemmTile) {
-      const size_t j_end = std::min(jj + kGemmTile, m);
-      for (size_t i = ii; i < i_end; ++i) {
-        const double* a_row = data_.data() + i * kd;
-        double* c_row = out->data_.data() + i * m;
-        for (size_t j = jj; j < j_end; ++j) {
-          const double* b_row = other_t.data_.data() + j * kd;
-          double acc = c_row[j];
-          for (size_t k = 0; k < kd; ++k) acc += a_row[k] * b_row[k];
-          c_row[j] = acc;
-        }
-      }
-    }
-  }
+  simd::GemmTransBAcc(data_.data(), other_t.data_.data(), out->data_.data(),
+                      rows_, cols_, other_t.rows_);
   return Status::OK();
 }
 
@@ -233,9 +193,7 @@ StatusOr<Vector> Matrix::MultiplyVector(const Vector& v) const {
   }
   Vector out(rows_, 0.0);
   for (size_t r = 0; r < rows_; ++r) {
-    double sum = 0.0;
-    for (size_t c = 0; c < cols_; ++c) sum += data_[r * cols_ + c] * v[c];
-    out[r] = sum;
+    out[r] = simd::DotAcc(0.0, data_.data() + r * cols_, v.data(), cols_);
   }
   return out;
 }
@@ -315,9 +273,7 @@ Status MultiplyReferenceInto(const Matrix& a, const Matrix& b, Matrix* out) {
 
 double Dot(const Vector& a, const Vector& b) {
   MIDAS_CHECK(a.size() == b.size()) << "dot length mismatch";
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return simd::Dot(a.data(), b.data(), a.size());
 }
 
 double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }

@@ -6,11 +6,16 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/status.h"
 
 namespace midas {
 
-using Vector = std::vector<double>;
+/// Dense double vector whose buffer starts on a 64-byte boundary, so the
+/// SIMD kernel layer's vector loads never split a cache line at the base.
+/// Element semantics (operator==, iteration, serialization) are identical
+/// to a plain std::vector<double>; only the allocator differs.
+using Vector = AlignedVector<double>;
 
 /// \brief Bitwise hash for Vector, for unordered containers keyed by exact
 /// cost or feature vectors (e.g. the MOQP cost dedup and the plan-feature
@@ -52,6 +57,12 @@ class Matrix {
   size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes to rows × cols with every element set to fill, reusing the
+  /// existing buffer when it is large enough — the workspace-friendly
+  /// alternative to assigning a fresh Matrix (which reallocates every
+  /// call). Invalidates RowData pointers only when the buffer grows.
+  void Resize(size_t rows, size_t cols, double fill = 0.0);
+
   double& At(size_t r, size_t c);
   double At(size_t r, size_t c) const;
   double& operator()(size_t r, size_t c) { return At(r, c); }
@@ -84,18 +95,20 @@ class Matrix {
 
   StatusOr<Matrix> Multiply(const Matrix& other) const;
 
-  /// GEMM into a caller-owned output: out (+)= *this · other. The kernel is
-  /// a cache-blocked i-k-j loop (tiles over the i and k dimensions, so each
-  /// B panel is reused across a whole tile of A rows), and each out(i, j)
-  /// accumulates its k-terms in ascending k order — the same association as
-  /// the textbook triple loop, so blocked and naive results are
-  /// bit-identical on finite inputs and a bias-initialised `accumulate`
+  /// GEMM into a caller-owned output: out (+)= *this · other, dispatched
+  /// through the SIMD kernel layer (linalg/simd.h). The scalar tier is the
+  /// cache-blocked i-k-j loop with ascending-k accumulation — the same
+  /// association as the textbook triple loop, so blocked and naive results
+  /// are bit-identical on finite inputs and a bias-initialised `accumulate`
   /// pass reproduces the scalar "start from the intercept, add terms in
-  /// order" evaluation exactly.
+  /// order" evaluation exactly. The vector tiers run a register-tiled FMA
+  /// microkernel whose reassociated sums match the scalar oracle to ≤1e-12
+  /// relative error; pin MIDAS_FORCE_SCALAR for bit-exact runs.
   ///
   /// With accumulate == false, out is resized to rows() × other.cols() and
-  /// zeroed first; with accumulate == true it must already have that shape
-  /// and the product is added on top. out must not alias either operand.
+  /// zeroed first (reusing its buffer when large enough); with accumulate
+  /// == true it must already have that shape and the product is added on
+  /// top. out must not alias either operand.
   Status MultiplyInto(const Matrix& other, Matrix* out,
                       bool accumulate = false) const;
 
@@ -128,7 +141,7 @@ class Matrix {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<double> data_;
+  AlignedVector<double> data_;
 };
 
 /// Reference textbook i-j-k matrix multiply (register-accumulated dot per

@@ -1,0 +1,164 @@
+#include "linalg/simd.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "linalg/simd_kernels.h"
+
+namespace midas {
+namespace simd {
+
+// --- Scalar tier -----------------------------------------------------------
+//
+// These loops are the oracles: bit-identical to the seed kernels they
+// replaced (same association, same zero skips), so a force-scalar run
+// reproduces pre-SIMD results exactly.
+
+namespace {
+
+double DotScalar(const double* a, const double* b, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double DotAccScalar(double acc, const double* a, const double* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void AxpyScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// Tile side of the blocked scalar GEMM: 64×64 doubles = 32 KiB per operand
+/// panel, sized so an A tile, the C rows it updates and the streaming B
+/// panel coexist in L1/L2. (Moved here from matrix.cc with the kernel.)
+constexpr size_t kGemmTile = 64;
+
+void GemmAccScalar(const double* a, const double* b, double* c, size_t n,
+                   size_t k, size_t m) {
+  // Blocked i-k-j: for each (ii, kk) tile the B panel rows [kk, k_end) are
+  // reused across every A row of the tile. k advances monotonically for a
+  // fixed output element, so the accumulation order matches the naive loop.
+  for (size_t ii = 0; ii < n; ii += kGemmTile) {
+    const size_t i_end = std::min(ii + kGemmTile, n);
+    for (size_t kk = 0; kk < k; kk += kGemmTile) {
+      const size_t k_end = std::min(kk + kGemmTile, k);
+      for (size_t i = ii; i < i_end; ++i) {
+        const double* a_row = a + i * k;
+        double* c_row = c + i * m;
+        for (size_t kx = kk; kx < k_end; ++kx) {
+          const double aik = a_row[kx];
+          if (aik == 0.0) continue;
+          const double* b_row = b + kx * m;
+          for (size_t j = 0; j < m; ++j) c_row[j] += aik * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+void GemmTransBAccScalar(const double* a, const double* bt, double* c,
+                         size_t n, size_t k, size_t m) {
+  // Both operands stream row-contiguously; the dot accumulates onto the
+  // preloaded output element (the bias under accumulate), k ascending — the
+  // same association as the scalar "intercept first" evaluation.
+  for (size_t ii = 0; ii < n; ii += kGemmTile) {
+    const size_t i_end = std::min(ii + kGemmTile, n);
+    for (size_t jj = 0; jj < m; jj += kGemmTile) {
+      const size_t j_end = std::min(jj + kGemmTile, m);
+      for (size_t i = ii; i < i_end; ++i) {
+        const double* a_row = a + i * k;
+        double* c_row = c + i * m;
+        for (size_t j = jj; j < j_end; ++j) {
+          const double* b_row = bt + j * k;
+          double acc = c_row[j];
+          for (size_t kx = 0; kx < k; ++kx) acc += a_row[kx] * b_row[kx];
+          c_row[j] = acc;
+        }
+      }
+    }
+  }
+}
+
+constexpr KernelTable kScalarTable = {
+    SimdTier::kScalar, DotScalar,      DotAccScalar,
+    AxpyScalar,        GemmAccScalar,  GemmTransBAccScalar,
+};
+
+}  // namespace
+
+const KernelTable* ScalarKernels() { return &kScalarTable; }
+
+// --- Dispatch --------------------------------------------------------------
+
+namespace {
+
+/// The normal one-shot selection: environment pin, then the hardware probe.
+const KernelTable* SelectTable() {
+  if (ForceScalarRequestedByEnv()) return ScalarKernels();
+  switch (DetectCpuSimdTier()) {
+#if defined(MIDAS_SIMD_HAVE_AVX2)
+    case SimdTier::kAvx2Fma:
+      return Avx2Kernels();
+#endif
+#if defined(MIDAS_SIMD_HAVE_NEON)
+    case SimdTier::kNeon:
+      return NeonKernels();
+#endif
+    default:
+      return ScalarKernels();
+  }
+}
+
+/// Published table. Initialised lazily; racing initialisers all write the
+/// same pointer, so the relaxed CAS-free publication is benign.
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* Active() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = SelectTable();
+    g_active.store(table, std::memory_order_release);
+  }
+  return table;
+}
+
+}  // namespace
+
+SimdTier ActiveTier() { return Active()->tier; }
+
+bool Enabled() { return Active()->tier != SimdTier::kScalar; }
+
+void SetForceScalar(bool pin) {
+  g_active.store(pin ? ScalarKernels() : SelectTable(),
+                 std::memory_order_release);
+}
+
+// --- Public kernel entry points -------------------------------------------
+
+double Dot(const double* a, const double* b, size_t n) {
+  return Active()->dot(a, b, n);
+}
+
+double DotAcc(double acc, const double* a, const double* b, size_t n) {
+  return Active()->dot_acc(acc, a, b, n);
+}
+
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+  Active()->axpy(alpha, x, y, n);
+}
+
+void GemmAcc(const double* a, const double* b, double* c, size_t n, size_t k,
+             size_t m) {
+  Active()->gemm_acc(a, b, c, n, k, m);
+}
+
+void GemmTransBAcc(const double* a, const double* bt, double* c, size_t n,
+                   size_t k, size_t m) {
+  Active()->gemm_tn_acc(a, bt, c, n, k, m);
+}
+
+}  // namespace simd
+}  // namespace midas

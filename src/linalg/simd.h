@@ -1,0 +1,70 @@
+#ifndef MIDAS_LINALG_SIMD_H_
+#define MIDAS_LINALG_SIMD_H_
+
+#include <cstddef>
+
+#include "common/cpu_features.h"
+
+namespace midas {
+namespace simd {
+
+/// \brief Vectorized kernel layer behind the linalg/prediction hot paths.
+///
+/// Every kernel is dispatched once per process to the widest tier the host
+/// supports (compile-time ISA gates × one CPUID probe, see
+/// common/cpu_features.h) and falls back to portable scalar loops that are
+/// bit-identical to the seed implementations. The vector tiers reassociate
+/// floating-point accumulation (wider partial sums), so their results may
+/// differ from the scalar oracle by rounding noise; the equivalence suites
+/// pin them within 1e-12 relative error, and the MIDAS_FORCE_SCALAR knob
+/// (environment variable, CMake option, or SetForceScalar below) restores
+/// the bit-exact scalar behavior for reproducibility-sensitive runs.
+
+/// The tier the process is currently dispatched to, after every override
+/// knob (build pin, environment, SetForceScalar) is applied.
+SimdTier ActiveTier();
+
+/// True when a vector tier (anything other than kScalar) is active. Code
+/// whose scalar form interleaves operations the kernels cannot reproduce
+/// bit-exactly (e.g. Cholesky's running subtraction) branches on this and
+/// keeps the original loop on the scalar side.
+bool Enabled();
+
+/// Pins (true) or unpins (false) the process to the scalar kernels at
+/// runtime. Unpinning re-runs the normal selection, so the environment pin
+/// still wins. Intended for tests and reproducibility harnesses; thread-safe
+/// but not meant to be raced against in-flight kernels (flip it at
+/// quiescent points).
+void SetForceScalar(bool pin);
+
+/// Σ a[i]·b[i], ascending i in the scalar tier. Vector tiers use four
+/// partial sums. n == 0 yields 0.0.
+double Dot(const double* a, const double* b, size_t n);
+
+/// acc + Σ a[i]·b[i] with the sum seeded at acc (the "intercept first, terms
+/// in order" association of the scalar predict paths).
+double DotAcc(double acc, const double* a, const double* b, size_t n);
+
+/// y[i] += alpha · x[i]. Callers keep the seed kernels' alpha == 0 skip on
+/// their side so scalar and vector paths agree on when y is untouched.
+void Axpy(double alpha, const double* x, double* y, size_t n);
+
+/// C += A·B over row-major buffers: A is n×k, B is k×m, C is n×m, leading
+/// dimensions equal the logical widths. The scalar tier is the seed
+/// cache-blocked i-k-j loop (ascending-k accumulation, zero-A skip); vector
+/// tiers run a register-tiled FMA microkernel with masked remainder
+/// columns.
+void GemmAcc(const double* a, const double* b, double* c, size_t n, size_t k,
+             size_t m);
+
+/// C(i, j) += Σ_k A(i, k)·Bt(j, k) — the B-transposed GEMM behind
+/// MultiplyTransposedInto (A n×k, Bt m×k, C n×m, row-major). Seeds each
+/// output from its current value, so bias-initialised accumulation matches
+/// the scalar "intercept first" evaluation.
+void GemmTransBAcc(const double* a, const double* bt, double* c, size_t n,
+                   size_t k, size_t m);
+
+}  // namespace simd
+}  // namespace midas
+
+#endif  // MIDAS_LINALG_SIMD_H_

@@ -1,0 +1,278 @@
+// AVX2+FMA tier of the SIMD kernel layer. Every function carries a
+// per-function target attribute instead of the translation unit being built
+// with -mavx2, so the binary stays runnable on any x86-64 host — the
+// dispatcher (simd.cc) only hands out this table after the CPUID probe
+// confirms avx2+fma. Accumulation here is reassociated (4-wide lanes,
+// multiple partial sums), which is exactly the rounding slack the 1e-12
+// equivalence suites allow; bit-exact runs use the scalar tier.
+
+#include "linalg/simd_kernels.h"
+
+#if defined(MIDAS_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#define MIDAS_AVX2 __attribute__((target("avx2,fma")))
+
+namespace midas {
+namespace simd {
+namespace {
+
+/// Lane mask for a remainder of `rem` (0..4) doubles: the first rem lanes
+/// all-ones, the rest zero. maskload yields 0.0 in masked lanes and
+/// maskstore leaves them untouched, which is how every kernel handles
+/// buffer tails without scalar cleanup loops.
+MIDAS_AVX2 inline __m256i TailMask(size_t rem) {
+  return _mm256_setr_epi64x(rem > 0 ? -1 : 0, rem > 1 ? -1 : 0,
+                            rem > 2 ? -1 : 0, rem > 3 ? -1 : 0);
+}
+
+/// Horizontal sum of one 4-lane register.
+MIDAS_AVX2 inline double HorizontalSum(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+}
+
+MIDAS_AVX2 double DotAvx2(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    acc1 = _mm256_fmadd_pd(_mm256_maskload_pd(a + i, mask),
+                           _mm256_maskload_pd(b + i, mask), acc1);
+  }
+  return HorizontalSum(_mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                                     _mm256_add_pd(acc2, acc3)));
+}
+
+MIDAS_AVX2 double DotAccAvx2(double acc, const double* a, const double* b,
+                             size_t n) {
+  return acc + DotAvx2(a, b, n);
+}
+
+MIDAS_AVX2 void AxpyAvx2(double alpha, const double* x, double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(
+        y + i + 4, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i + 4),
+                                   _mm256_loadu_pd(y + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  if (i < n) {
+    const __m256i mask = TailMask(n - i);
+    _mm256_maskstore_pd(
+        y + i, mask,
+        _mm256_fmadd_pd(va, _mm256_maskload_pd(x + i, mask),
+                        _mm256_maskload_pd(y + i, mask)));
+  }
+}
+
+// --- Register-tiled GEMM ---------------------------------------------------
+//
+// The microkernel computes a ROWS×8 tile of C entirely in registers while
+// streaming one 8-wide B panel: per k step, 2 B loads + ROWS broadcasts +
+// 2·ROWS FMAs. With ROWS = 4 that is 8 accumulator registers, 2 panel
+// registers and a broadcast — comfortably inside the 16 ymm registers.
+// Remainder columns (m % 8) run the masked variant; remainder rows fall
+// back to ROWS = 1.
+
+template <int ROWS>
+MIDAS_AVX2 inline void MicroTile8(const double* a_panel, size_t a_stride,
+                                  const double* b_panel, size_t b_stride,
+                                  double* c_tile, size_t c_stride,
+                                  size_t kc) {
+  __m256d acc[ROWS][2];
+  for (int r = 0; r < ROWS; ++r) {
+    acc[r][0] = _mm256_loadu_pd(c_tile + r * c_stride);
+    acc[r][1] = _mm256_loadu_pd(c_tile + r * c_stride + 4);
+  }
+  const double* b_row = b_panel;
+  for (size_t kx = 0; kx < kc; ++kx, b_row += b_stride) {
+    const __m256d b0 = _mm256_loadu_pd(b_row);
+    const __m256d b1 = _mm256_loadu_pd(b_row + 4);
+    for (int r = 0; r < ROWS; ++r) {
+      const __m256d av = _mm256_set1_pd(a_panel[r * a_stride + kx]);
+      acc[r][0] = _mm256_fmadd_pd(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_pd(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    _mm256_storeu_pd(c_tile + r * c_stride, acc[r][0]);
+    _mm256_storeu_pd(c_tile + r * c_stride + 4, acc[r][1]);
+  }
+}
+
+/// Masked ROWS×mrem tile for the trailing 1..7 columns.
+template <int ROWS>
+MIDAS_AVX2 inline void MicroTileMasked(const double* a_panel, size_t a_stride,
+                                       const double* b_panel, size_t b_stride,
+                                       double* c_tile, size_t c_stride,
+                                       size_t kc, size_t mrem) {
+  const __m256i mask0 = TailMask(mrem < 4 ? mrem : 4);
+  const __m256i mask1 = TailMask(mrem > 4 ? mrem - 4 : 0);
+  __m256d acc[ROWS][2];
+  for (int r = 0; r < ROWS; ++r) {
+    acc[r][0] = _mm256_maskload_pd(c_tile + r * c_stride, mask0);
+    acc[r][1] = _mm256_maskload_pd(c_tile + r * c_stride + 4, mask1);
+  }
+  const double* b_row = b_panel;
+  for (size_t kx = 0; kx < kc; ++kx, b_row += b_stride) {
+    const __m256d b0 = _mm256_maskload_pd(b_row, mask0);
+    const __m256d b1 = _mm256_maskload_pd(b_row + 4, mask1);
+    for (int r = 0; r < ROWS; ++r) {
+      const __m256d av = _mm256_set1_pd(a_panel[r * a_stride + kx]);
+      acc[r][0] = _mm256_fmadd_pd(av, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_pd(av, b1, acc[r][1]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    _mm256_maskstore_pd(c_tile + r * c_stride, mask0, acc[r][0]);
+    _mm256_maskstore_pd(c_tile + r * c_stride + 4, mask1, acc[r][1]);
+  }
+}
+
+/// k-panel depth: 256 k-steps keep an 8-wide B block (16 KiB) hot in L1
+/// across the whole sweep of A row quads while amortising the C tile
+/// load/store over 256 FMAs per element.
+constexpr size_t kPanelK = 256;
+
+MIDAS_AVX2 void GemmAccAvx2(const double* a, const double* b, double* c,
+                            size_t n, size_t k, size_t m) {
+  if (m < 8) {
+    // Skinnier than one register panel (the serving GEMMs predict a
+    // handful of cost metrics, so m is 2-4): every tile would run fully
+    // masked and the mask overhead eats the FMA win. The scalar kernel is
+    // faster here and bit-exact with the oracle by construction.
+    ScalarKernels()->gemm_acc(a, b, c, n, k, m);
+    return;
+  }
+  for (size_t kk = 0; kk < k; kk += kPanelK) {
+    const size_t kc = k - kk < kPanelK ? k - kk : kPanelK;
+    for (size_t j0 = 0; j0 < m; j0 += 8) {
+      const double* b_panel = b + kk * m + j0;
+      size_t i0 = 0;
+      if (m - j0 >= 8) {
+        for (; i0 + 4 <= n; i0 += 4) {
+          MicroTile8<4>(a + i0 * k + kk, k, b_panel, m, c + i0 * m + j0, m,
+                        kc);
+        }
+        for (; i0 < n; ++i0) {
+          MicroTile8<1>(a + i0 * k + kk, k, b_panel, m, c + i0 * m + j0, m,
+                        kc);
+        }
+      } else {
+        const size_t mrem = m - j0;
+        for (; i0 + 4 <= n; i0 += 4) {
+          MicroTileMasked<4>(a + i0 * k + kk, k, b_panel, m,
+                             c + i0 * m + j0, m, kc, mrem);
+        }
+        for (; i0 < n; ++i0) {
+          MicroTileMasked<1>(a + i0 * k + kk, k, b_panel, m,
+                             c + i0 * m + j0, m, kc, mrem);
+        }
+      }
+    }
+  }
+}
+
+// --- B-transposed GEMM -----------------------------------------------------
+//
+// C(i, j) += Σ_k A(i, k)·Bt(j, k): four Bt rows are dotted against one A
+// row simultaneously (one A load feeds four FMAs), then the four lane-wise
+// partial sums are transposed-reduced into a single 4-lane register and
+// added onto C — one reduction per four outputs instead of one per output.
+
+/// Reduces four 4-lane accumulators into one register holding their four
+/// horizontal sums, in order.
+MIDAS_AVX2 inline __m256d HorizontalSum4(__m256d v0, __m256d v1, __m256d v2,
+                                         __m256d v3) {
+  const __m256d h01 = _mm256_hadd_pd(v0, v1);  // [v0_01, v1_01, v0_23, v1_23]
+  const __m256d h23 = _mm256_hadd_pd(v2, v3);  // [v2_01, v3_01, v2_23, v3_23]
+  const __m256d cross = _mm256_permute2f128_pd(h01, h23, 0x21);
+  const __m256d paired = _mm256_blend_pd(h01, h23, 0b1100);
+  return _mm256_add_pd(cross, paired);  // [Σv0, Σv1, Σv2, Σv3]
+}
+
+MIDAS_AVX2 void GemmTransBAccAvx2(const double* a, const double* bt,
+                                  double* c, size_t n, size_t k, size_t m) {
+  if (k == 0) return;  // adding an all-zero reduction could flip a -0.0 in C
+  const size_t ktail = k % 4;
+  const __m256i kmask = TailMask(ktail);
+  for (size_t i = 0; i < n; ++i) {
+    const double* a_row = a + i * k;
+    double* c_row = c + i * m;
+    size_t j = 0;
+    for (; j + 4 <= m; j += 4) {
+      const double* b0 = bt + j * k;
+      const double* b1 = b0 + k;
+      const double* b2 = b1 + k;
+      const double* b3 = b2 + k;
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      size_t kx = 0;
+      for (; kx + 4 <= k; kx += 4) {
+        const __m256d av = _mm256_loadu_pd(a_row + kx);
+        acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b0 + kx), acc0);
+        acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b1 + kx), acc1);
+        acc2 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b2 + kx), acc2);
+        acc3 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b3 + kx), acc3);
+      }
+      if (ktail != 0) {
+        const __m256d av = _mm256_maskload_pd(a_row + kx, kmask);
+        acc0 = _mm256_fmadd_pd(av, _mm256_maskload_pd(b0 + kx, kmask), acc0);
+        acc1 = _mm256_fmadd_pd(av, _mm256_maskload_pd(b1 + kx, kmask), acc1);
+        acc2 = _mm256_fmadd_pd(av, _mm256_maskload_pd(b2 + kx, kmask), acc2);
+        acc3 = _mm256_fmadd_pd(av, _mm256_maskload_pd(b3 + kx, kmask), acc3);
+      }
+      _mm256_storeu_pd(c_row + j,
+                       _mm256_add_pd(_mm256_loadu_pd(c_row + j),
+                                     HorizontalSum4(acc0, acc1, acc2, acc3)));
+    }
+    for (; j < m; ++j) {
+      c_row[j] = DotAccAvx2(c_row[j], a_row, bt + j * k, k);
+    }
+  }
+}
+
+constexpr KernelTable kAvx2Table = {
+    SimdTier::kAvx2Fma, DotAvx2,        DotAccAvx2,
+    AxpyAvx2,           GemmAccAvx2,    GemmTransBAccAvx2,
+};
+
+}  // namespace
+
+const KernelTable* Avx2Kernels() { return &kAvx2Table; }
+
+}  // namespace simd
+}  // namespace midas
+
+#endif  // MIDAS_SIMD_HAVE_AVX2

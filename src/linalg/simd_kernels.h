@@ -1,0 +1,45 @@
+#ifndef MIDAS_LINALG_SIMD_KERNELS_H_
+#define MIDAS_LINALG_SIMD_KERNELS_H_
+
+#include <cstddef>
+
+#include "common/cpu_features.h"
+
+namespace midas {
+namespace simd {
+
+/// \brief Internal dispatch table: one function pointer per kernel, one
+/// table per ISA tier. simd.cc owns selection; the per-ISA translation
+/// units (simd_avx2.cc, simd_neon.cc) each export their table. Not part of
+/// the public surface — include simd.h instead.
+struct KernelTable {
+  SimdTier tier;
+  double (*dot)(const double* a, const double* b, size_t n);
+  double (*dot_acc)(double acc, const double* a, const double* b, size_t n);
+  void (*axpy)(double alpha, const double* x, double* y, size_t n);
+  void (*gemm_acc)(const double* a, const double* b, double* c, size_t n,
+                   size_t k, size_t m);
+  void (*gemm_tn_acc)(const double* a, const double* bt, double* c, size_t n,
+                      size_t k, size_t m);
+};
+
+/// The portable tier (always present; bit-identical to the seed loops).
+const KernelTable* ScalarKernels();
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(MIDAS_FORCE_SCALAR)
+#define MIDAS_SIMD_HAVE_AVX2 1
+/// AVX2+FMA tier, compiled with per-function target attributes so the
+/// binary stays runnable on any x86-64; only dispatched after the CPUID
+/// probe confirms support.
+const KernelTable* Avx2Kernels();
+#endif
+
+#if defined(__aarch64__) && defined(__ARM_NEON) && !defined(MIDAS_FORCE_SCALAR)
+#define MIDAS_SIMD_HAVE_NEON 1
+const KernelTable* NeonKernels();
+#endif
+
+}  // namespace simd
+}  // namespace midas
+
+#endif  // MIDAS_LINALG_SIMD_KERNELS_H_

@@ -1,0 +1,98 @@
+// NEON (aarch64 Advanced SIMD) tier of the kernel layer: 2 doubles per
+// register. Advanced SIMD is architecturally mandatory on aarch64, so this
+// translation unit compiles with the default flags and the dispatcher can
+// always hand it out on arm builds. The microkernels are narrower than the
+// AVX2 ones (2-wide panels, scalar tails) — arm hosts are a portability
+// tier here, not the perf target the benches track.
+
+#include "linalg/simd_kernels.h"
+
+#if defined(MIDAS_SIMD_HAVE_NEON)
+
+#include <arm_neon.h>
+
+namespace midas {
+namespace simd {
+namespace {
+
+double DotNeon(const double* a, const double* b, size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(a + i + 2), vld1q_f64(b + i + 2));
+  }
+  for (; i + 2 <= n; i += 2) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(a + i), vld1q_f64(b + i));
+  }
+  double sum = vaddvq_f64(vaddq_f64(acc0, acc1));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double DotAccNeon(double acc, const double* a, const double* b, size_t n) {
+  return acc + DotNeon(a, b, n);
+}
+
+void AxpyNeon(double alpha, const double* x, double* y, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f64(y + i, vfmaq_n_f64(vld1q_f64(y + i), vld1q_f64(x + i), alpha));
+    vst1q_f64(y + i + 2,
+              vfmaq_n_f64(vld1q_f64(y + i + 2), vld1q_f64(x + i + 2), alpha));
+  }
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(y + i, vfmaq_n_f64(vld1q_f64(y + i), vld1q_f64(x + i), alpha));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// Same blocking as the scalar kernel; the inner j sweep runs the fused
+/// multiply-add 2-wide.
+constexpr size_t kGemmTile = 64;
+
+void GemmAccNeon(const double* a, const double* b, double* c, size_t n,
+                 size_t k, size_t m) {
+  for (size_t ii = 0; ii < n; ii += kGemmTile) {
+    const size_t i_end = ii + kGemmTile < n ? ii + kGemmTile : n;
+    for (size_t kk = 0; kk < k; kk += kGemmTile) {
+      const size_t k_end = kk + kGemmTile < k ? kk + kGemmTile : k;
+      for (size_t i = ii; i < i_end; ++i) {
+        const double* a_row = a + i * k;
+        double* c_row = c + i * m;
+        for (size_t kx = kk; kx < k_end; ++kx) {
+          const double aik = a_row[kx];
+          if (aik == 0.0) continue;
+          AxpyNeon(aik, b + kx * m, c_row, m);
+        }
+      }
+    }
+  }
+}
+
+void GemmTransBAccNeon(const double* a, const double* bt, double* c, size_t n,
+                       size_t k, size_t m) {
+  if (k == 0) return;
+  for (size_t i = 0; i < n; ++i) {
+    const double* a_row = a + i * k;
+    double* c_row = c + i * m;
+    for (size_t j = 0; j < m; ++j) {
+      c_row[j] = DotAccNeon(c_row[j], a_row, bt + j * k, k);
+    }
+  }
+}
+
+constexpr KernelTable kNeonTable = {
+    SimdTier::kNeon, DotNeon,        DotAccNeon,
+    AxpyNeon,        GemmAccNeon,    GemmTransBAccNeon,
+};
+
+}  // namespace
+
+const KernelTable* NeonKernels() { return &kNeonTable; }
+
+}  // namespace simd
+}  // namespace midas
+
+#endif  // MIDAS_SIMD_HAVE_NEON

@@ -62,8 +62,11 @@ StatusOr<MidasSystem::QueryOutcome> MidasSystem::RunQuery(
   if (options_.moqp.shards != 1) {
     // Sharded streaming: disjoint slices of the plan space run whole
     // enumerate→cost→fold pipelines concurrently, costing SoA feature
-    // batches against the pinned snapshot — bit-identical to the scalar
-    // path below, at a fraction of the wall clock on multi-core hosts.
+    // batches against the pinned snapshot. Equivalent to the serial path
+    // below at a fraction of the wall clock on multi-core hosts:
+    // bit-identical when the scalar kernel tier is pinned
+    // (MIDAS_FORCE_SCALAR), within the SIMD layer's 1e-12 relative drift
+    // budget otherwise (GEMM tiles vs per-row dots reassociate the sums).
     MultiObjectiveOptimizer::BatchCostPredictor batch_predictor =
         [this, &scope, &snapshot](const Matrix& features,
                                   Matrix* costs) -> Status {

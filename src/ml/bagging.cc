@@ -62,9 +62,13 @@ StatusOr<double> BaggingLearner::Predict(const Vector& x) const {
   return sum / static_cast<double>(trees_.size());
 }
 
-Status BaggingLearner::PredictBatch(const Matrix& X, Vector* out) const {
+Status BaggingLearner::PredictBatch(const Matrix& X, Vector* out,
+                                    PredictWorkspace* workspace) const {
   if (!fitted_) return Status::FailedPrecondition("bagging is not fitted");
-  std::vector<Vector> per_tree(trees_.size());
+  // Per-replicate outputs live in the workspace so repeated batches reuse
+  // the replicate buffers instead of reallocating trees_.size() vectors.
+  std::vector<Vector>& per_tree = workspace->columns;
+  per_tree.resize(trees_.size());
   ParallelForOptions parallel;
   parallel.threads = options_.threads;
   MIDAS_RETURN_IF_ERROR(ParallelFor(

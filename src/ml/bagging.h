@@ -43,7 +43,9 @@ class BaggingLearner final : public Learner {
   /// tree traverses the whole batch into its own buffer, and the buffers
   /// are averaged in tree order — the same summation order as the scalar
   /// path, so batch == scalar bit-for-bit at any thread count.
-  Status PredictBatch(const Matrix& X, Vector* out) const override;
+  using Learner::PredictBatch;
+  Status PredictBatch(const Matrix& X, Vector* out,
+                      PredictWorkspace* workspace) const override;
 
   std::unique_ptr<Learner> Clone() const override;
 

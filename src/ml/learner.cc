@@ -2,7 +2,8 @@
 
 namespace midas {
 
-Status Learner::PredictBatch(const Matrix& X, Vector* out) const {
+Status Learner::PredictBatch(const Matrix& X, Vector* out,
+                             PredictWorkspace* /*workspace*/) const {
   out->resize(X.rows());
   for (size_t r = 0; r < X.rows(); ++r) {
     MIDAS_ASSIGN_OR_RETURN((*out)[r], Predict(X.Row(r)));

@@ -10,6 +10,19 @@
 
 namespace midas {
 
+/// \brief Caller-owned scratch space for PredictBatch. Learners stash
+/// their per-batch temporaries here (normalised design matrix, hidden
+/// pre-activations, per-replicate outputs) so a serving loop that predicts
+/// thousands of batches reuses the same buffers instead of reallocating
+/// them on every call. A default-constructed workspace is always valid;
+/// every call overwrites whatever a previous call (possibly to a different
+/// learner) left behind.
+struct PredictWorkspace {
+  Matrix a;                     ///< primary matrix scratch
+  Matrix b;                     ///< secondary matrix scratch
+  std::vector<Vector> columns;  ///< per-replicate / per-metric scratch
+};
+
 /// \brief Supervised single-output regressor interface, mirroring the role
 /// of WEKA learners inside the IReS Modelling module.
 ///
@@ -35,9 +48,20 @@ class Learner {
   /// X.rows()). Fails when not fitted or when X.cols() mismatches the
   /// fitted arity, exactly like the per-row path. The base implementation
   /// loops Predict row by row; learners on the MOQP hot path override it
-  /// with vectorised kernels whose results match the per-row path
-  /// bit-for-bit (pinned by the batch==scalar equivalence suites).
-  virtual Status PredictBatch(const Matrix& X, Vector* out) const;
+  /// with kernels dispatched through the SIMD layer (linalg/simd.h). The
+  /// batch==scalar equivalence suites pin the results bit-for-bit when
+  /// the scalar kernel tier is active and to <= 1e-12 relative error
+  /// under a vector tier. `workspace` holds the learner's batch
+  /// temporaries across calls; it is never read, only overwritten.
+  virtual Status PredictBatch(const Matrix& X, Vector* out,
+                              PredictWorkspace* workspace) const;
+
+  /// Convenience overload with a throwaway workspace (one-off callers and
+  /// tests; steady-state serving loops should own a workspace instead).
+  Status PredictBatch(const Matrix& X, Vector* out) const {
+    PredictWorkspace workspace;
+    return PredictBatch(X, out, &workspace);
+  }
 
   /// Deep copy (so the model selector can keep fitted snapshots).
   virtual std::unique_ptr<Learner> Clone() const = 0;

@@ -21,7 +21,8 @@ StatusOr<double> LeastSquaresLearner::Predict(const Vector& x) const {
   return model_.Predict(x);
 }
 
-Status LeastSquaresLearner::PredictBatch(const Matrix& X, Vector* out) const {
+Status LeastSquaresLearner::PredictBatch(const Matrix& X, Vector* out,
+                                         PredictWorkspace* /*workspace*/) const {
   if (!fitted_) return Status::FailedPrecondition("learner is not fitted");
   return model_.PredictBatch(X, out);
 }

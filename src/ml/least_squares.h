@@ -21,7 +21,9 @@ class LeastSquaresLearner final : public Learner {
   StatusOr<double> Predict(const Vector& x) const override;
 
   /// One matrix-vector product over the whole batch (OlsModel::PredictBatch).
-  Status PredictBatch(const Matrix& X, Vector* out) const override;
+  using Learner::PredictBatch;
+  Status PredictBatch(const Matrix& X, Vector* out,
+                      PredictWorkspace* workspace) const override;
 
   std::unique_ptr<Learner> Clone() const override {
     return std::make_unique<LeastSquaresLearner>(*this);

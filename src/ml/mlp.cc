@@ -107,6 +107,10 @@ Status MlpLearner::Fit(const std::vector<Vector>& features,
       }
     }
   }
+  packed_hidden_.Resize(h, arity_);
+  for (size_t j = 0; j < h; ++j) {
+    for (size_t f = 0; f < arity_; ++f) packed_hidden_(j, f) = w_hidden_[j][f];
+  }
   fitted_ = true;
   return Status::OK();
 }
@@ -129,7 +133,8 @@ StatusOr<double> MlpLearner::Predict(const Vector& x) const {
   return target_min_ + out * t_range;
 }
 
-Status MlpLearner::PredictBatch(const Matrix& X, Vector* out) const {
+Status MlpLearner::PredictBatch(const Matrix& X, Vector* out,
+                                PredictWorkspace* workspace) const {
   if (!fitted_) return Status::FailedPrecondition("mlp is not fitted");
   if (X.cols() != arity_) {
     return Status::InvalidArgument("feature length mismatch");
@@ -137,7 +142,10 @@ Status MlpLearner::PredictBatch(const Matrix& X, Vector* out) const {
   const size_t n = X.rows();
   const size_t h = options_.hidden_units;
 
-  Matrix xn(n, arity_);
+  // Normalised inputs and hidden pre-activations are workspace-backed so
+  // a serving loop reuses the two layer buffers across batches.
+  Matrix& xn = workspace->a;
+  xn.Resize(n, arity_);
   for (size_t r = 0; r < n; ++r) {
     const double* row = X.RowData(r);
     for (size_t f = 0; f < arity_; ++f) {
@@ -149,15 +157,14 @@ Status MlpLearner::PredictBatch(const Matrix& X, Vector* out) const {
   // Hidden pre-activations: seed every z(r, j) with unit j's bias, then
   // accumulate Xn · W_hiddenᵀ on top — the same "bias first, weights in
   // feature order" association as the scalar forward pass.
-  Matrix weights(h, arity_);
-  Matrix z(n, h);
+  Matrix& z = workspace->b;
+  z.Resize(n, h);
   for (size_t j = 0; j < h; ++j) {
-    const Vector& w = w_hidden_[j];
-    for (size_t f = 0; f < arity_; ++f) weights(j, f) = w[f];
-    for (size_t r = 0; r < n; ++r) z(r, j) = w[arity_];
+    const double bias = w_hidden_[j][arity_];
+    for (size_t r = 0; r < n; ++r) z(r, j) = bias;
   }
   MIDAS_RETURN_IF_ERROR(
-      xn.MultiplyTransposedInto(weights, &z, /*accumulate=*/true));
+      xn.MultiplyTransposedInto(packed_hidden_, &z, /*accumulate=*/true));
 
   const double t_range =
       target_max_ > target_min_ ? target_max_ - target_min_ : 1.0;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "linalg/matrix.h"
 #include "ml/learner.h"
 
 namespace midas {
@@ -43,9 +44,14 @@ class MlpLearner final : public Learner {
 
   /// Layer-wise batch inference: normalise the whole batch, compute every
   /// hidden pre-activation with one bias-initialised GEMM against the
-  /// weight matrix, then reduce through the output layer. Term order per
-  /// element matches the scalar path, so batch == scalar bit-for-bit.
-  Status PredictBatch(const Matrix& X, Vector* out) const override;
+  /// weight matrix packed at fit time, then reduce through the output
+  /// layer. Term order per element matches the scalar path, so batch ==
+  /// scalar bit-for-bit under the scalar kernel tier and to <= 1e-12
+  /// relative error under a vector tier. The normalised design matrix and
+  /// the pre-activation matrix come out of `workspace`.
+  using Learner::PredictBatch;
+  Status PredictBatch(const Matrix& X, Vector* out,
+                      PredictWorkspace* workspace) const override;
 
   std::unique_ptr<Learner> Clone() const override;
 
@@ -58,6 +64,9 @@ class MlpLearner final : public Learner {
   // Fitted parameters.
   std::vector<Vector> w_hidden_;  // hidden_units x (arity + 1), bias last
   Vector w_out_;                  // hidden_units + 1, bias last
+  // Hidden slopes packed hidden_units x arity at fit time, so PredictBatch
+  // feeds the GEMM without re-packing per call.
+  Matrix packed_hidden_;
   // Normalisation ranges captured at fit time.
   Vector feat_min_, feat_max_;
   double target_min_ = 0.0, target_max_ = 1.0;

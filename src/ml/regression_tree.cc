@@ -125,7 +125,8 @@ StatusOr<double> RegressionTree::Predict(const Vector& x) const {
   return nodes_[node].value;
 }
 
-Status RegressionTree::PredictBatch(const Matrix& X, Vector* out) const {
+Status RegressionTree::PredictBatch(const Matrix& X, Vector* out,
+                                    PredictWorkspace* /*workspace*/) const {
   if (!fitted_) return Status::FailedPrecondition("tree is not fitted");
   if (X.cols() != arity_) {
     return Status::InvalidArgument("feature length mismatch");

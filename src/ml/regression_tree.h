@@ -34,7 +34,9 @@ class RegressionTree final : public Learner {
 
   /// Tight traversal loop over the batch: preconditions are checked once,
   /// then every row descends the tree with no per-row StatusOr round-trip.
-  Status PredictBatch(const Matrix& X, Vector* out) const override;
+  using Learner::PredictBatch;
+  Status PredictBatch(const Matrix& X, Vector* out,
+                      PredictWorkspace* workspace) const override;
 
   std::unique_ptr<Learner> Clone() const override;
 

@@ -67,9 +67,16 @@ struct DreamEstimate {
 
   /// Batched Predict: evaluates every metric over the whole batch with one
   /// intercept-initialised GEMM against the stacked coefficient matrix
-  /// (X.rows() × L times L × num-metrics). Row r of the result is
-  /// bit-identical to Predict(X.Row(r)) — same terms, same order.
+  /// (X.rows() × L times L × num-metrics). Row r of the result matches
+  /// Predict(X.Row(r)): bit-identical under the scalar kernel tier, and
+  /// within 1e-12 relative error under a vector tier (linalg/simd.h).
   StatusOr<Matrix> PredictBatch(const Matrix& X) const;
+
+  /// As PredictBatch, but writing into *out and rebuilding the stacked
+  /// coefficient matrix inside *coeffs_scratch, so a serving loop reuses
+  /// both buffers across calls instead of allocating them per batch.
+  Status PredictBatchInto(const Matrix& X, Matrix* coeffs_scratch,
+                          Matrix* out) const;
 };
 
 /// \brief DREAM — the paper's core contribution (Algorithm 1,

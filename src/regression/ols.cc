@@ -1,5 +1,7 @@
 #include "regression/ols.h"
 
+#include "linalg/simd.h"
+
 #include <cmath>
 
 #include "linalg/decomposition.h"
@@ -40,9 +42,10 @@ StatusOr<double> OlsModel::Predict(const Vector& x) const {
   if (x.size() != num_features()) {
     return Status::InvalidArgument("feature length mismatch");
   }
-  double y = coefficients_[0];
-  for (size_t i = 0; i < x.size(); ++i) y += coefficients_[i + 1] * x[i];
-  return y;
+  // Intercept-seeded ascending dot, dispatched through the kernel layer;
+  // the scalar tier reproduces this exact association.
+  return simd::DotAcc(coefficients_[0], coefficients_.data() + 1, x.data(),
+                      x.size());
 }
 
 Status OlsModel::PredictBatch(const Matrix& X, Vector* out) const {
@@ -55,10 +58,8 @@ Status OlsModel::PredictBatch(const Matrix& X, Vector* out) const {
   out->resize(X.rows());
   const size_t l = num_features();
   for (size_t r = 0; r < X.rows(); ++r) {
-    const double* row = X.RowData(r);
-    double y = coefficients_[0];
-    for (size_t i = 0; i < l; ++i) y += coefficients_[i + 1] * row[i];
-    (*out)[r] = y;
+    (*out)[r] = simd::DotAcc(coefficients_[0], coefficients_.data() + 1,
+                             X.RowData(r), l);
   }
   return Status::OK();
 }

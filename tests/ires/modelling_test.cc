@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "support/simd_testing.h"
 
 namespace midas {
 namespace {
@@ -156,8 +157,9 @@ TEST(ModellingTest, PredictBatchMatchesScalarForAllEstimators) {
       const Vector scalar =
           modelling.Predict("q", queries[i], config).ValueOrDie();
       for (size_t k = 0; k < scalar.size(); ++k) {
-        EXPECT_EQ(batch->At(i, k), scalar[k])
-            << EstimatorName(config) << " row " << i << " metric " << k;
+        SCOPED_TRACE(std::string(EstimatorName(config)) + " row " +
+                     std::to_string(i) + " metric " + std::to_string(k));
+        MIDAS_EXPECT_SIMD_EQ(batch->At(i, k), scalar[k]);
       }
     }
   }

@@ -1,0 +1,251 @@
+#include "linalg/simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_features.h"
+#include "common/random.h"
+#include "linalg/matrix.h"
+
+namespace midas {
+namespace {
+
+// Pins the scalar kernel tier for the lifetime of the guard; unpinning
+// re-runs the normal selection so the surrounding tests see the tier the
+// process was dispatched to.
+class ScalarPin {
+ public:
+  ScalarPin() { simd::SetForceScalar(true); }
+  ~ScalarPin() { simd::SetForceScalar(false); }
+};
+
+// Handwritten oracles with the seed kernels' exact association: ascending
+// index, accumulation seeded first. The scalar tier must reproduce these
+// bit-for-bit; a vector tier may drift by at most kRelTol relative.
+constexpr double kRelTol = 1e-12;
+
+double DotRef(const double* a, const double* b, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void ExpectWithinRelTol(double actual, double expected) {
+  const double scale =
+      std::max({1.0, std::abs(actual), std::abs(expected)});
+  EXPECT_NEAR(actual, expected, kRelTol * scale);
+}
+
+Vector RandomVector(Rng* rng, size_t n) {
+  Vector v(n);
+  for (double& x : v) x = rng->Uniform(-3.0, 3.0);
+  return v;
+}
+
+Matrix RandomMatrix(Rng* rng, size_t rows, size_t cols) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng->Uniform(-2.0, 2.0);
+  }
+  return m;
+}
+
+// Lengths that exercise every code path of the vector kernels: empty, a
+// single lane, partial masks, exact multiples of the 4- and 8-wide loops,
+// and lengths just around them.
+const size_t kAwkwardLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,
+                                  9,  15, 16, 17, 31, 32, 33, 100};
+
+TEST(SimdDispatchTest, ForceScalarPinsAndUnpins) {
+  const SimdTier detected = simd::ActiveTier();
+  {
+    ScalarPin pin;
+    EXPECT_EQ(simd::ActiveTier(), SimdTier::kScalar);
+    EXPECT_FALSE(simd::Enabled());
+  }
+  EXPECT_EQ(simd::ActiveTier(), detected);
+  EXPECT_EQ(simd::Enabled(), detected != SimdTier::kScalar);
+}
+
+TEST(SimdDispatchTest, TierNamesAreStable) {
+  EXPECT_STREQ(SimdTierName(SimdTier::kScalar), "scalar");
+  EXPECT_STREQ(SimdTierName(SimdTier::kAvx2Fma), "avx2+fma");
+  EXPECT_STREQ(SimdTierName(SimdTier::kNeon), "neon");
+}
+
+TEST(SimdKernelTest, DotMatchesOracleOverAwkwardLengths) {
+  Rng rng(101);
+  for (size_t n : kAwkwardLengths) {
+    const Vector a = RandomVector(&rng, n);
+    const Vector b = RandomVector(&rng, n);
+    const double oracle = DotRef(a.data(), b.data(), n);
+    const double dispatched = simd::Dot(a.data(), b.data(), n);
+    ExpectWithinRelTol(dispatched, oracle);
+    ScalarPin pin;
+    // The scalar tier IS the oracle: bit-exact, not merely close.
+    EXPECT_EQ(simd::Dot(a.data(), b.data(), n), oracle) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, DotAccSeedsTheAccumulatorFirst) {
+  Rng rng(102);
+  for (size_t n : kAwkwardLengths) {
+    const Vector a = RandomVector(&rng, n);
+    const Vector b = RandomVector(&rng, n);
+    const double seed = rng.Uniform(-10.0, 10.0);
+    double oracle = seed;
+    for (size_t i = 0; i < n; ++i) oracle += a[i] * b[i];
+    ExpectWithinRelTol(simd::DotAcc(seed, a.data(), b.data(), n), oracle);
+    ScalarPin pin;
+    EXPECT_EQ(simd::DotAcc(seed, a.data(), b.data(), n), oracle) << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, AxpyMatchesOracleOverAwkwardLengths) {
+  Rng rng(103);
+  for (size_t n : kAwkwardLengths) {
+    const Vector x = RandomVector(&rng, n);
+    const Vector y0 = RandomVector(&rng, n);
+    const double alpha = rng.Uniform(-2.0, 2.0);
+    Vector oracle = y0;
+    for (size_t i = 0; i < n; ++i) oracle[i] += alpha * x[i];
+    Vector y = y0;
+    simd::Axpy(alpha, x.data(), y.data(), n);
+    for (size_t i = 0; i < n; ++i) ExpectWithinRelTol(y[i], oracle[i]);
+    ScalarPin pin;
+    y = y0;
+    simd::Axpy(alpha, x.data(), y.data(), n);
+    EXPECT_EQ(y, oracle) << "n=" << n;
+  }
+}
+
+struct GemmShape {
+  size_t n, k, m;
+};
+
+// 1×1×1, zero-extent inner dimension, sub-tile shapes, exact register-tile
+// multiples (4 rows × 8 columns), and every remainder combination around
+// them.
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1}, {1, 0, 1},  {0, 3, 2},  {2, 3, 1},   {3, 5, 7},
+    {4, 4, 8}, {5, 9, 17}, {8, 16, 8}, {7, 13, 11}, {12, 33, 19},
+};
+
+TEST(SimdKernelTest, GemmAccMatchesReferenceOverAwkwardShapes) {
+  Rng rng(104);
+  for (const GemmShape& shape : kGemmShapes) {
+    const Matrix a = RandomMatrix(&rng, shape.n, shape.k);
+    const Matrix b = RandomMatrix(&rng, shape.k, shape.m);
+    Matrix reference;
+    ASSERT_TRUE(MultiplyReferenceInto(a, b, &reference).ok());
+    Matrix dispatched;
+    ASSERT_TRUE(a.MultiplyInto(b, &dispatched).ok());
+    for (size_t i = 0; i < shape.n; ++i) {
+      for (size_t j = 0; j < shape.m; ++j) {
+        ExpectWithinRelTol(dispatched(i, j), reference(i, j));
+      }
+    }
+    // The pinned scalar kernel must agree with itself across repeated
+    // runs and stay within tolerance of the naive reference (the blocked
+    // loop reassociates nothing: identical term order).
+    ScalarPin pin;
+    Matrix pinned;
+    ASSERT_TRUE(a.MultiplyInto(b, &pinned).ok());
+    Matrix pinned_again;
+    ASSERT_TRUE(a.MultiplyInto(b, &pinned_again).ok());
+    EXPECT_EQ(pinned, pinned_again);
+    for (size_t i = 0; i < shape.n; ++i) {
+      for (size_t j = 0; j < shape.m; ++j) {
+        EXPECT_EQ(pinned(i, j), reference(i, j))
+            << shape.n << "x" << shape.k << "x" << shape.m;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, GemmAccumulateSeedsFromExistingOutput) {
+  Rng rng(105);
+  for (const GemmShape& shape : kGemmShapes) {
+    const Matrix a = RandomMatrix(&rng, shape.n, shape.k);
+    const Matrix b = RandomMatrix(&rng, shape.k, shape.m);
+    const Matrix bias = RandomMatrix(&rng, shape.n, shape.m);
+    Matrix product;
+    ASSERT_TRUE(MultiplyReferenceInto(a, b, &product).ok());
+    Matrix out = bias;
+    ASSERT_TRUE(a.MultiplyInto(b, &out, /*accumulate=*/true).ok());
+    for (size_t i = 0; i < shape.n; ++i) {
+      for (size_t j = 0; j < shape.m; ++j) {
+        ExpectWithinRelTol(out(i, j), bias(i, j) + product(i, j));
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, GemmTransBMatchesUntransposedProduct) {
+  Rng rng(106);
+  for (const GemmShape& shape : kGemmShapes) {
+    const Matrix a = RandomMatrix(&rng, shape.n, shape.k);
+    const Matrix bt = RandomMatrix(&rng, shape.m, shape.k);
+    Matrix reference;
+    ASSERT_TRUE(MultiplyReferenceInto(a, bt.Transpose(), &reference).ok());
+    Matrix dispatched;
+    ASSERT_TRUE(a.MultiplyTransposedInto(bt, &dispatched).ok());
+    for (size_t i = 0; i < shape.n; ++i) {
+      for (size_t j = 0; j < shape.m; ++j) {
+        ExpectWithinRelTol(dispatched(i, j), reference(i, j));
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ZeroLengthKernelsLeaveOutputsUntouched) {
+  // k == 0 products must not even add 0.0 to the output (that would turn
+  // -0.0 into +0.0 and break bitwise equality with the scalar path, which
+  // never touches the accumulator).
+  EXPECT_EQ(simd::Dot(nullptr, nullptr, 0), 0.0);
+  EXPECT_EQ(simd::DotAcc(4.5, nullptr, nullptr, 0), 4.5);
+  Matrix a(2, 0);
+  Matrix bt(3, 0);
+  Matrix out(2, 3, 0.0);
+  out(0, 0) = -0.0;
+  ASSERT_TRUE(a.MultiplyTransposedInto(bt, &out, /*accumulate=*/true).ok());
+  EXPECT_TRUE(std::signbit(out(0, 0)));
+}
+
+TEST(SimdKernelTest, ForceScalarRunsAreBitwiseReproducible) {
+  // The reproducibility gate behind the MIDAS_FORCE_SCALAR knob: two
+  // pinned evaluations of the same batched pipeline are bitwise equal,
+  // and equal to the per-row scalar evaluation.
+  Rng rng(107);
+  const Matrix x = RandomMatrix(&rng, 9, 5);
+  const Matrix w = RandomMatrix(&rng, 5, 3);
+  ScalarPin pin;
+  Matrix first;
+  ASSERT_TRUE(x.MultiplyInto(w, &first).ok());
+  Matrix second;
+  ASSERT_TRUE(x.MultiplyInto(w, &second).ok());
+  EXPECT_EQ(first, second);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const Vector row = x.Row(i);
+    for (size_t j = 0; j < w.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < w.rows(); ++k) acc += row[k] * w(k, j);
+      EXPECT_EQ(first(i, j), acc);
+    }
+  }
+}
+
+TEST(SimdAlignmentTest, VectorAndMatrixBuffersAre64ByteAligned) {
+  for (size_t n : {1u, 7u, 33u}) {
+    Vector v(n, 1.0);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u);
+    Matrix m(n, n, 1.0);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.RowData(0)) % 64, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace midas

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "support/simd_testing.h"
 
 namespace midas {
 namespace {
@@ -117,7 +118,8 @@ TEST(MlpTest, PredictBatchMatchesScalarExactly) {
   ASSERT_TRUE(learner.PredictBatch(x, &batch).ok());
   ASSERT_EQ(batch.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    EXPECT_EQ(batch[i], learner.Predict(queries[i]).ValueOrDie()) << i;
+    SCOPED_TRACE(i);
+    MIDAS_EXPECT_SIMD_EQ(batch[i], learner.Predict(queries[i]).ValueOrDie());
   }
 }
 

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/random.h"
+#include "support/simd_testing.h"
 
 namespace midas {
 namespace {
@@ -172,7 +173,8 @@ TEST(DreamEstimateTest, PredictBatchMatchesScalarExactly) {
   for (size_t i = 0; i < queries.size(); ++i) {
     const Vector scalar = est->Predict(queries[i]).ValueOrDie();
     for (size_t k = 0; k < scalar.size(); ++k) {
-      EXPECT_EQ(batch->At(i, k), scalar[k]) << "row " << i << " metric " << k;
+      SCOPED_TRACE("row " + std::to_string(i) + " metric " + std::to_string(k));
+      MIDAS_EXPECT_SIMD_EQ(batch->At(i, k), scalar[k]);
     }
   }
 }
@@ -206,7 +208,8 @@ TEST(DreamTest, PredictCostsBatchMatchesPerQueryPredictCosts) {
     const Vector scalar = dream.PredictCosts(history, queries[i]).ValueOrDie();
     ASSERT_EQ(scalar.size(), batch->cols());
     for (size_t k = 0; k < scalar.size(); ++k) {
-      EXPECT_EQ(batch->At(i, k), scalar[k]) << "row " << i << " metric " << k;
+      SCOPED_TRACE("row " + std::to_string(i) + " metric " + std::to_string(k));
+      MIDAS_EXPECT_SIMD_EQ(batch->At(i, k), scalar[k]);
     }
   }
 }

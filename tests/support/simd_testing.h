@@ -1,0 +1,33 @@
+#ifndef MIDAS_TESTS_SUPPORT_SIMD_TESTING_H_
+#define MIDAS_TESTS_SUPPORT_SIMD_TESTING_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/simd.h"
+
+/// Determinism-policy comparator for values that flow through the SIMD
+/// kernel layer (linalg/simd.h). When the scalar tier is pinned
+/// (MIDAS_FORCE_SCALAR build or environment, or no vector tier for this
+/// CPU) two evaluation orders of the same sum must agree bitwise; when a
+/// vector tier is active its reassociated FMA sums may drift from the
+/// scalar association by at most 1e-12 relative error. Tests that compare
+/// a batched (GEMM) path against a per-row (dot) path assert through this
+/// macro so the same suite is a bitwise gate under the knob and a
+/// tolerance gate otherwise.
+#define MIDAS_EXPECT_SIMD_EQ(actual, expected)                             \
+  do {                                                                     \
+    const double midas_simd_actual_ = (actual);                            \
+    const double midas_simd_expected_ = (expected);                        \
+    if (!::midas::simd::Enabled()) {                                       \
+      EXPECT_EQ(midas_simd_actual_, midas_simd_expected_);                 \
+    } else {                                                               \
+      EXPECT_NEAR(midas_simd_actual_, midas_simd_expected_,                \
+                  1e-12 * std::max({1.0, std::abs(midas_simd_expected_),   \
+                                    std::abs(midas_simd_actual_)}));       \
+    }                                                                      \
+  } while (0)
+
+#endif  // MIDAS_TESTS_SUPPORT_SIMD_TESTING_H_
