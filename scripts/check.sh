@@ -43,4 +43,11 @@ done
 echo "=== bench: sharded streaming cross-check (--quick) ==="
 "$repo_root/scripts/bench_shard.sh" --quick
 
+# Serving smoke: closed-loop 1/8-tenant load through the QueryService
+# (admission queue, DRR lanes, snapshot-pinned slots) must sustain
+# without rejections or stalls; sub-second runs, liveness gate more
+# than a measurement.
+echo "=== bench: multi-tenant serving smoke (--quick) ==="
+"$repo_root/scripts/bench_serve.sh" --quick
+
 echo "=== all presets green ==="

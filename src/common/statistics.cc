@@ -1,6 +1,7 @@
 #include "common/statistics.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <vector>
@@ -137,6 +138,93 @@ double MonotonicSeconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+LatencyRecorder::LatencyRecorder() : counts_(kNumBuckets, 0) {}
+
+size_t LatencyRecorder::BucketIndex(uint64_t nanos) {
+  if (nanos < kSubBuckets) return static_cast<size_t>(nanos);
+  // Highest set bit e puts the value in octave [2^e, 2^(e+1)); the top
+  // kSubBucketBits of the mantissa pick the linear sub-bucket.
+  const int e = 63 - std::countl_zero(nanos);
+  const size_t octave = static_cast<size_t>(e) - kSubBucketBits + 1;
+  const size_t sub =
+      static_cast<size_t>(nanos >> (e - static_cast<int>(kSubBucketBits))) &
+      (kSubBuckets - 1);
+  return octave * kSubBuckets + sub;
+}
+
+uint64_t LatencyRecorder::BucketMidpoint(size_t index) {
+  const size_t octave = index / kSubBuckets;
+  const size_t sub = index % kSubBuckets;
+  if (octave == 0) return sub;  // exact buckets below 2^kSubBucketBits
+  const int shift = static_cast<int>(octave) - 1;
+  const uint64_t lower = (kSubBuckets + sub) << shift;
+  const uint64_t width = uint64_t{1} << shift;
+  return lower + (width >> 1);
+}
+
+void LatencyRecorder::Record(uint64_t nanos) {
+  ++counts_[BucketIndex(nanos)];
+  if (count_ == 0) {
+    min_ = max_ = nanos;
+  } else {
+    min_ = std::min(min_, nanos);
+    max_ = std::max(max_, nanos);
+  }
+  ++count_;
+  sum_ += static_cast<double>(nanos);
+}
+
+double LatencyRecorder::mean_nanos() const {
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
+}
+
+StatusOr<double> LatencyRecorder::ValueAtQuantile(double q) const {
+  if (count_ == 0) {
+    return Status::InvalidArgument("quantile of empty LatencyRecorder");
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  // The rank-th smallest sample (1-based), matching the nearest-rank
+  // definition; q=0 maps to rank 1.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  // The extreme ranks are tracked exactly; bucket midpoints only
+  // approximate interior quantiles.
+  if (rank == 1) return static_cast<double>(min_);
+  if (rank == count_) return static_cast<double>(max_);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      const uint64_t mid = BucketMidpoint(i);
+      return static_cast<double>(std::min(std::max(mid, min_), max_));
+    }
+  }
+  return static_cast<double>(max_);  // unreachable: counts_ sums to count_
+}
+
+void LatencyRecorder::MergeFrom(const LatencyRecorder& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyRecorder::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0.0;
 }
 
 }  // namespace midas

@@ -2,6 +2,7 @@
 #define MIDAS_COMMON_STATISTICS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <vector>
@@ -105,6 +106,72 @@ class RunningStats {
 /// timing (per-shard plans/sec, benchmark sections). Differences between
 /// two calls are wall-clock durations unaffected by system time changes.
 double MonotonicSeconds();
+
+/// \brief Fixed-memory streaming quantile recorder for latency samples in
+/// nanoseconds — the p50/p95/p99 backbone of the serving stats and the
+/// serve benchmarks.
+///
+/// An HDR-style log-linear histogram: values below 2^kSubBucketBits get
+/// one exact bucket each, and every higher octave [2^e, 2^(e+1)) is split
+/// into 2^kSubBucketBits linear sub-buckets, so the bucket a value lands
+/// in is always within 1/2^kSubBucketBits (~3.1%) of the value itself.
+/// Memory is a fixed array of kNumBuckets counters regardless of how many
+/// samples stream through — a recorder embedded in a long-lived service
+/// never grows — and recording is one bit-scan plus one increment.
+///
+/// Not thread-safe: concurrent writers keep one recorder each (e.g. per
+/// executor slot) and the collector folds them together with MergeFrom,
+/// which is exact (histograms add bucket-wise).
+class LatencyRecorder {
+ public:
+  /// Linear sub-buckets per octave; 5 bits bounds the relative quantile
+  /// error at ~1.6% (half a sub-bucket) while keeping the whole recorder
+  /// under 16 KiB.
+  static constexpr size_t kSubBucketBits = 5;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBucketBits;
+  /// Exact values (highest set bit < kSubBucketBits) share octave 0 with
+  /// the first linear octave; bits kSubBucketBits..63 each open one more,
+  /// so octaves run 0..(64 - kSubBucketBits) inclusive.
+  static constexpr size_t kNumBuckets =
+      (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  LatencyRecorder();
+
+  /// Folds one sample into the histogram. Any uint64 nanosecond value is
+  /// representable; nothing saturates or is dropped.
+  void Record(uint64_t nanos);
+
+  uint64_t count() const { return count_; }
+  /// Exact extremes and mean of the recorded samples (0 when empty).
+  uint64_t min_nanos() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max_nanos() const { return count_ == 0 ? 0 : max_; }
+  double mean_nanos() const;
+
+  /// The recorded value at quantile q in [0, 1] (0.5 = median, 0.99 =
+  /// p99), resolved to the containing bucket's midpoint and clamped to the
+  /// exact [min, max] envelope — so q=0 and q=1 are exact and interior
+  /// quantiles carry the ~1.6% bucket error. Errors on an empty recorder
+  /// (matching the file's no-NaN convention).
+  StatusOr<double> ValueAtQuantile(double q) const;
+
+  /// Adds another recorder's samples into this one (exact: counts add
+  /// bucket-wise, extremes combine).
+  void MergeFrom(const LatencyRecorder& other);
+
+  /// Drops all samples.
+  void Reset();
+
+ private:
+  static size_t BucketIndex(uint64_t nanos);
+  /// Midpoint of the bucket's value range (exact for the sub-2^5 buckets).
+  static uint64_t BucketMidpoint(size_t index);
+
+  std::vector<uint64_t> counts_;  // sized kNumBuckets once, never resized
+  uint64_t count_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
 
 }  // namespace midas
 

@@ -19,19 +19,19 @@ FeatureCostCache::FeatureCostCache(size_t num_shards)
     : shards_(RoundUpToPowerOfTwo(num_shards == 0 ? 1 : num_shards)),
       shard_mask_(shards_.size() - 1) {}
 
-FeatureCostCache::Shard& FeatureCostCache::ShardFor(const Vector& features,
-                                                    uint64_t epoch) const {
+FeatureCostCache::Shard& FeatureCostCache::ShardFor(
+    const Vector& features, uint64_t epoch, uint64_t cache_namespace) const {
   // Upper hash bits pick the shard so the shard index stays independent of
   // the map's own bucket choice (which consumes the low bits).
-  const size_t h = KeyHash::Hash(epoch, features);
+  const size_t h = KeyHash::Hash(cache_namespace, epoch, features);
   return shards_[(h >> 48) & shard_mask_];
 }
 
-std::optional<Vector> FeatureCostCache::Lookup(const Vector& features,
-                                               uint64_t epoch) const {
-  Shard& shard = ShardFor(features, epoch);
+std::optional<Vector> FeatureCostCache::Lookup(
+    const Vector& features, uint64_t epoch, uint64_t cache_namespace) const {
+  Shard& shard = ShardFor(features, epoch, cache_namespace);
   std::shared_lock<std::shared_mutex> lock(shard.mutex);
-  const auto it = shard.entries.find(Key{epoch, features});
+  const auto it = shard.entries.find(Key{cache_namespace, epoch, features});
   if (it == shard.entries.end()) {
     shard.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
@@ -41,23 +41,32 @@ std::optional<Vector> FeatureCostCache::Lookup(const Vector& features,
 }
 
 void FeatureCostCache::Insert(const Vector& features, Vector cost,
-                              uint64_t epoch) {
-  Shard& shard = ShardFor(features, epoch);
+                              uint64_t epoch, uint64_t cache_namespace) {
+  Shard& shard = ShardFor(features, epoch, cache_namespace);
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  shard.entries.emplace(Key{epoch, features}, std::move(cost));
+  shard.entries.emplace(Key{cache_namespace, epoch, features},
+                        std::move(cost));
 }
 
-void FeatureCostCache::PruneOtherEpochs(uint64_t keep) {
+size_t FeatureCostCache::PruneOtherEpochs(uint64_t keep) {
+  size_t evicted = 0;
   for (Shard& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    size_t shard_evicted = 0;
     for (auto it = shard.entries.begin(); it != shard.entries.end();) {
       if (it->first.epoch != keep) {
         it = shard.entries.erase(it);
+        ++shard_evicted;
       } else {
         ++it;
       }
     }
+    if (shard_evicted != 0) {
+      shard.pruned.fetch_add(shard_evicted, std::memory_order_relaxed);
+      evicted += shard_evicted;
+    }
   }
+  return evicted;
 }
 
 size_t FeatureCostCache::size() const {
@@ -85,12 +94,21 @@ uint64_t FeatureCostCache::misses() const {
   return total;
 }
 
+uint64_t FeatureCostCache::pruned() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.pruned.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 void FeatureCostCache::Clear() {
   for (Shard& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     shard.entries.clear();
     shard.hits.store(0, std::memory_order_relaxed);
     shard.misses.store(0, std::memory_order_relaxed);
+    shard.pruned.store(0, std::memory_order_relaxed);
   }
 }
 

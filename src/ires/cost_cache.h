@@ -35,10 +35,16 @@ namespace midas {
 /// estimator state use the default epoch 0 and get the old behaviour.
 /// PruneOtherEpochs evicts superseded epochs without resetting counters.
 ///
+/// Entries also carry a caller-chosen *namespace* (default 0): predictors
+/// that are pure in the features only within some context — e.g. a
+/// per-tenant history scope, where two tenants' estimators map the same
+/// feature vector to different costs — pass a namespace derived from that
+/// context so tenants sharing one epoch never read each other's entries.
+///
 /// Correctness requires the predictor to be a pure function of the
-/// features (at a fixed epoch); predictors that read other plan structure
-/// (e.g. the raw simulator, whose transfer costs depend on join shape)
-/// must not be cached.
+/// features (at a fixed epoch, within a namespace); predictors that read
+/// other plan structure (e.g. the raw simulator, whose transfer costs
+/// depend on join shape) must not be cached.
 class FeatureCostCache {
  public:
   /// Default stripe count: enough shards that 8-16 threads rarely collide,
@@ -48,24 +54,32 @@ class FeatureCostCache {
   /// \param num_shards rounded up to the next power of two, at least 1.
   explicit FeatureCostCache(size_t num_shards = kDefaultShards);
 
-  /// Returns the cost cached for `features` under `epoch`, counting a hit
-  /// or a miss. An entry inserted under a different epoch never matches.
-  std::optional<Vector> Lookup(const Vector& features,
-                               uint64_t epoch = 0) const;
+  /// Returns the cost cached for `features` under `epoch` and
+  /// `cache_namespace`, counting a hit or a miss. An entry inserted under
+  /// a different epoch or namespace never matches.
+  std::optional<Vector> Lookup(const Vector& features, uint64_t epoch = 0,
+                               uint64_t cache_namespace = 0) const;
 
-  /// Stores the cost for `features` under `epoch` (first writer wins on a
-  /// race).
-  void Insert(const Vector& features, Vector cost, uint64_t epoch = 0);
+  /// Stores the cost for `features` under `epoch` and `cache_namespace`
+  /// (first writer wins on a race).
+  void Insert(const Vector& features, Vector cost, uint64_t epoch = 0,
+              uint64_t cache_namespace = 0);
 
-  /// Evicts every entry whose epoch differs from `keep`. Hit/miss counters
-  /// are cumulative across the cache's lifetime and are NOT reset.
-  void PruneOtherEpochs(uint64_t keep);
+  /// Evicts every entry whose epoch differs from `keep` and returns how
+  /// many were dropped. Hit/miss counters are cumulative across the
+  /// cache's lifetime and are NOT reset; the evictions add to the
+  /// cumulative pruned() counter (how a long-lived server audits that its
+  /// cache memory stays bounded across publications).
+  size_t PruneOtherEpochs(uint64_t keep);
 
   /// Entry count summed over all shards.
   size_t size() const;
   /// Hit/miss totals aggregated over the per-shard counters.
   uint64_t hits() const;
   uint64_t misses() const;
+  /// Cumulative entries evicted by PruneOtherEpochs over the cache's
+  /// lifetime (Clear resets it along with the other counters).
+  uint64_t pruned() const;
 
   size_t num_shards() const { return shards_.size(); }
 
@@ -73,27 +87,32 @@ class FeatureCostCache {
   void Clear();
 
  private:
-  /// (epoch, features) composite key.
+  /// (namespace, epoch, features) composite key.
   struct Key {
+    uint64_t ns;
     uint64_t epoch;
     Vector features;
     bool operator==(const Key& other) const {
-      return epoch == other.epoch && features == other.features;
+      return ns == other.ns && epoch == other.epoch &&
+             features == other.features;
     }
   };
 
   struct KeyHash {
-    // splitmix64-style scramble of the epoch folded into the feature
-    // hash; consecutive epochs must not land in adjacent buckets.
-    static size_t Hash(uint64_t epoch, const Vector& features) {
-      uint64_t e = epoch + 0x9e3779b97f4a7c15ULL;
-      e = (e ^ (e >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      e = (e ^ (e >> 27)) * 0x94d049bb133111ebULL;
-      e ^= e >> 31;
-      return VectorHash()(features) ^ static_cast<size_t>(e);
+    static uint64_t Mix(uint64_t x) {
+      // splitmix64-style scramble; consecutive epochs must not land in
+      // adjacent buckets.
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    }
+    static size_t Hash(uint64_t ns, uint64_t epoch, const Vector& features) {
+      return VectorHash()(features) ^
+             static_cast<size_t>(Mix(epoch ^ Mix(ns)));
     }
     size_t operator()(const Key& key) const {
-      return Hash(key.epoch, key.features);
+      return Hash(key.ns, key.epoch, key.features);
     }
   };
 
@@ -102,9 +121,11 @@ class FeatureCostCache {
     std::unordered_map<Key, Vector, KeyHash> entries;
     mutable std::atomic<uint64_t> hits{0};
     mutable std::atomic<uint64_t> misses{0};
+    mutable std::atomic<uint64_t> pruned{0};
   };
 
-  Shard& ShardFor(const Vector& features, uint64_t epoch) const;
+  Shard& ShardFor(const Vector& features, uint64_t epoch,
+                  uint64_t cache_namespace) const;
 
   // Fixed at construction; Shard is neither copyable nor movable, so the
   // vector is sized once and never reallocated.

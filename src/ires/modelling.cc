@@ -51,8 +51,9 @@ Status Modelling::Record(const std::string& scope, Observation observation) {
 }
 
 Status Modelling::RecordBatch(
-    std::vector<SnapshotPublisher::ScopedObservation> batch) {
-  return publisher_.RecordBatch(std::move(batch));
+    std::vector<SnapshotPublisher::ScopedObservation> batch,
+    uint64_t* published_epoch) {
+  return publisher_.RecordBatch(std::move(batch), published_epoch);
 }
 
 StatusOr<Vector> Modelling::Predict(const std::string& scope, const Vector& x,

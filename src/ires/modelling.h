@@ -80,8 +80,11 @@ class Modelling {
   /// successor snapshot (epoch + 1).
   Status Record(const std::string& scope, Observation observation);
 
-  /// Records a whole feedback batch under ONE published epoch.
-  Status RecordBatch(std::vector<SnapshotPublisher::ScopedObservation> batch);
+  /// Records a whole feedback batch under ONE published epoch; when
+  /// `published_epoch` is non-null it receives the epoch the batch is
+  /// visible under (see SnapshotPublisher::RecordBatch).
+  Status RecordBatch(std::vector<SnapshotPublisher::ScopedObservation> batch,
+                     uint64_t* published_epoch = nullptr);
 
   /// Predicts the full cost vector of feature point `x` for `scope`
   /// against the writer-side live history (single-threaded legacy path).

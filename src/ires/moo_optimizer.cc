@@ -60,6 +60,10 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::FromCandidates(
   return result;
 }
 
+void MultiObjectiveOptimizer::OnSnapshotPublished(uint64_t epoch) const {
+  PruneStaleEpochs(epoch);
+}
+
 void MultiObjectiveOptimizer::PruneStaleEpochs(uint64_t snapshot_epoch) const {
   // A concurrent optimize still pinned to an older epoch only loses warm
   // entries (it re-predicts); correctness comes from the epoch keying.
@@ -70,7 +74,8 @@ void MultiObjectiveOptimizer::PruneStaleEpochs(uint64_t snapshot_epoch) const {
 
 StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
     const std::vector<QueryPlan>& plans, const CostPredictor& predictor,
-    size_t arity, uint64_t epoch, PredictionStats* stats) const {
+    size_t arity, uint64_t epoch, uint64_t cache_namespace,
+    PredictionStats* stats) const {
   ParallelForOptions parallel;
   parallel.threads = options_.threads;
   std::vector<Vector> costs(plans.size());
@@ -114,7 +119,8 @@ StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
   std::vector<Vector> unique_costs(representative.size());
   std::vector<size_t> to_predict;
   for (size_t s = 0; s < representative.size(); ++s) {
-    if (auto cached = cache_->Lookup(keys[representative[s]], epoch)) {
+    if (auto cached =
+            cache_->Lookup(keys[representative[s]], epoch, cache_namespace)) {
       unique_costs[s] = std::move(*cached);
       ++stats->cache_hits;
     } else {
@@ -133,7 +139,8 @@ StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
       parallel));
   stats->predictor_calls = to_predict.size();
   for (size_t s : to_predict) {
-    cache_->Insert(keys[representative[s]], unique_costs[s], epoch);
+    cache_->Insert(keys[representative[s]], unique_costs[s], epoch,
+                   cache_namespace);
   }
 
   for (size_t s = 0; s < unique_costs.size(); ++s) {
@@ -152,7 +159,7 @@ StatusOr<std::vector<Vector>> MultiObjectiveOptimizer::PredictCandidateCosts(
 StatusOr<std::vector<Vector>>
 MultiObjectiveOptimizer::PredictCandidateCostsBatched(
     const std::vector<QueryPlan>& plans, const BatchCostPredictor& predictor,
-    size_t arity, uint64_t epoch, size_t threads,
+    size_t arity, uint64_t epoch, uint64_t cache_namespace, size_t threads,
     PredictionStats* stats) const {
   ParallelForOptions parallel;
   parallel.threads = threads;
@@ -198,7 +205,8 @@ MultiObjectiveOptimizer::PredictCandidateCostsBatched(
     }
     unique_costs.resize(representative.size());
     for (size_t s = 0; s < representative.size(); ++s) {
-      if (auto cached = cache_->Lookup(features[representative[s]], epoch)) {
+      if (auto cached = cache_->Lookup(features[representative[s]], epoch,
+                                       cache_namespace)) {
         unique_costs[s] = std::move(*cached);
         ++stats->cache_hits;
       } else {
@@ -249,7 +257,8 @@ MultiObjectiveOptimizer::PredictCandidateCostsBatched(
 
   if (options_.cache_predictions) {
     for (size_t s : to_predict) {
-      cache_->Insert(features[representative[s]], unique_costs[s], epoch);
+      cache_->Insert(features[representative[s]], unique_costs[s], epoch,
+                     cache_namespace);
     }
     // Checked after the fact so cached entries from an earlier predictor
     // arity are rejected too.
@@ -324,9 +333,9 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::RunAlgorithm(
 
 StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
     const QueryPlan& logical, const CostPredictor& predictor,
-    const QueryPolicy& policy, uint64_t snapshot_epoch) const {
+    const QueryPolicy& policy, uint64_t snapshot_epoch,
+    uint64_t cache_namespace) const {
   if (!predictor) return Status::InvalidArgument("null cost predictor");
-  PruneStaleEpochs(snapshot_epoch);
 
   PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
   MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
@@ -337,7 +346,7 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
   MIDAS_ASSIGN_OR_RETURN(
       std::vector<Vector> costs,
       PredictCandidateCosts(plans, predictor, policy.weights.size(),
-                            snapshot_epoch, &stats));
+                            snapshot_epoch, cache_namespace, &stats));
 
   MIDAS_ASSIGN_OR_RETURN(
       MoqpResult result,
@@ -349,9 +358,9 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
 
 StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
     const QueryPlan& logical, const BatchCostPredictor& predictor,
-    const QueryPolicy& policy, uint64_t snapshot_epoch) const {
+    const QueryPolicy& policy, uint64_t snapshot_epoch,
+    uint64_t cache_namespace) const {
   if (!predictor) return Status::InvalidArgument("null cost predictor");
-  PruneStaleEpochs(snapshot_epoch);
 
   PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
   MIDAS_ASSIGN_OR_RETURN(std::vector<QueryPlan> plans,
@@ -362,7 +371,8 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
   MIDAS_ASSIGN_OR_RETURN(
       std::vector<Vector> costs,
       PredictCandidateCostsBatched(plans, predictor, policy.weights.size(),
-                                   snapshot_epoch, options_.threads, &stats));
+                                   snapshot_epoch, cache_namespace,
+                                   options_.threads, &stats));
 
   MIDAS_ASSIGN_OR_RETURN(
       MoqpResult result,
@@ -374,15 +384,16 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::Optimize(
 
 StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
     const QueryPlan& logical, const BatchCostPredictor& predictor,
-    const QueryPolicy& policy, uint64_t snapshot_epoch) const {
+    const QueryPolicy& policy, uint64_t snapshot_epoch,
+    uint64_t cache_namespace) const {
   if (!predictor) return Status::InvalidArgument("null cost predictor");
   if (options_.algorithm != MoqpAlgorithm::kExhaustivePareto) {
     // kWsm min-max-normalises every metric over the full candidate set
     // and the NSGA variants evolve over the full cost table, so neither
     // can be folded chunk by chunk without changing the answer.
-    return Optimize(logical, predictor, policy, snapshot_epoch);
+    return Optimize(logical, predictor, policy, snapshot_epoch,
+                    cache_namespace);
   }
-  PruneStaleEpochs(snapshot_epoch);
 
   PlanEnumerator enumerator(federation_, catalog_, options_.enumerator);
   const size_t arity = policy.weights.size();
@@ -394,7 +405,8 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
                                 : options_.shards;
   if (num_shards > 1) {
     return OptimizeShardedStreaming(enumerator, logical, predictor, policy,
-                                    chunk_size, num_shards, snapshot_epoch);
+                                    chunk_size, num_shards, snapshot_epoch,
+                                    cache_namespace);
   }
 
   PredictionStats stats;
@@ -409,8 +421,8 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
         MIDAS_ASSIGN_OR_RETURN(
             std::vector<Vector> costs,
             PredictCandidateCostsBatched(chunk, predictor, arity,
-                                         snapshot_epoch, options_.threads,
-                                         &chunk_stats));
+                                         snapshot_epoch, cache_namespace,
+                                         options_.threads, &chunk_stats));
         stats.MergeFrom(chunk_stats);
         peak_resident = std::max(peak_resident, archive.size() + chunk.size());
         // Reduce the chunk to its own front first (cheap for the 2–3
@@ -439,7 +451,8 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeStreaming(
 StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeShardedStreaming(
     const PlanEnumerator& enumerator, const QueryPlan& logical,
     const BatchCostPredictor& predictor, const QueryPolicy& policy,
-    size_t chunk_size, size_t num_shards, uint64_t snapshot_epoch) const {
+    size_t chunk_size, size_t num_shards, uint64_t snapshot_epoch,
+    uint64_t cache_namespace) const {
   MIDAS_ASSIGN_OR_RETURN(std::vector<EnumerationShard> shards,
                          enumerator.PartitionShards(logical, num_shards));
   const size_t arity = policy.weights.size();
@@ -477,8 +490,8 @@ StatusOr<MoqpResult> MultiObjectiveOptimizer::OptimizeShardedStreaming(
               MIDAS_ASSIGN_OR_RETURN(
                   std::vector<Vector> costs,
                   PredictCandidateCostsBatched(chunk, predictor, arity,
-                                               snapshot_epoch, /*threads=*/1,
-                                               &chunk_stats));
+                                               snapshot_epoch, cache_namespace,
+                                               /*threads=*/1, &chunk_stats));
               run.stats.MergeFrom(chunk_stats);
               run.peak_resident = std::max(run.peak_resident,
                                            run.archive.size() + chunk.size());

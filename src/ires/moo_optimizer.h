@@ -181,10 +181,17 @@ class MultiObjectiveOptimizer {
   /// against epoch N never reuses costs predicted at any other epoch —
   /// required for a shared cache under concurrent Record traffic. Callers
   /// with an unversioned predictor keep the default 0.
+  /// \param cache_namespace extra prediction-cache key component for
+  /// predictors that are feature-pure only within a context (e.g. a
+  /// tenant's history scope — two tenants pinned to the SAME epoch map
+  /// one feature vector to different costs, so a multi-tenant service
+  /// must pass a per-scope namespace or tenants poison each other's
+  /// cached estimates). Callers with one global predictor keep 0.
   StatusOr<MoqpResult> Optimize(const QueryPlan& logical,
                                 const CostPredictor& predictor,
                                 const QueryPolicy& policy,
-                                uint64_t snapshot_epoch = 0) const;
+                                uint64_t snapshot_epoch = 0,
+                                uint64_t cache_namespace = 0) const;
 
   /// Batched pipeline: enumerate, extract every candidate's features once
   /// into a single SoA matrix (stable candidate order), score
@@ -195,7 +202,8 @@ class MultiObjectiveOptimizer {
   StatusOr<MoqpResult> Optimize(const QueryPlan& logical,
                                 const BatchCostPredictor& predictor,
                                 const QueryPolicy& policy,
-                                uint64_t snapshot_epoch = 0) const;
+                                uint64_t snapshot_epoch = 0,
+                                uint64_t cache_namespace = 0) const;
 
   /// Streaming pipeline: enumerates candidates in
   /// options.stream_chunk_size batches, scores each chunk through the
@@ -213,7 +221,8 @@ class MultiObjectiveOptimizer {
   StatusOr<MoqpResult> OptimizeStreaming(const QueryPlan& logical,
                                          const BatchCostPredictor& predictor,
                                          const QueryPolicy& policy,
-                                         uint64_t snapshot_epoch = 0) const;
+                                         uint64_t snapshot_epoch = 0,
+                                         uint64_t cache_namespace = 0) const;
 
   /// The feature-keyed prediction memo (populated only when
   /// options.cache_predictions is set). Shared by copies of this optimizer
@@ -221,6 +230,16 @@ class MultiObjectiveOptimizer {
   /// re-targeting reuse earlier estimates.
   const FeatureCostCache& prediction_cache() const { return *cache_; }
   void ClearPredictionCache() { cache_->Clear(); }
+
+  /// Publication hook for long-lived services: evicts prediction-cache
+  /// entries from every epoch other than the newly published one, so a
+  /// server's cache stays bounded by one epoch's working set instead of
+  /// accreting an entry set per feedback batch (cumulative evictions in
+  /// prediction_cache().pruned()). Register via
+  /// SnapshotPublisher::AddPublishListener; safe concurrently with running
+  /// optimizations — one still pinned to an older epoch only loses warm
+  /// entries and re-predicts. No-op when caching is off or epoch is 0.
+  void OnSnapshotPublished(uint64_t epoch) const;
 
  private:
   struct PredictionStats {
@@ -252,7 +271,8 @@ class MultiObjectiveOptimizer {
   /// at `epoch`.
   StatusOr<std::vector<Vector>> PredictCandidateCosts(
       const std::vector<QueryPlan>& plans, const CostPredictor& predictor,
-      size_t arity, uint64_t epoch, PredictionStats* stats) const;
+      size_t arity, uint64_t epoch, uint64_t cache_namespace,
+      PredictionStats* stats) const;
 
   /// Batched variant: one ExtractFeatures pass over all candidates, then
   /// chunked matrix scoring (feature-deduplicated and cache-filtered when
@@ -263,7 +283,8 @@ class MultiObjectiveOptimizer {
   StatusOr<std::vector<Vector>> PredictCandidateCostsBatched(
       const std::vector<QueryPlan>& plans,
       const BatchCostPredictor& predictor, size_t arity, uint64_t epoch,
-      size_t threads, PredictionStats* stats) const;
+      uint64_t cache_namespace, size_t threads,
+      PredictionStats* stats) const;
 
   /// The shards != 1 arm of OptimizeStreaming: partitions the plan space,
   /// runs one enumerate→cost→fold pipeline per shard on the thread pool,
@@ -272,12 +293,14 @@ class MultiObjectiveOptimizer {
   StatusOr<MoqpResult> OptimizeShardedStreaming(
       const PlanEnumerator& enumerator, const QueryPlan& logical,
       const BatchCostPredictor& predictor, const QueryPolicy& policy,
-      size_t chunk_size, size_t num_shards, uint64_t snapshot_epoch) const;
+      size_t chunk_size, size_t num_shards, uint64_t snapshot_epoch,
+      uint64_t cache_namespace) const;
 
-  /// Drops cache entries from epochs other than `snapshot_epoch` before an
-  /// optimization starts — superseded epochs can never hit again for this
-  /// caller, so the shared cache stays bounded by one epoch's working set.
-  /// No-op for unversioned callers (epoch 0) and when caching is off.
+  /// Drops cache entries from epochs other than `snapshot_epoch`. Driven
+  /// by snapshot publication (OnSnapshotPublished) rather than at
+  /// optimization start: concurrent optimizations pinned to different
+  /// epochs would otherwise take turns evicting each other's warm
+  /// entries. No-op for epoch 0 and when caching is off.
   void PruneStaleEpochs(uint64_t snapshot_epoch) const;
 
   /// Dispatches to the configured MOQP algorithm over the predicted table.

@@ -1,5 +1,6 @@
 #include "ires/scheduler.h"
 
+#include "common/statistics.h"
 #include "ires/features.h"
 
 namespace midas {
@@ -39,14 +40,14 @@ StatusOr<Measurement> Scheduler::ExecuteAndRecord(const std::string& scope,
   return m;
 }
 
-StatusOr<std::vector<Measurement>> Scheduler::ExecuteAndRecordBatch(
+StatusOr<Scheduler::BatchWriteResult> Scheduler::ExecuteAndRecordBatch(
     const std::string& scope, const std::vector<QueryPlan>& plans) {
   if (federation_ == nullptr || simulator_ == nullptr ||
       modelling_ == nullptr) {
     return Status::FailedPrecondition("scheduler not fully wired");
   }
-  std::vector<Measurement> measurements;
-  measurements.reserve(plans.size());
+  BatchWriteResult result;
+  result.measurements.reserve(plans.size());
   std::vector<SnapshotPublisher::ScopedObservation> batch;
   batch.reserve(plans.size());
   Status first_error = Status::OK();
@@ -66,15 +67,21 @@ StatusOr<std::vector<Measurement>> Scheduler::ExecuteAndRecordBatch(
     obs.features = std::move(*features);
     obs.costs = MeasurementToCosts(*m);
     batch.push_back({scope, std::move(obs)});
-    measurements.push_back(*m);
+    result.measurements.push_back(*m);
   }
   // Record whatever executed even when a later plan failed: the feedback
   // is real and readers see it atomically under one epoch either way.
   if (!batch.empty()) {
-    MIDAS_RETURN_IF_ERROR(modelling_->RecordBatch(std::move(batch)));
+    const double start = MonotonicSeconds();
+    MIDAS_RETURN_IF_ERROR(
+        modelling_->RecordBatch(std::move(batch), &result.published_epoch));
+    result.publish_seconds = MonotonicSeconds() - start;
+    result.published = true;
+  } else {
+    result.published_epoch = modelling_->publisher().epoch();
   }
   MIDAS_RETURN_IF_ERROR(first_error);
-  return measurements;
+  return result;
 }
 
 }  // namespace midas

@@ -1,6 +1,7 @@
 #ifndef MIDAS_IRES_SCHEDULER_H_
 #define MIDAS_IRES_SCHEDULER_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,11 +31,31 @@ class Scheduler {
   StatusOr<Measurement> ExecuteAndRecord(const std::string& scope,
                                          const QueryPlan& plan);
 
+  /// \brief What one atomic feedback batch produced: the measurements plus
+  /// the publication the batch landed in, so writer clients (the serving
+  /// layer's feedback path, drift loops) can observe how much latency the
+  /// snapshot publication itself adds and which epoch their observations
+  /// became visible under.
+  struct BatchWriteResult {
+    /// Per-plan measurements, in plan order.
+    std::vector<Measurement> measurements;
+    /// Epoch the batch was published under (the standing epoch when the
+    /// batch was empty and nothing was published).
+    uint64_t published_epoch = 0;
+    /// Wall-clock seconds spent inside the publisher's RecordBatch —
+    /// the delta-replay + publication cost feedback writers pay, which
+    /// concurrent snapshot-pinned readers never block on.
+    double publish_seconds = 0.0;
+    /// Whether any observation was recorded (false for an empty batch:
+    /// no publication happened and publish_seconds is 0).
+    bool published = false;
+  };
+
   /// Executes every plan and records all measurements under ONE published
   /// snapshot epoch — readers either see the whole batch or none of it.
-  /// Returns the measurements in plan order; stops at the first failing
+  /// Measurements come back in plan order; stops at the first failing
   /// execution (already-executed plans are still recorded and published).
-  StatusOr<std::vector<Measurement>> ExecuteAndRecordBatch(
+  StatusOr<BatchWriteResult> ExecuteAndRecordBatch(
       const std::string& scope, const std::vector<QueryPlan>& plans);
 
   /// Executes without recording (e.g., validation runs whose cost must not

@@ -1,5 +1,7 @@
 #include "midas/midas.h"
 
+#include <functional>
+
 #include "ires/features.h"
 #include "query/enumerator.h"
 
@@ -21,6 +23,14 @@ MidasSystem::MidasSystem(Federation federation, Catalog catalog,
                                            modelling_.get());
   optimizer_ = std::make_unique<MultiObjectiveOptimizer>(
       &federation_, &catalog_, options_.moqp);
+  // Long-lived-service hygiene: each published feedback epoch immediately
+  // evicts prediction-cache entries keyed to superseded epochs, so the
+  // cache footprint tracks one epoch's working set no matter how long the
+  // process serves (no-op unless moqp.cache_predictions is on).
+  modelling_->publisher().AddPublishListener(
+      [optimizer = optimizer_.get()](uint64_t epoch) {
+        optimizer->OnSnapshotPublished(epoch);
+      });
 }
 
 Status MidasSystem::Bootstrap(const std::string& scope,
@@ -50,14 +60,16 @@ StatusOr<Vector> MidasSystem::PredictPlanCosts(
   return modelling_->Predict(snapshot, scope, features, options_.estimator);
 }
 
-StatusOr<MidasSystem::QueryOutcome> MidasSystem::RunQuery(
-    const std::string& scope, const QueryPlan& logical,
-    const QueryPolicy& policy) {
-  // Pin one estimator snapshot for the whole optimization: every candidate
-  // cost comes from the same epoch, and the cache (if enabled) is keyed by
-  // it, so feedback recorded concurrently can never skew this query's
-  // Pareto front.
-  std::shared_ptr<const EstimatorSnapshot> snapshot = modelling_->Snapshot();
+StatusOr<QueryOutcome> MidasSystem::OptimizeQuery(
+    const std::shared_ptr<const EstimatorSnapshot>& snapshot,
+    const QueryRequest& request) const {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("OptimizeQuery needs a pinned snapshot");
+  }
+  // Prediction-cache namespace: costs are a function of (features, epoch)
+  // only WITHIN one history scope — concurrent tenants pinned to the same
+  // epoch must not read each other's cached estimates.
+  const uint64_t cache_namespace = std::hash<std::string>{}(request.scope);
   QueryOutcome outcome;
   if (options_.moqp.shards != 1) {
     // Sharded streaming: disjoint slices of the plan space run whole
@@ -68,27 +80,43 @@ StatusOr<MidasSystem::QueryOutcome> MidasSystem::RunQuery(
     // (MIDAS_FORCE_SCALAR), within the SIMD layer's 1e-12 relative drift
     // budget otherwise (GEMM tiles vs per-row dots reassociate the sums).
     MultiObjectiveOptimizer::BatchCostPredictor batch_predictor =
-        [this, &scope, &snapshot](const Matrix& features,
-                                  Matrix* costs) -> Status {
+        [this, &request, &snapshot](const Matrix& features,
+                                    Matrix* costs) -> Status {
       MIDAS_ASSIGN_OR_RETURN(
-          *costs, modelling_->PredictBatch(*snapshot, scope, features,
+          *costs, modelling_->PredictBatch(*snapshot, request.scope, features,
                                            options_.estimator));
       return Status::OK();
     };
     MIDAS_ASSIGN_OR_RETURN(
         outcome.moqp,
-        optimizer_->OptimizeStreaming(logical, batch_predictor, policy,
-                                      snapshot->epoch()));
+        optimizer_->OptimizeStreaming(request.logical, batch_predictor,
+                                      request.policy, snapshot->epoch(),
+                                      cache_namespace));
   } else {
-    auto predictor = [this, &scope, &snapshot](const QueryPlan& plan) {
-      return PredictPlanCosts(*snapshot, scope, plan);
+    auto predictor = [this, &request, &snapshot](const QueryPlan& plan) {
+      return PredictPlanCosts(*snapshot, request.scope, plan);
     };
     MIDAS_ASSIGN_OR_RETURN(
         outcome.moqp,
-        optimizer_->Optimize(logical, predictor, policy, snapshot->epoch()));
+        optimizer_->Optimize(request.logical, predictor, request.policy,
+                             snapshot->epoch(), cache_namespace));
   }
   outcome.predicted = outcome.moqp.chosen_costs();
   outcome.estimator = EstimatorName(options_.estimator);
+  return outcome;
+}
+
+StatusOr<QueryOutcome> MidasSystem::RunQuery(const std::string& scope,
+                                             const QueryPlan& logical,
+                                             const QueryPolicy& policy) {
+  // Pin one estimator snapshot for the whole optimization: every candidate
+  // cost comes from the same epoch, and the cache (if enabled) is keyed by
+  // it, so feedback recorded concurrently can never skew this query's
+  // Pareto front.
+  QueryRequest request{scope, logical, policy};
+  MIDAS_ASSIGN_OR_RETURN(
+      QueryOutcome outcome,
+      OptimizeQuery(modelling_->Snapshot(), request));
   MIDAS_ASSIGN_OR_RETURN(
       outcome.actual,
       scheduler_->ExecuteAndRecord(scope, outcome.moqp.chosen_plan()));

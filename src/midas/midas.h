@@ -25,6 +25,29 @@ struct MidasOptions {
   uint64_t seed = 2019;
 };
 
+/// \brief One optimization request as the Interface receives it: the
+/// history scope it predicts under, the logical plan to optimize and the
+/// user policy Algorithm 2 selects with. The unit of work RunQuery and
+/// the serving layer's QueryService both consume.
+struct QueryRequest {
+  std::string scope;
+  QueryPlan logical;
+  QueryPolicy policy;
+};
+
+/// \brief Everything one query's pipeline produced.
+struct QueryOutcome {
+  /// The Pareto set and the chosen plan.
+  MoqpResult moqp;
+  /// Cost vector the estimator predicted for the chosen plan.
+  Vector predicted;
+  /// What actually happened when the plan ran (zero-initialised until the
+  /// plan is executed — OptimizeQuery alone never runs anything).
+  Measurement actual;
+  /// Which estimator produced `predicted` ("DREAM", "BML_N", ...).
+  std::string estimator;
+};
+
 /// \brief MIDAS — the medical data management system of Figure 1, wiring
 /// together the cloud federation, the IReS modules (Modelling with DREAM,
 /// Multi-Objective Optimizer, Scheduler) and the execution engines.
@@ -53,17 +76,25 @@ class MidasSystem {
   Status Bootstrap(const std::string& scope, const QueryPlan& logical,
                    size_t runs);
 
-  /// \brief Everything RunQuery produced.
-  struct QueryOutcome {
-    /// The Pareto set and the chosen plan.
-    MoqpResult moqp;
-    /// Cost vector the estimator predicted for the chosen plan.
-    Vector predicted;
-    /// What actually happened when the plan ran.
-    Measurement actual;
-    /// Which estimator produced `predicted` ("DREAM", "BML_N", ...).
-    std::string estimator;
-  };
+  /// RunQuery's result type, at namespace scope since the serving layer
+  /// produces the same outcomes.
+  using QueryOutcome = midas::QueryOutcome;
+
+  /// \brief The read-only half of RunQuery: enumerate → cost → Pareto →
+  /// Algorithm 2 for `request`, predicting every candidate against the
+  /// pinned `snapshot` (whose epoch lands in MoqpResult::snapshot_epoch).
+  /// Fills moqp/predicted/estimator; `actual` stays zero — nothing
+  /// executes and no feedback is recorded.
+  ///
+  /// Const and safe to call concurrently from many threads against the
+  /// same or different snapshots — the concurrency point the QueryService
+  /// executor slots fan out over. (The DREAM default and the deterministic
+  /// BML selector are both pure functions of the snapshot's frozen
+  /// windows; the shared prediction cache is epoch-keyed and
+  /// lock-striped.)
+  StatusOr<QueryOutcome> OptimizeQuery(
+      const std::shared_ptr<const EstimatorSnapshot>& snapshot,
+      const QueryRequest& request) const;
 
   /// Full pipeline for one query. The whole optimization predicts against
   /// ONE pinned estimator snapshot (its epoch is reported in
@@ -79,6 +110,13 @@ class MidasSystem {
   StatusOr<QueryOutcome> RunQuery(const std::string& scope,
                                   const QueryPlan& logical,
                                   const QueryPolicy& policy);
+
+  /// The IReS execution layer (simulated engines + feedback recording).
+  /// Exposed for serving-layer clients that split optimization from
+  /// execution; Scheduler methods mutate the simulator clock and variance
+  /// state, so concurrent callers must serialize their executions (the
+  /// QueryService feedback path does).
+  Scheduler& scheduler() { return *scheduler_; }
 
   /// Predicts plan costs for `scope` with the configured estimator —
   /// exposed for experiments that bypass execution. Reads the live

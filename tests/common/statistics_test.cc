@@ -1,8 +1,12 @@
 #include "common/statistics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/random.h"
 
 namespace midas {
 namespace {
@@ -115,6 +119,94 @@ TEST(RunningStatsTest, SingleValueHasZeroVariance) {
   rs.Add(3.0);
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
   EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+}
+
+TEST(LatencyRecorderTest, EmptyRecorderErrorsOnQuantile) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_FALSE(rec.ValueAtQuantile(0.5).ok());
+  EXPECT_EQ(rec.min_nanos(), 0u);
+  EXPECT_EQ(rec.max_nanos(), 0u);
+  EXPECT_DOUBLE_EQ(rec.mean_nanos(), 0.0);
+}
+
+TEST(LatencyRecorderTest, SmallValuesAreExact) {
+  // Values below 2^kSubBucketBits land in width-1 buckets, so every
+  // quantile of a small-valued sample is exact.
+  LatencyRecorder rec;
+  for (uint64_t v = 1; v <= 20; ++v) rec.Record(v);
+  EXPECT_EQ(rec.count(), 20u);
+  EXPECT_EQ(rec.min_nanos(), 1u);
+  EXPECT_EQ(rec.max_nanos(), 20u);
+  EXPECT_DOUBLE_EQ(rec.ValueAtQuantile(0.0).ValueOrDie(), 1.0);
+  EXPECT_DOUBLE_EQ(rec.ValueAtQuantile(0.5).ValueOrDie(), 10.0);
+  EXPECT_DOUBLE_EQ(rec.ValueAtQuantile(1.0).ValueOrDie(), 20.0);
+}
+
+TEST(LatencyRecorderTest, QuantilesWithinBucketErrorOfExact) {
+  // Log-normal-ish spread over nine decades; every reported quantile must
+  // sit within the histogram's relative error of the exact nearest-rank
+  // answer.
+  Rng rng(7);
+  std::vector<uint64_t> samples;
+  LatencyRecorder rec;
+  for (size_t i = 0; i < 20000; ++i) {
+    const double log_ns = rng.Uniform(0.0, 9.0);
+    const uint64_t v = static_cast<uint64_t>(std::pow(10.0, log_ns));
+    samples.push_back(v);
+    rec.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    const double exact = static_cast<double>(samples[rank - 1]);
+    const double reported = rec.ValueAtQuantile(q).ValueOrDie();
+    // Half a sub-bucket of relative error, plus slack for the rank
+    // falling on a bucket boundary.
+    EXPECT_NEAR(reported, exact, exact / LatencyRecorder::kSubBuckets + 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyRecorderTest, HugeValuesDoNotOverflow) {
+  LatencyRecorder rec;
+  const uint64_t huge = ~uint64_t{0};
+  rec.Record(huge);
+  rec.Record(1);
+  EXPECT_EQ(rec.max_nanos(), huge);
+  // q=1 clamps to the exact maximum.
+  EXPECT_DOUBLE_EQ(rec.ValueAtQuantile(1.0).ValueOrDie(),
+                   static_cast<double>(huge));
+}
+
+TEST(LatencyRecorderTest, MergeMatchesSingleRecorder) {
+  Rng rng(11);
+  LatencyRecorder all;
+  LatencyRecorder parts[4];
+  for (size_t i = 0; i < 4000; ++i) {
+    const uint64_t v = 1 + rng.Index(1000000);
+    all.Record(v);
+    parts[i % 4].Record(v);
+  }
+  LatencyRecorder merged;
+  for (const LatencyRecorder& part : parts) merged.MergeFrom(part);
+  EXPECT_EQ(merged.count(), all.count());
+  EXPECT_EQ(merged.min_nanos(), all.min_nanos());
+  EXPECT_EQ(merged.max_nanos(), all.max_nanos());
+  EXPECT_DOUBLE_EQ(merged.mean_nanos(), all.mean_nanos());
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged.ValueAtQuantile(q).ValueOrDie(),
+                     all.ValueAtQuantile(q).ValueOrDie());
+  }
+}
+
+TEST(LatencyRecorderTest, ResetDropsEverything) {
+  LatencyRecorder rec;
+  rec.Record(42);
+  rec.Reset();
+  EXPECT_EQ(rec.count(), 0u);
+  EXPECT_FALSE(rec.ValueAtQuantile(0.5).ok());
 }
 
 }  // namespace

@@ -120,6 +120,30 @@ TEST(FeatureCostCacheTest, EpochsNeverShareEntries) {
   EXPECT_EQ((*cache.Lookup(key, 1))[0], 10.0);
 }
 
+TEST(FeatureCostCacheTest, NamespacesNeverShareEntries) {
+  // Two tenants pinned to the SAME epoch map one feature vector to
+  // different costs (each tenant's estimator is fitted on its own history
+  // scope) — the per-scope namespace keeps their entries apart.
+  FeatureCostCache cache;
+  const Vector key = {64.0, 4.0};
+  cache.Insert(key, {10.0, 0.5}, /*epoch=*/7, /*cache_namespace=*/1);
+  EXPECT_FALSE(cache.Lookup(key, 7, /*cache_namespace=*/2).has_value());
+  EXPECT_FALSE(cache.Lookup(key, 7, /*cache_namespace=*/0).has_value());
+  EXPECT_EQ((*cache.Lookup(key, 7, 1))[0], 10.0);
+
+  cache.Insert(key, {99.0, 9.9}, /*epoch=*/7, /*cache_namespace=*/2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ((*cache.Lookup(key, 7, 1))[0], 10.0);
+  EXPECT_EQ((*cache.Lookup(key, 7, 2))[0], 99.0);
+
+  // Epoch pruning cuts across namespaces: superseded epochs vanish for
+  // every tenant at once.
+  cache.Insert(key, {1.0, 1.0}, /*epoch=*/8, /*cache_namespace=*/1);
+  EXPECT_EQ(cache.PruneOtherEpochs(8), 2u);
+  EXPECT_FALSE(cache.Lookup(key, 7, 1).has_value());
+  EXPECT_EQ((*cache.Lookup(key, 8, 1))[0], 1.0);
+}
+
 TEST(FeatureCostCacheTest, DefaultEpochMatchesLegacyCalls) {
   // Unversioned callers (no epoch argument) keep the old behaviour.
   FeatureCostCache cache;
@@ -140,13 +164,31 @@ TEST(FeatureCostCacheTest, PruneOtherEpochsKeepsCountersCumulative) {
   const uint64_t hits_before = cache.hits();
   const uint64_t misses_before = cache.misses();
 
-  cache.PruneOtherEpochs(2);
+  EXPECT_EQ(cache.PruneOtherEpochs(2), 10u);
   EXPECT_EQ(cache.size(), 10u);
   // Counters survive the prune (cumulative across the cache's lifetime).
   EXPECT_EQ(cache.hits(), hits_before);
   EXPECT_EQ(cache.misses(), misses_before);
+  EXPECT_EQ(cache.pruned(), 10u);
   EXPECT_FALSE(cache.Lookup({0.0}, 1).has_value());
   EXPECT_EQ((*cache.Lookup({0.0}, 2))[0], 2.0);
+}
+
+TEST(FeatureCostCacheTest, PrunedCounterAccumulatesAcrossPrunes) {
+  FeatureCostCache cache;
+  cache.Insert({1.0}, {1.0}, /*epoch=*/1);
+  cache.Insert({2.0}, {2.0}, /*epoch=*/2);
+  cache.Insert({3.0}, {3.0}, /*epoch=*/3);
+  EXPECT_EQ(cache.PruneOtherEpochs(2), 2u);
+  EXPECT_EQ(cache.pruned(), 2u);
+  // Pruning to the already-kept epoch evicts nothing.
+  EXPECT_EQ(cache.PruneOtherEpochs(2), 0u);
+  EXPECT_EQ(cache.pruned(), 2u);
+  cache.Insert({4.0}, {4.0}, /*epoch=*/4);
+  EXPECT_EQ(cache.PruneOtherEpochs(4), 1u);
+  EXPECT_EQ(cache.pruned(), 3u);
+  cache.Clear();
+  EXPECT_EQ(cache.pruned(), 0u);
 }
 
 TEST(FeatureCostCacheTest, ShardCountRoundsUpToPowerOfTwo) {

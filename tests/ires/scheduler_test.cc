@@ -99,6 +99,50 @@ TEST(SchedulerTest, UnwiredSchedulerFails) {
   EXPECT_FALSE(no_model.ExecuteAndRecord("s", h.AnnotatedScan()).ok());
 }
 
+TEST(SchedulerTest, BatchWriteReportsPublicationEpochAndLatency) {
+  Harness h;
+  Scheduler scheduler(&h.federation, h.simulator.get(), h.modelling.get());
+  const uint64_t before = h.modelling->publisher().epoch();
+  auto result = scheduler.ExecuteAndRecordBatch(
+      "s", {h.AnnotatedScan(), h.AnnotatedScan(2), h.AnnotatedScan(3)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->measurements.size(), 3u);
+  // The whole batch lands under exactly one published epoch, and the
+  // result says which so the writer can correlate feedback with the
+  // snapshot readers will pin.
+  EXPECT_TRUE(result->published);
+  EXPECT_EQ(result->published_epoch, before + 1);
+  EXPECT_EQ(h.modelling->publisher().epoch(), before + 1);
+  EXPECT_GE(result->publish_seconds, 0.0);
+  EXPECT_EQ(h.modelling->history().SizeOf("s"), 3u);
+}
+
+TEST(SchedulerTest, EmptyBatchPublishesNothing) {
+  Harness h;
+  Scheduler scheduler(&h.federation, h.simulator.get(), h.modelling.get());
+  scheduler.ExecuteAndRecord("s", h.AnnotatedScan()).status().CheckOK();
+  const uint64_t before = h.modelling->publisher().epoch();
+  auto result = scheduler.ExecuteAndRecordBatch("s", {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->measurements.empty());
+  EXPECT_FALSE(result->published);
+  EXPECT_EQ(result->published_epoch, before);
+  EXPECT_DOUBLE_EQ(result->publish_seconds, 0.0);
+  EXPECT_EQ(h.modelling->publisher().epoch(), before);
+}
+
+TEST(SchedulerTest, BatchStopsAtFirstFailureButRecordsPrefix) {
+  Harness h;
+  Scheduler scheduler(&h.federation, h.simulator.get(), h.modelling.get());
+  QueryPlan unannotated(MakeScan("t"));
+  auto result = scheduler.ExecuteAndRecordBatch(
+      "s", {h.AnnotatedScan(), unannotated, h.AnnotatedScan(2)});
+  // The failing plan surfaces as the batch error, but the already-executed
+  // prefix is real feedback and was recorded atomically.
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(h.modelling->history().SizeOf("s"), 1u);
+}
+
 TEST(SchedulerTest, RecordingFailureDoesNotCorruptHistory) {
   Harness h;
   Scheduler scheduler(&h.federation, h.simulator.get(), h.modelling.get());
