@@ -9,11 +9,15 @@
 // LatencyRecorders. Emits BENCH_serve.json; run via
 // scripts/bench_serve.sh.
 //
-// On a single-core host the executor slots cannot overlap optimizations,
-// so multi-tenant throughput measures scheduling overhead (it should
-// track the serial baseline); with real cores the concurrent
-// optimization half pulls ahead. hardware_concurrency is recorded so
-// consumers can tell the regimes apart.
+// Reading the numbers: the 1-tenant row is the apples-to-apples
+// overhead check against the serial baseline (same tenant, same history
+// growth) and should sit at ~1x. The 8/64-tenant rows can exceed serial
+// even on a single-core host — closed-loop tenants each accrue 1/N of
+// the feedback, so per-tenant DREAM windows stay shorter and estimates
+// cheaper, while the serial baseline piles every observation into one
+// scope. hardware_concurrency and slots are recorded so single-core
+// rows are not misread as scaling results; with real cores the slots
+// add genuine optimization overlap on top.
 
 #include <atomic>
 #include <chrono>
