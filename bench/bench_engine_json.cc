@@ -1,0 +1,294 @@
+// Vectorized-engine benchmark: lowers TPC-H scan/filter/aggregate and
+// join pipelines over generator-materialized columns (SF 0.1, the paper's
+// 100 MiB dataset) and times the batch-at-a-time vectorized engine against
+// the row-at-a-time reference interpreter, reporting plans/sec and
+// rows/sec for both. Every workload is a correctness gate first: the
+// vectorized output must be bit-identical (same ResultDigest) to the
+// oracle at every measured batch size, and the process exits nonzero on
+// any mismatch. In full mode the scan/filter/aggregate workload must also
+// clear a 5x speedup floor over the oracle. `--quick` shrinks the data to
+// a CI-sized correctness gate and skips the speedup floor (it still
+// reports the measured ratio). Run via scripts/bench_engine.sh; the
+// dispatched SIMD tier and hardware_concurrency are recorded because the
+// select kernels dispatch at runtime.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_env_common.h"
+#include "common/cpu_features.h"
+#include "common/statistics.h"
+#include "exec/engine.h"
+#include "exec/lower.h"
+#include "linalg/simd.h"
+#include "tpch/table_provider.h"
+#include "tpch/tpch_schema.h"
+
+namespace midas {
+namespace {
+
+struct BenchConfig {
+  bool quick = false;
+  double scale_factor = 0.1;      // 100 MiB TPC-H
+  uint64_t max_rows_per_table = 0;
+  int min_iters = 3;
+  double min_seconds = 0.5;       // per engine per workload
+  double speedup_floor = 5.0;     // full mode only, scan/filter/agg
+};
+
+Predicate Pred(const std::string& column, double selectivity) {
+  Predicate p;
+  p.column = column;
+  p.op = CompareOp::kLe;
+  p.selectivity_override = selectivity;
+  return p;
+}
+
+struct WorkloadDef {
+  std::string name;
+  QueryPlan plan;
+};
+
+std::vector<WorkloadDef> MakeWorkloads() {
+  std::vector<WorkloadDef> workloads;
+  // The acceptance workload: full lineitem scan, two-column filter, grouped
+  // aggregation — the shape TPC-H Q1 stresses.
+  {
+    auto filter = MakeFilter(MakeScan("lineitem"),
+                             {Pred("l_quantity", 0.45),
+                              Pred("l_extendedprice", 0.6)});
+    workloads.push_back(
+        {"scan_filter_agg", QueryPlan(MakeAggregate(std::move(filter), 7))});
+  }
+  {
+    workloads.push_back(
+        {"scan_filter",
+         QueryPlan(MakeFilter(MakeScan("lineitem"),
+                              {Pred("l_quantity", 0.25)}))});
+  }
+  // Join shape: lineitem x orders on the order key, then aggregate, the
+  // skeleton of Q12.
+  {
+    auto join = MakeJoin(MakeFilter(MakeScan("lineitem"),
+                                    {Pred("l_quantity", 0.5)}),
+                         MakeScan("orders"), "l_orderkey", "o_orderkey");
+    workloads.push_back(
+        {"join_agg", QueryPlan(MakeAggregate(std::move(join), 13))});
+  }
+  return workloads;
+}
+
+struct EngineTiming {
+  double plans_per_sec = 0.0;
+  double rows_per_sec = 0.0;  // base-table rows consumed per second
+  uint64_t digest = 0;
+};
+
+struct WorkloadResult {
+  std::string name;
+  uint64_t input_rows = 0;
+  EngineTiming vectorized;
+  EngineTiming oracle;
+  double speedup = 0.0;
+};
+
+uint64_t InputRows(const exec::LoweredPlan& plan) {
+  uint64_t rows = 0;
+  for (const exec::LoweredOp& op : plan.ops) {
+    if (op.kind == OperatorKind::kScan) rows += op.scan_rows;
+  }
+  return rows;
+}
+
+/// Runs `plan` repeatedly under `opts` until the clock budget is spent
+/// and returns throughput; every run's digest must match the first.
+StatusOr<EngineTiming> TimeEngine(const exec::LoweredPlan& plan,
+                                  exec::TableProvider* provider,
+                                  const exec::ExecOptions& opts,
+                                  const BenchConfig& config,
+                                  uint64_t input_rows) {
+  EngineTiming timing;
+  int iters = 0;
+  double elapsed = 0.0;
+  while (iters < config.min_iters || elapsed < config.min_seconds) {
+    const double start = MonotonicSeconds();
+    MIDAS_ASSIGN_OR_RETURN(exec::ExecResult result,
+                           exec::ExecutePlan(plan, provider, opts));
+    elapsed += MonotonicSeconds() - start;
+    if (iters == 0) {
+      timing.digest = result.digest;
+    } else if (result.digest != timing.digest) {
+      return Status::Internal("nondeterministic digest across runs");
+    }
+    ++iters;
+  }
+  timing.plans_per_sec = iters / elapsed;
+  timing.rows_per_sec = timing.plans_per_sec * input_rows;
+  return timing;
+}
+
+int Run(const char* out_path, const BenchConfig& config) {
+  auto catalog_or = tpch::MakeCatalog(config.scale_factor);
+  if (!catalog_or.ok()) {
+    std::fprintf(stderr, "catalog: %s\n",
+                 catalog_or.status().ToString().c_str());
+    return 1;
+  }
+  const Catalog& catalog = catalog_or.value();
+  auto cache = std::make_shared<exec::TableCache>(2ull << 30);
+  tpch::CachedTableProvider provider(
+      tpch::DbGen(config.scale_factor), cache, config.max_rows_per_table);
+
+  exec::LowerOptions lower_opts;
+  lower_opts.max_rows_per_table = config.max_rows_per_table;
+
+  std::vector<WorkloadResult> results;
+  bool gate_failed = false;
+  for (WorkloadDef& wl : MakeWorkloads()) {
+    auto lowered = exec::LowerPlan(catalog, wl.plan, lower_opts);
+    if (!lowered.ok()) {
+      std::fprintf(stderr, "lowering %s failed: %s\n", wl.name.c_str(),
+                   lowered.status().ToString().c_str());
+      return 1;
+    }
+    const exec::LoweredPlan& plan = lowered.value();
+
+    WorkloadResult result;
+    result.name = wl.name;
+    result.input_rows = InputRows(plan);
+
+    exec::ExecOptions oracle_opts;
+    oracle_opts.engine = exec::EngineKindExec::kRowOracle;
+    auto oracle =
+        TimeEngine(plan, &provider, oracle_opts, config, result.input_rows);
+    if (!oracle.ok()) {
+      std::fprintf(stderr, "oracle %s failed: %s\n", wl.name.c_str(),
+                   oracle.status().ToString().c_str());
+      return 1;
+    }
+    result.oracle = oracle.value();
+
+    // Correctness gate: bit-identical to the oracle at several batch sizes;
+    // only the last (default) size is the timed measurement.
+    for (size_t batch_rows : {257u, 1024u, 4096u}) {
+      exec::ExecOptions opts;
+      opts.engine = exec::EngineKindExec::kVectorized;
+      opts.batch_rows = batch_rows;
+      auto timed =
+          TimeEngine(plan, &provider, opts, config, result.input_rows);
+      if (!timed.ok()) {
+        std::fprintf(stderr, "vectorized %s failed: %s\n", wl.name.c_str(),
+                     timed.status().ToString().c_str());
+        return 1;
+      }
+      if (timed.value().digest != result.oracle.digest) {
+        std::fprintf(stderr,
+                     "DIGEST MISMATCH: %s at batch_rows=%zu "
+                     "(vectorized %016llx vs oracle %016llx)\n",
+                     wl.name.c_str(), batch_rows,
+                     static_cast<unsigned long long>(timed.value().digest),
+                     static_cast<unsigned long long>(result.oracle.digest));
+        gate_failed = true;
+      }
+      result.vectorized = timed.value();
+    }
+    result.speedup = result.oracle.plans_per_sec > 0.0
+                         ? result.vectorized.plans_per_sec /
+                               result.oracle.plans_per_sec
+                         : 0.0;
+    std::printf("%-16s %9llu rows   vectorized %10.1f plans/s "
+                "(%12.0f rows/s)   oracle %8.2f plans/s   x%.1f\n",
+                result.name.c_str(),
+                static_cast<unsigned long long>(result.input_rows),
+                result.vectorized.plans_per_sec,
+                result.vectorized.rows_per_sec, result.oracle.plans_per_sec,
+                result.speedup);
+    results.push_back(std::move(result));
+  }
+
+  if (!config.quick) {
+    for (const WorkloadResult& r : results) {
+      if (r.name == "scan_filter_agg" && r.speedup < config.speedup_floor) {
+        std::fprintf(stderr,
+                     "SPEEDUP FLOOR MISSED: %s at x%.2f (floor x%.1f)\n",
+                     r.name.c_str(), r.speedup, config.speedup_floor);
+        gate_failed = true;
+      }
+    }
+  }
+
+  std::string json = "{\n";
+  json += "  \"benchmark\": \"vectorized_engine\",\n";
+  json += "  \"git_commit\": \"" + GitCommitOrUnknown() + "\",\n";
+  json += "  \"mode\": \"" + std::string(config.quick ? "quick" : "full") +
+          "\",\n";
+  json += "  \"scale_factor\": " + std::to_string(config.scale_factor) +
+          ",\n";
+  json += "  \"simd_tier\": \"" +
+          std::string(SimdTierName(simd::ActiveTier())) + "\",\n";
+  json += "  \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"workload\": \"%s\", \"input_rows\": %llu, "
+        "\"vectorized_plans_per_sec\": %.2f, "
+        "\"vectorized_rows_per_sec\": %.0f, "
+        "\"oracle_plans_per_sec\": %.2f, \"oracle_rows_per_sec\": %.0f, "
+        "\"speedup\": %.2f, \"digest\": \"%016llx\"}%s\n",
+        r.name.c_str(), static_cast<unsigned long long>(r.input_rows),
+        r.vectorized.plans_per_sec, r.vectorized.rows_per_sec,
+        r.oracle.plans_per_sec, r.oracle.rows_per_sec, r.speedup,
+        static_cast<unsigned long long>(r.oracle.digest),
+        i + 1 < results.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return gate_failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace midas
+
+int main(int argc, char** argv) {
+  midas::BenchConfig config;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      config.quick = true;
+    } else if (out_path == nullptr) {
+      out_path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s <output.json> [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (out_path == nullptr) {
+    std::fprintf(stderr, "usage: %s <output.json> [--quick]\n", argv[0]);
+    return 2;
+  }
+  if (config.quick) {
+    config.scale_factor = 0.01;
+    config.max_rows_per_table = 20000;
+    config.min_iters = 2;
+    config.min_seconds = 0.05;
+  }
+  std::printf("dispatched SIMD tier: %s\n",
+              midas::SimdTierName(midas::simd::ActiveTier()));
+  return midas::Run(out_path, config);
+}

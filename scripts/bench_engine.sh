@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds and runs the vectorized-engine benchmark (bench_engine_json):
+# TPC-H scan/filter/aggregate and join pipelines at SF 0.1 (the paper's
+# 100 MiB dataset) are lowered once and executed on both the columnar
+# vectorized engine and the row-at-a-time reference interpreter, timing
+# plans/sec and rows/sec for each. The benchmark is a correctness gate
+# first — vectorized output must be bit-identical to the oracle at every
+# batch size, and in full mode the scan/filter/aggregate workload must
+# clear a 5x speedup floor — and exits nonzero on any violation. Writes
+# the machine-readable results to BENCH_engine.json at the repo root so
+# the engine's perf trajectory is tracked across PRs. Pass --quick for
+# the CI-sized correctness-gate variant (small data, no speedup floor) —
+# quick runs write their JSON into the build tree so the tracked
+# full-run artefact is never overwritten by a gate run. Override
+# BUILD_DIR to gate alternate presets (e.g. the force-scalar build).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+# Stamp results with the measured code version (read by the emitters).
+export MIDAS_GIT_COMMIT="${MIDAS_GIT_COMMIT:-$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)}"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+quick=""
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick="--quick" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" --target bench_engine_json -j "$(nproc)"
+
+json_out="$repo_root/BENCH_engine.json"
+if [[ -n "$quick" ]]; then
+  json_out="$build_dir/BENCH_engine_quick.json"
+fi
+"$build_dir/bench/bench_engine_json" "$json_out" $quick
+echo "wrote $json_out"

@@ -50,4 +50,15 @@ echo "=== bench: sharded streaming cross-check (--quick) ==="
 echo "=== bench: multi-tenant serving smoke (--quick) ==="
 "$repo_root/scripts/bench_serve.sh" --quick
 
+# Vectorized-engine cross-check: the quick bench lowers TPC-H pipelines
+# and exits nonzero unless the vectorized engine's output is bit-identical
+# to the row-at-a-time oracle at every batch size. Run against both the
+# default preset (dispatched SIMD select kernels) and the force-scalar
+# preset (vector tiers compiled out), so the batch==scalar==oracle
+# equivalence holds on every change under both kernel sets.
+echo "=== bench: vectorized engine cross-check (--quick) ==="
+"$repo_root/scripts/bench_engine.sh" --quick
+echo "=== bench: vectorized engine cross-check, force-scalar (--quick) ==="
+BUILD_DIR="$repo_root/build-force-scalar" "$repo_root/scripts/bench_engine.sh" --quick
+
 echo "=== all presets green ==="

@@ -1,0 +1,96 @@
+#ifndef MIDAS_EXEC_BATCH_H_
+#define MIDAS_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "exec/column.h"
+
+namespace midas {
+namespace exec {
+
+/// \brief A read-only view of one column's slice inside a Batch.
+///
+/// Points either into a materialized base table (zero-copy scan slices) or
+/// into batch-owned output columns; the owning Batch keeps the backing
+/// storage alive. String offsets are absolute arena positions, so a slice
+/// is just the offsets pointer advanced to the slice start with the arena
+/// base unchanged.
+struct ColumnVector {
+  ColumnType type = ColumnType::kInt;
+  const int64_t* ints = nullptr;
+  const double* doubles = nullptr;
+  const uint32_t* offsets = nullptr;  // rows + 1 entries when string-like
+  const char* arena = nullptr;
+
+  bool is_string_like() const {
+    return type == ColumnType::kString || type == ColumnType::kDate;
+  }
+
+  std::string_view StringAt(size_t i) const {
+    return std::string_view(arena + offsets[i], offsets[i + 1] - offsets[i]);
+  }
+
+  /// Full view over a materialized column.
+  static ColumnVector Over(const Column& column) {
+    return Slice(column, 0);
+  }
+
+  /// View starting at row `begin` of a materialized column.
+  static ColumnVector Slice(const Column& column, size_t begin) {
+    ColumnVector v;
+    v.type = column.type();
+    switch (column.type()) {
+      case ColumnType::kInt:
+        v.ints = column.IntData() + begin;
+        break;
+      case ColumnType::kDouble:
+        v.doubles = column.DoubleData() + begin;
+        break;
+      default:
+        v.offsets = column.Offsets() + begin;
+        v.arena = column.Arena();
+        break;
+    }
+    return v;
+  }
+};
+
+/// \brief The unit of work the vectorized operators exchange: a horizontal
+/// slice of rows as per-column vectors plus the shared ownership that keeps
+/// the vectors' backing storage alive while the batch is in flight.
+struct Batch {
+  size_t rows = 0;
+  std::vector<ColumnVector> cols;
+  /// Keep-alives: owned output columns, the scanned base table, the join
+  /// build side — whatever the views point into.
+  std::vector<std::shared_ptr<const void>> refs;
+
+  /// Appends `column` as an owned column view and keeps it alive.
+  void AddOwned(std::shared_ptr<const Column> column) {
+    cols.push_back(ColumnVector::Over(*column));
+    refs.push_back(std::move(column));
+  }
+
+  /// Measured payload bytes of the batch (actual data, not estimates):
+  /// 8 bytes per numeric cell, arena span + offset entry per string cell.
+  double PayloadBytes() const {
+    double total = 0.0;
+    for (const ColumnVector& c : cols) {
+      if (c.is_string_like()) {
+        total += static_cast<double>(c.offsets[rows] - c.offsets[0]) +
+                 static_cast<double>(rows) * sizeof(uint32_t);
+      } else {
+        total += static_cast<double>(rows) * 8.0;
+      }
+    }
+    return total;
+  }
+};
+
+}  // namespace exec
+}  // namespace midas
+
+#endif  // MIDAS_EXEC_BATCH_H_

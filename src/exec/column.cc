@@ -1,0 +1,78 @@
+#include "exec/column.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace midas {
+namespace exec {
+
+void Column::AppendString(std::string_view v) {
+  // The arena indexes with 32-bit offsets (half the bandwidth of 64-bit on
+  // the gather paths). Overflow needs a >4 GiB single column — far beyond
+  // the simulator's working scales — so treat it as a hard logic error.
+  if (arena_.size() + v.size() > static_cast<size_t>(UINT32_MAX)) {
+    std::cerr << "exec::Column arena overflow (>4 GiB string column)\n";
+    std::abort();
+  }
+  arena_.insert(arena_.end(), v.begin(), v.end());
+  offsets_.push_back(static_cast<uint32_t>(arena_.size()));
+}
+
+StatusOr<size_t> ExecSchema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound("no such column in operator schema: " + name);
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvBytes(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ResultDigest(const ColumnTable& table) {
+  uint64_t h = kFnvOffset;
+  const uint64_t rows = table.rows;
+  h = FnvBytes(h, &rows, sizeof(rows));
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (const Column& col : table.columns) {
+      const auto tag = static_cast<unsigned char>(col.type());
+      h = FnvBytes(h, &tag, 1);
+      switch (col.type()) {
+        case ColumnType::kInt: {
+          const int64_t v = col.IntAt(r);
+          h = FnvBytes(h, &v, sizeof(v));
+          break;
+        }
+        case ColumnType::kDouble: {
+          const double v = col.DoubleAt(r);
+          h = FnvBytes(h, &v, sizeof(v));
+          break;
+        }
+        default: {
+          const std::string_view v = col.StringAt(r);
+          const uint64_t len = v.size();
+          h = FnvBytes(h, &len, sizeof(len));
+          h = FnvBytes(h, v.data(), v.size());
+          break;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace exec
+}  // namespace midas

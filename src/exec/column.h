@@ -1,0 +1,164 @@
+#ifndef MIDAS_EXEC_COLUMN_H_
+#define MIDAS_EXEC_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/status.h"
+#include "query/schema.h"
+
+namespace midas {
+namespace exec {
+
+/// \brief One typed contiguous column of values.
+///
+/// Storage is a flat 64-byte-aligned array per type (common/aligned.h), so
+/// batch kernels stream cache lines instead of chasing `std::variant` cells:
+///   kInt    -> int64_t values
+///   kDouble -> double values
+///   kString / kDate -> a shared character arena plus row offsets
+///     (value i spans arena[offsets[i], offsets[i+1])); dates keep their
+///     ISO-8601 text form, which compares correctly as bytes.
+class Column {
+ public:
+  explicit Column(ColumnType type = ColumnType::kInt) : type_(type) {
+    if (is_string_like()) offsets_.push_back(0);
+  }
+
+  ColumnType type() const { return type_; }
+  bool is_string_like() const {
+    return type_ == ColumnType::kString || type_ == ColumnType::kDate;
+  }
+
+  size_t size() const {
+    switch (type_) {
+      case ColumnType::kInt:
+        return ints_.size();
+      case ColumnType::kDouble:
+        return doubles_.size();
+      default:
+        return offsets_.size() - 1;
+    }
+  }
+
+  /// Bytes resident in the column's buffers (capacity-independent: counts
+  /// stored values, which is what the table cache accounts).
+  size_t ByteSize() const {
+    switch (type_) {
+      case ColumnType::kInt:
+        return ints_.size() * sizeof(int64_t);
+      case ColumnType::kDouble:
+        return doubles_.size() * sizeof(double);
+      default:
+        return arena_.size() + offsets_.size() * sizeof(uint32_t);
+    }
+  }
+
+  void Reserve(size_t rows, size_t arena_bytes = 0) {
+    switch (type_) {
+      case ColumnType::kInt:
+        ints_.reserve(rows);
+        break;
+      case ColumnType::kDouble:
+        doubles_.reserve(rows);
+        break;
+      default:
+        offsets_.reserve(rows + 1);
+        arena_.reserve(arena_bytes);
+        break;
+    }
+  }
+
+  void AppendInt(int64_t v) { ints_.push_back(v); }
+  void AppendDouble(double v) { doubles_.push_back(v); }
+  void AppendString(std::string_view v);
+
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  double DoubleAt(size_t i) const { return doubles_[i]; }
+  std::string_view StringAt(size_t i) const {
+    return std::string_view(arena_.data() + offsets_[i],
+                            offsets_[i + 1] - offsets_[i]);
+  }
+
+  const int64_t* IntData() const { return ints_.data(); }
+  const double* DoubleData() const { return doubles_.data(); }
+  const uint32_t* Offsets() const { return offsets_.data(); }
+  const char* Arena() const { return arena_.data(); }
+
+  bool operator==(const Column& other) const {
+    return type_ == other.type_ && ints_ == other.ints_ &&
+           doubles_ == other.doubles_ && offsets_ == other.offsets_ &&
+           arena_ == other.arena_;
+  }
+  bool operator!=(const Column& other) const { return !(*this == other); }
+
+ private:
+  ColumnType type_;
+  AlignedVector<int64_t> ints_;
+  AlignedVector<double> doubles_;
+  AlignedVector<uint32_t> offsets_;  // string-like: size() + 1 entries
+  AlignedVector<char> arena_;
+};
+
+/// \brief Column metadata an operator's output carries: the name and type
+/// plus the value-domain statistic predicate compilation needs (the data
+/// generator draws kInt values uniformly over [1, distinct_values], so the
+/// NDV doubles as the domain bound).
+struct Field {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+  uint64_t distinct_values = 1;
+};
+
+/// Output schema of an operator: ordered fields. Duplicate names are legal
+/// after joins; lookups resolve to the first match.
+class ExecSchema {
+ public:
+  ExecSchema() = default;
+  explicit ExecSchema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t size() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  void Append(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Index of the first field named `name`, or an error.
+  StatusOr<size_t> FindField(const std::string& name) const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// \brief A fully materialized table (or operator result): one Column per
+/// schema field, all the same length.
+struct ColumnTable {
+  ExecSchema schema;
+  std::vector<Column> columns;
+  uint64_t rows = 0;
+
+  size_t ByteSize() const {
+    size_t total = 0;
+    for (const Column& c : columns) total += c.ByteSize();
+    return total;
+  }
+
+  bool operator==(const ColumnTable& other) const {
+    return rows == other.rows && columns == other.columns;
+  }
+};
+
+/// Order-sensitive FNV-1a digest over the table's values in row-major
+/// order (type tag + canonical bytes per cell). Two tables digest equal
+/// iff they hold the same values in the same row/column order — the
+/// equality the vectorized-vs-oracle and batch-size-invariance gates
+/// assert; also surfaced as Measurement::result_digest in measured mode.
+uint64_t ResultDigest(const ColumnTable& table);
+
+}  // namespace exec
+}  // namespace midas
+
+#endif  // MIDAS_EXEC_COLUMN_H_

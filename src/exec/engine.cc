@@ -1,0 +1,22 @@
+#include "exec/engine.h"
+
+#include "exec/row_engine.h"
+#include "exec/vector_engine.h"
+
+namespace midas {
+namespace exec {
+
+StatusOr<ExecResult> ExecutePlan(const LoweredPlan& plan,
+                                 TableProvider* tables,
+                                 const ExecOptions& options) {
+  switch (options.engine) {
+    case EngineKindExec::kVectorized:
+      return ExecuteVectorized(plan, tables, options);
+    case EngineKindExec::kRowOracle:
+      return ExecuteRowOracle(plan, tables, options);
+  }
+  return Status::Internal("unhandled engine kind");
+}
+
+}  // namespace exec
+}  // namespace midas

@@ -1,0 +1,68 @@
+#ifndef MIDAS_EXEC_ENGINE_H_
+#define MIDAS_EXEC_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exec/column.h"
+#include "exec/lower.h"
+
+namespace midas {
+namespace exec {
+
+/// Which interpreter runs a lowered plan.
+enum class EngineKindExec {
+  kVectorized,  ///< batch-at-a-time columnar operators (the fast path)
+  kRowOracle,   ///< row-at-a-time reference interpreter (correctness oracle)
+};
+
+struct ExecOptions {
+  /// Rows per batch in the vectorized engine (oracle ignores it — one row
+  /// at a time is the point). Results are bit-identical at any value.
+  size_t batch_rows = 4096;
+  EngineKindExec engine = EngineKindExec::kVectorized;
+};
+
+/// Measured work of one operator, indexed by the plan node's pre-order
+/// position (LoweredOp::plan_index).
+struct OpStats {
+  /// Self time: seconds spent in this operator's own kernels/compute,
+  /// excluding time spent pulling from children. The row oracle reports
+  /// whole-pipeline time on the root only (per-row timing would measure
+  /// the clock, not the work).
+  double seconds = 0.0;
+  uint64_t output_rows = 0;
+  /// Actual bytes of the operator's output (measured from the data, not
+  /// from cardinality estimates) — what inter-site transfers charge for.
+  double output_bytes = 0.0;
+};
+
+/// Everything one execution produced.
+struct ExecResult {
+  ColumnTable output;
+  std::vector<OpStats> stats;  ///< size LoweredPlan::plan_nodes
+  double total_seconds = 0.0;  ///< wall time of the whole pipeline
+  uint64_t digest = 0;         ///< ResultDigest(output)
+};
+
+/// Materialized base tables a lowered plan executes over, looked up by the
+/// scan's table name.
+class TableProvider {
+ public:
+  virtual ~TableProvider() = default;
+  virtual StatusOr<std::shared_ptr<const ColumnTable>> GetTable(
+      const std::string& name) = 0;
+};
+
+/// Executes `plan` with the engine chosen in `options`. Both engines
+/// consume the same lowered plan and produce value-identical output (the
+/// bit-for-bit gate the test suites hold them to).
+StatusOr<ExecResult> ExecutePlan(const LoweredPlan& plan,
+                                 TableProvider* tables,
+                                 const ExecOptions& options = ExecOptions());
+
+}  // namespace exec
+}  // namespace midas
+
+#endif  // MIDAS_EXEC_ENGINE_H_

@@ -1,0 +1,207 @@
+#include "exec/kernels.h"
+
+#include "linalg/simd.h"
+
+// The AVX2 select kernels live in this TU behind per-function target
+// attributes (same pattern as linalg/simd_avx2.cc): the binary stays
+// runnable on any x86-64 host and the tier is only taken after the linalg
+// dispatcher's CPUID probe — which also honors every MIDAS_FORCE_SCALAR
+// knob — says the host has it. Selection is pure compare/integer logic, so
+// the vector tier is bit-identical to the scalar loops (no FP tolerance).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(MIDAS_FORCE_SCALAR)
+#define MIDAS_EXEC_HAVE_AVX2 1
+#include <immintrin.h>
+#endif
+
+namespace midas {
+namespace exec {
+
+namespace {
+
+inline bool UseAvx2() {
+#if defined(MIDAS_EXEC_HAVE_AVX2)
+  return simd::ActiveTier() == SimdTier::kAvx2Fma;
+#else
+  return false;
+#endif
+}
+
+size_t SelectLeInt64Scalar(const int64_t* v, size_t n, int64_t threshold,
+                           uint32_t* sel) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sel[k] = static_cast<uint32_t>(i);
+    k += static_cast<size_t>(v[i] <= threshold);
+  }
+  return k;
+}
+
+size_t SelectLeDoubleScalar(const double* v, size_t n, double threshold,
+                            uint32_t* sel) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sel[k] = static_cast<uint32_t>(i);
+    k += static_cast<size_t>(v[i] <= threshold);
+  }
+  return k;
+}
+
+#if defined(MIDAS_EXEC_HAVE_AVX2)
+#define MIDAS_EXEC_AVX2 __attribute__((target("avx2")))
+
+/// Emits the set bits of a 4-lane compare mask as ascending row indices.
+MIDAS_EXEC_AVX2 inline size_t EmitMask(unsigned mask, size_t base,
+                                       uint32_t* sel, size_t k) {
+  while (mask != 0) {
+    const unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+    sel[k++] = static_cast<uint32_t>(base + lane);
+    mask &= mask - 1;
+  }
+  return k;
+}
+
+MIDAS_EXEC_AVX2 size_t SelectLeInt64Avx2(const int64_t* v, size_t n,
+                                         int64_t threshold, uint32_t* sel) {
+  size_t k = 0;
+  size_t i = 0;
+  // v <= t  ==  !(v > t); _mm256_cmpgt_epi64 is the available predicate.
+  const __m256i t = _mm256_set1_epi64x(threshold);
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    const __m256i gt = _mm256_cmpgt_epi64(x, t);
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(gt))) ^
+        0xFu;
+    k = EmitMask(mask, i, sel, k);
+  }
+  for (; i < n; ++i) {
+    sel[k] = static_cast<uint32_t>(i);
+    k += static_cast<size_t>(v[i] <= threshold);
+  }
+  return k;
+}
+
+MIDAS_EXEC_AVX2 size_t SelectLeDoubleAvx2(const double* v, size_t n,
+                                          double threshold, uint32_t* sel) {
+  size_t k = 0;
+  size_t i = 0;
+  const __m256d t = _mm256_set1_pd(threshold);
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(v + i);
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(x, t, _CMP_LE_OQ)));
+    k = EmitMask(mask, i, sel, k);
+  }
+  for (; i < n; ++i) {
+    sel[k] = static_cast<uint32_t>(i);
+    k += static_cast<size_t>(v[i] <= threshold);
+  }
+  return k;
+}
+#endif  // MIDAS_EXEC_HAVE_AVX2
+
+}  // namespace
+
+size_t SelectLeInt64(const int64_t* v, size_t n, int64_t threshold,
+                     uint32_t* sel) {
+#if defined(MIDAS_EXEC_HAVE_AVX2)
+  if (UseAvx2()) return SelectLeInt64Avx2(v, n, threshold, sel);
+#endif
+  return SelectLeInt64Scalar(v, n, threshold, sel);
+}
+
+size_t SelectLeDouble(const double* v, size_t n, double threshold,
+                      uint32_t* sel) {
+#if defined(MIDAS_EXEC_HAVE_AVX2)
+  if (UseAvx2()) return SelectLeDoubleAvx2(v, n, threshold, sel);
+#endif
+  return SelectLeDoubleScalar(v, n, threshold, sel);
+}
+
+size_t RefineLeInt64(const int64_t* v, const uint32_t* in_sel, size_t n_sel,
+                     int64_t threshold, uint32_t* out_sel) {
+  size_t k = 0;
+  for (size_t i = 0; i < n_sel; ++i) {
+    const uint32_t row = in_sel[i];
+    out_sel[k] = row;
+    k += static_cast<size_t>(v[row] <= threshold);
+  }
+  return k;
+}
+
+size_t RefineLeDouble(const double* v, const uint32_t* in_sel, size_t n_sel,
+                      double threshold, uint32_t* out_sel) {
+  size_t k = 0;
+  for (size_t i = 0; i < n_sel; ++i) {
+    const uint32_t row = in_sel[i];
+    out_sel[k] = row;
+    k += static_cast<size_t>(v[row] <= threshold);
+  }
+  return k;
+}
+
+uint64_t HashBytes(const char* data, size_t n) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+size_t SelectHashLeString(const uint32_t* offsets, const char* arena,
+                          size_t n, uint64_t threshold, uint32_t* sel) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t h = HashBytes(arena + offsets[i], offsets[i + 1] - offsets[i]);
+    sel[k] = static_cast<uint32_t>(i);
+    k += static_cast<size_t>(h <= threshold);
+  }
+  return k;
+}
+
+size_t RefineHashLeString(const uint32_t* offsets, const char* arena,
+                          const uint32_t* in_sel, size_t n_sel,
+                          uint64_t threshold, uint32_t* out_sel) {
+  size_t k = 0;
+  for (size_t i = 0; i < n_sel; ++i) {
+    const uint32_t row = in_sel[i];
+    const uint64_t h =
+        HashBytes(arena + offsets[row], offsets[row + 1] - offsets[row]);
+    out_sel[k] = row;
+    k += static_cast<size_t>(h <= threshold);
+  }
+  return k;
+}
+
+void GatherInt64(const int64_t* src, const uint32_t* sel, size_t n_sel,
+                 int64_t* dst) {
+  for (size_t i = 0; i < n_sel; ++i) dst[i] = src[sel[i]];
+}
+
+void GatherDouble(const double* src, const uint32_t* sel, size_t n_sel,
+                  double* dst) {
+  for (size_t i = 0; i < n_sel; ++i) dst[i] = src[sel[i]];
+}
+
+void GroupCodes(const int64_t* keys, size_t n, uint64_t num_groups,
+                uint32_t* codes) {
+  const int64_t g = static_cast<int64_t>(num_groups);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t m = keys[i] % g;
+    codes[i] = static_cast<uint32_t>(m < 0 ? m + g : m);
+  }
+}
+
+void CountByGroup(const uint32_t* codes, size_t n, int64_t* counts) {
+  for (size_t i = 0; i < n; ++i) counts[codes[i]] += 1;
+}
+
+void SumByGroup(const double* v, const uint32_t* codes, size_t n,
+                double* sums) {
+  for (size_t i = 0; i < n; ++i) sums[codes[i]] += v[i];
+}
+
+}  // namespace exec
+}  // namespace midas

@@ -1,0 +1,78 @@
+#ifndef MIDAS_EXEC_KERNELS_H_
+#define MIDAS_EXEC_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace midas {
+namespace exec {
+
+/// \brief Tight batch-at-a-time kernels behind the vectorized operators.
+///
+/// Selection kernels write *selection vectors* — ascending row indices of
+/// the qualifying rows — with branch-free `sel[k] = i; k += qualifies`
+/// stores, so predicate evaluation never mispredicts on data. The AVX2 tier
+/// (dispatched through the linalg SIMD layer's ActiveTier/force-scalar
+/// knobs) evaluates 4 lanes per compare and emits indices from the compare
+/// mask. Every kernel is pure integer/compare logic: the vector tiers
+/// produce *bit-identical* selection vectors to the scalar loops — unlike
+/// the floating-point GEMM tiers there is no reassociation slack here.
+
+/// Appends indices i in [0, n) with v[i] <= threshold to sel; returns count.
+size_t SelectLeInt64(const int64_t* v, size_t n, int64_t threshold,
+                     uint32_t* sel);
+size_t SelectLeDouble(const double* v, size_t n, double threshold,
+                      uint32_t* sel);
+
+/// Conjunction step: keeps only the already-selected rows that also
+/// qualify. `in_sel` and `out_sel` may alias (in-place refinement).
+size_t RefineLeInt64(const int64_t* v, const uint32_t* in_sel, size_t n_sel,
+                     int64_t threshold, uint32_t* out_sel);
+size_t RefineLeDouble(const double* v, const uint32_t* in_sel, size_t n_sel,
+                      double threshold, uint32_t* out_sel);
+
+/// FNV-1a over a byte span — the deterministic value hash behind
+/// string/date predicates ("keep rows whose value hashes below a
+/// selectivity-derived threshold").
+uint64_t HashBytes(const char* data, size_t n);
+
+/// Selection by hashed string value: keeps rows with
+/// HashBytes(value) <= threshold. Offsets/arena follow the Column layout.
+size_t SelectHashLeString(const uint32_t* offsets, const char* arena,
+                          size_t n, uint64_t threshold, uint32_t* sel);
+size_t RefineHashLeString(const uint32_t* offsets, const char* arena,
+                          const uint32_t* in_sel, size_t n_sel,
+                          uint64_t threshold, uint32_t* out_sel);
+
+/// splitmix64 finalizer — the join hash for int64 keys.
+inline uint64_t HashInt64(int64_t key) {
+  uint64_t z = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Gathers src[sel[i]] for i in [0, n_sel) into dst.
+void GatherInt64(const int64_t* src, const uint32_t* sel, size_t n_sel,
+                 int64_t* dst);
+void GatherDouble(const double* src, const uint32_t* sel, size_t n_sel,
+                  double* dst);
+
+/// Group codes: codes[i] = non-negative keys[i] mod num_groups (wrapped for
+/// negative keys so the code is always in [0, num_groups)).
+void GroupCodes(const int64_t* keys, size_t n, uint64_t num_groups,
+                uint32_t* codes);
+
+/// counts[codes[i]] += 1, ascending i.
+void CountByGroup(const uint32_t* codes, size_t n, int64_t* counts);
+
+/// sums[codes[i]] += v[i], ascending i — the accumulation order is row
+/// order, which makes grouped double sums bit-identical across batch sizes
+/// and to the row-at-a-time oracle.
+void SumByGroup(const double* v, const uint32_t* codes, size_t n,
+                double* sums);
+
+}  // namespace exec
+}  // namespace midas
+
+#endif  // MIDAS_EXEC_KERNELS_H_

@@ -1,0 +1,241 @@
+#include "exec/lower.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "exec/kernels.h"
+
+namespace midas {
+namespace exec {
+
+namespace {
+
+// The synthetic generator draws every kDouble cell uniformly from this
+// range (tpch/dbgen.cc rounds to cents inside it); the compiled threshold
+// maps a selectivity onto the same domain.
+constexpr double kNumericDomainLo = 1.0;
+constexpr double kNumericDomainHi = 100000.0;
+
+/// Mirror of EstimateSelectivity (query/predicate.cc) over a schema Field —
+/// filters above joins no longer have a TableDef to resolve against, but
+/// the field carries the NDV through the operator tree.
+StatusOr<double> FieldSelectivity(const Field& field,
+                                  const Predicate& predicate) {
+  if (predicate.selectivity_override.has_value()) {
+    const double s = *predicate.selectivity_override;
+    if (s < 0.0 || s > 1.0) {
+      return Status::InvalidArgument("selectivity override outside [0, 1]");
+    }
+    return s;
+  }
+  const double ndv = std::max<double>(1.0, field.distinct_values);
+  switch (predicate.op) {
+    case CompareOp::kEq:
+      return 1.0 / ndv;
+    case CompareOp::kNe:
+      return 1.0 - 1.0 / ndv;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return 1.0 / 3.0;
+    case CompareOp::kBetween:
+      return 1.0 / 4.0;
+    case CompareOp::kLike:
+      return 1.0 / 10.0;
+  }
+  return Status::Internal("unhandled compare op");
+}
+
+StatusOr<CompiledPredicate> CompilePredicate(const ExecSchema& input,
+                                             const Predicate& predicate) {
+  MIDAS_ASSIGN_OR_RETURN(size_t column, input.FindField(predicate.column));
+  const Field& field = input.field(column);
+  MIDAS_ASSIGN_OR_RETURN(double s, FieldSelectivity(field, predicate));
+  s = std::clamp(s, 0.0, 1.0);
+
+  CompiledPredicate compiled;
+  compiled.column = column;
+  compiled.type = field.type;
+  compiled.selectivity = s;
+  switch (field.type) {
+    case ColumnType::kInt: {
+      const double domain = std::max<double>(1.0, field.distinct_values);
+      compiled.int_threshold = static_cast<int64_t>(std::llround(s * domain));
+      break;
+    }
+    case ColumnType::kDouble:
+      compiled.double_threshold =
+          kNumericDomainLo + s * (kNumericDomainHi - kNumericDomainLo);
+      break;
+    default:
+      compiled.hash_threshold =
+          s >= 1.0 ? UINT64_MAX
+                   : static_cast<uint64_t>(
+                         s * 18446744073709551616.0 /* 2^64 */);
+      break;
+  }
+  return compiled;
+}
+
+struct Lowerer {
+  const Catalog& catalog;
+  const LowerOptions& options;
+  LoweredPlan out;
+  size_t next_plan_index = 0;
+
+  StatusOr<size_t> Lower(const PlanNode& node) {
+    // Pre-order numbering (this node, then each child subtree) matches
+    // QueryPlan::Nodes(), which measured-cost attribution walks.
+    const size_t plan_index = next_plan_index++;
+    std::vector<size_t> child_ops;
+    child_ops.reserve(node.children.size());
+    for (const auto& child : node.children) {
+      if (child == nullptr) {
+        return Status::InvalidArgument("plan node has null child");
+      }
+      MIDAS_ASSIGN_OR_RETURN(size_t op, Lower(*child));
+      child_ops.push_back(op);
+    }
+
+    LoweredOp op;
+    op.kind = node.kind;
+    op.plan_index = plan_index;
+    op.children = std::move(child_ops);
+
+    switch (node.kind) {
+      case OperatorKind::kScan: {
+        if (!node.children.empty()) {
+          return Status::InvalidArgument("scan must be a leaf");
+        }
+        MIDAS_ASSIGN_OR_RETURN(const TableDef* def,
+                               catalog.Find(node.table));
+        op.table = node.table;
+        uint64_t rows = def->row_count;
+        if (options.max_rows_per_table > 0) {
+          rows = std::min(rows, options.max_rows_per_table);
+        }
+        const double fraction =
+            std::clamp(node.scan_fraction, 0.0, 1.0);
+        op.scan_rows = std::min<uint64_t>(
+            rows, static_cast<uint64_t>(
+                      std::llround(fraction * static_cast<double>(rows))));
+        for (const ColumnDef& col : def->columns) {
+          op.schema.Append(
+              Field{col.name, col.type, std::max<uint64_t>(1, col.distinct_values)});
+        }
+        break;
+      }
+      case OperatorKind::kFilter: {
+        if (op.children.size() != 1) {
+          return Status::InvalidArgument("filter needs exactly one child");
+        }
+        op.schema = out.ops[op.children[0]].schema;
+        for (const Predicate& p : node.predicates) {
+          MIDAS_ASSIGN_OR_RETURN(CompiledPredicate compiled,
+                                 CompilePredicate(op.schema, p));
+          op.predicates.push_back(compiled);
+        }
+        break;
+      }
+      case OperatorKind::kProject: {
+        if (op.children.size() != 1) {
+          return Status::InvalidArgument("project needs exactly one child");
+        }
+        const ExecSchema& child = out.ops[op.children[0]].schema;
+        for (const std::string& name : node.columns) {
+          MIDAS_ASSIGN_OR_RETURN(size_t index, child.FindField(name));
+          op.projection.push_back(index);
+          op.schema.Append(child.field(index));
+        }
+        break;
+      }
+      case OperatorKind::kJoin: {
+        if (op.children.size() != 2) {
+          return Status::InvalidArgument("join needs exactly two children");
+        }
+        const ExecSchema& left = out.ops[op.children[0]].schema;
+        const ExecSchema& right = out.ops[op.children[1]].schema;
+        MIDAS_ASSIGN_OR_RETURN(op.left_key,
+                               left.FindField(node.left_join_column));
+        MIDAS_ASSIGN_OR_RETURN(op.right_key,
+                               right.FindField(node.right_join_column));
+        if (left.field(op.left_key).type != ColumnType::kInt ||
+            right.field(op.right_key).type != ColumnType::kInt) {
+          return Status::InvalidArgument(
+              "hash join requires int64 key columns: " +
+              node.left_join_column + " / " + node.right_join_column);
+        }
+        for (const Field& f : left.fields()) op.schema.Append(f);
+        for (const Field& f : right.fields()) op.schema.Append(f);
+        break;
+      }
+      case OperatorKind::kAggregate: {
+        if (op.children.size() != 1) {
+          return Status::InvalidArgument("aggregate needs exactly one child");
+        }
+        const ExecSchema& child = out.ops[op.children[0]].schema;
+        op.num_groups = std::max<uint64_t>(1, node.num_groups);
+        for (size_t i = 0; i < child.size(); ++i) {
+          if (child.field(i).type == ColumnType::kInt &&
+              !op.group_key.has_value()) {
+            op.group_key = i;
+          }
+          if (child.field(i).type == ColumnType::kDouble) {
+            op.sum_columns.push_back(i);
+          }
+        }
+        op.schema.Append(Field{"group", ColumnType::kInt, op.num_groups});
+        op.schema.Append(Field{"count", ColumnType::kInt, op.num_groups});
+        for (size_t i : op.sum_columns) {
+          op.schema.Append(Field{"sum_" + child.field(i).name,
+                                 ColumnType::kDouble,
+                                 child.field(i).distinct_values});
+        }
+        break;
+      }
+      case OperatorKind::kSort: {
+        if (op.children.size() != 1) {
+          return Status::InvalidArgument("sort needs exactly one child");
+        }
+        const ExecSchema& child = out.ops[op.children[0]].schema;
+        if (child.size() == 0) {
+          return Status::InvalidArgument("sort over empty schema");
+        }
+        op.sort_key = 0;
+        op.schema = child;
+        break;
+      }
+    }
+    out.ops.push_back(std::move(op));
+    return out.ops.size() - 1;
+  }
+};
+
+}  // namespace
+
+StatusOr<LoweredPlan> LowerPlan(const Catalog& catalog, const QueryPlan& plan,
+                                const LowerOptions& options) {
+  if (plan.empty()) return Status::InvalidArgument("cannot lower empty plan");
+  Lowerer lowerer{catalog, options, LoweredPlan{}, 0};
+  MIDAS_ASSIGN_OR_RETURN(size_t root, lowerer.Lower(*plan.root()));
+  lowerer.out.root = root;
+  lowerer.out.plan_nodes = lowerer.next_plan_index;
+  return std::move(lowerer.out);
+}
+
+bool PredicatePassesInt(const CompiledPredicate& p, int64_t value) {
+  return value <= p.int_threshold;
+}
+
+bool PredicatePassesDouble(const CompiledPredicate& p, double value) {
+  return value <= p.double_threshold;
+}
+
+bool PredicatePassesString(const CompiledPredicate& p,
+                           std::string_view value) {
+  return HashBytes(value.data(), value.size()) <= p.hash_threshold;
+}
+
+}  // namespace exec
+}  // namespace midas

@@ -1,0 +1,105 @@
+#ifndef MIDAS_EXEC_LOWER_H_
+#define MIDAS_EXEC_LOWER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/column.h"
+#include "query/plan.h"
+
+namespace midas {
+namespace exec {
+
+/// \brief One predicate compiled to concrete executable form.
+///
+/// The repo's `Predicate` carries a *selectivity*, not a literal (TPC-H
+/// templates are modelled by their reference selectivities). Lowering turns
+/// that into a deterministic value test matched to the synthetic data
+/// generator's domains, so both engines select the same concrete rows:
+///   kInt    -> keep v <= round(s · D), the generator drawing uniformly
+///              over [1, D] with D = the column's distinct_values
+///   kDouble -> keep v <= lo + s · (hi − lo) over the generator's numeric
+///              domain [1, 100000]
+///   kString / kDate -> keep rows whose FNV-1a value hash falls in the
+///              lowest s-fraction of the 64-bit hash space
+/// The kept fraction approximates s; what matters is that the test is a
+/// pure function of the cell value, identical in the vectorized engine and
+/// the row-at-a-time oracle.
+struct CompiledPredicate {
+  size_t column = 0;  ///< index into the input schema
+  ColumnType type = ColumnType::kInt;
+  int64_t int_threshold = 0;
+  double double_threshold = 0.0;
+  uint64_t hash_threshold = 0;
+  double selectivity = 1.0;  ///< the fraction the test was compiled from
+};
+
+/// \brief One operator of a lowered plan. The tree is stored as indices
+/// into `LoweredPlan::ops` (children before parents), and every op
+/// remembers which `QueryPlan::Nodes()` pre-order slot it came from so
+/// measured per-operator costs can be attributed back to the annotated
+/// plan node (site, engine, num_nodes).
+struct LoweredOp {
+  OperatorKind kind = OperatorKind::kScan;
+  size_t plan_index = 0;         ///< index in QueryPlan::Nodes() pre-order
+  std::vector<size_t> children;  ///< indices into LoweredPlan::ops
+  ExecSchema schema;             ///< output schema
+
+  // kScan
+  std::string table;
+  uint64_t scan_rows = 0;  ///< after scan_fraction and the row cap
+
+  // kFilter
+  std::vector<CompiledPredicate> predicates;
+
+  // kProject: child column indices, in output order
+  std::vector<size_t> projection;
+
+  // kJoin: int64 equi-join key columns in the left/right child schemas
+  size_t left_key = 0;
+  size_t right_key = 0;
+
+  // kAggregate: group = key column value mod num_groups (first kInt column
+  // of the child; absent -> everything in group 0); one running sum per
+  // kDouble child column plus a row count.
+  uint64_t num_groups = 1;
+  std::optional<size_t> group_key;
+  std::vector<size_t> sum_columns;
+
+  // kSort: ordered by the child's first column, ascending, stable
+  size_t sort_key = 0;
+};
+
+/// \brief A QueryPlan lowered to executable operators: shared input of the
+/// vectorized engine and the row-at-a-time oracle, so the two can only
+/// differ in *how* they execute, never in what.
+struct LoweredPlan {
+  std::vector<LoweredOp> ops;  ///< children precede parents; root is back()
+  size_t root = 0;
+  size_t plan_nodes = 0;  ///< size of QueryPlan::Nodes() (stats vector span)
+};
+
+struct LowerOptions {
+  /// Caps the rows materialized/scanned per base table (0 = the catalog
+  /// cardinality). Applied before scan_fraction's pruning.
+  uint64_t max_rows_per_table = 0;
+};
+
+/// Lowers `plan` against `catalog`. Fails (never crashes the engines) on
+/// unknown tables/columns, non-int join keys, or malformed arities.
+StatusOr<LoweredPlan> LowerPlan(const Catalog& catalog, const QueryPlan& plan,
+                                const LowerOptions& options = LowerOptions());
+
+/// True when `value` passes the compiled test — the single definition of
+/// predicate semantics both engines share (the vectorized kernels inline
+/// the same comparisons).
+bool PredicatePassesInt(const CompiledPredicate& p, int64_t value);
+bool PredicatePassesDouble(const CompiledPredicate& p, double value);
+bool PredicatePassesString(const CompiledPredicate& p, std::string_view value);
+
+}  // namespace exec
+}  // namespace midas
+
+#endif  // MIDAS_EXEC_LOWER_H_

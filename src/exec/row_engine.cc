@@ -1,0 +1,365 @@
+#include "exec/row_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/statistics.h"
+#include "exec/stream.h"
+
+namespace midas {
+namespace exec {
+
+namespace {
+
+using RowCell = std::variant<int64_t, double, std::string>;
+using Row = std::vector<RowCell>;
+using RowStream = IStream<Row>;
+
+double CellBytes(const RowCell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    return static_cast<double>(s->size()) + sizeof(uint32_t);
+  }
+  return 8.0;
+}
+
+double RowBytes(const Row& row) {
+  double total = 0.0;
+  for (const RowCell& c : row) total += CellBytes(c);
+  return total;
+}
+
+void RecordRow(const Row& row, OpStats* stats) {
+  stats->output_rows += 1;
+  stats->output_bytes += RowBytes(row);
+}
+
+class RowScan : public RowStream {
+ public:
+  RowScan(std::shared_ptr<const ColumnTable> table, uint64_t limit,
+          OpStats* stats)
+      : table_(std::move(table)),
+        limit_(std::min<uint64_t>(limit, table_->rows)),
+        stats_(stats) {}
+
+  std::optional<Row> Next() override {
+    if (pos_ >= limit_) return std::nullopt;
+    const size_t i = static_cast<size_t>(pos_++);
+    Row row;
+    row.reserve(table_->columns.size());
+    for (const Column& col : table_->columns) {
+      switch (col.type()) {
+        case ColumnType::kInt:
+          row.emplace_back(col.IntAt(i));
+          break;
+        case ColumnType::kDouble:
+          row.emplace_back(col.DoubleAt(i));
+          break;
+        default:
+          row.emplace_back(std::string(col.StringAt(i)));
+          break;
+      }
+    }
+    RecordRow(row, stats_);
+    return row;
+  }
+
+ private:
+  std::shared_ptr<const ColumnTable> table_;
+  uint64_t limit_;
+  OpStats* stats_;
+  uint64_t pos_ = 0;
+};
+
+class RowFilter : public RowStream {
+ public:
+  RowFilter(std::unique_ptr<RowStream> child, const LoweredOp* op,
+            OpStats* stats)
+      : child_(std::move(child)), op_(op), stats_(stats) {}
+
+  std::optional<Row> Next() override {
+    while (auto row = child_->Next()) {
+      bool passes = true;
+      for (const CompiledPredicate& p : op_->predicates) {
+        const RowCell& cell = (*row)[p.column];
+        switch (p.type) {
+          case ColumnType::kInt:
+            passes = PredicatePassesInt(p, std::get<int64_t>(cell));
+            break;
+          case ColumnType::kDouble:
+            passes = PredicatePassesDouble(p, std::get<double>(cell));
+            break;
+          default:
+            passes = PredicatePassesString(p, std::get<std::string>(cell));
+            break;
+        }
+        if (!passes) break;
+      }
+      if (!passes) continue;
+      RecordRow(*row, stats_);
+      return row;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::unique_ptr<RowStream> child_;
+  const LoweredOp* op_;
+  OpStats* stats_;
+};
+
+class RowProject : public RowStream {
+ public:
+  RowProject(std::unique_ptr<RowStream> child, const LoweredOp* op,
+             OpStats* stats)
+      : child_(std::move(child)), op_(op), stats_(stats) {}
+
+  std::optional<Row> Next() override {
+    auto row = child_->Next();
+    if (!row.has_value()) return std::nullopt;
+    Row out;
+    out.reserve(op_->projection.size());
+    for (size_t index : op_->projection) out.push_back((*row)[index]);
+    RecordRow(out, stats_);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<RowStream> child_;
+  const LoweredOp* op_;
+  OpStats* stats_;
+};
+
+/// Equi-join with the same ordering contract as the vectorized engine:
+/// build rows (the right child) are buffered in arrival order, so each
+/// key's match list is ascending; probes emit in left-child order.
+class RowJoin : public RowStream {
+ public:
+  RowJoin(std::unique_ptr<RowStream> left, std::unique_ptr<RowStream> right,
+          const LoweredOp* op, OpStats* stats)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        op_(op),
+        stats_(stats) {}
+
+  std::optional<Row> Next() override {
+    if (!built_) {
+      while (auto row = right_->Next()) {
+        const int64_t key = std::get<int64_t>((*row)[op_->right_key]);
+        matches_[key].push_back(build_.size());
+        build_.push_back(std::move(*row));
+      }
+      built_ = true;
+    }
+    while (true) {
+      if (!pending_.empty()) {
+        Row out = std::move(pending_.front());
+        pending_.pop_front();
+        RecordRow(out, stats_);
+        return out;
+      }
+      auto probe = left_->Next();
+      if (!probe.has_value()) return std::nullopt;
+      const int64_t key = std::get<int64_t>((*probe)[op_->left_key]);
+      auto it = matches_.find(key);
+      if (it == matches_.end()) continue;
+      for (size_t j : it->second) {
+        Row out = *probe;
+        const Row& right_row = build_[j];
+        out.insert(out.end(), right_row.begin(), right_row.end());
+        pending_.push_back(std::move(out));
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<RowStream> left_;
+  std::unique_ptr<RowStream> right_;
+  const LoweredOp* op_;
+  OpStats* stats_;
+  bool built_ = false;
+  std::vector<Row> build_;
+  std::unordered_map<int64_t, std::vector<size_t>> matches_;
+  std::deque<Row> pending_;
+};
+
+class RowAggregate : public RowStream {
+ public:
+  RowAggregate(std::unique_ptr<RowStream> child, const LoweredOp* op,
+               OpStats* stats)
+      : child_(std::move(child)), op_(op), stats_(stats) {}
+
+  std::optional<Row> Next() override {
+    if (!done_) {
+      const size_t groups = static_cast<size_t>(op_->num_groups);
+      counts_.assign(groups, 0);
+      sums_.assign(op_->sum_columns.size(), std::vector<double>(groups, 0.0));
+      while (auto row = child_->Next()) {
+        size_t g = 0;
+        if (op_->group_key.has_value()) {
+          const int64_t key = std::get<int64_t>((*row)[*op_->group_key]);
+          const int64_t m = key % static_cast<int64_t>(op_->num_groups);
+          g = static_cast<size_t>(
+              m < 0 ? m + static_cast<int64_t>(op_->num_groups) : m);
+        }
+        counts_[g] += 1;
+        for (size_t s = 0; s < op_->sum_columns.size(); ++s) {
+          sums_[s][g] += std::get<double>((*row)[op_->sum_columns[s]]);
+        }
+      }
+      done_ = true;
+    }
+    while (emit_ < counts_.size() && counts_[emit_] == 0) ++emit_;
+    if (emit_ >= counts_.size()) return std::nullopt;
+    const size_t g = emit_++;
+    Row out;
+    out.reserve(2 + sums_.size());
+    out.emplace_back(static_cast<int64_t>(g));
+    out.emplace_back(counts_[g]);
+    for (const auto& sums : sums_) out.emplace_back(sums[g]);
+    RecordRow(out, stats_);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<RowStream> child_;
+  const LoweredOp* op_;
+  OpStats* stats_;
+  bool done_ = false;
+  std::vector<int64_t> counts_;
+  std::vector<std::vector<double>> sums_;
+  size_t emit_ = 0;
+};
+
+class RowSort : public RowStream {
+ public:
+  RowSort(std::unique_ptr<RowStream> child, const LoweredOp* op,
+          OpStats* stats)
+      : child_(std::move(child)), op_(op), stats_(stats) {}
+
+  std::optional<Row> Next() override {
+    if (!sorted_) {
+      while (auto row = child_->Next()) rows_.push_back(std::move(*row));
+      const size_t key = op_->sort_key;
+      std::stable_sort(rows_.begin(), rows_.end(),
+                       [key](const Row& a, const Row& b) {
+                         return a[key] < b[key];  // same-type variant compare
+                       });
+      sorted_ = true;
+    }
+    if (emit_ >= rows_.size()) return std::nullopt;
+    Row out = std::move(rows_[emit_++]);
+    RecordRow(out, stats_);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<RowStream> child_;
+  const LoweredOp* op_;
+  OpStats* stats_;
+  bool sorted_ = false;
+  std::vector<Row> rows_;
+  size_t emit_ = 0;
+};
+
+StatusOr<std::unique_ptr<RowStream>> BuildRowStream(
+    const LoweredPlan& plan, size_t op_index, TableProvider* tables,
+    std::vector<OpStats>* stats) {
+  const LoweredOp& op = plan.ops[op_index];
+  OpStats* op_stats = &(*stats)[op.plan_index];
+  switch (op.kind) {
+    case OperatorKind::kScan: {
+      MIDAS_ASSIGN_OR_RETURN(std::shared_ptr<const ColumnTable> table,
+                             tables->GetTable(op.table));
+      if (table->columns.size() != op.schema.size()) {
+        return Status::Internal("scan table/schema column count mismatch: " +
+                                op.table);
+      }
+      return {
+          std::make_unique<RowScan>(std::move(table), op.scan_rows, op_stats)};
+    }
+    case OperatorKind::kFilter: {
+      MIDAS_ASSIGN_OR_RETURN(
+          auto child, BuildRowStream(plan, op.children[0], tables, stats));
+      return {std::make_unique<RowFilter>(std::move(child), &op, op_stats)};
+    }
+    case OperatorKind::kProject: {
+      MIDAS_ASSIGN_OR_RETURN(
+          auto child, BuildRowStream(plan, op.children[0], tables, stats));
+      return {std::make_unique<RowProject>(std::move(child), &op, op_stats)};
+    }
+    case OperatorKind::kJoin: {
+      MIDAS_ASSIGN_OR_RETURN(
+          auto left, BuildRowStream(plan, op.children[0], tables, stats));
+      MIDAS_ASSIGN_OR_RETURN(
+          auto right, BuildRowStream(plan, op.children[1], tables, stats));
+      return {std::make_unique<RowJoin>(std::move(left), std::move(right), &op,
+                                        op_stats)};
+    }
+    case OperatorKind::kAggregate: {
+      MIDAS_ASSIGN_OR_RETURN(
+          auto child, BuildRowStream(plan, op.children[0], tables, stats));
+      return {std::make_unique<RowAggregate>(std::move(child), &op, op_stats)};
+    }
+    case OperatorKind::kSort: {
+      MIDAS_ASSIGN_OR_RETURN(
+          auto child, BuildRowStream(plan, op.children[0], tables, stats));
+      return {std::make_unique<RowSort>(std::move(child), &op, op_stats)};
+    }
+  }
+  return Status::Internal("unhandled operator kind in BuildRowStream");
+}
+
+void AppendRowToTable(const Row& row, ColumnTable* out) {
+  for (size_t c = 0; c < out->columns.size(); ++c) {
+    Column& col = out->columns[c];
+    switch (col.type()) {
+      case ColumnType::kInt:
+        col.AppendInt(std::get<int64_t>(row[c]));
+        break;
+      case ColumnType::kDouble:
+        col.AppendDouble(std::get<double>(row[c]));
+        break;
+      default:
+        col.AppendString(std::get<std::string>(row[c]));
+        break;
+    }
+  }
+  out->rows += 1;
+}
+
+}  // namespace
+
+StatusOr<ExecResult> ExecuteRowOracle(const LoweredPlan& plan,
+                                      TableProvider* tables,
+                                      const ExecOptions& /*options*/) {
+  if (plan.ops.empty()) {
+    return Status::InvalidArgument("cannot execute empty lowered plan");
+  }
+  ExecResult result;
+  result.stats.assign(plan.plan_nodes, OpStats{});
+  MIDAS_ASSIGN_OR_RETURN(
+      auto root, BuildRowStream(plan, plan.root, tables, &result.stats));
+
+  const ExecSchema& schema = plan.ops[plan.root].schema;
+  result.output.schema = schema;
+  result.output.columns.reserve(schema.size());
+  for (const Field& f : schema.fields()) {
+    result.output.columns.emplace_back(f.type);
+  }
+
+  const double t0 = MonotonicSeconds();
+  while (auto row = root->Next()) AppendRowToTable(*row, &result.output);
+  result.total_seconds = MonotonicSeconds() - t0;
+  result.stats[plan.ops[plan.root].plan_index].seconds = result.total_seconds;
+  result.digest = ResultDigest(result.output);
+  return result;
+}
+
+}  // namespace exec
+}  // namespace midas

@@ -1,0 +1,26 @@
+#ifndef MIDAS_EXEC_ROW_ENGINE_H_
+#define MIDAS_EXEC_ROW_ENGINE_H_
+
+#include "exec/engine.h"
+
+namespace midas {
+namespace exec {
+
+/// \brief Row-at-a-time reference interpreter — the correctness oracle.
+///
+/// Walks the SAME lowered plan as the vectorized engine but pulls one
+/// `std::variant`-cell row at a time through branchy per-row evaluation
+/// (the textbook Volcano model the columnar engine is benchmarked
+/// against). Output is value-identical to the vectorized engine by
+/// construction: both share PredicatePasses* semantics, the join emits
+/// matches in probe order with ascending build rows, and grouped sums
+/// accumulate in global row order. Per-op stats carry rows/bytes; seconds
+/// land on the root only (timing every row would measure the clock).
+StatusOr<ExecResult> ExecuteRowOracle(const LoweredPlan& plan,
+                                      TableProvider* tables,
+                                      const ExecOptions& options);
+
+}  // namespace exec
+}  // namespace midas
+
+#endif  // MIDAS_EXEC_ROW_ENGINE_H_

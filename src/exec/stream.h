@@ -1,0 +1,27 @@
+#ifndef MIDAS_EXEC_STREAM_H_
+#define MIDAS_EXEC_STREAM_H_
+
+#include <optional>
+
+namespace midas {
+namespace exec {
+
+/// \brief Pull-based stream of work units — the operator protocol of the
+/// vectorized engine (batches) and the row-at-a-time oracle (rows).
+///
+/// `Next()` returns the next unit or `std::nullopt` when the stream is
+/// exhausted; once exhausted it stays exhausted. Operators that can fail do
+/// so at *lowering* time (column resolution, type checks, table lookup), so
+/// the runtime protocol carries no Status — a lowered plan executes
+/// unconditionally.
+template <typename T>
+class IStream {
+ public:
+  virtual ~IStream() = default;
+  virtual std::optional<T> Next() = 0;
+};
+
+}  // namespace exec
+}  // namespace midas
+
+#endif  // MIDAS_EXEC_STREAM_H_

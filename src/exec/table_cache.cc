@@ -1,0 +1,43 @@
+#include "exec/table_cache.h"
+
+namespace midas {
+namespace exec {
+
+StatusOr<std::shared_ptr<const ColumnTable>> TableCache::GetOrMaterialize(
+    const TableCacheKey& key, const Materializer& materialize) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    stats_.hits += 1;
+    lru_.splice(lru_.begin(), lru_, it->second);  // bump to most recent
+    return it->second->second;
+  }
+  stats_.misses += 1;
+  MIDAS_ASSIGN_OR_RETURN(ColumnTable table, materialize());
+  auto shared = std::make_shared<const ColumnTable>(std::move(table));
+  stats_.resident_bytes += shared->ByteSize();
+  lru_.emplace_front(key, shared);
+  index_[key] = lru_.begin();
+  stats_.entries = lru_.size();
+  EvictOverBudgetLocked();
+  return shared;
+}
+
+void TableCache::EvictOverBudgetLocked() {
+  while (stats_.resident_bytes > capacity_bytes_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    stats_.resident_bytes -= victim.second->ByteSize();
+    stats_.evictions += 1;
+    index_.erase(victim.first);
+    lru_.pop_back();
+  }
+  stats_.entries = lru_.size();
+}
+
+TableCacheStats TableCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace exec
+}  // namespace midas

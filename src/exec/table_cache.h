@@ -1,0 +1,101 @@
+#ifndef MIDAS_EXEC_TABLE_CACHE_H_
+#define MIDAS_EXEC_TABLE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "exec/column.h"
+
+namespace midas {
+namespace exec {
+
+/// Identity of a materialized base table. The generator is deterministic in
+/// (scale factor, seed), so two queries with equal keys see byte-identical
+/// columns; `rows` is the applied row cap (0 = uncapped) because a capped
+/// materialization is a different table than the full one.
+struct TableCacheKey {
+  std::string table;
+  uint64_t scale_bits = 0;  ///< bit pattern of the scale-factor double
+  uint64_t seed = 0;
+  uint64_t rows = 0;
+
+  bool operator==(const TableCacheKey& other) const {
+    return table == other.table && scale_bits == other.scale_bits &&
+           seed == other.seed && rows == other.rows;
+  }
+};
+
+struct TableCacheKeyHash {
+  size_t operator()(const TableCacheKey& k) const {
+    size_t h = std::hash<std::string>()(k.table);
+    h ^= std::hash<uint64_t>()(k.scale_bits) + 0x9e3779b97f4a7c15ull +
+         (h << 6) + (h >> 2);
+    h ^= std::hash<uint64_t>()(k.seed) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+    h ^= std::hash<uint64_t>()(k.rows) + 0x9e3779b97f4a7c15ull + (h << 6) +
+         (h >> 2);
+    return h;
+  }
+};
+
+struct TableCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t resident_bytes = 0;
+  size_t entries = 0;
+};
+
+/// \brief Byte-budgeted LRU cache of materialized base tables.
+///
+/// Measured-mode execution would otherwise regenerate each table per query
+/// — materialization dominates end-to-end wall time by orders of magnitude
+/// at bench scale. Entries are shared_ptr snapshots, so eviction never
+/// invalidates a table an in-flight pipeline still scans. Thread-safe; a
+/// miss materializes under the lock (concurrent misses for the same key
+/// would otherwise duplicate hundred-MB builds).
+class TableCache {
+ public:
+  using Materializer = std::function<StatusOr<ColumnTable>()>;
+
+  /// `capacity_bytes` caps resident (non-in-flight) bytes. The most
+  /// recently materialized entry is always retained, even oversized ones —
+  /// evicting the table a query is about to scan would thrash.
+  explicit TableCache(size_t capacity_bytes) : capacity_bytes_(capacity_bytes) {}
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  /// Returns the cached table for `key`, or runs `materialize`, caches the
+  /// result, and returns it. Errors from `materialize` pass through and
+  /// cache nothing.
+  StatusOr<std::shared_ptr<const ColumnTable>> GetOrMaterialize(
+      const TableCacheKey& key, const Materializer& materialize);
+
+  TableCacheStats Stats() const;
+  size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  using Entry = std::pair<TableCacheKey, std::shared_ptr<const ColumnTable>>;
+
+  void EvictOverBudgetLocked();
+
+  const size_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<TableCacheKey, std::list<Entry>::iterator,
+                     TableCacheKeyHash>
+      index_;
+  TableCacheStats stats_;
+};
+
+}  // namespace exec
+}  // namespace midas
+
+#endif  // MIDAS_EXEC_TABLE_CACHE_H_

@@ -1,0 +1,580 @@
+#include "exec/vector_engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/statistics.h"
+#include "exec/batch.h"
+#include "exec/kernels.h"
+#include "exec/stream.h"
+
+namespace midas {
+namespace exec {
+
+namespace {
+
+using BatchStream = IStream<Batch>;
+
+/// Gathers the selected rows of `src` into a freshly materialized column.
+Column GatherColumnValue(const ColumnVector& src, const uint32_t* sel,
+                         size_t n_sel) {
+  Column out(src.type);
+  switch (src.type) {
+    case ColumnType::kInt: {
+      out.Reserve(n_sel);
+      for (size_t i = 0; i < n_sel; ++i) out.AppendInt(0);
+      GatherInt64(src.ints, sel, n_sel, const_cast<int64_t*>(out.IntData()));
+      break;
+    }
+    case ColumnType::kDouble: {
+      out.Reserve(n_sel);
+      for (size_t i = 0; i < n_sel; ++i) out.AppendDouble(0.0);
+      GatherDouble(src.doubles, sel, n_sel,
+                   const_cast<double*>(out.DoubleData()));
+      break;
+    }
+    default: {
+      size_t bytes = 0;
+      for (size_t i = 0; i < n_sel; ++i) {
+        bytes += src.offsets[sel[i] + 1] - src.offsets[sel[i]];
+      }
+      out.Reserve(n_sel, bytes);
+      for (size_t i = 0; i < n_sel; ++i) out.AppendString(src.StringAt(sel[i]));
+      break;
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const Column> GatherColumn(const ColumnVector& src,
+                                           const uint32_t* sel, size_t n_sel) {
+  return std::make_shared<const Column>(GatherColumnValue(src, sel, n_sel));
+}
+
+/// Appends all rows of a batch column view to a materialized column.
+void AppendVector(const ColumnVector& src, size_t rows, Column* dst) {
+  switch (src.type) {
+    case ColumnType::kInt:
+      for (size_t i = 0; i < rows; ++i) dst->AppendInt(src.ints[i]);
+      break;
+    case ColumnType::kDouble:
+      for (size_t i = 0; i < rows; ++i) dst->AppendDouble(src.doubles[i]);
+      break;
+    default:
+      for (size_t i = 0; i < rows; ++i) dst->AppendString(src.StringAt(i));
+      break;
+  }
+}
+
+double TotalSelfSeconds(const std::vector<OpStats>& stats) {
+  double total = 0.0;
+  for (const OpStats& s : stats) total += s.seconds;
+  return total;
+}
+
+/// Materializes a whole stream into a table with the given schema.
+void DrainInto(BatchStream* stream, const ExecSchema& schema,
+               ColumnTable* out) {
+  out->schema = schema;
+  out->columns.clear();
+  out->columns.reserve(schema.size());
+  for (const Field& f : schema.fields()) out->columns.emplace_back(f.type);
+  out->rows = 0;
+  while (auto batch = stream->Next()) {
+    for (size_t c = 0; c < out->columns.size(); ++c) {
+      AppendVector(batch->cols[c], batch->rows, &out->columns[c]);
+    }
+    out->rows += batch->rows;
+  }
+}
+
+class ScanStream : public BatchStream {
+ public:
+  ScanStream(std::shared_ptr<const ColumnTable> table, uint64_t limit,
+             size_t batch_rows, OpStats* stats)
+      : table_(std::move(table)),
+        limit_(std::min<uint64_t>(limit, table_->rows)),
+        batch_rows_(batch_rows),
+        stats_(stats) {}
+
+  std::optional<Batch> Next() override {
+    if (pos_ >= limit_) return std::nullopt;
+    const double t0 = MonotonicSeconds();
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(batch_rows_, limit_ - pos_));
+    Batch batch;
+    batch.rows = n;
+    batch.cols.reserve(table_->columns.size());
+    for (const Column& col : table_->columns) {
+      batch.cols.push_back(ColumnVector::Slice(col, static_cast<size_t>(pos_)));
+    }
+    batch.refs.push_back(table_);
+    pos_ += n;
+    stats_->seconds += MonotonicSeconds() - t0;
+    stats_->output_rows += n;
+    stats_->output_bytes += batch.PayloadBytes();
+    return batch;
+  }
+
+ private:
+  std::shared_ptr<const ColumnTable> table_;
+  uint64_t limit_;
+  size_t batch_rows_;
+  OpStats* stats_;
+  uint64_t pos_ = 0;
+};
+
+class FilterStream : public BatchStream {
+ public:
+  FilterStream(std::unique_ptr<BatchStream> child, const LoweredOp* op,
+               OpStats* stats)
+      : child_(std::move(child)), op_(op), stats_(stats) {}
+
+  std::optional<Batch> Next() override {
+    while (auto in = child_->Next()) {
+      const double t0 = MonotonicSeconds();
+      const size_t n = in->rows;
+      sel_.resize(n);
+      size_t k = n;
+      bool first = true;
+      for (const CompiledPredicate& p : op_->predicates) {
+        const ColumnVector& cv = in->cols[p.column];
+        switch (p.type) {
+          case ColumnType::kInt:
+            k = first ? SelectLeInt64(cv.ints, n, p.int_threshold, sel_.data())
+                      : RefineLeInt64(cv.ints, sel_.data(), k, p.int_threshold,
+                                      sel_.data());
+            break;
+          case ColumnType::kDouble:
+            k = first
+                    ? SelectLeDouble(cv.doubles, n, p.double_threshold,
+                                     sel_.data())
+                    : RefineLeDouble(cv.doubles, sel_.data(), k,
+                                     p.double_threshold, sel_.data());
+            break;
+          default:
+            k = first ? SelectHashLeString(cv.offsets, cv.arena, n,
+                                           p.hash_threshold, sel_.data())
+                      : RefineHashLeString(cv.offsets, cv.arena, sel_.data(),
+                                           k, p.hash_threshold, sel_.data());
+            break;
+        }
+        first = false;
+        if (k == 0) break;
+      }
+      if (k == 0) {
+        stats_->seconds += MonotonicSeconds() - t0;
+        continue;  // nothing qualified; keep pulling
+      }
+      Batch out;
+      if (k == n) {
+        out = std::move(*in);  // every row qualified: pass the views through
+      } else {
+        out.rows = k;
+        out.cols.reserve(in->cols.size());
+        for (const ColumnVector& cv : in->cols) {
+          out.AddOwned(GatherColumn(cv, sel_.data(), k));
+        }
+      }
+      stats_->seconds += MonotonicSeconds() - t0;
+      stats_->output_rows += out.rows;
+      stats_->output_bytes += out.PayloadBytes();
+      return out;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::unique_ptr<BatchStream> child_;
+  const LoweredOp* op_;
+  OpStats* stats_;
+  std::vector<uint32_t> sel_;
+};
+
+class ProjectStream : public BatchStream {
+ public:
+  ProjectStream(std::unique_ptr<BatchStream> child, const LoweredOp* op,
+                OpStats* stats)
+      : child_(std::move(child)), op_(op), stats_(stats) {}
+
+  std::optional<Batch> Next() override {
+    auto in = child_->Next();
+    if (!in.has_value()) return std::nullopt;
+    const double t0 = MonotonicSeconds();
+    Batch out;
+    out.rows = in->rows;
+    out.cols.reserve(op_->projection.size());
+    for (size_t index : op_->projection) out.cols.push_back(in->cols[index]);
+    out.refs = std::move(in->refs);  // views still point into the child's data
+    stats_->seconds += MonotonicSeconds() - t0;
+    stats_->output_rows += out.rows;
+    stats_->output_bytes += out.PayloadBytes();
+    return out;
+  }
+
+ private:
+  std::unique_ptr<BatchStream> child_;
+  const LoweredOp* op_;
+  OpStats* stats_;
+};
+
+/// Order-preserving equi-join: materializes the right child as the build
+/// side, then streams the left child as probes. Bucket chains are built by
+/// reverse-order prepend so each chain lists build rows in ascending order,
+/// and matches are emitted in probe order — output row order is therefore a
+/// pure function of the input row order, independent of batch size.
+class HashJoinStream : public BatchStream {
+ public:
+  HashJoinStream(std::unique_ptr<BatchStream> left,
+                 std::unique_ptr<BatchStream> right,
+                 const ExecSchema& right_schema, const LoweredOp* op,
+                 OpStats* stats, const std::vector<OpStats>* all_stats)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        right_schema_(right_schema),
+        op_(op),
+        stats_(stats),
+        all_stats_(all_stats) {}
+
+  std::optional<Batch> Next() override {
+    if (!built_) {
+      Build();
+      built_ = true;
+    }
+    while (auto probe = left_->Next()) {
+      const double t0 = MonotonicSeconds();
+      const ColumnVector& key_col = probe->cols[op_->left_key];
+      const int64_t* build_keys = build_->columns[op_->right_key].IntData();
+      left_rows_.clear();
+      right_rows_.clear();
+      for (size_t i = 0; i < probe->rows; ++i) {
+        const int64_t key = key_col.ints[i];
+        for (int64_t j = heads_[HashInt64(key) & mask_]; j >= 0;
+             j = next_[static_cast<size_t>(j)]) {
+          if (build_keys[j] == key) {
+            left_rows_.push_back(static_cast<uint32_t>(i));
+            right_rows_.push_back(static_cast<uint32_t>(j));
+          }
+        }
+      }
+      if (left_rows_.empty()) {
+        stats_->seconds += MonotonicSeconds() - t0;
+        continue;
+      }
+      Batch out;
+      out.rows = left_rows_.size();
+      out.cols.reserve(probe->cols.size() + build_->columns.size());
+      for (const ColumnVector& cv : probe->cols) {
+        out.AddOwned(GatherColumn(cv, left_rows_.data(), left_rows_.size()));
+      }
+      for (const Column& col : build_->columns) {
+        out.AddOwned(GatherColumn(ColumnVector::Over(col), right_rows_.data(),
+                                  right_rows_.size()));
+      }
+      stats_->seconds += MonotonicSeconds() - t0;
+      stats_->output_rows += out.rows;
+      stats_->output_bytes += out.PayloadBytes();
+      return out;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  void Build() {
+    build_ = std::make_shared<ColumnTable>();
+    {
+      // Draining the build side runs the child's kernels too; subtract the
+      // self-time its operators recorded so the join is charged only for
+      // materialization (self-time stays additive across the pipeline).
+      const double children_before = TotalSelfSeconds(*all_stats_);
+      const double t0 = MonotonicSeconds();
+      DrainInto(right_.get(), right_schema_, build_.get());
+      const double wall = MonotonicSeconds() - t0;
+      const double children = TotalSelfSeconds(*all_stats_) - children_before;
+      stats_->seconds += std::max(0.0, wall - children);
+    }
+    const double t0 = MonotonicSeconds();
+    const size_t n = static_cast<size_t>(build_->rows);
+    size_t buckets = 16;
+    while (buckets < 2 * n) buckets <<= 1;
+    mask_ = buckets - 1;
+    heads_.assign(buckets, -1);
+    next_.assign(n, -1);
+    const int64_t* keys =
+        n > 0 ? build_->columns[op_->right_key].IntData() : nullptr;
+    for (size_t i = n; i-- > 0;) {
+      const size_t b = HashInt64(keys[i]) & mask_;
+      next_[i] = heads_[b];
+      heads_[b] = static_cast<int64_t>(i);
+    }
+    stats_->seconds += MonotonicSeconds() - t0;
+  }
+
+  std::unique_ptr<BatchStream> left_;
+  std::unique_ptr<BatchStream> right_;
+  ExecSchema right_schema_;
+  const LoweredOp* op_;
+  OpStats* stats_;
+  const std::vector<OpStats>* all_stats_;
+  bool built_ = false;
+  std::shared_ptr<ColumnTable> build_;
+  std::vector<int64_t> heads_;
+  std::vector<int64_t> next_;
+  size_t mask_ = 0;
+  std::vector<uint32_t> left_rows_;
+  std::vector<uint32_t> right_rows_;
+};
+
+/// Dense grouped aggregation: group code = key mod num_groups, one count
+/// and one running double sum per kDouble input column. Sums accumulate in
+/// global row order (SumByGroup walks rows ascending and batches arrive in
+/// order), so results are bit-identical across batch sizes and to the
+/// row-at-a-time oracle. Emits non-empty groups ascending, as one batch.
+class AggregateStream : public BatchStream {
+ public:
+  AggregateStream(std::unique_ptr<BatchStream> child, const LoweredOp* op,
+                  OpStats* stats)
+      : child_(std::move(child)), op_(op), stats_(stats) {}
+
+  std::optional<Batch> Next() override {
+    if (done_) return std::nullopt;
+    done_ = true;
+    const size_t groups = static_cast<size_t>(op_->num_groups);
+    counts_.assign(groups, 0);
+    sums_.assign(op_->sum_columns.size(), std::vector<double>(groups, 0.0));
+    while (auto in = child_->Next()) {
+      const double t0 = MonotonicSeconds();
+      const size_t n = in->rows;
+      codes_.resize(n);
+      if (op_->group_key.has_value()) {
+        GroupCodes(in->cols[*op_->group_key].ints, n, op_->num_groups,
+                   codes_.data());
+      } else {
+        std::fill(codes_.begin(), codes_.end(), 0u);
+      }
+      CountByGroup(codes_.data(), n, counts_.data());
+      for (size_t s = 0; s < op_->sum_columns.size(); ++s) {
+        SumByGroup(in->cols[op_->sum_columns[s]].doubles, codes_.data(), n,
+                   sums_[s].data());
+      }
+      stats_->seconds += MonotonicSeconds() - t0;
+    }
+    const double t0 = MonotonicSeconds();
+    auto group_col = std::make_shared<Column>(ColumnType::kInt);
+    auto count_col = std::make_shared<Column>(ColumnType::kInt);
+    std::vector<std::shared_ptr<Column>> sum_cols;
+    for (size_t s = 0; s < sums_.size(); ++s) {
+      sum_cols.push_back(std::make_shared<Column>(ColumnType::kDouble));
+    }
+    for (size_t g = 0; g < groups; ++g) {
+      if (counts_[g] == 0) continue;
+      group_col->AppendInt(static_cast<int64_t>(g));
+      count_col->AppendInt(counts_[g]);
+      for (size_t s = 0; s < sums_.size(); ++s) {
+        sum_cols[s]->AppendDouble(sums_[s][g]);
+      }
+    }
+    Batch out;
+    out.rows = group_col->size();
+    out.AddOwned(group_col);
+    out.AddOwned(count_col);
+    for (auto& c : sum_cols) out.AddOwned(std::move(c));
+    stats_->seconds += MonotonicSeconds() - t0;
+    if (out.rows == 0) return std::nullopt;
+    stats_->output_rows += out.rows;
+    stats_->output_bytes += out.PayloadBytes();
+    return out;
+  }
+
+ private:
+  std::unique_ptr<BatchStream> child_;
+  const LoweredOp* op_;
+  OpStats* stats_;
+  bool done_ = false;
+  std::vector<int64_t> counts_;
+  std::vector<std::vector<double>> sums_;
+  std::vector<uint32_t> codes_;
+};
+
+/// Pipeline breaker: materializes the child, stable-sorts row indices by
+/// the sort key (stability pins the order of equal keys to input order, the
+/// batch-size-invariance requirement), then emits view batches over the
+/// reordered materialization.
+class SortStream : public BatchStream {
+ public:
+  SortStream(std::unique_ptr<BatchStream> child, const ExecSchema& schema,
+             const LoweredOp* op, size_t batch_rows, OpStats* stats,
+             const std::vector<OpStats>* all_stats)
+      : child_(std::move(child)),
+        schema_(schema),
+        op_(op),
+        batch_rows_(batch_rows),
+        stats_(stats),
+        all_stats_(all_stats) {}
+
+  std::optional<Batch> Next() override {
+    if (!sorted_) {
+      Sort();
+      sorted_ = true;
+    }
+    if (pos_ >= sorted_table_->rows) return std::nullopt;
+    const double t0 = MonotonicSeconds();
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(batch_rows_, sorted_table_->rows - pos_));
+    Batch out;
+    out.rows = n;
+    for (const Column& col : sorted_table_->columns) {
+      out.cols.push_back(ColumnVector::Slice(col, static_cast<size_t>(pos_)));
+    }
+    out.refs.push_back(sorted_table_);
+    pos_ += n;
+    stats_->seconds += MonotonicSeconds() - t0;
+    stats_->output_rows += n;
+    stats_->output_bytes += out.PayloadBytes();
+    return out;
+  }
+
+ private:
+  void Sort() {
+    ColumnTable staging;
+    {
+      // Same accounting as the join build: charge the sort only for the
+      // materialization, not the child's own recorded self-time.
+      const double children_before = TotalSelfSeconds(*all_stats_);
+      const double t0 = MonotonicSeconds();
+      DrainInto(child_.get(), schema_, &staging);
+      const double wall = MonotonicSeconds() - t0;
+      const double children = TotalSelfSeconds(*all_stats_) - children_before;
+      stats_->seconds += std::max(0.0, wall - children);
+    }
+    const double t0 = MonotonicSeconds();
+    const size_t n = static_cast<size_t>(staging.rows);
+    std::vector<uint32_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    const Column& key = staging.columns[op_->sort_key];
+    switch (key.type()) {
+      case ColumnType::kInt:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](uint32_t a, uint32_t b) {
+                           return key.IntAt(a) < key.IntAt(b);
+                         });
+        break;
+      case ColumnType::kDouble:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](uint32_t a, uint32_t b) {
+                           return key.DoubleAt(a) < key.DoubleAt(b);
+                         });
+        break;
+      default:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](uint32_t a, uint32_t b) {
+                           return key.StringAt(a) < key.StringAt(b);
+                         });
+        break;
+    }
+    auto sorted = std::make_shared<ColumnTable>();
+    sorted->schema = staging.schema;
+    sorted->rows = staging.rows;
+    for (const Column& col : staging.columns) {
+      sorted->columns.push_back(
+          GatherColumnValue(ColumnVector::Over(col), order.data(), n));
+    }
+    sorted_table_ = std::move(sorted);
+    stats_->seconds += MonotonicSeconds() - t0;
+  }
+
+  std::unique_ptr<BatchStream> child_;
+  ExecSchema schema_;
+  const LoweredOp* op_;
+  size_t batch_rows_;
+  OpStats* stats_;
+  const std::vector<OpStats>* all_stats_;
+  bool sorted_ = false;
+  std::shared_ptr<const ColumnTable> sorted_table_;
+  uint64_t pos_ = 0;
+};
+
+StatusOr<std::unique_ptr<BatchStream>> BuildStream(
+    const LoweredPlan& plan, size_t op_index, TableProvider* tables,
+    const ExecOptions& options, std::vector<OpStats>* stats) {
+  const LoweredOp& op = plan.ops[op_index];
+  OpStats* op_stats = &(*stats)[op.plan_index];
+  switch (op.kind) {
+    case OperatorKind::kScan: {
+      MIDAS_ASSIGN_OR_RETURN(std::shared_ptr<const ColumnTable> table,
+                             tables->GetTable(op.table));
+      if (table->columns.size() != op.schema.size()) {
+        return Status::Internal("scan table/schema column count mismatch: " +
+                                op.table);
+      }
+      return {std::make_unique<ScanStream>(std::move(table), op.scan_rows,
+                                           options.batch_rows, op_stats)};
+    }
+    case OperatorKind::kFilter: {
+      MIDAS_ASSIGN_OR_RETURN(
+          auto child,
+          BuildStream(plan, op.children[0], tables, options, stats));
+      return {std::make_unique<FilterStream>(std::move(child), &op, op_stats)};
+    }
+    case OperatorKind::kProject: {
+      MIDAS_ASSIGN_OR_RETURN(
+          auto child,
+          BuildStream(plan, op.children[0], tables, options, stats));
+      return {std::make_unique<ProjectStream>(std::move(child), &op, op_stats)};
+    }
+    case OperatorKind::kJoin: {
+      MIDAS_ASSIGN_OR_RETURN(
+          auto left, BuildStream(plan, op.children[0], tables, options, stats));
+      MIDAS_ASSIGN_OR_RETURN(
+          auto right,
+          BuildStream(plan, op.children[1], tables, options, stats));
+      return {std::make_unique<HashJoinStream>(
+          std::move(left), std::move(right), plan.ops[op.children[1]].schema,
+          &op, op_stats, stats)};
+    }
+    case OperatorKind::kAggregate: {
+      MIDAS_ASSIGN_OR_RETURN(
+          auto child,
+          BuildStream(plan, op.children[0], tables, options, stats));
+      return {
+          std::make_unique<AggregateStream>(std::move(child), &op, op_stats)};
+    }
+    case OperatorKind::kSort: {
+      MIDAS_ASSIGN_OR_RETURN(
+          auto child,
+          BuildStream(plan, op.children[0], tables, options, stats));
+      return {std::make_unique<SortStream>(
+          std::move(child), plan.ops[op.children[0]].schema, &op,
+          options.batch_rows, op_stats, stats)};
+    }
+  }
+  return Status::Internal("unhandled operator kind in BuildStream");
+}
+
+}  // namespace
+
+StatusOr<ExecResult> ExecuteVectorized(const LoweredPlan& plan,
+                                       TableProvider* tables,
+                                       const ExecOptions& options) {
+  if (plan.ops.empty()) {
+    return Status::InvalidArgument("cannot execute empty lowered plan");
+  }
+  if (options.batch_rows == 0) {
+    return Status::InvalidArgument("batch_rows must be positive");
+  }
+  ExecResult result;
+  result.stats.assign(plan.plan_nodes, OpStats{});
+  MIDAS_ASSIGN_OR_RETURN(
+      auto root,
+      BuildStream(plan, plan.root, tables, options, &result.stats));
+  const double t0 = MonotonicSeconds();
+  DrainInto(root.get(), plan.ops[plan.root].schema, &result.output);
+  result.total_seconds = MonotonicSeconds() - t0;
+  result.digest = ResultDigest(result.output);
+  return result;
+}
+
+}  // namespace exec
+}  // namespace midas

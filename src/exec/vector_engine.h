@@ -1,0 +1,24 @@
+#ifndef MIDAS_EXEC_VECTOR_ENGINE_H_
+#define MIDAS_EXEC_VECTOR_ENGINE_H_
+
+#include "exec/engine.h"
+
+namespace midas {
+namespace exec {
+
+/// \brief Batch-at-a-time columnar execution of a lowered plan.
+///
+/// Builds a pull-based IStream<Batch> pipeline (Scan over materialized
+/// columns, Filter via branch-free selection vectors, Project as zero-copy
+/// column picks, order-preserving HashJoin, grouped Aggregate, stable
+/// Sort) and drains the root into a materialized result. Per-operator
+/// self-time, output rows and actual output bytes land in
+/// ExecResult::stats[plan_index].
+StatusOr<ExecResult> ExecuteVectorized(const LoweredPlan& plan,
+                                       TableProvider* tables,
+                                       const ExecOptions& options);
+
+}  // namespace exec
+}  // namespace midas
+
+#endif  // MIDAS_EXEC_VECTOR_ENGINE_H_

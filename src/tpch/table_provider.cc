@@ -1,0 +1,62 @@
+#include "tpch/table_provider.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+namespace midas {
+namespace tpch {
+
+namespace {
+
+/// FNV-1a over the catalog's structure. Mixed into the cache key so two
+/// providers sharing one cache over *different* catalogs (same table names
+/// and row caps, different schemas) can never alias entries.
+uint64_t CatalogFingerprint(const Catalog& catalog) {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](const void* data, size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 1099511628211ull;
+    }
+  };
+  for (const TableDef& table : catalog.tables()) {
+    mix(table.name.data(), table.name.size());
+    mix(&table.row_count, sizeof(table.row_count));
+    for (const ColumnDef& col : table.columns) {
+      mix(col.name.data(), col.name.size());
+      mix(&col.type, sizeof(col.type));
+      mix(&col.distinct_values, sizeof(col.distinct_values));
+      mix(&col.avg_width_bytes, sizeof(col.avg_width_bytes));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+CachedTableProvider::CachedTableProvider(
+    DbGen gen, std::shared_ptr<exec::TableCache> cache,
+    uint64_t max_rows_per_table)
+    : gen_(std::move(gen)),
+      cache_(std::move(cache)),
+      max_rows_per_table_(max_rows_per_table),
+      catalog_fingerprint_(CatalogFingerprint(gen_.catalog())) {}
+
+StatusOr<std::shared_ptr<const exec::ColumnTable>>
+CachedTableProvider::GetTable(const std::string& name) {
+  MIDAS_ASSIGN_OR_RETURN(uint64_t rows, gen_.RowCount(name));
+  if (max_rows_per_table_ > 0) rows = std::min(rows, max_rows_per_table_);
+  exec::TableCacheKey key;
+  key.table = name;
+  key.scale_bits = std::bit_cast<uint64_t>(gen_.scale_factor());
+  key.seed = gen_.seed() ^ catalog_fingerprint_;
+  key.rows = rows;
+  const uint64_t end = rows;
+  return cache_->GetOrMaterialize(
+      key, [this, &name, end]() { return gen_.GenerateColumns(name, 0, end); });
+}
+
+}  // namespace tpch
+}  // namespace midas

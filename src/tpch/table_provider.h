@@ -1,0 +1,45 @@
+#ifndef MIDAS_TPCH_TABLE_PROVIDER_H_
+#define MIDAS_TPCH_TABLE_PROVIDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "exec/engine.h"
+#include "exec/table_cache.h"
+#include "tpch/dbgen.h"
+
+namespace midas {
+namespace tpch {
+
+/// \brief TableProvider that materializes base tables from a DbGen on
+/// demand and memoizes them in a TableCache.
+///
+/// The cache key is (table, scale factor, seed, row cap) — exactly the
+/// inputs DbGen is deterministic in — so concurrent queries over the same
+/// generator share one materialization. The cache may be shared across
+/// providers (and across simulators) to share the byte budget.
+class CachedTableProvider : public exec::TableProvider {
+ public:
+  /// `max_rows_per_table` caps materialization (0 = full cardinality);
+  /// keep it in sync with the LowerOptions cap so scans see every row they
+  /// were lowered to read.
+  CachedTableProvider(DbGen gen, std::shared_ptr<exec::TableCache> cache,
+                      uint64_t max_rows_per_table = 0);
+
+  StatusOr<std::shared_ptr<const exec::ColumnTable>> GetTable(
+      const std::string& name) override;
+
+  const exec::TableCache& cache() const { return *cache_; }
+
+ private:
+  DbGen gen_;
+  std::shared_ptr<exec::TableCache> cache_;
+  uint64_t max_rows_per_table_;
+  uint64_t catalog_fingerprint_;
+};
+
+}  // namespace tpch
+}  // namespace midas
+
+#endif  // MIDAS_TPCH_TABLE_PROVIDER_H_

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "engine/simulator.h"
+
+namespace midas {
+namespace {
+
+// Measured cost mode: the simulator really runs plans on the columnar
+// engine over deterministic synthetic data. The catalog here is NOT the
+// TPC-H one — it also exercises the generator's external-catalog path the
+// medical workloads use.
+
+struct Environment {
+  Federation federation;
+  Catalog catalog;
+  SiteId site_a = 0;
+  SiteId site_b = 0;
+};
+
+Environment MakeEnvironment() {
+  Environment env;
+  SiteConfig a;
+  a.name = "A";
+  a.engines = {EngineKind::kHive};
+  a.node_type = {ProviderKind::kAmazon, "a1.xlarge", 4, 8.0, 0.0, 0.0197};
+  a.max_nodes = 8;
+  env.site_a = env.federation.AddSite(a).value();
+  SiteConfig b;
+  b.name = "B";
+  b.engines = {EngineKind::kPostgres};
+  b.node_type = {ProviderKind::kMicrosoft, "B2S", 2, 4.0, 8.0, 0.042};
+  b.max_nodes = 8;
+  env.site_b = env.federation.AddSite(b).value();
+  NetworkLink wan;
+  wan.bandwidth_mbps = 100.0;
+  wan.latency_ms = 10.0;
+  wan.egress_price_per_gib = 0.09;
+  env.federation.network().SetSymmetricLink(env.site_a, env.site_b, wan)
+      .CheckOK();
+
+  TableDef big;
+  big.name = "big";
+  big.row_count = 100000;
+  big.columns = {{"id", ColumnType::kInt, 8.0, 100000},
+                 {"val", ColumnType::kDouble, 8.0, 50000},
+                 {"payload", ColumnType::kString, 24.0, 100000}};
+  env.catalog.AddTable(big).CheckOK();
+  TableDef small;
+  small.name = "small";
+  small.row_count = 1000;
+  small.columns = {{"id", ColumnType::kInt, 8.0, 1000}};
+  env.catalog.AddTable(small).CheckOK();
+  env.federation.PlaceTable("big", env.site_a, EngineKind::kHive).CheckOK();
+  env.federation.PlaceTable("small", env.site_b, EngineKind::kPostgres)
+      .CheckOK();
+  return env;
+}
+
+SimulatorOptions Measured(size_t batch_rows = 4096) {
+  SimulatorOptions options;
+  options.stochastic = false;
+  options.variance.drift_amplitude = 0.0;
+  options.variance.ar_sigma = 0.0;
+  options.variance.noise_sigma = 0.0;
+  options.cost_source = CostSource::kMeasured;
+  options.measured.batch_rows = batch_rows;
+  options.measured.max_rows_per_table = 20000;  // keep test runs quick
+  return options;
+}
+
+QueryPlan ScanPlan(EngineKind engine, SiteId site) {
+  auto scan = MakeScan("big");
+  scan->site = site;
+  scan->engine = engine;
+  return QueryPlan(std::move(scan));
+}
+
+QueryPlan JoinPlan(const Environment& env, SiteId compute_site,
+                   EngineKind compute_engine) {
+  auto left = MakeScan("big");
+  left->site = env.site_a;
+  left->engine = EngineKind::kHive;
+  auto right = MakeScan("small");
+  right->site = env.site_b;
+  right->engine = EngineKind::kPostgres;
+  auto join = MakeJoin(std::move(left), std::move(right), "id", "id");
+  join->site = compute_site;
+  join->engine = compute_engine;
+  return QueryPlan(std::move(join));
+}
+
+TEST(MeasuredModeTest, ExecuteProducesCostsAndDigest) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Measured());
+  auto m = sim.Execute(ScanPlan(EngineKind::kHive, env.site_a));
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_GT(m->seconds, 12.0);  // Hive startup still charged
+  EXPECT_GT(m->dollars, 0.0);
+  EXPECT_NE(m->result_digest, 0u);
+}
+
+TEST(MeasuredModeTest, AnalyticalModeLeavesDigestZero) {
+  Environment env = MakeEnvironment();
+  SimulatorOptions options = Measured();
+  options.cost_source = CostSource::kAnalytical;
+  ExecutionSimulator sim(&env.federation, &env.catalog, options);
+  auto m = sim.Execute(ScanPlan(EngineKind::kHive, env.site_a));
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->result_digest, 0u);
+}
+
+TEST(MeasuredModeTest, DigestIdenticalAcrossBatchSizesAndOracle) {
+  Environment env = MakeEnvironment();
+  const QueryPlan plan = JoinPlan(env, env.site_a, EngineKind::kHive);
+
+  std::vector<uint64_t> digests;
+  for (size_t batch_rows : {257u, 1024u, 4096u}) {
+    ExecutionSimulator sim(&env.federation, &env.catalog,
+                           Measured(batch_rows));
+    auto m = sim.Execute(plan);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    digests.push_back(m->result_digest);
+  }
+  SimulatorOptions oracle_opts = Measured();
+  oracle_opts.measured.use_row_oracle = true;
+  ExecutionSimulator oracle(&env.federation, &env.catalog, oracle_opts);
+  auto m = oracle.Execute(plan);
+  ASSERT_TRUE(m.ok());
+  digests.push_back(m->result_digest);
+
+  for (size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i], digests[0]);
+  }
+  EXPECT_NE(digests[0], 0u);
+}
+
+TEST(MeasuredModeTest, RelativeEngineBehaviourPreserved) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Measured());
+  // Same physical work, throttled per engine profile: Hive pays 12 s
+  // startup and a 100/60 scan slowdown, Postgres 0.05 s and 100/220.
+  auto hive = sim.ExpectedCostAt(ScanPlan(EngineKind::kHive, env.site_a), 0);
+  auto postgres =
+      sim.ExpectedCostAt(ScanPlan(EngineKind::kPostgres, env.site_b), 0);
+  ASSERT_TRUE(hive.ok());
+  ASSERT_TRUE(postgres.ok());
+  EXPECT_GT(hive->seconds, postgres->seconds);
+  EXPECT_EQ(hive->result_digest, postgres->result_digest);  // same data
+}
+
+TEST(MeasuredModeTest, TransfersChargeMeasuredBytes) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Measured());
+  const double to_a =
+      sim.ExpectedCostAt(JoinPlan(env, env.site_a, EngineKind::kHive), 0)
+          .value()
+          .bytes_transferred;
+  const double to_b =
+      sim.ExpectedCostAt(JoinPlan(env, env.site_b, EngineKind::kPostgres), 0)
+          .value()
+          .bytes_transferred;
+  EXPECT_GT(to_a, 0.0);   // small table travels B → A
+  EXPECT_GT(to_b, to_a);  // shipping the big table costs more
+}
+
+TEST(MeasuredModeTest, TableCacheServesRepeatExecutions) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Measured());
+  EXPECT_EQ(sim.table_cache(), nullptr);  // built lazily
+  ASSERT_TRUE(sim.Execute(JoinPlan(env, env.site_a, EngineKind::kHive)).ok());
+  ASSERT_TRUE(sim.Execute(JoinPlan(env, env.site_a, EngineKind::kHive)).ok());
+  ASSERT_NE(sim.table_cache(), nullptr);
+  const exec::TableCacheStats stats = sim.table_cache()->Stats();
+  EXPECT_EQ(stats.misses, 2u);  // big + small, materialized once each
+  EXPECT_GE(stats.hits, 2u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+}
+
+TEST(MeasuredModeTest, SharedCachePoolsAcrossSimulators) {
+  Environment env = MakeEnvironment();
+  auto shared = std::make_shared<exec::TableCache>(512ull << 20);
+  SimulatorOptions options = Measured();
+  options.measured.shared_cache = shared;
+  ExecutionSimulator sim1(&env.federation, &env.catalog, options);
+  ExecutionSimulator sim2(&env.federation, &env.catalog, options);
+  ASSERT_TRUE(sim1.Execute(ScanPlan(EngineKind::kHive, env.site_a)).ok());
+  ASSERT_TRUE(sim2.Execute(ScanPlan(EngineKind::kHive, env.site_a)).ok());
+  EXPECT_EQ(shared->Stats().misses, 1u);
+  EXPECT_EQ(shared->Stats().hits, 1u);
+}
+
+TEST(MeasuredModeTest, ExecuteMeasuredExposesPerOperatorStats) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Measured());
+  const QueryPlan plan = JoinPlan(env, env.site_a, EngineKind::kHive);
+  auto result = sim.ExecuteMeasured(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value().stats.size(), 3u);  // join, scan, scan
+  // Pre-order: 0 = join, 1 = big scan, 2 = small scan.
+  EXPECT_EQ(result.value().stats[1].output_rows, 20000u);
+  EXPECT_EQ(result.value().stats[2].output_rows, 1000u);
+  // The digest Execute reports is the engine's.
+  auto m = sim.Execute(plan);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->result_digest, result.value().digest);
+}
+
+TEST(MeasuredModeTest, UnannotatedPlanStillRejected) {
+  Environment env = MakeEnvironment();
+  ExecutionSimulator sim(&env.federation, &env.catalog, Measured());
+  EXPECT_FALSE(sim.Execute(QueryPlan(MakeScan("big"))).ok());
+}
+
+}  // namespace
+}  // namespace midas

@@ -1,0 +1,123 @@
+#include "exec/column.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/batch.h"
+
+namespace midas {
+namespace exec {
+namespace {
+
+TEST(ColumnTest, TypedAppendAndRead) {
+  Column ints(ColumnType::kInt);
+  ints.AppendInt(7);
+  ints.AppendInt(-3);
+  EXPECT_EQ(ints.size(), 2u);
+  EXPECT_EQ(ints.IntAt(0), 7);
+  EXPECT_EQ(ints.IntAt(1), -3);
+  EXPECT_EQ(ints.ByteSize(), 2 * sizeof(int64_t));
+
+  Column doubles(ColumnType::kDouble);
+  doubles.AppendDouble(1.5);
+  EXPECT_DOUBLE_EQ(doubles.DoubleAt(0), 1.5);
+
+  Column strings(ColumnType::kString);
+  strings.AppendString("alpha");
+  strings.AppendString("");
+  strings.AppendString("beta");
+  EXPECT_EQ(strings.size(), 3u);
+  EXPECT_EQ(strings.StringAt(0), "alpha");
+  EXPECT_EQ(strings.StringAt(1), "");
+  EXPECT_EQ(strings.StringAt(2), "beta");
+  // arena + (rows + 1) offsets
+  EXPECT_EQ(strings.ByteSize(), 9 + 4 * sizeof(uint32_t));
+}
+
+TEST(ColumnTest, DateColumnsUseStringStorage) {
+  Column dates(ColumnType::kDate);
+  EXPECT_TRUE(dates.is_string_like());
+  dates.AppendString("1995-03-17");
+  EXPECT_EQ(dates.StringAt(0), "1995-03-17");
+}
+
+TEST(ExecSchemaTest, FindFieldResolvesFirstMatch) {
+  ExecSchema schema;
+  schema.Append(Field{"a", ColumnType::kInt, 10});
+  schema.Append(Field{"b", ColumnType::kDouble, 5});
+  schema.Append(Field{"a", ColumnType::kString, 2});  // post-join duplicate
+
+  auto a = schema.FindField("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), 0u);
+  auto b = schema.FindField("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_FALSE(schema.FindField("missing").ok());
+}
+
+ColumnTable SmallTable() {
+  ColumnTable t;
+  t.schema.Append(Field{"k", ColumnType::kInt, 3});
+  t.schema.Append(Field{"v", ColumnType::kDouble, 3});
+  t.schema.Append(Field{"s", ColumnType::kString, 3});
+  Column k(ColumnType::kInt), v(ColumnType::kDouble), s(ColumnType::kString);
+  for (int i = 0; i < 3; ++i) {
+    k.AppendInt(i);
+    v.AppendDouble(i * 0.5);
+    s.AppendString(i % 2 == 0 ? "even" : "odd");
+  }
+  t.columns.push_back(std::move(k));
+  t.columns.push_back(std::move(v));
+  t.columns.push_back(std::move(s));
+  t.rows = 3;
+  return t;
+}
+
+TEST(ResultDigestTest, EqualTablesDigestEqual) {
+  EXPECT_EQ(ResultDigest(SmallTable()), ResultDigest(SmallTable()));
+}
+
+TEST(ResultDigestTest, ValueChangeChangesDigest) {
+  ColumnTable a = SmallTable();
+  ColumnTable b = SmallTable();
+  Column v(ColumnType::kDouble);
+  v.AppendDouble(0.0);
+  v.AppendDouble(0.5);
+  v.AppendDouble(1.0 + 1e-12);  // one ulp-ish nudge must be visible
+  b.columns[1] = std::move(v);
+  EXPECT_NE(ResultDigest(a), ResultDigest(b));
+}
+
+TEST(ResultDigestTest, RowOrderIsSignificant) {
+  ColumnTable a = SmallTable();
+  ColumnTable b = SmallTable();
+  Column k(ColumnType::kInt);
+  k.AppendInt(2);
+  k.AppendInt(1);
+  k.AppendInt(0);
+  b.columns[0] = std::move(k);
+  EXPECT_NE(ResultDigest(a), ResultDigest(b));
+}
+
+TEST(BatchTest, SliceViewsShareAbsoluteOffsets) {
+  ColumnTable t = SmallTable();
+  ColumnVector full = ColumnVector::Over(t.columns[2]);
+  ColumnVector slice = ColumnVector::Slice(t.columns[2], 1);
+  EXPECT_EQ(full.StringAt(1), slice.StringAt(0));
+  EXPECT_EQ(slice.StringAt(1), "even");
+}
+
+TEST(BatchTest, PayloadBytesCountsActualData) {
+  ColumnTable t = SmallTable();
+  Batch batch;
+  batch.rows = 3;
+  for (const Column& c : t.columns) {
+    batch.cols.push_back(ColumnVector::Over(c));
+  }
+  // 3 int cells + 3 double cells = 48; strings: 4+3+4 arena + 3 offsets.
+  EXPECT_DOUBLE_EQ(batch.PayloadBytes(), 48.0 + 11.0 + 3 * sizeof(uint32_t));
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace midas

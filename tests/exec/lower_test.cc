@@ -1,0 +1,173 @@
+#include "exec/lower.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/kernels.h"
+
+namespace midas {
+namespace exec {
+namespace {
+
+Catalog TestCatalog() {
+  Catalog catalog;
+  TableDef t;
+  t.name = "t";
+  t.row_count = 1000;
+  t.columns = {
+      ColumnDef{"id", ColumnType::kInt, 8.0, 1000},
+      ColumnDef{"a", ColumnType::kInt, 8.0, 100},
+      ColumnDef{"b", ColumnType::kDouble, 8.0, 500},
+      ColumnDef{"s", ColumnType::kString, 16.0, 50},
+      ColumnDef{"d", ColumnType::kDate, 10.0, 2000},
+  };
+  EXPECT_TRUE(catalog.AddTable(t).ok());
+  TableDef u;
+  u.name = "u";
+  u.row_count = 100;
+  u.columns = {
+      ColumnDef{"k", ColumnType::kInt, 8.0, 100},
+      ColumnDef{"w", ColumnType::kDouble, 8.0, 100},
+  };
+  EXPECT_TRUE(catalog.AddTable(u).ok());
+  return catalog;
+}
+
+Predicate Pred(const std::string& column, double selectivity) {
+  Predicate p;
+  p.column = column;
+  p.op = CompareOp::kLe;
+  p.selectivity_override = selectivity;
+  return p;
+}
+
+TEST(LowerTest, PreOrderPlanIndicesMatchNodes) {
+  Catalog catalog = TestCatalog();
+  // join(filter(scan t), scan u): pre-order = join, filter, scan t, scan u.
+  auto left = MakeFilter(MakeScan("t"), {Pred("a", 0.5)});
+  auto join = MakeJoin(std::move(left), MakeScan("u"), "a", "k");
+  QueryPlan plan(std::move(join));
+
+  auto lowered = LowerPlan(catalog, plan);
+  ASSERT_TRUE(lowered.ok());
+  const LoweredPlan& lp = lowered.value();
+  EXPECT_EQ(lp.plan_nodes, 4u);
+  EXPECT_EQ(lp.ops.size(), 4u);
+  const LoweredOp& root = lp.ops[lp.root];
+  EXPECT_EQ(root.kind, OperatorKind::kJoin);
+  EXPECT_EQ(root.plan_index, 0u);
+  EXPECT_EQ(lp.ops[root.children[0]].kind, OperatorKind::kFilter);
+  EXPECT_EQ(lp.ops[root.children[0]].plan_index, 1u);
+  const LoweredOp& scan_t = lp.ops[lp.ops[root.children[0]].children[0]];
+  EXPECT_EQ(scan_t.plan_index, 2u);
+  EXPECT_EQ(scan_t.table, "t");
+  EXPECT_EQ(lp.ops[root.children[1]].plan_index, 3u);
+  // Join schema concatenates left then right fields.
+  EXPECT_EQ(root.schema.size(), 7u);
+  EXPECT_EQ(root.schema.field(5).name, "k");
+}
+
+TEST(LowerTest, CompilesDeterministicThresholds) {
+  Catalog catalog = TestCatalog();
+  QueryPlan plan(MakeFilter(MakeScan("t"),
+                            {Pred("a", 0.5), Pred("b", 0.25), Pred("s", 0.5)}));
+  auto lowered = LowerPlan(catalog, plan);
+  ASSERT_TRUE(lowered.ok());
+  const LoweredOp& filter = lowered.value().ops.back();
+  ASSERT_EQ(filter.predicates.size(), 3u);
+
+  const CompiledPredicate& pa = filter.predicates[0];
+  EXPECT_EQ(pa.type, ColumnType::kInt);
+  EXPECT_EQ(pa.int_threshold, 50);  // 0.5 over [1, 100]
+  EXPECT_TRUE(PredicatePassesInt(pa, 50));
+  EXPECT_FALSE(PredicatePassesInt(pa, 51));
+
+  const CompiledPredicate& pb = filter.predicates[1];
+  EXPECT_EQ(pb.type, ColumnType::kDouble);
+  EXPECT_DOUBLE_EQ(pb.double_threshold, 1.0 + 0.25 * 99999.0);
+
+  const CompiledPredicate& ps = filter.predicates[2];
+  EXPECT_EQ(ps.type, ColumnType::kString);
+  EXPECT_EQ(ps.hash_threshold, uint64_t{1} << 63);
+  // The hash test is a pure function of the value.
+  EXPECT_EQ(PredicatePassesString(ps, "abc"),
+            HashBytes("abc", 3) <= ps.hash_threshold);
+}
+
+TEST(LowerTest, DefaultSelectivitiesMirrorEstimator) {
+  Catalog catalog = TestCatalog();
+  Predicate eq;
+  eq.column = "a";
+  eq.op = CompareOp::kEq;  // 1/NDV = 0.01 over domain [1, 100]
+  QueryPlan plan(MakeFilter(MakeScan("t"), {eq}));
+  auto lowered = LowerPlan(catalog, plan);
+  ASSERT_TRUE(lowered.ok());
+  EXPECT_EQ(lowered.value().ops.back().predicates[0].int_threshold, 1);
+}
+
+TEST(LowerTest, ScanFractionAndRowCapCompose) {
+  Catalog catalog = TestCatalog();
+  {
+    auto scan = MakeScan("t");
+    scan->scan_fraction = 0.5;
+    auto lowered = LowerPlan(catalog, QueryPlan(std::move(scan)));
+    ASSERT_TRUE(lowered.ok());
+    EXPECT_EQ(lowered.value().ops.back().scan_rows, 500u);
+  }
+  {
+    auto scan = MakeScan("t");
+    scan->scan_fraction = 0.5;
+    LowerOptions options;
+    options.max_rows_per_table = 300;  // cap first, then prune
+    auto lowered = LowerPlan(catalog, QueryPlan(std::move(scan)), options);
+    ASSERT_TRUE(lowered.ok());
+    EXPECT_EQ(lowered.value().ops.back().scan_rows, 150u);
+  }
+}
+
+TEST(LowerTest, AggregateSchemaAndKeySelection) {
+  Catalog catalog = TestCatalog();
+  QueryPlan plan(MakeAggregate(MakeScan("u"), 7));
+  auto lowered = LowerPlan(catalog, plan);
+  ASSERT_TRUE(lowered.ok());
+  const LoweredOp& agg = lowered.value().ops.back();
+  ASSERT_TRUE(agg.group_key.has_value());
+  EXPECT_EQ(*agg.group_key, 0u);  // first kInt child column ("k")
+  ASSERT_EQ(agg.sum_columns.size(), 1u);
+  EXPECT_EQ(agg.sum_columns[0], 1u);  // "w"
+  ASSERT_EQ(agg.schema.size(), 3u);
+  EXPECT_EQ(agg.schema.field(0).name, "group");
+  EXPECT_EQ(agg.schema.field(1).name, "count");
+  EXPECT_EQ(agg.schema.field(2).name, "sum_w");
+  EXPECT_EQ(agg.num_groups, 7u);
+}
+
+TEST(LowerTest, ProjectResolvesNamesInOrder) {
+  Catalog catalog = TestCatalog();
+  QueryPlan plan(MakeProject(MakeScan("t"), {"b", "id"}));
+  auto lowered = LowerPlan(catalog, plan);
+  ASSERT_TRUE(lowered.ok());
+  const LoweredOp& project = lowered.value().ops.back();
+  ASSERT_EQ(project.projection.size(), 2u);
+  EXPECT_EQ(project.projection[0], 2u);
+  EXPECT_EQ(project.projection[1], 0u);
+  EXPECT_EQ(project.schema.field(0).name, "b");
+}
+
+TEST(LowerTest, RejectsMalformedPlans) {
+  Catalog catalog = TestCatalog();
+  EXPECT_FALSE(LowerPlan(catalog, QueryPlan(MakeScan("missing"))).ok());
+  EXPECT_FALSE(
+      LowerPlan(catalog,
+                QueryPlan(MakeFilter(MakeScan("t"), {Pred("nope", 0.5)})))
+          .ok());
+  // Non-int join keys are rejected at lowering, never at runtime.
+  auto join = MakeJoin(MakeScan("t"), MakeScan("u"), "s", "k");
+  auto lowered = LowerPlan(catalog, QueryPlan(std::move(join)));
+  ASSERT_FALSE(lowered.ok());
+  EXPECT_EQ(lowered.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(LowerPlan(catalog, QueryPlan()).ok());
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace midas

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/engine.h"
+#include "exec/lower.h"
+
+namespace midas {
+namespace exec {
+namespace {
+
+// Golden tests: every plan runs on the vectorized engine at several awkward
+// batch sizes AND on the row-at-a-time oracle; all executions must produce
+// bit-identical output tables (not just equal digests).
+
+constexpr size_t kBatchSizes[] = {1, 3, 7, 256, 4096};
+
+class MapProvider : public TableProvider {
+ public:
+  void Add(const std::string& name, ColumnTable table) {
+    tables_[name] = std::make_shared<const ColumnTable>(std::move(table));
+  }
+  StatusOr<std::shared_ptr<const ColumnTable>> GetTable(
+      const std::string& name) override {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) return Status::NotFound("no table " + name);
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const ColumnTable>> tables_;
+};
+
+constexpr const char* kSampleWords[] = {"alpha", "beta", "gamma", "delta",
+                                        "epsilon", "zeta", "eta", "theta"};
+
+/// Builds a random table whose value domains match what predicate
+/// compilation assumes for the catalog entry (ints uniform over [1, NDV],
+/// doubles over [1, 100000] in cents).
+ColumnTable RandomTable(const TableDef& def, uint64_t seed) {
+  Rng rng(seed);
+  ColumnTable out;
+  out.rows = def.row_count;
+  for (const ColumnDef& col : def.columns) {
+    out.schema.Append(Field{col.name, col.type,
+                            std::max<uint64_t>(1, col.distinct_values)});
+    Column column(col.type);
+    for (uint64_t i = 0; i < def.row_count; ++i) {
+      switch (col.type) {
+        case ColumnType::kInt:
+          column.AppendInt(rng.UniformInt(
+              1, static_cast<int64_t>(
+                     std::max<uint64_t>(1, col.distinct_values))));
+          break;
+        case ColumnType::kDouble:
+          column.AppendDouble(
+              std::round(rng.Uniform(1.0, 100000.0) * 100.0) / 100.0);
+          break;
+        default:
+          column.AppendString(kSampleWords[rng.Index(8)]);
+          break;
+      }
+    }
+    out.columns.push_back(std::move(column));
+  }
+  return out;
+}
+
+struct Fixture {
+  Catalog catalog;
+  MapProvider provider;
+
+  Fixture() {
+    TableDef t;
+    t.name = "t";
+    t.row_count = 997;  // prime: never divides a batch size evenly
+    t.columns = {
+        ColumnDef{"a", ColumnType::kInt, 8.0, 50},
+        ColumnDef{"b", ColumnType::kDouble, 8.0, 200},
+        ColumnDef{"s", ColumnType::kString, 8.0, 8},
+    };
+    TableDef u;
+    u.name = "u";
+    u.row_count = 131;
+    u.columns = {
+        ColumnDef{"k", ColumnType::kInt, 8.0, 50},
+        ColumnDef{"w", ColumnType::kDouble, 8.0, 100},
+    };
+    TableDef empty;
+    empty.name = "empty";
+    empty.row_count = 0;
+    empty.columns = {ColumnDef{"e", ColumnType::kInt, 8.0, 10}};
+    EXPECT_TRUE(catalog.AddTable(t).ok());
+    EXPECT_TRUE(catalog.AddTable(u).ok());
+    EXPECT_TRUE(catalog.AddTable(empty).ok());
+    provider.Add("t", RandomTable(t, 7));
+    provider.Add("u", RandomTable(u, 11));
+    provider.Add("empty", RandomTable(empty, 13));
+  }
+
+  /// Runs `plan` on the oracle and on the vectorized engine at every batch
+  /// size; asserts all outputs are bit-identical and returns the oracle's.
+  ColumnTable CheckAllWays(const QueryPlan& plan) {
+    auto lowered = LowerPlan(catalog, plan);
+    EXPECT_TRUE(lowered.ok()) << lowered.status().ToString();
+    const LoweredPlan& lp = lowered.value();
+
+    ExecOptions oracle_opts;
+    oracle_opts.engine = EngineKindExec::kRowOracle;
+    auto oracle = ExecutePlan(lp, &provider, oracle_opts);
+    EXPECT_TRUE(oracle.ok()) << oracle.status().ToString();
+    const ExecResult& golden = oracle.value();
+
+    for (size_t batch_rows : kBatchSizes) {
+      ExecOptions opts;
+      opts.engine = EngineKindExec::kVectorized;
+      opts.batch_rows = batch_rows;
+      auto got = ExecutePlan(lp, &provider, opts);
+      EXPECT_TRUE(got.ok()) << got.status().ToString();
+      const ExecResult& result = got.value();
+      EXPECT_EQ(result.output.rows, golden.output.rows)
+          << "batch_rows=" << batch_rows;
+      EXPECT_TRUE(result.output == golden.output)
+          << "vectorized output differs from oracle at batch_rows="
+          << batch_rows;
+      EXPECT_EQ(result.digest, golden.digest);
+    }
+    return golden.output;
+  }
+};
+
+Predicate Pred(const std::string& column, double selectivity) {
+  Predicate p;
+  p.column = column;
+  p.op = CompareOp::kLe;
+  p.selectivity_override = selectivity;
+  return p;
+}
+
+TEST(OperatorGoldenTest, PlainScan) {
+  Fixture fx;
+  ColumnTable out = fx.CheckAllWays(QueryPlan(MakeScan("t")));
+  EXPECT_EQ(out.rows, 997u);
+}
+
+TEST(OperatorGoldenTest, ScanFractionPrunesRows) {
+  Fixture fx;
+  auto scan = MakeScan("t");
+  scan->scan_fraction = 0.37;
+  ColumnTable out = fx.CheckAllWays(QueryPlan(std::move(scan)));
+  EXPECT_EQ(out.rows, 369u);  // round(0.37 * 997)
+}
+
+TEST(OperatorGoldenTest, FilterAcrossSelectivities) {
+  Fixture fx;
+  for (double s : {0.0, 0.1, 0.33, 0.5, 0.9, 1.0}) {
+    ColumnTable out =
+        fx.CheckAllWays(QueryPlan(MakeFilter(MakeScan("t"), {Pred("a", s)})));
+    if (s == 0.0) { EXPECT_EQ(out.rows, 0u); }
+    if (s == 1.0) { EXPECT_EQ(out.rows, 997u); }
+  }
+}
+
+TEST(OperatorGoldenTest, ConjunctiveFilterMixedTypes) {
+  Fixture fx;
+  fx.CheckAllWays(QueryPlan(MakeFilter(
+      MakeScan("t"), {Pred("a", 0.6), Pred("b", 0.5), Pred("s", 0.5)})));
+}
+
+TEST(OperatorGoldenTest, StringHashFilter) {
+  Fixture fx;
+  ColumnTable out =
+      fx.CheckAllWays(QueryPlan(MakeFilter(MakeScan("t"), {Pred("s", 0.4)})));
+  EXPECT_GT(out.rows, 0u);
+  EXPECT_LT(out.rows, 997u);
+}
+
+TEST(OperatorGoldenTest, Project) {
+  Fixture fx;
+  ColumnTable out =
+      fx.CheckAllWays(QueryPlan(MakeProject(MakeScan("t"), {"b", "a"})));
+  EXPECT_EQ(out.columns.size(), 2u);
+  EXPECT_EQ(out.schema.field(0).name, "b");
+}
+
+TEST(OperatorGoldenTest, HashJoinManyToMany) {
+  Fixture fx;
+  // a and k both range over [1, 50]: plenty of duplicate matches on both
+  // sides, exercising the ordered multi-match chains.
+  ColumnTable out = fx.CheckAllWays(
+      QueryPlan(MakeJoin(MakeScan("t"), MakeScan("u"), "a", "k")));
+  EXPECT_GT(out.rows, 997u);
+}
+
+TEST(OperatorGoldenTest, JoinThenAggregate) {
+  Fixture fx;
+  auto join = MakeJoin(MakeFilter(MakeScan("t"), {Pred("a", 0.5)}),
+                       MakeScan("u"), "a", "k");
+  fx.CheckAllWays(QueryPlan(MakeAggregate(std::move(join), 13)));
+}
+
+TEST(OperatorGoldenTest, AggregateSingleGroup) {
+  Fixture fx;
+  ColumnTable out = fx.CheckAllWays(QueryPlan(MakeAggregate(MakeScan("u"), 1)));
+  EXPECT_EQ(out.rows, 1u);
+  EXPECT_EQ(out.columns[1].IntAt(0), 131);  // count == table cardinality
+}
+
+TEST(OperatorGoldenTest, SortOnDuplicateKeys) {
+  Fixture fx;
+  // Sort key "a" has only 50 distinct values over 997 rows — stability
+  // across equal keys is what keeps batch sizes bit-identical.
+  ColumnTable out = fx.CheckAllWays(QueryPlan(MakeSort(MakeScan("t"))));
+  for (uint64_t i = 1; i < out.rows; ++i) {
+    EXPECT_LE(out.columns[0].IntAt(i - 1), out.columns[0].IntAt(i));
+  }
+}
+
+TEST(OperatorGoldenTest, FullPipeline) {
+  Fixture fx;
+  auto join = MakeJoin(MakeFilter(MakeScan("t"), {Pred("a", 0.7)}),
+                       MakeFilter(MakeScan("u"), {Pred("w", 0.8)}), "a", "k");
+  auto plan = MakeSort(MakeAggregate(std::move(join), 5));
+  fx.CheckAllWays(QueryPlan(std::move(plan)));
+}
+
+TEST(OperatorGoldenTest, EmptyInputsEverywhere) {
+  Fixture fx;
+  fx.CheckAllWays(QueryPlan(MakeScan("empty")));
+  fx.CheckAllWays(QueryPlan(MakeAggregate(MakeScan("empty"), 4)));
+  fx.CheckAllWays(QueryPlan(MakeSort(MakeScan("empty"))));
+  fx.CheckAllWays(
+      QueryPlan(MakeJoin(MakeScan("empty"), MakeScan("u"), "e", "k")));
+  fx.CheckAllWays(
+      QueryPlan(MakeJoin(MakeScan("u"), MakeScan("empty"), "k", "e")));
+}
+
+TEST(OperatorGoldenTest, RandomizedPlans) {
+  Fixture fx;
+  Rng rng(2026);
+  for (int trial = 0; trial < 12; ++trial) {
+    auto node = MakeFilter(
+        MakeScan("t"),
+        {Pred("a", rng.Uniform(0.0, 1.0)), Pred("b", rng.Uniform(0.0, 1.0))});
+    std::unique_ptr<PlanNode> tree;
+    switch (rng.Index(3)) {
+      case 0:
+        tree = MakeAggregate(std::move(node), 1 + rng.Index(20));
+        break;
+      case 1:
+        tree = MakeSort(std::move(node));
+        break;
+      default:
+        tree = MakeJoin(std::move(node), MakeScan("u"), "a", "k");
+        break;
+    }
+    fx.CheckAllWays(QueryPlan(std::move(tree)));
+  }
+}
+
+TEST(OperatorStatsTest, VectorizedStatsLandOnPlanIndices) {
+  Fixture fx;
+  auto plan =
+      QueryPlan(MakeAggregate(MakeFilter(MakeScan("t"), {Pred("a", 0.5)}), 4));
+  auto lowered = LowerPlan(fx.catalog, plan);
+  ASSERT_TRUE(lowered.ok());
+  auto got = ExecutePlan(lowered.value(), &fx.provider, ExecOptions());
+  ASSERT_TRUE(got.ok());
+  const ExecResult& result = got.value();
+  ASSERT_EQ(result.stats.size(), 3u);
+  // Pre-order: 0 = aggregate, 1 = filter, 2 = scan.
+  EXPECT_EQ(result.stats[2].output_rows, 997u);
+  EXPECT_GT(result.stats[1].output_rows, 0u);
+  EXPECT_LT(result.stats[1].output_rows, 997u);
+  EXPECT_EQ(result.stats[0].output_rows, result.output.rows);
+  EXPECT_GT(result.stats[2].output_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace midas

@@ -1,0 +1,120 @@
+#include "exec/table_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace midas {
+namespace exec {
+namespace {
+
+ColumnTable TableOfBytes(size_t rows) {
+  ColumnTable t;
+  t.schema.Append(Field{"x", ColumnType::kInt, 1});
+  Column c(ColumnType::kInt);
+  for (size_t i = 0; i < rows; ++i) c.AppendInt(static_cast<int64_t>(i));
+  t.columns.push_back(std::move(c));
+  t.rows = rows;
+  return t;
+}
+
+TableCacheKey Key(const std::string& name) {
+  TableCacheKey key;
+  key.table = name;
+  key.seed = 1;
+  return key;
+}
+
+TEST(TableCacheTest, MissMaterializesThenHits) {
+  TableCache cache(1 << 20);
+  int calls = 0;
+  auto materialize = [&]() -> StatusOr<ColumnTable> {
+    ++calls;
+    return TableOfBytes(10);
+  };
+  auto first = cache.GetOrMaterialize(Key("t"), materialize);
+  ASSERT_TRUE(first.ok());
+  auto second = cache.GetOrMaterialize(Key("t"), materialize);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(first.value().get(), second.value().get());
+  const TableCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.resident_bytes, 10 * sizeof(int64_t));
+}
+
+TEST(TableCacheTest, DistinctKeysAreDistinctEntries) {
+  TableCache cache(1 << 20);
+  auto make = []() -> StatusOr<ColumnTable> { return TableOfBytes(4); };
+  TableCacheKey a = Key("t");
+  TableCacheKey b = Key("t");
+  b.rows = 99;  // different row cap → different table
+  TableCacheKey c = Key("t");
+  c.seed = 2;
+  ASSERT_TRUE(cache.GetOrMaterialize(a, make).ok());
+  ASSERT_TRUE(cache.GetOrMaterialize(b, make).ok());
+  ASSERT_TRUE(cache.GetOrMaterialize(c, make).ok());
+  EXPECT_EQ(cache.Stats().misses, 3u);
+  EXPECT_EQ(cache.Stats().entries, 3u);
+}
+
+TEST(TableCacheTest, EvictsLeastRecentlyUsedOverBudget) {
+  // Each table is 80 bytes; budget fits two.
+  TableCache cache(160);
+  auto make = []() -> StatusOr<ColumnTable> { return TableOfBytes(10); };
+  ASSERT_TRUE(cache.GetOrMaterialize(Key("a"), make).ok());
+  ASSERT_TRUE(cache.GetOrMaterialize(Key("b"), make).ok());
+  // Touch "a" so "b" is the LRU victim.
+  ASSERT_TRUE(cache.GetOrMaterialize(Key("a"), make).ok());
+  ASSERT_TRUE(cache.GetOrMaterialize(Key("c"), make).ok());
+  const TableCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.resident_bytes, 160u);
+  // "b" was evicted: fetching it again is a miss...
+  ASSERT_TRUE(cache.GetOrMaterialize(Key("b"), make).ok());
+  EXPECT_EQ(cache.Stats().misses, 4u);
+  // ...while "a" survived the first eviction round.
+  const uint64_t hits_before = cache.Stats().hits;
+  ASSERT_TRUE(cache.GetOrMaterialize(Key("c"), make).ok());
+  EXPECT_EQ(cache.Stats().hits, hits_before + 1);
+}
+
+TEST(TableCacheTest, OversizedEntryIsRetained) {
+  TableCache cache(16);  // below even one table's size
+  auto make = []() -> StatusOr<ColumnTable> { return TableOfBytes(10); };
+  auto got = cache.GetOrMaterialize(Key("big"), make);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(cache.Stats().entries, 1u);  // never evict the newest entry
+  auto again = cache.GetOrMaterialize(Key("big"), make);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(cache.Stats().hits, 1u);
+}
+
+TEST(TableCacheTest, MaterializerErrorPassesThroughAndCachesNothing) {
+  TableCache cache(1 << 20);
+  auto fail = []() -> StatusOr<ColumnTable> {
+    return Status::Internal("generator exploded");
+  };
+  auto got = cache.GetOrMaterialize(Key("t"), fail);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  // A later successful materialization works.
+  auto make = []() -> StatusOr<ColumnTable> { return TableOfBytes(2); };
+  EXPECT_TRUE(cache.GetOrMaterialize(Key("t"), make).ok());
+}
+
+TEST(TableCacheTest, EvictionKeepsInFlightTablesAlive) {
+  TableCache cache(100);
+  auto make = []() -> StatusOr<ColumnTable> { return TableOfBytes(10); };
+  auto held = cache.GetOrMaterialize(Key("a"), make);
+  ASSERT_TRUE(held.ok());
+  ASSERT_TRUE(cache.GetOrMaterialize(Key("b"), make).ok());  // evicts "a"
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  // The shared_ptr we still hold reads fine after eviction.
+  EXPECT_EQ(held.value()->columns[0].IntAt(9), 9);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace midas

@@ -1,0 +1,153 @@
+// Measured-cost integration: RunQuery drives the vectorized engine end to
+// end — lowering real medical and TPC-H plans, materializing generator
+// data through the table cache, and feeding measured Measurements back
+// through the scheduler — with results bit-identical across batch sizes
+// and to the row-at-a-time oracle.
+
+#include <gtest/gtest.h>
+
+#include "midas/medical.h"
+#include "midas/midas.h"
+#include "tpch/queries.h"
+#include "tpch/workload.h"
+
+namespace midas {
+namespace {
+
+constexpr uint64_t kRowCap = 2000;  // keep the oracle runs quick
+
+SimulatorOptions MeasuredOptions(size_t batch_rows = 4096,
+                                 bool use_row_oracle = false) {
+  SimulatorOptions options;
+  options.stochastic = false;
+  options.cost_source = CostSource::kMeasured;
+  options.measured.batch_rows = batch_rows;
+  options.measured.use_row_oracle = use_row_oracle;
+  options.measured.max_rows_per_table = kRowCap;
+  return options;
+}
+
+/// Pins every node of `plan` to one site/engine so it can be executed
+/// directly, without going through the optimizer.
+void AnnotateAll(QueryPlan* plan, SiteId site, EngineKind engine) {
+  for (PlanNode* node : plan->MutableNodes()) {
+    node->site = site;
+    node->engine = engine;
+    node->num_nodes = 1;
+  }
+}
+
+/// Executes `plan` under each config and asserts every run produces the
+/// same nonzero digest.
+void CheckDigestsAgree(const Federation& federation, const Catalog& catalog,
+                       const QueryPlan& plan) {
+  std::vector<uint64_t> digests;
+  for (size_t batch_rows : {7u, 256u, 4096u}) {
+    ExecutionSimulator sim(&federation, &catalog, MeasuredOptions(batch_rows));
+    auto m = sim.Execute(plan);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    digests.push_back(m->result_digest);
+  }
+  ExecutionSimulator oracle(&federation, &catalog,
+                            MeasuredOptions(4096, /*use_row_oracle=*/true));
+  auto m = oracle.Execute(plan);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  digests.push_back(m->result_digest);
+
+  EXPECT_NE(digests[0], 0u);
+  for (size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i], digests[0]) << "config " << i;
+  }
+}
+
+// The full MIDAS loop in measured mode over the medical catalog: optimize,
+// execute on the engine, record the Measurement through the scheduler.
+TEST(MeasuredEquivalenceTest, RunQueryFeedsSchedulerFeedback) {
+  Federation federation = Federation::PaperFederation();
+  Catalog catalog = MakeMedicalCatalog(0.01).value();
+  PlaceMedicalTables(&federation).CheckOK();
+  MidasOptions options;
+  options.simulator = MeasuredOptions();
+  MidasSystem system(std::move(federation), std::move(catalog), options);
+  QueryPlan query = MakeExample21Query().value();
+  ASSERT_TRUE(system.Bootstrap("e21", query, 8).ok());
+
+  QueryPolicy policy;
+  policy.weights = {0.5, 0.5};
+  auto outcome = system.RunQuery("e21", query, policy);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_NE(outcome->actual.result_digest, 0u);
+  EXPECT_GT(outcome->actual.seconds, 0.0);
+  EXPECT_EQ(system.modelling().history().SizeOf("e21"), 9u);
+
+  // The recorded Measurement is the engine's own run of the chosen plan:
+  // re-executing that exact plan reproduces the digest bit for bit.
+  auto replay = system.simulator().ExecuteMeasured(outcome->moqp.chosen_plan());
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value().digest, outcome->actual.result_digest);
+
+  // A second query keeps the loop going on warm table-cache entries.
+  auto again = system.RunQuery("e21", query, policy);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->actual.result_digest, outcome->actual.result_digest);
+  ASSERT_NE(system.simulator().table_cache(), nullptr);
+  EXPECT_GT(system.simulator().table_cache()->Stats().hits, 0u);
+}
+
+TEST(MeasuredEquivalenceTest, Example21DigestStableAcrossConfigs) {
+  Federation federation = Federation::PaperFederation();
+  Catalog catalog = MakeMedicalCatalog(0.01).value();
+  PlaceMedicalTables(&federation).CheckOK();
+  const SiteId a = federation.FindSiteByName("cloud-A").value();
+  QueryPlan query = MakeExample21Query().value();
+  AnnotateAll(&query, a, EngineKind::kHive);
+  CheckDigestsAgree(federation, catalog, query);
+}
+
+TEST(MeasuredEquivalenceTest, TpchQueriesDigestStableAcrossConfigs) {
+  Federation federation = Federation::PaperFederation();
+  tpch::WorkloadOptions wl_opts;
+  wl_opts.scale_factor = 0.05;
+  tpch::Workload workload(wl_opts);
+  Catalog catalog = workload.catalog();
+  const SiteId a = federation.FindSiteByName("cloud-A").value();
+  for (const char* table : {"lineitem", "orders", "part"}) {
+    federation.PlaceTable(table, a, EngineKind::kHive).CheckOK();
+  }
+  for (int query_id : {12, 14, 17}) {
+    SCOPED_TRACE(query_id);
+    QueryPlan plan = tpch::MakeQuery(query_id).value();
+    AnnotateAll(&plan, a, EngineKind::kHive);
+    CheckDigestsAgree(federation, catalog, plan);
+  }
+}
+
+// Measured and analytical modes disagree on where time goes but must agree
+// on the plumbing: same plan, both produce valid Measurements, and only
+// the measured one carries a digest.
+TEST(MeasuredEquivalenceTest, AnalyticalPathUnchanged) {
+  Federation federation = Federation::PaperFederation();
+  Catalog catalog = MakeMedicalCatalog(0.01).value();
+  PlaceMedicalTables(&federation).CheckOK();
+  const SiteId a = federation.FindSiteByName("cloud-A").value();
+  QueryPlan query = MakeExample21Query().value();
+  AnnotateAll(&query, a, EngineKind::kHive);
+
+  SimulatorOptions analytical;
+  analytical.stochastic = false;
+  ExecutionSimulator sim_a(&federation, &catalog, analytical);
+  auto ma = sim_a.Execute(query);
+  ASSERT_TRUE(ma.ok());
+  EXPECT_EQ(ma->result_digest, 0u);
+  EXPECT_GT(ma->seconds, 0.0);
+
+  ExecutionSimulator sim_m(&federation, &catalog, MeasuredOptions());
+  auto mm = sim_m.Execute(query);
+  ASSERT_TRUE(mm.ok());
+  EXPECT_NE(mm->result_digest, 0u);
+  EXPECT_GT(mm->seconds, 0.0);
+  EXPECT_GT(mm->dollars, 0.0);
+}
+
+}  // namespace
+}  // namespace midas

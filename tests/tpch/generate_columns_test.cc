@@ -1,0 +1,186 @@
+#include "tpch/dbgen.h"
+
+#include <gtest/gtest.h>
+
+#include "tpch/table_provider.h"
+
+namespace midas {
+namespace tpch {
+namespace {
+
+/// Asserts cell (row, col) of `table` holds exactly the value in `cell`.
+void ExpectCellEq(const exec::ColumnTable& table, uint64_t row, size_t col,
+                  const Value& cell) {
+  const exec::Column& column = table.columns[col];
+  if (std::holds_alternative<int64_t>(cell)) {
+    EXPECT_EQ(column.IntAt(row), std::get<int64_t>(cell))
+        << "row " << row << " col " << col;
+  } else if (std::holds_alternative<double>(cell)) {
+    EXPECT_EQ(column.DoubleAt(row), std::get<double>(cell))
+        << "row " << row << " col " << col;
+  } else {
+    EXPECT_EQ(column.StringAt(row), std::get<std::string>(cell))
+        << "row " << row << " col " << col;
+  }
+}
+
+/// Checks GenerateColumns(table) reproduces GenerateRow cell-for-cell for
+/// the first `limit` rows (0 = all).
+void CheckColumnsMatchRows(const DbGen& gen, const std::string& table,
+                           uint64_t limit = 0) {
+  auto columns = gen.GenerateColumns(table, 0, limit);
+  ASSERT_TRUE(columns.ok()) << columns.status().ToString();
+  const exec::ColumnTable& t = columns.value();
+  const uint64_t rows =
+      limit == 0 ? gen.RowCount(table).value() : limit;
+  ASSERT_EQ(t.rows, rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    const Row row = gen.GenerateRow(table, i).value();
+    ASSERT_EQ(row.size(), t.columns.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      ExpectCellEq(t, i, c, row[c]);
+    }
+  }
+}
+
+TEST(GenerateColumnsTest, MatchesGenerateRowOnSmallTables) {
+  DbGen gen(0.001, 2019);
+  CheckColumnsMatchRows(gen, "region");
+  CheckColumnsMatchRows(gen, "nation");
+  CheckColumnsMatchRows(gen, "supplier");
+  CheckColumnsMatchRows(gen, "customer");
+  CheckColumnsMatchRows(gen, "part");
+}
+
+TEST(GenerateColumnsTest, MatchesGenerateRowOnWideTables) {
+  // lineitem and orders carry dates, decimals and padded strings — the
+  // columns they disagree on first if the per-row streams ever diverge.
+  DbGen gen(0.001, 7);
+  CheckColumnsMatchRows(gen, "lineitem", 200);
+  CheckColumnsMatchRows(gen, "orders", 200);
+}
+
+TEST(GenerateColumnsTest, ColumnTypesFollowSchema) {
+  DbGen gen(0.001);
+  const exec::ColumnTable t =
+      gen.GenerateColumns("lineitem", 0, 10).value();
+  const TableDef* def = gen.catalog().Find("lineitem").value();
+  ASSERT_EQ(t.columns.size(), def->columns.size());
+  ASSERT_EQ(t.schema.size(), def->columns.size());
+  for (size_t c = 0; c < def->columns.size(); ++c) {
+    EXPECT_EQ(t.schema.field(c).name, def->columns[c].name);
+    EXPECT_EQ(t.columns[c].type(), def->columns[c].type);
+  }
+}
+
+TEST(GenerateColumnsTest, RangeMatchesSliceOfFullTable) {
+  DbGen gen(0.001, 31);
+  const exec::ColumnTable full = gen.GenerateColumns("customer").value();
+  const exec::ColumnTable part =
+      gen.GenerateColumns("customer", 50, 100).value();
+  ASSERT_EQ(part.rows, 50u);
+  for (uint64_t i = 0; i < part.rows; ++i) {
+    for (size_t c = 0; c < part.columns.size(); ++c) {
+      const exec::Column& a = part.columns[c];
+      const exec::Column& b = full.columns[c];
+      switch (a.type()) {
+        case ColumnType::kInt:
+          EXPECT_EQ(a.IntAt(i), b.IntAt(i + 50));
+          break;
+        case ColumnType::kDouble:
+          EXPECT_EQ(a.DoubleAt(i), b.DoubleAt(i + 50));
+          break;
+        default:
+          EXPECT_EQ(a.StringAt(i), b.StringAt(i + 50));
+          break;
+      }
+    }
+  }
+}
+
+TEST(GenerateColumnsTest, RejectsBadRanges) {
+  DbGen gen(0.001);
+  EXPECT_FALSE(gen.GenerateColumns("region", 3, 2).ok());   // begin > end
+  EXPECT_FALSE(gen.GenerateColumns("region", 0, 6).ok());   // past the end
+  EXPECT_FALSE(gen.GenerateColumns("bogus").ok());
+}
+
+TEST(GenerateColumnsTest, ExternalCatalogGenerator) {
+  Catalog catalog;
+  TableDef t;
+  t.name = "vitals";
+  t.row_count = 64;
+  t.columns = {ColumnDef{"patient_id", ColumnType::kInt, 8.0, 64},
+               ColumnDef{"bpm", ColumnType::kDouble, 8.0, 40},
+               ColumnDef{"ward", ColumnType::kString, 12.0, 6}};
+  ASSERT_TRUE(catalog.AddTable(t).ok());
+  DbGen gen(catalog, 42);
+  EXPECT_EQ(gen.scale_factor(), 1.0);
+  EXPECT_EQ(gen.seed(), 42u);
+  EXPECT_EQ(gen.RowCount("vitals").value(), 64u);
+  CheckColumnsMatchRows(gen, "vitals");
+  // External-catalog int columns draw uniformly over [1, NDV].
+  const exec::ColumnTable table = gen.GenerateColumns("vitals").value();
+  for (uint64_t i = 0; i < table.rows; ++i) {
+    EXPECT_GE(table.columns[0].IntAt(i), 1);
+    EXPECT_LE(table.columns[0].IntAt(i), 64);
+  }
+}
+
+TEST(GenerateColumnsTest, DeterministicAcrossInstances) {
+  DbGen a(0.001, 5), b(0.001, 5);
+  const uint64_t da =
+      exec::ResultDigest(a.GenerateColumns("orders", 0, 100).value());
+  const uint64_t db =
+      exec::ResultDigest(b.GenerateColumns("orders", 0, 100).value());
+  EXPECT_EQ(da, db);
+  DbGen c(0.001, 6);
+  EXPECT_NE(exec::ResultDigest(c.GenerateColumns("orders", 0, 100).value()),
+            da);
+}
+
+TEST(CachedTableProviderTest, CapsRowsAndMemoizes) {
+  auto cache = std::make_shared<exec::TableCache>(64ull << 20);
+  CachedTableProvider provider(DbGen(0.001, 2019), cache, 100);
+  auto supplier = provider.GetTable("supplier");  // 10 rows, under the cap
+  ASSERT_TRUE(supplier.ok());
+  EXPECT_EQ(supplier.value()->rows, 10u);
+  auto customer = provider.GetTable("customer");  // 150 rows, capped
+  ASSERT_TRUE(customer.ok());
+  EXPECT_EQ(customer.value()->rows, 100u);
+  auto again = provider.GetTable("customer");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().get(), customer.value().get());
+  EXPECT_EQ(cache->Stats().misses, 2u);
+  EXPECT_EQ(cache->Stats().hits, 1u);
+  EXPECT_FALSE(provider.GetTable("bogus").ok());
+}
+
+TEST(CachedTableProviderTest, SharedCacheDistinguishesCatalogs) {
+  // Two same-shaped catalogs with different column NDVs must not alias
+  // entries when they share a cache.
+  auto make_catalog = [](uint64_t ndv) {
+    Catalog catalog;
+    TableDef t;
+    t.name = "obs";
+    t.row_count = 32;
+    t.columns = {ColumnDef{"id", ColumnType::kInt, 8.0, 32},
+                 ColumnDef{"v", ColumnType::kInt, 8.0, ndv}};
+    EXPECT_TRUE(catalog.AddTable(t).ok());
+    return catalog;
+  };
+  auto cache = std::make_shared<exec::TableCache>(64ull << 20);
+  CachedTableProvider p1(DbGen(make_catalog(4), 9), cache);
+  CachedTableProvider p2(DbGen(make_catalog(1000), 9), cache);
+  auto t1 = p1.GetTable("obs");
+  auto t2 = p2.GetTable("obs");
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(cache->Stats().misses, 2u);
+  EXPECT_NE(exec::ResultDigest(*t1.value()),
+            exec::ResultDigest(*t2.value()));
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace midas
